@@ -1,0 +1,227 @@
+//! FedDF (Lin et al., 2020).
+
+use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::BaselineConfig;
+use fedpkd_core::eval;
+use fedpkd_core::fedpkd::CoreError;
+use fedpkd_core::runtime::Federation;
+use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_data::FederatedScenario;
+use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::ops::softmax;
+use fedpkd_tensor::serialize::{load_state_vector, state_vector, weighted_average};
+use fedpkd_tensor::Tensor;
+
+/// Ensemble distillation for robust model fusion.
+///
+/// Each round: clients train locally from the global parameters and upload
+/// them (FedAvg traffic). The server initializes the fused model with the
+/// weighted parameter average, then refines it by distilling from the
+/// *ensemble* of uploaded client models — it loads each client's parameters
+/// into a scratch model, averages their softmax outputs on the public set,
+/// and trains the fused model toward that ensemble (AVGLOGITS). The server
+/// architecture is therefore constrained to the client architecture (the
+/// limitation the paper calls out).
+pub struct FedDf {
+    scenario: FederatedScenario,
+    clients: Vec<Client>,
+    global_model: ClassifierModel,
+    scratch: ClassifierModel,
+    config: BaselineConfig,
+    server_rng: Rng,
+}
+
+impl FedDf {
+    /// Assembles FedDF over `scenario` with the (homogeneous) model spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the config is invalid or the scenario/spec
+    /// wiring is inconsistent.
+    pub fn new(
+        scenario: FederatedScenario,
+        spec: ModelSpec,
+        config: BaselineConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        let client_specs = vec![spec.clone(); scenario.num_clients()];
+        validate_specs(&scenario, &client_specs, Some(&spec), true)?;
+        let clients = build_clients(&client_specs, config.learning_rate, seed);
+        let mut server_rng = Rng::stream(seed, 0);
+        let global_model = spec.build(&mut server_rng);
+        let scratch = spec.build(&mut server_rng);
+        Ok(Self {
+            scenario,
+            clients,
+            global_model,
+            scratch,
+            config,
+            server_rng,
+        })
+    }
+}
+
+impl Federation for FedDf {
+    fn name(&self) -> &'static str {
+        "FedDF"
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+        let global = state_vector(&self.global_model);
+        let config = &self.config;
+        let global_ref = &global;
+
+        // FedAvg-style local phase.
+        let updates: Vec<Vec<f32>> = for_each_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            |client, data| {
+                load_state_vector(&mut client.model, global_ref)
+                    .expect("homogeneous models share the layout");
+                let mut optimizer = fedpkd_tensor::optim::Adam::new(config.learning_rate);
+                train_supervised(
+                    &mut client.model,
+                    &data.train,
+                    config.local_epochs,
+                    config.batch_size,
+                    &mut optimizer,
+                    &mut client.rng,
+                );
+                state_vector(&client.model)
+            },
+        );
+        for (client, params) in updates.iter().enumerate() {
+            ledger.record(
+                round,
+                client,
+                Direction::Downlink,
+                &Message::ModelUpdate {
+                    params: global.clone(),
+                },
+            );
+            ledger.record(
+                round,
+                client,
+                Direction::Uplink,
+                &Message::ModelUpdate {
+                    params: params.clone(),
+                },
+            );
+        }
+
+        // Fusion init: weighted parameter average.
+        let weights: Vec<f64> = self
+            .scenario
+            .clients
+            .iter()
+            .map(|c| c.train.len() as f64)
+            .collect();
+        let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
+        load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
+
+        // Ensemble distillation: the server holds the client parameters, so
+        // no extra traffic is needed to compute the ensemble.
+        let public = &self.scenario.public;
+        let mut ensemble = Tensor::zeros(&[public.len(), self.scenario.num_classes]);
+        let w = 1.0 / updates.len() as f32;
+        for params in &updates {
+            load_state_vector(&mut self.scratch, params).expect("layout is fixed");
+            let probs = softmax(&eval::logits_on(&mut self.scratch, public), 1.0);
+            ensemble.axpy(w, &probs).expect("aligned outputs");
+        }
+        train_distill(
+            &mut self.global_model,
+            public.features(),
+            &ensemble,
+            config.gamma,
+            1.0, // ensemble is already a T = 1 probability average
+            config.server_epochs,
+            config.batch_size,
+            &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
+            &mut self.server_rng,
+        );
+    }
+
+    fn server_accuracy(&mut self) -> Option<f64> {
+        Some(eval::accuracy(
+            &mut self.global_model,
+            &self.scenario.global_test,
+        ))
+    }
+
+    fn client_accuracies(&mut self) -> Vec<f64> {
+        // FedDF is not focused on client personalization (Fig. 5 caption),
+        // but the client models exist, so their local accuracy is reported.
+        client_accuracies(&mut self.clients, &self.scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_core::runtime::Runner;
+    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::DepthTier;
+
+    fn scenario(seed: u64) -> FederatedScenario {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(450)
+            .public_size(120)
+            .global_test_size(150)
+            .partition(Partition::Dirichlet { alpha: 0.3 })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn spec() -> ModelSpec {
+        ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier: DepthTier::T20,
+        }
+    }
+
+    fn config() -> BaselineConfig {
+        BaselineConfig {
+            local_epochs: 2,
+            server_epochs: 2,
+            learning_rate: 0.003,
+            ..BaselineConfig::default()
+        }
+    }
+
+    #[test]
+    fn server_learns_above_chance() {
+        let algo = FedDf::new(scenario(1), spec(), config(), 3).unwrap();
+        let result = Runner::new(3).run(algo);
+        let acc = result.best_server_accuracy().unwrap();
+        assert!(acc > 0.3, "FedDF accuracy {acc}");
+    }
+
+    #[test]
+    fn traffic_is_parameter_sized() {
+        let algo = FedDf::new(scenario(2), spec(), config(), 5).unwrap();
+        let result = Runner::new(1).run(algo);
+        // One round ships 2 model updates per client; each T20 ResMlp is
+        // tens of thousands of parameters.
+        let per_client = result.ledger.client_bytes(0);
+        assert!(per_client > 100_000, "param traffic {per_client}");
+    }
+
+    #[test]
+    fn requires_homogeneous_models() {
+        // A class-count mismatch is caught; heterogeneity is impossible by
+        // construction (single spec), matching the paper's constraint.
+        let bad = ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 3,
+            tier: DepthTier::T20,
+        };
+        assert!(FedDf::new(scenario(3), bad, config(), 7).is_err());
+    }
+}

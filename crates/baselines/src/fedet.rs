@@ -1,0 +1,264 @@
+//! FedET (Cho et al., 2022).
+
+use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::BaselineConfig;
+use fedpkd_core::eval;
+use fedpkd_core::fedpkd::CoreError;
+use fedpkd_core::runtime::Federation;
+use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_data::FederatedScenario;
+use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::ops::{row_entropy, softmax};
+use fedpkd_tensor::serialize::{load_state_vector, state_vector};
+use fedpkd_tensor::Tensor;
+
+/// Heterogeneous **e**nsemble knowledge **t**ransfer: small (possibly
+/// heterogeneous) client models teach a larger server model.
+///
+/// Each round: clients train locally and upload their *model parameters*
+/// (the source of FedET's high communication cost that the paper notes);
+/// the server rebuilds each client model, forms a confidence-weighted
+/// ensemble over the public set — per-sample weights proportional to
+/// `1 − H(p_c)/ln k`, the certainty of each client's prediction — and
+/// distills the ensemble into the larger server model. Server logits on the
+/// public set travel back and clients distill from them.
+pub struct FedEt {
+    scenario: FederatedScenario,
+    clients: Vec<Client>,
+    client_specs: Vec<ModelSpec>,
+    server_model: ClassifierModel,
+    config: BaselineConfig,
+    server_rng: Rng,
+    seed: u64,
+}
+
+impl FedEt {
+    /// Assembles FedET over `scenario` with per-client specs and a (larger)
+    /// server spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the config is invalid or the scenario/spec
+    /// wiring is inconsistent.
+    pub fn new(
+        scenario: FederatedScenario,
+        client_specs: Vec<ModelSpec>,
+        server_spec: ModelSpec,
+        config: BaselineConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        validate_specs(&scenario, &client_specs, Some(&server_spec), false)?;
+        let clients = build_clients(&client_specs, config.learning_rate, seed);
+        let mut server_rng = Rng::stream(seed, 0);
+        let server_model = server_spec.build(&mut server_rng);
+        Ok(Self {
+            scenario,
+            clients,
+            client_specs,
+            server_model,
+            config,
+            server_rng,
+            seed,
+        })
+    }
+}
+
+impl Federation for FedEt {
+    fn name(&self) -> &'static str {
+        "FedET"
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+        let config = &self.config;
+        let public = &self.scenario.public;
+        let k = self.scenario.num_classes;
+        let all_ids: Vec<u32> = (0..public.len() as u32).collect();
+
+        // Local training; parameters travel up (FedET's costly uplink).
+        let updates: Vec<Vec<f32>> = for_each_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            |client, data| {
+                train_supervised(
+                    &mut client.model,
+                    &data.train,
+                    config.local_epochs,
+                    config.batch_size,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                );
+                state_vector(&client.model)
+            },
+        );
+        for (client, params) in updates.iter().enumerate() {
+            ledger.record(
+                round,
+                client,
+                Direction::Uplink,
+                &Message::ModelUpdate {
+                    params: params.clone(),
+                },
+            );
+        }
+
+        // Server-side confidence-weighted ensemble over the public set.
+        let ln_k = (k as f32).ln();
+        let mut weighted_sum = Tensor::zeros(&[public.len(), k]);
+        let mut weight_total = vec![0.0f32; public.len()];
+        for (i, params) in updates.iter().enumerate() {
+            let mut scratch_rng = Rng::stream(self.seed, 1000 + i as u64);
+            let mut scratch = self.client_specs[i].build(&mut scratch_rng);
+            load_state_vector(&mut scratch, params).expect("spec matches upload");
+            let probs = softmax(&eval::logits_on(&mut scratch, public), 1.0);
+            let certainty: Vec<f32> = row_entropy(&probs)
+                .into_iter()
+                .map(|h| (1.0 - h / ln_k).max(1e-3))
+                .collect();
+            for r in 0..public.len() {
+                let w = certainty[r];
+                weight_total[r] += w;
+                for (o, &p) in weighted_sum.row_mut(r).iter_mut().zip(probs.row(r)) {
+                    *o += w * p;
+                }
+            }
+        }
+        for r in 0..public.len() {
+            let norm = weight_total[r].max(1e-9);
+            for v in weighted_sum.row_mut(r) {
+                *v /= norm;
+            }
+        }
+
+        // Distill ensemble → (larger) server model.
+        train_distill(
+            &mut self.server_model,
+            public.features(),
+            &weighted_sum,
+            config.gamma,
+            1.0,
+            config.server_epochs,
+            config.batch_size,
+            &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
+            &mut self.server_rng,
+        );
+
+        // Server logits travel down; clients distill.
+        let server_probs = softmax(&eval::logits_on(&mut self.server_model, public), 1.0);
+        let server_logits_msg = Message::Logits {
+            sample_ids: all_ids,
+            num_classes: k as u32,
+            values: server_probs.as_slice().to_vec(),
+        };
+        for client in 0..self.clients.len() {
+            ledger.record(round, client, Direction::Downlink, &server_logits_msg);
+        }
+        let target = &server_probs;
+        for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+            train_distill(
+                &mut client.model,
+                public.features(),
+                target,
+                config.gamma,
+                1.0,
+                config.digest_epochs,
+                config.batch_size,
+                &mut client.optimizer,
+                &mut client.rng,
+            );
+        });
+    }
+
+    fn server_accuracy(&mut self) -> Option<f64> {
+        Some(eval::accuracy(
+            &mut self.server_model,
+            &self.scenario.global_test,
+        ))
+    }
+
+    fn client_accuracies(&mut self) -> Vec<f64> {
+        // FedET is not focused on client personalization (Fig. 5 caption),
+        // but the client models exist, so their local accuracy is reported.
+        client_accuracies(&mut self.clients, &self.scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_core::runtime::Runner;
+    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::DepthTier;
+
+    fn scenario(seed: u64) -> FederatedScenario {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(450)
+            .public_size(120)
+            .global_test_size(150)
+            .partition(Partition::Dirichlet { alpha: 0.5 })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn client_specs() -> Vec<ModelSpec> {
+        [DepthTier::T11, DepthTier::T20, DepthTier::T29]
+            .into_iter()
+            .map(|tier| ModelSpec::ResMlp {
+                input_dim: 32,
+                num_classes: 10,
+                tier,
+            })
+            .collect()
+    }
+
+    fn server_spec() -> ModelSpec {
+        ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier: DepthTier::T56,
+        }
+    }
+
+    fn config() -> BaselineConfig {
+        BaselineConfig {
+            local_epochs: 3,
+            server_epochs: 4,
+            digest_epochs: 1,
+            learning_rate: 0.003,
+            ..BaselineConfig::default()
+        }
+    }
+
+    #[test]
+    fn larger_server_learns_from_heterogeneous_clients() {
+        let algo = FedEt::new(scenario(1), client_specs(), server_spec(), config(), 3).unwrap();
+        let result = Runner::new(4).run(algo);
+        let acc = result.best_server_accuracy().unwrap();
+        assert!(acc > 0.3, "FedET server accuracy {acc}");
+    }
+
+    #[test]
+    fn uplink_is_parameter_sized() {
+        let algo = FedEt::new(scenario(2), client_specs(), server_spec(), config(), 5).unwrap();
+        let result = Runner::new(1).run(algo);
+        let up = result.ledger.direction_bytes(Direction::Uplink);
+        let down = result.ledger.direction_bytes(Direction::Downlink);
+        // Parameter uplink dwarfs logits downlink — the cost the paper
+        // attributes to FedET.
+        assert!(up > 10 * down, "uplink {up} vs downlink {down}");
+    }
+
+    #[test]
+    fn rejects_mismatched_class_counts() {
+        let bad_server = ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 12,
+            tier: DepthTier::T56,
+        };
+        assert!(FedEt::new(scenario(3), client_specs(), bad_server, config(), 7).is_err());
+    }
+}

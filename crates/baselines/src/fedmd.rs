@@ -1,0 +1,207 @@
+//! FedMD (Li & Wang, 2019).
+
+use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::BaselineConfig;
+use fedpkd_core::eval;
+use fedpkd_core::fedpkd::CoreError;
+use fedpkd_core::runtime::Federation;
+use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_data::FederatedScenario;
+use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_tensor::models::ModelSpec;
+use fedpkd_tensor::ops::softmax;
+use fedpkd_tensor::Tensor;
+
+/// Heterogeneous federated learning via model distillation.
+///
+/// Clients (which may have different architectures) train locally, upload
+/// their public-set logits, and the server returns the plain average — the
+/// *consensus*. Each client then *digests* the consensus by distilling
+/// toward it on the public set before revisiting its private data. There is
+/// no server model.
+pub struct FedMd {
+    scenario: FederatedScenario,
+    clients: Vec<Client>,
+    config: BaselineConfig,
+}
+
+impl FedMd {
+    /// Assembles FedMD over `scenario` with per-client model specs
+    /// (heterogeneity allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the config is invalid or the scenario/spec
+    /// wiring is inconsistent.
+    pub fn new(
+        scenario: FederatedScenario,
+        client_specs: Vec<ModelSpec>,
+        config: BaselineConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        validate_specs(&scenario, &client_specs, None, false)?;
+        let clients = build_clients(&client_specs, config.learning_rate, seed);
+        Ok(Self {
+            scenario,
+            clients,
+            config,
+        })
+    }
+}
+
+impl Federation for FedMd {
+    fn name(&self) -> &'static str {
+        "FedMD"
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+        let config = &self.config;
+        let public = &self.scenario.public;
+        let num_classes = self.scenario.num_classes as u32;
+        let all_ids: Vec<u32> = (0..public.len() as u32).collect();
+
+        // Local training + logit upload ("communicate").
+        let client_logits: Vec<Tensor> = for_each_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            |client, data| {
+                train_supervised(
+                    &mut client.model,
+                    &data.train,
+                    config.local_epochs,
+                    config.batch_size,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                );
+                eval::logits_on(&mut client.model, public)
+            },
+        );
+        for (client, logits) in client_logits.iter().enumerate() {
+            ledger.record(
+                round,
+                client,
+                Direction::Uplink,
+                &Message::Logits {
+                    sample_ids: all_ids.clone(),
+                    num_classes,
+                    values: logits.as_slice().to_vec(),
+                },
+            );
+        }
+
+        // Consensus: plain mean of the logits ("aggregate").
+        let mut consensus = Tensor::zeros(client_logits[0].shape());
+        let w = 1.0 / client_logits.len() as f32;
+        for l in &client_logits {
+            consensus.axpy(w, l).expect("aligned logits");
+        }
+        let consensus_probs = softmax(&consensus, config.temperature);
+
+        // Distribute + digest: every client distills toward the consensus.
+        for client in 0..self.clients.len() {
+            ledger.record(
+                round,
+                client,
+                Direction::Downlink,
+                &Message::Logits {
+                    sample_ids: all_ids.clone(),
+                    num_classes,
+                    values: consensus.as_slice().to_vec(),
+                },
+            );
+        }
+        let probs_ref = &consensus_probs;
+        for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+            train_distill(
+                &mut client.model,
+                public.features(),
+                probs_ref,
+                config.gamma,
+                config.temperature,
+                config.digest_epochs,
+                config.batch_size,
+                &mut client.optimizer,
+                &mut client.rng,
+            );
+        });
+    }
+
+    fn server_accuracy(&mut self) -> Option<f64> {
+        None // FedMD has no server model (Fig. 5 caption).
+    }
+
+    fn client_accuracies(&mut self) -> Vec<f64> {
+        client_accuracies(&mut self.clients, &self.scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_core::runtime::Runner;
+    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::DepthTier;
+
+    fn scenario(seed: u64) -> FederatedScenario {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(450)
+            .public_size(120)
+            .global_test_size(150)
+            .partition(Partition::Dirichlet { alpha: 0.5 })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn specs() -> Vec<ModelSpec> {
+        [DepthTier::T11, DepthTier::T20, DepthTier::T29]
+            .into_iter()
+            .map(|tier| ModelSpec::ResMlp {
+                input_dim: 32,
+                num_classes: 10,
+                tier,
+            })
+            .collect()
+    }
+
+    fn config() -> BaselineConfig {
+        BaselineConfig {
+            local_epochs: 2,
+            digest_epochs: 1,
+            learning_rate: 0.003,
+            ..BaselineConfig::default()
+        }
+    }
+
+    #[test]
+    fn has_no_server_model() {
+        let algo = FedMd::new(scenario(1), specs(), config(), 3).unwrap();
+        let result = Runner::new(1).run(algo);
+        assert_eq!(result.last().server_accuracy, None);
+        assert_eq!(result.best_server_accuracy(), None);
+    }
+
+    #[test]
+    fn heterogeneous_clients_learn() {
+        let algo = FedMd::new(scenario(2), specs(), config(), 5).unwrap();
+        let result = Runner::new(3).run(algo);
+        let acc = result.best_client_accuracy();
+        assert!(acc > 0.3, "FedMD client accuracy {acc}");
+    }
+
+    #[test]
+    fn traffic_is_logits_only() {
+        let algo = FedMd::new(scenario(3), specs(), config(), 7).unwrap();
+        let result = Runner::new(1).run(algo);
+        // Logits for 120 samples × 10 classes × 4 B ≈ 4.8 KB per message —
+        // far below one T20 model update (> 100 KB).
+        let per_client_up =
+            result.ledger.direction_bytes(Direction::Uplink) / 3;
+        assert!(
+            per_client_up < 10_000,
+            "logit uplink should be small, got {per_client_up}"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Baseline federated-learning algorithms from the FedPKD evaluation
+//! (§V-A of the paper).
+//!
+//! Every baseline implements [`fedpkd_core::Federation`] and runs on the
+//! same scenarios, models, round engine, and communication ledger as FedPKD
+//! itself, so head-to-head comparisons measure algorithms rather than
+//! harness differences:
+//!
+//! | Baseline | Transfers | Server model | Heterogeneous clients |
+//! |---|---|---|---|
+//! | [`FedAvg`] | model parameters | same arch as clients | no |
+//! | [`FedProx`] | model parameters (+ μ-proximal local objective) | same arch | no |
+//! | [`FedMD`] | public-set logits | none | yes |
+//! | [`DsFl`] | public-set logits (entropy-reduction aggregation) | none | yes |
+//! | [`FedDf`] | model parameters (server: ensemble distillation) | same arch | no |
+//! | [`FedEt`] | model parameters up, logits down | larger | yes |
+//! | [`NaiveKd`] | public-set logits | larger | yes |
+//!
+//! [`NaiveKd`] is the plain "average the logits, distill to the server"
+//! strawman of the paper's motivation experiments (Figs. 1–3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod common;
+mod config;
+mod dsfl;
+mod fedavg;
+mod feddf;
+mod fedet;
+mod fedmd;
+mod fedprox;
+mod naive_kd;
+
+pub use config::BaselineConfig;
+pub use dsfl::DsFl;
+pub use fedavg::FedAvg;
+pub use feddf::FedDf;
+pub use fedet::FedEt;
+pub use fedmd::FedMd;
+pub use fedprox::FedProx;
+pub use naive_kd::NaiveKd;

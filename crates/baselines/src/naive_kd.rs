@@ -1,0 +1,221 @@
+//! The plain logit-averaging KD strawman of the paper's motivation study.
+
+use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::BaselineConfig;
+use fedpkd_core::eval;
+use fedpkd_core::fedpkd::CoreError;
+use fedpkd_core::runtime::Federation;
+use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_data::FederatedScenario;
+use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::ops::softmax;
+use fedpkd_tensor::Tensor;
+
+/// Naive KD-based FL (Eq. 3): clients train locally and upload public-set
+/// logits; the server distills the *uniform average* of those logits into
+/// its model. No prototypes, no weighting, no filtering, no feedback to
+/// clients.
+///
+/// This is the arm labeled "KD-based" in the paper's Figs. 1–3 motivation
+/// experiments — the baseline whose weaknesses FedPKD is built to fix.
+pub struct NaiveKd {
+    scenario: FederatedScenario,
+    clients: Vec<Client>,
+    server_model: ClassifierModel,
+    config: BaselineConfig,
+    server_rng: Rng,
+}
+
+impl NaiveKd {
+    /// Assembles the naive-KD federation (heterogeneous clients allowed,
+    /// larger server allowed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the config is invalid or the scenario/spec
+    /// wiring is inconsistent.
+    pub fn new(
+        scenario: FederatedScenario,
+        client_specs: Vec<ModelSpec>,
+        server_spec: ModelSpec,
+        config: BaselineConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        validate_specs(&scenario, &client_specs, Some(&server_spec), false)?;
+        let clients = build_clients(&client_specs, config.learning_rate, seed);
+        let mut server_rng = Rng::stream(seed, 0);
+        let server_model = server_spec.build(&mut server_rng);
+        Ok(Self {
+            scenario,
+            clients,
+            server_model,
+            config,
+            server_rng,
+        })
+    }
+
+    /// The uniform-average logits of the clients on the public set after the
+    /// most recent round — exposed for the Fig. 2 logit-quality analysis.
+    pub fn aggregated_public_logits(&mut self) -> Tensor {
+        let public = &self.scenario.public;
+        let logits: Vec<Tensor> = self
+            .clients
+            .iter_mut()
+            .map(|c| eval::logits_on(&mut c.model, public))
+            .collect();
+        let mut mean = Tensor::zeros(logits[0].shape());
+        let w = 1.0 / logits.len() as f32;
+        for l in &logits {
+            mean.axpy(w, l).expect("aligned logits");
+        }
+        mean
+    }
+}
+
+impl Federation for NaiveKd {
+    fn name(&self) -> &'static str {
+        "NaiveKD"
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+        let config = &self.config;
+        let public = &self.scenario.public;
+        let num_classes = self.scenario.num_classes as u32;
+        let all_ids: Vec<u32> = (0..public.len() as u32).collect();
+
+        let client_logits: Vec<Tensor> = for_each_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            |client, data| {
+                train_supervised(
+                    &mut client.model,
+                    &data.train,
+                    config.local_epochs,
+                    config.batch_size,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                );
+                eval::logits_on(&mut client.model, public)
+            },
+        );
+        for (client, logits) in client_logits.iter().enumerate() {
+            ledger.record(
+                round,
+                client,
+                Direction::Uplink,
+                &Message::Logits {
+                    sample_ids: all_ids.clone(),
+                    num_classes,
+                    values: logits.as_slice().to_vec(),
+                },
+            );
+        }
+
+        // Uniform average → server distillation (Eq. 3).
+        let mut mean = Tensor::zeros(client_logits[0].shape());
+        let w = 1.0 / client_logits.len() as f32;
+        for l in &client_logits {
+            mean.axpy(w, l).expect("aligned logits");
+        }
+        let teacher = softmax(&mean, config.temperature);
+        train_distill(
+            &mut self.server_model,
+            public.features(),
+            &teacher,
+            config.gamma,
+            config.temperature,
+            config.server_epochs,
+            config.batch_size,
+            &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
+            &mut self.server_rng,
+        );
+    }
+
+    fn server_accuracy(&mut self) -> Option<f64> {
+        Some(eval::accuracy(
+            &mut self.server_model,
+            &self.scenario.global_test,
+        ))
+    }
+
+    fn client_accuracies(&mut self) -> Vec<f64> {
+        client_accuracies(&mut self.clients, &self.scenario)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_core::runtime::Runner;
+    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::DepthTier;
+
+    fn scenario(alpha: f64, seed: u64) -> FederatedScenario {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(450)
+            .public_size(120)
+            .global_test_size(200)
+            .partition(Partition::Dirichlet { alpha })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn specs() -> Vec<ModelSpec> {
+        vec![
+            ModelSpec::ResMlp {
+                input_dim: 32,
+                num_classes: 10,
+                tier: DepthTier::T11,
+            };
+            3
+        ]
+    }
+
+    fn server_spec() -> ModelSpec {
+        ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier: DepthTier::T20,
+        }
+    }
+
+    fn config() -> BaselineConfig {
+        BaselineConfig {
+            local_epochs: 2,
+            server_epochs: 2,
+            learning_rate: 0.003,
+            ..BaselineConfig::default()
+        }
+    }
+
+    #[test]
+    fn server_learns_something() {
+        let algo = NaiveKd::new(scenario(0.5, 1), specs(), server_spec(), config(), 3).unwrap();
+        let result = Runner::new(3).run(algo);
+        let acc = result.best_server_accuracy().unwrap();
+        assert!(acc > 0.2, "NaiveKD server accuracy {acc}");
+    }
+
+    #[test]
+    fn aggregated_logits_accessor_matches_shape() {
+        let mut algo =
+            NaiveKd::new(scenario(0.5, 2), specs(), server_spec(), config(), 5).unwrap();
+        let mut ledger = CommLedger::new();
+        algo.run_round(0, &mut ledger);
+        let agg = algo.aggregated_public_logits();
+        assert_eq!(agg.shape(), &[120, 10]);
+    }
+
+    #[test]
+    fn no_downlink_traffic() {
+        let algo = NaiveKd::new(scenario(0.5, 3), specs(), server_spec(), config(), 7).unwrap();
+        let result = Runner::new(1).run(algo);
+        assert_eq!(result.ledger.direction_bytes(Direction::Downlink), 0);
+        assert!(result.ledger.direction_bytes(Direction::Uplink) > 0);
+    }
+}

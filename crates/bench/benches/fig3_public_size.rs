@@ -1,0 +1,85 @@
+//! Fig. 3 — Communication overhead and server accuracy vs public-set size.
+//!
+//! Expected shape (paper): per-client logit traffic grows linearly with the
+//! public-set size and eventually crosses the cost of one model update;
+//! server accuracy grows with the public-set size.
+
+use fedpkd_bench::{banner, print_table, Scale, Task};
+use fedpkd_baselines::NaiveKd;
+use fedpkd_core::runtime::Runner;
+use fedpkd_data::ScenarioBuilder;
+use fedpkd_netsim::{bytes_to_mb, Message, Wire};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::nn::Layer;
+use fedpkd_tensor::serialize::param_byte_len;
+
+fn main() {
+    banner(
+        "Fig. 3 — accuracy & per-client comm vs public dataset size",
+        "logit traffic ∝ public size, crossing the model-update cost; accuracy rises with size",
+    );
+    let scale = Scale::from_env();
+    let task = Task::C10;
+
+    // Reference cost: one client model update (the paper quotes 0.511 MB
+    // for its model; ours is smaller but plays the same role).
+    let mut rng = Rng::seed_from_u64(303);
+    let model = scale.client_spec(task).build(&mut rng);
+    let model_bytes = param_byte_len(&model) + Message::ModelUpdate { params: vec![] }.encoded_len();
+    println!(
+        "\nmodel-update reference cost: {:.3} MB ({} parameters)",
+        bytes_to_mb(model_bytes),
+        model.param_count()
+    );
+
+    let sizes = [100usize, 250, 500, 1_000, 2_000, 4_000];
+    let mut rows = Vec::new();
+    for &public in &sizes {
+        // Per-round, per-client uplink: logits for every public sample.
+        let logit_bytes = Message::Logits {
+            sample_ids: (0..public as u32).collect(),
+            num_classes: task.num_classes() as u32,
+            values: vec![0.0; public * task.num_classes()],
+        }
+        .encoded_len();
+
+        // Accuracy: naive KD trained with this public-set size (accuracy
+        // runs use a capped size to keep the sweep fast; traffic is exact).
+        let train_public = public.min(2_000);
+        let scenario = ScenarioBuilder::new(task.config())
+            .clients(scale.clients)
+            .samples(scale.samples_for(task))
+            .public_size(train_public)
+            .global_test_size(scale.test)
+            .seed(303)
+            .build()
+            .expect("valid scenario");
+        let algo = NaiveKd::new(
+            scenario,
+            vec![scale.client_spec(task); scale.clients],
+            scale.server_spec(task),
+            scale.base.clone(),
+            303,
+        )
+        .expect("wiring");
+        let acc = Runner::new(scale.rounds)
+            .run(algo)
+            .best_server_accuracy()
+            .unwrap_or(0.0);
+
+        rows.push(vec![
+            public.to_string(),
+            format!("{:.4}", bytes_to_mb(logit_bytes)),
+            format!("{:.4}", bytes_to_mb(model_bytes)),
+            if logit_bytes > model_bytes { "yes" } else { "no" }.to_string(),
+            format!("{:.2}%", acc * 100.0),
+        ]);
+    }
+    print_table(
+        "Fig. 3 (per-client per-round uplink and server accuracy)",
+        &["public size", "logits MB", "model MB", "logits>model?", "server acc"],
+        &rows,
+    );
+    println!("\nexpected shape: logits MB grows linearly and crosses model MB;");
+    println!("server accuracy increases with the public size.");
+}

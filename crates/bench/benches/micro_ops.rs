@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the hot paths of the reproduction:
+//! tensor kernels, FedPKD's aggregation and filtering, and the wire codec.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedpkd_core::fedpkd::filter::filter_public;
+use fedpkd_core::fedpkd::logits::aggregate_logits;
+use fedpkd_netsim::{Message, Wire};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::ops::softmax;
+use fedpkd_tensor::Tensor;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(1);
+    let a = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[64, 64], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_64x64", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    let a = Tensor::rand_uniform(&[32, 256], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[256, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("matmul_batch32_256x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(2);
+    let logits = Tensor::rand_uniform(&[500, 10], -4.0, 4.0, &mut rng);
+    c.bench_function("softmax_500x10", |bench| {
+        bench.iter(|| black_box(softmax(&logits, 2.0)))
+    });
+    let logits = Tensor::rand_uniform(&[500, 100], -4.0, 4.0, &mut rng);
+    c.bench_function("softmax_500x100", |bench| {
+        bench.iter(|| black_box(softmax(&logits, 2.0)))
+    });
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(3);
+    let clients: Vec<Tensor> = (0..10)
+        .map(|_| Tensor::rand_uniform(&[500, 10], -4.0, 4.0, &mut rng))
+        .collect();
+    c.bench_function("aggregate_logits_variance_10c_500x10", |bench| {
+        bench.iter(|| black_box(aggregate_logits(&clients, true)))
+    });
+    c.bench_function("aggregate_logits_uniform_10c_500x10", |bench| {
+        bench.iter(|| black_box(aggregate_logits(&clients, false)))
+    });
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(4);
+    let features = Tensor::rand_uniform(&[500, 64], -1.0, 1.0, &mut rng);
+    let labels: Vec<usize> = (0..500).map(|i| i % 10).collect();
+    let protos: Vec<Option<Tensor>> = (0..10)
+        .map(|_| Some(Tensor::rand_uniform(&[64], -1.0, 1.0, &mut rng)))
+        .collect();
+    c.bench_function("filter_public_500x64_theta70", |bench| {
+        bench.iter(|| black_box(filter_public(&features, &labels, &protos, 0.7)))
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let msg = Message::Logits {
+        sample_ids: (0..500).collect(),
+        num_classes: 10,
+        values: vec![0.5; 5_000],
+    };
+    c.bench_function("wire_encode_logits_500x10", |bench| {
+        bench.iter(|| black_box(msg.to_bytes()))
+    });
+    let bytes = msg.to_bytes();
+    c.bench_function("wire_decode_logits_500x10", |bench| {
+        bench.iter(|| {
+            let mut slice = bytes.as_slice();
+            black_box(Message::decode(&mut slice).unwrap())
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax,
+    bench_aggregation,
+    bench_filter,
+    bench_wire
+);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Internal calibration tool: run a subset of methods on one setting.
+//!
+//! Usage: `compare [c10|c100] [shards_high|shards_weak|dir_high|dir_weak]`
+
+use fedpkd_bench::{pct, run_method, Method, Scale, Setting, Task};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let task = match args.get(1).map(String::as_str) {
+        Some("c100") => Task::C100,
+        _ => Task::C10,
+    };
+    let setting = match args.get(2).map(String::as_str) {
+        Some("shards_weak") => Setting::ShardsWeak,
+        Some("dir_high") => Setting::DirHigh,
+        Some("dir_weak") => Setting::DirWeak,
+        _ => Setting::ShardsHigh,
+    };
+    let scale = Scale::from_env();
+    println!(
+        "{} {} | {} clients, {} samples, {} public, {} rounds",
+        task.name(),
+        setting.name(task),
+        scale.clients,
+        scale.samples_for(task),
+        scale.public_for(task),
+        scale.rounds
+    );
+    for method in Method::ROSTER {
+        let start = std::time::Instant::now();
+        let result = run_method(method, &scale, task, setting, false, 505);
+        println!(
+            " {:<8} server {:>7} | client {:>7} | {:>6.1}s",
+            method.name(),
+            pct(result.best_server_accuracy()),
+            pct(Some(result.best_client_accuracy())),
+            start.elapsed().as_secs_f64(),
+        );
+    }
+}

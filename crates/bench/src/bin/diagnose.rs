@@ -1,0 +1,230 @@
+//! Internal diagnostic for the server-distillation path: measures the
+//! quality of aggregated pseudo-labels under different aggregation schemes
+//! and the server accuracy achievable from each teacher signal.
+
+use fedpkd_bench::{Scale, Setting, Task};
+use fedpkd_core::fedpkd::logits::aggregate_logits;
+use fedpkd_core::{eval, train};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::metrics;
+use fedpkd_tensor::ops::{row_entropy, softmax};
+use fedpkd_tensor::optim::Adam;
+use fedpkd_tensor::Tensor;
+
+fn main() {
+    let scale = Scale::from_env();
+    let task = Task::C10;
+    let setting = Setting::ShardsHigh; // k = 3
+    let scenario = scale.scenario(task, setting, 42);
+    let mut rng = Rng::seed_from_u64(7);
+
+    // Train each client locally (2 rounds' worth of epochs).
+    let mut clients: Vec<_> = (0..scale.clients)
+        .map(|i| {
+            let mut r = Rng::stream(7, i as u64 + 1);
+            scale.client_spec(task).build(&mut r)
+        })
+        .collect();
+    for (i, model) in clients.iter_mut().enumerate() {
+        let mut opt = Adam::new(0.002);
+        train::train_supervised(
+            model,
+            &scenario.clients[i].train,
+            6,
+            32,
+            &mut opt,
+            &mut rng,
+        );
+        let acc = eval::accuracy(model, &scenario.clients[i].test);
+        println!("client {i}: local acc {:.2}%", acc * 100.0);
+    }
+
+    let public = &scenario.public;
+    let logits: Vec<Tensor> = clients
+        .iter_mut()
+        .map(|m| eval::logits_on(m, public))
+        .collect();
+
+    // Aggregation schemes.
+    let var_agg = aggregate_logits(&logits, true); // probability mixture
+    let uni_agg = aggregate_logits(&logits, false);
+    let probs: Vec<Tensor> = logits.iter().map(|l| softmax(l, 1.0)).collect();
+    let mut prob_mean = Tensor::zeros(probs[0].shape());
+    for p in &probs {
+        prob_mean.axpy(1.0 / probs.len() as f32, p).unwrap();
+    }
+    // Entropy-confidence weighting (FedET style).
+    let ln_k = 10f32.ln();
+    let mut ent_weighted = Tensor::zeros(probs[0].shape());
+    let mut totals = vec![0.0f32; public.len()];
+    for p in &probs {
+        let cert: Vec<f32> = row_entropy(p)
+            .into_iter()
+            .map(|h| (1.0 - h / ln_k).max(1e-3))
+            .collect();
+        for r in 0..public.len() {
+            totals[r] += cert[r];
+            for (o, &v) in ent_weighted.row_mut(r).iter_mut().zip(p.row(r)) {
+                *o += cert[r] * v;
+            }
+        }
+    }
+    for r in 0..public.len() {
+        for v in ent_weighted.row_mut(r) {
+            *v /= totals[r].max(1e-9);
+        }
+    }
+
+    // Per-client scale-normalized variance weighting: beta ~ Var_c(x) / mean_x Var_c(x).
+    let mut norm_var = Tensor::zeros(probs[0].shape());
+    {
+        use fedpkd_tensor::ops::row_variance;
+        let vars: Vec<Vec<f32>> = logits.iter().map(|l| row_variance(l)).collect();
+        let means: Vec<f32> = vars
+            .iter()
+            .map(|v| (v.iter().sum::<f32>() / v.len() as f32).max(1e-9))
+            .collect();
+        for r in 0..public.len() {
+            let total: f32 = vars.iter().zip(&means).map(|(v, m)| v[r] / m).sum();
+            for ((p, v), m) in probs.iter().zip(&vars).zip(&means) {
+                let w = (v[r] / m) / total.max(1e-9);
+                for (o, &x) in norm_var.row_mut(r).iter_mut().zip(p.row(r)) {
+                    *o += w * x;
+                }
+            }
+        }
+    }
+
+    // Variance weighting computed on the probability outputs (bounded).
+    let mut prob_var = Tensor::zeros(probs[0].shape());
+    {
+        use fedpkd_tensor::ops::row_variance;
+        let vars: Vec<Vec<f32>> = probs.iter().map(|p| row_variance(p)).collect();
+        for r in 0..public.len() {
+            let total: f32 = vars.iter().map(|v| v[r]).sum();
+            for (p, v) in probs.iter().zip(&vars) {
+                let w = if total > 0.0 { v[r] / total } else { 1.0 / probs.len() as f32 };
+                for (o, &x) in prob_var.row_mut(r).iter_mut().zip(p.row(r)) {
+                    *o += w * x;
+                }
+            }
+        }
+    }
+
+    println!("\npseudo-label accuracy on the public set (hidden labels):");
+    for (name, t) in [
+        ("variance-weighted probs", &var_agg),
+        ("uniform prob mean", &uni_agg),
+        ("mean probs", &prob_mean),
+        ("entropy-weighted probs", &ent_weighted),
+        ("scale-normed variance", &norm_var),
+        ("prob-variance weighted", &prob_var),
+    ] {
+        println!(
+            "  {name:<26} {:.2}%",
+            metrics::accuracy(t, public.labels()) * 100.0
+        );
+    }
+
+    // Server trained from each teacher for the same budget.
+    println!("\nserver accuracy after 12 distillation epochs from each teacher:");
+    for (name, teacher, temp) in [
+        ("variance-weighted probs", var_agg.clone(), 1.0f32),
+        ("entropy-weighted probs", ent_weighted.clone(), 1.0),
+        ("mean probs", prob_mean.clone(), 1.0),
+    ] {
+        let mut server = scale.server_spec(task).build(&mut rng);
+        let mut opt = Adam::new(0.002);
+        train::train_distill(
+            &mut server,
+            public.features(),
+            &teacher,
+            0.5,
+            temp,
+            12,
+            32,
+            &mut opt,
+            &mut rng,
+        );
+        println!(
+            "  {name:<26} {:.2}%",
+            eval::accuracy(&mut server, &scenario.global_test) * 100.0
+        );
+    }
+
+    // Upper bound: the same budget with true labels.
+    let mut onehot = Tensor::full(&[public.len(), 10], 0.0);
+    for (i, &y) in public.labels().iter().enumerate() {
+        onehot.row_mut(i)[y] = 1.0;
+    }
+    let mut server = scale.server_spec(task).build(&mut rng);
+    let mut opt = Adam::new(0.002);
+    train::train_distill(
+        &mut server,
+        public.features(),
+        &onehot,
+        0.5,
+        1.0,
+        12,
+        32,
+        &mut opt,
+        &mut rng,
+    );
+    println!(
+        "  {:<26} {:.2}%  (upper bound)",
+        "true one-hot labels",
+        eval::accuracy(&mut server, &scenario.global_test) * 100.0
+    );
+
+    // --- Filter quality: does prototype-distance filtering clean the
+    // pseudo-labels? Simulate one FedPKD server round (distillation +
+    // prototype alignment), then filter and compare subset label quality.
+    use fedpkd_core::fedpkd::distill::train_server;
+    use fedpkd_core::fedpkd::filter::filter_public;
+    use fedpkd_core::fedpkd::prototypes::{aggregate_prototypes, compute_prototypes};
+
+    let client_protos: Vec<_> = clients
+        .iter_mut()
+        .zip(&scenario.clients)
+        .map(|(m, d)| compute_prototypes(m, &d.train))
+        .collect();
+    let global_protos = aggregate_prototypes(&client_protos);
+    let pseudo = var_agg.argmax_rows();
+    let mut server = scale.server_spec(task).build(&mut rng);
+    let mut opt = Adam::new(0.002);
+    train_server(
+        &mut server,
+        public.features(),
+        &var_agg,
+        &pseudo,
+        &global_protos,
+        0.5,
+        1.0,
+        10,
+        32,
+        &mut opt,
+        &mut rng,
+    );
+    let server_features = eval::features_on(&mut server, public);
+    let full_acc: f64 = pseudo
+        .iter()
+        .zip(public.labels())
+        .filter(|(p, y)| p == y)
+        .count() as f64
+        / pseudo.len() as f64;
+    println!("\nfilter quality (after one prototype-aligned server round):");
+    println!("  pseudo-label accuracy, full public: {:.2}%", full_acc * 100.0);
+    for theta in [0.7f32, 0.5, 0.3] {
+        let kept = filter_public(&server_features, &pseudo, &global_protos, theta);
+        let kept_acc: f64 = kept
+            .iter()
+            .filter(|&&i| pseudo[i] == public.labels()[i])
+            .count() as f64
+            / kept.len() as f64;
+        println!(
+            "  theta={theta:.1}: kept {} samples, pseudo-label accuracy {:.2}%",
+            kept.len(),
+            kept_acc * 100.0
+        );
+    }
+}

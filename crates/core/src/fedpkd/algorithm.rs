@@ -1,0 +1,615 @@
+//! The FedPKD federation — Algorithm 2 of the paper.
+
+use crate::eval;
+use crate::fedpkd::config::{CoreError, FedPkdConfig};
+use crate::fedpkd::distill::train_server;
+use crate::fedpkd::filter::filter_public;
+use crate::fedpkd::logits::{aggregate_logits, pseudo_labels};
+use crate::fedpkd::prototypes::{
+    aggregate_prototypes, compute_prototypes, global_to_wire_entries, to_wire_entries, Prototype,
+};
+use crate::runtime::Federation;
+use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes};
+use fedpkd_data::FederatedScenario;
+use fedpkd_netsim::{CommLedger, Direction, Message, QuantizedLogits, Wire};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::ops::softmax;
+use fedpkd_tensor::optim::Adam;
+use fedpkd_tensor::Tensor;
+
+struct ClientState {
+    model: ClassifierModel,
+    optimizer: Adam,
+    rng: Rng,
+}
+
+/// The complete FedPKD algorithm over a federated scenario.
+///
+/// Owns the client models (possibly heterogeneous architectures), the larger
+/// server model, and the cross-round state (global prototypes). Every
+/// communication round executes the four phases of Algorithm 2 and records
+/// byte-accurate traffic in the provided ledger.
+///
+/// See the crate-level example for usage.
+pub struct FedPkd {
+    scenario: FederatedScenario,
+    clients: Vec<ClientState>,
+    server_model: ClassifierModel,
+    server_optimizer: Adam,
+    server_rng: Rng,
+    config: FedPkdConfig,
+    global_prototypes: Vec<Option<Tensor>>,
+}
+
+impl FedPkd {
+    /// Assembles the federation: one model per client built from
+    /// `client_specs`, a server model from `server_spec`, all seeded
+    /// deterministically from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if the config is invalid, the spec count does
+    /// not match the client count, or any spec's class count differs from
+    /// the scenario's.
+    pub fn new(
+        scenario: FederatedScenario,
+        client_specs: Vec<ModelSpec>,
+        server_spec: ModelSpec,
+        config: FedPkdConfig,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        config.validate()?;
+        if client_specs.len() != scenario.num_clients() {
+            return Err(CoreError::ClientSpecMismatch {
+                clients: scenario.num_clients(),
+                specs: client_specs.len(),
+            });
+        }
+        for spec in client_specs.iter().chain(std::iter::once(&server_spec)) {
+            if spec.num_classes() != scenario.num_classes {
+                return Err(CoreError::ClassCountMismatch {
+                    scenario: scenario.num_classes,
+                    spec: spec.num_classes(),
+                });
+            }
+        }
+        let clients = client_specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut rng = Rng::stream(seed, 1 + i as u64);
+                ClientState {
+                    model: spec.build(&mut rng),
+                    optimizer: Adam::new(config.learning_rate),
+                    rng,
+                }
+            })
+            .collect();
+        let mut server_rng = Rng::stream(seed, 0);
+        let server_model = server_spec.build(&mut server_rng);
+        let num_classes = scenario.num_classes;
+        Ok(Self {
+            scenario,
+            clients,
+            server_model,
+            server_optimizer: Adam::new(config.learning_rate),
+            server_rng,
+            config,
+            global_prototypes: vec![None; num_classes],
+        })
+    }
+
+    /// The current global prototypes (one per class, `None` until a client
+    /// holding that class has reported).
+    pub fn global_prototypes(&self) -> &[Option<Tensor>] {
+        &self.global_prototypes
+    }
+
+    /// Immutable access to the scenario.
+    pub fn scenario(&self) -> &FederatedScenario {
+        &self.scenario
+    }
+
+    /// Phase 1 of Algorithm 2: parallel private training and dual-knowledge
+    /// extraction. Returns per-client `(public logits, local prototypes)`.
+    fn clients_private_phase(&mut self, round: usize) -> Vec<(Tensor, Vec<Option<Prototype>>)> {
+        let config = &self.config;
+        let public = &self.scenario.public;
+        let global_prototypes = &self.global_prototypes;
+        let client_data = &self.scenario.clients;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clients
+                .iter_mut()
+                .zip(client_data)
+                .map(|(state, data)| {
+                    scope.spawn(move || {
+                        // Round 0 trains with Eq. 4; later rounds add the
+                        // prototype pull of Eq. 16 (when prototypes are on).
+                        if round == 0 || !config.use_prototypes {
+                            train_supervised(
+                                &mut state.model,
+                                &data.train,
+                                config.client_private_epochs,
+                                config.batch_size,
+                                &mut state.optimizer,
+                                &mut state.rng,
+                            );
+                        } else {
+                            train_supervised_with_prototypes(
+                                &mut state.model,
+                                &data.train,
+                                global_prototypes,
+                                config.epsilon,
+                                config.client_private_epochs,
+                                config.batch_size,
+                                &mut state.optimizer,
+                                &mut state.rng,
+                            );
+                        }
+                        let logits = eval::logits_on(&mut state.model, public);
+                        let prototypes = compute_prototypes(&mut state.model, &data.train);
+                        (logits, prototypes)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Phase 4 of Algorithm 2: parallel client distillation from the server
+    /// knowledge on the filtered public subset (Eq. 15).
+    fn clients_public_phase(&mut self, subset_features: &Tensor, server_probs: &Tensor) {
+        let config = &self.config;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .clients
+                .iter_mut()
+                .map(|state| {
+                    scope.spawn(move || {
+                        train_distill(
+                            &mut state.model,
+                            subset_features,
+                            server_probs,
+                            config.gamma,
+                            config.temperature,
+                            config.client_public_epochs,
+                            config.batch_size,
+                            &mut state.optimizer,
+                            &mut state.rng,
+                        );
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread panicked");
+            }
+        });
+    }
+}
+
+impl Federation for FedPkd {
+    fn name(&self) -> &'static str {
+        "FedPKD"
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+        let public_len = self.scenario.public.len();
+        let num_classes = self.scenario.num_classes as u32;
+
+        // ---- Phase 1: client private training + dual knowledge uplink.
+        let mut knowledge = self.clients_private_phase(round);
+        let all_ids: Vec<u32> = (0..public_len as u32).collect();
+        for (client, (logits, prototypes)) in knowledge.iter_mut().enumerate() {
+            if self.config.quantize_knowledge {
+                // Lossy 8-bit channel: charge the quantized size and replace
+                // the logits with what actually survives the wire.
+                let quantized =
+                    QuantizedLogits::from_values(&all_ids, num_classes, logits.as_slice());
+                ledger.record_bytes(round, client, Direction::Uplink, quantized.encoded_len());
+                *logits = Tensor::from_vec(quantized.dequantize(), logits.shape())
+                    .expect("dequantization preserves the shape");
+            } else {
+                ledger.record(
+                    round,
+                    client,
+                    Direction::Uplink,
+                    &Message::Logits {
+                        sample_ids: all_ids.clone(),
+                        num_classes,
+                        values: logits.as_slice().to_vec(),
+                    },
+                );
+            }
+            if self.config.use_prototypes {
+                ledger.record(
+                    round,
+                    client,
+                    Direction::Uplink,
+                    &Message::Prototypes {
+                        entries: to_wire_entries(prototypes),
+                    },
+                );
+            }
+        }
+
+        // ---- Phase 2: server-side aggregation (Eqs. 6–8).
+        let client_logits: Vec<Tensor> = knowledge.iter().map(|(l, _)| l.clone()).collect();
+        let aggregated = aggregate_logits(&client_logits, self.config.variance_weighting);
+        let pseudo = pseudo_labels(&aggregated);
+        if self.config.use_prototypes {
+            let client_protos: Vec<Vec<Option<Prototype>>> =
+                knowledge.into_iter().map(|(_, p)| p).collect();
+            self.global_prototypes = aggregate_prototypes(&client_protos);
+        }
+
+        // ---- Phase 3: data filtering (Alg. 1) + server distillation
+        //      (Eqs. 11–13).
+        let selected: Vec<usize> = if self.config.use_filter && self.config.use_prototypes {
+            let server_features =
+                eval::features_on(&mut self.server_model, &self.scenario.public);
+            filter_public(
+                &server_features,
+                &pseudo,
+                &self.global_prototypes,
+                self.config.theta,
+            )
+        } else {
+            (0..public_len).collect()
+        };
+        let subset_features = self
+            .scenario
+            .public
+            .features()
+            .select_rows(&selected)
+            .expect("filter indices are in range");
+        // `aggregated` is already a probability mixture (Eq. 6 over the
+        // simplex); the filtered rows are the server's teacher targets.
+        let teacher_probs = aggregated
+            .select_rows(&selected)
+            .expect("filter indices are in range");
+        let subset_pseudo: Vec<usize> = selected.iter().map(|&i| pseudo[i]).collect();
+        let delta = if self.config.use_prototypes {
+            self.config.delta
+        } else {
+            1.0 // the prototype loss term is removed (ablation w/o Pro)
+        };
+        train_server(
+            &mut self.server_model,
+            &subset_features,
+            &teacher_probs,
+            &subset_pseudo,
+            &self.global_prototypes,
+            delta,
+            self.config.temperature,
+            self.config.server_epochs,
+            self.config.batch_size,
+            &mut self.server_optimizer,
+            &mut self.server_rng,
+        );
+
+        // ---- Phase 4: server knowledge downlink + client public training
+        //      (Eqs. 14–15). Only the subset's logits travel (θ% of the
+        //      public set), which is FedPKD's downlink saving.
+        let subset_dataset = self.scenario.public.subset(&selected);
+        let mut server_logits = eval::logits_on(&mut self.server_model, &subset_dataset);
+        let selected_ids: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
+        let downlink_quantized = if self.config.quantize_knowledge {
+            let quantized = QuantizedLogits::from_values(
+                &selected_ids,
+                num_classes,
+                server_logits.as_slice(),
+            );
+            server_logits = Tensor::from_vec(quantized.dequantize(), server_logits.shape())
+                .expect("dequantization preserves the shape");
+            Some(quantized.encoded_len())
+        } else {
+            None
+        };
+        let server_probs = softmax(&server_logits, self.config.temperature);
+        let proto_entries = global_to_wire_entries(&self.global_prototypes);
+        for client in 0..self.clients.len() {
+            match downlink_quantized {
+                Some(bytes) => ledger.record_bytes(round, client, Direction::Downlink, bytes),
+                None => ledger.record(
+                    round,
+                    client,
+                    Direction::Downlink,
+                    &Message::Logits {
+                        sample_ids: selected_ids.clone(),
+                        num_classes,
+                        values: server_logits.as_slice().to_vec(),
+                    },
+                ),
+            }
+            if self.config.use_prototypes {
+                ledger.record(
+                    round,
+                    client,
+                    Direction::Downlink,
+                    &Message::Prototypes {
+                        entries: proto_entries.clone(),
+                    },
+                );
+            }
+            ledger.record(
+                round,
+                client,
+                Direction::Downlink,
+                &Message::SampleSelection {
+                    ids: selected_ids.clone(),
+                },
+            );
+        }
+        self.clients_public_phase(&subset_features, &server_probs);
+    }
+
+    fn server_accuracy(&mut self) -> Option<f64> {
+        Some(eval::accuracy(
+            &mut self.server_model,
+            &self.scenario.global_test,
+        ))
+    }
+
+    fn client_accuracies(&mut self) -> Vec<f64> {
+        self.clients
+            .iter_mut()
+            .zip(&self.scenario.clients)
+            .map(|(state, data)| eval::accuracy(&mut state.model, &data.test))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runner;
+    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::DepthTier;
+
+    fn tiny_scenario(seed: u64) -> FederatedScenario {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(360)
+            .public_size(120)
+            .global_test_size(150)
+            .partition(Partition::Dirichlet { alpha: 0.5 })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn fast_config() -> FedPkdConfig {
+        FedPkdConfig {
+            client_private_epochs: 2,
+            client_public_epochs: 1,
+            server_epochs: 3,
+            learning_rate: 0.003,
+            ..FedPkdConfig::default()
+        }
+    }
+
+    fn spec(tier: DepthTier) -> ModelSpec {
+        ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier,
+        }
+    }
+
+    #[test]
+    fn constructor_validates_wiring() {
+        let scenario = tiny_scenario(1);
+        // Wrong spec count.
+        let err = FedPkd::new(
+            scenario.clone(),
+            vec![spec(DepthTier::T11); 2],
+            spec(DepthTier::T56),
+            fast_config(),
+            0,
+        );
+        assert!(matches!(err, Err(CoreError::ClientSpecMismatch { .. })));
+        // Wrong class count.
+        let bad_spec = ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 5,
+            tier: DepthTier::T11,
+        };
+        let err = FedPkd::new(
+            scenario,
+            vec![bad_spec; 3],
+            spec(DepthTier::T56),
+            fast_config(),
+            0,
+        );
+        assert!(matches!(err, Err(CoreError::ClassCountMismatch { .. })));
+    }
+
+    #[test]
+    fn two_rounds_produce_metrics_and_traffic() {
+        let algo = FedPkd::new(
+            tiny_scenario(2),
+            vec![spec(DepthTier::T11); 3],
+            spec(DepthTier::T20),
+            fast_config(),
+            7,
+        )
+        .unwrap();
+        let result = Runner::new(2).run(algo);
+        assert_eq!(result.history.len(), 2);
+        assert!(result.last().server_accuracy.is_some());
+        assert_eq!(result.last().client_accuracies.len(), 3);
+        assert!(!result.ledger.is_empty());
+        // Uplink and downlink both happen.
+        assert!(result.ledger.direction_bytes(fedpkd_netsim::Direction::Uplink) > 0);
+        assert!(result.ledger.direction_bytes(fedpkd_netsim::Direction::Downlink) > 0);
+    }
+
+    #[test]
+    fn learns_above_chance_quickly() {
+        let algo = FedPkd::new(
+            tiny_scenario(3),
+            vec![spec(DepthTier::T11); 3],
+            spec(DepthTier::T20),
+            fast_config(),
+            11,
+        )
+        .unwrap();
+        let result = Runner::new(3).run(algo);
+        let server = result.best_server_accuracy().unwrap();
+        let client = result.best_client_accuracy();
+        assert!(server > 0.25, "server accuracy {server} vs chance 0.1");
+        assert!(client > 0.3, "client accuracy {client} vs chance 0.1");
+    }
+
+    #[test]
+    fn heterogeneous_client_models_work() {
+        let algo = FedPkd::new(
+            tiny_scenario(4),
+            vec![spec(DepthTier::T11), spec(DepthTier::T20), spec(DepthTier::T29)],
+            spec(DepthTier::T56),
+            fast_config(),
+            13,
+        )
+        .unwrap();
+        let result = Runner::new(2).run(algo);
+        assert!(result.last().server_accuracy.unwrap() > 0.15);
+    }
+
+    #[test]
+    fn prototypes_populate_after_first_round() {
+        let mut algo = FedPkd::new(
+            tiny_scenario(5),
+            vec![spec(DepthTier::T11); 3],
+            spec(DepthTier::T20),
+            fast_config(),
+            17,
+        )
+        .unwrap();
+        assert!(algo.global_prototypes().iter().all(Option::is_none));
+        let mut ledger = CommLedger::new();
+        algo.run_round(0, &mut ledger);
+        let present = algo
+            .global_prototypes()
+            .iter()
+            .filter(|p| p.is_some())
+            .count();
+        assert!(present >= 8, "{present}/10 prototypes after round 0");
+    }
+
+    #[test]
+    fn filter_reduces_downlink_traffic() {
+        // With the filter on, downlink logits cover θ% of the public set; a
+        // filtered run must ship fewer downlink bytes than an unfiltered one.
+        let run = |use_filter: bool| {
+            let cfg = FedPkdConfig {
+                use_filter,
+                theta: 0.5,
+                ..fast_config()
+            };
+            let algo = FedPkd::new(
+                tiny_scenario(6),
+                vec![spec(DepthTier::T11); 3],
+                spec(DepthTier::T20),
+                cfg,
+                19,
+            )
+            .unwrap();
+            Runner::new(1)
+                .run(algo)
+                .ledger
+                .direction_bytes(fedpkd_netsim::Direction::Downlink)
+        };
+        let filtered = run(true);
+        let unfiltered = run(false);
+        assert!(
+            filtered < unfiltered,
+            "filtered {filtered} !< unfiltered {unfiltered}"
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let algo = FedPkd::new(
+                tiny_scenario(7),
+                vec![spec(DepthTier::T11); 3],
+                spec(DepthTier::T20),
+                fast_config(),
+                23,
+            )
+            .unwrap();
+            let result = Runner::new(1).run(algo);
+            (
+                result.last().server_accuracy,
+                result.last().client_accuracies.clone(),
+                result.ledger.total_bytes(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn quantized_knowledge_cuts_traffic_and_still_learns() {
+        let run = |quantize: bool| {
+            let cfg = FedPkdConfig {
+                quantize_knowledge: quantize,
+                ..fast_config()
+            };
+            let algo = FedPkd::new(
+                tiny_scenario(12),
+                vec![spec(DepthTier::T11); 3],
+                spec(DepthTier::T20),
+                cfg,
+                31,
+            )
+            .unwrap();
+            Runner::new(2).run(algo)
+        };
+        let full = run(false);
+        let quantized = run(true);
+        // Logit values shrink 4×; sample-id lists, prototypes, and
+        // selection messages are untouched, so the total drops by less.
+        assert!(
+            (quantized.ledger.total_bytes() as f64) < 0.75 * full.ledger.total_bytes() as f64,
+            "8-bit knowledge should cut traffic: {} vs {}",
+            quantized.ledger.total_bytes(),
+            full.ledger.total_bytes()
+        );
+        // The lossy channel must not destroy learning.
+        let q_acc = quantized.best_server_accuracy().unwrap();
+        assert!(q_acc > 0.15, "quantized accuracy {q_acc}");
+    }
+
+    #[test]
+    fn ablation_switches_change_traffic_shape() {
+        let cfg = FedPkdConfig {
+            use_prototypes: false,
+            ..fast_config()
+        };
+        let algo = FedPkd::new(
+            tiny_scenario(8),
+            vec![spec(DepthTier::T11); 3],
+            spec(DepthTier::T20),
+            cfg,
+            29,
+        )
+        .unwrap();
+        let no_proto = Runner::new(1).run(algo);
+        let algo_full = FedPkd::new(
+            tiny_scenario(8),
+            vec![spec(DepthTier::T11); 3],
+            spec(DepthTier::T20),
+            fast_config(),
+            29,
+        )
+        .unwrap();
+        let full = Runner::new(1).run(algo_full);
+        // Without prototypes no prototype messages are sent.
+        assert!(no_proto.ledger.total_bytes() < full.ledger.total_bytes());
+    }
+}

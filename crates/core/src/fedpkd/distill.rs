@@ -1,0 +1,242 @@
+//! Prototype-based ensemble distillation — server training (Eqs. 11–13).
+
+use fedpkd_rng::Rng;
+use fedpkd_tensor::loss::{CrossEntropy, DistillKl, Mse};
+use fedpkd_tensor::models::ClassifierModel;
+use fedpkd_tensor::nn::Layer;
+use fedpkd_tensor::optim::Optimizer;
+use fedpkd_tensor::Tensor;
+
+/// Trains the server model on the filtered public subset with the combined
+/// objective of Eq. 13:
+/// `F = δ·(KL(S ‖ M) + CE(M, ỹ)) + (1−δ)·MSE(R(x), P^{ỹ})`.
+///
+/// `public_features` / `teacher_probs` / `pseudo_labels` must be row-aligned
+/// (the already-filtered subset). Rows whose pseudo-class has no global
+/// prototype (or when `delta == 1`) skip the prototype term.
+///
+/// # Panics
+///
+/// Panics if row counts disagree or `delta` is outside `[0, 1]`.
+#[allow(clippy::too_many_arguments)]
+pub fn train_server(
+    model: &mut ClassifierModel,
+    public_features: &Tensor,
+    teacher_probs: &Tensor,
+    pseudo_labels: &[usize],
+    global_prototypes: &[Option<Tensor>],
+    delta: f32,
+    temperature: f32,
+    epochs: usize,
+    batch_size: usize,
+    optimizer: &mut dyn Optimizer,
+    rng: &mut Rng,
+) {
+    assert!((0.0..=1.0).contains(&delta), "delta must be in [0, 1]");
+    let n = public_features.rows();
+    assert_eq!(teacher_probs.rows(), n, "teacher rows mismatch");
+    assert_eq!(pseudo_labels.len(), n, "pseudo-label count mismatch");
+    if n == 0 {
+        return;
+    }
+    let kl = DistillKl::new(temperature);
+    let ce = CrossEntropy::new();
+    let mse = Mse::new();
+
+    for _ in 0..epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(batch_size) {
+            let x = public_features.select_rows(chunk).expect("in range");
+            let teacher = teacher_probs.select_rows(chunk).expect("in range");
+            let labels: Vec<usize> = chunk.iter().map(|&i| pseudo_labels[i]).collect();
+
+            let (features, logits) = model.forward_full(&x, true);
+
+            // Distillation term (Eq. 11).
+            let (_, kl_grad) = kl.loss_and_grad(&logits, &teacher);
+            let (_, ce_grad) = ce.loss_and_grad(&logits, &labels);
+            let mut logit_grad = kl_grad;
+            logit_grad.axpy(1.0, &ce_grad).expect("equal shapes");
+            logit_grad.scale_in_place(delta);
+
+            // Prototype term (Eq. 12): pull features toward P^{ỹ}.
+            let feature_grad = if delta < 1.0 {
+                let mut target = features.clone();
+                let mut any = false;
+                for (row, &y) in labels.iter().enumerate() {
+                    if let Some(proto) = global_prototypes.get(y).and_then(Option::as_ref) {
+                        target.row_mut(row).copy_from_slice(proto.as_slice());
+                        any = true;
+                    }
+                }
+                if any {
+                    let (_, mut g) = mse.loss_and_grad(&features, &target);
+                    g.scale_in_place(1.0 - delta);
+                    Some(g)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+
+            model.backward_dual(&logit_grad, feature_grad.as_ref());
+            optimizer.step(model);
+            model.zero_grad();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use fedpkd_data::SyntheticConfig;
+    use fedpkd_tensor::models::build_mlp;
+    use fedpkd_tensor::ops::softmax;
+    use fedpkd_tensor::optim::Adam;
+    use fedpkd_tensor::serialize::param_vector;
+
+    #[test]
+    fn server_learns_from_good_teacher_probs() {
+        let mut rng = Rng::seed_from_u64(1);
+        let ds = SyntheticConfig::cifar10_like().generate(400, &mut rng).unwrap();
+        // "Teacher": one-hot-ish probabilities from the true labels —
+        // upper-bound-quality aggregated knowledge.
+        let n = ds.len();
+        let mut teacher = Tensor::full(&[n, 10], 0.01);
+        for (i, &y) in ds.labels().iter().enumerate() {
+            teacher.row_mut(i)[y] = 0.91;
+        }
+        let pseudo: Vec<usize> = teacher.argmax_rows();
+        let protos: Vec<Option<Tensor>> = vec![None; 10];
+        let mut server = build_mlp(&[32, 64], 10, &mut rng);
+        let mut opt = Adam::new(0.005);
+        let before = eval::accuracy(&mut server, &ds);
+        train_server(
+            &mut server,
+            ds.features(),
+            &teacher,
+            &pseudo,
+            &protos,
+            1.0, // distillation only
+            2.0,
+            15,
+            32,
+            &mut opt,
+            &mut rng,
+        );
+        let after = eval::accuracy(&mut server, &ds);
+        assert!(after > before + 0.3, "{before} → {after}");
+    }
+
+    #[test]
+    fn prototype_term_moves_features_toward_targets() {
+        let mut rng = Rng::seed_from_u64(2);
+        let ds = SyntheticConfig::cifar10_like().generate(100, &mut rng).unwrap();
+        let mut server = build_mlp(&[32, 16], 10, &mut rng);
+        let logits = eval::logits_on(&mut server, &ds);
+        let teacher = softmax(&logits, 1.0);
+        let pseudo = teacher.argmax_rows();
+        // Prototypes: distinct constants per class.
+        let protos: Vec<Option<Tensor>> = (0..10)
+            .map(|c| Some(Tensor::full(&[16], c as f32 * 0.1)))
+            .collect();
+        let mean_dist = |m: &mut ClassifierModel| -> f32 {
+            let f = eval::features_on(m, &ds);
+            (0..f.rows())
+                .map(|r| {
+                    let p = protos[pseudo[r]].as_ref().unwrap();
+                    f.row(r)
+                        .iter()
+                        .zip(p.as_slice())
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>()
+                })
+                .sum::<f32>()
+                / f.rows() as f32
+        };
+        let before = mean_dist(&mut server);
+        let mut opt = Adam::new(0.01);
+        train_server(
+            &mut server,
+            ds.features(),
+            &teacher,
+            &pseudo,
+            &protos,
+            0.0, // prototype term only
+            1.0,
+            20,
+            32,
+            &mut opt,
+            &mut rng,
+        );
+        let after = mean_dist(&mut server);
+        assert!(after < before * 0.7, "{before} → {after}");
+    }
+
+    #[test]
+    fn empty_subset_is_a_noop() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut server = build_mlp(&[4, 8], 3, &mut rng);
+        let before = param_vector(&server);
+        let mut opt = Adam::new(0.01);
+        train_server(
+            &mut server,
+            &Tensor::zeros(&[0, 4]),
+            &Tensor::zeros(&[0, 3]),
+            &[],
+            &[None, None, None],
+            0.5,
+            1.0,
+            5,
+            8,
+            &mut opt,
+            &mut rng,
+        );
+        assert_eq!(param_vector(&server), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in")]
+    fn rejects_bad_delta() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut server = build_mlp(&[2, 4], 2, &mut rng);
+        let mut opt = Adam::new(0.01);
+        train_server(
+            &mut server,
+            &Tensor::zeros(&[1, 2]),
+            &Tensor::zeros(&[1, 2]),
+            &[0],
+            &[None, None],
+            1.5,
+            1.0,
+            1,
+            1,
+            &mut opt,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "pseudo-label count")]
+    fn rejects_misaligned_labels() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut server = build_mlp(&[2, 4], 2, &mut rng);
+        let mut opt = Adam::new(0.01);
+        train_server(
+            &mut server,
+            &Tensor::zeros(&[2, 2]),
+            &Tensor::zeros(&[2, 2]),
+            &[0],
+            &[None, None],
+            0.5,
+            1.0,
+            1,
+            1,
+            &mut opt,
+            &mut rng,
+        );
+    }
+}

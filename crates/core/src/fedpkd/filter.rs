@@ -1,0 +1,178 @@
+//! Prototype-based data filtering (Algorithm 1, Eqs. 9–10).
+
+use fedpkd_tensor::Tensor;
+
+/// Selects the high-quality subset of the public dataset.
+///
+/// For every pseudo-class `n` (labels from Eq. 9), the L2 distance between
+/// each sample's server-side feature embedding and the class's global
+/// prototype is computed (Eq. 10); the `⌈θ·|D_p^n|⌉` closest samples are
+/// kept. Classes without a global prototype keep their `θ` fraction in
+/// index order (no distance signal is available).
+///
+/// Returns the kept public-set indices in ascending order.
+///
+/// # Panics
+///
+/// Panics if `theta` is not in `(0, 1]`, the row counts of
+/// `server_features` and `pseudo_labels` differ, or a pseudo-label indexes
+/// past `global_prototypes`.
+pub fn filter_public(
+    server_features: &Tensor,
+    pseudo_labels: &[usize],
+    global_prototypes: &[Option<Tensor>],
+    theta: f32,
+) -> Vec<usize> {
+    assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
+    assert_eq!(
+        server_features.rows(),
+        pseudo_labels.len(),
+        "one pseudo-label per feature row"
+    );
+
+    let num_classes = global_prototypes.len();
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &y) in pseudo_labels.iter().enumerate() {
+        assert!(y < num_classes, "pseudo-label {y} out of range");
+        by_class[y].push(i);
+    }
+
+    let mut selected = Vec::new();
+    for (class, members) in by_class.into_iter().enumerate() {
+        if members.is_empty() {
+            continue;
+        }
+        let keep = (((members.len() as f32) * theta).ceil() as usize).min(members.len());
+        match &global_prototypes[class] {
+            Some(proto) => {
+                let mut scored: Vec<(usize, f32)> = members
+                    .into_iter()
+                    .map(|i| {
+                        let d: f32 = server_features
+                            .row(i)
+                            .iter()
+                            .zip(proto.as_slice())
+                            .map(|(a, b)| (a - b) * (a - b))
+                            .sum();
+                        (i, d)
+                    })
+                    .collect();
+                scored.sort_by(|a, b| {
+                    a.1.partial_cmp(&b.1)
+                        .expect("distances are finite")
+                        .then(a.0.cmp(&b.0))
+                });
+                selected.extend(scored.into_iter().take(keep).map(|(i, _)| i));
+            }
+            None => {
+                selected.extend(members.into_iter().take(keep));
+            }
+        }
+    }
+    selected.sort_unstable();
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(rows: &[&[f32]]) -> Tensor {
+        Tensor::stack_rows(rows).unwrap()
+    }
+
+    fn proto(values: &[f32]) -> Option<Tensor> {
+        Some(Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap())
+    }
+
+    #[test]
+    fn keeps_closest_samples_per_class() {
+        // Class 0 prototype at the origin; four samples at distances
+        // 1, 2, 3, 4. theta = 0.5 keeps the two closest.
+        let f = features(&[&[1.0, 0.0], &[2.0, 0.0], &[3.0, 0.0], &[4.0, 0.0]]);
+        let labels = vec![0, 0, 0, 0];
+        let protos = vec![proto(&[0.0, 0.0])];
+        let kept = filter_public(&f, &labels, &protos, 0.5);
+        assert_eq!(kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn theta_one_keeps_everything() {
+        let f = features(&[&[1.0], &[5.0], &[2.0]]);
+        let labels = vec![0, 0, 0];
+        let protos = vec![proto(&[0.0])];
+        assert_eq!(filter_public(&f, &labels, &protos, 1.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn filtering_is_per_class() {
+        // Class 0: two samples, class 1: two samples; theta = 0.5 keeps the
+        // best of each class, not the two globally closest.
+        let f = features(&[&[1.0], &[10.0], &[2.0], &[20.0]]);
+        let labels = vec![0, 0, 1, 1];
+        let protos = vec![proto(&[0.0]), proto(&[0.0])];
+        let kept = filter_public(&f, &labels, &protos, 0.5);
+        assert_eq!(kept, vec![0, 2]);
+    }
+
+    #[test]
+    fn keep_count_is_ceil() {
+        // 3 samples at theta = 0.5 → ceil(1.5) = 2 kept.
+        let f = features(&[&[1.0], &[2.0], &[3.0]]);
+        let labels = vec![0, 0, 0];
+        let protos = vec![proto(&[0.0])];
+        assert_eq!(filter_public(&f, &labels, &protos, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn missing_prototype_falls_back_to_index_order() {
+        let f = features(&[&[9.0], &[1.0], &[5.0]]);
+        let labels = vec![0, 0, 0];
+        let protos: Vec<Option<Tensor>> = vec![None];
+        // Keeps the first ceil(3·0.34) = 2 in index order.
+        assert_eq!(filter_public(&f, &labels, &protos, 0.34), vec![0, 1]);
+    }
+
+    #[test]
+    fn permutation_invariance_of_the_kept_set() {
+        // Shuffling sample order must not change *which* samples survive.
+        let rows: Vec<Vec<f32>> = (0..6).map(|i| vec![i as f32 + 0.5]).collect();
+        let labels = vec![0usize; 6];
+        let protos = vec![proto(&[0.0])];
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        let direct = filter_public(&features(&refs), &labels, &protos, 0.5);
+        // Reverse the order; map kept indices back.
+        let rev_refs: Vec<&[f32]> = rows.iter().rev().map(Vec::as_slice).collect();
+        let rev = filter_public(&features(&rev_refs), &labels, &protos, 0.5);
+        let mapped: Vec<usize> = rev.into_iter().map(|i| 5 - i).collect();
+        let mut mapped_sorted = mapped;
+        mapped_sorted.sort_unstable();
+        assert_eq!(direct, mapped_sorted);
+    }
+
+    #[test]
+    fn output_is_sorted_and_unique() {
+        let f = features(&[&[3.0], &[1.0], &[2.0], &[0.5]]);
+        let labels = vec![0, 1, 0, 1];
+        let protos = vec![proto(&[0.0]), proto(&[0.0])];
+        let kept = filter_public(&f, &labels, &protos, 1.0);
+        let mut sorted = kept.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(kept, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta must be in")]
+    fn rejects_zero_theta() {
+        let f = features(&[&[1.0]]);
+        filter_public(&f, &[0], &[proto(&[0.0])], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pseudo-label")]
+    fn rejects_out_of_range_label() {
+        let f = features(&[&[1.0]]);
+        filter_public(&f, &[3], &[proto(&[0.0])], 0.5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Variance-weighted logit aggregation (Eqs. 6–7).
+
+use fedpkd_tensor::ops::{row_variance, softmax};
+use fedpkd_tensor::Tensor;
+
+/// Aggregates per-client public-set logits into a global teacher
+/// distribution.
+///
+/// For each sample, every client's contribution is weighted by the variance
+/// of its output vector (Eq. 7) — the paper's confidence proxy: a confident
+/// prediction has one dominant entry and hence high variance. Both the
+/// variance and the weighted combination (Eq. 6) are computed over the
+/// clients' **softmax probabilities** rather than their raw logits:
+/// independently trained, architecturally heterogeneous models emit logits
+/// at arbitrary scales, so raw-logit variances and sums let
+/// large-magnitude (often confidently wrong, specialized) clients dominate
+/// regardless of relative confidence. On the simplex, variances are
+/// bounded and cross-client comparable, and each output row is a
+/// probability distribution.
+///
+/// When every client has zero variance on a sample (or
+/// `variance_weighting` is disabled) the plain mean of the probabilities is
+/// used.
+///
+/// # Panics
+///
+/// Panics if `client_logits` is empty or the matrices disagree in shape.
+pub fn aggregate_logits(client_logits: &[Tensor], variance_weighting: bool) -> Tensor {
+    let first = client_logits.first().expect("at least one client");
+    let (n, k) = (first.rows(), first.cols());
+    for l in client_logits {
+        assert_eq!(l.shape(), first.shape(), "client logits must align");
+    }
+    let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
+    let mut out = Tensor::zeros(&[n, k]);
+    if !variance_weighting {
+        let w = 1.0 / probs.len() as f32;
+        for p in &probs {
+            out.axpy(w, p).expect("equal shapes");
+        }
+        return out;
+    }
+
+    // Per-client, per-sample confidence = variance of the probability
+    // vector (Eq. 7 on the softmax output).
+    let variances: Vec<Vec<f32>> = probs.iter().map(row_variance).collect();
+    for i in 0..n {
+        let total: f32 = variances.iter().map(|v| v[i]).sum();
+        let row = out.row_mut(i);
+        if total > 0.0 {
+            for (c, p) in probs.iter().enumerate() {
+                let beta = variances[c][i] / total;
+                for (o, &v) in row.iter_mut().zip(p.row(i)) {
+                    *o += beta * v;
+                }
+            }
+        } else {
+            let w = 1.0 / probs.len() as f32;
+            for p in &probs {
+                for (o, &v) in row.iter_mut().zip(p.row(i)) {
+                    *o += w * v;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Pseudo-labels from the aggregated teacher distribution (Eq. 9): the
+/// per-row argmax.
+pub fn pseudo_labels(aggregated: &Tensor) -> Vec<usize> {
+    aggregated.argmax_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn output_rows_are_distributions() {
+        let a = t(&[8.0, 0.0, 0.0, 1.0, 2.0, 3.0], &[2, 3]);
+        let b = t(&[0.0, 0.4, 0.2, -1.0, 0.0, 1.0], &[2, 3]);
+        for weighting in [true, false] {
+            let agg = aggregate_logits(&[a.clone(), b.clone()], weighting);
+            for r in 0..agg.rows() {
+                let sum: f32 = agg.row(r).iter().sum();
+                assert!((sum - 1.0).abs() < 1e-5, "row sums to {sum}");
+                assert!(agg.row(r).iter().all(|&v| v >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn confident_client_dominates() {
+        // Client A is confident on sample 0 (high logit variance), client B
+        // is flat; A's prediction must dominate the aggregate.
+        let a = t(&[8.0, 0.0, 0.0], &[1, 3]);
+        let b = t(&[0.0, 0.4, 0.2], &[1, 3]);
+        let agg = aggregate_logits(&[a, b], true);
+        assert_eq!(pseudo_labels(&agg), vec![0]);
+        assert!(agg.row(0)[0] > 0.9, "aggregate {:?}", agg.row(0));
+    }
+
+    #[test]
+    fn logit_scale_does_not_hijack_the_mixture() {
+        // Client A emits huge-magnitude logits but its *relative* confidence
+        // equals client B's; the mixture must stay a bounded distribution
+        // rather than being dragged to A's scale.
+        let a = t(&[100.0, 0.0], &[1, 2]);
+        let b = t(&[0.0, 1.0], &[1, 2]);
+        let agg = aggregate_logits(&[a, b], true);
+        assert!(agg.row(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!((agg.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_fallback_when_all_variances_zero() {
+        let a = t(&[2.0, 2.0], &[1, 2]);
+        let b = t(&[4.0, 4.0], &[1, 2]);
+        let agg = aggregate_logits(&[a, b], true);
+        // Both clients are flat → mixture of two uniform distributions.
+        assert!((agg.row(0)[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn uniform_mode_is_plain_probability_mean() {
+        let a = t(&[1.0, 3.0], &[1, 2]);
+        let b = t(&[3.0, 5.0], &[1, 2]);
+        let agg = aggregate_logits(&[a.clone(), b.clone()], false);
+        let pa = softmax(&a, 1.0);
+        let pb = softmax(&b, 1.0);
+        let expected = pa.add(&pb).unwrap().scale(0.5);
+        for (x, y) in agg.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn single_client_aggregation_is_its_softmax() {
+        let a = t(&[1.0, -2.0, 0.5, 0.0, 1.0, 2.0], &[2, 3]);
+        let agg = aggregate_logits(&[a.clone()], true);
+        let expected = softmax(&a, 1.0);
+        for (x, y) in agg.as_slice().iter().zip(expected.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn weights_are_per_sample_not_per_client() {
+        // Client A confident on sample 0, client B confident on sample 1:
+        // each should win its own sample.
+        let a = t(&[9.0, 0.0, 0.1, 0.2], &[2, 2]);
+        let b = t(&[0.1, 0.2, 0.0, 9.0], &[2, 2]);
+        let agg = aggregate_logits(&[a, b], true);
+        assert_eq!(pseudo_labels(&agg), vec![0, 1]);
+        assert!(agg.row(0)[0] > 0.9);
+        assert!(agg.row(1)[1] > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one client")]
+    fn empty_input_panics() {
+        let _ = aggregate_logits(&[], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "client logits must align")]
+    fn misaligned_shapes_panic() {
+        let a = t(&[1.0, 2.0], &[1, 2]);
+        let b = t(&[1.0, 2.0, 3.0], &[1, 3]);
+        let _ = aggregate_logits(&[a, b], true);
+    }
+}

@@ -1,0 +1,230 @@
+//! Prototype extraction (Eq. 5) and aggregation (Eq. 8).
+
+use crate::eval;
+use fedpkd_data::Dataset;
+use fedpkd_netsim::PrototypeEntry;
+use fedpkd_tensor::models::ClassifierModel;
+use fedpkd_tensor::Tensor;
+
+/// A class prototype: the mean feature embedding of the class's samples,
+/// together with how many samples were averaged (needed for the
+/// size-weighted aggregation of Eq. 8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prototype {
+    /// Number of samples averaged.
+    pub count: usize,
+    /// Mean feature vector (`[feature_dim]`).
+    pub vector: Tensor,
+}
+
+/// Computes a client's local prototypes (Eq. 5): for each class `j` present
+/// in `dataset`, the mean of the model's feature embeddings over the class's
+/// samples. Absent classes yield `None`.
+pub fn compute_prototypes(
+    model: &mut ClassifierModel,
+    dataset: &Dataset,
+) -> Vec<Option<Prototype>> {
+    let num_classes = dataset.num_classes();
+    let dim = model.feature_dim();
+    let mut sums: Vec<Vec<f64>> = vec![vec![0.0; dim]; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    if !dataset.is_empty() {
+        let features = eval::features_on(model, dataset);
+        for (row, &y) in dataset.labels().iter().enumerate() {
+            counts[y] += 1;
+            for (s, &v) in sums[y].iter_mut().zip(features.row(row)) {
+                *s += v as f64;
+            }
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(sum, count)| {
+            if count == 0 {
+                None
+            } else {
+                let mean: Vec<f32> = sum.into_iter().map(|s| (s / count as f64) as f32).collect();
+                Some(Prototype {
+                    count,
+                    vector: Tensor::from_vec(mean, &[dim]).expect("dim matches"),
+                })
+            }
+        })
+        .collect()
+}
+
+/// Aggregates clients' local prototypes into global prototypes (Eq. 8): for
+/// each class, the sample-count-weighted mean of the prototypes of all
+/// clients holding that class. Classes no client holds yield `None`.
+///
+/// Note: Eq. 8 as printed carries an extra `1/|C_j|` prefactor that would
+/// shrink every prototype by the number of contributing clients; that is
+/// inconsistent with the prototype's role as a feature-space target in
+/// Eqs. 10, 12, and 16 (and with FedProto, which the paper builds on), so —
+/// as in FedProto — the size-weighted mean is used.
+///
+/// # Panics
+///
+/// Panics if clients disagree on the number of classes or prototype widths.
+pub fn aggregate_prototypes(client_prototypes: &[Vec<Option<Prototype>>]) -> Vec<Option<Tensor>> {
+    let Some(first) = client_prototypes.first() else {
+        return Vec::new();
+    };
+    let num_classes = first.len();
+    let mut global = Vec::with_capacity(num_classes);
+    for class in 0..num_classes {
+        let mut weighted_sum: Option<Vec<f64>> = None;
+        let mut total = 0usize;
+        for protos in client_prototypes {
+            assert_eq!(protos.len(), num_classes, "class count mismatch");
+            let Some(p) = &protos[class] else { continue };
+            let sum = weighted_sum.get_or_insert_with(|| vec![0.0; p.vector.len()]);
+            assert_eq!(sum.len(), p.vector.len(), "prototype width mismatch");
+            for (s, &v) in sum.iter_mut().zip(p.vector.as_slice()) {
+                *s += p.count as f64 * v as f64;
+            }
+            total += p.count;
+        }
+        global.push(weighted_sum.map(|sum| {
+            let mean: Vec<f32> = sum
+                .into_iter()
+                .map(|s| (s / total as f64) as f32)
+                .collect();
+            let dim = mean.len();
+            Tensor::from_vec(mean, &[dim]).expect("width is consistent")
+        }));
+    }
+    global
+}
+
+/// Converts local prototypes into wire entries for uplink accounting.
+pub fn to_wire_entries(prototypes: &[Option<Prototype>]) -> Vec<PrototypeEntry> {
+    prototypes
+        .iter()
+        .enumerate()
+        .filter_map(|(class, p)| {
+            p.as_ref().map(|p| PrototypeEntry {
+                class: class as u32,
+                count: p.count as u32,
+                vector: p.vector.as_slice().to_vec(),
+            })
+        })
+        .collect()
+}
+
+/// Converts global prototypes into wire entries for downlink accounting
+/// (count 0 marks a server-side aggregate).
+pub fn global_to_wire_entries(prototypes: &[Option<Tensor>]) -> Vec<PrototypeEntry> {
+    prototypes
+        .iter()
+        .enumerate()
+        .filter_map(|(class, p)| {
+            p.as_ref().map(|v| PrototypeEntry {
+                class: class as u32,
+                count: 0,
+                vector: v.as_slice().to_vec(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_rng::Rng;
+    use fedpkd_tensor::models::build_mlp;
+
+    fn dataset_with_labels(labels: Vec<usize>, num_classes: usize) -> Dataset {
+        let n = labels.len();
+        let mut rng = Rng::seed_from_u64(9);
+        let features = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, &mut rng);
+        Dataset::new(features, labels, num_classes).unwrap()
+    }
+
+    #[test]
+    fn prototypes_cover_present_classes_only() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut model = build_mlp(&[4, 6], 3, &mut rng);
+        let ds = dataset_with_labels(vec![0, 0, 2, 2, 2], 3);
+        let protos = compute_prototypes(&mut model, &ds);
+        assert_eq!(protos.len(), 3);
+        assert_eq!(protos[0].as_ref().unwrap().count, 2);
+        assert!(protos[1].is_none());
+        assert_eq!(protos[2].as_ref().unwrap().count, 3);
+        assert_eq!(protos[0].as_ref().unwrap().vector.shape(), &[6]);
+    }
+
+    #[test]
+    fn prototype_is_mean_of_features() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut model = build_mlp(&[4, 5], 2, &mut rng);
+        let ds = dataset_with_labels(vec![0, 0, 0], 2);
+        let features = eval::features_on(&mut model, &ds);
+        let protos = compute_prototypes(&mut model, &ds);
+        let proto = protos[0].as_ref().unwrap();
+        for j in 0..5 {
+            let mean: f32 = (0..3).map(|r| features.row(r)[j]).sum::<f32>() / 3.0;
+            assert!((proto.vector.as_slice()[j] - mean).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_yields_no_prototypes() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut model = build_mlp(&[4, 5], 2, &mut rng);
+        let ds = Dataset::new(Tensor::zeros(&[0, 4]), vec![], 2).unwrap();
+        let protos = compute_prototypes(&mut model, &ds);
+        assert!(protos.iter().all(Option::is_none));
+    }
+
+    fn proto(count: usize, values: &[f32]) -> Prototype {
+        Prototype {
+            count,
+            vector: Tensor::from_vec(values.to_vec(), &[values.len()]).unwrap(),
+        }
+    }
+
+    #[test]
+    fn aggregation_is_size_weighted_mean() {
+        // Client A: class 0 proto [1, 1] from 3 samples;
+        // Client B: class 0 proto [5, 5] from 1 sample.
+        let a = vec![Some(proto(3, &[1.0, 1.0])), None];
+        let b = vec![Some(proto(1, &[5.0, 5.0])), None];
+        let global = aggregate_prototypes(&[a, b]);
+        let g0 = global[0].as_ref().unwrap();
+        // (3·1 + 1·5) / 4 = 2.
+        assert!((g0.as_slice()[0] - 2.0).abs() < 1e-6);
+        assert!(global[1].is_none());
+    }
+
+    #[test]
+    fn aggregation_handles_disjoint_class_coverage() {
+        // The paper's example: overlapping and non-overlapping classes.
+        let a = vec![Some(proto(2, &[1.0])), Some(proto(2, &[3.0])), None];
+        let b = vec![None, Some(proto(2, &[5.0])), Some(proto(4, &[7.0]))];
+        let global = aggregate_prototypes(&[a, b]);
+        assert!((global[0].as_ref().unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
+        assert!((global[1].as_ref().unwrap().as_slice()[0] - 4.0).abs() < 1e-6);
+        assert!((global[2].as_ref().unwrap().as_slice()[0] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn aggregation_of_nothing_is_empty() {
+        assert!(aggregate_prototypes(&[]).is_empty());
+    }
+
+    #[test]
+    fn wire_entries_skip_missing_classes() {
+        let protos = vec![Some(proto(2, &[1.0, 2.0])), None, Some(proto(1, &[3.0, 4.0]))];
+        let entries = to_wire_entries(&protos);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].class, 0);
+        assert_eq!(entries[0].count, 2);
+        assert_eq!(entries[1].class, 2);
+
+        let global = vec![Some(Tensor::from_vec(vec![1.0], &[1]).unwrap()), None];
+        let g_entries = global_to_wire_entries(&global);
+        assert_eq!(g_entries.len(), 1);
+        assert_eq!(g_entries[0].count, 0);
+    }
+}

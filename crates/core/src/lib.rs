@@ -1,0 +1,54 @@
+//! The FedPKD federated-learning runtime and algorithm.
+//!
+//! This crate implements the paper's primary contribution — **FedPKD**, a
+//! prototype-based knowledge-distillation framework for heterogeneous
+//! federated learning — together with the synchronous round engine that
+//! drives any federated algorithm over a [`fedpkd_data::FederatedScenario`]
+//! while a [`fedpkd_netsim::CommLedger`] accounts every transferred byte.
+//!
+//! FedPKD's four mechanisms (§IV of the paper) map to the [`fedpkd`]
+//! submodules:
+//!
+//! | Mechanism | Module | Paper |
+//! |---|---|---|
+//! | Dual knowledge transfer (logits + prototypes) | [`fedpkd::prototypes`], [`fedpkd::logits`] | Eq. 5 |
+//! | Variance-weighted logit aggregation | [`fedpkd::logits`] | Eqs. 6–7 |
+//! | Prototype aggregation | [`fedpkd::prototypes`] | Eq. 8 |
+//! | Prototype-based data filtering | [`fedpkd::filter`] | Alg. 1, Eqs. 9–10 |
+//! | Prototype-based ensemble distillation | [`fedpkd::distill`] | Eqs. 11–13 |
+//! | Server knowledge transfer | [`fedpkd::algorithm`] | Eqs. 14–16 |
+//!
+//! # Examples
+//!
+//! Run FedPKD for a few rounds on a small scenario:
+//!
+//! ```
+//! use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
+//! use fedpkd_core::runtime::{Federation, Runner};
+//! use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+//! use fedpkd_tensor::models::{DepthTier, ModelSpec};
+//!
+//! let scenario = ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+//!     .clients(3).samples(300).public_size(100).global_test_size(100)
+//!     .partition(Partition::Dirichlet { alpha: 0.5 })
+//!     .seed(1).build()?;
+//! let spec = ModelSpec::ResMlp { input_dim: 32, num_classes: 10, tier: DepthTier::T11 };
+//! let mut cfg = FedPkdConfig::default();
+//! cfg.client_private_epochs = 1;
+//! cfg.client_public_epochs = 1;
+//! cfg.server_epochs = 1;
+//! let algo = FedPkd::new(scenario, vec![spec.clone(); 3], spec, cfg, 7)?;
+//! let result = Runner::new(2).run(algo);
+//! assert_eq!(result.history.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod eval;
+pub mod fedpkd;
+pub mod runtime;
+pub mod train;
+
+pub use runtime::{Federation, RoundMetrics, Runner, RunResult};

@@ -1,0 +1,270 @@
+//! The synchronous federated round engine.
+
+use fedpkd_netsim::CommLedger;
+
+/// Metrics captured after one communication round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundMetrics {
+    /// Zero-based round index.
+    pub round: usize,
+    /// Server-model accuracy on the global test set, if the algorithm
+    /// trains a server model (FedMD and DS-FL do not).
+    pub server_accuracy: Option<f64>,
+    /// Per-client accuracy on each client's local test set.
+    pub client_accuracies: Vec<f64>,
+    /// Cumulative communication bytes through this round.
+    pub cumulative_bytes: usize,
+}
+
+impl RoundMetrics {
+    /// Mean of the per-client accuracies (the paper's `C_acc`), or 0 when
+    /// there are none.
+    pub fn mean_client_accuracy(&self) -> f64 {
+        if self.client_accuracies.is_empty() {
+            0.0
+        } else {
+            self.client_accuracies.iter().sum::<f64>() / self.client_accuracies.len() as f64
+        }
+    }
+}
+
+/// The outcome of a full federated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Per-round metrics, in round order.
+    pub history: Vec<RoundMetrics>,
+    /// Every byte that crossed the simulated network.
+    pub ledger: CommLedger,
+}
+
+impl RunResult {
+    /// The final round's metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run had zero rounds.
+    pub fn last(&self) -> &RoundMetrics {
+        self.history.last().expect("run had at least one round")
+    }
+
+    /// Best server accuracy across rounds, if any round reported one.
+    pub fn best_server_accuracy(&self) -> Option<f64> {
+        self.history
+            .iter()
+            .filter_map(|m| m.server_accuracy)
+            .fold(None, |best, acc| {
+                Some(best.map_or(acc, |b: f64| b.max(acc)))
+            })
+    }
+
+    /// Best mean client accuracy across rounds.
+    pub fn best_client_accuracy(&self) -> f64 {
+        self.history
+            .iter()
+            .map(RoundMetrics::mean_client_accuracy)
+            .fold(0.0, f64::max)
+    }
+
+    /// Cumulative communication bytes at the first round whose *server*
+    /// accuracy reaches `target`, or `None` if it never does.
+    pub fn bytes_to_server_accuracy(&self, target: f64) -> Option<usize> {
+        self.history
+            .iter()
+            .find(|m| m.server_accuracy.is_some_and(|a| a >= target))
+            .map(|m| m.cumulative_bytes)
+    }
+
+    /// Cumulative communication bytes at the first round whose *mean client*
+    /// accuracy reaches `target`, or `None` if it never does.
+    pub fn bytes_to_client_accuracy(&self, target: f64) -> Option<usize> {
+        self.history
+            .iter()
+            .find(|m| m.mean_client_accuracy() >= target)
+            .map(|m| m.cumulative_bytes)
+    }
+}
+
+/// A federated learning algorithm driven round-by-round by the [`Runner`].
+///
+/// Implementations own their scenario, client models, and (optionally)
+/// server model. The engine guarantees `run_round` is called with strictly
+/// increasing round indices starting at 0.
+pub trait Federation {
+    /// A short display name (`"FedPKD"`, `"FedAvg"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Executes one communication round, recording every transfer in
+    /// `ledger`.
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger);
+
+    /// Server-model accuracy on the global test set, or `None` if the
+    /// algorithm has no server model.
+    fn server_accuracy(&mut self) -> Option<f64>;
+
+    /// Per-client accuracy on the clients' local test sets.
+    fn client_accuracies(&mut self) -> Vec<f64>;
+}
+
+/// Drives a [`Federation`] for a fixed number of rounds, evaluating after
+/// each round.
+///
+/// # Examples
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Copy)]
+pub struct Runner {
+    rounds: usize,
+    eval_every: usize,
+}
+
+impl Runner {
+    /// Creates a runner that executes `rounds` rounds and evaluates after
+    /// every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    pub fn new(rounds: usize) -> Self {
+        assert!(rounds > 0, "need at least one round");
+        Self {
+            rounds,
+            eval_every: 1,
+        }
+    }
+
+    /// Evaluate only every `n` rounds (and always after the last). Metrics
+    /// for skipped rounds carry the most recent evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    #[must_use]
+    pub fn eval_every(mut self, n: usize) -> Self {
+        assert!(n > 0, "evaluation period must be positive");
+        self.eval_every = n;
+        self
+    }
+
+    /// Runs the algorithm to completion.
+    pub fn run<F: Federation>(&self, mut algo: F) -> RunResult {
+        let mut ledger = CommLedger::new();
+        let mut history = Vec::with_capacity(self.rounds);
+        let mut last_server = None;
+        let mut last_clients = Vec::new();
+        for round in 0..self.rounds {
+            algo.run_round(round, &mut ledger);
+            let evaluate = round % self.eval_every == 0 || round + 1 == self.rounds;
+            if evaluate {
+                last_server = algo.server_accuracy();
+                last_clients = algo.client_accuracies();
+            }
+            history.push(RoundMetrics {
+                round,
+                server_accuracy: last_server,
+                client_accuracies: last_clients.clone(),
+                cumulative_bytes: ledger.cumulative_bytes_through_round(round),
+            });
+        }
+        RunResult { history, ledger }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_netsim::{Direction, Message};
+
+    /// A fake federation whose accuracy rises linearly and which sends a
+    /// fixed-size message per round.
+    struct FakeFed {
+        acc: f64,
+    }
+
+    impl Federation for FakeFed {
+        fn name(&self) -> &'static str {
+            "Fake"
+        }
+        fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+            self.acc = 0.1 * (round + 1) as f64;
+            ledger.record(
+                round,
+                0,
+                Direction::Uplink,
+                &Message::ModelUpdate {
+                    params: vec![0.0; 25],
+                },
+            );
+        }
+        fn server_accuracy(&mut self) -> Option<f64> {
+            Some(self.acc)
+        }
+        fn client_accuracies(&mut self) -> Vec<f64> {
+            vec![self.acc, self.acc + 0.1]
+        }
+    }
+
+    #[test]
+    fn runner_collects_history_per_round() {
+        let result = Runner::new(5).run(FakeFed { acc: 0.0 });
+        assert_eq!(result.history.len(), 5);
+        assert_eq!(result.last().round, 4);
+        assert!((result.last().server_accuracy.unwrap() - 0.5).abs() < 1e-12);
+        assert!((result.last().mean_client_accuracy() - 0.55).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cumulative_bytes_are_monotone() {
+        let result = Runner::new(4).run(FakeFed { acc: 0.0 });
+        for pair in result.history.windows(2) {
+            assert!(pair[1].cumulative_bytes > pair[0].cumulative_bytes);
+        }
+    }
+
+    #[test]
+    fn bytes_to_accuracy_finds_first_crossing() {
+        let result = Runner::new(10).run(FakeFed { acc: 0.0 });
+        let at_03 = result.bytes_to_server_accuracy(0.3).unwrap();
+        let at_08 = result.bytes_to_server_accuracy(0.8).unwrap();
+        assert!(at_03 < at_08);
+        assert_eq!(result.bytes_to_server_accuracy(2.0), None);
+        assert!(result.bytes_to_client_accuracy(0.3).is_some());
+    }
+
+    #[test]
+    fn best_accuracies() {
+        let result = Runner::new(3).run(FakeFed { acc: 0.0 });
+        assert!((result.best_server_accuracy().unwrap() - 0.3).abs() < 1e-12);
+        assert!((result.best_client_accuracy() - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eval_every_carries_metrics_forward() {
+        let result = Runner::new(5).eval_every(2).run(FakeFed { acc: 0.0 });
+        // Rounds 0, 2, 4 are evaluated; 1 and 3 repeat the previous value.
+        assert_eq!(
+            result.history[1].server_accuracy,
+            result.history[0].server_accuracy
+        );
+        assert_ne!(
+            result.history[2].server_accuracy,
+            result.history[1].server_accuracy
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn zero_rounds_rejected() {
+        let _ = Runner::new(0);
+    }
+
+    #[test]
+    fn mean_client_accuracy_empty_is_zero() {
+        let m = RoundMetrics {
+            round: 0,
+            server_accuracy: None,
+            client_accuracies: vec![],
+            cumulative_bytes: 0,
+        };
+        assert_eq!(m.mean_client_accuracy(), 0.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Shared training loops used by FedPKD and every baseline.
+
+use fedpkd_data::Dataset;
+use fedpkd_rng::Rng;
+use fedpkd_tensor::loss::{CrossEntropy, DistillKl, Mse};
+use fedpkd_tensor::models::ClassifierModel;
+use fedpkd_tensor::nn::Layer;
+use fedpkd_tensor::optim::Optimizer;
+use fedpkd_tensor::Tensor;
+
+/// Plain supervised training on a labeled dataset (Eq. 4).
+///
+/// Runs `epochs` passes of shuffled mini-batch training with cross-entropy.
+pub fn train_supervised(
+    model: &mut ClassifierModel,
+    dataset: &Dataset,
+    epochs: usize,
+    batch_size: usize,
+    optimizer: &mut dyn Optimizer,
+    rng: &mut Rng,
+) {
+    let ce = CrossEntropy::new();
+    for _ in 0..epochs {
+        for batch in dataset.batches(batch_size, rng) {
+            let logits = model.forward_logits(&batch.features, true);
+            let (_, grad) = ce.loss_and_grad(&logits, &batch.labels);
+            model.backward(&grad);
+            optimizer.step(model);
+            model.zero_grad();
+        }
+    }
+}
+
+/// Supervised training regularized toward global prototypes (Eq. 16):
+/// `CE(logits, y) + ε · MSE(features, P^{y})`.
+///
+/// Classes without a global prototype contribute only the CE term.
+pub fn train_supervised_with_prototypes(
+    model: &mut ClassifierModel,
+    dataset: &Dataset,
+    global_prototypes: &[Option<Tensor>],
+    epsilon: f32,
+    epochs: usize,
+    batch_size: usize,
+    optimizer: &mut dyn Optimizer,
+    rng: &mut Rng,
+) {
+    let ce = CrossEntropy::new();
+    let mse = Mse::new();
+    for _ in 0..epochs {
+        for batch in dataset.batches(batch_size, rng) {
+            let (features, logits) = model.forward_full(&batch.features, true);
+            let (_, logit_grad) = ce.loss_and_grad(&logits, &batch.labels);
+
+            // Prototype pull: rows whose class has a global prototype get an
+            // MSE gradient on their feature embedding.
+            let mut target = features.clone();
+            let mut any = false;
+            for (row, &y) in batch.labels.iter().enumerate() {
+                if let Some(proto) = global_prototypes.get(y).and_then(Option::as_ref) {
+                    target.row_mut(row).copy_from_slice(proto.as_slice());
+                    any = true;
+                }
+            }
+            if any && epsilon != 0.0 {
+                let (_, mut fgrad) = mse.loss_and_grad(&features, &target);
+                fgrad.scale_in_place(epsilon);
+                model.backward_dual(&logit_grad, Some(&fgrad));
+            } else {
+                model.backward_dual(&logit_grad, None);
+            }
+            optimizer.step(model);
+            model.zero_grad();
+        }
+    }
+}
+
+/// Knowledge-distillation training on (a subset of) the public dataset
+/// (Eq. 15): `γ · KL(student ‖ teacher) + (1−γ) · CE(student, ỹ)` where the
+/// pseudo-labels `ỹ` are the argmax of the teacher distribution (Eq. 14).
+///
+/// `public_features` rows must align with `teacher_probs` rows.
+///
+/// # Panics
+///
+/// Panics if the row counts of `public_features` and `teacher_probs`
+/// disagree.
+pub fn train_distill(
+    model: &mut ClassifierModel,
+    public_features: &Tensor,
+    teacher_probs: &Tensor,
+    gamma: f32,
+    temperature: f32,
+    epochs: usize,
+    batch_size: usize,
+    optimizer: &mut dyn Optimizer,
+    rng: &mut Rng,
+) {
+    assert_eq!(
+        public_features.rows(),
+        teacher_probs.rows(),
+        "feature/teacher row mismatch"
+    );
+    let n = public_features.rows();
+    if n == 0 {
+        return;
+    }
+    let kl = DistillKl::new(temperature);
+    let pseudo_labels: Vec<usize> = teacher_probs.argmax_rows();
+    let ce = CrossEntropy::new();
+
+    for _ in 0..epochs {
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+        for chunk in order.chunks(batch_size) {
+            let x = public_features
+                .select_rows(chunk)
+                .expect("indices in range");
+            let teacher = teacher_probs.select_rows(chunk).expect("indices in range");
+            let labels: Vec<usize> = chunk.iter().map(|&i| pseudo_labels[i]).collect();
+            let logits = model.forward_logits(&x, true);
+            let (_, kl_grad) = kl.loss_and_grad(&logits, &teacher);
+            let (_, ce_grad) = ce.loss_and_grad(&logits, &labels);
+            let mut grad = kl_grad.scale(gamma);
+            grad.axpy(1.0 - gamma, &ce_grad).expect("equal shapes");
+            model.backward(&grad);
+            optimizer.step(model);
+            model.zero_grad();
+        }
+    }
+}
+
+/// Adds the FedProx proximal gradient `μ · (w − w_ref)` to the accumulated
+/// gradients of `model`. Call between `backward` and the optimizer step.
+///
+/// # Panics
+///
+/// Panics if `reference` does not match the model's parameter count.
+pub fn apply_proximal_term(model: &mut dyn Layer, reference: &[f32], mu: f32) {
+    let expected = model.param_count();
+    assert_eq!(
+        reference.len(),
+        expected,
+        "reference has {} values, model has {expected} parameters",
+        reference.len()
+    );
+    let mut offset = 0usize;
+    model.visit_params_mut(&mut |p| {
+        let len = p.value.len();
+        let values = p.value.as_slice();
+        let grads = p.grad.as_mut_slice();
+        for i in 0..len {
+            grads[i] += mu * (values[i] - reference[offset + i]);
+        }
+        offset += len;
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval;
+    use fedpkd_data::SyntheticConfig;
+    use fedpkd_tensor::models::build_mlp;
+    use fedpkd_tensor::ops::softmax;
+    use fedpkd_tensor::optim::Adam;
+    use fedpkd_tensor::serialize::param_vector;
+
+    fn small_dataset(seed: u64, n: usize) -> Dataset {
+        let mut rng = Rng::seed_from_u64(seed);
+        SyntheticConfig::cifar10_like().generate(n, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn supervised_training_improves_accuracy() {
+        let mut rng = Rng::seed_from_u64(1);
+        let ds = small_dataset(1, 400);
+        let mut model = build_mlp(&[32, 64], 10, &mut rng);
+        let mut opt = Adam::new(0.005);
+        let before = eval::accuracy(&mut model, &ds);
+        train_supervised(&mut model, &ds, 15, 32, &mut opt, &mut rng);
+        let after = eval::accuracy(&mut model, &ds);
+        assert!(after > before + 0.2, "{before} → {after}");
+    }
+
+    #[test]
+    fn prototype_regularized_training_improves_accuracy() {
+        let mut rng = Rng::seed_from_u64(2);
+        let ds = small_dataset(2, 400);
+        let mut model = build_mlp(&[32, 64], 10, &mut rng);
+        let mut opt = Adam::new(0.005);
+        // Prototypes: zero vectors for all classes (pure regularization).
+        let protos: Vec<Option<Tensor>> =
+            (0..10).map(|_| Some(Tensor::zeros(&[64]))).collect();
+        let before = eval::accuracy(&mut model, &ds);
+        train_supervised_with_prototypes(
+            &mut model, &ds, &protos, 0.1, 15, 32, &mut opt, &mut rng,
+        );
+        let after = eval::accuracy(&mut model, &ds);
+        assert!(after > before + 0.2, "{before} → {after}");
+    }
+
+    #[test]
+    fn prototype_training_with_no_prototypes_matches_plain_path() {
+        // With every prototype missing the function must still train.
+        let mut rng = Rng::seed_from_u64(3);
+        let ds = small_dataset(3, 200);
+        let mut model = build_mlp(&[32, 32], 10, &mut rng);
+        let mut opt = Adam::new(0.005);
+        let protos: Vec<Option<Tensor>> = vec![None; 10];
+        train_supervised_with_prototypes(&mut model, &ds, &protos, 0.5, 5, 32, &mut opt, &mut rng);
+        assert!(eval::accuracy(&mut model, &ds) > 0.2);
+    }
+
+    #[test]
+    fn distillation_transfers_teacher_knowledge() {
+        let mut rng = Rng::seed_from_u64(4);
+        let ds = small_dataset(4, 400);
+        // Teacher: train a model supervised.
+        let mut teacher = build_mlp(&[32, 64], 10, &mut rng);
+        let mut t_opt = Adam::new(0.005);
+        train_supervised(&mut teacher, &ds, 15, 32, &mut t_opt, &mut rng);
+        let teacher_logits = eval::logits_on(&mut teacher, &ds);
+        let teacher_probs = softmax(&teacher_logits, 1.0);
+        // Student: fresh model distilled from the teacher, never sees labels.
+        let mut student = build_mlp(&[32, 48], 10, &mut rng);
+        let mut s_opt = Adam::new(0.005);
+        let before = eval::accuracy(&mut student, &ds);
+        train_distill(
+            &mut student,
+            ds.features(),
+            &teacher_probs,
+            0.5,
+            2.0,
+            15,
+            32,
+            &mut s_opt,
+            &mut rng,
+        );
+        let after = eval::accuracy(&mut student, &ds);
+        assert!(after > before + 0.2, "distillation {before} → {after}");
+    }
+
+    #[test]
+    fn distillation_on_empty_subset_is_a_noop() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut model = build_mlp(&[4, 8], 3, &mut rng);
+        let mut opt = Adam::new(0.01);
+        let before = param_vector(&model);
+        train_distill(
+            &mut model,
+            &Tensor::zeros(&[0, 4]),
+            &Tensor::zeros(&[0, 3]),
+            0.5,
+            1.0,
+            3,
+            8,
+            &mut opt,
+            &mut rng,
+        );
+        assert_eq!(param_vector(&model), before);
+    }
+
+    #[test]
+    fn proximal_term_pulls_toward_reference() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut model = build_mlp(&[2, 4], 2, &mut rng);
+        let reference = vec![0.0f32; model.param_count()];
+        // Zero data gradient: apply the prox term alone and step.
+        model.zero_grad();
+        apply_proximal_term(&mut model, &reference, 1.0);
+        let norm_before: f32 = param_vector(&model).iter().map(|v| v * v).sum();
+        let mut opt = fedpkd_tensor::optim::Sgd::new(0.1);
+        opt.step(&mut model);
+        let norm_after: f32 = param_vector(&model).iter().map(|v| v * v).sum();
+        assert!(
+            norm_after < norm_before,
+            "prox toward zero must shrink weights"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "parameters")]
+    fn proximal_term_validates_length() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut model = build_mlp(&[2, 4], 2, &mut rng);
+        apply_proximal_term(&mut model, &[0.0; 3], 0.1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for FedPKD's aggregation and filtering invariants.
+
+use fedpkd_core::fedpkd::filter::filter_public;
+use fedpkd_core::fedpkd::logits::{aggregate_logits, pseudo_labels};
+use fedpkd_core::fedpkd::prototypes::{aggregate_prototypes, Prototype};
+use fedpkd_tensor::Tensor;
+use proptest::prelude::*;
+
+fn arb_logits(clients: usize, n: usize, k: usize) -> impl Strategy<Value = Vec<Tensor>> {
+    prop::collection::vec(
+        prop::collection::vec(-8.0f32..8.0, n * k)
+            .prop_map(move |data| Tensor::from_vec(data, &[n, k]).unwrap()),
+        clients..=clients,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Aggregated knowledge is always a row-stochastic matrix.
+    #[test]
+    fn aggregation_is_row_stochastic(
+        logits in (1usize..5, 1usize..12, 2usize..8)
+            .prop_flat_map(|(c, n, k)| arb_logits(c, n, k)),
+        weighting in any::<bool>(),
+    ) {
+        let agg = aggregate_logits(&logits, weighting);
+        prop_assert!(agg.all_finite());
+        for r in 0..agg.rows() {
+            let sum: f32 = agg.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4, "row {r} sums to {sum}");
+            prop_assert!(agg.row(r).iter().all(|&v| v >= -1e-7));
+        }
+        let labels = pseudo_labels(&agg);
+        prop_assert!(labels.iter().all(|&y| y < agg.cols()));
+    }
+
+    /// Aggregation is invariant to client order.
+    #[test]
+    fn aggregation_is_client_permutation_invariant(
+        logits in (2usize..5, 1usize..10, 2usize..6)
+            .prop_flat_map(|(c, n, k)| arb_logits(c, n, k)),
+    ) {
+        let forward = aggregate_logits(&logits, true);
+        let mut reversed = logits.clone();
+        reversed.reverse();
+        let backward = aggregate_logits(&reversed, true);
+        for (a, b) in forward.as_slice().iter().zip(backward.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// The filter keeps exactly ⌈θ·n_c⌉ samples per pseudo-class and its
+    /// output is sorted, unique, and in range.
+    #[test]
+    fn filter_keeps_exact_counts(
+        n in 1usize..60,
+        k in 1usize..6,
+        theta in 0.05f32..1.0,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = fedpkd_rng::Rng::seed_from_u64(seed);
+        let features = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|_| rng.range_usize(0, k)).collect();
+        let protos: Vec<Option<Tensor>> = (0..k)
+            .map(|_| Some(Tensor::rand_uniform(&[4], -1.0, 1.0, &mut rng)))
+            .collect();
+        let kept = filter_public(&features, &labels, &protos, theta);
+        // Sorted + unique + in range.
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(kept.iter().all(|&i| i < n));
+        // Exact per-class counts.
+        for class in 0..k {
+            let class_n = labels.iter().filter(|&&y| y == class).count();
+            let kept_n = kept.iter().filter(|&&i| labels[i] == class).count();
+            let expect = (((class_n as f32) * theta).ceil() as usize).min(class_n);
+            prop_assert_eq!(kept_n, expect, "class {} of {}", class, k);
+        }
+    }
+
+    /// Filtering with θ = 1 keeps everything.
+    #[test]
+    fn filter_full_theta_is_identity(n in 1usize..40, seed in any::<u64>()) {
+        let mut rng = fedpkd_rng::Rng::seed_from_u64(seed);
+        let features = Tensor::rand_uniform(&[n, 3], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|_| rng.range_usize(0, 3)).collect();
+        let protos: Vec<Option<Tensor>> = (0..3)
+            .map(|_| Some(Tensor::rand_uniform(&[3], -1.0, 1.0, &mut rng)))
+            .collect();
+        let kept = filter_public(&features, &labels, &protos, 1.0);
+        prop_assert_eq!(kept, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Globally aggregated prototypes lie inside the convex hull of the
+    /// client prototypes (coordinate-wise between min and max).
+    #[test]
+    fn prototype_aggregation_stays_in_hull(
+        vectors in prop::collection::vec(
+            prop::collection::vec(-5.0f32..5.0, 4),
+            1..6,
+        ),
+        counts in prop::collection::vec(1u32..50, 6),
+    ) {
+        let clients: Vec<Vec<Option<Prototype>>> = vectors
+            .iter()
+            .zip(&counts)
+            .map(|(v, &c)| {
+                vec![Some(Prototype {
+                    count: c as usize,
+                    vector: Tensor::from_vec(v.clone(), &[4]).unwrap(),
+                })]
+            })
+            .collect();
+        let global = aggregate_prototypes(&clients);
+        let g = global[0].as_ref().unwrap();
+        for dim in 0..4 {
+            let lo = vectors.iter().map(|v| v[dim]).fold(f32::MAX, f32::min);
+            let hi = vectors.iter().map(|v| v[dim]).fold(f32::MIN, f32::max);
+            let x = g.as_slice()[dim];
+            prop_assert!(x >= lo - 1e-4 && x <= hi + 1e-4, "dim {dim}: {x} not in [{lo}, {hi}]");
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type for dataset construction and partitioning.
+
+/// Errors from dataset generation, partitioning, and scenario assembly.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// A configuration parameter was invalid.
+    InvalidConfig(String),
+    /// The requested split needs more samples than the dataset holds.
+    NotEnoughSamples {
+        /// Samples required.
+        required: usize,
+        /// Samples available.
+        available: usize,
+    },
+    /// Labels and features disagree in count.
+    LabelCountMismatch {
+        /// Number of feature rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A label was out of range for the declared class count.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The declared class count.
+        num_classes: usize,
+    },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::NotEnoughSamples {
+                required,
+                available,
+            } => write!(f, "need {required} samples but only {available} available"),
+            Self::LabelCountMismatch { rows, labels } => {
+                write!(f, "{rows} feature rows but {labels} labels")
+            }
+            Self::LabelOutOfRange { label, num_classes } => {
+                write!(f, "label {label} out of range for {num_classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_nonempty() {
+        for e in [
+            DataError::InvalidConfig("x".into()),
+            DataError::NotEnoughSamples {
+                required: 2,
+                available: 1,
+            },
+            DataError::LabelCountMismatch { rows: 1, labels: 2 },
+            DataError::LabelOutOfRange {
+                label: 5,
+                num_classes: 3,
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Non-IID partitioning of a dataset across federated clients.
+
+use crate::DataError;
+use fedpkd_rng::{Dirichlet, Rng};
+
+/// A strategy for splitting sample indices across clients.
+///
+/// These are the three allocation schemes of §V-A of the paper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Partition {
+    /// Uniformly random, equally sized splits.
+    Iid,
+    /// Dirichlet allocation (Hsu et al., 2019): for every class, the class's
+    /// samples are divided across clients with proportions drawn from
+    /// `Dirichlet(alpha)`. Smaller `alpha` ⇒ more skew.
+    Dirichlet {
+        /// Concentration parameter; the paper uses 0.1 and 0.5.
+        alpha: f64,
+    },
+    /// The shards method (as in FedProx/McMahan): label-sorted data is cut
+    /// into fixed-size shards; every client receives `shards_per_client`
+    /// shards drawn only from `classes_per_client` distinct classes
+    /// (the paper's `k`; smaller `k` ⇒ more skew).
+    Shards {
+        /// Samples per shard (the paper uses 20).
+        shard_size: usize,
+        /// Shards dealt to each client (the paper uses 40).
+        shards_per_client: usize,
+        /// Number of distinct classes a client's shards may come from.
+        classes_per_client: usize,
+    },
+}
+
+impl Partition {
+    /// A short identifier for tables and logs, e.g. `dir(0.10)` or
+    /// `shards(k=3)`.
+    pub fn describe(&self) -> String {
+        match self {
+            Self::Iid => "iid".to_string(),
+            Self::Dirichlet { alpha } => format!("dir({alpha:.2})"),
+            Self::Shards {
+                classes_per_client, ..
+            } => format!("shards(k={classes_per_client})"),
+        }
+    }
+}
+
+/// Splits `labels.len()` sample indices into `num_clients` disjoint groups
+/// according to the chosen [`Partition`].
+///
+/// Every returned group is non-empty and the groups are pairwise disjoint;
+/// under [`Partition::Shards`] not all samples need be assigned (shards that
+/// don't fit a client's class budget stay unused, as in the original
+/// protocol).
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidConfig`] for degenerate arguments (zero
+/// clients, non-positive `alpha`, zero shard size, more classes per client
+/// than exist, or fewer samples than clients).
+pub fn partition_indices(
+    labels: &[usize],
+    num_classes: usize,
+    num_clients: usize,
+    strategy: Partition,
+    rng: &mut Rng,
+) -> Result<Vec<Vec<usize>>, DataError> {
+    if num_clients == 0 {
+        return Err(DataError::InvalidConfig("zero clients".into()));
+    }
+    if labels.len() < num_clients {
+        return Err(DataError::NotEnoughSamples {
+            required: num_clients,
+            available: labels.len(),
+        });
+    }
+    let mut parts = match strategy {
+        Partition::Iid => partition_iid(labels.len(), num_clients, rng),
+        Partition::Dirichlet { alpha } => {
+            if !(alpha > 0.0) {
+                return Err(DataError::InvalidConfig("alpha must be positive".into()));
+            }
+            partition_dirichlet(labels, num_classes, num_clients, alpha, rng)
+        }
+        Partition::Shards {
+            shard_size,
+            shards_per_client,
+            classes_per_client,
+        } => {
+            if shard_size == 0 || shards_per_client == 0 {
+                return Err(DataError::InvalidConfig("zero shard size/count".into()));
+            }
+            if classes_per_client == 0 || classes_per_client > num_classes {
+                return Err(DataError::InvalidConfig(format!(
+                    "classes per client must be in 1..={num_classes}"
+                )));
+            }
+            partition_shards(
+                labels,
+                num_classes,
+                num_clients,
+                shard_size,
+                shards_per_client,
+                classes_per_client,
+                rng,
+            )
+        }
+    };
+
+    // Guarantee non-empty parts: steal one index from the largest part for
+    // any empty one (extremely skewed Dirichlet draws can empty a client).
+    loop {
+        let Some(empty) = parts.iter().position(Vec::is_empty) else {
+            break;
+        };
+        let largest = parts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .map(|(i, _)| i)
+            .expect("at least one part exists");
+        if parts[largest].len() <= 1 {
+            return Err(DataError::NotEnoughSamples {
+                required: num_clients,
+                available: labels.len(),
+            });
+        }
+        let moved = parts[largest].pop().expect("largest part is non-empty");
+        parts[empty].push(moved);
+    }
+    Ok(parts)
+}
+
+fn partition_iid(n: usize, num_clients: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    let mut parts = vec![Vec::new(); num_clients];
+    for (i, idx) in order.into_iter().enumerate() {
+        parts[i % num_clients].push(idx);
+    }
+    parts
+}
+
+fn partition_dirichlet(
+    labels: &[usize],
+    num_classes: usize,
+    num_clients: usize,
+    alpha: f64,
+    rng: &mut Rng,
+) -> Vec<Vec<usize>> {
+    let mut parts = vec![Vec::new(); num_clients];
+    // Dirichlet over clients needs >= 2 components; a single client takes
+    // everything.
+    if num_clients == 1 {
+        parts[0] = (0..labels.len()).collect();
+        return parts;
+    }
+    let dir = Dirichlet::symmetric(alpha, num_clients).expect("validated alpha and clients");
+    for class in 0..num_classes {
+        let mut members: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &y)| y == class)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        rng.shuffle(&mut members);
+        let proportions = dir.sample(rng);
+        // Largest-remainder apportionment of the class across clients.
+        let n = members.len();
+        let mut counts: Vec<usize> = proportions
+            .iter()
+            .map(|&p| (p * n as f64).floor() as usize)
+            .collect();
+        let mut assigned: usize = counts.iter().sum();
+        // Distribute the remainder to the clients with the largest
+        // fractional parts.
+        let mut fracs: Vec<(usize, f64)> = proportions
+            .iter()
+            .enumerate()
+            .map(|(c, &p)| (c, p * n as f64 - (p * n as f64).floor()))
+            .collect();
+        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        let mut fi = 0;
+        while assigned < n {
+            counts[fracs[fi % fracs.len()].0] += 1;
+            assigned += 1;
+            fi += 1;
+        }
+        let mut cursor = 0usize;
+        for (client, &count) in counts.iter().enumerate() {
+            parts[client].extend_from_slice(&members[cursor..cursor + count]);
+            cursor += count;
+        }
+    }
+    parts
+}
+
+fn partition_shards(
+    labels: &[usize],
+    num_classes: usize,
+    num_clients: usize,
+    shard_size: usize,
+    shards_per_client: usize,
+    classes_per_client: usize,
+    rng: &mut Rng,
+) -> Vec<Vec<usize>> {
+    // Build per-class shard pools from label-sorted indices.
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); num_classes];
+    for (i, &y) in labels.iter().enumerate() {
+        by_class[y].push(i);
+    }
+    for members in &mut by_class {
+        rng.shuffle(members);
+    }
+    let mut shards_by_class: Vec<Vec<Vec<usize>>> = by_class
+        .iter()
+        .map(|members| {
+            members
+                .chunks(shard_size)
+                .filter(|c| c.len() == shard_size)
+                .map(|c| c.to_vec())
+                .collect()
+        })
+        .collect();
+
+    let mut parts = vec![Vec::new(); num_clients];
+    for (client, part) in parts.iter_mut().enumerate() {
+        // Choose this client's class set: rotate through classes so the
+        // population covers all of them, with a random offset per client.
+        let mut classes: Vec<usize> = (0..classes_per_client)
+            .map(|j| (client * classes_per_client + j) % num_classes)
+            .collect();
+        // Replace classes whose shard pool is exhausted with random
+        // non-empty ones.
+        for slot in classes.iter_mut() {
+            if shards_by_class[*slot].is_empty() {
+                let available: Vec<usize> = (0..num_classes)
+                    .filter(|&c| !shards_by_class[c].is_empty())
+                    .collect();
+                match rng.choose(&available) {
+                    Some(&c) => *slot = c,
+                    None => break,
+                }
+            }
+        }
+        // Deal shards round-robin across the client's classes.
+        let mut dealt = 0usize;
+        let mut ci = 0usize;
+        let mut stuck = 0usize;
+        while dealt < shards_per_client && stuck < classes.len() {
+            let class = classes[ci % classes.len()];
+            ci += 1;
+            if let Some(shard) = shards_by_class[class].pop() {
+                part.extend(shard);
+                dealt += 1;
+                stuck = 0;
+            } else {
+                stuck += 1;
+            }
+        }
+    }
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::label_distribution;
+
+    fn synthetic_labels(n: usize, k: usize, rng: &mut Rng) -> Vec<usize> {
+        let mut labels: Vec<usize> = (0..n).map(|i| i % k).collect();
+        rng.shuffle(&mut labels);
+        labels
+    }
+
+    fn assert_disjoint(parts: &[Vec<usize>], n: usize) {
+        let mut seen = vec![false; n];
+        for part in parts {
+            for &i in part {
+                assert!(!seen[i], "index {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn iid_covers_everything_evenly() {
+        let mut rng = Rng::seed_from_u64(1);
+        let labels = synthetic_labels(100, 10, &mut rng);
+        let parts = partition_indices(&labels, 10, 4, Partition::Iid, &mut rng).unwrap();
+        assert_eq!(parts.len(), 4);
+        assert_disjoint(&parts, 100);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        assert!(parts.iter().all(|p| p.len() == 25));
+    }
+
+    #[test]
+    fn dirichlet_covers_everything() {
+        let mut rng = Rng::seed_from_u64(2);
+        let labels = synthetic_labels(500, 10, &mut rng);
+        let parts = partition_indices(
+            &labels,
+            10,
+            5,
+            Partition::Dirichlet { alpha: 0.5 },
+            &mut rng,
+        )
+        .unwrap();
+        assert_disjoint(&parts, 500);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn smaller_alpha_is_more_skewed() {
+        let mut rng = Rng::seed_from_u64(3);
+        let labels = synthetic_labels(2000, 10, &mut rng);
+        let skew = |alpha: f64, rng: &mut Rng| {
+            let parts =
+                partition_indices(&labels, 10, 10, Partition::Dirichlet { alpha }, rng).unwrap();
+            // Average max class share per client: 1.0 = fully specialized.
+            parts
+                .iter()
+                .map(|p| {
+                    let dist = label_distribution(&labels, p, 10);
+                    dist.into_iter().fold(f64::MIN, f64::max)
+                })
+                .sum::<f64>()
+                / 10.0
+        };
+        let high = skew(0.1, &mut rng);
+        let low = skew(10.0, &mut rng);
+        assert!(high > low + 0.15, "alpha=0.1 skew {high} vs alpha=10 {low}");
+    }
+
+    #[test]
+    fn shards_respects_class_budget() {
+        let mut rng = Rng::seed_from_u64(4);
+        let labels = synthetic_labels(2000, 10, &mut rng);
+        let parts = partition_indices(
+            &labels,
+            10,
+            5,
+            Partition::Shards {
+                shard_size: 20,
+                shards_per_client: 10,
+                classes_per_client: 3,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_disjoint(&parts, 2000);
+        for part in &parts {
+            let classes: std::collections::BTreeSet<usize> =
+                part.iter().map(|&i| labels[i]).collect();
+            assert!(
+                classes.len() <= 3,
+                "client holds {} classes (budget 3)",
+                classes.len()
+            );
+            assert_eq!(part.len(), 200, "10 shards × 20 samples");
+        }
+    }
+
+    #[test]
+    fn shards_larger_k_means_more_diversity() {
+        let mut rng = Rng::seed_from_u64(5);
+        let labels = synthetic_labels(4000, 10, &mut rng);
+        let diversity = |k: usize, rng: &mut Rng| {
+            let parts = partition_indices(
+                &labels,
+                10,
+                5,
+                Partition::Shards {
+                    shard_size: 20,
+                    shards_per_client: 20,
+                    classes_per_client: k,
+                },
+                rng,
+            )
+            .unwrap();
+            parts
+                .iter()
+                .map(|p| {
+                    p.iter()
+                        .map(|&i| labels[i])
+                        .collect::<std::collections::BTreeSet<_>>()
+                        .len()
+                })
+                .sum::<usize>() as f64
+                / 5.0
+        };
+        let k3 = diversity(3, &mut rng);
+        let k5 = diversity(5, &mut rng);
+        assert!(k5 > k3, "k=5 diversity {k5} vs k=3 {k3}");
+    }
+
+    #[test]
+    fn degenerate_configs_are_rejected() {
+        let mut rng = Rng::seed_from_u64(6);
+        let labels = synthetic_labels(100, 10, &mut rng);
+        assert!(partition_indices(&labels, 10, 0, Partition::Iid, &mut rng).is_err());
+        assert!(partition_indices(
+            &labels,
+            10,
+            2,
+            Partition::Dirichlet { alpha: 0.0 },
+            &mut rng
+        )
+        .is_err());
+        assert!(partition_indices(
+            &labels,
+            10,
+            2,
+            Partition::Shards {
+                shard_size: 0,
+                shards_per_client: 1,
+                classes_per_client: 1
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(partition_indices(
+            &labels,
+            10,
+            2,
+            Partition::Shards {
+                shard_size: 10,
+                shards_per_client: 1,
+                classes_per_client: 11
+            },
+            &mut rng
+        )
+        .is_err());
+        assert!(partition_indices(&labels[..1], 10, 2, Partition::Iid, &mut rng).is_err());
+    }
+
+    #[test]
+    fn single_client_takes_all_dirichlet() {
+        let mut rng = Rng::seed_from_u64(7);
+        let labels = synthetic_labels(50, 5, &mut rng);
+        let parts = partition_indices(
+            &labels,
+            5,
+            1,
+            Partition::Dirichlet { alpha: 0.5 },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].len(), 50);
+    }
+
+    #[test]
+    fn no_client_is_empty_even_under_extreme_skew() {
+        let mut rng = Rng::seed_from_u64(8);
+        let labels = synthetic_labels(60, 3, &mut rng);
+        for _ in 0..20 {
+            let parts = partition_indices(
+                &labels,
+                3,
+                6,
+                Partition::Dirichlet { alpha: 0.05 },
+                &mut rng,
+            )
+            .unwrap();
+            assert!(parts.iter().all(|p| !p.is_empty()));
+        }
+    }
+
+    #[test]
+    fn describe_is_stable() {
+        assert_eq!(Partition::Iid.describe(), "iid");
+        assert_eq!(Partition::Dirichlet { alpha: 0.1 }.describe(), "dir(0.10)");
+        assert_eq!(
+            Partition::Shards {
+                shard_size: 20,
+                shards_per_client: 40,
+                classes_per_client: 3
+            }
+            .describe(),
+            "shards(k=3)"
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Link timing model.
+
+/// A point-to-point link characterized by bandwidth and propagation latency.
+///
+/// Used to convert measured byte counts into transfer times, e.g. for
+/// straggler analysis in heterogeneous deployments.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_netsim::LinkModel;
+///
+/// let lte = LinkModel::new(1_250_000.0, 0.05); // 10 Mbit/s, 50 ms RTT leg
+/// let t = lte.transfer_time(1_250_000);
+/// assert!((t - 1.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    bandwidth_bytes_per_sec: f64,
+    latency_sec: f64,
+}
+
+impl LinkModel {
+    /// Creates a link with the given bandwidth (bytes/second) and one-way
+    /// latency (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bandwidth is not positive or the latency is negative.
+    pub fn new(bandwidth_bytes_per_sec: f64, latency_sec: f64) -> Self {
+        assert!(
+            bandwidth_bytes_per_sec > 0.0 && bandwidth_bytes_per_sec.is_finite(),
+            "bandwidth must be positive"
+        );
+        assert!(
+            latency_sec >= 0.0 && latency_sec.is_finite(),
+            "latency must be non-negative"
+        );
+        Self {
+            bandwidth_bytes_per_sec,
+            latency_sec,
+        }
+    }
+
+    /// A 100 Mbit/s, 5 ms link — a reasonable edge/WiFi default.
+    pub fn wifi() -> Self {
+        Self::new(12_500_000.0, 0.005)
+    }
+
+    /// A 10 Mbit/s, 50 ms link — a constrained cellular uplink.
+    pub fn cellular() -> Self {
+        Self::new(1_250_000.0, 0.05)
+    }
+
+    /// Time in seconds to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// The bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.bandwidth_bytes_per_sec
+    }
+
+    /// The one-way latency in seconds.
+    pub fn latency(&self) -> f64 {
+        self.latency_sec
+    }
+
+    /// Synchronous-round completion time: the slowest client gates the round
+    /// (each entry is that client's payload size in bytes).
+    pub fn round_time(&self, payload_bytes: &[usize]) -> f64 {
+        payload_bytes
+            .iter()
+            .map(|&b| self.transfer_time(b))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_serialization() {
+        let link = LinkModel::new(1000.0, 0.1);
+        assert!((link.transfer_time(500) - 0.6).abs() < 1e-12);
+        assert!((link.transfer_time(0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_time_is_straggler_bound() {
+        let link = LinkModel::new(1000.0, 0.0);
+        let t = link.round_time(&[100, 5000, 200]);
+        assert!((t - 5.0).abs() < 1e-12);
+        assert_eq!(link.round_time(&[]), 0.0);
+    }
+
+    #[test]
+    fn presets_are_ordered() {
+        assert!(LinkModel::wifi().bandwidth() > LinkModel::cellular().bandwidth());
+        assert!(LinkModel::wifi().latency() < LinkModel::cellular().latency());
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn rejects_zero_bandwidth() {
+        let _ = LinkModel::new(0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be non-negative")]
+    fn rejects_negative_latency() {
+        let _ = LinkModel::new(1.0, -0.1);
+    }
+}

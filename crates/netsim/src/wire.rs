@@ -1,0 +1,170 @@
+//! Binary wire encoding.
+
+use bytes::{Buf, BufMut};
+
+/// Errors from decoding a wire payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The buffer ended before the value was complete.
+    UnexpectedEof,
+    /// An unknown message tag was encountered.
+    UnknownTag(u8),
+    /// A declared length exceeds sanity limits.
+    LengthOverflow(u64),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnexpectedEof => write!(f, "unexpected end of buffer"),
+            Self::UnknownTag(t) => write!(f, "unknown message tag {t}"),
+            Self::LengthOverflow(n) => write!(f, "declared length {n} exceeds limit"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum element count accepted for any encoded collection (a decode-time
+/// sanity bound against corrupted buffers).
+pub(crate) const MAX_LEN: u64 = 1 << 28;
+
+/// A type with a deterministic, byte-accurate binary encoding.
+///
+/// All quantities crossing the simulated network implement `Wire`; the
+/// communication ledger charges exactly [`encoded_len`](Wire::encoded_len)
+/// bytes per transfer, and `encode`/`decode` round-trip losslessly (verified
+/// by property tests).
+pub trait Wire: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `buf`, advancing it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] if the buffer is truncated or malformed.
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Exact number of bytes [`encode`](Wire::encode) will append.
+    fn encoded_len(&self) -> usize;
+
+    /// Convenience: encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.encoded_len());
+        self.encode(&mut buf);
+        buf
+    }
+}
+
+pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u8())
+}
+
+pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_u32_le())
+}
+
+pub(crate) fn get_f32(buf: &mut &[u8]) -> Result<f32, WireError> {
+    if buf.remaining() < 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok(buf.get_f32_le())
+}
+
+pub(crate) fn get_len(buf: &mut &[u8]) -> Result<usize, WireError> {
+    let n = get_u32(buf)? as u64;
+    if n > MAX_LEN {
+        return Err(WireError::LengthOverflow(n));
+    }
+    Ok(n as usize)
+}
+
+pub(crate) fn put_f32_slice(buf: &mut Vec<u8>, values: &[f32]) {
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+}
+
+pub(crate) fn get_f32_vec(buf: &mut &[u8]) -> Result<Vec<f32>, WireError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n * 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+}
+
+pub(crate) fn put_u32_slice(buf: &mut Vec<u8>, values: &[u32]) {
+    buf.put_u32_le(values.len() as u32);
+    for &v in values {
+        buf.put_u32_le(v);
+    }
+}
+
+pub(crate) fn get_u32_vec(buf: &mut &[u8]) -> Result<Vec<u32>, WireError> {
+    let n = get_len(buf)?;
+    if buf.remaining() < n * 4 {
+        return Err(WireError::UnexpectedEof);
+    }
+    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_slice_round_trip() {
+        let values = vec![1.0f32, -2.5, f32::MAX, 0.0];
+        let mut buf = Vec::new();
+        put_f32_slice(&mut buf, &values);
+        let mut slice = buf.as_slice();
+        let decoded = get_f32_vec(&mut slice).unwrap();
+        assert_eq!(decoded, values);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn u32_slice_round_trip() {
+        let values = vec![0u32, 7, u32::MAX];
+        let mut buf = Vec::new();
+        put_u32_slice(&mut buf, &values);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_u32_vec(&mut slice).unwrap(), values);
+    }
+
+    #[test]
+    fn truncated_buffer_is_an_error() {
+        let mut buf = Vec::new();
+        put_f32_slice(&mut buf, &[1.0, 2.0]);
+        buf.truncate(buf.len() - 1);
+        let mut slice = buf.as_slice();
+        assert_eq!(get_f32_vec(&mut slice), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn absurd_length_is_rejected() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(u32::MAX);
+        let mut slice = buf.as_slice();
+        assert!(matches!(
+            get_f32_vec(&mut slice),
+            Err(WireError::LengthOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!WireError::UnexpectedEof.to_string().is_empty());
+        assert!(!WireError::UnknownTag(9).to_string().is_empty());
+        assert!(!WireError::LengthOverflow(1).to_string().is_empty());
+    }
+}

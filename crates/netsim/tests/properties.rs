@@ -1,0 +1,90 @@
+//! Property-based tests: the wire codec round-trips arbitrary messages and
+//! `encoded_len` always matches the real encoding.
+
+use fedpkd_netsim::{Message, PrototypeEntry, Wire};
+use proptest::prelude::*;
+
+fn arb_prototype_entry() -> impl Strategy<Value = PrototypeEntry> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec(-1e6f32..1e6, 0..64),
+    )
+        .prop_map(|(class, count, vector)| PrototypeEntry {
+            class,
+            count,
+            vector,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        prop::collection::vec(-1e6f32..1e6, 0..256)
+            .prop_map(|params| Message::ModelUpdate { params }),
+        (
+            prop::collection::vec(any::<u32>(), 0..64),
+            1u32..200,
+            prop::collection::vec(-1e3f32..1e3, 0..128),
+        )
+            .prop_map(|(sample_ids, num_classes, values)| Message::Logits {
+                sample_ids,
+                num_classes,
+                values,
+            }),
+        prop::collection::vec(arb_prototype_entry(), 0..8)
+            .prop_map(|entries| Message::Prototypes { entries }),
+        prop::collection::vec(any::<u32>(), 0..128)
+            .prop_map(|ids| Message::SampleSelection { ids }),
+    ]
+}
+
+proptest! {
+    /// Encode → decode is the identity, consumes the whole buffer, and
+    /// `encoded_len` predicts the byte count exactly.
+    #[test]
+    fn round_trip(msg in arb_message()) {
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(bytes.len(), msg.encoded_len());
+        let mut slice = bytes.as_slice();
+        let decoded = Message::decode(&mut slice).unwrap();
+        prop_assert_eq!(decoded, msg);
+        prop_assert!(slice.is_empty());
+    }
+
+    /// Truncating any encoding produces a decode error, never a panic or a
+    /// silently wrong value.
+    #[test]
+    fn truncation_is_detected(msg in arb_message(), cut in 1usize..64) {
+        let bytes = msg.to_bytes();
+        prop_assume!(cut < bytes.len());
+        let truncated = &bytes[..bytes.len() - cut];
+        let mut slice = truncated;
+        // Either a clean error, or (for container messages) a shorter valid
+        // prefix decode that cannot equal the original.
+        match Message::decode(&mut slice) {
+            Err(_) => {}
+            Ok(decoded) => prop_assert_ne!(decoded, msg),
+        }
+    }
+
+    /// Two messages concatenated decode back as two messages (framing is
+    /// self-delimiting).
+    #[test]
+    fn sequential_framing(a in arb_message(), b in arb_message()) {
+        let mut buf = a.to_bytes();
+        buf.extend(b.to_bytes());
+        let mut slice = buf.as_slice();
+        let da = Message::decode(&mut slice).unwrap();
+        let db = Message::decode(&mut slice).unwrap();
+        prop_assert_eq!(da, a);
+        prop_assert_eq!(db, b);
+        prop_assert!(slice.is_empty());
+    }
+
+    /// Garbage bytes never panic the decoder.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let mut slice = bytes.as_slice();
+        let _ = Message::decode(&mut slice);
+    }
+}

@@ -1,0 +1,66 @@
+//! Deterministic pseudo-random number generation for the FedPKD stack.
+//!
+//! Every stochastic component of the reproduction — synthetic data
+//! generation, non-IID partitioning, weight initialization, mini-batch
+//! shuffling — draws from this crate so that a single `u64` seed fully
+//! determines an experiment, bit-for-bit, on every platform.
+//!
+//! The generator is [Xoshiro256++](https://prng.di.unimi.it/), seeded through
+//! SplitMix64 as its authors recommend. On top of it the crate provides the
+//! sampling routines the federated-learning simulation needs: uniform ranges,
+//! Gaussians (Box–Muller), Gamma (Marsaglia–Tsang), Dirichlet (normalized
+//! Gammas), categorical sampling, shuffling, and subset sampling.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedpkd_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let coin = rng.next_f64();
+//! assert!((0.0..1.0).contains(&coin));
+//!
+//! // Deterministic: the same seed always yields the same stream.
+//! let mut again = Rng::seed_from_u64(42);
+//! assert_eq!(again.next_f64(), coin);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod distributions;
+mod sampling;
+mod splitmix;
+mod xoshiro;
+
+pub use distributions::{Bernoulli, Categorical, Dirichlet, Gamma, Normal};
+pub use sampling::{reservoir_sample, sample_indices};
+pub use splitmix::SplitMix64;
+pub use xoshiro::Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_determinism_across_constructions() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(7);
+            (0..16).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+}

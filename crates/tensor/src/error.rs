@@ -1,0 +1,115 @@
+//! Error types for tensor operations.
+
+/// Errors produced by fallible tensor constructors and operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The element count implied by the shape does not match the data length.
+    ShapeDataMismatch {
+        /// Number of elements the shape implies.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two tensors that must agree in shape do not.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// The operation requires a different dimensionality.
+    RankMismatch {
+        /// Rank the operation requires.
+        expected: usize,
+        /// Rank of the tensor given.
+        actual: usize,
+    },
+    /// Inner dimensions are incompatible for matrix multiplication.
+    MatmulDimMismatch {
+        /// Columns of the left matrix.
+        left_cols: usize,
+        /// Rows of the right matrix.
+        right_rows: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The bound it violated.
+        bound: usize,
+    },
+    /// A parameter blob had the wrong length when loading model weights.
+    ParamLengthMismatch {
+        /// Number of parameters the model holds.
+        expected: usize,
+        /// Number of values provided.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShapeDataMismatch { expected, actual } => {
+                write!(f, "shape implies {expected} elements but {actual} were given")
+            }
+            Self::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            Self::RankMismatch { expected, actual } => {
+                write!(f, "expected rank {expected}, got rank {actual}")
+            }
+            Self::MatmulDimMismatch {
+                left_cols,
+                right_rows,
+            } => write!(
+                f,
+                "matmul inner dimensions differ: {left_cols} vs {right_rows}"
+            ),
+            Self::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for size {bound}")
+            }
+            Self::ParamLengthMismatch { expected, actual } => {
+                write!(f, "model has {expected} parameters but {actual} values were given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<TensorError> = vec![
+            TensorError::ShapeDataMismatch {
+                expected: 4,
+                actual: 3,
+            },
+            TensorError::ShapeMismatch {
+                left: vec![2, 2],
+                right: vec![3],
+            },
+            TensorError::RankMismatch {
+                expected: 2,
+                actual: 1,
+            },
+            TensorError::MatmulDimMismatch {
+                left_cols: 3,
+                right_rows: 4,
+            },
+            TensorError::IndexOutOfBounds { index: 9, bound: 3 },
+            TensorError::ParamLengthMismatch {
+                expected: 10,
+                actual: 2,
+            },
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Classification metrics.
+
+use crate::Tensor;
+
+/// Fraction of rows whose argmax matches the label.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of logit rows.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_tensor::{metrics, Tensor};
+///
+/// let logits = Tensor::from_vec(vec![2.0, 0.0, 0.0, 3.0], &[2, 2])?;
+/// assert_eq!(metrics::accuracy(&logits, &[0, 1]), 1.0);
+/// # Ok::<(), fedpkd_tensor::TensorError>(())
+/// ```
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
+    assert_eq!(logits.rows(), labels.len(), "one label per row required");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = preds
+        .iter()
+        .zip(labels)
+        .filter(|(p, y)| p == y)
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Per-class accuracy: element `j` is the accuracy over samples whose true
+/// label is `j`, or `NaN` when the class has no samples.
+///
+/// # Panics
+///
+/// Panics if `labels.len()` differs from the number of rows or any label is
+/// `>= num_classes`.
+pub fn per_class_accuracy(logits: &Tensor, labels: &[usize], num_classes: usize) -> Vec<f64> {
+    assert_eq!(logits.rows(), labels.len(), "one label per row required");
+    let preds = logits.argmax_rows();
+    let mut correct = vec![0usize; num_classes];
+    let mut total = vec![0usize; num_classes];
+    for (&p, &y) in preds.iter().zip(labels) {
+        assert!(y < num_classes, "label {y} out of range");
+        total[y] += 1;
+        if p == y {
+            correct[y] += 1;
+        }
+    }
+    correct
+        .into_iter()
+        .zip(total)
+        .map(|(c, t)| if t == 0 { f64::NAN } else { c as f64 / t as f64 })
+        .collect()
+}
+
+/// A confusion matrix over `num_classes` classes.
+///
+/// Entry `(i, j)` counts samples with true label `i` predicted as `j`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<usize>,
+    num_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0`.
+    pub fn new(num_classes: usize) -> Self {
+        assert!(num_classes > 0, "need at least one class");
+        Self {
+            counts: vec![0; num_classes * num_classes],
+            num_classes,
+        }
+    }
+
+    /// Records a batch of predictions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if label counts mismatch or a label/prediction is out of range.
+    pub fn record(&mut self, logits: &Tensor, labels: &[usize]) {
+        assert_eq!(logits.rows(), labels.len(), "one label per row required");
+        for (p, &y) in logits.argmax_rows().into_iter().zip(labels) {
+            assert!(y < self.num_classes && p < self.num_classes, "out of range");
+            self.counts[y * self.num_classes + p] += 1;
+        }
+    }
+
+    /// Count of samples with true label `actual` predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual * self.num_classes + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass). Zero if nothing was recorded.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.num_classes).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = t(&[1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn accuracy_empty_is_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]), 0.0);
+    }
+
+    #[test]
+    fn per_class_accuracy_splits_by_label() {
+        // Class 0 predicted right once of twice; class 1 right always.
+        let logits = t(&[1., 0., 0., 1., 0., 1.], &[3, 2]);
+        let pca = per_class_accuracy(&logits, &[0, 0, 1], 2);
+        assert!((pca[0] - 0.5).abs() < 1e-9);
+        assert!((pca[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_class_accuracy_nan_for_absent_class() {
+        let logits = t(&[1., 0.], &[1, 2]);
+        let pca = per_class_accuracy(&logits, &[0], 2);
+        assert!(pca[1].is_nan());
+    }
+
+    #[test]
+    fn confusion_matrix_records_and_scores() {
+        let mut cm = ConfusionMatrix::new(2);
+        let logits = t(&[1., 0., 0., 1., 1., 0.], &[3, 2]);
+        cm.record(&logits, &[0, 1, 1]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 1), 1);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.total(), 3);
+        assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(cm.num_classes(), 2);
+    }
+
+    #[test]
+    fn empty_confusion_matrix_accuracy_is_zero() {
+        assert_eq!(ConfusionMatrix::new(3).accuracy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn accuracy_validates_lengths() {
+        accuracy(&Tensor::zeros(&[2, 2]), &[0]);
+    }
+}

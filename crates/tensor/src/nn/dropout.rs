@@ -1,0 +1,139 @@
+//! Inverted dropout.
+
+use super::{Layer, Param};
+use crate::Tensor;
+use fedpkd_rng::Rng;
+
+/// Inverted dropout: during training each activation is zeroed with
+/// probability `p` and survivors are scaled by `1/(1-p)`, so evaluation mode
+/// is a no-op.
+///
+/// The layer owns its generator (seeded at construction) so that training
+/// remains deterministic under a fixed experiment seed.
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    cached_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "drop probability must be in [0,1)");
+        Self {
+            p,
+            rng: Rng::seed_from_u64(seed),
+            cached_mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.p
+    }
+}
+
+impl std::fmt::Debug for Dropout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dropout").field("p", &self.p).finish()
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.cached_mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mut mask = Tensor::zeros(input.shape());
+        for m in mask.as_mut_slice() {
+            *m = if self.rng.next_f32() < keep { scale } else { 0.0 };
+        }
+        let out = input.mul(&mask).expect("mask matches input shape");
+        self.cached_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.cached_mask {
+            Some(mask) => grad_out.mul(mask).expect("dropout backward shape"),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]).unwrap();
+        assert_eq!(d.forward(&x, false), x);
+    }
+
+    #[test]
+    fn zero_probability_is_identity_even_in_training() {
+        let mut d = Dropout::new(0.0, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        assert_eq!(d.forward(&x, true), x);
+    }
+
+    #[test]
+    fn expected_value_is_preserved() {
+        let mut d = Dropout::new(0.3, 7);
+        let x = Tensor::full(&[100, 100], 1.0);
+        let y = d.forward(&x, true);
+        // Inverted dropout keeps the expectation: mean should stay near 1.
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn survivors_are_scaled() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::full(&[1, 1000], 1.0);
+        let y = d.forward(&x, true);
+        for &v in y.as_slice() {
+            assert!(v == 0.0 || (v - 2.0).abs() < 1e-6, "unexpected value {v}");
+        }
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut d = Dropout::new(0.5, 5);
+        let x = Tensor::full(&[1, 64], 1.0);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::full(&[1, 64], 1.0));
+        // Gradient must be zero exactly where the forward output was zeroed.
+        for (o, gr) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*o == 0.0, *gr == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability")]
+    fn rejects_probability_one() {
+        let _ = Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let run = || {
+            let mut d = Dropout::new(0.5, 42);
+            let x = Tensor::full(&[1, 32], 1.0);
+            d.forward(&x, true).into_vec()
+        };
+        assert_eq!(run(), run());
+    }
+}

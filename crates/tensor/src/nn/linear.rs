@@ -1,0 +1,192 @@
+//! Fully connected layer.
+
+use super::{Layer, Param};
+use crate::Tensor;
+use fedpkd_rng::Rng;
+
+/// A fully connected (affine) layer: `y = x W + b`.
+///
+/// Weights are stored `[in_features, out_features]` and initialized with
+/// He-uniform scaling, which suits the ReLU family used throughout the
+/// models.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_rng::Rng;
+/// use fedpkd_tensor::nn::{Layer, Linear};
+/// use fedpkd_tensor::Tensor;
+///
+/// let mut rng = Rng::seed_from_u64(0);
+/// let mut fc = Linear::new(8, 4, &mut rng);
+/// let y = fc.forward(&Tensor::zeros(&[2, 8]), false);
+/// assert_eq!(y.shape(), &[2, 4]);
+/// assert_eq!(fc.param_count(), 8 * 4 + 4);
+/// ```
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a layer mapping `in_features` to `out_features`, with
+    /// He-uniform initialized weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        assert!(in_features > 0 && out_features > 0, "zero-sized Linear");
+        let bound = (6.0 / in_features as f32).sqrt();
+        let weight = Tensor::rand_uniform(&[in_features, out_features], -bound, bound, rng);
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(&[out_features])),
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output width.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl std::fmt::Debug for Linear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Linear")
+            .field("in", &self.in_features)
+            .field("out", &self.out_features)
+            .finish()
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        debug_assert_eq!(input.cols(), self.in_features, "input width mismatch");
+        let mut out = input
+            .matmul(&self.weight.value)
+            .expect("linear forward: shape mismatch");
+        let bias = self.bias.value.as_slice();
+        for r in 0..out.rows() {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dW = xᵀ · g ; db = column sums of g ; dx = g · Wᵀ
+        let x_t = input.transpose().expect("cached input is rank 2");
+        let dw = x_t.matmul(grad_out).expect("dW shape");
+        self.weight.grad.axpy(1.0, &dw).expect("dW accumulate");
+        let db = grad_out.sum_rows();
+        self.bias.grad.axpy(1.0, &db).expect("db accumulate");
+        let w_t = self.weight.value.transpose().expect("weight is rank 2");
+        grad_out.matmul(&w_t).expect("dx shape")
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        f(&self.weight);
+        f(&self.bias);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nn::gradcheck;
+
+    #[test]
+    fn forward_applies_affine_map() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut fc = Linear::new(2, 2, &mut rng);
+        // Overwrite with a known transform: W = [[1,2],[3,4]], b = [10, 20].
+        fc.visit_params_mut(&mut |p| {
+            let vals: &[f32] = if p.value.len() == 4 {
+                &[1., 2., 3., 4.]
+            } else {
+                &[10., 20.]
+            };
+            p.value.as_mut_slice().copy_from_slice(vals);
+        });
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = fc.forward(&x, false);
+        assert_eq!(y.as_slice(), &[1. + 3. + 10., 2. + 4. + 20.]);
+    }
+
+    #[test]
+    fn gradient_check_input_and_params() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut fc = Linear::new(4, 3, &mut rng);
+        let x = Tensor::rand_uniform(&[5, 4], -1.0, 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut fc, &x, 1e-2);
+        gradcheck::check_param_grad(&mut fc, &x, 1e-2);
+    }
+
+    #[test]
+    fn init_scale_tracks_fan_in() {
+        let mut rng = Rng::seed_from_u64(3);
+        let wide = Linear::new(1000, 4, &mut rng);
+        let mut max_abs = 0.0f32;
+        wide.visit_params(&mut |p| {
+            if p.value.len() > 4 {
+                max_abs = p.value.as_slice().iter().fold(0.0, |m, v| m.max(v.abs()));
+            }
+        });
+        assert!(max_abs <= (6.0f32 / 1000.0).sqrt() + 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized Linear")]
+    fn zero_width_panics() {
+        let mut rng = Rng::seed_from_u64(4);
+        let _ = Linear::new(0, 3, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_before_forward_panics() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut fc = Linear::new(2, 2, &mut rng);
+        fc.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn bias_gradient_is_column_sum() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut fc = Linear::new(2, 3, &mut rng);
+        let x = Tensor::zeros(&[4, 2]);
+        fc.forward(&x, true);
+        let g = Tensor::full(&[4, 3], 1.0);
+        fc.backward(&g);
+        let mut bias_grad = Vec::new();
+        fc.visit_params(&mut |p| {
+            if p.value.len() == 3 {
+                bias_grad = p.grad.as_slice().to_vec();
+            }
+        });
+        assert_eq!(bias_grad, vec![4.0, 4.0, 4.0]);
+    }
+}

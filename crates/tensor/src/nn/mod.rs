@@ -1,0 +1,525 @@
+//! Neural-network layers with explicit forward/backward passes.
+//!
+//! The [`Layer`] trait is the backbone of the training stack: each layer
+//! caches what it needs during [`Layer::forward`] and produces input
+//! gradients (while accumulating parameter gradients) in
+//! [`Layer::backward`]. Containers ([`Sequential`], [`Residual`]) compose
+//! layers into networks.
+
+mod activations;
+mod batchnorm;
+mod conv;
+mod dropout;
+mod linear;
+mod pool;
+
+pub use activations::{LeakyRelu, Relu, Tanh};
+pub use batchnorm::BatchNorm1d;
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use linear::Linear;
+pub use pool::{AvgPool2d, Flatten, GlobalAvgPool2d};
+
+use crate::Tensor;
+
+/// A trainable parameter: a value tensor plus its accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps a value tensor with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Self { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad = Tensor::zeros(self.value.shape());
+    }
+}
+
+/// A differentiable network layer.
+///
+/// The contract: call [`forward`](Layer::forward) on a batch, then
+/// [`backward`](Layer::backward) with the gradient of the loss with respect
+/// to the forward output. `backward` accumulates gradients into the layer's
+/// [`Param`]s (so multiple backward passes sum) and returns the gradient with
+/// respect to the forward input. Call [`zero_grad`](Layer::zero_grad)
+/// between optimizer steps.
+///
+/// Layers are `Send` so simulated clients can train on worker threads.
+pub trait Layer: Send {
+    /// Runs the layer on `input`. `train` selects training-time behaviour
+    /// (dropout active, batch-norm batch statistics).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagates `grad_out` (gradient w.r.t. the last forward output),
+    /// accumulating parameter gradients and returning the gradient w.r.t.
+    /// the last forward input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward` or with a
+    /// gradient whose shape does not match the last forward output.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Visits every trainable parameter mutably, in a stable order.
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Visits every trainable parameter immutably, in the same stable order
+    /// as [`visit_params_mut`](Layer::visit_params_mut).
+    fn visit_params(&self, f: &mut dyn FnMut(&Param));
+
+    /// Total number of scalar parameters.
+    fn param_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_params(&mut |p| n += p.value.len());
+        n
+    }
+
+    /// Visits every non-trainable state buffer immutably, in a stable
+    /// order (e.g. batch-norm running statistics). Buffers are part of a
+    /// model's transferable state — parameter-averaging FL algorithms must
+    /// ship and aggregate them alongside the parameters — but are not
+    /// touched by optimizers.
+    fn visit_buffers(&self, _f: &mut dyn FnMut(&[f32])) {}
+
+    /// Visits every non-trainable state buffer mutably, in the same stable
+    /// order as [`visit_buffers`](Layer::visit_buffers).
+    fn visit_buffers_mut(&mut self, _f: &mut dyn FnMut(&mut [f32])) {}
+
+    /// Total number of scalars in non-trainable state buffers.
+    fn buffer_count(&self) -> usize {
+        let mut n = 0;
+        self.visit_buffers(&mut |b| n += b.len());
+        n
+    }
+
+    /// Zeroes all accumulated gradients.
+    fn zero_grad(&mut self) {
+        self.visit_params_mut(&mut |p| p.zero_grad());
+    }
+}
+
+/// A layer that passes its input through unchanged.
+///
+/// Useful as the skip path of a [`Residual`] block when no projection is
+/// needed.
+#[derive(Debug, Default)]
+pub struct Identity;
+
+impl Identity {
+    /// Creates an identity layer.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Layer for Identity {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        input.clone()
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        grad_out.clone()
+    }
+
+    fn visit_params_mut(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn visit_params(&self, _f: &mut dyn FnMut(&Param)) {}
+}
+
+/// A container that applies layers in order.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_rng::Rng;
+/// use fedpkd_tensor::nn::{Layer, Linear, Relu, Sequential};
+/// use fedpkd_tensor::Tensor;
+///
+/// let mut rng = Rng::seed_from_u64(1);
+/// let mut net = Sequential::new(vec![
+///     Box::new(Linear::new(4, 8, &mut rng)),
+///     Box::new(Relu::new()),
+///     Box::new(Linear::new(8, 3, &mut rng)),
+/// ]);
+/// let x = Tensor::zeros(&[2, 4]);
+/// let y = net.forward(&x, false);
+/// assert_eq!(y.shape(), &[2, 3]);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a sequential container from an ordered list of layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    /// Creates an empty container (the identity function).
+    pub fn empty() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) -> &mut Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of child layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the container has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sequential")
+            .field("layers", &self.layers.len())
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params_mut(f);
+        }
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        for layer in &self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn visit_buffers(&self, f: &mut dyn FnMut(&[f32])) {
+        for layer in &self.layers {
+            layer.visit_buffers(f);
+        }
+    }
+
+    fn visit_buffers_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_buffers_mut(f);
+        }
+    }
+}
+
+/// A residual block: `output = body(x) + skip(x)`.
+///
+/// When the body preserves the feature width the skip path is the identity;
+/// otherwise pass a projection layer (typically [`Linear`] or 1×1
+/// [`Conv2d`]).
+pub struct Residual {
+    body: Box<dyn Layer>,
+    skip: Box<dyn Layer>,
+}
+
+impl Residual {
+    /// Creates a residual block with an identity skip connection.
+    pub fn new(body: Box<dyn Layer>) -> Self {
+        Self {
+            body,
+            skip: Box::new(Identity::new()),
+        }
+    }
+
+    /// Creates a residual block with an explicit projection on the skip path.
+    pub fn with_projection(body: Box<dyn Layer>, skip: Box<dyn Layer>) -> Self {
+        Self { body, skip }
+    }
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Residual")
+            .field("params", &self.param_count())
+            .finish()
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let main = self.body.forward(input, train);
+        let shortcut = self.skip.forward(input, train);
+        main.add(&shortcut)
+            .expect("residual body and skip must produce equal shapes")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let g_body = self.body.backward(grad_out);
+        let g_skip = self.skip.backward(grad_out);
+        g_body
+            .add(&g_skip)
+            .expect("residual input gradients must agree in shape")
+    }
+
+    fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.body.visit_params_mut(f);
+        self.skip.visit_params_mut(f);
+    }
+
+    fn visit_params(&self, f: &mut dyn FnMut(&Param)) {
+        self.body.visit_params(f);
+        self.skip.visit_params(f);
+    }
+
+    fn visit_buffers(&self, f: &mut dyn FnMut(&[f32])) {
+        self.body.visit_buffers(f);
+        self.skip.visit_buffers(f);
+    }
+
+    fn visit_buffers_mut(&mut self, f: &mut dyn FnMut(&mut [f32])) {
+        self.body.visit_buffers_mut(f);
+        self.skip.visit_buffers_mut(f);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod gradcheck {
+    //! Finite-difference gradient checking shared by the layer tests.
+
+    use super::*;
+
+    /// Checks `d loss / d input` of `layer` at `input` against central finite
+    /// differences, where the loss is `sum(forward(input) * weights)` for a
+    /// fixed random weighting (so the output gradient is `weights`).
+    pub fn check_input_grad(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
+        let mut rng = fedpkd_rng::Rng::seed_from_u64(0xFEED);
+        let out = layer.forward(input, true);
+        let weights = Tensor::rand_uniform(out.shape(), -1.0, 1.0, &mut rng);
+        let analytic = layer.backward(&weights);
+
+        let eps = 1e-2f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.as_mut_slice()[i] += eps;
+            let mut minus = input.clone();
+            minus.as_mut_slice()[i] -= eps;
+            let f_plus: f32 = layer
+                .forward(&plus, true)
+                .mul(&weights)
+                .unwrap()
+                .sum();
+            let f_minus: f32 = layer
+                .forward(&minus, true)
+                .mul(&weights)
+                .unwrap()
+                .sum();
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let got = analytic.as_slice()[i];
+            assert!(
+                (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+                "input grad {i}: numeric {numeric} vs analytic {got}"
+            );
+        }
+    }
+
+    /// Checks `d loss / d params` against central finite differences with the
+    /// same weighted-sum loss.
+    pub fn check_param_grad(layer: &mut dyn Layer, input: &Tensor, tol: f32) {
+        let mut rng = fedpkd_rng::Rng::seed_from_u64(0xBEEF);
+        let out = layer.forward(input, true);
+        let weights = Tensor::rand_uniform(out.shape(), -1.0, 1.0, &mut rng);
+        layer.zero_grad();
+        layer.forward(input, true);
+        layer.backward(&weights);
+
+        let mut analytic: Vec<f32> = Vec::new();
+        layer.visit_params(&mut |p| analytic.extend_from_slice(p.grad.as_slice()));
+
+        let eps = 1e-2f32;
+        let mut flat_index = 0usize;
+        let n_params = {
+            let mut n = 0;
+            layer.visit_params(&mut |p| n += p.value.len());
+            n
+        };
+        for global_i in 0..n_params {
+            // Perturb parameter `global_i` by +eps / -eps via the visitor.
+            let perturb = |layer: &mut dyn Layer, delta: f32| {
+                let mut seen = 0usize;
+                layer.visit_params_mut(&mut |p| {
+                    let len = p.value.len();
+                    if global_i >= seen && global_i < seen + len {
+                        p.value.as_mut_slice()[global_i - seen] += delta;
+                    }
+                    seen += len;
+                });
+            };
+            perturb(layer, eps);
+            let f_plus: f32 = layer.forward(input, true).mul(&weights).unwrap().sum();
+            perturb(layer, -2.0 * eps);
+            let f_minus: f32 = layer.forward(input, true).mul(&weights).unwrap().sum();
+            perturb(layer, eps);
+            let numeric = (f_plus - f_minus) / (2.0 * eps);
+            let got = analytic[flat_index];
+            assert!(
+                (numeric - got).abs() < tol * (1.0 + numeric.abs()),
+                "param grad {global_i}: numeric {numeric} vs analytic {got}"
+            );
+            flat_index += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_rng::Rng;
+
+    #[test]
+    fn identity_round_trip() {
+        let mut id = Identity::new();
+        let x = Tensor::from_vec(vec![1.0, -2.0], &[1, 2]).unwrap();
+        assert_eq!(id.forward(&x, true), x);
+        assert_eq!(id.backward(&x), x);
+        assert_eq!(id.param_count(), 0);
+    }
+
+    #[test]
+    fn sequential_composes_shapes() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut net = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(5, 2, &mut rng)),
+        ]);
+        let x = Tensor::zeros(&[4, 3]);
+        let y = net.forward(&x, true);
+        assert_eq!(y.shape(), &[4, 2]);
+        let g = net.backward(&Tensor::zeros(&[4, 2]));
+        assert_eq!(g.shape(), &[4, 3]);
+    }
+
+    #[test]
+    fn sequential_param_count_sums_children() {
+        let mut rng = Rng::seed_from_u64(2);
+        let net = Sequential::new(vec![
+            Box::new(Linear::new(3, 5, &mut rng)), // 3*5 + 5 = 20
+            Box::new(Linear::new(5, 2, &mut rng)), // 5*2 + 2 = 12
+        ]);
+        assert_eq!(net.param_count(), 32);
+    }
+
+    #[test]
+    fn sequential_push_and_len() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut net = Sequential::empty();
+        assert!(net.is_empty());
+        net.push(Box::new(Linear::new(2, 2, &mut rng)));
+        assert_eq!(net.len(), 1);
+    }
+
+    #[test]
+    fn empty_sequential_is_identity() {
+        let mut net = Sequential::empty();
+        let x = Tensor::from_vec(vec![3.0, 4.0], &[1, 2]).unwrap();
+        assert_eq!(net.forward(&x, true), x);
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        // body = 0-weight linear → output should equal input via the skip.
+        let mut rng = Rng::seed_from_u64(3);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.visit_params_mut(&mut |p| {
+            for v in p.value.as_mut_slice() {
+                *v = 0.0;
+            }
+        });
+        let mut block = Residual::new(Box::new(lin));
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap();
+        let y = block.forward(&x, true);
+        assert_eq!(y, x);
+    }
+
+    #[test]
+    fn residual_gradient_check() {
+        let mut rng = Rng::seed_from_u64(4);
+        let body = Sequential::new(vec![
+            Box::new(Linear::new(3, 3, &mut rng)),
+            Box::new(Tanh::new()),
+        ]);
+        let mut block = Residual::new(Box::new(body));
+        let x = Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        gradcheck::check_input_grad(&mut block, &x, 1e-2);
+        gradcheck::check_param_grad(&mut block, &x, 1e-2);
+    }
+
+    #[test]
+    fn residual_with_projection_changes_width() {
+        let mut rng = Rng::seed_from_u64(5);
+        let body = Sequential::new(vec![Box::new(Linear::new(3, 6, &mut rng)) as Box<dyn Layer>]);
+        let proj = Linear::new(3, 6, &mut rng);
+        let mut block = Residual::with_projection(Box::new(body), Box::new(proj));
+        let x = Tensor::zeros(&[2, 3]);
+        assert_eq!(block.forward(&x, true).shape(), &[2, 6]);
+        gradcheck::check_input_grad(&mut block, &Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng), 1e-2);
+    }
+
+    #[test]
+    fn zero_grad_clears_all() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut net = Sequential::new(vec![Box::new(Linear::new(2, 2, &mut rng)) as Box<dyn Layer>]);
+        let x = Tensor::full(&[1, 2], 1.0);
+        net.forward(&x, true);
+        net.backward(&Tensor::full(&[1, 2], 1.0));
+        let mut nonzero = false;
+        net.visit_params(&mut |p| nonzero |= p.grad.as_slice().iter().any(|&g| g != 0.0));
+        assert!(nonzero);
+        net.zero_grad();
+        net.visit_params(&mut |p| assert!(p.grad.as_slice().iter().all(|&g| g == 0.0)));
+    }
+
+    #[test]
+    fn backward_accumulates_across_calls() {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut net = Linear::new(2, 1, &mut rng);
+        let x = Tensor::full(&[1, 2], 1.0);
+        let g = Tensor::full(&[1, 1], 1.0);
+        net.forward(&x, true);
+        net.backward(&g);
+        let mut first = Vec::new();
+        net.visit_params(&mut |p| first.extend_from_slice(p.grad.as_slice()));
+        net.forward(&x, true);
+        net.backward(&g);
+        let mut second = Vec::new();
+        net.visit_params(&mut |p| second.extend_from_slice(p.grad.as_slice()));
+        for (a, b) in first.iter().zip(&second) {
+            assert!((2.0 * a - b).abs() < 1e-5, "grads must accumulate");
+        }
+    }
+}

@@ -1,0 +1,411 @@
+//! First-order optimizers.
+//!
+//! Optimizers operate on any [`Layer`] through its stable parameter
+//! visitation order, keeping their per-parameter state (momentum, Adam
+//! moments) in positionally indexed buffers.
+
+use crate::nn::Layer;
+use crate::Tensor;
+
+/// A gradient-based parameter update rule.
+pub trait Optimizer {
+    /// Applies one update step using the gradients currently accumulated in
+    /// the model's parameters. Does not zero the gradients.
+    fn step(&mut self, model: &mut dyn Layer);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Sets the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_rng::Rng;
+/// use fedpkd_tensor::nn::{Layer, Linear};
+/// use fedpkd_tensor::optim::{Optimizer, Sgd};
+/// use fedpkd_tensor::Tensor;
+///
+/// let mut rng = Rng::seed_from_u64(0);
+/// let mut layer = Linear::new(2, 2, &mut rng);
+/// let mut opt = Sgd::new(0.1).with_momentum(0.9);
+/// layer.forward(&Tensor::zeros(&[1, 2]), true);
+/// layer.backward(&Tensor::zeros(&[1, 2]));
+/// opt.step(&mut layer);
+/// ```
+#[derive(Debug)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Creates plain SGD with the given learning rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Enables classical momentum.
+    #[must_use]
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0,1)");
+        self.momentum = momentum;
+        self
+    }
+
+    /// Enables L2 weight decay.
+    #[must_use]
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, model: &mut dyn Layer) {
+        let lr = self.lr;
+        let momentum = self.momentum;
+        let wd = self.weight_decay;
+        let velocity = &mut self.velocity;
+        let mut idx = 0usize;
+        model.visit_params_mut(&mut |p| {
+            if velocity.len() <= idx {
+                velocity.push(Tensor::zeros(p.value.shape()));
+            }
+            let v = &mut velocity[idx];
+            debug_assert_eq!(v.shape(), p.value.shape(), "optimizer/model mismatch");
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            let vel = v.as_mut_slice();
+            for ((w, &g), vel_i) in value.iter_mut().zip(grad).zip(vel.iter_mut()) {
+                let g = g + wd * *w;
+                if momentum > 0.0 {
+                    *vel_i = momentum * *vel_i + g;
+                    *w -= lr * *vel_i;
+                } else {
+                    *w -= lr * g;
+                }
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba), the paper's optimizer of choice
+/// (Adam, η = 0.001).
+#[derive(Debug)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Creates Adam with the standard hyperparameters
+    /// (β₁ = 0.9, β₂ = 0.999, ε = 1e-8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr` is not positive and finite.
+    pub fn new(lr: f32) -> Self {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Enables L2 weight decay (added to the gradient, as in classic Adam).
+    #[must_use]
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        assert!(weight_decay >= 0.0, "weight decay must be non-negative");
+        self.weight_decay = weight_decay;
+        self
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, model: &mut dyn Layer) {
+        self.t += 1;
+        let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        let (m_buf, v_buf) = (&mut self.m, &mut self.v);
+        let mut idx = 0usize;
+        model.visit_params_mut(&mut |p| {
+            if m_buf.len() <= idx {
+                m_buf.push(Tensor::zeros(p.value.shape()));
+                v_buf.push(Tensor::zeros(p.value.shape()));
+            }
+            let m = m_buf[idx].as_mut_slice();
+            let v = v_buf[idx].as_mut_slice();
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..value.len() {
+                let g = grad[i] + wd * value[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                value[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            }
+            idx += 1;
+        });
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        assert!(lr.is_finite() && lr > 0.0, "learning rate must be positive");
+        self.lr = lr;
+    }
+}
+
+/// A step-decay learning-rate schedule: every `period` steps the learning
+/// rate is multiplied by `factor`.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_tensor::optim::{Optimizer, Sgd, StepDecay};
+///
+/// let mut opt = Sgd::new(0.1);
+/// let mut schedule = StepDecay::new(2, 0.5);
+/// for _ in 0..4 {
+///     schedule.step(&mut opt);
+/// }
+/// assert!((opt.learning_rate() - 0.025).abs() < 1e-7);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StepDecay {
+    period: usize,
+    factor: f32,
+    steps: usize,
+}
+
+impl StepDecay {
+    /// Creates a schedule that decays the learning rate by `factor` every
+    /// `period` steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `factor` is not in `(0, 1]`.
+    pub fn new(period: usize, factor: f32) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "factor must be in (0, 1]"
+        );
+        Self {
+            period,
+            factor,
+            steps: 0,
+        }
+    }
+
+    /// Advances the schedule by one step, decaying the optimizer's learning
+    /// rate at period boundaries.
+    pub fn step(&mut self, optimizer: &mut dyn Optimizer) {
+        self.steps += 1;
+        if self.steps % self.period == 0 {
+            optimizer.set_learning_rate(optimizer.learning_rate() * self.factor);
+        }
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::CrossEntropy;
+    use crate::nn::{Linear, Relu, Sequential};
+    use fedpkd_rng::Rng;
+
+    /// Trains a tiny model on a separable toy problem and returns the final
+    /// loss.
+    fn train_toy(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut model = Sequential::new(vec![
+            Box::new(Linear::new(2, 16, &mut rng)) as Box<dyn crate::nn::Layer>,
+            Box::new(Relu::new()),
+            Box::new(Linear::new(16, 2, &mut rng)),
+        ]);
+        let x = Tensor::from_vec(
+            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
+            &[4, 2],
+        )
+        .unwrap();
+        let y = vec![0usize, 0, 1, 1];
+        let ce = CrossEntropy::new();
+        let mut last = f32::INFINITY;
+        for _ in 0..steps {
+            let logits = model.forward(&x, true);
+            let (loss, grad) = ce.loss_and_grad(&logits, &y);
+            last = loss;
+            model.backward(&grad);
+            opt.step(&mut model);
+            model.zero_grad();
+        }
+        last
+    }
+
+    #[test]
+    fn sgd_reduces_loss() {
+        let mut opt = Sgd::new(0.5);
+        let final_loss = train_toy(&mut opt, 200);
+        assert!(final_loss < 0.1, "loss {final_loss}");
+    }
+
+    #[test]
+    fn sgd_momentum_reduces_loss() {
+        let mut opt = Sgd::new(0.1).with_momentum(0.9);
+        let final_loss = train_toy(&mut opt, 200);
+        assert!(final_loss < 0.1, "loss {final_loss}");
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let mut opt = Adam::new(0.01);
+        let final_loss = train_toy(&mut opt, 200);
+        assert!(final_loss < 0.1, "loss {final_loss}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut layer = Linear::new(4, 4, &mut rng);
+        let before: f32 = {
+            let mut norm = 0.0;
+            layer.visit_params(&mut |p| norm += p.value.l2_norm());
+            norm
+        };
+        // Zero gradients; only decay acts.
+        let mut opt = Sgd::new(0.1).with_weight_decay(0.5);
+        use crate::nn::Layer as _;
+        layer.forward(&Tensor::zeros(&[1, 4]), true);
+        layer.backward(&Tensor::zeros(&[1, 4]));
+        layer.zero_grad();
+        opt.step(&mut layer);
+        let after: f32 = {
+            let mut norm = 0.0;
+            layer.visit_params(&mut |p| norm += p.value.l2_norm());
+            norm
+        };
+        assert!(after < before, "decay must shrink weights: {after} !< {before}");
+    }
+
+    #[test]
+    fn sgd_single_step_matches_hand_computation() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut layer = Linear::new(1, 1, &mut rng);
+        use crate::nn::Layer as _;
+        // Set w = 2, b = 0. Input 1, output grad 1 → dW = 1, db = 1.
+        layer.visit_params_mut(&mut |p| {
+            p.value.as_mut_slice()[0] = if p.value.shape() == [1usize, 1] { 2.0 } else { 0.0 };
+        });
+        let x = Tensor::full(&[1, 1], 1.0);
+        layer.forward(&x, true);
+        layer.backward(&Tensor::full(&[1, 1], 1.0));
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut layer);
+        let mut vals = Vec::new();
+        layer.visit_params(&mut |p| vals.push(p.value.as_slice()[0]));
+        assert!((vals[0] - 1.9).abs() < 1e-6, "w {}", vals[0]);
+        assert!((vals[1] + 0.1).abs() < 1e-6, "b {}", vals[1]);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Sgd::new(0.1);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        let mut adam = Adam::new(0.001);
+        adam.set_learning_rate(0.002);
+        assert_eq!(adam.learning_rate(), 0.002);
+    }
+
+    #[test]
+    #[should_panic(expected = "learning rate must be positive")]
+    fn rejects_zero_lr() {
+        let _ = Sgd::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "momentum must be in")]
+    fn rejects_momentum_of_one() {
+        let _ = Sgd::new(0.1).with_momentum(1.0);
+    }
+
+    #[test]
+    fn step_decay_halves_on_schedule() {
+        let mut opt = Adam::new(0.008);
+        let mut schedule = StepDecay::new(3, 0.5);
+        for _ in 0..3 {
+            schedule.step(&mut opt);
+        }
+        assert!((opt.learning_rate() - 0.004).abs() < 1e-9);
+        for _ in 0..2 {
+            schedule.step(&mut opt);
+        }
+        assert!((opt.learning_rate() - 0.004).abs() < 1e-9, "not yet");
+        schedule.step(&mut opt);
+        assert!((opt.learning_rate() - 0.002).abs() < 1e-9);
+        assert_eq!(schedule.steps(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "period must be positive")]
+    fn step_decay_rejects_zero_period() {
+        let _ = StepDecay::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn step_decay_rejects_amplifying_factor() {
+        let _ = StepDecay::new(2, 1.5);
+    }
+}

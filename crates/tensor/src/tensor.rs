@@ -1,0 +1,672 @@
+//! The dense row-major tensor type.
+
+use crate::TensorError;
+use fedpkd_rng::Rng;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// Shapes are dynamic; the training stack uses rank-2 tensors
+/// `[batch, features]` almost everywhere and rank-4 `[n, c, h, w]` on the
+/// convolutional path.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+/// assert_eq!(t.shape(), &[2, 2]);
+/// assert_eq!(t.row(1), &[3.0, 4.0]);
+/// # Ok::<(), fedpkd_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw data and a shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the product of `shape`
+    /// does not equal `data.len()`.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: data.len(),
+            });
+        }
+        Ok(Self {
+            data,
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor filled with a constant.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Self {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor of i.i.d. Gaussian entries with the given standard
+    /// deviation (mean zero).
+    pub fn randn(shape: &[usize], std_dev: f32, rng: &mut Rng) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|_| (rng.standard_normal() as f32) * std_dev)
+            .collect();
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Creates a tensor of i.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut Rng) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| lo + rng.next_f32() * (hi - lo)).collect();
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of rows (first dimension). Zero for rank-0 tensors.
+    pub fn rows(&self) -> usize {
+        self.shape.first().copied().unwrap_or(0)
+    }
+
+    /// Number of columns for a rank-2 tensor, or the row stride in general
+    /// (product of all dimensions after the first).
+    pub fn cols(&self) -> usize {
+        self.shape.iter().skip(1).product()
+    }
+
+    /// Immutable view of the underlying data (row-major).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data (row-major).
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the underlying buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of row `r` (all trailing dimensions flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> &[f32] {
+        let stride = self.cols();
+        &self.data[r * stride..(r + 1) * stride]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        let stride = self.cols();
+        &mut self.data[r * stride..(r + 1) * stride]
+    }
+
+    /// Returns a new tensor containing the selected rows, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if any index exceeds the row
+    /// count.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Self, TensorError> {
+        let stride = self.cols();
+        let rows = self.rows();
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        for &i in indices {
+            if i >= rows {
+                return Err(TensorError::IndexOutOfBounds {
+                    index: i,
+                    bound: rows,
+                });
+            }
+            data.extend_from_slice(self.row(i));
+        }
+        let mut shape = self.shape.clone();
+        if shape.is_empty() {
+            shape = vec![indices.len()];
+        } else {
+            shape[0] = indices.len();
+        }
+        Self::from_vec(data, &shape)
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element counts
+    /// differ.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(TensorError::ShapeDataMismatch {
+                expected,
+                actual: self.data.len(),
+            });
+        }
+        Ok(Self {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// In-place `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Returns `self * scalar` as a new tensor.
+    pub fn scale(&self, scalar: f32) -> Self {
+        self.map(|x| x * scalar)
+    }
+
+    /// In-place multiplication by a scalar.
+    pub fn scale_in_place(&mut self, scalar: f32) {
+        for x in &mut self.data {
+            *x *= scalar;
+        }
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Combines two equal-shaped tensors element-wise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_with(
+        &self,
+        other: &Self,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Self, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        Ok(Self {
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        })
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2,
+    /// or [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.shape.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.len(),
+            });
+        }
+        if other.shape.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: other.shape.len(),
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left_cols: k,
+                right_rows: k2,
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        // i-k-j loop order: streams through `other` row-by-row, which is
+        // cache-friendly for row-major data.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
+    pub fn transpose(&self) -> Result<Self, TensorError> {
+        if self.shape.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: self.shape.len(),
+            });
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Self::from_vec(out, &[n, m])
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements. Returns 0 for an empty tensor.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum element. Returns `f32::NEG_INFINITY` for an empty tensor.
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Sum along rows: `[m, n] → [n]` (column sums).
+    pub fn sum_rows(&self) -> Self {
+        let stride = self.cols();
+        let mut out = vec![0.0f32; stride];
+        for r in 0..self.rows() {
+            for (o, &v) in out.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        Self {
+            data: out,
+            shape: vec![stride],
+        }
+    }
+
+    /// Index of the maximum element of each row: `[m, n] → Vec` of length m.
+    /// Ties resolve to the lowest index.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows())
+            .map(|r| {
+                let row = self.row(r);
+                let mut best = 0;
+                let mut best_v = f32::NEG_INFINITY;
+                for (j, &v) in row.iter().enumerate() {
+                    if v > best_v {
+                        best_v = v;
+                        best = j;
+                    }
+                }
+                best
+            })
+            .collect()
+    }
+
+    /// Euclidean (L2) norm of the whole tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Squared L2 distance to another tensor of equal shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn squared_distance(&self, other: &Self) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum())
+    }
+
+    /// Stacks rank-1 tensors (or equal-width rows) into a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the rows differ in length,
+    /// or [`TensorError::ShapeDataMismatch`] if `rows` is empty.
+    pub fn stack_rows(rows: &[&[f32]]) -> Result<Self, TensorError> {
+        let Some(first) = rows.first() else {
+            return Err(TensorError::ShapeDataMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        };
+        let width = first.len();
+        let mut data = Vec::with_capacity(rows.len() * width);
+        for r in rows {
+            if r.len() != width {
+                return Err(TensorError::ShapeMismatch {
+                    left: vec![width],
+                    right: vec![r.len()],
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Self::from_vec(data, &[rows.len(), width])
+    }
+
+    /// Whether every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self {
+            data: Vec::new(),
+            shape: vec![0],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[2]).is_ok());
+        assert!(Tensor::from_vec(vec![], &[0, 5]).is_ok());
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        let z = Tensor::zeros(&[2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&x| x == 0.0));
+        let f = Tensor::full(&[4], 2.5);
+        assert!(f.as_slice().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn rows_and_cols() {
+        let x = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(x.rows(), 2);
+        assert_eq!(x.cols(), 3);
+        assert_eq!(x.row(0), &[1., 2., 3.]);
+        assert_eq!(x.row(1), &[4., 5., 6.]);
+    }
+
+    #[test]
+    fn rank4_cols_is_row_stride() {
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        assert_eq!(x.cols(), 48);
+        assert_eq!(x.row(1).len(), 48);
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let x = t(&[1., 2., 3., 4., 5., 6.], &[3, 2]);
+        let y = x.select_rows(&[2, 0]).unwrap();
+        assert_eq!(y.shape(), &[2, 2]);
+        assert_eq!(y.row(0), &[5., 6.]);
+        assert_eq!(y.row(1), &[1., 2.]);
+    }
+
+    #[test]
+    fn select_rows_out_of_bounds() {
+        let x = t(&[1., 2.], &[1, 2]);
+        assert!(matches!(
+            x.select_rows(&[1]),
+            Err(TensorError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = t(&[1., 2., 3.], &[3]);
+        let b = t(&[4., 5., 6.], &[3]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = t(&[1., 2.], &[2]);
+        let b = t(&[1., 2.], &[1, 2]);
+        assert!(a.add(&b).is_err());
+        assert!(a.squared_distance(&b).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1., 1.], &[2]);
+        let b = t(&[2., 3.], &[2]);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.as_slice(), &[2., 2.5]);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = t(&[7., 8., 9., 10., 11., 12.], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        let i = t(&[1., 0., 0., 1.], &[2, 2]);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_dim_checks() {
+        let a = t(&[1., 2.], &[1, 2]);
+        let b = t(&[1., 2., 3.], &[1, 3]);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::MatmulDimMismatch { .. })
+        ));
+        let v = t(&[1., 2.], &[2]);
+        assert!(matches!(v.matmul(&a), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = t(&[1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let at = a.transpose().unwrap();
+        assert_eq!(at.shape(), &[3, 2]);
+        assert_eq!(at.as_slice(), &[1., 4., 2., 5., 3., 6.]);
+        assert_eq!(at.transpose().unwrap(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.sum_rows().as_slice(), &[4., 6.]);
+    }
+
+    #[test]
+    fn empty_tensor_reductions() {
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(e.sum(), 0.0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.max(), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn argmax_rows_breaks_ties_low() {
+        let a = t(&[1., 3., 3., 0., 5., 2.], &[2, 3]);
+        assert_eq!(a.argmax_rows(), vec![1, 1]);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = t(&[3., 4.], &[2]);
+        assert!((a.l2_norm() - 5.0).abs() < 1e-6);
+        let b = t(&[0., 0.], &[2]);
+        assert!((a.squared_distance(&b).unwrap() - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stack_rows_builds_matrix() {
+        let rows: Vec<&[f32]> = vec![&[1., 2.], &[3., 4.], &[5., 6.]];
+        let m = Tensor::stack_rows(&rows).unwrap();
+        assert_eq!(m.shape(), &[3, 2]);
+        assert_eq!(m.row(2), &[5., 6.]);
+    }
+
+    #[test]
+    fn stack_rows_rejects_ragged() {
+        let rows: Vec<&[f32]> = vec![&[1., 2.], &[3.]];
+        assert!(Tensor::stack_rows(&rows).is_err());
+        let empty: Vec<&[f32]> = vec![];
+        assert!(Tensor::stack_rows(&empty).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = t(&[1., 2., 3., 4.], &[2, 2]);
+        let b = a.reshape(&[4]).unwrap();
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert!(a.reshape(&[5]).is_err());
+    }
+
+    #[test]
+    fn randn_statistics() {
+        let mut rng = Rng::seed_from_u64(9);
+        let x = Tensor::randn(&[10_000], 2.0, &mut rng);
+        let mean = x.mean();
+        let var = x.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.1);
+        assert!((var - 4.0).abs() < 0.3);
+        assert!(x.all_finite());
+    }
+
+    #[test]
+    fn rand_uniform_bounds() {
+        let mut rng = Rng::seed_from_u64(10);
+        let x = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(x.as_slice().iter().all(|&v| (-0.5..0.5).contains(&v)));
+    }
+}

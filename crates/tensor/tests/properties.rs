@@ -1,0 +1,145 @@
+//! Property-based tests for tensor algebra, softmax, and losses.
+
+use fedpkd_tensor::loss::{CrossEntropy, DistillKl, Mse};
+use fedpkd_tensor::ops::{log_softmax, row_entropy, sharpen, softmax};
+use fedpkd_tensor::Tensor;
+use proptest::prelude::*;
+
+/// Strategy: a small rank-2 tensor with finite values.
+fn matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(data, &[r, c]).unwrap())
+    })
+}
+
+proptest! {
+    /// Addition is commutative and subtraction is its inverse.
+    #[test]
+    fn add_commutes_and_sub_inverts(t in matrix(6, 6)) {
+        let u = t.map(|x| x * 0.5 + 1.0);
+        let ab = t.add(&u).unwrap();
+        let ba = u.add(&t).unwrap();
+        prop_assert_eq!(ab.clone(), ba);
+        let back = ab.sub(&u).unwrap();
+        for (x, y) in back.as_slice().iter().zip(t.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Transposing twice is the identity.
+    #[test]
+    fn transpose_is_involution(t in matrix(8, 8)) {
+        prop_assert_eq!(t.transpose().unwrap().transpose().unwrap(), t);
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in matrix(5, 4), b_data in prop::collection::vec(-5.0f32..5.0, 4 * 3)) {
+        let a = a.reshape(&[a.rows(), a.cols()]).unwrap();
+        prop_assume!(a.cols() == 4);
+        let b = Tensor::from_vec(b_data, &[4, 3]).unwrap();
+        let left = a.matmul(&b).unwrap().transpose().unwrap();
+        let right = b.transpose().unwrap().matmul(&a.transpose().unwrap()).unwrap();
+        for (x, y) in left.as_slice().iter().zip(right.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax rows are probability distributions and preserve the argmax.
+    #[test]
+    fn softmax_is_a_distribution(t in matrix(6, 8), temp in 0.2f32..5.0) {
+        let p = softmax(&t, temp);
+        prop_assert!(p.all_finite());
+        for r in 0..p.rows() {
+            let total: f32 = p.row(r).iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert!(p.row(r).iter().all(|&v| v >= 0.0));
+        }
+        prop_assert_eq!(p.argmax_rows(), t.argmax_rows());
+    }
+
+    /// log-softmax equals the log of softmax.
+    #[test]
+    fn log_softmax_consistency(t in matrix(4, 6), temp in 0.5f32..3.0) {
+        let a = log_softmax(&t, temp);
+        let b = softmax(&t, temp);
+        for (lx, x) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((lx.exp() - x).abs() < 1e-4);
+        }
+    }
+
+    /// Entropy is non-negative and bounded by ln(k) for probability rows.
+    #[test]
+    fn entropy_bounds(t in matrix(5, 7)) {
+        let p = softmax(&t, 1.0);
+        let k = p.cols() as f32;
+        for h in row_entropy(&p) {
+            prop_assert!(h >= -1e-6);
+            prop_assert!(h <= k.ln() + 1e-4);
+        }
+    }
+
+    /// Sharpening with T < 1 never increases a row's entropy.
+    #[test]
+    fn sharpening_reduces_entropy(t in matrix(5, 6), temp in 0.1f32..1.0) {
+        let p = softmax(&t, 1.0);
+        let s = sharpen(&p, temp);
+        let before = row_entropy(&p);
+        let after = row_entropy(&s);
+        for (&b, &a) in before.iter().zip(&after) {
+            prop_assert!(a <= b + 1e-5, "entropy rose: {b} → {a}");
+        }
+    }
+
+    /// Cross-entropy is non-negative and at least the log-loss bound.
+    #[test]
+    fn cross_entropy_nonnegative(t in matrix(5, 6), label_seed in any::<u64>()) {
+        let labels: Vec<usize> = (0..t.rows())
+            .map(|r| ((label_seed as usize).wrapping_add(r * 7)) % t.cols())
+            .collect();
+        let (loss, grad) = CrossEntropy::new().loss_and_grad(&t, &labels);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.all_finite());
+        // Gradient rows sum to ~0 (softmax minus one-hot).
+        for r in 0..grad.rows() {
+            prop_assert!(grad.row(r).iter().sum::<f32>().abs() < 1e-4);
+        }
+    }
+
+    /// KL distillation is non-negative and zero iff student matches teacher.
+    #[test]
+    fn kl_nonnegative(student in matrix(4, 5), temp in 0.5f32..4.0) {
+        let teacher = softmax(&student.map(|x| x + 0.5), temp);
+        let (loss, _) = DistillKl::new(temp).loss_and_grad(&student, &teacher);
+        prop_assert!(loss >= -1e-5, "KL must be non-negative, got {loss}");
+        let self_teacher = softmax(&student, temp);
+        let (self_loss, _) = DistillKl::new(temp).loss_and_grad(&student, &self_teacher);
+        prop_assert!(self_loss.abs() < 1e-4);
+    }
+
+    /// MSE is symmetric, non-negative, and zero only at equality.
+    #[test]
+    fn mse_axioms(a in matrix(4, 4)) {
+        let b = a.map(|x| x + 0.25);
+        let (ab, _) = Mse::new().loss_and_grad(&a, &b);
+        let (ba, _) = Mse::new().loss_and_grad(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!(ab > 0.0);
+        let (self_loss, _) = Mse::new().loss_and_grad(&a, &a);
+        prop_assert_eq!(self_loss, 0.0);
+    }
+
+    /// select_rows picks exactly the requested rows.
+    #[test]
+    fn select_rows_semantics(t in matrix(8, 4), pick_seed in any::<u64>()) {
+        let indices: Vec<usize> = (0..t.rows())
+            .filter(|i| (pick_seed >> (i % 64)) & 1 == 1)
+            .collect();
+        let sub = t.select_rows(&indices).unwrap();
+        prop_assert_eq!(sub.rows(), indices.len());
+        for (out_row, &src) in indices.iter().enumerate() {
+            prop_assert_eq!(sub.row(out_row), t.row(src));
+        }
+    }
+}

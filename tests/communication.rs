@@ -1,0 +1,151 @@
+//! Integration tests for communication accounting across algorithms.
+
+use fedpkd::netsim::Wire;
+use fedpkd::prelude::*;
+
+fn scenario(seed: u64) -> fedpkd::data::FederatedScenario {
+    ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+        .clients(3)
+        .partition(Partition::Dirichlet { alpha: 0.5 })
+        .samples(360)
+        .public_size(100)
+        .global_test_size(120)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+}
+
+fn spec(tier: DepthTier) -> ModelSpec {
+    ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier,
+    }
+}
+
+fn fast() -> BaselineConfig {
+    BaselineConfig {
+        local_epochs: 1,
+        server_epochs: 1,
+        digest_epochs: 1,
+        ..BaselineConfig::default()
+    }
+}
+
+#[test]
+fn kd_methods_are_cheaper_per_round_than_parameter_methods() {
+    // The motivating comparison of Fig. 3: with a modest public set, logit
+    // traffic is far below parameter traffic.
+    let avg = FedAvg::new(scenario(1), spec(DepthTier::T20), fast(), 5).unwrap();
+    let avg_bytes = Runner::new(1).run(avg).ledger.total_bytes();
+
+    let md = FedMd::new(scenario(1), vec![spec(DepthTier::T20); 3], fast(), 5).unwrap();
+    let md_bytes = Runner::new(1).run(md).ledger.total_bytes();
+
+    assert!(
+        md_bytes * 5 < avg_bytes,
+        "FedMD {md_bytes} should be ≫ cheaper than FedAvg {avg_bytes}"
+    );
+}
+
+#[test]
+fn fedpkd_round_is_cheaper_than_fedavg_round() {
+    let pkd = FedPkd::new(
+        scenario(2),
+        vec![spec(DepthTier::T20); 3],
+        spec(DepthTier::T56),
+        FedPkdConfig {
+            client_private_epochs: 1,
+            client_public_epochs: 1,
+            server_epochs: 1,
+            ..FedPkdConfig::default()
+        },
+        5,
+    )
+    .unwrap();
+    let pkd_bytes = Runner::new(1).run(pkd).ledger.total_bytes();
+    let avg = FedAvg::new(scenario(2), spec(DepthTier::T20), fast(), 5).unwrap();
+    let avg_bytes = Runner::new(1).run(avg).ledger.total_bytes();
+    assert!(
+        pkd_bytes < avg_bytes,
+        "FedPKD {pkd_bytes} per-round bytes should undercut FedAvg {avg_bytes}"
+    );
+}
+
+#[test]
+fn logit_traffic_scales_with_public_size() {
+    let run = |public: usize| {
+        let s = ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(360)
+            .public_size(public)
+            .global_test_size(100)
+            .seed(3)
+            .build()
+            .unwrap();
+        let md = FedMd::new(s, vec![spec(DepthTier::T11); 3], fast(), 5).unwrap();
+        Runner::new(1).run(md).ledger.total_bytes()
+    };
+    let small = run(100);
+    let large = run(300);
+    // Tripling the public pool should roughly triple logit traffic.
+    let ratio = large as f64 / small as f64;
+    assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn ledger_round_sums_match_total() {
+    let pkd = FedPkd::new(
+        scenario(4),
+        vec![spec(DepthTier::T11); 3],
+        spec(DepthTier::T20),
+        FedPkdConfig {
+            client_private_epochs: 1,
+            client_public_epochs: 1,
+            server_epochs: 1,
+            ..FedPkdConfig::default()
+        },
+        7,
+    )
+    .unwrap();
+    let result = Runner::new(3).run(pkd);
+    let per_round: usize = (0..3)
+        .map(|r| result.ledger.round_traffic(r).total())
+        .sum();
+    assert_eq!(per_round, result.ledger.total_bytes());
+    let per_client: usize = (0..3).map(|c| result.ledger.client_bytes(c)).sum();
+    assert_eq!(per_client, result.ledger.total_bytes());
+}
+
+#[test]
+fn recorded_message_sizes_match_wire_encoding() {
+    // The ledger charges encoded_len(); verify encoded_len() is the real
+    // serialized size for the exact payload shapes the algorithms ship.
+    let logits = Message::Logits {
+        sample_ids: (0..100).collect(),
+        num_classes: 10,
+        values: vec![0.5; 1000],
+    };
+    assert_eq!(logits.to_bytes().len(), logits.encoded_len());
+
+    let update = Message::ModelUpdate {
+        params: vec![0.1; 35_000],
+    };
+    assert_eq!(update.to_bytes().len(), update.encoded_len());
+
+    let selection = Message::SampleSelection {
+        ids: (0..70).collect(),
+    };
+    assert_eq!(selection.to_bytes().len(), selection.encoded_len());
+}
+
+#[test]
+fn transfer_times_follow_payload_sizes() {
+    let link = LinkModel::cellular();
+    let small = link.transfer_time(10_000);
+    let big = link.transfer_time(1_000_000);
+    assert!(big > small);
+    // A parameter-sized payload on cellular takes visibly longer than a
+    // logit-sized one.
+    assert!(big / small > 10.0);
+}

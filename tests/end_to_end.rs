@@ -1,0 +1,193 @@
+//! End-to-end integration tests: every algorithm runs on the same scenario
+//! through the public umbrella API.
+
+use fedpkd::prelude::*;
+
+const SEED: u64 = 1234;
+
+fn scenario(seed: u64) -> fedpkd::data::FederatedScenario {
+    ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+        .clients(3)
+        .partition(Partition::Dirichlet { alpha: 0.5 })
+        .samples(360)
+        .public_size(120)
+        .global_test_size(150)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+}
+
+fn client_spec() -> ModelSpec {
+    ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier: DepthTier::T11,
+    }
+}
+
+fn server_spec() -> ModelSpec {
+    ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier: DepthTier::T20,
+    }
+}
+
+fn fast_baseline() -> BaselineConfig {
+    BaselineConfig {
+        local_epochs: 2,
+        server_epochs: 2,
+        digest_epochs: 1,
+        learning_rate: 0.003,
+        ..BaselineConfig::default()
+    }
+}
+
+fn fast_pkd() -> FedPkdConfig {
+    FedPkdConfig {
+        client_private_epochs: 2,
+        client_public_epochs: 1,
+        server_epochs: 3,
+        learning_rate: 0.003,
+        ..FedPkdConfig::default()
+    }
+}
+
+/// Runs two rounds and asserts the invariants every federation must hold.
+fn smoke<F: Federation>(algo: F, expect_server_model: bool) -> RunResult {
+    let result = Runner::new(2).run(algo);
+    assert_eq!(result.history.len(), 2);
+    for metrics in &result.history {
+        assert_eq!(metrics.client_accuracies.len(), 3);
+        for &acc in &metrics.client_accuracies {
+            assert!((0.0..=1.0).contains(&acc), "client accuracy {acc}");
+        }
+        match (expect_server_model, metrics.server_accuracy) {
+            (true, Some(acc)) => assert!((0.0..=1.0).contains(&acc)),
+            (false, None) => {}
+            (expected, got) => panic!("server model expected={expected}, got {got:?}"),
+        }
+    }
+    assert!(!result.ledger.is_empty(), "rounds must generate traffic");
+    assert!(result.ledger.rounds_recorded() == 2);
+    result
+}
+
+#[test]
+fn fedpkd_end_to_end() {
+    let algo = FedPkd::new(
+        scenario(1),
+        vec![client_spec(); 3],
+        server_spec(),
+        fast_pkd(),
+        SEED,
+    )
+    .unwrap();
+    let result = smoke(algo, true);
+    assert!(result.best_server_accuracy().unwrap() > 0.15);
+}
+
+#[test]
+fn fedavg_end_to_end() {
+    let algo = FedAvg::new(scenario(2), server_spec(), fast_baseline(), SEED).unwrap();
+    smoke(algo, true);
+}
+
+#[test]
+fn fedprox_end_to_end() {
+    let algo = FedProx::new(scenario(3), server_spec(), fast_baseline(), SEED).unwrap();
+    smoke(algo, true);
+}
+
+#[test]
+fn fedmd_end_to_end() {
+    let algo = FedMd::new(scenario(4), vec![client_spec(); 3], fast_baseline(), SEED).unwrap();
+    smoke(algo, false);
+}
+
+#[test]
+fn dsfl_end_to_end() {
+    let algo = DsFl::new(scenario(5), vec![client_spec(); 3], fast_baseline(), SEED).unwrap();
+    smoke(algo, false);
+}
+
+#[test]
+fn feddf_end_to_end() {
+    let algo = FedDf::new(scenario(6), server_spec(), fast_baseline(), SEED).unwrap();
+    smoke(algo, true);
+}
+
+#[test]
+fn fedet_end_to_end() {
+    let algo = FedEt::new(
+        scenario(7),
+        vec![client_spec(); 3],
+        server_spec(),
+        fast_baseline(),
+        SEED,
+    )
+    .unwrap();
+    smoke(algo, true);
+}
+
+#[test]
+fn naive_kd_end_to_end() {
+    let algo = NaiveKd::new(
+        scenario(8),
+        vec![client_spec(); 3],
+        server_spec(),
+        fast_baseline(),
+        SEED,
+    )
+    .unwrap();
+    smoke(algo, true);
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = |seed: u64| {
+        let algo = FedPkd::new(
+            scenario(9),
+            vec![client_spec(); 3],
+            server_spec(),
+            fast_pkd(),
+            seed,
+        )
+        .unwrap();
+        let result = Runner::new(2).run(algo);
+        (
+            result.last().server_accuracy,
+            result.last().client_accuracies.clone(),
+            result.ledger.total_bytes(),
+        )
+    };
+    assert_eq!(run(77), run(77), "same seed, same everything");
+    assert_ne!(run(77), run(78), "different seed, different trajectory");
+}
+
+#[test]
+fn all_methods_beat_chance_on_a_mild_partition() {
+    // A slightly bigger budget: each method must clear 2× chance accuracy
+    // on its primary metric.
+    let rounds = 3;
+    let chance = 0.1;
+
+    let pkd = FedPkd::new(
+        scenario(10),
+        vec![client_spec(); 3],
+        server_spec(),
+        fast_pkd(),
+        SEED,
+    )
+    .unwrap();
+    let r = Runner::new(rounds).run(pkd);
+    assert!(r.best_server_accuracy().unwrap() > 2.0 * chance, "FedPKD");
+
+    let avg = FedAvg::new(scenario(10), server_spec(), fast_baseline(), SEED).unwrap();
+    let r = Runner::new(rounds).run(avg);
+    assert!(r.best_server_accuracy().unwrap() > 2.0 * chance, "FedAvg");
+
+    let md = FedMd::new(scenario(10), vec![client_spec(); 3], fast_baseline(), SEED).unwrap();
+    let r = Runner::new(rounds).run(md);
+    assert!(r.best_client_accuracy() > 2.0 * chance, "FedMD");
+}

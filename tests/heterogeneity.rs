@@ -1,0 +1,151 @@
+//! Integration tests for the heterogeneous-model path: mixed client
+//! architectures, a larger server, and cross-tier prototype exchange.
+
+use fedpkd::core::eval;
+use fedpkd::core::fedpkd::prototypes::{aggregate_prototypes, compute_prototypes};
+use fedpkd::prelude::*;
+use fedpkd::tensor::models::SHARED_FEATURE_DIM;
+use fedpkd::tensor::nn::Layer;
+
+fn scenario(seed: u64) -> fedpkd::data::FederatedScenario {
+    ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+        .clients(3)
+        .partition(Partition::Shards {
+            shard_size: 10,
+            shards_per_client: 8,
+            classes_per_client: 3,
+        })
+        .samples(500)
+        .public_size(120)
+        .global_test_size(150)
+        .seed(seed)
+        .build()
+        .expect("valid scenario")
+}
+
+fn tiered_specs() -> Vec<ModelSpec> {
+    [DepthTier::T11, DepthTier::T20, DepthTier::T29]
+        .into_iter()
+        .map(|tier| ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier,
+        })
+        .collect()
+}
+
+#[test]
+fn all_tiers_share_the_prototype_feature_space() {
+    let mut rng = Rng::seed_from_u64(1);
+    for spec in tiered_specs() {
+        let model = spec.build(&mut rng);
+        assert_eq!(
+            model.feature_dim(),
+            SHARED_FEATURE_DIM,
+            "{} must embed into the shared feature space",
+            spec.describe()
+        );
+    }
+}
+
+#[test]
+fn tier_capacities_are_strictly_ordered() {
+    let mut rng = Rng::seed_from_u64(2);
+    let counts: Vec<usize> = tiered_specs()
+        .iter()
+        .map(|s| s.build(&mut rng).param_count())
+        .collect();
+    assert!(counts[0] < counts[1] && counts[1] < counts[2], "{counts:?}");
+}
+
+#[test]
+fn prototypes_from_different_tiers_aggregate() {
+    let s = scenario(3);
+    let mut rng = Rng::seed_from_u64(4);
+    let client_protos: Vec<_> = tiered_specs()
+        .iter()
+        .zip(&s.clients)
+        .map(|(spec, data)| {
+            let mut model = spec.build(&mut rng);
+            compute_prototypes(&mut model, &data.train)
+        })
+        .collect();
+    let global = aggregate_prototypes(&client_protos);
+    assert_eq!(global.len(), 10);
+    // Under shards(k=3) with 3 clients, at most 9 classes are covered.
+    let covered = global.iter().filter(|p| p.is_some()).count();
+    assert!(covered >= 3, "some classes must be covered, got {covered}");
+    for proto in global.into_iter().flatten() {
+        assert_eq!(proto.shape(), &[SHARED_FEATURE_DIM]);
+        assert!(proto.all_finite());
+    }
+}
+
+#[test]
+fn fedpkd_trains_a_strictly_larger_server() {
+    let s = scenario(5);
+    let config = FedPkdConfig {
+        client_private_epochs: 2,
+        client_public_epochs: 1,
+        server_epochs: 3,
+        learning_rate: 0.003,
+        ..FedPkdConfig::default()
+    };
+    let algo = FedPkd::new(
+        s,
+        tiered_specs(),
+        ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier: DepthTier::T56,
+        },
+        config,
+        9,
+    )
+    .unwrap();
+    let result = Runner::new(3).run(algo);
+    let acc = result.best_server_accuracy().unwrap();
+    assert!(acc > 0.2, "heterogeneous FedPKD server accuracy {acc}");
+}
+
+#[test]
+fn shards_partition_specializes_clients() {
+    // Each client sees ≤ 3 classes, so an untrained-on class should have
+    // near-zero accuracy for a locally trained model — the Fig. 2 effect.
+    let s = scenario(6);
+    let mut rng = Rng::seed_from_u64(7);
+    let spec = ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier: DepthTier::T20,
+    };
+    let mut model = spec.build(&mut rng);
+    let mut opt = fedpkd::tensor::optim::Adam::new(0.003);
+    fedpkd::core::train::train_supervised(
+        &mut model,
+        &s.clients[0].train,
+        5,
+        32,
+        &mut opt,
+        &mut rng,
+    );
+    let per_class = eval::per_class_accuracy(&mut model, &s.global_test);
+    let own_classes: std::collections::BTreeSet<usize> =
+        s.clients[0].train.labels().iter().copied().collect();
+    let own_mean: f64 = own_classes
+        .iter()
+        .map(|&c| per_class[c])
+        .filter(|a| !a.is_nan())
+        .sum::<f64>()
+        / own_classes.len() as f64;
+    let other: Vec<f64> = (0..10)
+        .filter(|c| !own_classes.contains(c))
+        .map(|c| per_class[c])
+        .filter(|a| !a.is_nan())
+        .collect();
+    let other_mean: f64 = other.iter().sum::<f64>() / other.len() as f64;
+    assert!(
+        own_mean > other_mean + 0.3,
+        "own-class accuracy {own_mean} must dominate others {other_mean}"
+    );
+}
