@@ -1,109 +1,30 @@
 //! Shared client plumbing for the baseline algorithms.
+//!
+//! The generic pieces — client construction, spec validation, the threaded
+//! per-client driver, and local-test evaluation — live in
+//! [`fedpkd_core::clients`] so FedPKD and the baselines share one
+//! implementation; this module re-exports them under the names the baseline
+//! sources use and keeps only what is baseline-specific (the FedProx local
+//! objective).
 
-use fedpkd_core::eval;
-use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::train::apply_proximal_term;
-use fedpkd_data::{ClientData, Dataset, FederatedScenario};
+pub(crate) use fedpkd_core::clients::{
+    build_clients, client_accuracies, for_each_client, validate_specs, ClientState as Client,
+};
+
+use fedpkd_core::train::{apply_proximal_term, TrainStats};
+use fedpkd_data::Dataset;
 use fedpkd_rng::Rng;
 use fedpkd_tensor::loss::CrossEntropy;
-use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::models::ClassifierModel;
 use fedpkd_tensor::nn::Layer;
-use fedpkd_tensor::optim::{Adam, Optimizer};
-
-/// One simulated client: model, optimizer, private RNG stream.
-pub(crate) struct Client {
-    pub model: ClassifierModel,
-    pub optimizer: Adam,
-    pub rng: Rng,
-}
-
-/// Builds one client per spec, each on its own deterministic RNG stream.
-pub(crate) fn build_clients(specs: &[ModelSpec], learning_rate: f32, seed: u64) -> Vec<Client> {
-    specs
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| {
-            let mut rng = Rng::stream(seed, 1 + i as u64);
-            Client {
-                model: spec.build(&mut rng),
-                optimizer: Adam::new(learning_rate),
-                rng,
-            }
-        })
-        .collect()
-}
-
-/// Validates spec wiring against a scenario; `homogeneous` additionally
-/// requires all client specs (and the server spec, when given) to be
-/// identical — FedAvg, FedProx, and FedDF cannot mix architectures.
-pub(crate) fn validate_specs(
-    scenario: &FederatedScenario,
-    client_specs: &[ModelSpec],
-    server_spec: Option<&ModelSpec>,
-    homogeneous: bool,
-) -> Result<(), CoreError> {
-    if client_specs.len() != scenario.num_clients() {
-        return Err(CoreError::ClientSpecMismatch {
-            clients: scenario.num_clients(),
-            specs: client_specs.len(),
-        });
-    }
-    for spec in client_specs.iter().chain(server_spec) {
-        if spec.num_classes() != scenario.num_classes {
-            return Err(CoreError::ClassCountMismatch {
-                scenario: scenario.num_classes,
-                spec: spec.num_classes(),
-            });
-        }
-    }
-    if homogeneous {
-        let first = &client_specs[0];
-        if client_specs.iter().any(|s| s != first)
-            || server_spec.is_some_and(|s| s != first)
-        {
-            return Err(CoreError::InvalidConfig(
-                "this algorithm requires identical model architectures".into(),
-            ));
-        }
-    }
-    Ok(())
-}
-
-/// Runs `f` for every `(client, client_data)` pair on its own thread and
-/// collects the results in client order.
-pub(crate) fn for_each_client<T: Send>(
-    clients: &mut [Client],
-    data: &[ClientData],
-    f: impl Fn(&mut Client, &ClientData) -> T + Sync,
-) -> Vec<T> {
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = clients
-            .iter_mut()
-            .zip(data)
-            .map(|(client, data)| scope.spawn(move || f(client, data)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .collect()
-    })
-}
-
-/// Per-client local-test accuracies.
-pub(crate) fn client_accuracies(
-    clients: &mut [Client],
-    scenario: &FederatedScenario,
-) -> Vec<f64> {
-    clients
-        .iter_mut()
-        .zip(&scenario.clients)
-        .map(|(c, d)| eval::accuracy(&mut c.model, &d.test))
-        .collect()
-}
+use fedpkd_tensor::optim::Optimizer;
 
 /// Supervised local training with the FedProx proximal term
 /// `μ/2 · ‖w − w_global‖²` added to every mini-batch objective.
+///
+/// The reported [`TrainStats`] mean loss covers the cross-entropy term only;
+/// the proximal penalty enters through the gradients.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn train_supervised_prox(
     model: &mut ClassifierModel,
     dataset: &Dataset,
@@ -113,25 +34,30 @@ pub(crate) fn train_supervised_prox(
     batch_size: usize,
     optimizer: &mut dyn Optimizer,
     rng: &mut Rng,
-) {
+) -> TrainStats {
     let ce = CrossEntropy::new();
+    let mut total = 0.0f64;
+    let mut batches = 0usize;
     for _ in 0..epochs {
         for batch in dataset.batches(batch_size, rng) {
             let logits = model.forward_logits(&batch.features, true);
-            let (_, grad) = ce.loss_and_grad(&logits, &batch.labels);
+            let (loss, grad) = ce.loss_and_grad(&logits, &batch.labels);
             model.backward(&grad);
             apply_proximal_term(model, reference, mu);
             optimizer.step(model);
             model.zero_grad();
+            total += f64::from(loss);
+            batches += 1;
         }
     }
+    TrainStats::from_total(total, batches)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
-    use fedpkd_tensor::models::DepthTier;
+    use fedpkd_data::{FederatedScenario, Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::{DepthTier, ModelSpec};
     use fedpkd_tensor::serialize::param_vector;
 
     pub(crate) fn tiny_scenario(seed: u64) -> FederatedScenario {
@@ -155,56 +81,13 @@ mod tests {
     }
 
     #[test]
-    fn build_clients_gives_distinct_models() {
-        let clients = build_clients(&[spec(DepthTier::T11), spec(DepthTier::T11)], 0.001, 5);
-        assert_eq!(clients.len(), 2);
-        assert_ne!(
-            param_vector(&clients[0].model),
-            param_vector(&clients[1].model),
-            "clients must have independent initializations"
-        );
-    }
-
-    #[test]
-    fn validate_specs_checks_homogeneity() {
-        let scenario = tiny_scenario(1);
-        let hetero = vec![spec(DepthTier::T11), spec(DepthTier::T20), spec(DepthTier::T29)];
-        assert!(validate_specs(&scenario, &hetero, None, false).is_ok());
-        assert!(validate_specs(&scenario, &hetero, None, true).is_err());
-        let homo = vec![spec(DepthTier::T20); 3];
-        assert!(validate_specs(&scenario, &homo, Some(&spec(DepthTier::T20)), true).is_ok());
-        assert!(validate_specs(&scenario, &homo, Some(&spec(DepthTier::T56)), true).is_err());
-    }
-
-    #[test]
-    fn validate_specs_checks_counts() {
-        let scenario = tiny_scenario(2);
-        assert!(validate_specs(&scenario, &vec![spec(DepthTier::T11); 2], None, false).is_err());
-        let bad_classes = ModelSpec::ResMlp {
-            input_dim: 32,
-            num_classes: 7,
-            tier: DepthTier::T11,
-        };
-        assert!(validate_specs(&scenario, &vec![bad_classes; 3], None, false).is_err());
-    }
-
-    #[test]
-    fn for_each_client_preserves_order() {
-        let scenario = tiny_scenario(3);
-        let mut clients = build_clients(&vec![spec(DepthTier::T11); 3], 0.001, 7);
-        let sizes = for_each_client(&mut clients, &scenario.clients, |_, data| data.train.len());
-        let expected: Vec<usize> = scenario.clients.iter().map(|c| c.train.len()).collect();
-        assert_eq!(sizes, expected);
-    }
-
-    #[test]
     fn prox_training_stays_near_reference_for_large_mu() {
         let scenario = tiny_scenario(4);
         let mut clients = build_clients(&vec![spec(DepthTier::T11); 3], 0.001, 9);
         let reference = param_vector(&clients[0].model);
         // Huge mu: weights should barely move.
         let c = &mut clients[0];
-        train_supervised_prox(
+        let stats = train_supervised_prox(
             &mut c.model,
             &scenario.clients[0].train,
             &reference,
@@ -214,6 +97,7 @@ mod tests {
             &mut c.optimizer,
             &mut c.rng,
         );
+        assert!(stats.batches > 0 && stats.mean_loss > 0.0);
         let after = param_vector(&clients[0].model);
         let drift: f32 = reference
             .iter()

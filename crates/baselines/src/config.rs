@@ -54,9 +54,13 @@ impl BaselineConfig {
     ///
     /// Returns [`CoreError::InvalidConfig`] if any parameter is out of
     /// range.
+    // `!(x > 0.0)` rather than `x <= 0.0`: NaN must fail validation too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.batch_size == 0 {
-            return Err(CoreError::InvalidConfig("batch size must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
         }
         if !(self.learning_rate > 0.0) {
             return Err(CoreError::InvalidConfig(
@@ -64,7 +68,9 @@ impl BaselineConfig {
             ));
         }
         if !(self.temperature > 0.0) || !(self.sharpen_temperature > 0.0) {
-            return Err(CoreError::InvalidConfig("temperatures must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "temperatures must be positive".into(),
+            ));
         }
         if self.mu < 0.0 {
             return Err(CoreError::InvalidConfig("mu must be non-negative".into()));
@@ -87,20 +93,30 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_values() {
-        let mut c = BaselineConfig::default();
-        c.batch_size = 0;
-        assert!(c.validate().is_err());
-        let mut c = BaselineConfig::default();
-        c.learning_rate = -1.0;
-        assert!(c.validate().is_err());
-        let mut c = BaselineConfig::default();
-        c.sharpen_temperature = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = BaselineConfig::default();
-        c.mu = -0.5;
-        assert!(c.validate().is_err());
-        let mut c = BaselineConfig::default();
-        c.gamma = 2.0;
-        assert!(c.validate().is_err());
+        let bad = [
+            BaselineConfig {
+                batch_size: 0,
+                ..BaselineConfig::default()
+            },
+            BaselineConfig {
+                learning_rate: -1.0,
+                ..BaselineConfig::default()
+            },
+            BaselineConfig {
+                sharpen_temperature: 0.0,
+                ..BaselineConfig::default()
+            },
+            BaselineConfig {
+                mu: -0.5,
+                ..BaselineConfig::default()
+            },
+            BaselineConfig {
+                gamma: 2.0,
+                ..BaselineConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} must be rejected");
+        }
     }
 }

@@ -1,11 +1,15 @@
 //! DS-FL (Itahara et al., 2020).
 
+use std::time::Instant;
+
 use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
+use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::Federation;
-use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message};
 use fedpkd_tensor::models::ModelSpec;
@@ -56,7 +60,11 @@ impl Federation for DsFl {
         "DS-FL"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let config = &self.config;
         let public = &self.scenario.public;
         let num_classes = self.scenario.num_classes as u32;
@@ -64,11 +72,10 @@ impl Federation for DsFl {
 
         // Local training; clients upload *probabilities* (same wire size as
         // logits).
-        let client_probs: Vec<Tensor> = for_each_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            |client, data| {
-                train_supervised(
+        let training_started = Instant::now();
+        let client_probs: Vec<(Tensor, TrainStats)> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+                let stats = train_supervised(
                     &mut client.model,
                     &data.train,
                     config.local_epochs,
@@ -76,9 +83,21 @@ impl Federation for DsFl {
                     &mut client.optimizer,
                     &mut client.rng,
                 );
-                softmax(&eval::logits_on(&mut client.model, public), 1.0)
-            },
-        );
+                (
+                    softmax(&eval::logits_on(&mut client.model, public), 1.0),
+                    stats,
+                )
+            });
+        for (client, (_, stats)) in client_probs.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
+        let client_probs: Vec<Tensor> = client_probs.into_iter().map(|(p, _)| p).collect();
         for (client, probs) in client_probs.iter().enumerate() {
             ledger.record(
                 round,
@@ -93,14 +112,30 @@ impl Federation for DsFl {
         }
 
         // Entropy-reduction aggregation: mean, then sharpen.
+        let aggregation_started = Instant::now();
         let mut mean = Tensor::zeros(client_probs[0].shape());
         let w = 1.0 / client_probs.len() as f32;
         for p in &client_probs {
             mean.axpy(w, p).expect("aligned probabilities");
         }
+        if obs.enabled() {
+            // The inputs are probabilities rather than logits; the extra
+            // softmax inside the helper is monotone per row, so the
+            // disagreement measure is unaffected and weights are uniform.
+            let stats = aggregation_stats(&client_probs, false);
+            obs.record(&TelemetryEvent::LogitAggregation {
+                round,
+                clients: self.clients.len(),
+                variance_weighting: false,
+                mean_client_weight: stats.mean_client_weight,
+                disagreement: stats.disagreement,
+            });
+        }
         let sharpened = sharpen(&mean, config.sharpen_temperature);
+        emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
 
         // Distribute + distill.
+        let distill_started = Instant::now();
         for client in 0..self.clients.len() {
             ledger.record(
                 round,
@@ -114,19 +149,28 @@ impl Federation for DsFl {
             );
         }
         let target = &sharpened;
-        for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
-            train_distill(
-                &mut client.model,
-                public.features(),
-                target,
-                config.gamma,
-                1.0, // targets are already probabilities at T = 1
-                config.digest_epochs,
-                config.batch_size,
-                &mut client.optimizer,
-                &mut client.rng,
-            );
-        });
+        let distill_stats: Vec<TrainStats> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+                train_distill(
+                    &mut client.model,
+                    public.features(),
+                    target,
+                    config.gamma,
+                    1.0, // targets are already probabilities at T = 1
+                    config.digest_epochs,
+                    config.batch_size,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                )
+            });
+        for (client, stats) in distill_stats.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientDistilled {
+                round,
+                client,
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientDistill, distill_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -141,7 +185,7 @@ impl Federation for DsFl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::Runner;
+    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
     use fedpkd_tensor::ops::row_entropy;
@@ -177,8 +221,8 @@ mod tests {
             learning_rate: 0.003,
             ..BaselineConfig::default()
         };
-        let algo = DsFl::new(scenario(1), specs(), config, 3).unwrap();
-        let result = Runner::new(3).run(algo);
+        let mut algo = DsFl::new(scenario(1), specs(), config, 3).unwrap();
+        let result = algo.run_silent(3);
         let acc = result.best_client_accuracy();
         assert!(acc > 0.3, "DS-FL client accuracy {acc}");
         assert_eq!(result.best_server_accuracy(), None);

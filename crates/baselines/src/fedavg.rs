@@ -1,11 +1,14 @@
 //! FedAvg (McMahan et al., 2017).
 
+use std::time::Instant;
+
 use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
 use crate::BaselineConfig;
+use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::Federation;
-use fedpkd_core::train::train_supervised;
-use fedpkd_core::eval;
+use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use fedpkd_core::train::{train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
@@ -57,20 +60,23 @@ impl Federation for FedAvg {
         "FedAvg"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let global = state_vector(&self.global_model);
         let config = &self.config;
 
         // Broadcast + local training + upload. Each round starts from the
         // freshly loaded global state, so the optimizer starts fresh too.
-        let updates: Vec<Vec<f32>> = for_each_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            |client, data| {
+        let training_started = Instant::now();
+        let updates: Vec<(Vec<f32>, TrainStats)> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
                 load_state_vector(&mut client.model, &global)
                     .expect("homogeneous models share the layout");
                 let mut optimizer = fedpkd_tensor::optim::Adam::new(config.learning_rate);
-                train_supervised(
+                let stats = train_supervised(
                     &mut client.model,
                     &data.train,
                     config.local_epochs,
@@ -78,16 +84,26 @@ impl Federation for FedAvg {
                     &mut optimizer,
                     &mut client.rng,
                 );
-                state_vector(&client.model)
-            },
-        );
+                (state_vector(&client.model), stats)
+            });
+        for (client, (_, stats)) in updates.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
+
+        let aggregation_started = Instant::now();
         let weights: Vec<f64> = self
             .scenario
             .clients
             .iter()
             .map(|c| c.train.len() as f64)
             .collect();
-        for (client, params) in updates.iter().enumerate() {
+        for (client, (params, _)) in updates.iter().enumerate() {
             ledger.record(
                 round,
                 client,
@@ -105,8 +121,10 @@ impl Federation for FedAvg {
                 },
             );
         }
+        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
         let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
         load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
+        emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -124,7 +142,8 @@ impl Federation for FedAvg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::Runner;
+    use fedpkd_core::runtime::FlAlgorithm;
+    use fedpkd_core::telemetry::NullObserver;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -158,16 +177,16 @@ mod tests {
 
     #[test]
     fn learns_above_chance() {
-        let algo = FedAvg::new(scenario(1), spec(), config(), 3).unwrap();
-        let result = Runner::new(3).run(algo);
+        let mut algo = FedAvg::new(scenario(1), spec(), config(), 3).unwrap();
+        let result = algo.run_silent(3);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedAvg accuracy {acc} vs chance 0.1");
     }
 
     #[test]
     fn traffic_is_model_updates_both_ways() {
-        let algo = FedAvg::new(scenario(2), spec(), config(), 5).unwrap();
-        let result = Runner::new(1).run(algo);
+        let mut algo = FedAvg::new(scenario(2), spec(), config(), 5).unwrap();
+        let result = algo.run_silent(1);
         let up = result.ledger.direction_bytes(Direction::Uplink);
         let down = result.ledger.direction_bytes(Direction::Downlink);
         assert_eq!(up, down, "uplink and downlink are symmetric in FedAvg");
@@ -179,7 +198,7 @@ mod tests {
         let mut algo = FedAvg::new(scenario(3), spec(), config(), 7).unwrap();
         let before = state_vector(&algo.global_model);
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &mut ledger);
+        algo.run_round(0, &mut ledger, &mut NullObserver);
         let after = state_vector(&algo.global_model);
         assert_ne!(before, after);
     }

@@ -1,11 +1,15 @@
 //! FedDF (Lin et al., 2020).
 
+use std::time::Instant;
+
 use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
+use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::Federation;
-use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
@@ -69,20 +73,23 @@ impl Federation for FedDf {
         "FedDF"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let global = state_vector(&self.global_model);
         let config = &self.config;
         let global_ref = &global;
 
         // FedAvg-style local phase.
-        let updates: Vec<Vec<f32>> = for_each_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            |client, data| {
+        let training_started = Instant::now();
+        let updates: Vec<(Vec<f32>, TrainStats)> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
                 load_state_vector(&mut client.model, global_ref)
                     .expect("homogeneous models share the layout");
                 let mut optimizer = fedpkd_tensor::optim::Adam::new(config.learning_rate);
-                train_supervised(
+                let stats = train_supervised(
                     &mut client.model,
                     &data.train,
                     config.local_epochs,
@@ -90,9 +97,18 @@ impl Federation for FedDf {
                     &mut optimizer,
                     &mut client.rng,
                 );
-                state_vector(&client.model)
-            },
-        );
+                (state_vector(&client.model), stats)
+            });
+        for (client, (_, stats)) in updates.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
+        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
         for (client, params) in updates.iter().enumerate() {
             ledger.record(
                 round,
@@ -113,6 +129,7 @@ impl Federation for FedDf {
         }
 
         // Fusion init: weighted parameter average.
+        let aggregation_started = Instant::now();
         let weights: Vec<f64> = self
             .scenario
             .clients
@@ -127,12 +144,29 @@ impl Federation for FedDf {
         let public = &self.scenario.public;
         let mut ensemble = Tensor::zeros(&[public.len(), self.scenario.num_classes]);
         let w = 1.0 / updates.len() as f32;
+        let mut member_probs: Vec<Tensor> = Vec::new();
         for params in &updates {
             load_state_vector(&mut self.scratch, params).expect("layout is fixed");
             let probs = softmax(&eval::logits_on(&mut self.scratch, public), 1.0);
             ensemble.axpy(w, &probs).expect("aligned outputs");
+            if obs.enabled() {
+                member_probs.push(probs);
+            }
         }
-        train_distill(
+        if obs.enabled() {
+            let stats = aggregation_stats(&member_probs, false);
+            obs.record(&TelemetryEvent::LogitAggregation {
+                round,
+                clients: self.clients.len(),
+                variance_weighting: false,
+                mean_client_weight: stats.mean_client_weight,
+                disagreement: stats.disagreement,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
+
+        let distill_started = Instant::now();
+        let distill_stats = train_distill(
             &mut self.global_model,
             public.features(),
             &ensemble,
@@ -143,6 +177,14 @@ impl Federation for FedDf {
             &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
             &mut self.server_rng,
         );
+        obs.record(&TelemetryEvent::ServerDistill {
+            round,
+            kd_loss: distill_stats.mean_loss,
+            proto_loss: 0.0,
+            combined_loss: distill_stats.mean_loss,
+            batches: distill_stats.batches,
+        });
+        emit_phase_timing(obs, round, Phase::ServerDistill, distill_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -162,7 +204,7 @@ impl Federation for FedDf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::Runner;
+    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -197,16 +239,16 @@ mod tests {
 
     #[test]
     fn server_learns_above_chance() {
-        let algo = FedDf::new(scenario(1), spec(), config(), 3).unwrap();
-        let result = Runner::new(3).run(algo);
+        let mut algo = FedDf::new(scenario(1), spec(), config(), 3).unwrap();
+        let result = algo.run_silent(3);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedDF accuracy {acc}");
     }
 
     #[test]
     fn traffic_is_parameter_sized() {
-        let algo = FedDf::new(scenario(2), spec(), config(), 5).unwrap();
-        let result = Runner::new(1).run(algo);
+        let mut algo = FedDf::new(scenario(2), spec(), config(), 5).unwrap();
+        let result = algo.run_silent(1);
         // One round ships 2 model updates per client; each T20 ResMlp is
         // tens of thousands of parameters.
         let per_client = result.ledger.client_bytes(0);

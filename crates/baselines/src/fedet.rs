@@ -1,11 +1,15 @@
 //! FedET (Cho et al., 2022).
 
+use std::time::Instant;
+
 use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
+use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::Federation;
-use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
@@ -71,18 +75,21 @@ impl Federation for FedEt {
         "FedET"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let config = &self.config;
         let public = &self.scenario.public;
         let k = self.scenario.num_classes;
         let all_ids: Vec<u32> = (0..public.len() as u32).collect();
 
         // Local training; parameters travel up (FedET's costly uplink).
-        let updates: Vec<Vec<f32>> = for_each_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            |client, data| {
-                train_supervised(
+        let training_started = Instant::now();
+        let updates: Vec<(Vec<f32>, TrainStats)> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+                let stats = train_supervised(
                     &mut client.model,
                     &data.train,
                     config.local_epochs,
@@ -90,9 +97,18 @@ impl Federation for FedEt {
                     &mut client.optimizer,
                     &mut client.rng,
                 );
-                state_vector(&client.model)
-            },
-        );
+                (state_vector(&client.model), stats)
+            });
+        for (client, (_, stats)) in updates.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
+        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
         for (client, params) in updates.iter().enumerate() {
             ledger.record(
                 round,
@@ -105,9 +121,11 @@ impl Federation for FedEt {
         }
 
         // Server-side confidence-weighted ensemble over the public set.
+        let aggregation_started = Instant::now();
         let ln_k = (k as f32).ln();
         let mut weighted_sum = Tensor::zeros(&[public.len(), k]);
         let mut weight_total = vec![0.0f32; public.len()];
+        let mut member_probs: Vec<Tensor> = Vec::new();
         for (i, params) in updates.iter().enumerate() {
             let mut scratch_rng = Rng::stream(self.seed, 1000 + i as u64);
             let mut scratch = self.client_specs[i].build(&mut scratch_rng);
@@ -124,16 +142,33 @@ impl Federation for FedEt {
                     *o += w * p;
                 }
             }
+            if obs.enabled() {
+                member_probs.push(probs);
+            }
         }
-        for r in 0..public.len() {
-            let norm = weight_total[r].max(1e-9);
+        for (r, total) in weight_total.iter().enumerate() {
+            let norm = total.max(1e-9);
             for v in weighted_sum.row_mut(r) {
                 *v /= norm;
             }
         }
+        if obs.enabled() {
+            // The entropy-based per-sample weights are FedET-specific; the
+            // shared stats helper still measures ensemble disagreement.
+            let stats = aggregation_stats(&member_probs, false);
+            obs.record(&TelemetryEvent::LogitAggregation {
+                round,
+                clients: self.clients.len(),
+                variance_weighting: false,
+                mean_client_weight: stats.mean_client_weight,
+                disagreement: stats.disagreement,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
 
         // Distill ensemble → (larger) server model.
-        train_distill(
+        let server_started = Instant::now();
+        let server_stats = train_distill(
             &mut self.server_model,
             public.features(),
             &weighted_sum,
@@ -144,8 +179,17 @@ impl Federation for FedEt {
             &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
             &mut self.server_rng,
         );
+        obs.record(&TelemetryEvent::ServerDistill {
+            round,
+            kd_loss: server_stats.mean_loss,
+            proto_loss: 0.0,
+            combined_loss: server_stats.mean_loss,
+            batches: server_stats.batches,
+        });
+        emit_phase_timing(obs, round, Phase::ServerDistill, server_started);
 
         // Server logits travel down; clients distill.
+        let distill_started = Instant::now();
         let server_probs = softmax(&eval::logits_on(&mut self.server_model, public), 1.0);
         let server_logits_msg = Message::Logits {
             sample_ids: all_ids,
@@ -156,19 +200,28 @@ impl Federation for FedEt {
             ledger.record(round, client, Direction::Downlink, &server_logits_msg);
         }
         let target = &server_probs;
-        for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
-            train_distill(
-                &mut client.model,
-                public.features(),
-                target,
-                config.gamma,
-                1.0,
-                config.digest_epochs,
-                config.batch_size,
-                &mut client.optimizer,
-                &mut client.rng,
-            );
-        });
+        let distill_stats: Vec<TrainStats> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+                train_distill(
+                    &mut client.model,
+                    public.features(),
+                    target,
+                    config.gamma,
+                    1.0,
+                    config.digest_epochs,
+                    config.batch_size,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                )
+            });
+        for (client, stats) in distill_stats.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientDistilled {
+                round,
+                client,
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientDistill, distill_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -188,7 +241,7 @@ impl Federation for FedEt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::Runner;
+    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -235,16 +288,16 @@ mod tests {
 
     #[test]
     fn larger_server_learns_from_heterogeneous_clients() {
-        let algo = FedEt::new(scenario(1), client_specs(), server_spec(), config(), 3).unwrap();
-        let result = Runner::new(4).run(algo);
+        let mut algo = FedEt::new(scenario(1), client_specs(), server_spec(), config(), 3).unwrap();
+        let result = algo.run_silent(4);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedET server accuracy {acc}");
     }
 
     #[test]
     fn uplink_is_parameter_sized() {
-        let algo = FedEt::new(scenario(2), client_specs(), server_spec(), config(), 5).unwrap();
-        let result = Runner::new(1).run(algo);
+        let mut algo = FedEt::new(scenario(2), client_specs(), server_spec(), config(), 5).unwrap();
+        let result = algo.run_silent(1);
         let up = result.ledger.direction_bytes(Direction::Uplink);
         let down = result.ledger.direction_bytes(Direction::Downlink);
         // Parameter uplink dwarfs logits downlink — the cost the paper

@@ -1,11 +1,15 @@
 //! FedMD (Li & Wang, 2019).
 
+use std::time::Instant;
+
 use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
+use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::Federation;
-use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message};
 use fedpkd_tensor::models::ModelSpec;
@@ -55,18 +59,21 @@ impl Federation for FedMd {
         "FedMD"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let config = &self.config;
         let public = &self.scenario.public;
         let num_classes = self.scenario.num_classes as u32;
         let all_ids: Vec<u32> = (0..public.len() as u32).collect();
 
         // Local training + logit upload ("communicate").
-        let client_logits: Vec<Tensor> = for_each_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            |client, data| {
-                train_supervised(
+        let training_started = Instant::now();
+        let client_logits: Vec<(Tensor, TrainStats)> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+                let stats = train_supervised(
                     &mut client.model,
                     &data.train,
                     config.local_epochs,
@@ -74,9 +81,18 @@ impl Federation for FedMd {
                     &mut client.optimizer,
                     &mut client.rng,
                 );
-                eval::logits_on(&mut client.model, public)
-            },
-        );
+                (eval::logits_on(&mut client.model, public), stats)
+            });
+        for (client, (_, stats)) in client_logits.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
+        let client_logits: Vec<Tensor> = client_logits.into_iter().map(|(l, _)| l).collect();
         for (client, logits) in client_logits.iter().enumerate() {
             ledger.record(
                 round,
@@ -91,14 +107,27 @@ impl Federation for FedMd {
         }
 
         // Consensus: plain mean of the logits ("aggregate").
+        let aggregation_started = Instant::now();
         let mut consensus = Tensor::zeros(client_logits[0].shape());
         let w = 1.0 / client_logits.len() as f32;
         for l in &client_logits {
             consensus.axpy(w, l).expect("aligned logits");
         }
+        if obs.enabled() {
+            let stats = aggregation_stats(&client_logits, false);
+            obs.record(&TelemetryEvent::LogitAggregation {
+                round,
+                clients: self.clients.len(),
+                variance_weighting: false,
+                mean_client_weight: stats.mean_client_weight,
+                disagreement: stats.disagreement,
+            });
+        }
         let consensus_probs = softmax(&consensus, config.temperature);
+        emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
 
         // Distribute + digest: every client distills toward the consensus.
+        let digest_started = Instant::now();
         for client in 0..self.clients.len() {
             ledger.record(
                 round,
@@ -112,19 +141,28 @@ impl Federation for FedMd {
             );
         }
         let probs_ref = &consensus_probs;
-        for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
-            train_distill(
-                &mut client.model,
-                public.features(),
-                probs_ref,
-                config.gamma,
-                config.temperature,
-                config.digest_epochs,
-                config.batch_size,
-                &mut client.optimizer,
-                &mut client.rng,
-            );
-        });
+        let digest_stats: Vec<TrainStats> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+                train_distill(
+                    &mut client.model,
+                    public.features(),
+                    probs_ref,
+                    config.gamma,
+                    config.temperature,
+                    config.digest_epochs,
+                    config.batch_size,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                )
+            });
+        for (client, stats) in digest_stats.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientDistilled {
+                round,
+                client,
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientDistill, digest_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -139,7 +177,7 @@ impl Federation for FedMd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::Runner;
+    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -177,28 +215,27 @@ mod tests {
 
     #[test]
     fn has_no_server_model() {
-        let algo = FedMd::new(scenario(1), specs(), config(), 3).unwrap();
-        let result = Runner::new(1).run(algo);
+        let mut algo = FedMd::new(scenario(1), specs(), config(), 3).unwrap();
+        let result = algo.run_silent(1);
         assert_eq!(result.last().server_accuracy, None);
         assert_eq!(result.best_server_accuracy(), None);
     }
 
     #[test]
     fn heterogeneous_clients_learn() {
-        let algo = FedMd::new(scenario(2), specs(), config(), 5).unwrap();
-        let result = Runner::new(3).run(algo);
+        let mut algo = FedMd::new(scenario(2), specs(), config(), 5).unwrap();
+        let result = algo.run_silent(3);
         let acc = result.best_client_accuracy();
         assert!(acc > 0.3, "FedMD client accuracy {acc}");
     }
 
     #[test]
     fn traffic_is_logits_only() {
-        let algo = FedMd::new(scenario(3), specs(), config(), 7).unwrap();
-        let result = Runner::new(1).run(algo);
+        let mut algo = FedMd::new(scenario(3), specs(), config(), 7).unwrap();
+        let result = algo.run_silent(1);
         // Logits for 120 samples × 10 classes × 4 B ≈ 4.8 KB per message —
         // far below one T20 model update (> 100 KB).
-        let per_client_up =
-            result.ledger.direction_bytes(Direction::Uplink) / 3;
+        let per_client_up = result.ledger.direction_bytes(Direction::Uplink) / 3;
         assert!(
             per_client_up < 10_000,
             "logit uplink should be small, got {per_client_up}"

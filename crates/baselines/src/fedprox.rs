@@ -1,5 +1,7 @@
 //! FedProx (Li et al., 2020).
 
+use std::time::Instant;
+
 use crate::common::{
     build_clients, client_accuracies, for_each_client, train_supervised_prox, validate_specs,
     Client,
@@ -8,6 +10,8 @@ use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::Federation;
+use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use fedpkd_core::train::TrainStats;
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
@@ -58,23 +62,26 @@ impl Federation for FedProx {
         "FedProx"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let global = state_vector(&self.global_model);
         let n_params = self.global_model.param_count();
         let config = &self.config;
         let global_ref = &global;
 
-        let updates: Vec<Vec<f32>> = for_each_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            |client, data| {
+        let training_started = Instant::now();
+        let updates: Vec<(Vec<f32>, TrainStats)> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
                 load_state_vector(&mut client.model, global_ref)
                     .expect("homogeneous models share the layout");
                 let mut optimizer = fedpkd_tensor::optim::Adam::new(config.learning_rate);
                 // The proximal anchor covers the trainable parameters (the
                 // leading section of the state vector); buffers are not
                 // optimized and need no anchor.
-                train_supervised_prox(
+                let stats = train_supervised_prox(
                     &mut client.model,
                     &data.train,
                     &global_ref[..n_params],
@@ -84,16 +91,26 @@ impl Federation for FedProx {
                     &mut optimizer,
                     &mut client.rng,
                 );
-                state_vector(&client.model)
-            },
-        );
+                (state_vector(&client.model), stats)
+            });
+        for (client, (_, stats)) in updates.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
+
+        let aggregation_started = Instant::now();
         let weights: Vec<f64> = self
             .scenario
             .clients
             .iter()
             .map(|c| c.train.len() as f64)
             .collect();
-        for (client, params) in updates.iter().enumerate() {
+        for (client, (params, _)) in updates.iter().enumerate() {
             ledger.record(
                 round,
                 client,
@@ -111,8 +128,10 @@ impl Federation for FedProx {
                 },
             );
         }
+        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
         let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
         load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
+        emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -130,7 +149,7 @@ impl Federation for FedProx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::Runner;
+    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -162,8 +181,8 @@ mod tests {
             mu: 0.01,
             ..BaselineConfig::default()
         };
-        let algo = FedProx::new(scenario(1), spec(), config, 3).unwrap();
-        let result = Runner::new(3).run(algo);
+        let mut algo = FedProx::new(scenario(1), spec(), config, 3).unwrap();
+        let result = algo.run_silent(3);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedProx accuracy {acc}");
     }
@@ -174,10 +193,10 @@ mod tests {
             local_epochs: 1,
             ..BaselineConfig::default()
         };
-        let prox = FedProx::new(scenario(2), spec(), config.clone(), 5).unwrap();
-        let avg = crate::FedAvg::new(scenario(2), spec(), config, 5).unwrap();
-        let prox_bytes = Runner::new(1).run(prox).ledger.total_bytes();
-        let avg_bytes = Runner::new(1).run(avg).ledger.total_bytes();
+        let mut prox = FedProx::new(scenario(2), spec(), config.clone(), 5).unwrap();
+        let mut avg = crate::FedAvg::new(scenario(2), spec(), config, 5).unwrap();
+        let prox_bytes = prox.run_silent(1).ledger.total_bytes();
+        let avg_bytes = avg.run_silent(1).ledger.total_bytes();
         assert_eq!(prox_bytes, avg_bytes, "FedProx ships the same payloads");
     }
 

@@ -1,11 +1,15 @@
 //! The plain logit-averaging KD strawman of the paper's motivation study.
 
+use std::time::Instant;
+
 use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
+use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::Federation;
-use fedpkd_core::train::{train_distill, train_supervised};
+use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
@@ -80,17 +84,20 @@ impl Federation for NaiveKd {
         "NaiveKD"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let config = &self.config;
         let public = &self.scenario.public;
         let num_classes = self.scenario.num_classes as u32;
         let all_ids: Vec<u32> = (0..public.len() as u32).collect();
 
-        let client_logits: Vec<Tensor> = for_each_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            |client, data| {
-                train_supervised(
+        let training_started = Instant::now();
+        let client_logits: Vec<(Tensor, TrainStats)> =
+            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+                let stats = train_supervised(
                     &mut client.model,
                     &data.train,
                     config.local_epochs,
@@ -98,9 +105,18 @@ impl Federation for NaiveKd {
                     &mut client.optimizer,
                     &mut client.rng,
                 );
-                eval::logits_on(&mut client.model, public)
-            },
-        );
+                (eval::logits_on(&mut client.model, public), stats)
+            });
+        for (client, (_, stats)) in client_logits.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
+        let client_logits: Vec<Tensor> = client_logits.into_iter().map(|(l, _)| l).collect();
         for (client, logits) in client_logits.iter().enumerate() {
             ledger.record(
                 round,
@@ -115,13 +131,27 @@ impl Federation for NaiveKd {
         }
 
         // Uniform average → server distillation (Eq. 3).
+        let aggregation_started = Instant::now();
         let mut mean = Tensor::zeros(client_logits[0].shape());
         let w = 1.0 / client_logits.len() as f32;
         for l in &client_logits {
             mean.axpy(w, l).expect("aligned logits");
         }
+        if obs.enabled() {
+            let stats = aggregation_stats(&client_logits, false);
+            obs.record(&TelemetryEvent::LogitAggregation {
+                round,
+                clients: self.clients.len(),
+                variance_weighting: false,
+                mean_client_weight: stats.mean_client_weight,
+                disagreement: stats.disagreement,
+            });
+        }
         let teacher = softmax(&mean, config.temperature);
-        train_distill(
+        emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
+
+        let server_started = Instant::now();
+        let server_stats = train_distill(
             &mut self.server_model,
             public.features(),
             &teacher,
@@ -132,6 +162,14 @@ impl Federation for NaiveKd {
             &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
             &mut self.server_rng,
         );
+        obs.record(&TelemetryEvent::ServerDistill {
+            round,
+            kd_loss: server_stats.mean_loss,
+            proto_loss: 0.0,
+            combined_loss: server_stats.mean_loss,
+            batches: server_stats.batches,
+        });
+        emit_phase_timing(obs, round, Phase::ServerDistill, server_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -149,7 +187,8 @@ impl Federation for NaiveKd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::Runner;
+    use fedpkd_core::runtime::FlAlgorithm;
+    use fedpkd_core::telemetry::NullObserver;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -195,26 +234,25 @@ mod tests {
 
     #[test]
     fn server_learns_something() {
-        let algo = NaiveKd::new(scenario(0.5, 1), specs(), server_spec(), config(), 3).unwrap();
-        let result = Runner::new(3).run(algo);
+        let mut algo = NaiveKd::new(scenario(0.5, 1), specs(), server_spec(), config(), 3).unwrap();
+        let result = algo.run_silent(3);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.2, "NaiveKD server accuracy {acc}");
     }
 
     #[test]
     fn aggregated_logits_accessor_matches_shape() {
-        let mut algo =
-            NaiveKd::new(scenario(0.5, 2), specs(), server_spec(), config(), 5).unwrap();
+        let mut algo = NaiveKd::new(scenario(0.5, 2), specs(), server_spec(), config(), 5).unwrap();
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &mut ledger);
+        algo.run_round(0, &mut ledger, &mut NullObserver);
         let agg = algo.aggregated_public_logits();
         assert_eq!(agg.shape(), &[120, 10]);
     }
 
     #[test]
     fn no_downlink_traffic() {
-        let algo = NaiveKd::new(scenario(0.5, 3), specs(), server_spec(), config(), 7).unwrap();
-        let result = Runner::new(1).run(algo);
+        let mut algo = NaiveKd::new(scenario(0.5, 3), specs(), server_spec(), config(), 7).unwrap();
+        let result = algo.run_silent(1);
         assert_eq!(result.ledger.direction_bytes(Direction::Downlink), 0);
         assert!(result.ledger.direction_bytes(Direction::Uplink) > 0);
     }

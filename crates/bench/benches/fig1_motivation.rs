@@ -5,7 +5,7 @@
 //! non-IID data hurts both methods substantially.
 
 use fedpkd_bench::{banner, pct, print_table, Method, Scale, Task};
-use fedpkd_core::runtime::Runner;
+use fedpkd_core::runtime::FlAlgorithm;
 use fedpkd_data::Partition;
 
 fn main() {
@@ -49,22 +49,19 @@ fn run(method: Method, scale: &Scale, task: Task, partition: Partition) -> Optio
         .seed(101)
         .build()
         .expect("valid scenario");
-    let runner = Runner::new(scale.rounds);
     let result = match method {
-        Method::FedAvg => runner.run(
-            FedAvg::new(scenario, scale.client_spec(task), scale.base.clone(), 101)
-                .expect("wiring"),
-        ),
-        Method::NaiveKd => runner.run(
-            NaiveKd::new(
-                scenario,
-                vec![scale.client_spec(task); scale.clients],
-                scale.server_spec(task),
-                scale.base.clone(),
-                101,
-            )
-            .expect("wiring"),
-        ),
+        Method::FedAvg => FedAvg::new(scenario, scale.client_spec(task), scale.base.clone(), 101)
+            .expect("wiring")
+            .run_silent(scale.rounds),
+        Method::NaiveKd => NaiveKd::new(
+            scenario,
+            vec![scale.client_spec(task); scale.clients],
+            scale.server_spec(task),
+            scale.base.clone(),
+            101,
+        )
+        .expect("wiring")
+        .run_silent(scale.rounds),
         _ => unreachable!("fig1 compares FedAvg and NaiveKD only"),
     };
     result.best_server_accuracy()

@@ -29,12 +29,8 @@ fn main() {
     let n_private = scale.samples_for(task);
     let public_idx: Vec<usize> = (n_private..pool.len()).collect();
     let public = pool.subset(&public_idx);
-    let low: Vec<usize> = (0..n_private)
-        .filter(|&i| pool.labels()[i] < 5)
-        .collect();
-    let high: Vec<usize> = (0..n_private)
-        .filter(|&i| pool.labels()[i] >= 5)
-        .collect();
+    let low: Vec<usize> = (0..n_private).filter(|&i| pool.labels()[i] < 5).collect();
+    let high: Vec<usize> = (0..n_private).filter(|&i| pool.labels()[i] >= 5).collect();
     let client1_data = pool.subset(&low);
     let client2_data = pool.subset(&high);
 
@@ -51,10 +47,7 @@ fn main() {
     // Public-set logits and the uniform average.
     let logits1 = eval::logits_on(&mut client1, &public);
     let logits2 = eval::logits_on(&mut client2, &public);
-    let averaged = logits1
-        .add(&logits2)
-        .expect("aligned logits")
-        .scale(0.5);
+    let averaged = logits1.add(&logits2).expect("aligned logits").scale(0.5);
 
     let pca = |logits: &Tensor| metrics::per_class_accuracy(logits, public.labels(), 10);
     let acc1 = pca(&logits1);

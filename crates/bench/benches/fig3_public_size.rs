@@ -4,9 +4,9 @@
 //! public-set size and eventually crosses the cost of one model update;
 //! server accuracy grows with the public-set size.
 
-use fedpkd_bench::{banner, print_table, Scale, Task};
 use fedpkd_baselines::NaiveKd;
-use fedpkd_core::runtime::Runner;
+use fedpkd_bench::{banner, print_table, Scale, Task};
+use fedpkd_core::runtime::FlAlgorithm;
 use fedpkd_data::ScenarioBuilder;
 use fedpkd_netsim::{bytes_to_mb, Message, Wire};
 use fedpkd_rng::Rng;
@@ -25,7 +25,8 @@ fn main() {
     // for its model; ours is smaller but plays the same role).
     let mut rng = Rng::seed_from_u64(303);
     let model = scale.client_spec(task).build(&mut rng);
-    let model_bytes = param_byte_len(&model) + Message::ModelUpdate { params: vec![] }.encoded_len();
+    let model_bytes =
+        param_byte_len(&model) + Message::ModelUpdate { params: vec![] }.encoded_len();
     println!(
         "\nmodel-update reference cost: {:.3} MB ({} parameters)",
         bytes_to_mb(model_bytes),
@@ -54,30 +55,40 @@ fn main() {
             .seed(303)
             .build()
             .expect("valid scenario");
-        let algo = NaiveKd::new(
+        let acc = NaiveKd::new(
             scenario,
             vec![scale.client_spec(task); scale.clients],
             scale.server_spec(task),
             scale.base.clone(),
             303,
         )
-        .expect("wiring");
-        let acc = Runner::new(scale.rounds)
-            .run(algo)
-            .best_server_accuracy()
-            .unwrap_or(0.0);
+        .expect("wiring")
+        .run_silent(scale.rounds)
+        .best_server_accuracy()
+        .unwrap_or(0.0);
 
         rows.push(vec![
             public.to_string(),
             format!("{:.4}", bytes_to_mb(logit_bytes)),
             format!("{:.4}", bytes_to_mb(model_bytes)),
-            if logit_bytes > model_bytes { "yes" } else { "no" }.to_string(),
+            if logit_bytes > model_bytes {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             format!("{:.2}%", acc * 100.0),
         ]);
     }
     print_table(
         "Fig. 3 (per-client per-round uplink and server accuracy)",
-        &["public size", "logits MB", "model MB", "logits>model?", "server acc"],
+        &[
+            "public size",
+            "logits MB",
+            "model MB",
+            "logits>model?",
+            "server acc",
+        ],
         &rows,
     );
     println!("\nexpected shape: logits MB grows linearly and crosses model MB;");

@@ -12,7 +12,10 @@ fn main() {
         "FedPKD's learning curve dominates the baselines under high skew",
     );
     let scale = Scale::from_env();
-    for (task, setting) in [(Task::C10, Setting::DirHigh), (Task::C100, Setting::ShardsHigh)] {
+    for (task, setting) in [
+        (Task::C10, Setting::DirHigh),
+        (Task::C100, Setting::ShardsHigh),
+    ] {
         let mut rows = Vec::new();
         for method in Method::ROSTER {
             let result = run_method(method, &scale, task, setting, false, 606);
@@ -32,7 +35,11 @@ fn main() {
             .collect();
         let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
         print_table(
-            &format!("Fig. 6 — {} {} (accuracy % per round)", task.name(), setting.name(task)),
+            &format!(
+                "Fig. 6 — {} {} (accuracy % per round)",
+                task.name(),
+                setting.name(task)
+            ),
             &header_refs,
             &rows,
         );

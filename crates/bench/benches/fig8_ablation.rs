@@ -14,7 +14,8 @@ fn main() {
         "both w/o Pro and w/o D.F. lose several points of server accuracy",
     );
     let scale = Scale::from_env();
-    let arms: [(&str, fn(&mut fedpkd_core::fedpkd::FedPkdConfig)); 3] = [
+    type Tweak = fn(&mut fedpkd_core::fedpkd::FedPkdConfig);
+    let arms: [(&str, Tweak); 3] = [
         ("FedPKD", |_| {}),
         ("w/o Pro", |c| c.use_prototypes = false),
         ("w/o D.F.", |c| c.use_filter = false),

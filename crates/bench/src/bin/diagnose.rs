@@ -27,14 +27,7 @@ fn main() {
         .collect();
     for (i, model) in clients.iter_mut().enumerate() {
         let mut opt = Adam::new(0.002);
-        train::train_supervised(
-            model,
-            &scenario.clients[i].train,
-            6,
-            32,
-            &mut opt,
-            &mut rng,
-        );
+        train::train_supervised(model, &scenario.clients[i].train, 6, 32, &mut opt, &mut rng);
         let acc = eval::accuracy(model, &scenario.clients[i].test);
         println!("client {i}: local acc {:.2}%", acc * 100.0);
     }
@@ -69,9 +62,9 @@ fn main() {
             }
         }
     }
-    for r in 0..public.len() {
+    for (r, total) in totals.iter().enumerate() {
         for v in ent_weighted.row_mut(r) {
-            *v /= totals[r].max(1e-9);
+            *v /= total.max(1e-9);
         }
     }
 
@@ -79,7 +72,7 @@ fn main() {
     let mut norm_var = Tensor::zeros(probs[0].shape());
     {
         use fedpkd_tensor::ops::row_variance;
-        let vars: Vec<Vec<f32>> = logits.iter().map(|l| row_variance(l)).collect();
+        let vars: Vec<Vec<f32>> = logits.iter().map(row_variance).collect();
         let means: Vec<f32> = vars
             .iter()
             .map(|v| (v.iter().sum::<f32>() / v.len() as f32).max(1e-9))
@@ -99,11 +92,15 @@ fn main() {
     let mut prob_var = Tensor::zeros(probs[0].shape());
     {
         use fedpkd_tensor::ops::row_variance;
-        let vars: Vec<Vec<f32>> = probs.iter().map(|p| row_variance(p)).collect();
+        let vars: Vec<Vec<f32>> = probs.iter().map(row_variance).collect();
         for r in 0..public.len() {
             let total: f32 = vars.iter().map(|v| v[r]).sum();
             for (p, v) in probs.iter().zip(&vars) {
-                let w = if total > 0.0 { v[r] / total } else { 1.0 / probs.len() as f32 };
+                let w = if total > 0.0 {
+                    v[r] / total
+                } else {
+                    1.0 / probs.len() as f32
+                };
                 for (o, &x) in prob_var.row_mut(r).iter_mut().zip(p.row(r)) {
                     *o += w * x;
                 }
@@ -176,55 +173,73 @@ fn main() {
         eval::accuracy(&mut server, &scenario.global_test) * 100.0
     );
 
-    // --- Filter quality: does prototype-distance filtering clean the
-    // pseudo-labels? Simulate one FedPKD server round (distillation +
-    // prototype alignment), then filter and compare subset label quality.
-    use fedpkd_core::fedpkd::distill::train_server;
-    use fedpkd_core::fedpkd::filter::filter_public;
-    use fedpkd_core::fedpkd::prototypes::{aggregate_prototypes, compute_prototypes};
+    // --- Filter and distillation quality through the telemetry stream:
+    // run the real algorithm for a few rounds and read the per-round
+    // filter acceptance, Eq. 13 loss components, and prototype drift the
+    // round driver reports.
+    use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
+    use fedpkd_core::runtime::FlAlgorithm;
+    use fedpkd_core::telemetry::{EventLog, TelemetryEvent};
 
-    let client_protos: Vec<_> = clients
-        .iter_mut()
-        .zip(&scenario.clients)
-        .map(|(m, d)| compute_prototypes(m, &d.train))
-        .collect();
-    let global_protos = aggregate_prototypes(&client_protos);
-    let pseudo = var_agg.argmax_rows();
-    let mut server = scale.server_spec(task).build(&mut rng);
-    let mut opt = Adam::new(0.002);
-    train_server(
-        &mut server,
-        public.features(),
-        &var_agg,
-        &pseudo,
-        &global_protos,
-        0.5,
-        1.0,
-        10,
-        32,
-        &mut opt,
-        &mut rng,
-    );
-    let server_features = eval::features_on(&mut server, public);
-    let full_acc: f64 = pseudo
-        .iter()
-        .zip(public.labels())
-        .filter(|(p, y)| p == y)
-        .count() as f64
-        / pseudo.len() as f64;
-    println!("\nfilter quality (after one prototype-aligned server round):");
-    println!("  pseudo-label accuracy, full public: {:.2}%", full_acc * 100.0);
-    for theta in [0.7f32, 0.5, 0.3] {
-        let kept = filter_public(&server_features, &pseudo, &global_protos, theta);
-        let kept_acc: f64 = kept
-            .iter()
-            .filter(|&&i| pseudo[i] == public.labels()[i])
-            .count() as f64
-            / kept.len() as f64;
-        println!(
-            "  theta={theta:.1}: kept {} samples, pseudo-label accuracy {:.2}%",
-            kept.len(),
-            kept_acc * 100.0
-        );
+    let pkd_scenario = scale.scenario(task, setting, 42);
+    let config = FedPkdConfig {
+        client_private_epochs: 3,
+        client_public_epochs: 2,
+        server_epochs: 10,
+        learning_rate: 0.002,
+        ..FedPkdConfig::default()
+    };
+    let mut algo = FedPkd::new(
+        pkd_scenario,
+        vec![scale.client_spec(task); scale.clients],
+        scale.server_spec(task),
+        config,
+        42,
+    )
+    .expect("wiring");
+    let mut log = EventLog::new();
+    let result = algo.run(3, &mut log);
+
+    println!("\nFedPKD round telemetry (3 rounds, theta from config):");
+    for event in log.events() {
+        match event {
+            TelemetryEvent::FilterOutcome {
+                round,
+                kept,
+                dropped,
+                distance_quantiles,
+                ..
+            } => {
+                let spread = if distance_quantiles.len() == 5 {
+                    format!(
+                        ", distance median {:.3} (q25 {:.3} / q75 {:.3})",
+                        distance_quantiles[2], distance_quantiles[1], distance_quantiles[3]
+                    )
+                } else {
+                    String::new()
+                };
+                println!("  round {round}: filter kept {kept}, dropped {dropped}{spread}");
+            }
+            TelemetryEvent::ServerDistill {
+                round,
+                kd_loss,
+                proto_loss,
+                combined_loss,
+                ..
+            } => println!(
+                "  round {round}: L_kd {kd_loss:.4}, L_p {proto_loss:.4}, F {combined_loss:.4}"
+            ),
+            TelemetryEvent::PrototypeDrift {
+                round,
+                mean_l2,
+                max_l2,
+                ..
+            } => println!("  round {round}: prototype drift mean {mean_l2:.4}, max {max_l2:.4}"),
+            _ => {}
+        }
     }
+    println!(
+        "final server accuracy: {:.2}%",
+        result.last().server_accuracy.unwrap_or(0.0) * 100.0
+    );
 }

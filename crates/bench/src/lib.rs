@@ -15,7 +15,8 @@
 
 use fedpkd_baselines::{BaselineConfig, DsFl, FedAvg, FedDf, FedEt, FedMd, FedProx, NaiveKd};
 use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
-use fedpkd_core::runtime::{Runner, RunResult};
+use fedpkd_core::runtime::{FlAlgorithm, RunResult};
+use fedpkd_core::telemetry::{NullObserver, RoundObserver};
 use fedpkd_data::{FederatedScenario, Partition, ScenarioBuilder, SyntheticConfig};
 use fedpkd_tensor::models::{DepthTier, ModelSpec};
 
@@ -98,7 +99,11 @@ impl Setting {
             Self::DirHigh => Partition::Dirichlet { alpha: 0.1 },
             Self::DirWeak => Partition::Dirichlet { alpha: 0.5 },
             Self::ShardsHigh | Self::ShardsWeak => {
-                let k10 = if matches!(self, Self::ShardsHigh) { 3 } else { 5 };
+                let k10 = if matches!(self, Self::ShardsHigh) {
+                    3
+                } else {
+                    5
+                };
                 let classes_per_client = match task {
                     Task::C10 => k10,
                     Task::C100 => k10 * 10,
@@ -351,8 +356,35 @@ pub fn run_method(
     hetero: bool,
     seed: u64,
 ) -> RunResult {
+    run_method_observed(
+        method,
+        scale,
+        task,
+        setting,
+        hetero,
+        seed,
+        &mut NullObserver,
+    )
+}
+
+/// [`run_method`] with a telemetry observer attached — every method runs
+/// through the same [`FlAlgorithm::run`] driver, so the event stream has
+/// the same framing regardless of algorithm.
+///
+/// # Panics
+///
+/// Panics if the method/scenario wiring is invalid (a harness bug).
+pub fn run_method_observed(
+    method: Method,
+    scale: &Scale,
+    task: Task,
+    setting: Setting,
+    hetero: bool,
+    seed: u64,
+    obs: &mut dyn RoundObserver,
+) -> RunResult {
     let scenario = scale.scenario(task, setting, seed);
-    let runner = Runner::new(scale.rounds);
+    let rounds = scale.rounds;
     let client_specs = if hetero {
         scale.heterogeneous_specs(task)
     } else {
@@ -361,40 +393,42 @@ pub fn run_method(
     let homo_spec = scale.client_spec(task);
     let server_spec = scale.server_spec(task);
     match method {
-        Method::FedPkd => {
-            let algo = FedPkd::new(
-                scenario,
-                client_specs,
-                server_spec,
-                scale.pkd.clone(),
-                seed,
-            )
-            .expect("harness wiring");
-            runner.run(algo)
-        }
-        Method::FedAvg => runner.run(
-            FedAvg::new(scenario, homo_spec, scale.base.clone(), seed).expect("harness wiring"),
-        ),
-        Method::FedProx => runner.run(
-            FedProx::new(scenario, homo_spec, scale.base.clone(), seed).expect("harness wiring"),
-        ),
-        Method::FedMd => runner.run(
-            FedMd::new(scenario, client_specs, scale.base.clone(), seed).expect("harness wiring"),
-        ),
-        Method::DsFl => runner.run(
-            DsFl::new(scenario, client_specs, scale.base.clone(), seed).expect("harness wiring"),
-        ),
-        Method::FedDf => runner.run(
-            FedDf::new(scenario, homo_spec, scale.base.clone(), seed).expect("harness wiring"),
-        ),
-        Method::FedEt => runner.run(
-            FedEt::new(scenario, client_specs, server_spec, scale.base.clone(), seed)
-                .expect("harness wiring"),
-        ),
-        Method::NaiveKd => runner.run(
-            NaiveKd::new(scenario, client_specs, server_spec, scale.base.clone(), seed)
-                .expect("harness wiring"),
-        ),
+        Method::FedPkd => FedPkd::new(scenario, client_specs, server_spec, scale.pkd.clone(), seed)
+            .expect("harness wiring")
+            .run(rounds, obs),
+        Method::FedAvg => FedAvg::new(scenario, homo_spec, scale.base.clone(), seed)
+            .expect("harness wiring")
+            .run(rounds, obs),
+        Method::FedProx => FedProx::new(scenario, homo_spec, scale.base.clone(), seed)
+            .expect("harness wiring")
+            .run(rounds, obs),
+        Method::FedMd => FedMd::new(scenario, client_specs, scale.base.clone(), seed)
+            .expect("harness wiring")
+            .run(rounds, obs),
+        Method::DsFl => DsFl::new(scenario, client_specs, scale.base.clone(), seed)
+            .expect("harness wiring")
+            .run(rounds, obs),
+        Method::FedDf => FedDf::new(scenario, homo_spec, scale.base.clone(), seed)
+            .expect("harness wiring")
+            .run(rounds, obs),
+        Method::FedEt => FedEt::new(
+            scenario,
+            client_specs,
+            server_spec,
+            scale.base.clone(),
+            seed,
+        )
+        .expect("harness wiring")
+        .run(rounds, obs),
+        Method::NaiveKd => NaiveKd::new(
+            scenario,
+            client_specs,
+            server_spec,
+            scale.base.clone(),
+            seed,
+        )
+        .expect("harness wiring")
+        .run(rounds, obs),
     }
 }
 
@@ -414,15 +448,15 @@ pub fn run_fedpkd_with(
     let mut config = scale.pkd.clone();
     mutate(&mut config);
     let scenario = scale.scenario(task, setting, seed);
-    let algo = FedPkd::new(
+    FedPkd::new(
         scenario,
         vec![scale.client_spec(task); scale.clients],
         scale.server_spec(task),
         config,
         seed,
     )
-    .expect("mutated config must stay valid");
-    Runner::new(scale.rounds).run(algo)
+    .expect("mutated config must stay valid")
+    .run_silent(scale.rounds)
 }
 
 /// Formats an optional accuracy as a percent cell.

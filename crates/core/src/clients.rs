@@ -1,0 +1,198 @@
+//! Shared client plumbing: construction, spec validation, parallel
+//! dispatch, and evaluation.
+//!
+//! FedPKD and every baseline build their client fleets the same way — one
+//! model per spec, each on its own deterministic RNG stream — so the logic
+//! lives here once. The RNG stream convention is load-bearing for
+//! reproducibility: client `i` draws from `Rng::stream(seed, 1 + i)` and the
+//! server (when present) from `Rng::stream(seed, 0)`.
+
+use crate::eval;
+use crate::fedpkd::CoreError;
+use fedpkd_data::{ClientData, FederatedScenario};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::optim::Adam;
+
+/// One simulated client: model, optimizer, private RNG stream.
+pub struct ClientState {
+    /// The client's local model.
+    pub model: ClassifierModel,
+    /// The client's optimizer state.
+    pub optimizer: Adam,
+    /// The client's private RNG stream (batch shuffling, dropout).
+    pub rng: Rng,
+}
+
+/// Builds one client per spec, each on its own deterministic RNG stream
+/// (`Rng::stream(seed, 1 + i)`; stream 0 is reserved for the server).
+pub fn build_clients(specs: &[ModelSpec], learning_rate: f32, seed: u64) -> Vec<ClientState> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let mut rng = Rng::stream(seed, 1 + i as u64);
+            ClientState {
+                model: spec.build(&mut rng),
+                optimizer: Adam::new(learning_rate),
+                rng,
+            }
+        })
+        .collect()
+}
+
+/// Validates spec wiring against a scenario; `homogeneous` additionally
+/// requires all client specs (and the server spec, when given) to be
+/// identical — FedAvg, FedProx, and FedDF cannot mix architectures.
+///
+/// # Errors
+///
+/// Returns [`CoreError::ClientSpecMismatch`] when the spec count does not
+/// match the scenario, [`CoreError::ClassCountMismatch`] when any spec's
+/// class count disagrees with the scenario, and
+/// [`CoreError::InvalidConfig`] when `homogeneous` is requested but the
+/// architectures differ.
+pub fn validate_specs(
+    scenario: &FederatedScenario,
+    client_specs: &[ModelSpec],
+    server_spec: Option<&ModelSpec>,
+    homogeneous: bool,
+) -> Result<(), CoreError> {
+    if client_specs.len() != scenario.num_clients() {
+        return Err(CoreError::ClientSpecMismatch {
+            clients: scenario.num_clients(),
+            specs: client_specs.len(),
+        });
+    }
+    for spec in client_specs.iter().chain(server_spec) {
+        if spec.num_classes() != scenario.num_classes {
+            return Err(CoreError::ClassCountMismatch {
+                scenario: scenario.num_classes,
+                spec: spec.num_classes(),
+            });
+        }
+    }
+    if homogeneous {
+        let first = &client_specs[0];
+        if client_specs.iter().any(|s| s != first) || server_spec.is_some_and(|s| s != first) {
+            return Err(CoreError::InvalidConfig(
+                "this algorithm requires identical model architectures".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs `f` for every `(client, client_data)` pair on its own thread and
+/// collects the results in client order.
+pub fn for_each_client<T: Send>(
+    clients: &mut [ClientState],
+    data: &[ClientData],
+    f: impl Fn(&mut ClientState, &ClientData) -> T + Sync,
+) -> Vec<T> {
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(data)
+            .map(|(client, data)| scope.spawn(move || f(client, data)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    })
+}
+
+/// Per-client local-test accuracies.
+pub fn client_accuracies(clients: &mut [ClientState], scenario: &FederatedScenario) -> Vec<f64> {
+    clients
+        .iter_mut()
+        .zip(&scenario.clients)
+        .map(|(c, d)| eval::accuracy(&mut c.model, &d.test))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::DepthTier;
+    use fedpkd_tensor::serialize::param_vector;
+
+    fn tiny_scenario(seed: u64) -> FederatedScenario {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(360)
+            .public_size(120)
+            .global_test_size(150)
+            .partition(Partition::Dirichlet { alpha: 0.5 })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn spec(tier: DepthTier) -> ModelSpec {
+        ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier,
+        }
+    }
+
+    #[test]
+    fn build_clients_gives_distinct_models() {
+        let clients = build_clients(&[spec(DepthTier::T11), spec(DepthTier::T11)], 0.001, 5);
+        assert_eq!(clients.len(), 2);
+        assert_ne!(
+            param_vector(&clients[0].model),
+            param_vector(&clients[1].model),
+            "clients must have independent initializations"
+        );
+    }
+
+    #[test]
+    fn build_clients_matches_server_stream_convention() {
+        // Stream 0 is the server's; client 0 must not collide with it.
+        let mut server_rng = Rng::stream(42, 0);
+        let server_model = spec(DepthTier::T11).build(&mut server_rng);
+        let clients = build_clients(&[spec(DepthTier::T11)], 0.001, 42);
+        assert_ne!(param_vector(&server_model), param_vector(&clients[0].model));
+    }
+
+    #[test]
+    fn validate_specs_checks_homogeneity() {
+        let scenario = tiny_scenario(1);
+        let hetero = vec![
+            spec(DepthTier::T11),
+            spec(DepthTier::T20),
+            spec(DepthTier::T29),
+        ];
+        assert!(validate_specs(&scenario, &hetero, None, false).is_ok());
+        assert!(validate_specs(&scenario, &hetero, None, true).is_err());
+        let homo = vec![spec(DepthTier::T20); 3];
+        assert!(validate_specs(&scenario, &homo, Some(&spec(DepthTier::T20)), true).is_ok());
+        assert!(validate_specs(&scenario, &homo, Some(&spec(DepthTier::T56)), true).is_err());
+    }
+
+    #[test]
+    fn validate_specs_checks_counts() {
+        let scenario = tiny_scenario(2);
+        assert!(validate_specs(&scenario, &vec![spec(DepthTier::T11); 2], None, false).is_err());
+        let bad_classes = ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 7,
+            tier: DepthTier::T11,
+        };
+        assert!(validate_specs(&scenario, &vec![bad_classes; 3], None, false).is_err());
+    }
+
+    #[test]
+    fn for_each_client_preserves_order() {
+        let scenario = tiny_scenario(3);
+        let mut clients = build_clients(&vec![spec(DepthTier::T11); 3], 0.001, 7);
+        let sizes = for_each_client(&mut clients, &scenario.clients, |_, data| data.train.len());
+        let expected: Vec<usize> = scenario.clients.iter().map(|c| c.train.len()).collect();
+        assert_eq!(sizes, expected);
+    }
+}

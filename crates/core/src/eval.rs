@@ -44,10 +44,7 @@ pub fn features_on(model: &mut ClassifierModel, dataset: &Dataset) -> Tensor {
     forward_in_batches(dataset, |features| model.forward_features(features, false))
 }
 
-fn forward_in_batches(
-    dataset: &Dataset,
-    mut f: impl FnMut(&Tensor) -> Tensor,
-) -> Tensor {
+fn forward_in_batches(dataset: &Dataset, mut f: impl FnMut(&Tensor) -> Tensor) -> Tensor {
     let mut rows: Vec<Vec<f32>> = Vec::with_capacity(dataset.len());
     for batch in dataset.batches_sequential(EVAL_BATCH) {
         let out = f(&batch.features);

@@ -1,28 +1,27 @@
 //! The FedPKD federation — Algorithm 2 of the paper.
 
+use std::time::Instant;
+
+use crate::clients::{build_clients, validate_specs, ClientState};
 use crate::eval;
 use crate::fedpkd::config::{CoreError, FedPkdConfig};
 use crate::fedpkd::distill::train_server;
-use crate::fedpkd::filter::filter_public;
-use crate::fedpkd::logits::{aggregate_logits, pseudo_labels};
+use crate::fedpkd::filter::{filter_public, filter_public_with_stats};
+use crate::fedpkd::logits::{aggregate_logits, aggregation_stats, pseudo_labels};
 use crate::fedpkd::prototypes::{
     aggregate_prototypes, compute_prototypes, global_to_wire_entries, to_wire_entries, Prototype,
 };
 use crate::runtime::Federation;
-use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes};
+use crate::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
+use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes, TrainStats};
 use fedpkd_data::FederatedScenario;
 use fedpkd_netsim::{CommLedger, Direction, Message, QuantizedLogits, Wire};
 use fedpkd_rng::Rng;
-use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::models::ClassifierModel;
+use fedpkd_tensor::models::ModelSpec;
 use fedpkd_tensor::ops::softmax;
 use fedpkd_tensor::optim::Adam;
 use fedpkd_tensor::Tensor;
-
-struct ClientState {
-    model: ClassifierModel,
-    optimizer: Adam,
-    rng: Rng,
-}
 
 /// The complete FedPKD algorithm over a federated scenario.
 ///
@@ -60,32 +59,8 @@ impl FedPkd {
         seed: u64,
     ) -> Result<Self, CoreError> {
         config.validate()?;
-        if client_specs.len() != scenario.num_clients() {
-            return Err(CoreError::ClientSpecMismatch {
-                clients: scenario.num_clients(),
-                specs: client_specs.len(),
-            });
-        }
-        for spec in client_specs.iter().chain(std::iter::once(&server_spec)) {
-            if spec.num_classes() != scenario.num_classes {
-                return Err(CoreError::ClassCountMismatch {
-                    scenario: scenario.num_classes,
-                    spec: spec.num_classes(),
-                });
-            }
-        }
-        let clients = client_specs
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
-                let mut rng = Rng::stream(seed, 1 + i as u64);
-                ClientState {
-                    model: spec.build(&mut rng),
-                    optimizer: Adam::new(config.learning_rate),
-                    rng,
-                }
-            })
-            .collect();
+        validate_specs(&scenario, &client_specs, Some(&server_spec), false)?;
+        let clients = build_clients(&client_specs, config.learning_rate, seed);
         let mut server_rng = Rng::stream(seed, 0);
         let server_model = server_spec.build(&mut server_rng);
         let num_classes = scenario.num_classes;
@@ -112,8 +87,12 @@ impl FedPkd {
     }
 
     /// Phase 1 of Algorithm 2: parallel private training and dual-knowledge
-    /// extraction. Returns per-client `(public logits, local prototypes)`.
-    fn clients_private_phase(&mut self, round: usize) -> Vec<(Tensor, Vec<Option<Prototype>>)> {
+    /// extraction. Returns per-client `(public logits, local prototypes,
+    /// training stats)`.
+    fn clients_private_phase(
+        &mut self,
+        round: usize,
+    ) -> Vec<(Tensor, Vec<Option<Prototype>>, TrainStats)> {
         let config = &self.config;
         let public = &self.scenario.public;
         let global_prototypes = &self.global_prototypes;
@@ -127,7 +106,7 @@ impl FedPkd {
                     scope.spawn(move || {
                         // Round 0 trains with Eq. 4; later rounds add the
                         // prototype pull of Eq. 16 (when prototypes are on).
-                        if round == 0 || !config.use_prototypes {
+                        let stats = if round == 0 || !config.use_prototypes {
                             train_supervised(
                                 &mut state.model,
                                 &data.train,
@@ -135,7 +114,7 @@ impl FedPkd {
                                 config.batch_size,
                                 &mut state.optimizer,
                                 &mut state.rng,
-                            );
+                            )
                         } else {
                             train_supervised_with_prototypes(
                                 &mut state.model,
@@ -146,11 +125,11 @@ impl FedPkd {
                                 config.batch_size,
                                 &mut state.optimizer,
                                 &mut state.rng,
-                            );
-                        }
+                            )
+                        };
                         let logits = eval::logits_on(&mut state.model, public);
                         let prototypes = compute_prototypes(&mut state.model, &data.train);
-                        (logits, prototypes)
+                        (logits, prototypes, stats)
                     })
                 })
                 .collect();
@@ -162,8 +141,13 @@ impl FedPkd {
     }
 
     /// Phase 4 of Algorithm 2: parallel client distillation from the server
-    /// knowledge on the filtered public subset (Eq. 15).
-    fn clients_public_phase(&mut self, subset_features: &Tensor, server_probs: &Tensor) {
+    /// knowledge on the filtered public subset (Eq. 15). Returns per-client
+    /// distillation stats.
+    fn clients_public_phase(
+        &mut self,
+        subset_features: &Tensor,
+        server_probs: &Tensor,
+    ) -> Vec<TrainStats> {
         let config = &self.config;
         std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -181,14 +165,42 @@ impl FedPkd {
                             config.batch_size,
                             &mut state.optimizer,
                             &mut state.rng,
-                        );
+                        )
                     })
                 })
                 .collect();
-            for h in handles {
-                h.join().expect("client thread panicked");
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("client thread panicked"))
+                .collect()
+        })
+    }
+
+    /// L2 drift between two generations of global prototypes, for
+    /// telemetry: mean and max over classes present in both.
+    fn prototype_drift(old: &[Option<Tensor>], new: &[Option<Tensor>]) -> (f64, f64) {
+        let mut mean = 0.0f64;
+        let mut max = 0.0f64;
+        let mut count = 0usize;
+        for (o, n) in old.iter().zip(new) {
+            if let (Some(o), Some(n)) = (o.as_ref(), n.as_ref()) {
+                let d = f64::from(
+                    o.as_slice()
+                        .iter()
+                        .zip(n.as_slice())
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum::<f32>(),
+                )
+                .sqrt();
+                mean += d;
+                max = max.max(d);
+                count += 1;
             }
-        });
+        }
+        if count > 0 {
+            mean /= count as f64;
+        }
+        (mean, max)
     }
 }
 
@@ -197,14 +209,27 @@ impl Federation for FedPkd {
         "FedPKD"
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+    fn num_clients(&self) -> usize {
+        self.clients.len()
+    }
+
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
         let public_len = self.scenario.public.len();
         let num_classes = self.scenario.num_classes as u32;
 
         // ---- Phase 1: client private training + dual knowledge uplink.
+        let phase_started = Instant::now();
         let mut knowledge = self.clients_private_phase(round);
+        for (client, (_, _, stats)) in knowledge.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client,
+                samples: self.scenario.clients[client].train.len(),
+                mean_loss: stats.mean_loss,
+            });
+        }
         let all_ids: Vec<u32> = (0..public_len as u32).collect();
-        for (client, (logits, prototypes)) in knowledge.iter_mut().enumerate() {
+        for (client, (logits, prototypes, _)) in knowledge.iter_mut().enumerate() {
             if self.config.quantize_knowledge {
                 // Lossy 8-bit channel: charge the quantized size and replace
                 // the logits with what actually survives the wire.
@@ -237,30 +262,74 @@ impl Federation for FedPkd {
             }
         }
 
+        emit_phase_timing(obs, round, Phase::ClientTraining, phase_started);
+
         // ---- Phase 2: server-side aggregation (Eqs. 6–8).
-        let client_logits: Vec<Tensor> = knowledge.iter().map(|(l, _)| l.clone()).collect();
+        let phase_started = Instant::now();
+        let client_logits: Vec<Tensor> = knowledge.iter().map(|(l, _, _)| l.clone()).collect();
         let aggregated = aggregate_logits(&client_logits, self.config.variance_weighting);
         let pseudo = pseudo_labels(&aggregated);
+        if obs.enabled() {
+            let stats = aggregation_stats(&client_logits, self.config.variance_weighting);
+            obs.record(&TelemetryEvent::LogitAggregation {
+                round,
+                clients: client_logits.len(),
+                variance_weighting: self.config.variance_weighting,
+                mean_client_weight: stats.mean_client_weight,
+                disagreement: stats.disagreement,
+            });
+        }
         if self.config.use_prototypes {
             let client_protos: Vec<Vec<Option<Prototype>>> =
-                knowledge.into_iter().map(|(_, p)| p).collect();
-            self.global_prototypes = aggregate_prototypes(&client_protos);
+                knowledge.into_iter().map(|(_, p, _)| p).collect();
+            let new_prototypes = aggregate_prototypes(&client_protos);
+            if obs.enabled() {
+                let (mean_l2, max_l2) =
+                    Self::prototype_drift(&self.global_prototypes, &new_prototypes);
+                obs.record(&TelemetryEvent::PrototypeDrift {
+                    round,
+                    classes_present: new_prototypes.iter().filter(|p| p.is_some()).count(),
+                    mean_l2,
+                    max_l2,
+                });
+            }
+            self.global_prototypes = new_prototypes;
         }
+        emit_phase_timing(obs, round, Phase::Aggregation, phase_started);
 
         // ---- Phase 3: data filtering (Alg. 1) + server distillation
         //      (Eqs. 11–13).
+        let phase_started = Instant::now();
         let selected: Vec<usize> = if self.config.use_filter && self.config.use_prototypes {
-            let server_features =
-                eval::features_on(&mut self.server_model, &self.scenario.public);
-            filter_public(
-                &server_features,
-                &pseudo,
-                &self.global_prototypes,
-                self.config.theta,
-            )
+            let server_features = eval::features_on(&mut self.server_model, &self.scenario.public);
+            if obs.enabled() {
+                let (selected, stats) = filter_public_with_stats(
+                    &server_features,
+                    &pseudo,
+                    &self.global_prototypes,
+                    self.config.theta,
+                );
+                obs.record(&TelemetryEvent::FilterOutcome {
+                    round,
+                    kept: stats.kept(),
+                    dropped: stats.dropped(),
+                    kept_per_class: stats.kept_per_class,
+                    total_per_class: stats.total_per_class,
+                    distance_quantiles: stats.distance_quantiles,
+                });
+                selected
+            } else {
+                filter_public(
+                    &server_features,
+                    &pseudo,
+                    &self.global_prototypes,
+                    self.config.theta,
+                )
+            }
         } else {
             (0..public_len).collect()
         };
+        emit_phase_timing(obs, round, Phase::Filter, phase_started);
         let subset_features = self
             .scenario
             .public
@@ -278,7 +347,8 @@ impl Federation for FedPkd {
         } else {
             1.0 // the prototype loss term is removed (ablation w/o Pro)
         };
-        train_server(
+        let phase_started = Instant::now();
+        let distill_stats = train_server(
             &mut self.server_model,
             &subset_features,
             &teacher_probs,
@@ -291,19 +361,25 @@ impl Federation for FedPkd {
             &mut self.server_optimizer,
             &mut self.server_rng,
         );
+        obs.record(&TelemetryEvent::ServerDistill {
+            round,
+            kd_loss: distill_stats.kd_loss,
+            proto_loss: distill_stats.proto_loss,
+            combined_loss: distill_stats.combined_loss,
+            batches: distill_stats.batches,
+        });
+        emit_phase_timing(obs, round, Phase::ServerDistill, phase_started);
 
         // ---- Phase 4: server knowledge downlink + client public training
         //      (Eqs. 14–15). Only the subset's logits travel (θ% of the
         //      public set), which is FedPKD's downlink saving.
+        let phase_started = Instant::now();
         let subset_dataset = self.scenario.public.subset(&selected);
         let mut server_logits = eval::logits_on(&mut self.server_model, &subset_dataset);
         let selected_ids: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
         let downlink_quantized = if self.config.quantize_knowledge {
-            let quantized = QuantizedLogits::from_values(
-                &selected_ids,
-                num_classes,
-                server_logits.as_slice(),
-            );
+            let quantized =
+                QuantizedLogits::from_values(&selected_ids, num_classes, server_logits.as_slice());
             server_logits = Tensor::from_vec(quantized.dequantize(), server_logits.shape())
                 .expect("dequantization preserves the shape");
             Some(quantized.encoded_len())
@@ -345,7 +421,15 @@ impl Federation for FedPkd {
                 },
             );
         }
-        self.clients_public_phase(&subset_features, &server_probs);
+        let distill_stats = self.clients_public_phase(&subset_features, &server_probs);
+        for (client, stats) in distill_stats.iter().enumerate() {
+            obs.record(&TelemetryEvent::ClientDistilled {
+                round,
+                client,
+                mean_loss: stats.mean_loss,
+            });
+        }
+        emit_phase_timing(obs, round, Phase::ClientDistill, phase_started);
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -356,18 +440,15 @@ impl Federation for FedPkd {
     }
 
     fn client_accuracies(&mut self) -> Vec<f64> {
-        self.clients
-            .iter_mut()
-            .zip(&self.scenario.clients)
-            .map(|(state, data)| eval::accuracy(&mut state.model, &data.test))
-            .collect()
+        crate::clients::client_accuracies(&mut self.clients, &self.scenario)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::Runner;
+    use crate::runtime::FlAlgorithm;
+    use crate::telemetry::NullObserver;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -431,7 +512,7 @@ mod tests {
 
     #[test]
     fn two_rounds_produce_metrics_and_traffic() {
-        let algo = FedPkd::new(
+        let mut algo = FedPkd::new(
             tiny_scenario(2),
             vec![spec(DepthTier::T11); 3],
             spec(DepthTier::T20),
@@ -439,19 +520,29 @@ mod tests {
             7,
         )
         .unwrap();
-        let result = Runner::new(2).run(algo);
+        let result = algo.run_silent(2);
         assert_eq!(result.history.len(), 2);
         assert!(result.last().server_accuracy.is_some());
         assert_eq!(result.last().client_accuracies.len(), 3);
         assert!(!result.ledger.is_empty());
         // Uplink and downlink both happen.
-        assert!(result.ledger.direction_bytes(fedpkd_netsim::Direction::Uplink) > 0);
-        assert!(result.ledger.direction_bytes(fedpkd_netsim::Direction::Downlink) > 0);
+        assert!(
+            result
+                .ledger
+                .direction_bytes(fedpkd_netsim::Direction::Uplink)
+                > 0
+        );
+        assert!(
+            result
+                .ledger
+                .direction_bytes(fedpkd_netsim::Direction::Downlink)
+                > 0
+        );
     }
 
     #[test]
     fn learns_above_chance_quickly() {
-        let algo = FedPkd::new(
+        let mut algo = FedPkd::new(
             tiny_scenario(3),
             vec![spec(DepthTier::T11); 3],
             spec(DepthTier::T20),
@@ -459,7 +550,7 @@ mod tests {
             11,
         )
         .unwrap();
-        let result = Runner::new(3).run(algo);
+        let result = algo.run_silent(3);
         let server = result.best_server_accuracy().unwrap();
         let client = result.best_client_accuracy();
         assert!(server > 0.25, "server accuracy {server} vs chance 0.1");
@@ -468,15 +559,19 @@ mod tests {
 
     #[test]
     fn heterogeneous_client_models_work() {
-        let algo = FedPkd::new(
+        let mut algo = FedPkd::new(
             tiny_scenario(4),
-            vec![spec(DepthTier::T11), spec(DepthTier::T20), spec(DepthTier::T29)],
+            vec![
+                spec(DepthTier::T11),
+                spec(DepthTier::T20),
+                spec(DepthTier::T29),
+            ],
             spec(DepthTier::T56),
             fast_config(),
             13,
         )
         .unwrap();
-        let result = Runner::new(2).run(algo);
+        let result = algo.run_silent(2);
         assert!(result.last().server_accuracy.unwrap() > 0.15);
     }
 
@@ -492,7 +587,7 @@ mod tests {
         .unwrap();
         assert!(algo.global_prototypes().iter().all(Option::is_none));
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &mut ledger);
+        algo.run_round(0, &mut ledger, &mut NullObserver);
         let present = algo
             .global_prototypes()
             .iter()
@@ -511,7 +606,7 @@ mod tests {
                 theta: 0.5,
                 ..fast_config()
             };
-            let algo = FedPkd::new(
+            let mut algo = FedPkd::new(
                 tiny_scenario(6),
                 vec![spec(DepthTier::T11); 3],
                 spec(DepthTier::T20),
@@ -519,8 +614,7 @@ mod tests {
                 19,
             )
             .unwrap();
-            Runner::new(1)
-                .run(algo)
+            algo.run_silent(1)
                 .ledger
                 .direction_bytes(fedpkd_netsim::Direction::Downlink)
         };
@@ -535,7 +629,7 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let run = || {
-            let algo = FedPkd::new(
+            let mut algo = FedPkd::new(
                 tiny_scenario(7),
                 vec![spec(DepthTier::T11); 3],
                 spec(DepthTier::T20),
@@ -543,7 +637,7 @@ mod tests {
                 23,
             )
             .unwrap();
-            let result = Runner::new(1).run(algo);
+            let result = algo.run_silent(1);
             (
                 result.last().server_accuracy,
                 result.last().client_accuracies.clone(),
@@ -560,7 +654,7 @@ mod tests {
                 quantize_knowledge: quantize,
                 ..fast_config()
             };
-            let algo = FedPkd::new(
+            let mut algo = FedPkd::new(
                 tiny_scenario(12),
                 vec![spec(DepthTier::T11); 3],
                 spec(DepthTier::T20),
@@ -568,7 +662,7 @@ mod tests {
                 31,
             )
             .unwrap();
-            Runner::new(2).run(algo)
+            algo.run_silent(2)
         };
         let full = run(false);
         let quantized = run(true);
@@ -591,7 +685,7 @@ mod tests {
             use_prototypes: false,
             ..fast_config()
         };
-        let algo = FedPkd::new(
+        let mut algo = FedPkd::new(
             tiny_scenario(8),
             vec![spec(DepthTier::T11); 3],
             spec(DepthTier::T20),
@@ -599,8 +693,8 @@ mod tests {
             29,
         )
         .unwrap();
-        let no_proto = Runner::new(1).run(algo);
-        let algo_full = FedPkd::new(
+        let no_proto = algo.run_silent(1);
+        let mut algo_full = FedPkd::new(
             tiny_scenario(8),
             vec![spec(DepthTier::T11); 3],
             spec(DepthTier::T20),
@@ -608,7 +702,7 @@ mod tests {
             29,
         )
         .unwrap();
-        let full = Runner::new(1).run(algo_full);
+        let full = algo_full.run_silent(1);
         // Without prototypes no prototype messages are sent.
         assert!(no_proto.ledger.total_bytes() < full.ledger.total_bytes());
     }

@@ -80,26 +80,38 @@ impl FedPkdConfig {
     ///
     /// Returns [`CoreError::InvalidConfig`] if any parameter is out of
     /// range.
+    // `!(x > 0.0)` rather than `x <= 0.0`: NaN must fail validation too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), CoreError> {
         if self.batch_size == 0 {
-            return Err(CoreError::InvalidConfig("batch size must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
         }
         if !(self.learning_rate > 0.0) {
-            return Err(CoreError::InvalidConfig("learning rate must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "learning rate must be positive".into(),
+            ));
         }
         if !(0.0 < self.theta && self.theta <= 1.0) {
             return Err(CoreError::InvalidConfig("theta must be in (0, 1]".into()));
         }
         for (name, v) in [("delta", self.delta), ("gamma", self.gamma)] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(CoreError::InvalidConfig(format!("{name} must be in [0, 1]")));
+                return Err(CoreError::InvalidConfig(format!(
+                    "{name} must be in [0, 1]"
+                )));
             }
         }
         if self.epsilon < 0.0 {
-            return Err(CoreError::InvalidConfig("epsilon must be non-negative".into()));
+            return Err(CoreError::InvalidConfig(
+                "epsilon must be non-negative".into(),
+            ));
         }
         if !(self.temperature > 0.0) {
-            return Err(CoreError::InvalidConfig("temperature must be positive".into()));
+            return Err(CoreError::InvalidConfig(
+                "temperature must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -135,7 +147,10 @@ impl std::fmt::Display for CoreError {
                 write!(f, "{clients} clients but {specs} model specs")
             }
             Self::ClassCountMismatch { scenario, spec } => {
-                write!(f, "scenario has {scenario} classes but model spec has {spec}")
+                write!(
+                    f,
+                    "scenario has {scenario} classes but model spec has {spec}"
+                )
             }
         }
     }
@@ -163,27 +178,39 @@ mod tests {
 
     #[test]
     fn validation_catches_out_of_range() {
-        let mut c = FedPkdConfig::default();
-        c.theta = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = FedPkdConfig::default();
-        c.delta = 1.5;
-        assert!(c.validate().is_err());
-        let mut c = FedPkdConfig::default();
-        c.gamma = -0.1;
-        assert!(c.validate().is_err());
-        let mut c = FedPkdConfig::default();
-        c.batch_size = 0;
-        assert!(c.validate().is_err());
-        let mut c = FedPkdConfig::default();
-        c.temperature = 0.0;
-        assert!(c.validate().is_err());
-        let mut c = FedPkdConfig::default();
-        c.epsilon = -1.0;
-        assert!(c.validate().is_err());
-        let mut c = FedPkdConfig::default();
-        c.learning_rate = 0.0;
-        assert!(c.validate().is_err());
+        let bad = [
+            FedPkdConfig {
+                theta: 0.0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                delta: 1.5,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                gamma: -0.1,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                batch_size: 0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                temperature: 0.0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                epsilon: -1.0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                learning_rate: 0.0,
+                ..FedPkdConfig::default()
+            },
+        ];
+        for c in bad {
+            assert!(c.validate().is_err(), "{c:?} must be rejected");
+        }
     }
 
     #[test]

@@ -7,6 +7,25 @@ use fedpkd_tensor::nn::Layer;
 use fedpkd_tensor::optim::Optimizer;
 use fedpkd_tensor::Tensor;
 
+/// Loss components of one [`train_server`] call, averaged per mini-batch:
+/// the distillation term `L_kd` (Eq. 11), the prototype term `L_p`
+/// (Eq. 12), and the combined objective `F` (Eq. 13).
+///
+/// `proto_loss` is 0 when the prototype term never ran (`delta == 1` or no
+/// class had a prototype). All values are byproducts of the gradients the
+/// loop computes anyway.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServerDistillStats {
+    /// Mean `KL + CE` distillation loss (Eq. 11).
+    pub kd_loss: f64,
+    /// Mean `MSE` prototype loss (Eq. 12); 0 when the term was inactive.
+    pub proto_loss: f64,
+    /// Mean combined objective `δ·L_kd + (1−δ)·L_p` (Eq. 13).
+    pub combined_loss: f64,
+    /// Mini-batches processed (across all epochs).
+    pub batches: usize,
+}
+
 /// Trains the server model on the filtered public subset with the combined
 /// objective of Eq. 13:
 /// `F = δ·(KL(S ‖ M) + CE(M, ỹ)) + (1−δ)·MSE(R(x), P^{ỹ})`.
@@ -31,18 +50,21 @@ pub fn train_server(
     batch_size: usize,
     optimizer: &mut dyn Optimizer,
     rng: &mut Rng,
-) {
+) -> ServerDistillStats {
     assert!((0.0..=1.0).contains(&delta), "delta must be in [0, 1]");
     let n = public_features.rows();
     assert_eq!(teacher_probs.rows(), n, "teacher rows mismatch");
     assert_eq!(pseudo_labels.len(), n, "pseudo-label count mismatch");
     if n == 0 {
-        return;
+        return ServerDistillStats::default();
     }
     let kl = DistillKl::new(temperature);
     let ce = CrossEntropy::new();
     let mse = Mse::new();
 
+    let mut kd_total = 0.0f64;
+    let mut proto_total = 0.0f64;
+    let mut batches = 0usize;
     for _ in 0..epochs {
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
@@ -54,11 +76,12 @@ pub fn train_server(
             let (features, logits) = model.forward_full(&x, true);
 
             // Distillation term (Eq. 11).
-            let (_, kl_grad) = kl.loss_and_grad(&logits, &teacher);
-            let (_, ce_grad) = ce.loss_and_grad(&logits, &labels);
+            let (kl_loss, kl_grad) = kl.loss_and_grad(&logits, &teacher);
+            let (ce_loss, ce_grad) = ce.loss_and_grad(&logits, &labels);
             let mut logit_grad = kl_grad;
             logit_grad.axpy(1.0, &ce_grad).expect("equal shapes");
             logit_grad.scale_in_place(delta);
+            kd_total += f64::from(kl_loss) + f64::from(ce_loss);
 
             // Prototype term (Eq. 12): pull features toward P^{ỹ}.
             let feature_grad = if delta < 1.0 {
@@ -71,8 +94,9 @@ pub fn train_server(
                     }
                 }
                 if any {
-                    let (_, mut g) = mse.loss_and_grad(&features, &target);
+                    let (mse_loss, mut g) = mse.loss_and_grad(&features, &target);
                     g.scale_in_place(1.0 - delta);
+                    proto_total += f64::from(mse_loss);
                     Some(g)
                 } else {
                     None
@@ -84,7 +108,16 @@ pub fn train_server(
             model.backward_dual(&logit_grad, feature_grad.as_ref());
             optimizer.step(model);
             model.zero_grad();
+            batches += 1;
         }
+    }
+    let kd_loss = kd_total / batches as f64;
+    let proto_loss = proto_total / batches as f64;
+    ServerDistillStats {
+        kd_loss,
+        proto_loss,
+        combined_loss: f64::from(delta) * kd_loss + f64::from(1.0 - delta) * proto_loss,
+        batches,
     }
 }
 
@@ -101,7 +134,9 @@ mod tests {
     #[test]
     fn server_learns_from_good_teacher_probs() {
         let mut rng = Rng::seed_from_u64(1);
-        let ds = SyntheticConfig::cifar10_like().generate(400, &mut rng).unwrap();
+        let ds = SyntheticConfig::cifar10_like()
+            .generate(400, &mut rng)
+            .unwrap();
         // "Teacher": one-hot-ish probabilities from the true labels —
         // upper-bound-quality aggregated knowledge.
         let n = ds.len();
@@ -134,7 +169,9 @@ mod tests {
     #[test]
     fn prototype_term_moves_features_toward_targets() {
         let mut rng = Rng::seed_from_u64(2);
-        let ds = SyntheticConfig::cifar10_like().generate(100, &mut rng).unwrap();
+        let ds = SyntheticConfig::cifar10_like()
+            .generate(100, &mut rng)
+            .unwrap();
         let mut server = build_mlp(&[32, 16], 10, &mut rng);
         let logits = eval::logits_on(&mut server, &ds);
         let teacher = softmax(&logits, 1.0);
@@ -182,7 +219,7 @@ mod tests {
         let mut server = build_mlp(&[4, 8], 3, &mut rng);
         let before = param_vector(&server);
         let mut opt = Adam::new(0.01);
-        train_server(
+        let stats = train_server(
             &mut server,
             &Tensor::zeros(&[0, 4]),
             &Tensor::zeros(&[0, 3]),
@@ -196,6 +233,70 @@ mod tests {
             &mut rng,
         );
         assert_eq!(param_vector(&server), before);
+        assert_eq!(stats, ServerDistillStats::default());
+    }
+
+    #[test]
+    fn stats_expose_eq13_components() {
+        let mut rng = Rng::seed_from_u64(6);
+        let ds = SyntheticConfig::cifar10_like()
+            .generate(120, &mut rng)
+            .unwrap();
+        let mut server = build_mlp(&[32, 16], 10, &mut rng);
+        let logits = eval::logits_on(&mut server, &ds);
+        let teacher = softmax(&logits, 1.0);
+        let pseudo = teacher.argmax_rows();
+        let protos: Vec<Option<Tensor>> = (0..10)
+            .map(|c| Some(Tensor::full(&[16], c as f32 * 0.1)))
+            .collect();
+        let mut opt = Adam::new(0.005);
+        let delta = 0.75f32;
+        let stats = train_server(
+            &mut server,
+            ds.features(),
+            &teacher,
+            &pseudo,
+            &protos,
+            delta,
+            2.0,
+            2,
+            32,
+            &mut opt,
+            &mut rng,
+        );
+        assert_eq!(stats.batches, 8);
+        assert!(stats.kd_loss > 0.0 && stats.proto_loss > 0.0);
+        let expected = f64::from(delta) * stats.kd_loss + f64::from(1.0 - delta) * stats.proto_loss;
+        assert!((stats.combined_loss - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_distillation_reports_zero_proto_loss() {
+        let mut rng = Rng::seed_from_u64(7);
+        let ds = SyntheticConfig::cifar10_like()
+            .generate(64, &mut rng)
+            .unwrap();
+        let mut server = build_mlp(&[32, 16], 10, &mut rng);
+        let logits = eval::logits_on(&mut server, &ds);
+        let teacher = softmax(&logits, 1.0);
+        let pseudo = teacher.argmax_rows();
+        let protos: Vec<Option<Tensor>> = vec![None; 10];
+        let mut opt = Adam::new(0.005);
+        let stats = train_server(
+            &mut server,
+            ds.features(),
+            &teacher,
+            &pseudo,
+            &protos,
+            1.0,
+            1.0,
+            1,
+            32,
+            &mut opt,
+            &mut rng,
+        );
+        assert_eq!(stats.proto_loss, 0.0);
+        assert!((stats.combined_loss - stats.kd_loss).abs() < 1e-12);
     }
 
     #[test]

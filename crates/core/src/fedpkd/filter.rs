@@ -2,6 +2,32 @@
 
 use fedpkd_tensor::Tensor;
 
+/// Diagnostic summary of one filtering pass.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FilterStats {
+    /// Samples kept per pseudo-class.
+    pub kept_per_class: Vec<usize>,
+    /// Pseudo-class populations before filtering.
+    pub total_per_class: Vec<usize>,
+    /// Five-number summary (min, q25, median, q75, max) of the Eq. 10
+    /// prototype distances over all samples whose class had a prototype;
+    /// empty when no class did.
+    pub distance_quantiles: Vec<f64>,
+}
+
+impl FilterStats {
+    /// Total samples kept.
+    pub fn kept(&self) -> usize {
+        self.kept_per_class.iter().sum()
+    }
+
+    /// Total samples dropped.
+    pub fn dropped(&self) -> usize {
+        let total: usize = self.total_per_class.iter().sum();
+        total - self.kept()
+    }
+}
+
 /// Selects the high-quality subset of the public dataset.
 ///
 /// For every pseudo-class `n` (labels from Eq. 9), the L2 distance between
@@ -23,6 +49,49 @@ pub fn filter_public(
     global_prototypes: &[Option<Tensor>],
     theta: f32,
 ) -> Vec<usize> {
+    filter_impl(
+        server_features,
+        pseudo_labels,
+        global_prototypes,
+        theta,
+        None,
+    )
+}
+
+/// [`filter_public`] plus a [`FilterStats`] diagnostic summary: kept/total
+/// per class and a five-number summary of the Eq. 10 distances.
+///
+/// The kept set is identical to [`filter_public`]'s; the extra work is a
+/// single global sort of the distances, so disabled-telemetry paths should
+/// call [`filter_public`] instead.
+///
+/// # Panics
+///
+/// Same conditions as [`filter_public`].
+pub fn filter_public_with_stats(
+    server_features: &Tensor,
+    pseudo_labels: &[usize],
+    global_prototypes: &[Option<Tensor>],
+    theta: f32,
+) -> (Vec<usize>, FilterStats) {
+    let mut stats = FilterStats::default();
+    let selected = filter_impl(
+        server_features,
+        pseudo_labels,
+        global_prototypes,
+        theta,
+        Some(&mut stats),
+    );
+    (selected, stats)
+}
+
+fn filter_impl(
+    server_features: &Tensor,
+    pseudo_labels: &[usize],
+    global_prototypes: &[Option<Tensor>],
+    theta: f32,
+    mut stats: Option<&mut FilterStats>,
+) -> Vec<usize> {
     assert!(theta > 0.0 && theta <= 1.0, "theta must be in (0, 1]");
     assert_eq!(
         server_features.rows(),
@@ -36,7 +105,12 @@ pub fn filter_public(
         assert!(y < num_classes, "pseudo-label {y} out of range");
         by_class[y].push(i);
     }
+    if let Some(s) = stats.as_deref_mut() {
+        s.kept_per_class = vec![0; num_classes];
+        s.total_per_class = by_class.iter().map(Vec::len).collect();
+    }
 
+    let mut distances: Vec<f32> = Vec::new();
     let mut selected = Vec::new();
     for (class, members) in by_class.into_iter().enumerate() {
         if members.is_empty() {
@@ -62,15 +136,40 @@ pub fn filter_public(
                         .expect("distances are finite")
                         .then(a.0.cmp(&b.0))
                 });
+                if stats.is_some() {
+                    distances.extend(scored.iter().map(|&(_, d)| d));
+                }
                 selected.extend(scored.into_iter().take(keep).map(|(i, _)| i));
             }
             None => {
                 selected.extend(members.into_iter().take(keep));
             }
         }
+        if let Some(s) = stats.as_deref_mut() {
+            s.kept_per_class[class] = keep;
+        }
+    }
+    if let Some(s) = stats {
+        s.distance_quantiles = five_number_summary(&mut distances);
     }
     selected.sort_unstable();
     selected
+}
+
+/// Min, quartiles, and max of `values` (nearest-rank), or empty for no
+/// values.
+fn five_number_summary(values: &mut [f32]) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    [0.0, 0.25, 0.5, 0.75, 1.0]
+        .iter()
+        .map(|p| {
+            let idx = (p * (values.len() - 1) as f64).round() as usize;
+            f64::from(values[idx])
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -160,6 +259,35 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(kept, sorted);
+    }
+
+    #[test]
+    fn stats_variant_keeps_the_same_set_and_counts_classes() {
+        let f = features(&[&[1.0], &[10.0], &[2.0], &[20.0], &[3.0]]);
+        let labels = vec![0, 0, 1, 1, 0];
+        let protos = vec![proto(&[0.0]), proto(&[0.0])];
+        let plain = filter_public(&f, &labels, &protos, 0.5);
+        let (kept, stats) = filter_public_with_stats(&f, &labels, &protos, 0.5);
+        assert_eq!(kept, plain);
+        assert_eq!(stats.total_per_class, vec![3, 2]);
+        assert_eq!(stats.kept_per_class, vec![2, 1]);
+        assert_eq!(stats.kept(), 3);
+        assert_eq!(stats.dropped(), 2);
+        // All five distances summarized: min 1, max 400.
+        assert_eq!(stats.distance_quantiles.len(), 5);
+        assert_eq!(stats.distance_quantiles[0], 1.0);
+        assert_eq!(stats.distance_quantiles[4], 400.0);
+    }
+
+    #[test]
+    fn stats_quantiles_empty_without_prototypes() {
+        let f = features(&[&[1.0], &[2.0]]);
+        let labels = vec![0, 0];
+        let protos: Vec<Option<Tensor>> = vec![None];
+        let (kept, stats) = filter_public_with_stats(&f, &labels, &protos, 1.0);
+        assert_eq!(kept, vec![0, 1]);
+        assert!(stats.distance_quantiles.is_empty());
+        assert_eq!(stats.kept_per_class, vec![2]);
     }
 
     #[test]

@@ -72,6 +72,74 @@ pub fn pseudo_labels(aggregated: &Tensor) -> Vec<usize> {
     aggregated.argmax_rows()
 }
 
+/// Diagnostic summary of one logit-aggregation step, for telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AggregationStats {
+    /// Per-client mean of the Eq. 7 sample weights `β` (each sample's
+    /// weights sum to 1 across clients, so a uniform ensemble reports
+    /// `1 / clients` everywhere).
+    pub mean_client_weight: Vec<f64>,
+    /// Fraction of samples on which at least two clients disagree about the
+    /// argmax class — a direct measure of ensemble conflict.
+    pub disagreement: f64,
+}
+
+/// Computes [`AggregationStats`] for a set of client logits, mirroring the
+/// weighting [`aggregate_logits`] would apply.
+///
+/// This recomputes the softmax pass, so it is intended for telemetry-enabled
+/// paths only.
+///
+/// # Panics
+///
+/// Panics if `client_logits` is empty or the matrices disagree in shape.
+pub fn aggregation_stats(client_logits: &[Tensor], variance_weighting: bool) -> AggregationStats {
+    let first = client_logits.first().expect("at least one client");
+    let n = first.rows();
+    for l in client_logits {
+        assert_eq!(l.shape(), first.shape(), "client logits must align");
+    }
+    let clients = client_logits.len();
+    let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
+    let argmaxes: Vec<Vec<usize>> = probs.iter().map(Tensor::argmax_rows).collect();
+    let disagreement = if n == 0 {
+        0.0
+    } else {
+        (0..n)
+            .filter(|&i| argmaxes.iter().any(|a| a[i] != argmaxes[0][i]))
+            .count() as f64
+            / n as f64
+    };
+
+    let mut weight_totals = vec![0.0f64; clients];
+    if variance_weighting {
+        let variances: Vec<Vec<f32>> = probs.iter().map(row_variance).collect();
+        for i in 0..n {
+            let total: f32 = variances.iter().map(|v| v[i]).sum();
+            for (c, v) in variances.iter().enumerate() {
+                let beta = if total > 0.0 {
+                    f64::from(v[i] / total)
+                } else {
+                    1.0 / clients as f64
+                };
+                weight_totals[c] += beta;
+            }
+        }
+    } else {
+        for w in &mut weight_totals {
+            *w = n as f64 / clients as f64;
+        }
+    }
+    let mean_client_weight = weight_totals
+        .into_iter()
+        .map(|w| if n == 0 { 0.0 } else { w / n as f64 })
+        .collect();
+    AggregationStats {
+        mean_client_weight,
+        disagreement,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -142,7 +210,7 @@ mod tests {
     #[test]
     fn single_client_aggregation_is_its_softmax() {
         let a = t(&[1.0, -2.0, 0.5, 0.0, 1.0, 2.0], &[2, 3]);
-        let agg = aggregate_logits(&[a.clone()], true);
+        let agg = aggregate_logits(std::slice::from_ref(&a), true);
         let expected = softmax(&a, 1.0);
         for (x, y) in agg.as_slice().iter().zip(expected.as_slice()) {
             assert!((x - y).abs() < 1e-5);
@@ -159,6 +227,27 @@ mod tests {
         assert_eq!(pseudo_labels(&agg), vec![0, 1]);
         assert!(agg.row(0)[0] > 0.9);
         assert!(agg.row(1)[1] > 0.9);
+    }
+
+    #[test]
+    fn stats_weights_sum_to_one_and_flag_disagreement() {
+        // Sample 0: clients agree (class 0); sample 1: they disagree.
+        let a = t(&[9.0, 0.0, 9.0, 0.0], &[2, 2]);
+        let b = t(&[5.0, 0.0, 0.0, 5.0], &[2, 2]);
+        let stats = aggregation_stats(&[a, b], true);
+        assert_eq!(stats.mean_client_weight.len(), 2);
+        let sum: f64 = stats.mean_client_weight.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights sum to {sum}");
+        assert!((stats.disagreement - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_uniform_mode_reports_equal_weights() {
+        let a = t(&[9.0, 0.0], &[1, 2]);
+        let b = t(&[0.0, 9.0], &[1, 2]);
+        let stats = aggregation_stats(&[a, b], false);
+        assert_eq!(stats.mean_client_weight, vec![0.5, 0.5]);
+        assert_eq!(stats.disagreement, 1.0);
     }
 
     #[test]

@@ -25,4 +25,7 @@ pub mod prototypes;
 
 pub use algorithm::FedPkd;
 pub use config::{CoreError, FedPkdConfig};
+pub use distill::ServerDistillStats;
+pub use filter::FilterStats;
+pub use logits::AggregationStats;
 pub use prototypes::Prototype;

@@ -86,10 +86,7 @@ pub fn aggregate_prototypes(client_prototypes: &[Vec<Option<Prototype>>]) -> Vec
             total += p.count;
         }
         global.push(weighted_sum.map(|sum| {
-            let mean: Vec<f32> = sum
-                .into_iter()
-                .map(|s| (s / total as f64) as f32)
-                .collect();
+            let mean: Vec<f32> = sum.into_iter().map(|s| (s / total as f64) as f32).collect();
             let dim = mean.len();
             Tensor::from_vec(mean, &[dim]).expect("width is consistent")
         }));
@@ -215,7 +212,11 @@ mod tests {
 
     #[test]
     fn wire_entries_skip_missing_classes() {
-        let protos = vec![Some(proto(2, &[1.0, 2.0])), None, Some(proto(1, &[3.0, 4.0]))];
+        let protos = vec![
+            Some(proto(2, &[1.0, 2.0])),
+            None,
+            Some(proto(1, &[3.0, 4.0])),
+        ];
         let entries = to_wire_entries(&protos);
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[0].class, 0);

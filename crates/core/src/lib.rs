@@ -4,7 +4,9 @@
 //! prototype-based knowledge-distillation framework for heterogeneous
 //! federated learning — together with the synchronous round engine that
 //! drives any federated algorithm over a [`fedpkd_data::FederatedScenario`]
-//! while a [`fedpkd_netsim::CommLedger`] accounts every transferred byte.
+//! while a [`fedpkd_netsim::CommLedger`] accounts every transferred byte
+//! and a [`telemetry::RoundObserver`] receives the typed per-round event
+//! stream.
 //!
 //! FedPKD's four mechanisms (§IV of the paper) map to the [`fedpkd`]
 //! submodules:
@@ -20,11 +22,12 @@
 //!
 //! # Examples
 //!
-//! Run FedPKD for a few rounds on a small scenario:
+//! Run FedPKD for a few rounds on a small scenario, capturing telemetry:
 //!
 //! ```
 //! use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
-//! use fedpkd_core::runtime::{Federation, Runner};
+//! use fedpkd_core::runtime::FlAlgorithm;
+//! use fedpkd_core::telemetry::JsonlSink;
 //! use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
 //! use fedpkd_tensor::models::{DepthTier, ModelSpec};
 //!
@@ -37,18 +40,24 @@
 //! cfg.client_private_epochs = 1;
 //! cfg.client_public_epochs = 1;
 //! cfg.server_epochs = 1;
-//! let algo = FedPkd::new(scenario, vec![spec.clone(); 3], spec, cfg, 7)?;
-//! let result = Runner::new(2).run(algo);
+//! let mut algo = FedPkd::new(scenario, vec![spec.clone(); 3], spec, cfg, 7)?;
+//! let mut sink = JsonlSink::new(Vec::new());
+//! let result = algo.run(2, &mut sink);
 //! assert_eq!(result.history.len(), 2);
+//! let trace = String::from_utf8(sink.into_inner()?)?;
+//! assert!(trace.lines().count() > 2); // one JSON object per event
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod clients;
 pub mod eval;
 pub mod fedpkd;
 pub mod runtime;
+pub mod telemetry;
 pub mod train;
 
-pub use runtime::{Federation, RoundMetrics, Runner, RunResult};
+pub use runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
+pub use telemetry::{EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent};

@@ -1,6 +1,21 @@
 //! The synchronous federated round engine.
+//!
+//! Two traits split the work:
+//!
+//! - [`Federation`] is the low-level SPI an algorithm implements: execute
+//!   one round's phases against the communication ledger and report
+//!   accuracies on demand.
+//! - [`FlAlgorithm`] is the uniform driver interface callers consume. A
+//!   blanket impl turns any [`Federation`] into an [`FlAlgorithm`], so the
+//!   round loop — wall-clock timing, evaluation, ledger accounting, and
+//!   telemetry bookkeeping — exists exactly once, shared by FedPKD and all
+//!   seven baselines.
+
+use std::time::Instant;
 
 use fedpkd_netsim::CommLedger;
+
+use crate::telemetry::{emit_phase_timing, NullObserver, Phase, RoundObserver, TelemetryEvent};
 
 /// Metrics captured after one communication round.
 #[derive(Debug, Clone, PartialEq)]
@@ -84,18 +99,24 @@ impl RunResult {
     }
 }
 
-/// A federated learning algorithm driven round-by-round by the [`Runner`].
+/// The low-level SPI a federated learning algorithm implements.
 ///
 /// Implementations own their scenario, client models, and (optionally)
-/// server model. The engine guarantees `run_round` is called with strictly
-/// increasing round indices starting at 0.
+/// server model. The shared [`FlAlgorithm`] driver guarantees `run_round`
+/// is called with strictly increasing round indices starting at 0, and
+/// handles evaluation, ledger accounting, and round-boundary telemetry
+/// itself — implementations only emit the events for what happens *inside*
+/// a round (client training, aggregation, filtering, distillation).
 pub trait Federation {
     /// A short display name (`"FedPKD"`, `"FedAvg"`, …).
     fn name(&self) -> &'static str;
 
+    /// Number of participating clients.
+    fn num_clients(&self) -> usize;
+
     /// Executes one communication round, recording every transfer in
-    /// `ledger`.
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger);
+    /// `ledger` and reporting in-round telemetry to `obs`.
+    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver);
 
     /// Server-model accuracy on the global test set, or `None` if the
     /// algorithm has no server model.
@@ -105,73 +126,110 @@ pub trait Federation {
     fn client_accuracies(&mut self) -> Vec<f64>;
 }
 
-/// Drives a [`Federation`] for a fixed number of rounds, evaluating after
-/// each round.
+/// The uniform interface every federated algorithm is driven through.
+///
+/// Callers never loop over rounds themselves: [`run`](Self::run) (or the
+/// observer-less [`run_silent`](Self::run_silent)) is the single driver for
+/// FedPKD and all baselines, courtesy of the blanket impl over
+/// [`Federation`].
 ///
 /// # Examples
 ///
 /// See the crate-level example.
-#[derive(Debug, Clone, Copy)]
-pub struct Runner {
-    rounds: usize,
-    eval_every: usize,
-}
+pub trait FlAlgorithm {
+    /// A short display name (`"FedPKD"`, `"FedAvg"`, …).
+    fn name(&self) -> &str;
 
-impl Runner {
-    /// Creates a runner that executes `rounds` rounds and evaluates after
-    /// every round.
+    /// Executes one communication round end to end — training phases,
+    /// evaluation, ledger accounting — and returns its metrics.
+    ///
+    /// Emits [`TelemetryEvent::RoundStart`], the in-round event stream,
+    /// [`TelemetryEvent::LedgerDelta`], and [`TelemetryEvent::RoundEnd`]
+    /// to `obs`, in that order.
+    fn round(
+        &mut self,
+        round: usize,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) -> RoundMetrics;
+
+    /// Runs the algorithm for `rounds` rounds, streaming telemetry to
+    /// `obs`.
     ///
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
-    pub fn new(rounds: usize) -> Self {
+    fn run(&mut self, rounds: usize, obs: &mut dyn RoundObserver) -> RunResult {
         assert!(rounds > 0, "need at least one round");
-        Self {
-            rounds,
-            eval_every: 1,
+        let mut ledger = CommLedger::new();
+        let mut history = Vec::with_capacity(rounds);
+        for round in 0..rounds {
+            history.push(self.round(round, &mut ledger, obs));
         }
+        RunResult { history, ledger }
     }
 
-    /// Evaluate only every `n` rounds (and always after the last). Metrics
-    /// for skipped rounds carry the most recent evaluation.
+    /// Runs the algorithm with telemetry disabled (a [`NullObserver`]).
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0`.
-    #[must_use]
-    pub fn eval_every(mut self, n: usize) -> Self {
-        assert!(n > 0, "evaluation period must be positive");
-        self.eval_every = n;
-        self
+    /// Panics if `rounds == 0`.
+    fn run_silent(&mut self, rounds: usize) -> RunResult {
+        self.run(rounds, &mut NullObserver)
+    }
+}
+
+impl<F: Federation> FlAlgorithm for F {
+    fn name(&self) -> &str {
+        Federation::name(self)
     }
 
-    /// Runs the algorithm to completion.
-    pub fn run<F: Federation>(&self, mut algo: F) -> RunResult {
-        let mut ledger = CommLedger::new();
-        let mut history = Vec::with_capacity(self.rounds);
-        let mut last_server = None;
-        let mut last_clients = Vec::new();
-        for round in 0..self.rounds {
-            algo.run_round(round, &mut ledger);
-            let evaluate = round % self.eval_every == 0 || round + 1 == self.rounds;
-            if evaluate {
-                last_server = algo.server_accuracy();
-                last_clients = algo.client_accuracies();
-            }
-            history.push(RoundMetrics {
-                round,
-                server_accuracy: last_server,
-                client_accuracies: last_clients.clone(),
-                cumulative_bytes: ledger.cumulative_bytes_through_round(round),
-            });
-        }
-        RunResult { history, ledger }
+    fn round(
+        &mut self,
+        round: usize,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) -> RoundMetrics {
+        let round_started = Instant::now();
+        obs.record(&TelemetryEvent::RoundStart {
+            algorithm: Federation::name(self).to_string(),
+            round,
+            clients: self.num_clients(),
+        });
+        self.run_round(round, ledger, obs);
+        let eval_started = Instant::now();
+        let server_accuracy = self.server_accuracy();
+        let client_accuracies = self.client_accuracies();
+        emit_phase_timing(obs, round, Phase::Evaluation, eval_started);
+        let traffic = ledger.round_traffic(round);
+        let cumulative_bytes = ledger.cumulative_bytes_through_round(round);
+        obs.record(&TelemetryEvent::LedgerDelta {
+            round,
+            uplink_bytes: traffic.uplink,
+            downlink_bytes: traffic.downlink,
+            cumulative_bytes,
+        });
+        let metrics = RoundMetrics {
+            round,
+            server_accuracy,
+            client_accuracies,
+            cumulative_bytes,
+        };
+        obs.record(&TelemetryEvent::RoundEnd {
+            round,
+            seconds: round_started.elapsed().as_secs_f64(),
+            server_accuracy,
+            mean_client_accuracy: metrics.mean_client_accuracy(),
+            cumulative_bytes,
+        });
+        metrics
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::EventLog;
     use fedpkd_netsim::{Direction, Message};
 
     /// A fake federation whose accuracy rises linearly and which sends a
@@ -184,7 +242,15 @@ mod tests {
         fn name(&self) -> &'static str {
             "Fake"
         }
-        fn run_round(&mut self, round: usize, ledger: &mut CommLedger) {
+        fn num_clients(&self) -> usize {
+            2
+        }
+        fn run_round(
+            &mut self,
+            round: usize,
+            ledger: &mut CommLedger,
+            obs: &mut dyn RoundObserver,
+        ) {
             self.acc = 0.1 * (round + 1) as f64;
             ledger.record(
                 round,
@@ -194,6 +260,12 @@ mod tests {
                     params: vec![0.0; 25],
                 },
             );
+            obs.record(&TelemetryEvent::ClientTrained {
+                round,
+                client: 0,
+                samples: 25,
+                mean_loss: 1.0,
+            });
         }
         fn server_accuracy(&mut self) -> Option<f64> {
             Some(self.acc)
@@ -204,8 +276,8 @@ mod tests {
     }
 
     #[test]
-    fn runner_collects_history_per_round() {
-        let result = Runner::new(5).run(FakeFed { acc: 0.0 });
+    fn run_collects_history_per_round() {
+        let result = FakeFed { acc: 0.0 }.run_silent(5);
         assert_eq!(result.history.len(), 5);
         assert_eq!(result.last().round, 4);
         assert!((result.last().server_accuracy.unwrap() - 0.5).abs() < 1e-12);
@@ -214,7 +286,7 @@ mod tests {
 
     #[test]
     fn cumulative_bytes_are_monotone() {
-        let result = Runner::new(4).run(FakeFed { acc: 0.0 });
+        let result = FakeFed { acc: 0.0 }.run_silent(4);
         for pair in result.history.windows(2) {
             assert!(pair[1].cumulative_bytes > pair[0].cumulative_bytes);
         }
@@ -222,7 +294,7 @@ mod tests {
 
     #[test]
     fn bytes_to_accuracy_finds_first_crossing() {
-        let result = Runner::new(10).run(FakeFed { acc: 0.0 });
+        let result = FakeFed { acc: 0.0 }.run_silent(10);
         let at_03 = result.bytes_to_server_accuracy(0.3).unwrap();
         let at_08 = result.bytes_to_server_accuracy(0.8).unwrap();
         assert!(at_03 < at_08);
@@ -232,29 +304,15 @@ mod tests {
 
     #[test]
     fn best_accuracies() {
-        let result = Runner::new(3).run(FakeFed { acc: 0.0 });
+        let result = FakeFed { acc: 0.0 }.run_silent(3);
         assert!((result.best_server_accuracy().unwrap() - 0.3).abs() < 1e-12);
         assert!((result.best_client_accuracy() - 0.35).abs() < 1e-12);
     }
 
     #[test]
-    fn eval_every_carries_metrics_forward() {
-        let result = Runner::new(5).eval_every(2).run(FakeFed { acc: 0.0 });
-        // Rounds 0, 2, 4 are evaluated; 1 and 3 repeat the previous value.
-        assert_eq!(
-            result.history[1].server_accuracy,
-            result.history[0].server_accuracy
-        );
-        assert_ne!(
-            result.history[2].server_accuracy,
-            result.history[1].server_accuracy
-        );
-    }
-
-    #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
-        let _ = Runner::new(0);
+        let _ = FakeFed { acc: 0.0 }.run_silent(0);
     }
 
     #[test]
@@ -266,5 +324,72 @@ mod tests {
             cumulative_bytes: 0,
         };
         assert_eq!(m.mean_client_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn driver_frames_each_round_with_telemetry() {
+        let mut log = EventLog::new();
+        let result = FakeFed { acc: 0.0 }.run(2, &mut log);
+        let kinds: Vec<&str> = log.events().iter().map(TelemetryEvent::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "round_start",
+                "client_trained",
+                "phase_timing",
+                "ledger_delta",
+                "round_end",
+                "round_start",
+                "client_trained",
+                "phase_timing",
+                "ledger_delta",
+                "round_end",
+            ]
+        );
+        match &log.events()[0] {
+            TelemetryEvent::RoundStart {
+                algorithm,
+                round,
+                clients,
+            } => {
+                assert_eq!(algorithm, "Fake");
+                assert_eq!(*round, 0);
+                assert_eq!(*clients, 2);
+            }
+            other => panic!("unexpected first event {other:?}"),
+        }
+        match log.events().last().unwrap() {
+            TelemetryEvent::RoundEnd {
+                round,
+                server_accuracy,
+                cumulative_bytes,
+                ..
+            } => {
+                assert_eq!(*round, 1);
+                assert_eq!(*server_accuracy, result.last().server_accuracy);
+                assert_eq!(*cumulative_bytes, result.last().cumulative_bytes);
+            }
+            other => panic!("unexpected last event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ledger_delta_matches_round_traffic() {
+        let mut log = EventLog::new();
+        let result = FakeFed { acc: 0.0 }.run(1, &mut log);
+        let delta = log.of_kind("ledger_delta").next().unwrap();
+        match delta {
+            TelemetryEvent::LedgerDelta {
+                uplink_bytes,
+                downlink_bytes,
+                cumulative_bytes,
+                ..
+            } => {
+                assert!(*uplink_bytes > 0);
+                assert_eq!(*downlink_bytes, 0);
+                assert_eq!(*cumulative_bytes, result.ledger.total_bytes());
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
     }
 }

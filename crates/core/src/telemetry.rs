@@ -1,0 +1,737 @@
+//! Round-level observability: typed events, observers, and sinks.
+//!
+//! Every federated algorithm in this workspace reports its per-round
+//! internals — local-training losses, aggregation confidence, filter
+//! outcomes (Algorithm 1), distillation loss components (Eqs. 11–13),
+//! prototype drift, wall-clock phase timings, and ledger deltas — through a
+//! single [`RoundObserver`] threaded into
+//! [`Federation::run_round`](crate::runtime::Federation::run_round) by the
+//! shared [`FlAlgorithm`](crate::runtime::FlAlgorithm) driver.
+//!
+//! Three observers cover the common cases:
+//!
+//! - [`NullObserver`] — the zero-cost default. Its [`RoundObserver::enabled`]
+//!   returns `false`, which algorithms use to skip computing diagnostic
+//!   statistics entirely.
+//! - [`JsonlSink`] — streams one hand-rolled JSON object per event to any
+//!   [`std::io::Write`] (a file, a `Vec<u8>`, a socket), one per line.
+//! - [`EventLog`] — collects events in memory for tests and diagnostics.
+//!
+//! Telemetry is observational by construction: events carry values the
+//! algorithms already computed (or pure functions of them), never consume
+//! randomness, and never feed back into training. Attaching any observer to
+//! a run must not change a single metric bit; `tests/telemetry.rs` at the
+//! workspace root enforces this.
+
+use std::time::Instant;
+
+/// The wall-clock phases of a communication round.
+///
+/// Not every algorithm has every phase — FedAvg has no distillation,
+/// FedMD/DS-FL have no server — so a round's `phase_timing` events cover a
+/// subset of these in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Phase {
+    /// Clients training on their private shards (plus knowledge extraction).
+    ClientTraining,
+    /// Server-side knowledge aggregation (logits, prototypes, parameters).
+    Aggregation,
+    /// Prototype-based public-set filtering (Algorithm 1).
+    Filter,
+    /// Server-model distillation (Eqs. 11–13).
+    ServerDistill,
+    /// Clients distilling from the server/ensemble knowledge (Eq. 15).
+    ClientDistill,
+    /// Accuracy evaluation at the end of the round (driver-level).
+    Evaluation,
+}
+
+impl Phase {
+    /// The snake_case name used in serialized events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ClientTraining => "client_training",
+            Self::Aggregation => "aggregation",
+            Self::Filter => "filter",
+            Self::ServerDistill => "server_distill",
+            Self::ClientDistill => "client_distill",
+            Self::Evaluation => "evaluation",
+        }
+    }
+}
+
+/// One typed observation from inside a federated round.
+///
+/// Every variant carries its `round` so serialized streams are
+/// self-describing. Loss values are per-batch means over the phase that
+/// produced them.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TelemetryEvent {
+    /// A round is starting.
+    RoundStart {
+        /// Algorithm display name (`"FedPKD"`, `"FedAvg"`, …).
+        algorithm: String,
+        /// Zero-based round index.
+        round: usize,
+        /// Number of participating clients.
+        clients: usize,
+    },
+    /// One client finished its local (private) training.
+    ClientTrained {
+        /// Round index.
+        round: usize,
+        /// Client index.
+        client: usize,
+        /// Private training samples the client holds.
+        samples: usize,
+        /// Mean per-batch training loss over the local epochs.
+        mean_loss: f64,
+    },
+    /// The server aggregated the clients' public-set logits (Eqs. 6–7).
+    LogitAggregation {
+        /// Round index.
+        round: usize,
+        /// Number of contributing clients.
+        clients: usize,
+        /// Whether variance weighting (Eq. 7) was active.
+        variance_weighting: bool,
+        /// Per-client mean aggregation weight (uniform when disabled).
+        mean_client_weight: Vec<f64>,
+        /// Fraction of samples on which client argmax predictions disagree.
+        disagreement: f64,
+    },
+    /// Distance between the previous and new global prototypes (Eq. 8).
+    PrototypeDrift {
+        /// Round index.
+        round: usize,
+        /// Classes with a global prototype after this round.
+        classes_present: usize,
+        /// Mean L2 distance over classes present in both rounds.
+        mean_l2: f64,
+        /// Maximum L2 distance over classes present in both rounds.
+        max_l2: f64,
+    },
+    /// Outcome of prototype-based public-set filtering (Algorithm 1).
+    FilterOutcome {
+        /// Round index.
+        round: usize,
+        /// Total samples kept.
+        kept: usize,
+        /// Total samples dropped.
+        dropped: usize,
+        /// Samples kept per pseudo-class.
+        kept_per_class: Vec<usize>,
+        /// Pseudo-class populations before filtering.
+        total_per_class: Vec<usize>,
+        /// Five-number summary (min, q25, median, q75, max) of the Eq. 10
+        /// prototype distances; empty when no class had a prototype.
+        distance_quantiles: Vec<f64>,
+    },
+    /// Server distillation finished (Eqs. 11–13).
+    ServerDistill {
+        /// Round index.
+        round: usize,
+        /// Mean distillation term `L_kd` (KL + CE, Eq. 11).
+        kd_loss: f64,
+        /// Mean prototype term `L_p` (MSE, Eq. 12); 0 when disabled.
+        proto_loss: f64,
+        /// Mean combined objective `F = δ·L_kd + (1−δ)·L_p` (Eq. 13).
+        combined_loss: f64,
+        /// Mini-batches processed.
+        batches: usize,
+    },
+    /// One client finished distilling from the downlinked knowledge.
+    ClientDistilled {
+        /// Round index.
+        round: usize,
+        /// Client index.
+        client: usize,
+        /// Mean per-batch distillation loss (Eq. 15).
+        mean_loss: f64,
+    },
+    /// Wall-clock duration of one phase of the round.
+    PhaseTiming {
+        /// Round index.
+        round: usize,
+        /// Which phase.
+        phase: Phase,
+        /// Elapsed wall-clock seconds.
+        seconds: f64,
+    },
+    /// Bytes that crossed the simulated network this round.
+    LedgerDelta {
+        /// Round index.
+        round: usize,
+        /// Client → server bytes this round.
+        uplink_bytes: usize,
+        /// Server → client bytes this round.
+        downlink_bytes: usize,
+        /// Cumulative bytes through this round.
+        cumulative_bytes: usize,
+    },
+    /// A round completed, with its end-of-round metrics.
+    RoundEnd {
+        /// Round index.
+        round: usize,
+        /// Total wall-clock seconds for the round (including evaluation).
+        seconds: f64,
+        /// Server accuracy, if the algorithm has a server model.
+        server_accuracy: Option<f64>,
+        /// Mean per-client local-test accuracy.
+        mean_client_accuracy: f64,
+        /// Cumulative communication bytes through this round.
+        cumulative_bytes: usize,
+    },
+}
+
+impl TelemetryEvent {
+    /// The snake_case event tag, also the `"event"` field of
+    /// [`to_json`](Self::to_json).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::RoundStart { .. } => "round_start",
+            Self::ClientTrained { .. } => "client_trained",
+            Self::LogitAggregation { .. } => "logit_aggregation",
+            Self::PrototypeDrift { .. } => "prototype_drift",
+            Self::FilterOutcome { .. } => "filter_outcome",
+            Self::ServerDistill { .. } => "server_distill",
+            Self::ClientDistilled { .. } => "client_distilled",
+            Self::PhaseTiming { .. } => "phase_timing",
+            Self::LedgerDelta { .. } => "ledger_delta",
+            Self::RoundEnd { .. } => "round_end",
+        }
+    }
+
+    /// The round the event belongs to.
+    pub fn round(&self) -> usize {
+        match self {
+            Self::RoundStart { round, .. }
+            | Self::ClientTrained { round, .. }
+            | Self::LogitAggregation { round, .. }
+            | Self::PrototypeDrift { round, .. }
+            | Self::FilterOutcome { round, .. }
+            | Self::ServerDistill { round, .. }
+            | Self::ClientDistilled { round, .. }
+            | Self::PhaseTiming { round, .. }
+            | Self::LedgerDelta { round, .. }
+            | Self::RoundEnd { round, .. } => *round,
+        }
+    }
+
+    /// Serializes the event as a single JSON object (hand-rolled; the
+    /// workspace deliberately carries no serialization dependency,
+    /// consistent with the `netsim` wire codec). Non-finite floats become
+    /// `null`.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonBuilder::new(self.kind());
+        obj.usize("round", self.round());
+        match self {
+            Self::RoundStart {
+                algorithm, clients, ..
+            } => {
+                obj.string("algorithm", algorithm);
+                obj.usize("clients", *clients);
+            }
+            Self::ClientTrained {
+                client,
+                samples,
+                mean_loss,
+                ..
+            } => {
+                obj.usize("client", *client);
+                obj.usize("samples", *samples);
+                obj.f64("mean_loss", *mean_loss);
+            }
+            Self::LogitAggregation {
+                clients,
+                variance_weighting,
+                mean_client_weight,
+                disagreement,
+                ..
+            } => {
+                obj.usize("clients", *clients);
+                obj.bool("variance_weighting", *variance_weighting);
+                obj.f64_array("mean_client_weight", mean_client_weight);
+                obj.f64("disagreement", *disagreement);
+            }
+            Self::PrototypeDrift {
+                classes_present,
+                mean_l2,
+                max_l2,
+                ..
+            } => {
+                obj.usize("classes_present", *classes_present);
+                obj.f64("mean_l2", *mean_l2);
+                obj.f64("max_l2", *max_l2);
+            }
+            Self::FilterOutcome {
+                kept,
+                dropped,
+                kept_per_class,
+                total_per_class,
+                distance_quantiles,
+                ..
+            } => {
+                obj.usize("kept", *kept);
+                obj.usize("dropped", *dropped);
+                obj.usize_array("kept_per_class", kept_per_class);
+                obj.usize_array("total_per_class", total_per_class);
+                obj.f64_array("distance_quantiles", distance_quantiles);
+            }
+            Self::ServerDistill {
+                kd_loss,
+                proto_loss,
+                combined_loss,
+                batches,
+                ..
+            } => {
+                obj.f64("kd_loss", *kd_loss);
+                obj.f64("proto_loss", *proto_loss);
+                obj.f64("combined_loss", *combined_loss);
+                obj.usize("batches", *batches);
+            }
+            Self::ClientDistilled {
+                client, mean_loss, ..
+            } => {
+                obj.usize("client", *client);
+                obj.f64("mean_loss", *mean_loss);
+            }
+            Self::PhaseTiming { phase, seconds, .. } => {
+                obj.string("phase", phase.name());
+                obj.f64("seconds", *seconds);
+            }
+            Self::LedgerDelta {
+                uplink_bytes,
+                downlink_bytes,
+                cumulative_bytes,
+                ..
+            } => {
+                obj.usize("uplink_bytes", *uplink_bytes);
+                obj.usize("downlink_bytes", *downlink_bytes);
+                obj.usize("cumulative_bytes", *cumulative_bytes);
+            }
+            Self::RoundEnd {
+                seconds,
+                server_accuracy,
+                mean_client_accuracy,
+                cumulative_bytes,
+                ..
+            } => {
+                obj.f64("seconds", *seconds);
+                obj.opt_f64("server_accuracy", *server_accuracy);
+                obj.f64("mean_client_accuracy", *mean_client_accuracy);
+                obj.usize("cumulative_bytes", *cumulative_bytes);
+            }
+        }
+        obj.finish()
+    }
+}
+
+/// Incremental hand-rolled JSON object writer.
+struct JsonBuilder {
+    out: String,
+}
+
+impl JsonBuilder {
+    fn new(event: &str) -> Self {
+        let mut out = String::with_capacity(128);
+        out.push_str("{\"event\":");
+        push_json_string(&mut out, event);
+        Self { out }
+    }
+
+    fn key(&mut self, key: &str) {
+        self.out.push(',');
+        push_json_string(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    fn usize(&mut self, key: &str, value: usize) {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+    }
+
+    fn bool(&mut self, key: &str, value: bool) {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    fn f64(&mut self, key: &str, value: f64) {
+        self.key(key);
+        push_json_f64(&mut self.out, value);
+    }
+
+    fn opt_f64(&mut self, key: &str, value: Option<f64>) {
+        self.key(key);
+        match value {
+            Some(v) => push_json_f64(&mut self.out, v),
+            None => self.out.push_str("null"),
+        }
+    }
+
+    fn string(&mut self, key: &str, value: &str) {
+        self.key(key);
+        push_json_string(&mut self.out, value);
+    }
+
+    fn usize_array(&mut self, key: &str, values: &[usize]) {
+        self.key(key);
+        self.out.push('[');
+        for (i, v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(&v.to_string());
+        }
+        self.out.push(']');
+    }
+
+    fn f64_array(&mut self, key: &str, values: &[f64]) {
+        self.key(key);
+        self.out.push('[');
+        for (i, &v) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            push_json_f64(&mut self.out, v);
+        }
+        self.out.push(']');
+    }
+
+    fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Receives the typed event stream of a federated run.
+///
+/// Implementations must be purely observational: never consume randomness
+/// shared with the algorithm and never influence results. The contract is
+/// enforced by the workspace determinism test — a run's `RunResult` must be
+/// bit-identical whatever observer is attached.
+pub trait RoundObserver {
+    /// Handles one event.
+    fn record(&mut self, event: &TelemetryEvent);
+
+    /// Whether the observer wants events at all.
+    ///
+    /// Algorithms gate the *computation* of diagnostic statistics (filter
+    /// quantiles, aggregation disagreement, prototype drift) on this, so a
+    /// disabled observer costs nothing beyond the check itself.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The zero-cost default observer: drops every event and reports itself
+/// disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl RoundObserver for NullObserver {
+    fn record(&mut self, _event: &TelemetryEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Streams one JSON object per event to a writer, newline-delimited
+/// (JSONL). The first I/O error is stored (see [`JsonlSink::error`]) and
+/// subsequent events are dropped; telemetry never aborts a run.
+#[derive(Debug)]
+pub struct JsonlSink<W: std::io::Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer,
+            error: None,
+        }
+    }
+
+    /// The first write error encountered, if any.
+    pub fn error(&self) -> Option<&std::io::Error> {
+        self.error.as_ref()
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stored or flush-time I/O error, if any.
+    pub fn into_inner(mut self) -> Result<W, std::io::Error> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+}
+
+impl<W: std::io::Write> RoundObserver for JsonlSink<W> {
+    fn record(&mut self, event: &TelemetryEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        let mut line = event.to_json();
+        line.push('\n');
+        if let Err(e) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Collects events in memory, for tests and diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct EventLog {
+    events: Vec<TelemetryEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in arrival order.
+    pub fn events(&self) -> &[TelemetryEvent] {
+        &self.events
+    }
+
+    /// Consumes the log, returning the events.
+    pub fn into_events(self) -> Vec<TelemetryEvent> {
+        self.events
+    }
+
+    /// Events of one kind (as named by [`TelemetryEvent::kind`]).
+    pub fn of_kind(&self, kind: &str) -> impl Iterator<Item = &TelemetryEvent> {
+        let kind = kind.to_string();
+        self.events.iter().filter(move |e| e.kind() == kind)
+    }
+}
+
+impl RoundObserver for EventLog {
+    fn record(&mut self, event: &TelemetryEvent) {
+        self.events.push(event.clone());
+    }
+}
+
+/// Emits a [`TelemetryEvent::PhaseTiming`] for a phase started at `started`.
+///
+/// Timings are always recorded when the observer accepts events; they feed
+/// telemetry only and never influence the run.
+pub fn emit_phase_timing(
+    obs: &mut dyn RoundObserver,
+    round: usize,
+    phase: Phase,
+    started: Instant,
+) {
+    obs.record(&TelemetryEvent::PhaseTiming {
+        round,
+        phase,
+        seconds: started.elapsed().as_secs_f64(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::RoundStart {
+                algorithm: "FedPKD".to_string(),
+                round: 0,
+                clients: 3,
+            },
+            TelemetryEvent::ClientTrained {
+                round: 0,
+                client: 1,
+                samples: 120,
+                mean_loss: 2.25,
+            },
+            TelemetryEvent::LogitAggregation {
+                round: 0,
+                clients: 3,
+                variance_weighting: true,
+                mean_client_weight: vec![0.5, 0.25, 0.25],
+                disagreement: 0.125,
+            },
+            TelemetryEvent::PrototypeDrift {
+                round: 0,
+                classes_present: 10,
+                mean_l2: 0.5,
+                max_l2: 1.5,
+            },
+            TelemetryEvent::FilterOutcome {
+                round: 0,
+                kept: 84,
+                dropped: 36,
+                kept_per_class: vec![42, 42],
+                total_per_class: vec![60, 60],
+                distance_quantiles: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            },
+            TelemetryEvent::ServerDistill {
+                round: 0,
+                kd_loss: 2.5,
+                proto_loss: 0.75,
+                combined_loss: 2.0,
+                batches: 12,
+            },
+            TelemetryEvent::ClientDistilled {
+                round: 0,
+                client: 0,
+                mean_loss: 1.5,
+            },
+            TelemetryEvent::PhaseTiming {
+                round: 0,
+                phase: Phase::Filter,
+                seconds: 0.125,
+            },
+            TelemetryEvent::LedgerDelta {
+                round: 0,
+                uplink_bytes: 1000,
+                downlink_bytes: 500,
+                cumulative_bytes: 1500,
+            },
+            TelemetryEvent::RoundEnd {
+                round: 0,
+                seconds: 1.0,
+                server_accuracy: Some(0.5),
+                mean_client_accuracy: 0.25,
+                cumulative_bytes: 1500,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_serializes_with_its_kind_and_round() {
+        for event in sample_events() {
+            let json = event.to_json();
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert!(
+                json.contains(&format!("\"event\":\"{}\"", event.kind())),
+                "{json}"
+            );
+            assert!(json.contains("\"round\":0"), "{json}");
+        }
+    }
+
+    #[test]
+    fn json_escapes_strings_and_maps_non_finite_to_null() {
+        let event = TelemetryEvent::RoundStart {
+            algorithm: "weird\"name\\with\ncontrol".to_string(),
+            round: 3,
+            clients: 1,
+        };
+        let json = event.to_json();
+        assert!(json.contains("weird\\\"name\\\\with\\ncontrol"), "{json}");
+        let event = TelemetryEvent::PrototypeDrift {
+            round: 0,
+            classes_present: 0,
+            mean_l2: f64::NAN,
+            max_l2: f64::INFINITY,
+        };
+        let json = event.to_json();
+        assert!(json.contains("\"mean_l2\":null"), "{json}");
+        assert!(json.contains("\"max_l2\":null"), "{json}");
+    }
+
+    #[test]
+    fn none_accuracy_serializes_as_null() {
+        let event = TelemetryEvent::RoundEnd {
+            round: 2,
+            seconds: 0.5,
+            server_accuracy: None,
+            mean_client_accuracy: 0.5,
+            cumulative_bytes: 10,
+        };
+        assert!(event.to_json().contains("\"server_accuracy\":null"));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        for event in sample_events() {
+            sink.record(&event);
+        }
+        assert!(sink.error().is_none());
+        let buf = sink.into_inner().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), sample_events().len());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn null_observer_is_disabled() {
+        let mut obs = NullObserver;
+        assert!(!obs.enabled());
+        obs.record(&sample_events()[0]);
+    }
+
+    #[test]
+    fn event_log_collects_in_order() {
+        let mut log = EventLog::new();
+        for event in sample_events() {
+            log.record(&event);
+        }
+        assert_eq!(log.events().len(), sample_events().len());
+        assert_eq!(log.of_kind("round_end").count(), 1);
+        assert_eq!(log.events()[0].kind(), "round_start");
+    }
+
+    #[test]
+    fn phase_timing_helper_records_nonnegative_seconds() {
+        let mut log = EventLog::new();
+        let started = Instant::now();
+        emit_phase_timing(&mut log, 4, Phase::Aggregation, started);
+        match &log.events()[0] {
+            TelemetryEvent::PhaseTiming {
+                round,
+                phase,
+                seconds,
+            } => {
+                assert_eq!(*round, 4);
+                assert_eq!(*phase, Phase::Aggregation);
+                assert!(*seconds >= 0.0);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+}

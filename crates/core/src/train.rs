@@ -8,6 +8,34 @@ use fedpkd_tensor::nn::Layer;
 use fedpkd_tensor::optim::Optimizer;
 use fedpkd_tensor::Tensor;
 
+/// Summary of one training call: how many mini-batches ran and their mean
+/// objective value.
+///
+/// The loss values are byproducts of gradients the loops already compute,
+/// so collecting them is free and never perturbs training; callers forward
+/// them to telemetry or drop them.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TrainStats {
+    /// Mini-batches processed (across all epochs).
+    pub batches: usize,
+    /// Mean per-batch objective value, or 0 when no batch ran.
+    pub mean_loss: f64,
+}
+
+impl TrainStats {
+    /// Builds stats from an accumulated loss total and batch count.
+    pub fn from_total(total_loss: f64, batches: usize) -> Self {
+        Self {
+            batches,
+            mean_loss: if batches == 0 {
+                0.0
+            } else {
+                total_loss / batches as f64
+            },
+        }
+    }
+}
+
 /// Plain supervised training on a labeled dataset (Eq. 4).
 ///
 /// Runs `epochs` passes of shuffled mini-batch training with cross-entropy.
@@ -18,23 +46,29 @@ pub fn train_supervised(
     batch_size: usize,
     optimizer: &mut dyn Optimizer,
     rng: &mut Rng,
-) {
+) -> TrainStats {
     let ce = CrossEntropy::new();
+    let mut total_loss = 0.0f64;
+    let mut batches = 0usize;
     for _ in 0..epochs {
         for batch in dataset.batches(batch_size, rng) {
             let logits = model.forward_logits(&batch.features, true);
-            let (_, grad) = ce.loss_and_grad(&logits, &batch.labels);
+            let (loss, grad) = ce.loss_and_grad(&logits, &batch.labels);
             model.backward(&grad);
             optimizer.step(model);
             model.zero_grad();
+            total_loss += f64::from(loss);
+            batches += 1;
         }
     }
+    TrainStats::from_total(total_loss, batches)
 }
 
 /// Supervised training regularized toward global prototypes (Eq. 16):
 /// `CE(logits, y) + ε · MSE(features, P^{y})`.
 ///
 /// Classes without a global prototype contribute only the CE term.
+#[allow(clippy::too_many_arguments)]
 pub fn train_supervised_with_prototypes(
     model: &mut ClassifierModel,
     dataset: &Dataset,
@@ -44,13 +78,15 @@ pub fn train_supervised_with_prototypes(
     batch_size: usize,
     optimizer: &mut dyn Optimizer,
     rng: &mut Rng,
-) {
+) -> TrainStats {
     let ce = CrossEntropy::new();
     let mse = Mse::new();
+    let mut total_loss = 0.0f64;
+    let mut batches = 0usize;
     for _ in 0..epochs {
         for batch in dataset.batches(batch_size, rng) {
             let (features, logits) = model.forward_full(&batch.features, true);
-            let (_, logit_grad) = ce.loss_and_grad(&logits, &batch.labels);
+            let (ce_loss, logit_grad) = ce.loss_and_grad(&logits, &batch.labels);
 
             // Prototype pull: rows whose class has a global prototype get an
             // MSE gradient on their feature embedding.
@@ -62,17 +98,22 @@ pub fn train_supervised_with_prototypes(
                     any = true;
                 }
             }
+            let mut objective = f64::from(ce_loss);
             if any && epsilon != 0.0 {
-                let (_, mut fgrad) = mse.loss_and_grad(&features, &target);
+                let (mse_loss, mut fgrad) = mse.loss_and_grad(&features, &target);
                 fgrad.scale_in_place(epsilon);
                 model.backward_dual(&logit_grad, Some(&fgrad));
+                objective += f64::from(epsilon) * f64::from(mse_loss);
             } else {
                 model.backward_dual(&logit_grad, None);
             }
             optimizer.step(model);
             model.zero_grad();
+            total_loss += objective;
+            batches += 1;
         }
     }
+    TrainStats::from_total(total_loss, batches)
 }
 
 /// Knowledge-distillation training on (a subset of) the public dataset
@@ -85,6 +126,7 @@ pub fn train_supervised_with_prototypes(
 ///
 /// Panics if the row counts of `public_features` and `teacher_probs`
 /// disagree.
+#[allow(clippy::too_many_arguments)]
 pub fn train_distill(
     model: &mut ClassifierModel,
     public_features: &Tensor,
@@ -95,7 +137,7 @@ pub fn train_distill(
     batch_size: usize,
     optimizer: &mut dyn Optimizer,
     rng: &mut Rng,
-) {
+) -> TrainStats {
     assert_eq!(
         public_features.rows(),
         teacher_probs.rows(),
@@ -103,12 +145,14 @@ pub fn train_distill(
     );
     let n = public_features.rows();
     if n == 0 {
-        return;
+        return TrainStats::default();
     }
     let kl = DistillKl::new(temperature);
     let pseudo_labels: Vec<usize> = teacher_probs.argmax_rows();
     let ce = CrossEntropy::new();
 
+    let mut total_loss = 0.0f64;
+    let mut batches = 0usize;
     for _ in 0..epochs {
         let mut order: Vec<usize> = (0..n).collect();
         rng.shuffle(&mut order);
@@ -119,15 +163,19 @@ pub fn train_distill(
             let teacher = teacher_probs.select_rows(chunk).expect("indices in range");
             let labels: Vec<usize> = chunk.iter().map(|&i| pseudo_labels[i]).collect();
             let logits = model.forward_logits(&x, true);
-            let (_, kl_grad) = kl.loss_and_grad(&logits, &teacher);
-            let (_, ce_grad) = ce.loss_and_grad(&logits, &labels);
+            let (kl_loss, kl_grad) = kl.loss_and_grad(&logits, &teacher);
+            let (ce_loss, ce_grad) = ce.loss_and_grad(&logits, &labels);
             let mut grad = kl_grad.scale(gamma);
             grad.axpy(1.0 - gamma, &ce_grad).expect("equal shapes");
             model.backward(&grad);
             optimizer.step(model);
             model.zero_grad();
+            total_loss +=
+                f64::from(gamma) * f64::from(kl_loss) + f64::from(1.0 - gamma) * f64::from(ce_loss);
+            batches += 1;
         }
     }
+    TrainStats::from_total(total_loss, batches)
 }
 
 /// Adds the FedProx proximal gradient `μ · (w − w_ref)` to the accumulated
@@ -168,7 +216,9 @@ mod tests {
 
     fn small_dataset(seed: u64, n: usize) -> Dataset {
         let mut rng = Rng::seed_from_u64(seed);
-        SyntheticConfig::cifar10_like().generate(n, &mut rng).unwrap()
+        SyntheticConfig::cifar10_like()
+            .generate(n, &mut rng)
+            .unwrap()
     }
 
     #[test]
@@ -190,12 +240,9 @@ mod tests {
         let mut model = build_mlp(&[32, 64], 10, &mut rng);
         let mut opt = Adam::new(0.005);
         // Prototypes: zero vectors for all classes (pure regularization).
-        let protos: Vec<Option<Tensor>> =
-            (0..10).map(|_| Some(Tensor::zeros(&[64]))).collect();
+        let protos: Vec<Option<Tensor>> = (0..10).map(|_| Some(Tensor::zeros(&[64]))).collect();
         let before = eval::accuracy(&mut model, &ds);
-        train_supervised_with_prototypes(
-            &mut model, &ds, &protos, 0.1, 15, 32, &mut opt, &mut rng,
-        );
+        train_supervised_with_prototypes(&mut model, &ds, &protos, 0.1, 15, 32, &mut opt, &mut rng);
         let after = eval::accuracy(&mut model, &ds);
         assert!(after > before + 0.2, "{before} → {after}");
     }
@@ -242,12 +289,30 @@ mod tests {
     }
 
     #[test]
+    fn training_reports_batch_count_and_decreasing_loss() {
+        let mut rng = Rng::seed_from_u64(8);
+        let ds = small_dataset(8, 256);
+        let mut model = build_mlp(&[32, 64], 10, &mut rng);
+        let mut opt = Adam::new(0.005);
+        let first = train_supervised(&mut model, &ds, 1, 32, &mut opt, &mut rng);
+        assert_eq!(first.batches, 8);
+        assert!(first.mean_loss.is_finite() && first.mean_loss > 0.0);
+        let later = train_supervised(&mut model, &ds, 10, 32, &mut opt, &mut rng);
+        assert!(
+            later.mean_loss < first.mean_loss,
+            "loss should fall: {} → {}",
+            first.mean_loss,
+            later.mean_loss
+        );
+    }
+
+    #[test]
     fn distillation_on_empty_subset_is_a_noop() {
         let mut rng = Rng::seed_from_u64(5);
         let mut model = build_mlp(&[4, 8], 3, &mut rng);
         let mut opt = Adam::new(0.01);
         let before = param_vector(&model);
-        train_distill(
+        let stats = train_distill(
             &mut model,
             &Tensor::zeros(&[0, 4]),
             &Tensor::zeros(&[0, 3]),
@@ -259,6 +324,7 @@ mod tests {
             &mut rng,
         );
         assert_eq!(param_vector(&model), before);
+        assert_eq!(stats, TrainStats::default());
     }
 
     #[test]

@@ -35,7 +35,11 @@ impl Dataset {
     ///
     /// Returns [`DataError::LabelCountMismatch`] or
     /// [`DataError::LabelOutOfRange`] on invalid input.
-    pub fn new(features: Tensor, labels: Vec<usize>, num_classes: usize) -> Result<Self, DataError> {
+    pub fn new(
+        features: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DataError> {
         if features.rows() != labels.len() {
             return Err(DataError::LabelCountMismatch {
                 rows: features.rows(),

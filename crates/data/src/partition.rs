@@ -58,6 +58,8 @@ impl Partition {
 /// Returns [`DataError::InvalidConfig`] for degenerate arguments (zero
 /// clients, non-positive `alpha`, zero shard size, more classes per client
 /// than exist, or fewer samples than clients).
+// `!(alpha > 0.0)` rather than `alpha <= 0.0`: NaN must be rejected too.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 pub fn partition_indices(
     labels: &[usize],
     num_classes: usize,
@@ -109,10 +111,7 @@ pub fn partition_indices(
 
     // Guarantee non-empty parts: steal one index from the largest part for
     // any empty one (extremely skewed Dirichlet draws can empty a client).
-    loop {
-        let Some(empty) = parts.iter().position(Vec::is_empty) else {
-            break;
-        };
+    while let Some(empty) = parts.iter().position(Vec::is_empty) {
         let largest = parts
             .iter()
             .enumerate()
@@ -444,14 +443,8 @@ mod tests {
     fn single_client_takes_all_dirichlet() {
         let mut rng = Rng::seed_from_u64(7);
         let labels = synthetic_labels(50, 5, &mut rng);
-        let parts = partition_indices(
-            &labels,
-            5,
-            1,
-            Partition::Dirichlet { alpha: 0.5 },
-            &mut rng,
-        )
-        .unwrap();
+        let parts = partition_indices(&labels, 5, 1, Partition::Dirichlet { alpha: 0.5 }, &mut rng)
+            .unwrap();
         assert_eq!(parts.len(), 1);
         assert_eq!(parts[0].len(), 50);
     }

@@ -228,13 +228,12 @@ mod tests {
         assert_eq!(s.num_clients(), 5);
         assert_eq!(s.public.len(), 200);
         assert_eq!(s.global_test.len(), 300);
-        let total: usize = s
-            .clients
-            .iter()
-            .map(|c| c.train.len() + c.test.len())
-            .sum();
+        let total: usize = s.clients.iter().map(|c| c.train.len() + c.test.len()).sum();
         assert_eq!(total, 1_000);
-        assert_eq!(s.total_train_samples() + 1_000 - total, s.total_train_samples());
+        assert_eq!(
+            s.total_train_samples() + 1_000 - total,
+            s.total_train_samples()
+        );
     }
 
     #[test]

@@ -62,11 +62,7 @@ pub fn distribution_emd(p: &[f64], q: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if an index or label is out of range.
-pub fn partition_noniid_degree(
-    labels: &[usize],
-    parts: &[Vec<usize>],
-    num_classes: usize,
-) -> f64 {
+pub fn partition_noniid_degree(labels: &[usize], parts: &[Vec<usize>], num_classes: usize) -> f64 {
     if parts.is_empty() {
         return 0.0;
     }

@@ -121,6 +121,8 @@ impl SyntheticConfig {
     /// # Errors
     ///
     /// Returns [`DataError::InvalidConfig`] if any parameter is degenerate.
+    // `!(x > 0.0)` rather than `x <= 0.0`: NaN must be rejected too.
+    #[allow(clippy::neg_cmp_op_on_partial_ord)]
     pub fn validate(&self) -> Result<(), DataError> {
         if self.num_classes < 2 {
             return Err(DataError::InvalidConfig("need at least 2 classes".into()));

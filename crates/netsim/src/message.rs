@@ -1,10 +1,9 @@
 //! The catalog of messages exchanged in the simulated federation.
 
 use crate::wire::{
-    get_f32_vec, get_len, get_u32, get_u32_vec, get_u8, put_f32_slice, put_u32_slice, Wire,
-    WireError,
+    get_f32_vec, get_len, get_u32, get_u32_vec, get_u8, put_f32_slice, put_u32, put_u32_slice,
+    put_u8, Wire, WireError,
 };
-use bytes::BufMut;
 
 /// One class prototype as shipped on the wire: the class id, the number of
 /// local samples it was averaged over (needed for the size-weighted
@@ -21,8 +20,8 @@ pub struct PrototypeEntry {
 
 impl Wire for PrototypeEntry {
     fn encode(&self, buf: &mut Vec<u8>) {
-        buf.put_u32_le(self.class);
-        buf.put_u32_le(self.count);
+        put_u32(buf, self.class);
+        put_u32(buf, self.count);
         put_f32_slice(buf, &self.vector);
     }
 
@@ -99,7 +98,7 @@ impl Wire for Message {
     fn encode(&self, buf: &mut Vec<u8>) {
         match self {
             Self::ModelUpdate { params } => {
-                buf.put_u8(Self::TAG_MODEL);
+                put_u8(buf, Self::TAG_MODEL);
                 put_f32_slice(buf, params);
             }
             Self::Logits {
@@ -107,20 +106,20 @@ impl Wire for Message {
                 num_classes,
                 values,
             } => {
-                buf.put_u8(Self::TAG_LOGITS);
+                put_u8(buf, Self::TAG_LOGITS);
                 put_u32_slice(buf, sample_ids);
-                buf.put_u32_le(*num_classes);
+                put_u32(buf, *num_classes);
                 put_f32_slice(buf, values);
             }
             Self::Prototypes { entries } => {
-                buf.put_u8(Self::TAG_PROTOTYPES);
-                buf.put_u32_le(entries.len() as u32);
+                put_u8(buf, Self::TAG_PROTOTYPES);
+                put_u32(buf, entries.len() as u32);
                 for e in entries {
                     e.encode(buf);
                 }
             }
             Self::SampleSelection { ids } => {
-                buf.put_u8(Self::TAG_SELECTION);
+                put_u8(buf, Self::TAG_SELECTION);
                 put_u32_slice(buf, ids);
             }
         }
@@ -247,7 +246,13 @@ mod tests {
 
     #[test]
     fn kind_names() {
-        assert_eq!(Message::ModelUpdate { params: vec![] }.kind(), "model-update");
-        assert_eq!(Message::SampleSelection { ids: vec![] }.kind(), "sample-selection");
+        assert_eq!(
+            Message::ModelUpdate { params: vec![] }.kind(),
+            "model-update"
+        );
+        assert_eq!(
+            Message::SampleSelection { ids: vec![] }.kind(),
+            "sample-selection"
+        );
     }
 }

@@ -6,8 +6,9 @@
 //! accuracy cost (logits only steer a softmax). This module implements
 //! affine u8 quantization with per-message range calibration.
 
-use crate::wire::{get_f32, get_len, get_u32, put_u32_slice, Wire, WireError};
-use bytes::{Buf, BufMut};
+use crate::wire::{
+    get_bytes, get_f32, get_len, get_u32, put_f32, put_u32, put_u32_slice, Wire, WireError,
+};
 
 /// A logits payload quantized to one byte per value.
 ///
@@ -94,10 +95,10 @@ impl QuantizedLogits {
 impl Wire for QuantizedLogits {
     fn encode(&self, buf: &mut Vec<u8>) {
         put_u32_slice(buf, &self.sample_ids);
-        buf.put_u32_le(self.num_classes);
-        buf.put_f32_le(self.min);
-        buf.put_f32_le(self.scale);
-        buf.put_u32_le(self.values.len() as u32);
+        put_u32(buf, self.num_classes);
+        put_f32(buf, self.min);
+        put_f32(buf, self.scale);
+        put_u32(buf, self.values.len() as u32);
         buf.extend_from_slice(&self.values);
     }
 
@@ -107,11 +108,7 @@ impl Wire for QuantizedLogits {
         let min = get_f32(buf)?;
         let scale = get_f32(buf)?;
         let n = get_len(buf)?;
-        if buf.remaining() < n {
-            return Err(WireError::UnexpectedEof);
-        }
-        let mut values = vec![0u8; n];
-        buf.copy_to_slice(&mut values);
+        let values = get_bytes(buf, n)?;
         Ok(Self {
             sample_ids,
             num_classes,

@@ -1,6 +1,7 @@
 //! Binary wire encoding.
-
-use bytes::{Buf, BufMut};
+//!
+//! All primitives are little-endian and hand-rolled on `std` slices — the
+//! codec has no dependencies, which keeps offline/vendored builds trivial.
 
 /// Errors from decoding a wire payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,25 +59,48 @@ pub trait Wire: Sized {
     }
 }
 
-pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
-    if buf.remaining() < 1 {
+/// Splits `N` bytes off the front of `buf`, advancing it.
+fn take<const N: usize>(buf: &mut &[u8]) -> Result<[u8; N], WireError> {
+    if buf.len() < N {
         return Err(WireError::UnexpectedEof);
     }
-    Ok(buf.get_u8())
+    let (head, rest) = buf.split_at(N);
+    *buf = rest;
+    Ok(head.try_into().expect("split_at guarantees length"))
+}
+
+pub(crate) fn get_u8(buf: &mut &[u8]) -> Result<u8, WireError> {
+    Ok(take::<1>(buf)?[0])
 }
 
 pub(crate) fn get_u32(buf: &mut &[u8]) -> Result<u32, WireError> {
-    if buf.remaining() < 4 {
-        return Err(WireError::UnexpectedEof);
-    }
-    Ok(buf.get_u32_le())
+    Ok(u32::from_le_bytes(take::<4>(buf)?))
 }
 
 pub(crate) fn get_f32(buf: &mut &[u8]) -> Result<f32, WireError> {
-    if buf.remaining() < 4 {
+    Ok(f32::from_le_bytes(take::<4>(buf)?))
+}
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f32(buf: &mut Vec<u8>, v: f32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Splits `n` raw bytes off the front of `buf` into a fresh vector.
+pub(crate) fn get_bytes(buf: &mut &[u8], n: usize) -> Result<Vec<u8>, WireError> {
+    if buf.len() < n {
         return Err(WireError::UnexpectedEof);
     }
-    Ok(buf.get_f32_le())
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head.to_vec())
 }
 
 pub(crate) fn get_len(buf: &mut &[u8]) -> Result<usize, WireError> {
@@ -88,33 +112,33 @@ pub(crate) fn get_len(buf: &mut &[u8]) -> Result<usize, WireError> {
 }
 
 pub(crate) fn put_f32_slice(buf: &mut Vec<u8>, values: &[f32]) {
-    buf.put_u32_le(values.len() as u32);
+    put_u32(buf, values.len() as u32);
     for &v in values {
-        buf.put_f32_le(v);
+        put_f32(buf, v);
     }
 }
 
 pub(crate) fn get_f32_vec(buf: &mut &[u8]) -> Result<Vec<f32>, WireError> {
     let n = get_len(buf)?;
-    if buf.remaining() < n * 4 {
+    if buf.len() < n * 4 {
         return Err(WireError::UnexpectedEof);
     }
-    Ok((0..n).map(|_| buf.get_f32_le()).collect())
+    (0..n).map(|_| get_f32(buf)).collect()
 }
 
 pub(crate) fn put_u32_slice(buf: &mut Vec<u8>, values: &[u32]) {
-    buf.put_u32_le(values.len() as u32);
+    put_u32(buf, values.len() as u32);
     for &v in values {
-        buf.put_u32_le(v);
+        put_u32(buf, v);
     }
 }
 
 pub(crate) fn get_u32_vec(buf: &mut &[u8]) -> Result<Vec<u32>, WireError> {
     let n = get_len(buf)?;
-    if buf.remaining() < n * 4 {
+    if buf.len() < n * 4 {
         return Err(WireError::UnexpectedEof);
     }
-    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+    (0..n).map(|_| get_u32(buf)).collect()
 }
 
 #[cfg(test)]
@@ -153,7 +177,7 @@ mod tests {
     #[test]
     fn absurd_length_is_rejected() {
         let mut buf = Vec::new();
-        buf.put_u32_le(u32::MAX);
+        put_u32(&mut buf, u32::MAX);
         let mut slice = buf.as_slice();
         assert!(matches!(
             get_f32_vec(&mut slice),

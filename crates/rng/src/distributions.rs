@@ -118,7 +118,7 @@ impl Gamma {
                 continue;
             }
             let u = 1.0 - rng.next_f64(); // (0, 1]
-            // Squeeze acceptance first, then the exact log test.
+                                          // Squeeze acceptance first, then the exact log test.
             if u < 1.0 - 0.0331 * x.powi(4) {
                 return d * v * self.scale;
             }
@@ -245,7 +245,10 @@ impl Categorical {
     /// Draws one category index.
     pub fn sample(&self, rng: &mut Rng) -> usize {
         let u = rng.next_f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
             Ok(i) => (i + 1).min(self.cdf.len() - 1),
             Err(i) => i,
         }
@@ -361,11 +364,7 @@ mod tests {
         let reps = 200;
         let avg_max = |d: &Dirichlet, rng: &mut Rng| {
             (0..reps)
-                .map(|_| {
-                    d.sample(rng)
-                        .into_iter()
-                        .fold(f64::MIN, f64::max)
-                })
+                .map(|_| d.sample(rng).into_iter().fold(f64::MIN, f64::max))
                 .sum::<f64>()
                 / reps as f64
         };

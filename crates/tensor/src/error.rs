@@ -52,7 +52,10 @@ impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::ShapeDataMismatch { expected, actual } => {
-                write!(f, "shape implies {expected} elements but {actual} were given")
+                write!(
+                    f,
+                    "shape implies {expected} elements but {actual} were given"
+                )
             }
             Self::ShapeMismatch { left, right } => {
                 write!(f, "shape mismatch: {left:?} vs {right:?}")
@@ -71,7 +74,10 @@ impl std::fmt::Display for TensorError {
                 write!(f, "index {index} out of bounds for size {bound}")
             }
             Self::ParamLengthMismatch { expected, actual } => {
-                write!(f, "model has {expected} parameters but {actual} values were given")
+                write!(
+                    f,
+                    "model has {expected} parameters but {actual} values were given"
+                )
             }
         }
     }

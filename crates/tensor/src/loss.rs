@@ -96,11 +96,7 @@ impl SoftCrossEntropy {
         assert_eq!(logits.shape(), targets.shape(), "shape mismatch");
         let n = logits.rows().max(1) as f32;
         let log_p = log_softmax(logits, 1.0);
-        let loss = -log_p
-            .mul(targets)
-            .expect("shapes checked above")
-            .sum()
-            / n;
+        let loss = -log_p.mul(targets).expect("shapes checked above").sum() / n;
         let mut grad = softmax(logits, 1.0)
             .sub(targets)
             .expect("shapes checked above");
@@ -213,11 +209,7 @@ mod tests {
     }
 
     /// Finite-difference check of a loss gradient.
-    fn check_grad(
-        loss_fn: impl Fn(&Tensor) -> (f32, Tensor),
-        logits: &Tensor,
-        tol: f32,
-    ) {
+    fn check_grad(loss_fn: impl Fn(&Tensor) -> (f32, Tensor), logits: &Tensor, tol: f32) {
         let (_, analytic) = loss_fn(logits);
         let eps = 1e-2f32;
         for i in 0..logits.len() {

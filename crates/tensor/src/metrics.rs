@@ -23,11 +23,7 @@ pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f64 {
         return 0.0;
     }
     let preds = logits.argmax_rows();
-    let correct = preds
-        .iter()
-        .zip(labels)
-        .filter(|(p, y)| p == y)
-        .count();
+    let correct = preds.iter().zip(labels).filter(|(p, y)| p == y).count();
     correct as f64 / labels.len() as f64
 }
 
@@ -53,7 +49,13 @@ pub fn per_class_accuracy(logits: &Tensor, labels: &[usize], num_classes: usize)
     correct
         .into_iter()
         .zip(total)
-        .map(|(c, t)| if t == 0 { f64::NAN } else { c as f64 / t as f64 })
+        .map(|(c, t)| {
+            if t == 0 {
+                f64::NAN
+            } else {
+                c as f64 / t as f64
+            }
+        })
         .collect()
 }
 

@@ -15,8 +15,8 @@
 //! ([`ModelSpec::ConvNet`]) for image-mode data.
 
 use crate::nn::{
-    AvgPool2d, BatchNorm1d, Conv2d, Flatten, GlobalAvgPool2d, Layer, Linear, Param, Relu,
-    Residual, Sequential,
+    AvgPool2d, BatchNorm1d, Conv2d, Flatten, GlobalAvgPool2d, Layer, Linear, Param, Relu, Residual,
+    Sequential,
 };
 use crate::Tensor;
 use fedpkd_rng::Rng;
@@ -391,10 +391,15 @@ mod tests {
     #[test]
     fn tiers_are_capacity_ordered() {
         let mut rng = Rng::seed_from_u64(1);
-        let counts: Vec<usize> = [DepthTier::T11, DepthTier::T20, DepthTier::T29, DepthTier::T56]
-            .iter()
-            .map(|&t| build_res_mlp(16, 10, t, &mut rng).param_count())
-            .collect();
+        let counts: Vec<usize> = [
+            DepthTier::T11,
+            DepthTier::T20,
+            DepthTier::T29,
+            DepthTier::T56,
+        ]
+        .iter()
+        .map(|&t| build_res_mlp(16, 10, t, &mut rng).param_count())
+        .collect();
         assert!(counts.windows(2).all(|w| w[0] < w[1]), "{counts:?}");
     }
 
@@ -525,7 +530,8 @@ mod tests {
     #[should_panic(expected = "head width mismatch")]
     fn mismatched_head_is_rejected() {
         let mut rng = Rng::seed_from_u64(8);
-        let backbone = Sequential::new(vec![Box::new(Linear::new(4, 8, &mut rng)) as Box<dyn Layer>]);
+        let backbone =
+            Sequential::new(vec![Box::new(Linear::new(4, 8, &mut rng)) as Box<dyn Layer>]);
         let head = Linear::new(6, 2, &mut rng);
         let _ = ClassifierModel::new(backbone, head, 8);
     }

@@ -152,8 +152,14 @@ impl Layer for BatchNorm1d {
         }
         let dgamma_t = Tensor::from_vec(dgamma.clone(), &[d]).expect("dgamma shape");
         let dbeta_t = Tensor::from_vec(dbeta.clone(), &[d]).expect("dbeta shape");
-        self.gamma.grad.axpy(1.0, &dgamma_t).expect("accumulate dgamma");
-        self.beta.grad.axpy(1.0, &dbeta_t).expect("accumulate dbeta");
+        self.gamma
+            .grad
+            .axpy(1.0, &dgamma_t)
+            .expect("accumulate dgamma");
+        self.beta
+            .grad
+            .axpy(1.0, &dbeta_t)
+            .expect("accumulate dbeta");
 
         // When the forward pass normalized with running statistics (a
         // single-row training batch), mean/var do not depend on the input

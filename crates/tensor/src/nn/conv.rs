@@ -162,11 +162,11 @@ impl Layer for Conv2d {
             let prod = self.weight.value.matmul(&col).expect("conv matmul");
             let bias = self.bias.value.as_slice();
             let dst = out.row_mut(s);
-            for oc in 0..self.out_channels {
+            for (oc, &b) in bias.iter().enumerate() {
                 let src = prod.row(oc);
                 let base = oc * oh * ow;
                 for (i, &v) in src.iter().enumerate() {
-                    dst[base + i] = v + bias[oc];
+                    dst[base + i] = v + b;
                 }
             }
             cols.push(col);
@@ -192,11 +192,12 @@ impl Layer for Conv2d {
         let ckk = self.in_channels * self.kernel * self.kernel;
 
         let mut dx = Tensor::zeros(in_shape);
-        for s in 0..n {
+        debug_assert_eq!(cols.len(), n);
+        for (s, col) in cols.iter().enumerate() {
             let g = Tensor::from_vec(grad_out.row(s).to_vec(), &[self.out_channels, oh * ow])
                 .expect("grad reshape");
             // dW += g · colᵀ
-            let col_t = cols[s].transpose().expect("col transpose");
+            let col_t = col.transpose().expect("col transpose");
             let dw = g.matmul(&col_t).expect("dW matmul");
             self.weight.grad.axpy(1.0, &dw).expect("dW accumulate");
             // db += row sums of g

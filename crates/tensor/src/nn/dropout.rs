@@ -53,7 +53,11 @@ impl Layer for Dropout {
         let scale = 1.0 / keep;
         let mut mask = Tensor::zeros(input.shape());
         for m in mask.as_mut_slice() {
-            *m = if self.rng.next_f32() < keep { scale } else { 0.0 };
+            *m = if self.rng.next_f32() < keep {
+                scale
+            } else {
+                0.0
+            };
         }
         let out = input.mul(&mask).expect("mask matches input shape");
         self.cached_mask = Some(mask);

@@ -328,16 +328,8 @@ pub(crate) mod gradcheck {
             plus.as_mut_slice()[i] += eps;
             let mut minus = input.clone();
             minus.as_mut_slice()[i] -= eps;
-            let f_plus: f32 = layer
-                .forward(&plus, true)
-                .mul(&weights)
-                .unwrap()
-                .sum();
-            let f_minus: f32 = layer
-                .forward(&minus, true)
-                .mul(&weights)
-                .unwrap()
-                .sum();
+            let f_plus: f32 = layer.forward(&plus, true).mul(&weights).unwrap().sum();
+            let f_minus: f32 = layer.forward(&minus, true).mul(&weights).unwrap().sum();
             let numeric = (f_plus - f_minus) / (2.0 * eps);
             let got = analytic.as_slice()[i];
             assert!(
@@ -361,13 +353,13 @@ pub(crate) mod gradcheck {
         layer.visit_params(&mut |p| analytic.extend_from_slice(p.grad.as_slice()));
 
         let eps = 1e-2f32;
-        let mut flat_index = 0usize;
         let n_params = {
             let mut n = 0;
             layer.visit_params(&mut |p| n += p.value.len());
             n
         };
-        for global_i in 0..n_params {
+        assert_eq!(analytic.len(), n_params);
+        for (global_i, &got) in analytic.iter().enumerate() {
             // Perturb parameter `global_i` by +eps / -eps via the visitor.
             let perturb = |layer: &mut dyn Layer, delta: f32| {
                 let mut seen = 0usize;
@@ -385,12 +377,10 @@ pub(crate) mod gradcheck {
             let f_minus: f32 = layer.forward(input, true).mul(&weights).unwrap().sum();
             perturb(layer, eps);
             let numeric = (f_plus - f_minus) / (2.0 * eps);
-            let got = analytic[flat_index];
             assert!(
                 (numeric - got).abs() < tol * (1.0 + numeric.abs()),
                 "param grad {global_i}: numeric {numeric} vs analytic {got}"
             );
-            flat_index += 1;
         }
     }
 }
@@ -487,13 +477,18 @@ mod tests {
         let mut block = Residual::with_projection(Box::new(body), Box::new(proj));
         let x = Tensor::zeros(&[2, 3]);
         assert_eq!(block.forward(&x, true).shape(), &[2, 6]);
-        gradcheck::check_input_grad(&mut block, &Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng), 1e-2);
+        gradcheck::check_input_grad(
+            &mut block,
+            &Tensor::rand_uniform(&[2, 3], -1.0, 1.0, &mut rng),
+            1e-2,
+        );
     }
 
     #[test]
     fn zero_grad_clears_all() {
         let mut rng = Rng::seed_from_u64(6);
-        let mut net = Sequential::new(vec![Box::new(Linear::new(2, 2, &mut rng)) as Box<dyn Layer>]);
+        let mut net =
+            Sequential::new(vec![Box::new(Linear::new(2, 2, &mut rng)) as Box<dyn Layer>]);
         let x = Tensor::full(&[1, 2], 1.0);
         net.forward(&x, true);
         net.backward(&Tensor::full(&[1, 2], 1.0));

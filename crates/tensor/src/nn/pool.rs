@@ -19,7 +19,10 @@ impl AvgPool2d {
     ///
     /// Panics if `kernel` or `stride` is zero.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        assert!(kernel > 0 && stride > 0, "AvgPool2d dimensions must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "AvgPool2d dimensions must be positive"
+        );
         Self {
             kernel,
             stride,
@@ -205,7 +208,9 @@ mod tests {
     fn avg_pool_known_values() {
         let mut pool = AvgPool2d::new(2, 2);
         let x = Tensor::from_vec(
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.],
+            vec![
+                1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.,
+            ],
             &[1, 1, 4, 4],
         )
         .unwrap();

@@ -231,10 +231,7 @@ impl StepDecay {
     /// Panics if `period == 0` or `factor` is not in `(0, 1]`.
     pub fn new(period: usize, factor: f32) -> Self {
         assert!(period > 0, "period must be positive");
-        assert!(
-            factor > 0.0 && factor <= 1.0,
-            "factor must be in (0, 1]"
-        );
+        assert!(factor > 0.0 && factor <= 1.0, "factor must be in (0, 1]");
         Self {
             period,
             factor,
@@ -246,7 +243,7 @@ impl StepDecay {
     /// rate at period boundaries.
     pub fn step(&mut self, optimizer: &mut dyn Optimizer) {
         self.steps += 1;
-        if self.steps % self.period == 0 {
+        if self.steps.is_multiple_of(self.period) {
             optimizer.set_learning_rate(optimizer.learning_rate() * self.factor);
         }
     }
@@ -273,11 +270,7 @@ mod tests {
             Box::new(Relu::new()),
             Box::new(Linear::new(16, 2, &mut rng)),
         ]);
-        let x = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]).unwrap();
         let y = vec![0usize, 0, 1, 1];
         let ce = CrossEntropy::new();
         let mut last = f32::INFINITY;
@@ -334,7 +327,10 @@ mod tests {
             layer.visit_params(&mut |p| norm += p.value.l2_norm());
             norm
         };
-        assert!(after < before, "decay must shrink weights: {after} !< {before}");
+        assert!(
+            after < before,
+            "decay must shrink weights: {after} !< {before}"
+        );
     }
 
     #[test]
@@ -344,7 +340,11 @@ mod tests {
         use crate::nn::Layer as _;
         // Set w = 2, b = 0. Input 1, output grad 1 → dW = 1, db = 1.
         layer.visit_params_mut(&mut |p| {
-            p.value.as_mut_slice()[0] = if p.value.shape() == [1usize, 1] { 2.0 } else { 0.0 };
+            p.value.as_mut_slice()[0] = if p.value.shape() == [1usize, 1] {
+                2.0
+            } else {
+                0.0
+            };
         });
         let x = Tensor::full(&[1, 1], 1.0);
         layer.forward(&x, true);

@@ -122,10 +122,7 @@ pub fn load_state_vector(model: &mut dyn Layer, values: &[f32]) -> Result<(), Te
 /// Returns [`TensorError::ParamLengthMismatch`] if the vectors have unequal
 /// lengths, or [`TensorError::ShapeDataMismatch`] if no vectors are given or
 /// the weights do not match the vectors in number / sum to zero.
-pub fn weighted_average(
-    vectors: &[Vec<f32>],
-    weights: &[f64],
-) -> Result<Vec<f32>, TensorError> {
+pub fn weighted_average(vectors: &[Vec<f32>], weights: &[f64]) -> Result<Vec<f32>, TensorError> {
     if vectors.is_empty() || vectors.len() != weights.len() {
         return Err(TensorError::ShapeDataMismatch {
             expected: vectors.len(),

@@ -264,11 +264,7 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
-    pub fn zip_with(
-        &self,
-        other: &Self,
-        f: impl Fn(f32, f32) -> f32,
-    ) -> Result<Self, TensorError> {
+    pub fn zip_with(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self, TensorError> {
         if self.shape != other.shape {
             return Err(TensorError::ShapeMismatch {
                 left: self.shape.clone(),
@@ -584,7 +580,10 @@ mod tests {
             Err(TensorError::MatmulDimMismatch { .. })
         ));
         let v = t(&[1., 2.], &[2]);
-        assert!(matches!(v.matmul(&a), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            v.matmul(&a),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

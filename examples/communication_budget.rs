@@ -49,18 +49,18 @@ fn describe(name: &str, result: &RunResult, client_target: bool) {
     let uplinks = result.ledger.round_client_uplinks(0, 5);
     let wifi = LinkModel::wifi().round_time(&uplinks);
     let lte = LinkModel::cellular().round_time(&uplinks);
-    println!(
-        " {name:<8} | {cost} | {:>9.3} s | {:>9.3} s",
-        wifi, lte
-    );
+    println!(" {name:<8} | {cost} | {:>9.3} s | {:>9.3} s", wifi, lte);
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("target accuracy: {:.0}% | 5 clients, Dirichlet(0.5)\n", TARGET * 100.0);
+    println!(
+        "target accuracy: {:.0}% | 5 clients, Dirichlet(0.5)\n",
+        TARGET * 100.0
+    );
     println!(" method   | bytes to target | wifi round | lte round");
     println!(" ---------+-----------------+------------+----------");
 
-    let pkd = FedPkd::new(
+    let mut pkd = FedPkd::new(
         scenario(),
         vec![spec(); 5],
         ModelSpec::ResMlp {
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         SEED,
     )?;
-    describe("FedPKD", &Runner::new(ROUNDS).run(pkd), false);
+    describe("FedPKD", &pkd.run_silent(ROUNDS), false);
 
     let base = BaselineConfig {
         local_epochs: 3,
@@ -86,11 +86,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         learning_rate: 0.002,
         ..BaselineConfig::default()
     };
-    let avg = FedAvg::new(scenario(), spec(), base.clone(), SEED)?;
-    describe("FedAvg", &Runner::new(ROUNDS).run(avg), false);
+    let mut avg = FedAvg::new(scenario(), spec(), base.clone(), SEED)?;
+    describe("FedAvg", &avg.run_silent(ROUNDS), false);
 
-    let md = FedMd::new(scenario(), vec![spec(); 5], base, SEED)?;
-    describe("FedMD", &Runner::new(ROUNDS).run(md), true);
+    let mut md = FedMd::new(scenario(), vec![spec(); 5], base, SEED)?;
+    describe("FedMD", &md.run_silent(ROUNDS), true);
 
     println!("\nFedPKD ships logits + prototypes (KB); FedAvg ships parameters (100s of KB).");
     println!("FedMD has no server model, so its target is mean client accuracy.");

@@ -60,8 +60,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         learning_rate: 0.003,
         ..FedPkdConfig::default()
     };
-    let algo = FedPkd::new(scenario, vec![client_spec; 3], server_spec, config, 11)?;
-    let result = Runner::new(5).run(algo);
+    let mut algo = FedPkd::new(scenario, vec![client_spec; 3], server_spec, config, 11)?;
+    let result = algo.run_silent(5);
 
     println!("\n round | server acc | mean client acc");
     for m in &result.history {

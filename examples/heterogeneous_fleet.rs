@@ -79,8 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         learning_rate: 0.002,
         ..FedPkdConfig::default()
     };
-    let fedpkd = FedPkd::new(scenario(), client_specs(), server_spec(), pkd_config, SEED)?;
-    report("FedPKD", &Runner::new(ROUNDS).run(fedpkd));
+    let mut fedpkd = FedPkd::new(scenario(), client_specs(), server_spec(), pkd_config, SEED)?;
+    report("FedPKD", &fedpkd.run_silent(ROUNDS));
 
     let base_config = BaselineConfig {
         local_epochs: 3,
@@ -89,20 +89,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         learning_rate: 0.002,
         ..BaselineConfig::default()
     };
-    let fedmd = FedMd::new(scenario(), client_specs(), base_config.clone(), SEED)?;
-    report("FedMD", &Runner::new(ROUNDS).run(fedmd));
+    let mut fedmd = FedMd::new(scenario(), client_specs(), base_config.clone(), SEED)?;
+    report("FedMD", &fedmd.run_silent(ROUNDS));
 
-    let dsfl = DsFl::new(scenario(), client_specs(), base_config.clone(), SEED)?;
-    report("DS-FL", &Runner::new(ROUNDS).run(dsfl));
+    let mut dsfl = DsFl::new(scenario(), client_specs(), base_config.clone(), SEED)?;
+    report("DS-FL", &dsfl.run_silent(ROUNDS));
 
-    let fedet = FedEt::new(
-        scenario(),
-        client_specs(),
-        server_spec(),
-        base_config,
-        SEED,
-    )?;
-    report("FedET", &Runner::new(ROUNDS).run(fedet));
+    let mut fedet = FedEt::new(scenario(), client_specs(), server_spec(), base_config, SEED)?;
+    report("FedET", &fedet.run_silent(ROUNDS));
 
     println!("\nFedMD/DS-FL train no server model; FedET pays parameter-sized uplink.");
     Ok(())

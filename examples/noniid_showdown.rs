@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(" ------+---------------+---------------+---------------");
 
     for alpha in [10.0, 1.0, 0.5, 0.1] {
-        let avg = FedAvg::new(
+        let mut avg = FedAvg::new(
             scenario(alpha),
             spec(DepthTier::T20),
             BaselineConfig {
@@ -47,9 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             SEED,
         )?;
-        let avg_result = Runner::new(ROUNDS).run(avg);
+        let avg_result = avg.run_silent(ROUNDS);
 
-        let pkd = FedPkd::new(
+        let mut pkd = FedPkd::new(
             scenario(alpha),
             vec![spec(DepthTier::T20); 5],
             spec(DepthTier::T56),
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             SEED,
         )?;
-        let pkd_result = Runner::new(ROUNDS).run(pkd);
+        let pkd_result = pkd.run_silent(ROUNDS);
 
         println!(
             " {alpha:>5.2} |       {:>6.2}% |       {:>6.2}% |        {:>6.2}%",

@@ -49,16 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         learning_rate: 0.002,
         ..FedPkdConfig::default()
     };
-    let algo = FedPkd::new(
-        scenario,
-        vec![client_spec; 6],
-        server_spec,
-        config,
-        7,
-    )?;
+    let mut algo = FedPkd::new(scenario, vec![client_spec; 6], server_spec, config, 7)?;
 
-    // 4. Run 8 communication rounds.
-    let result = Runner::new(8).run(algo);
+    // 4. Run 8 communication rounds. (`run_silent` skips telemetry; see the
+    //    `telemetry` example for observing rounds as they happen.)
+    let result = algo.run_silent(8);
     println!("\n round | server acc | mean client acc | cumulative MB");
     println!(" ------+------------+-----------------+--------------");
     for m in &result.history {

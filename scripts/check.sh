@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# The full local gate: formatting, lints as errors, and every test.
+# CI runs exactly this; run it before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --all -- --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo test --workspace -q

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use fedpkd::core::fedpkd::{FedPkd, FedPkdConfig};
-//! use fedpkd::core::runtime::Runner;
+//! use fedpkd::core::runtime::FlAlgorithm;
 //! use fedpkd::data::{Partition, ScenarioBuilder, SyntheticConfig};
 //! use fedpkd::tensor::models::{DepthTier, ModelSpec};
 //!
@@ -50,8 +50,8 @@
 //! config.client_private_epochs = 1;
 //! config.client_public_epochs = 1;
 //! config.server_epochs = 1;
-//! let algo = FedPkd::new(scenario, client_specs, server_spec, config, 7)?;
-//! let result = Runner::new(2).run(algo);
+//! let mut algo = FedPkd::new(scenario, client_specs, server_spec, config, 7)?;
+//! let result = algo.run_silent(2);
 //! println!("server accuracy: {:?}", result.last().server_accuracy);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -72,7 +72,10 @@ pub mod prelude {
         BaselineConfig, DsFl, FedAvg, FedDf, FedEt, FedMd, FedProx, NaiveKd,
     };
     pub use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
-    pub use fedpkd_core::runtime::{Federation, RoundMetrics, RunResult, Runner};
+    pub use fedpkd_core::runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
+    pub use fedpkd_core::telemetry::{
+        EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent,
+    };
     pub use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     pub use fedpkd_netsim::{bytes_to_mb, CommLedger, Direction, LinkModel, Message};
     pub use fedpkd_rng::Rng;

@@ -36,11 +36,11 @@ fn fast() -> BaselineConfig {
 fn kd_methods_are_cheaper_per_round_than_parameter_methods() {
     // The motivating comparison of Fig. 3: with a modest public set, logit
     // traffic is far below parameter traffic.
-    let avg = FedAvg::new(scenario(1), spec(DepthTier::T20), fast(), 5).unwrap();
-    let avg_bytes = Runner::new(1).run(avg).ledger.total_bytes();
+    let mut avg = FedAvg::new(scenario(1), spec(DepthTier::T20), fast(), 5).unwrap();
+    let avg_bytes = avg.run_silent(1).ledger.total_bytes();
 
-    let md = FedMd::new(scenario(1), vec![spec(DepthTier::T20); 3], fast(), 5).unwrap();
-    let md_bytes = Runner::new(1).run(md).ledger.total_bytes();
+    let mut md = FedMd::new(scenario(1), vec![spec(DepthTier::T20); 3], fast(), 5).unwrap();
+    let md_bytes = md.run_silent(1).ledger.total_bytes();
 
     assert!(
         md_bytes * 5 < avg_bytes,
@@ -50,7 +50,7 @@ fn kd_methods_are_cheaper_per_round_than_parameter_methods() {
 
 #[test]
 fn fedpkd_round_is_cheaper_than_fedavg_round() {
-    let pkd = FedPkd::new(
+    let mut pkd = FedPkd::new(
         scenario(2),
         vec![spec(DepthTier::T20); 3],
         spec(DepthTier::T56),
@@ -63,9 +63,9 @@ fn fedpkd_round_is_cheaper_than_fedavg_round() {
         5,
     )
     .unwrap();
-    let pkd_bytes = Runner::new(1).run(pkd).ledger.total_bytes();
-    let avg = FedAvg::new(scenario(2), spec(DepthTier::T20), fast(), 5).unwrap();
-    let avg_bytes = Runner::new(1).run(avg).ledger.total_bytes();
+    let pkd_bytes = pkd.run_silent(1).ledger.total_bytes();
+    let mut avg = FedAvg::new(scenario(2), spec(DepthTier::T20), fast(), 5).unwrap();
+    let avg_bytes = avg.run_silent(1).ledger.total_bytes();
     assert!(
         pkd_bytes < avg_bytes,
         "FedPKD {pkd_bytes} per-round bytes should undercut FedAvg {avg_bytes}"
@@ -83,8 +83,8 @@ fn logit_traffic_scales_with_public_size() {
             .seed(3)
             .build()
             .unwrap();
-        let md = FedMd::new(s, vec![spec(DepthTier::T11); 3], fast(), 5).unwrap();
-        Runner::new(1).run(md).ledger.total_bytes()
+        let mut md = FedMd::new(s, vec![spec(DepthTier::T11); 3], fast(), 5).unwrap();
+        md.run_silent(1).ledger.total_bytes()
     };
     let small = run(100);
     let large = run(300);
@@ -95,7 +95,7 @@ fn logit_traffic_scales_with_public_size() {
 
 #[test]
 fn ledger_round_sums_match_total() {
-    let pkd = FedPkd::new(
+    let mut pkd = FedPkd::new(
         scenario(4),
         vec![spec(DepthTier::T11); 3],
         spec(DepthTier::T20),
@@ -108,10 +108,8 @@ fn ledger_round_sums_match_total() {
         7,
     )
     .unwrap();
-    let result = Runner::new(3).run(pkd);
-    let per_round: usize = (0..3)
-        .map(|r| result.ledger.round_traffic(r).total())
-        .sum();
+    let result = pkd.run_silent(3);
+    let per_round: usize = (0..3).map(|r| result.ledger.round_traffic(r).total()).sum();
     assert_eq!(per_round, result.ledger.total_bytes());
     let per_client: usize = (0..3).map(|c| result.ledger.client_bytes(c)).sum();
     assert_eq!(per_client, result.ledger.total_bytes());

@@ -54,8 +54,8 @@ fn fast_pkd() -> FedPkdConfig {
 }
 
 /// Runs two rounds and asserts the invariants every federation must hold.
-fn smoke<F: Federation>(algo: F, expect_server_model: bool) -> RunResult {
-    let result = Runner::new(2).run(algo);
+fn smoke<F: Federation>(mut algo: F, expect_server_model: bool) -> RunResult {
+    let result = algo.run_silent(2);
     assert_eq!(result.history.len(), 2);
     for metrics in &result.history {
         assert_eq!(metrics.client_accuracies.len(), 3);
@@ -146,7 +146,7 @@ fn naive_kd_end_to_end() {
 #[test]
 fn whole_stack_is_deterministic() {
     let run = |seed: u64| {
-        let algo = FedPkd::new(
+        let mut algo = FedPkd::new(
             scenario(9),
             vec![client_spec(); 3],
             server_spec(),
@@ -154,7 +154,7 @@ fn whole_stack_is_deterministic() {
             seed,
         )
         .unwrap();
-        let result = Runner::new(2).run(algo);
+        let result = algo.run_silent(2);
         (
             result.last().server_accuracy,
             result.last().client_accuracies.clone(),
@@ -172,7 +172,7 @@ fn all_methods_beat_chance_on_a_mild_partition() {
     let rounds = 3;
     let chance = 0.1;
 
-    let pkd = FedPkd::new(
+    let mut pkd = FedPkd::new(
         scenario(10),
         vec![client_spec(); 3],
         server_spec(),
@@ -180,14 +180,14 @@ fn all_methods_beat_chance_on_a_mild_partition() {
         SEED,
     )
     .unwrap();
-    let r = Runner::new(rounds).run(pkd);
+    let r = pkd.run_silent(rounds);
     assert!(r.best_server_accuracy().unwrap() > 2.0 * chance, "FedPKD");
 
-    let avg = FedAvg::new(scenario(10), server_spec(), fast_baseline(), SEED).unwrap();
-    let r = Runner::new(rounds).run(avg);
+    let mut avg = FedAvg::new(scenario(10), server_spec(), fast_baseline(), SEED).unwrap();
+    let r = avg.run_silent(rounds);
     assert!(r.best_server_accuracy().unwrap() > 2.0 * chance, "FedAvg");
 
-    let md = FedMd::new(scenario(10), vec![client_spec(); 3], fast_baseline(), SEED).unwrap();
-    let r = Runner::new(rounds).run(md);
+    let mut md = FedMd::new(scenario(10), vec![client_spec(); 3], fast_baseline(), SEED).unwrap();
+    let r = md.run_silent(rounds);
     assert!(r.best_client_accuracy() > 2.0 * chance, "FedMD");
 }

@@ -91,7 +91,7 @@ fn fedpkd_trains_a_strictly_larger_server() {
         learning_rate: 0.003,
         ..FedPkdConfig::default()
     };
-    let algo = FedPkd::new(
+    let mut algo = FedPkd::new(
         s,
         tiered_specs(),
         ModelSpec::ResMlp {
@@ -103,7 +103,7 @@ fn fedpkd_trains_a_strictly_larger_server() {
         9,
     )
     .unwrap();
-    let result = Runner::new(3).run(algo);
+    let result = algo.run_silent(3);
     let acc = result.best_server_accuracy().unwrap();
     assert!(acc > 0.2, "heterogeneous FedPKD server accuracy {acc}");
 }

@@ -1,0 +1,310 @@
+//! Value-generation strategies: `any`, ranges, tuples, `Just`, combinators.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeFrom, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no value tree and no shrinking: `generate`
+/// draws one concrete value per call from the deterministic [`TestRng`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms every generated value with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` builds from
+    /// it (for dependent inputs, e.g. an index into a generated length).
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Debug, Clone)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    T: Strategy,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            #[allow(clippy::unnecessary_cast)]
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// A strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+fn int_in(rng: &mut TestRng, lo: i128, hi_inclusive: i128) -> i128 {
+    debug_assert!(lo <= hi_inclusive, "empty integer range strategy");
+    let width = (hi_inclusive - lo) as u128;
+    if width >= u128::from(u64::MAX) {
+        // Full 64-bit domain: a raw draw is already uniform.
+        lo + i128::from(rng.next_u64())
+    } else {
+        lo + i128::from(rng.below(width as u64 + 1))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                int_in(rng, self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                int_in(rng, *self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeFrom<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                int_in(rng, self.start as i128, <$t>::MAX as i128) as $t
+            }
+        }
+    )+};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let x = self.start as f64
+                    + rng.next_f64() * (self.end as f64 - self.start as f64);
+                let x = x as $t;
+                if x >= self.end { self.start } else { x }
+            }
+        }
+    )+};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, G);
+
+/// Object-safe generation, the representation behind [`prop_oneof!`].
+pub trait DynStrategy<V> {
+    /// Draws one value through the type-erased strategy.
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy, as stored inside a [`Union`].
+pub type BoxedStrategy<V> = Box<dyn DynStrategy<V>>;
+
+/// Erases a strategy's concrete type so heterogeneous arms can share a
+/// [`Union`].
+pub fn boxed<S>(strategy: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(strategy)
+}
+
+/// Picks uniformly among several strategies per generated value.
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms`; panics if empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.below(self.arms.len() as u64) as usize;
+        self.arms[arm].generate_dyn(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..500 {
+            let a = (3usize..9).generate(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (0usize..=4).generate(&mut rng);
+            assert!(b <= 4);
+            let c = (1u64..).generate(&mut rng);
+            assert!(c >= 1);
+            let f = (-2.0f32..3.0).generate(&mut rng);
+            assert!((-2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_is_constant() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..10 {
+            assert_eq!((7usize..=7).generate(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn map_and_flat_map_compose() {
+        let mut rng = TestRng::new(3);
+        let s = (1usize..5).prop_flat_map(|n| (Just(n), 0usize..=n));
+        for _ in 0..200 {
+            let (n, k) = s.generate(&mut rng);
+            assert!(k <= n);
+        }
+        let doubled = (0u32..10).prop_map(|x| x * 2);
+        for _ in 0..100 {
+            assert_eq!(doubled.generate(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn union_picks_every_arm() {
+        let u = Union::new(vec![boxed(Just(0u8)), boxed(Just(1u8)), boxed(Just(2u8))]);
+        let mut rng = TestRng::new(4);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[u.generate(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic case generation and the per-test driver loop.
+
+/// A small, fast, deterministic generator (SplitMix64) used to derive all
+/// test inputs. Seeded from the test name and case index, so a failing case
+/// reproduces identically on every run.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform draw in `[0, bound)`. `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "below(0) is meaningless");
+        self.next_u64() % bound
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case violated a `prop_assume!` precondition; it is skipped and
+    /// does not count toward the configured case total.
+    Reject,
+    /// A `prop_assert*!` failed with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: String) -> Self {
+        Self::Fail(msg)
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject() -> Self {
+        Self::Reject
+    }
+}
+
+/// The result type every generated test body returns.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Knobs for the driver loop (only the case count is supported).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// FNV-1a over the test name, mixed with the case index, as the case seed.
+fn case_seed(name: &str, case: u32) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Runs `body` over deterministically generated cases, panicking (and thus
+/// failing the enclosing `#[test]`) on the first assertion failure.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut accepted = 0u32;
+    let mut attempt = 0u32;
+    let max_attempts = config.cases.saturating_mul(16).max(256);
+    while accepted < config.cases {
+        if attempt >= max_attempts {
+            panic!(
+                "[{name}] gave up after {attempt} attempts: \
+                 {accepted}/{} cases accepted (prop_assume! rejects too much)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::new(case_seed(name, attempt));
+        attempt += 1;
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => continue,
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("[{name}] case #{attempt} failed: {msg}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::new(7);
+        let mut b = TestRng::new(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = TestRng::new(42);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut rng = TestRng::new(3);
+        for bound in [1u64, 2, 7, 1000] {
+            for _ in 0..100 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn failure_panics_with_case_number() {
+        run_cases("always_fails", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("nope".to_string()))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gave up")]
+    fn unconditional_reject_gives_up() {
+        run_cases("always_rejects", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::reject())
+        });
+    }
+}
