@@ -8,7 +8,7 @@
 //! objective).
 
 pub(crate) use fedpkd_core::clients::{
-    build_clients, client_accuracies, for_each_client, validate_specs, ClientState as Client,
+    build_clients, client_accuracies, for_each_active_client, validate_specs, ClientState as Client,
 };
 
 use fedpkd_core::train::{apply_proximal_term, TrainStats};

@@ -2,16 +2,18 @@
 
 use std::time::Instant;
 
-use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::common::{
+    build_clients, client_accuracies, for_each_active_client, validate_specs, Client,
+};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::runtime::Federation;
+use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
 use fedpkd_tensor::models::ModelSpec;
 use fedpkd_tensor::ops::{sharpen, softmax};
 use fedpkd_tensor::Tensor;
@@ -28,6 +30,7 @@ pub struct DsFl {
     scenario: FederatedScenario,
     clients: Vec<Client>,
     config: BaselineConfig,
+    driver: DriverState,
 }
 
 impl DsFl {
@@ -51,6 +54,7 @@ impl DsFl {
             scenario,
             clients,
             config,
+            driver: DriverState::new(),
         })
     }
 }
@@ -64,17 +68,30 @@ impl Federation for DsFl {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
+        // No survivors: nothing to pool or sharpen this round.
+        if cohort.num_active() == 0 {
+            return;
+        }
         let config = &self.config;
         let public = &self.scenario.public;
         let num_classes = self.scenario.num_classes as u32;
         let all_ids: Vec<u32> = (0..public.len() as u32).collect();
 
-        // Local training; clients upload *probabilities* (same wire size as
-        // logits).
+        // Local training; surviving clients upload *probabilities* (same
+        // wire size as logits).
         let training_started = Instant::now();
-        let client_probs: Vec<(Tensor, TrainStats)> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+        let client_probs: Vec<(usize, (Tensor, TrainStats))> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, data| {
                 let stats = train_supervised(
                     &mut client.model,
                     &data.train,
@@ -87,8 +104,9 @@ impl Federation for DsFl {
                     softmax(&eval::logits_on(&mut client.model, public), 1.0),
                     stats,
                 )
-            });
-        for (client, (_, stats)) in client_probs.iter().enumerate() {
+            },
+        );
+        for &(client, (_, ref stats)) in &client_probs {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -97,11 +115,14 @@ impl Federation for DsFl {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
-        let client_probs: Vec<Tensor> = client_probs.into_iter().map(|(p, _)| p).collect();
-        for (client, probs) in client_probs.iter().enumerate() {
+        let client_probs: Vec<(usize, Tensor)> = client_probs
+            .into_iter()
+            .map(|(client, (p, _))| (client, p))
+            .collect();
+        for (client, probs) in &client_probs {
             ledger.record(
                 round,
-                client,
+                *client,
                 Direction::Uplink,
                 &Message::Logits {
                     sample_ids: all_ids.clone(),
@@ -111,21 +132,23 @@ impl Federation for DsFl {
             );
         }
 
-        // Entropy-reduction aggregation: mean, then sharpen.
+        // Entropy-reduction aggregation over the survivors: mean, then
+        // sharpen.
         let aggregation_started = Instant::now();
-        let mut mean = Tensor::zeros(client_probs[0].shape());
+        let mut mean = Tensor::zeros(client_probs[0].1.shape());
         let w = 1.0 / client_probs.len() as f32;
-        for p in &client_probs {
+        for (_, p) in &client_probs {
             mean.axpy(w, p).expect("aligned probabilities");
         }
         if obs.enabled() {
             // The inputs are probabilities rather than logits; the extra
             // softmax inside the helper is monotone per row, so the
             // disagreement measure is unaffected and weights are uniform.
-            let stats = aggregation_stats(&client_probs, false);
+            let probs_only: Vec<Tensor> = client_probs.iter().map(|(_, p)| p.clone()).collect();
+            let stats = aggregation_stats(&probs_only, false);
             obs.record(&TelemetryEvent::LogitAggregation {
                 round,
-                clients: self.clients.len(),
+                clients: cohort.num_active(),
                 variance_weighting: false,
                 mean_client_weight: stats.mean_client_weight,
                 disagreement: stats.disagreement,
@@ -134,9 +157,9 @@ impl Federation for DsFl {
         let sharpened = sharpen(&mean, config.sharpen_temperature);
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
 
-        // Distribute + distill.
+        // Distribute + distill, survivors only.
         let distill_started = Instant::now();
-        for client in 0..self.clients.len() {
+        for client in cohort.survivors() {
             ledger.record(
                 round,
                 client,
@@ -149,8 +172,11 @@ impl Federation for DsFl {
             );
         }
         let target = &sharpened;
-        let distill_stats: Vec<TrainStats> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+        let distill_stats: Vec<(usize, TrainStats)> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, _| {
                 train_distill(
                     &mut client.model,
                     public.features(),
@@ -162,8 +188,9 @@ impl Federation for DsFl {
                     &mut client.optimizer,
                     &mut client.rng,
                 )
-            });
-        for (client, stats) in distill_stats.iter().enumerate() {
+            },
+        );
+        for &(client, ref stats) in &distill_stats {
             obs.record(&TelemetryEvent::ClientDistilled {
                 round,
                 client,
@@ -171,6 +198,14 @@ impl Federation for DsFl {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientDistill, distill_started);
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {

@@ -2,15 +2,17 @@
 
 use std::time::Instant;
 
-use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::common::{
+    build_clients, client_accuracies, for_each_active_client, validate_specs, Client,
+};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::runtime::Federation;
+use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::serialize::{load_state_vector, state_vector, weighted_average};
@@ -25,6 +27,7 @@ pub struct FedAvg {
     clients: Vec<Client>,
     global_model: ClassifierModel,
     config: BaselineConfig,
+    driver: DriverState,
 }
 
 impl FedAvg {
@@ -51,6 +54,7 @@ impl FedAvg {
             clients,
             global_model,
             config,
+            driver: DriverState::new(),
         })
     }
 }
@@ -64,15 +68,30 @@ impl Federation for FedAvg {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
+        // With no survivors there is nothing to broadcast, train, or
+        // average; the global model simply carries over.
+        if cohort.num_active() == 0 {
+            return;
+        }
         let global = state_vector(&self.global_model);
         let config = &self.config;
 
-        // Broadcast + local training + upload. Each round starts from the
-        // freshly loaded global state, so the optimizer starts fresh too.
+        // Broadcast + local training + upload, survivors only. Each round
+        // starts from the freshly loaded global state, so the optimizer
+        // starts fresh too. Dropped clients keep their previous parameters.
         let training_started = Instant::now();
-        let updates: Vec<(Vec<f32>, TrainStats)> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+        let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, data| {
                 load_state_vector(&mut client.model, &global)
                     .expect("homogeneous models share the layout");
                 let mut optimizer = fedpkd_tensor::optim::Adam::new(config.learning_rate);
@@ -85,8 +104,9 @@ impl Federation for FedAvg {
                     &mut client.rng,
                 );
                 (state_vector(&client.model), stats)
-            });
-        for (client, (_, stats)) in updates.iter().enumerate() {
+            },
+        );
+        for &(client, (_, ref stats)) in &updates {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -97,13 +117,13 @@ impl Federation for FedAvg {
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
 
         let aggregation_started = Instant::now();
-        let weights: Vec<f64> = self
-            .scenario
-            .clients
+        // Data-size weights over the survivors only — the average is
+        // renormalized over whoever actually reported back.
+        let weights: Vec<f64> = updates
             .iter()
-            .map(|c| c.train.len() as f64)
+            .map(|&(client, _)| self.scenario.clients[client].train.len() as f64)
             .collect();
-        for (client, (params, _)) in updates.iter().enumerate() {
+        for &(client, (ref params, _)) in &updates {
             ledger.record(
                 round,
                 client,
@@ -121,10 +141,18 @@ impl Federation for FedAvg {
                 },
             );
         }
-        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
+        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(_, (params, _))| params).collect();
         let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
         load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -198,9 +226,40 @@ mod tests {
         let mut algo = FedAvg::new(scenario(3), spec(), config(), 7).unwrap();
         let before = state_vector(&algo.global_model);
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &mut ledger, &mut NullObserver);
+        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
         let after = state_vector(&algo.global_model);
         assert_ne!(before, after);
+    }
+
+    #[test]
+    fn dropped_clients_ship_no_bytes_and_skip_training() {
+        use fedpkd_netsim::DropCause;
+
+        let mut algo = FedAvg::new(scenario(5), spec(), config(), 11).unwrap();
+        let dropped_before = state_vector(&algo.clients[1].model);
+        let cohort = Cohort::from_causes(vec![None, Some(DropCause::Crash), None]);
+        let mut ledger = CommLedger::new();
+        algo.run_round(0, &cohort, &mut ledger, &mut NullObserver);
+        assert_eq!(ledger.client_bytes(1), 0, "dropped client billed nothing");
+        assert!(ledger.client_bytes(0) > 0);
+        assert_eq!(
+            state_vector(&algo.clients[1].model),
+            dropped_before,
+            "dropped client's local state is untouched"
+        );
+    }
+
+    #[test]
+    fn zero_survivor_round_leaves_global_model_unchanged() {
+        use fedpkd_netsim::DropCause;
+
+        let mut algo = FedAvg::new(scenario(6), spec(), config(), 13).unwrap();
+        let before = state_vector(&algo.global_model);
+        let cohort = Cohort::from_causes(vec![Some(DropCause::Dropout); 3]);
+        let mut ledger = CommLedger::new();
+        algo.run_round(0, &cohort, &mut ledger, &mut NullObserver);
+        assert_eq!(state_vector(&algo.global_model), before);
+        assert_eq!(ledger.total_bytes(), 0);
     }
 
     #[test]

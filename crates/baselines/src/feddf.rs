@@ -2,16 +2,18 @@
 
 use std::time::Instant;
 
-use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::common::{
+    build_clients, client_accuracies, for_each_active_client, validate_specs, Client,
+};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::runtime::Federation;
+use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::ops::softmax;
@@ -35,6 +37,7 @@ pub struct FedDf {
     scratch: ClassifierModel,
     config: BaselineConfig,
     server_rng: Rng,
+    driver: DriverState,
 }
 
 impl FedDf {
@@ -64,6 +67,7 @@ impl FedDf {
             scratch,
             config,
             server_rng,
+            driver: DriverState::new(),
         })
     }
 }
@@ -77,15 +81,29 @@ impl Federation for FedDf {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
+        // No survivors: nothing to average or distill from; the fused model
+        // carries over unchanged.
+        if cohort.num_active() == 0 {
+            return;
+        }
         let global = state_vector(&self.global_model);
         let config = &self.config;
         let global_ref = &global;
 
-        // FedAvg-style local phase.
+        // FedAvg-style local phase over the survivors.
         let training_started = Instant::now();
-        let updates: Vec<(Vec<f32>, TrainStats)> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+        let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, data| {
                 load_state_vector(&mut client.model, global_ref)
                     .expect("homogeneous models share the layout");
                 let mut optimizer = fedpkd_tensor::optim::Adam::new(config.learning_rate);
@@ -98,8 +116,9 @@ impl Federation for FedDf {
                     &mut client.rng,
                 );
                 (state_vector(&client.model), stats)
-            });
-        for (client, (_, stats)) in updates.iter().enumerate() {
+            },
+        );
+        for &(client, (_, ref stats)) in &updates {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -108,8 +127,11 @@ impl Federation for FedDf {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
-        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
-        for (client, params) in updates.iter().enumerate() {
+        let weights: Vec<f64> = updates
+            .iter()
+            .map(|&(client, _)| self.scenario.clients[client].train.len() as f64)
+            .collect();
+        for &(client, (ref params, _)) in &updates {
             ledger.record(
                 round,
                 client,
@@ -127,20 +149,15 @@ impl Federation for FedDf {
                 },
             );
         }
+        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(_, (params, _))| params).collect();
 
-        // Fusion init: weighted parameter average.
+        // Fusion init: weighted parameter average over the survivors.
         let aggregation_started = Instant::now();
-        let weights: Vec<f64> = self
-            .scenario
-            .clients
-            .iter()
-            .map(|c| c.train.len() as f64)
-            .collect();
         let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
         load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
 
-        // Ensemble distillation: the server holds the client parameters, so
-        // no extra traffic is needed to compute the ensemble.
+        // Ensemble distillation: the server holds the surviving clients'
+        // parameters, so no extra traffic is needed to compute the ensemble.
         let public = &self.scenario.public;
         let mut ensemble = Tensor::zeros(&[public.len(), self.scenario.num_classes]);
         let w = 1.0 / updates.len() as f32;
@@ -157,7 +174,7 @@ impl Federation for FedDf {
             let stats = aggregation_stats(&member_probs, false);
             obs.record(&TelemetryEvent::LogitAggregation {
                 round,
-                clients: self.clients.len(),
+                clients: cohort.num_active(),
                 variance_weighting: false,
                 mean_client_weight: stats.mean_client_weight,
                 disagreement: stats.disagreement,
@@ -185,6 +202,14 @@ impl Federation for FedDf {
             batches: distill_stats.batches,
         });
         emit_phase_timing(obs, round, Phase::ServerDistill, distill_started);
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {

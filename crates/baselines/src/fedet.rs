@@ -2,16 +2,18 @@
 
 use std::time::Instant;
 
-use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::common::{
+    build_clients, client_accuracies, for_each_active_client, validate_specs, Client,
+};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::runtime::Federation;
+use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::ops::{row_entropy, softmax};
@@ -36,6 +38,7 @@ pub struct FedEt {
     config: BaselineConfig,
     server_rng: Rng,
     seed: u64,
+    driver: DriverState,
 }
 
 impl FedEt {
@@ -66,6 +69,7 @@ impl FedEt {
             config,
             server_rng,
             seed,
+            driver: DriverState::new(),
         })
     }
 }
@@ -79,16 +83,31 @@ impl Federation for FedEt {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
+        // No survivors: no uploads, so the ensemble is empty and the server
+        // model carries over.
+        if cohort.num_active() == 0 {
+            return;
+        }
         let config = &self.config;
         let public = &self.scenario.public;
         let k = self.scenario.num_classes;
         let all_ids: Vec<u32> = (0..public.len() as u32).collect();
 
-        // Local training; parameters travel up (FedET's costly uplink).
+        // Local training; parameters travel up (FedET's costly uplink) from
+        // the survivors.
         let training_started = Instant::now();
-        let updates: Vec<(Vec<f32>, TrainStats)> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+        let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, data| {
                 let stats = train_supervised(
                     &mut client.model,
                     &data.train,
@@ -98,8 +117,9 @@ impl Federation for FedEt {
                     &mut client.rng,
                 );
                 (state_vector(&client.model), stats)
-            });
-        for (client, (_, stats)) in updates.iter().enumerate() {
+            },
+        );
+        for &(client, (_, ref stats)) in &updates {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -108,11 +128,14 @@ impl Federation for FedEt {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
-        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
-        for (client, params) in updates.iter().enumerate() {
+        let updates: Vec<(usize, Vec<f32>)> = updates
+            .into_iter()
+            .map(|(client, (params, _))| (client, params))
+            .collect();
+        for (client, params) in &updates {
             ledger.record(
                 round,
-                client,
+                *client,
                 Direction::Uplink,
                 &Message::ModelUpdate {
                     params: params.clone(),
@@ -126,7 +149,8 @@ impl Federation for FedEt {
         let mut weighted_sum = Tensor::zeros(&[public.len(), k]);
         let mut weight_total = vec![0.0f32; public.len()];
         let mut member_probs: Vec<Tensor> = Vec::new();
-        for (i, params) in updates.iter().enumerate() {
+        for (i, params) in &updates {
+            let i = *i;
             let mut scratch_rng = Rng::stream(self.seed, 1000 + i as u64);
             let mut scratch = self.client_specs[i].build(&mut scratch_rng);
             load_state_vector(&mut scratch, params).expect("spec matches upload");
@@ -158,7 +182,7 @@ impl Federation for FedEt {
             let stats = aggregation_stats(&member_probs, false);
             obs.record(&TelemetryEvent::LogitAggregation {
                 round,
-                clients: self.clients.len(),
+                clients: cohort.num_active(),
                 variance_weighting: false,
                 mean_client_weight: stats.mean_client_weight,
                 disagreement: stats.disagreement,
@@ -188,7 +212,7 @@ impl Federation for FedEt {
         });
         emit_phase_timing(obs, round, Phase::ServerDistill, server_started);
 
-        // Server logits travel down; clients distill.
+        // Server logits travel down; surviving clients distill.
         let distill_started = Instant::now();
         let server_probs = softmax(&eval::logits_on(&mut self.server_model, public), 1.0);
         let server_logits_msg = Message::Logits {
@@ -196,12 +220,15 @@ impl Federation for FedEt {
             num_classes: k as u32,
             values: server_probs.as_slice().to_vec(),
         };
-        for client in 0..self.clients.len() {
+        for client in cohort.survivors() {
             ledger.record(round, client, Direction::Downlink, &server_logits_msg);
         }
         let target = &server_probs;
-        let distill_stats: Vec<TrainStats> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+        let distill_stats: Vec<(usize, TrainStats)> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, _| {
                 train_distill(
                     &mut client.model,
                     public.features(),
@@ -213,8 +240,9 @@ impl Federation for FedEt {
                     &mut client.optimizer,
                     &mut client.rng,
                 )
-            });
-        for (client, stats) in distill_stats.iter().enumerate() {
+            },
+        );
+        for &(client, ref stats) in &distill_stats {
             obs.record(&TelemetryEvent::ClientDistilled {
                 round,
                 client,
@@ -222,6 +250,14 @@ impl Federation for FedEt {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientDistill, distill_started);
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {

@@ -2,16 +2,18 @@
 
 use std::time::Instant;
 
-use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::common::{
+    build_clients, client_accuracies, for_each_active_client, validate_specs, Client,
+};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::runtime::Federation;
+use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
 use fedpkd_tensor::models::ModelSpec;
 use fedpkd_tensor::ops::softmax;
 use fedpkd_tensor::Tensor;
@@ -27,6 +29,7 @@ pub struct FedMd {
     scenario: FederatedScenario,
     clients: Vec<Client>,
     config: BaselineConfig,
+    driver: DriverState,
 }
 
 impl FedMd {
@@ -50,6 +53,7 @@ impl FedMd {
             scenario,
             clients,
             config,
+            driver: DriverState::new(),
         })
     }
 }
@@ -63,16 +67,29 @@ impl Federation for FedMd {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
+        // No survivors: no logits to pool, so no consensus this round.
+        if cohort.num_active() == 0 {
+            return;
+        }
         let config = &self.config;
         let public = &self.scenario.public;
         let num_classes = self.scenario.num_classes as u32;
         let all_ids: Vec<u32> = (0..public.len() as u32).collect();
 
-        // Local training + logit upload ("communicate").
+        // Local training + logit upload ("communicate"), survivors only.
         let training_started = Instant::now();
-        let client_logits: Vec<(Tensor, TrainStats)> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+        let client_logits: Vec<(usize, (Tensor, TrainStats))> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, data| {
                 let stats = train_supervised(
                     &mut client.model,
                     &data.train,
@@ -82,8 +99,9 @@ impl Federation for FedMd {
                     &mut client.rng,
                 );
                 (eval::logits_on(&mut client.model, public), stats)
-            });
-        for (client, (_, stats)) in client_logits.iter().enumerate() {
+            },
+        );
+        for &(client, (_, ref stats)) in &client_logits {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -92,11 +110,14 @@ impl Federation for FedMd {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
-        let client_logits: Vec<Tensor> = client_logits.into_iter().map(|(l, _)| l).collect();
-        for (client, logits) in client_logits.iter().enumerate() {
+        let client_logits: Vec<(usize, Tensor)> = client_logits
+            .into_iter()
+            .map(|(client, (l, _))| (client, l))
+            .collect();
+        for (client, logits) in &client_logits {
             ledger.record(
                 round,
-                client,
+                *client,
                 Direction::Uplink,
                 &Message::Logits {
                     sample_ids: all_ids.clone(),
@@ -106,18 +127,20 @@ impl Federation for FedMd {
             );
         }
 
-        // Consensus: plain mean of the logits ("aggregate").
+        // Consensus: plain mean of the surviving clients' logits
+        // ("aggregate").
         let aggregation_started = Instant::now();
-        let mut consensus = Tensor::zeros(client_logits[0].shape());
+        let mut consensus = Tensor::zeros(client_logits[0].1.shape());
         let w = 1.0 / client_logits.len() as f32;
-        for l in &client_logits {
+        for (_, l) in &client_logits {
             consensus.axpy(w, l).expect("aligned logits");
         }
         if obs.enabled() {
-            let stats = aggregation_stats(&client_logits, false);
+            let logits_only: Vec<Tensor> = client_logits.iter().map(|(_, l)| l.clone()).collect();
+            let stats = aggregation_stats(&logits_only, false);
             obs.record(&TelemetryEvent::LogitAggregation {
                 round,
-                clients: self.clients.len(),
+                clients: cohort.num_active(),
                 variance_weighting: false,
                 mean_client_weight: stats.mean_client_weight,
                 disagreement: stats.disagreement,
@@ -126,9 +149,10 @@ impl Federation for FedMd {
         let consensus_probs = softmax(&consensus, config.temperature);
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
 
-        // Distribute + digest: every client distills toward the consensus.
+        // Distribute + digest: every surviving client distills toward the
+        // consensus; dropped clients never see it.
         let digest_started = Instant::now();
-        for client in 0..self.clients.len() {
+        for client in cohort.survivors() {
             ledger.record(
                 round,
                 client,
@@ -141,8 +165,11 @@ impl Federation for FedMd {
             );
         }
         let probs_ref = &consensus_probs;
-        let digest_stats: Vec<TrainStats> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, _| {
+        let digest_stats: Vec<(usize, TrainStats)> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, _| {
                 train_distill(
                     &mut client.model,
                     public.features(),
@@ -154,8 +181,9 @@ impl Federation for FedMd {
                     &mut client.optimizer,
                     &mut client.rng,
                 )
-            });
-        for (client, stats) in digest_stats.iter().enumerate() {
+            },
+        );
+        for &(client, ref stats) in &digest_stats {
             obs.record(&TelemetryEvent::ClientDistilled {
                 round,
                 client,
@@ -163,6 +191,14 @@ impl Federation for FedMd {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientDistill, digest_started);
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {

@@ -3,17 +3,17 @@
 use std::time::Instant;
 
 use crate::common::{
-    build_clients, client_accuracies, for_each_client, train_supervised_prox, validate_specs,
-    Client,
+    build_clients, client_accuracies, for_each_active_client, train_supervised_prox,
+    validate_specs, Client,
 };
 use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::runtime::Federation;
+use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::TrainStats;
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::nn::Layer;
@@ -27,6 +27,7 @@ pub struct FedProx {
     clients: Vec<Client>,
     global_model: ClassifierModel,
     config: BaselineConfig,
+    driver: DriverState,
 }
 
 impl FedProx {
@@ -53,6 +54,7 @@ impl FedProx {
             clients,
             global_model,
             config,
+            driver: DriverState::new(),
         })
     }
 }
@@ -66,15 +68,27 @@ impl Federation for FedProx {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
+        if cohort.num_active() == 0 {
+            return;
+        }
         let global = state_vector(&self.global_model);
         let n_params = self.global_model.param_count();
         let config = &self.config;
         let global_ref = &global;
 
         let training_started = Instant::now();
-        let updates: Vec<(Vec<f32>, TrainStats)> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+        let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, data| {
                 load_state_vector(&mut client.model, global_ref)
                     .expect("homogeneous models share the layout");
                 let mut optimizer = fedpkd_tensor::optim::Adam::new(config.learning_rate);
@@ -92,8 +106,9 @@ impl Federation for FedProx {
                     &mut client.rng,
                 );
                 (state_vector(&client.model), stats)
-            });
-        for (client, (_, stats)) in updates.iter().enumerate() {
+            },
+        );
+        for &(client, (_, ref stats)) in &updates {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -104,13 +119,11 @@ impl Federation for FedProx {
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
 
         let aggregation_started = Instant::now();
-        let weights: Vec<f64> = self
-            .scenario
-            .clients
+        let weights: Vec<f64> = updates
             .iter()
-            .map(|c| c.train.len() as f64)
+            .map(|&(client, _)| self.scenario.clients[client].train.len() as f64)
             .collect();
-        for (client, (params, _)) in updates.iter().enumerate() {
+        for &(client, (ref params, _)) in &updates {
             ledger.record(
                 round,
                 client,
@@ -128,10 +141,18 @@ impl Federation for FedProx {
                 },
             );
         }
-        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(params, _)| params).collect();
+        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(_, (params, _))| params).collect();
         let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
         load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {

@@ -2,16 +2,18 @@
 
 use std::time::Instant;
 
-use crate::common::{build_clients, client_accuracies, for_each_client, validate_specs, Client};
+use crate::common::{
+    build_clients, client_accuracies, for_each_active_client, validate_specs, Client,
+};
 use crate::BaselineConfig;
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
-use fedpkd_core::runtime::Federation;
+use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::ops::softmax;
@@ -30,6 +32,7 @@ pub struct NaiveKd {
     server_model: ClassifierModel,
     config: BaselineConfig,
     server_rng: Rng,
+    driver: DriverState,
 }
 
 impl NaiveKd {
@@ -58,6 +61,7 @@ impl NaiveKd {
             server_model,
             config,
             server_rng,
+            driver: DriverState::new(),
         })
     }
 
@@ -88,15 +92,29 @@ impl Federation for NaiveKd {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
+        // No survivors: no logits arrive, so the server has nothing to
+        // distill from this round.
+        if cohort.num_active() == 0 {
+            return;
+        }
         let config = &self.config;
         let public = &self.scenario.public;
         let num_classes = self.scenario.num_classes as u32;
         let all_ids: Vec<u32> = (0..public.len() as u32).collect();
 
         let training_started = Instant::now();
-        let client_logits: Vec<(Tensor, TrainStats)> =
-            for_each_client(&mut self.clients, &self.scenario.clients, |client, data| {
+        let client_logits: Vec<(usize, (Tensor, TrainStats))> = for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, client, data| {
                 let stats = train_supervised(
                     &mut client.model,
                     &data.train,
@@ -106,8 +124,9 @@ impl Federation for NaiveKd {
                     &mut client.rng,
                 );
                 (eval::logits_on(&mut client.model, public), stats)
-            });
-        for (client, (_, stats)) in client_logits.iter().enumerate() {
+            },
+        );
+        for &(client, (_, ref stats)) in &client_logits {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -116,11 +135,14 @@ impl Federation for NaiveKd {
             });
         }
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
-        let client_logits: Vec<Tensor> = client_logits.into_iter().map(|(l, _)| l).collect();
-        for (client, logits) in client_logits.iter().enumerate() {
+        let client_logits: Vec<(usize, Tensor)> = client_logits
+            .into_iter()
+            .map(|(client, (l, _))| (client, l))
+            .collect();
+        for (client, logits) in &client_logits {
             ledger.record(
                 round,
-                client,
+                *client,
                 Direction::Uplink,
                 &Message::Logits {
                     sample_ids: all_ids.clone(),
@@ -130,18 +152,19 @@ impl Federation for NaiveKd {
             );
         }
 
-        // Uniform average → server distillation (Eq. 3).
+        // Uniform average over the survivors → server distillation (Eq. 3).
         let aggregation_started = Instant::now();
-        let mut mean = Tensor::zeros(client_logits[0].shape());
+        let mut mean = Tensor::zeros(client_logits[0].1.shape());
         let w = 1.0 / client_logits.len() as f32;
-        for l in &client_logits {
+        for (_, l) in &client_logits {
             mean.axpy(w, l).expect("aligned logits");
         }
         if obs.enabled() {
-            let stats = aggregation_stats(&client_logits, false);
+            let logits_only: Vec<Tensor> = client_logits.iter().map(|(_, l)| l.clone()).collect();
+            let stats = aggregation_stats(&logits_only, false);
             obs.record(&TelemetryEvent::LogitAggregation {
                 round,
-                clients: self.clients.len(),
+                clients: cohort.num_active(),
                 variance_weighting: false,
                 mean_client_weight: stats.mean_client_weight,
                 disagreement: stats.disagreement,
@@ -170,6 +193,14 @@ impl Federation for NaiveKd {
             batches: server_stats.batches,
         });
         emit_phase_timing(obs, round, Phase::ServerDistill, server_started);
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -244,7 +275,7 @@ mod tests {
     fn aggregated_logits_accessor_matches_shape() {
         let mut algo = NaiveKd::new(scenario(0.5, 2), specs(), server_spec(), config(), 5).unwrap();
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &mut ledger, &mut NullObserver);
+        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
         let agg = algo.aggregated_public_logits();
         assert_eq!(agg.shape(), &[120, 10]);
     }

@@ -10,6 +10,7 @@
 use crate::eval;
 use crate::fedpkd::CoreError;
 use fedpkd_data::{ClientData, FederatedScenario};
+use fedpkd_netsim::Cohort;
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::optim::Adam;
@@ -104,6 +105,33 @@ pub fn for_each_client<T: Send>(
     })
 }
 
+/// Runs `f` for every *surviving* `(client, client_data)` pair — per the
+/// round's [`Cohort`] — on its own thread, returning `(client_index,
+/// result)` pairs in ascending client order. Dropped clients are not
+/// touched: their models, optimizers, and RNG streams stay exactly as the
+/// previous round left them, so fault injection cannot perturb their state.
+pub fn for_each_active_client<T: Send>(
+    clients: &mut [ClientState],
+    data: &[ClientData],
+    cohort: &Cohort,
+    f: impl Fn(usize, &mut ClientState, &ClientData) -> T + Sync,
+) -> Vec<(usize, T)> {
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = clients
+            .iter_mut()
+            .zip(data)
+            .enumerate()
+            .filter(|&(i, _)| cohort.is_active(i))
+            .map(|(i, (client, data))| (i, scope.spawn(move || f(i, client, data))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|(i, h)| (i, h.join().expect("client thread panicked")))
+            .collect()
+    })
+}
+
 /// Per-client local-test accuracies.
 pub fn client_accuracies(clients: &mut [ClientState], scenario: &FederatedScenario) -> Vec<f64> {
     clients
@@ -194,5 +222,38 @@ mod tests {
         let sizes = for_each_client(&mut clients, &scenario.clients, |_, data| data.train.len());
         let expected: Vec<usize> = scenario.clients.iter().map(|c| c.train.len()).collect();
         assert_eq!(sizes, expected);
+    }
+
+    #[test]
+    fn for_each_active_client_skips_dropped_clients() {
+        use fedpkd_netsim::DropCause;
+
+        let scenario = tiny_scenario(5);
+        let mut clients = build_clients(&vec![spec(DepthTier::T11); 3], 0.001, 7);
+        let cohort = Cohort::from_causes(vec![None, Some(DropCause::Dropout), None]);
+        let out = for_each_active_client(&mut clients, &scenario.clients, &cohort, |i, _, data| {
+            (i, data.train.len())
+        });
+        let indices: Vec<usize> = out.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, vec![0, 2]);
+        for &(i, (fi, len)) in &out {
+            assert_eq!(i, fi);
+            assert_eq!(len, scenario.clients[i].train.len());
+        }
+    }
+
+    #[test]
+    fn for_each_active_client_full_cohort_matches_for_each_client() {
+        let scenario = tiny_scenario(6);
+        let mut clients = build_clients(&vec![spec(DepthTier::T11); 3], 0.001, 9);
+        let all = for_each_client(&mut clients, &scenario.clients, |_, data| data.train.len());
+        let active = for_each_active_client(
+            &mut clients,
+            &scenario.clients,
+            &Cohort::full(3),
+            |_, _, data| data.train.len(),
+        );
+        let active_values: Vec<usize> = active.into_iter().map(|(_, v)| v).collect();
+        assert_eq!(all, active_values);
     }
 }

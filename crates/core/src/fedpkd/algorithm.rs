@@ -2,7 +2,7 @@
 
 use std::time::Instant;
 
-use crate::clients::{build_clients, validate_specs, ClientState};
+use crate::clients::{build_clients, for_each_active_client, validate_specs, ClientState};
 use crate::eval;
 use crate::fedpkd::config::{CoreError, FedPkdConfig};
 use crate::fedpkd::distill::train_server;
@@ -11,11 +11,11 @@ use crate::fedpkd::logits::{aggregate_logits, aggregation_stats, pseudo_labels};
 use crate::fedpkd::prototypes::{
     aggregate_prototypes, compute_prototypes, global_to_wire_entries, to_wire_entries, Prototype,
 };
-use crate::runtime::Federation;
+use crate::runtime::{DriverState, Federation};
 use crate::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{CommLedger, Direction, Message, QuantizedLogits, Wire};
+use fedpkd_netsim::{Cohort, CommLedger, Direction, Message, QuantizedLogits, Wire};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::ClassifierModel;
 use fedpkd_tensor::models::ModelSpec;
@@ -23,12 +23,28 @@ use fedpkd_tensor::ops::softmax;
 use fedpkd_tensor::optim::Adam;
 use fedpkd_tensor::Tensor;
 
+/// A surviving client's round upload: public-set logits, local prototypes,
+/// and the private-training stats that produced them.
+type PrivatePhaseUpload = (Tensor, Vec<Option<Prototype>>, TrainStats);
+
 /// The complete FedPKD algorithm over a federated scenario.
 ///
 /// Owns the client models (possibly heterogeneous architectures), the larger
 /// server model, and the cross-round state (global prototypes). Every
 /// communication round executes the four phases of Algorithm 2 and records
 /// byte-accurate traffic in the provided ledger.
+///
+/// # Partial participation
+///
+/// Under fault injection the round's [`Cohort`] restricts every phase to
+/// the surviving clients: only they train, upload knowledge, enter the
+/// Eq. 6–8 aggregations, and receive the downlink. For the size-weighted
+/// prototype aggregation (Eq. 8) the server additionally reuses a dropped
+/// client's most recent uploaded prototypes, as long as the absence is
+/// within [`FedPkdConfig::prototype_staleness`] rounds — prototypes are
+/// slow-moving class statistics, so brief reuse is sound (cf. FedProto's
+/// robustness to missing clients), whereas logits are never reused. A
+/// zero-survivor round is a no-op: nothing travels and no model changes.
 ///
 /// See the crate-level example for usage.
 pub struct FedPkd {
@@ -39,6 +55,10 @@ pub struct FedPkd {
     server_rng: Rng,
     config: FedPkdConfig,
     global_prototypes: Vec<Option<Tensor>>,
+    /// Per client: the round of its last prototype upload and the payload,
+    /// kept for stale reuse when the client misses rounds.
+    cached_prototypes: Vec<Option<(usize, Vec<Option<Prototype>>)>>,
+    driver: DriverState,
 }
 
 impl FedPkd {
@@ -64,6 +84,7 @@ impl FedPkd {
         let mut server_rng = Rng::stream(seed, 0);
         let server_model = server_spec.build(&mut server_rng);
         let num_classes = scenario.num_classes;
+        let num_clients = scenario.num_clients();
         Ok(Self {
             scenario,
             clients,
@@ -72,6 +93,8 @@ impl FedPkd {
             server_rng,
             config,
             global_prototypes: vec![None; num_classes],
+            cached_prototypes: vec![None; num_clients],
+            driver: DriverState::new(),
         })
     }
 
@@ -87,93 +110,80 @@ impl FedPkd {
     }
 
     /// Phase 1 of Algorithm 2: parallel private training and dual-knowledge
-    /// extraction. Returns per-client `(public logits, local prototypes,
-    /// training stats)`.
+    /// extraction for the round's surviving clients. Returns
+    /// `(client, (public logits, local prototypes, training stats))` pairs
+    /// in client order.
     fn clients_private_phase(
         &mut self,
         round: usize,
-    ) -> Vec<(Tensor, Vec<Option<Prototype>>, TrainStats)> {
+        cohort: &Cohort,
+    ) -> Vec<(usize, PrivatePhaseUpload)> {
         let config = &self.config;
         let public = &self.scenario.public;
         let global_prototypes = &self.global_prototypes;
-        let client_data = &self.scenario.clients;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .clients
-                .iter_mut()
-                .zip(client_data)
-                .map(|(state, data)| {
-                    scope.spawn(move || {
-                        // Round 0 trains with Eq. 4; later rounds add the
-                        // prototype pull of Eq. 16 (when prototypes are on).
-                        let stats = if round == 0 || !config.use_prototypes {
-                            train_supervised(
-                                &mut state.model,
-                                &data.train,
-                                config.client_private_epochs,
-                                config.batch_size,
-                                &mut state.optimizer,
-                                &mut state.rng,
-                            )
-                        } else {
-                            train_supervised_with_prototypes(
-                                &mut state.model,
-                                &data.train,
-                                global_prototypes,
-                                config.epsilon,
-                                config.client_private_epochs,
-                                config.batch_size,
-                                &mut state.optimizer,
-                                &mut state.rng,
-                            )
-                        };
-                        let logits = eval::logits_on(&mut state.model, public);
-                        let prototypes = compute_prototypes(&mut state.model, &data.train);
-                        (logits, prototypes, stats)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client thread panicked"))
-                .collect()
-        })
+        for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, state, data| {
+                // Round 0 trains with Eq. 4; later rounds add the
+                // prototype pull of Eq. 16 (when prototypes are on).
+                let stats = if round == 0 || !config.use_prototypes {
+                    train_supervised(
+                        &mut state.model,
+                        &data.train,
+                        config.client_private_epochs,
+                        config.batch_size,
+                        &mut state.optimizer,
+                        &mut state.rng,
+                    )
+                } else {
+                    train_supervised_with_prototypes(
+                        &mut state.model,
+                        &data.train,
+                        global_prototypes,
+                        config.epsilon,
+                        config.client_private_epochs,
+                        config.batch_size,
+                        &mut state.optimizer,
+                        &mut state.rng,
+                    )
+                };
+                let logits = eval::logits_on(&mut state.model, public);
+                let prototypes = compute_prototypes(&mut state.model, &data.train);
+                (logits, prototypes, stats)
+            },
+        )
     }
 
     /// Phase 4 of Algorithm 2: parallel client distillation from the server
-    /// knowledge on the filtered public subset (Eq. 15). Returns per-client
-    /// distillation stats.
+    /// knowledge on the filtered public subset (Eq. 15), survivors only.
+    /// Returns `(client, stats)` pairs in client order.
     fn clients_public_phase(
         &mut self,
         subset_features: &Tensor,
         server_probs: &Tensor,
-    ) -> Vec<TrainStats> {
+        cohort: &Cohort,
+    ) -> Vec<(usize, TrainStats)> {
         let config = &self.config;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .clients
-                .iter_mut()
-                .map(|state| {
-                    scope.spawn(move || {
-                        train_distill(
-                            &mut state.model,
-                            subset_features,
-                            server_probs,
-                            config.gamma,
-                            config.temperature,
-                            config.client_public_epochs,
-                            config.batch_size,
-                            &mut state.optimizer,
-                            &mut state.rng,
-                        )
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("client thread panicked"))
-                .collect()
-        })
+        for_each_active_client(
+            &mut self.clients,
+            &self.scenario.clients,
+            cohort,
+            |_, state, _| {
+                train_distill(
+                    &mut state.model,
+                    subset_features,
+                    server_probs,
+                    config.gamma,
+                    config.temperature,
+                    config.client_public_epochs,
+                    config.batch_size,
+                    &mut state.optimizer,
+                    &mut state.rng,
+                )
+            },
+        )
     }
 
     /// L2 drift between two generations of global prototypes, for
@@ -213,14 +223,28 @@ impl Federation for FedPkd {
         self.clients.len()
     }
 
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver) {
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    ) {
         let public_len = self.scenario.public.len();
         let num_classes = self.scenario.num_classes as u32;
+        if cohort.num_active() == 0 {
+            // Zero survivors: nobody trains, nothing travels, no model or
+            // prototype changes. The driver still frames the round with
+            // telemetry and evaluation.
+            return;
+        }
 
-        // ---- Phase 1: client private training + dual knowledge uplink.
+        // ---- Phase 1: client private training + dual knowledge uplink,
+        //      survivors only — dropped clients neither train nor upload,
+        //      and the ledger never charges for their payloads.
         let phase_started = Instant::now();
-        let mut knowledge = self.clients_private_phase(round);
-        for (client, (_, _, stats)) in knowledge.iter().enumerate() {
+        let mut knowledge = self.clients_private_phase(round, cohort);
+        for &(client, (_, _, ref stats)) in &knowledge {
             obs.record(&TelemetryEvent::ClientTrained {
                 round,
                 client,
@@ -229,7 +253,7 @@ impl Federation for FedPkd {
             });
         }
         let all_ids: Vec<u32> = (0..public_len as u32).collect();
-        for (client, (logits, prototypes, _)) in knowledge.iter_mut().enumerate() {
+        for &mut (client, (ref mut logits, ref prototypes, _)) in &mut knowledge {
             if self.config.quantize_knowledge {
                 // Lossy 8-bit channel: charge the quantized size and replace
                 // the logits with what actually survives the wire.
@@ -259,14 +283,15 @@ impl Federation for FedPkd {
                         entries: to_wire_entries(prototypes),
                     },
                 );
+                self.cached_prototypes[client] = Some((round, prototypes.clone()));
             }
         }
 
         emit_phase_timing(obs, round, Phase::ClientTraining, phase_started);
 
-        // ---- Phase 2: server-side aggregation (Eqs. 6–8).
+        // ---- Phase 2: server-side aggregation (Eqs. 6–8) over survivors.
         let phase_started = Instant::now();
-        let client_logits: Vec<Tensor> = knowledge.iter().map(|(l, _, _)| l.clone()).collect();
+        let client_logits: Vec<Tensor> = knowledge.iter().map(|(_, (l, _, _))| l.clone()).collect();
         let aggregated = aggregate_logits(&client_logits, self.config.variance_weighting);
         let pseudo = pseudo_labels(&aggregated);
         if obs.enabled() {
@@ -280,8 +305,16 @@ impl Federation for FedPkd {
             });
         }
         if self.config.use_prototypes {
-            let client_protos: Vec<Vec<Option<Prototype>>> =
-                knowledge.into_iter().map(|(_, p, _)| p).collect();
+            // Eq. 8 over the survivors' fresh prototypes plus any dropped
+            // client's cached upload that is recent enough
+            // (`prototype_staleness` bounds the age of reuse).
+            let client_protos: Vec<Vec<Option<Prototype>>> = self
+                .cached_prototypes
+                .iter()
+                .flatten()
+                .filter(|&&(uploaded, _)| round - uploaded <= self.config.prototype_staleness)
+                .map(|(_, p)| p.clone())
+                .collect();
             let new_prototypes = aggregate_prototypes(&client_protos);
             if obs.enabled() {
                 let (mean_l2, max_l2) =
@@ -388,7 +421,7 @@ impl Federation for FedPkd {
         };
         let server_probs = softmax(&server_logits, self.config.temperature);
         let proto_entries = global_to_wire_entries(&self.global_prototypes);
-        for client in 0..self.clients.len() {
+        for client in cohort.survivors() {
             match downlink_quantized {
                 Some(bytes) => ledger.record_bytes(round, client, Direction::Downlink, bytes),
                 None => ledger.record(
@@ -421,8 +454,8 @@ impl Federation for FedPkd {
                 },
             );
         }
-        let distill_stats = self.clients_public_phase(&subset_features, &server_probs);
-        for (client, stats) in distill_stats.iter().enumerate() {
+        let distill_stats = self.clients_public_phase(&subset_features, &server_probs, cohort);
+        for &(client, ref stats) in &distill_stats {
             obs.record(&TelemetryEvent::ClientDistilled {
                 round,
                 client,
@@ -441,6 +474,14 @@ impl Federation for FedPkd {
 
     fn client_accuracies(&mut self) -> Vec<f64> {
         crate::clients::client_accuracies(&mut self.clients, &self.scenario)
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
     }
 }
 
@@ -587,7 +628,7 @@ mod tests {
         .unwrap();
         assert!(algo.global_prototypes().iter().all(Option::is_none));
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &mut ledger, &mut NullObserver);
+        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
         let present = algo
             .global_prototypes()
             .iter()
@@ -677,6 +718,65 @@ mod tests {
         // The lossy channel must not destroy learning.
         let q_acc = quantized.best_server_accuracy().unwrap();
         assert!(q_acc > 0.15, "quantized accuracy {q_acc}");
+    }
+
+    #[test]
+    fn dropped_client_contributes_cached_prototypes_within_staleness() {
+        let build = || {
+            FedPkd::new(
+                tiny_scenario(9),
+                vec![spec(DepthTier::T11); 3],
+                spec(DepthTier::T20),
+                FedPkdConfig {
+                    prototype_staleness: 2,
+                    ..fast_config()
+                },
+                37,
+            )
+            .unwrap()
+        };
+        let mut algo = build();
+        let mut ledger = CommLedger::new();
+        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
+        // Client 2 misses round 1; its round-0 prototypes (age 1 ≤ 2) must
+        // still be cached for aggregation.
+        let cohort = Cohort::from_causes(vec![None, None, Some(fedpkd_netsim::DropCause::Crash)]);
+        algo.run_round(1, &cohort, &mut ledger, &mut NullObserver);
+        assert!(algo.cached_prototypes[2]
+            .as_ref()
+            .is_some_and(|&(uploaded, _)| uploaded == 0));
+        // No round-1 uplink bytes for the dropped client.
+        assert_eq!(ledger.round_client_uplinks(1, 3)[2], 0);
+        assert!(ledger.round_client_uplinks(1, 3)[0] > 0);
+    }
+
+    #[test]
+    fn zero_survivor_round_is_a_noop() {
+        let mut algo = FedPkd::new(
+            tiny_scenario(10),
+            vec![spec(DepthTier::T11); 3],
+            spec(DepthTier::T20),
+            fast_config(),
+            41,
+        )
+        .unwrap();
+        let mut ledger = CommLedger::new();
+        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
+        let bytes_after_r0 = ledger.total_bytes();
+        let protos_before: Vec<bool> = algo
+            .global_prototypes()
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        let empty = Cohort::from_causes(vec![Some(fedpkd_netsim::DropCause::Dropout); 3]);
+        algo.run_round(1, &empty, &mut ledger, &mut NullObserver);
+        assert_eq!(ledger.total_bytes(), bytes_after_r0, "no traffic charged");
+        let protos_after: Vec<bool> = algo
+            .global_prototypes()
+            .iter()
+            .map(Option::is_some)
+            .collect();
+        assert_eq!(protos_before, protos_after);
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub struct FedPkdConfig {
     /// *dequantized* values, so the accuracy effect of the lossy channel is
     /// faithfully simulated.
     pub quantize_knowledge: bool,
+    /// Fault-tolerance window: when a client misses a round, the server
+    /// keeps using its last uploaded prototypes in the Eq. 8 aggregation
+    /// for up to this many rounds of absence (`0` = never reuse stale
+    /// prototypes). Logits are never reused — they reflect the current
+    /// round's models — so this only bounds prototype staleness.
+    pub prototype_staleness: usize,
 }
 
 impl Default for FedPkdConfig {
@@ -69,6 +75,7 @@ impl Default for FedPkdConfig {
             use_filter: true,
             variance_weighting: true,
             quantize_knowledge: false,
+            prototype_staleness: 2,
         }
     }
 }

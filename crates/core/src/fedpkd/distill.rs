@@ -86,17 +86,24 @@ pub fn train_server(
             // Prototype term (Eq. 12): pull features toward P^{ỹ}.
             let feature_grad = if delta < 1.0 {
                 let mut target = features.clone();
-                let mut any = false;
+                let mut covered = 0usize;
                 for (row, &y) in labels.iter().enumerate() {
                     if let Some(proto) = global_prototypes.get(y).and_then(Option::as_ref) {
                         target.row_mut(row).copy_from_slice(proto.as_slice());
-                        any = true;
+                        covered += 1;
                     }
                 }
-                if any {
+                if covered > 0 {
+                    // The MSE averages over every batch row, but rows whose
+                    // pseudo-class has no prototype have target == features
+                    // and contribute exactly zero, so Eq. 12's mean must be
+                    // over covered rows only — without the rescale, partial
+                    // coverage dilutes both the reported L_p and its
+                    // gradient.
                     let (mse_loss, mut g) = mse.loss_and_grad(&features, &target);
-                    g.scale_in_place(1.0 - delta);
-                    proto_total += f64::from(mse_loss);
+                    let rescale = chunk.len() as f32 / covered as f32;
+                    g.scale_in_place((1.0 - delta) * rescale);
+                    proto_total += f64::from(mse_loss) * f64::from(rescale);
                     Some(g)
                 } else {
                     None
@@ -110,6 +117,11 @@ pub fn train_server(
             model.zero_grad();
             batches += 1;
         }
+    }
+    if batches == 0 {
+        // epochs == 0: nothing ran; dividing by `batches` would poison the
+        // stats (and JSONL telemetry) with NaN.
+        return ServerDistillStats::default();
     }
     let kd_loss = kd_total / batches as f64;
     let proto_loss = proto_total / batches as f64;
@@ -234,6 +246,88 @@ mod tests {
         );
         assert_eq!(param_vector(&server), before);
         assert_eq!(stats, ServerDistillStats::default());
+    }
+
+    #[test]
+    fn zero_epochs_report_default_stats_not_nan() {
+        // Regression: `epochs == 0` used to divide by `batches == 0`,
+        // poisoning the stats (and JSONL telemetry) with NaN.
+        let mut rng = Rng::seed_from_u64(8);
+        let ds = SyntheticConfig::cifar10_like()
+            .generate(40, &mut rng)
+            .unwrap();
+        let mut server = build_mlp(&[32, 16], 10, &mut rng);
+        let before = param_vector(&server);
+        let mut opt = Adam::new(0.005);
+        let pseudo = vec![0usize; ds.len()];
+        let stats = train_server(
+            &mut server,
+            ds.features(),
+            &Tensor::full(&[ds.len(), 10], 0.1),
+            &pseudo,
+            &vec![None; 10],
+            0.5,
+            1.0,
+            0, // no epochs
+            32,
+            &mut opt,
+            &mut rng,
+        );
+        assert_eq!(stats, ServerDistillStats::default());
+        assert!(stats.kd_loss.is_finite() && stats.combined_loss.is_finite());
+        assert_eq!(param_vector(&server), before);
+    }
+
+    #[test]
+    fn partial_prototype_coverage_normalizes_over_covered_rows() {
+        // Regression: Eq. 12 used to average the MSE over every batch row,
+        // including rows whose pseudo-class has no prototype (they
+        // contribute exactly zero), diluting L_p under partial coverage.
+        // Adding uncovered rows to the batch must leave L_p unchanged.
+        let mut rng = Rng::seed_from_u64(9);
+        let ds = SyntheticConfig::cifar10_like()
+            .generate(60, &mut rng)
+            .unwrap();
+        // Only class 0 has a prototype; half the pseudo-labels point at the
+        // uncovered class 1.
+        let mut protos: Vec<Option<Tensor>> = vec![None; 10];
+        protos[0] = Some(Tensor::full(&[16], 0.3));
+        let covered: Vec<usize> = (0..ds.len() / 2).collect();
+        let run = |rows: &[usize], labels: &[usize]| {
+            // Fresh model/rng per run so both start from identical state.
+            let mut rng = Rng::seed_from_u64(10);
+            let mut server = build_mlp(&[32, 16], 10, &mut rng);
+            let mut opt = Adam::new(0.005);
+            let x = ds.features().select_rows(rows).unwrap();
+            train_server(
+                &mut server,
+                &x,
+                &Tensor::full(&[rows.len(), 10], 0.1),
+                labels,
+                &protos,
+                0.0, // prototype term only
+                1.0,
+                1,
+                ds.len(), // one batch
+                &mut opt,
+                &mut rng,
+            )
+        };
+        // Covered rows alone (all pseudo-class 0)…
+        let alone = run(&covered, &vec![0usize; covered.len()]);
+        // …versus the same rows plus as many uncovered (pseudo-class 1)
+        // rows in the same batch.
+        let all_rows: Vec<usize> = (0..ds.len()).collect();
+        let mut mixed_labels = vec![0usize; covered.len()];
+        mixed_labels.resize(ds.len(), 1);
+        let mixed = run(&all_rows, &mixed_labels);
+        assert!(alone.proto_loss > 0.0);
+        assert!(
+            (alone.proto_loss - mixed.proto_loss).abs() < 1e-6 * alone.proto_loss.max(1.0),
+            "uncovered rows must not dilute L_p: {} vs {}",
+            alone.proto_loss,
+            mixed.proto_loss
+        );
     }
 
     #[test]

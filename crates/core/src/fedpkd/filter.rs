@@ -128,6 +128,12 @@ fn filter_impl(
                             .zip(proto.as_slice())
                             .map(|(a, b)| (a - b) * (a - b))
                             .sum();
+                        // Checked eagerly so NaN features fail loudly here
+                        // rather than destabilizing the sort below.
+                        assert!(
+                            d.is_finite(),
+                            "non-finite Eq. 10 distance for sample {i} (class {class})"
+                        );
                         (i, d)
                     })
                     .collect();
@@ -288,6 +294,15 @@ mod tests {
         assert_eq!(kept, vec![0, 1]);
         assert!(stats.distance_quantiles.is_empty());
         assert_eq!(stats.kept_per_class, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite Eq. 10 distance")]
+    fn nan_features_panic_clearly() {
+        let f = features(&[&[1.0], &[f32::NAN], &[2.0]]);
+        let labels = vec![0, 0, 0];
+        let protos = vec![proto(&[0.0])];
+        filter_public(&f, &labels, &protos, 0.5);
     }
 
     #[test]

@@ -3,17 +3,25 @@
 //! Two traits split the work:
 //!
 //! - [`Federation`] is the low-level SPI an algorithm implements: execute
-//!   one round's phases against the communication ledger and report
-//!   accuracies on demand.
+//!   one round's phases — for the clients the round's [`Cohort`] says are
+//!   present — against the communication ledger and report accuracies on
+//!   demand.
 //! - [`FlAlgorithm`] is the uniform driver interface callers consume. A
 //!   blanket impl turns any [`Federation`] into an [`FlAlgorithm`], so the
-//!   round loop — wall-clock timing, evaluation, ledger accounting, and
-//!   telemetry bookkeeping — exists exactly once, shared by FedPKD and all
-//!   seven baselines.
+//!   round loop — wall-clock timing, fault-plan evaluation, evaluation,
+//!   ledger accounting, and telemetry bookkeeping — exists exactly once,
+//!   shared by FedPKD and all seven baselines.
+//!
+//! Fault injection is entirely a driver concern: the driver evaluates an
+//! optional [`FaultPlan`] each round (feeding it each client's last
+//! observed uplink size for the straggler-deadline check), emits
+//! [`TelemetryEvent::ClientDropped`] for the casualties, and hands the
+//! algorithm the surviving cohort. Algorithms never see the plan itself, so
+//! the same degradation path covers every fault mechanism.
 
 use std::time::Instant;
 
-use fedpkd_netsim::CommLedger;
+use fedpkd_netsim::{Cohort, CommLedger, FaultPlan};
 
 use crate::telemetry::{emit_phase_timing, NullObserver, Phase, RoundObserver, TelemetryEvent};
 
@@ -29,6 +37,9 @@ pub struct RoundMetrics {
     pub client_accuracies: Vec<f64>,
     /// Cumulative communication bytes through this round.
     pub cumulative_bytes: usize,
+    /// Fraction of clients that participated this round (1.0 without fault
+    /// injection).
+    pub participation_rate: f64,
 }
 
 impl RoundMetrics {
@@ -48,7 +59,10 @@ impl RoundMetrics {
 pub struct RunResult {
     /// Per-round metrics, in round order.
     pub history: Vec<RoundMetrics>,
-    /// Every byte that crossed the simulated network.
+    /// Every byte that crossed the simulated network over the algorithm's
+    /// lifetime — for a continued run (a second `run` on the same
+    /// instance), this includes earlier runs' rounds too, keeping
+    /// cumulative-bytes queries coherent with the persisted model state.
     pub ledger: CommLedger,
 }
 
@@ -99,14 +113,47 @@ impl RunResult {
     }
 }
 
+/// Book-keeping the shared driver persists on each algorithm between runs.
+///
+/// Embedding this in every [`Federation`] implementation (exposed through
+/// [`Federation::driver`]/[`Federation::driver_mut`]) is what lets a second
+/// `run` on the same instance *continue* — round numbering and the ledger
+/// pick up where the previous run stopped instead of restarting at round 0
+/// against the already-trained models.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DriverState {
+    rounds_driven: usize,
+    ledger: CommLedger,
+}
+
+impl DriverState {
+    /// A fresh state: no rounds driven, empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rounds the shared driver has executed on this algorithm so far.
+    pub fn rounds_driven(&self) -> usize {
+        self.rounds_driven
+    }
+}
+
 /// The low-level SPI a federated learning algorithm implements.
 ///
 /// Implementations own their scenario, client models, and (optionally)
 /// server model. The shared [`FlAlgorithm`] driver guarantees `run_round`
 /// is called with strictly increasing round indices starting at 0, and
-/// handles evaluation, ledger accounting, and round-boundary telemetry
-/// itself — implementations only emit the events for what happens *inside*
-/// a round (client training, aggregation, filtering, distillation).
+/// handles cohort selection, evaluation, ledger accounting, and
+/// round-boundary telemetry itself — implementations only emit the events
+/// for what happens *inside* a round (client training, aggregation,
+/// filtering, distillation).
+///
+/// # Partial participation
+///
+/// `run_round` must honor the round's [`Cohort`]: dropped clients do not
+/// train, upload, receive downlink payloads, or appear in the ledger — the
+/// network never carried their bytes. A round may have *zero* survivors;
+/// implementations must treat it as a no-op round rather than panicking.
 pub trait Federation {
     /// A short display name (`"FedPKD"`, `"FedAvg"`, …).
     fn name(&self) -> &'static str;
@@ -114,9 +161,16 @@ pub trait Federation {
     /// Number of participating clients.
     fn num_clients(&self) -> usize;
 
-    /// Executes one communication round, recording every transfer in
-    /// `ledger` and reporting in-round telemetry to `obs`.
-    fn run_round(&mut self, round: usize, ledger: &mut CommLedger, obs: &mut dyn RoundObserver);
+    /// Executes one communication round over the surviving `cohort`,
+    /// recording every transfer in `ledger` and reporting in-round
+    /// telemetry to `obs`.
+    fn run_round(
+        &mut self,
+        round: usize,
+        cohort: &Cohort,
+        ledger: &mut CommLedger,
+        obs: &mut dyn RoundObserver,
+    );
 
     /// Server-model accuracy on the global test set, or `None` if the
     /// algorithm has no server model.
@@ -124,12 +178,19 @@ pub trait Federation {
 
     /// Per-client accuracy on the clients' local test sets.
     fn client_accuracies(&mut self) -> Vec<f64>;
+
+    /// The driver's persistent book-keeping for this instance.
+    fn driver(&self) -> &DriverState;
+
+    /// Mutable access to the driver's persistent book-keeping.
+    fn driver_mut(&mut self) -> &mut DriverState;
 }
 
 /// The uniform interface every federated algorithm is driven through.
 ///
 /// Callers never loop over rounds themselves: [`run`](Self::run) (or the
-/// observer-less [`run_silent`](Self::run_silent)) is the single driver for
+/// observer-less [`run_silent`](Self::run_silent), or the fault-injecting
+/// [`run_with_faults`](Self::run_with_faults)) is the single driver for
 /// FedPKD and all baselines, courtesy of the blanket impl over
 /// [`Federation`].
 ///
@@ -140,33 +201,59 @@ pub trait FlAlgorithm {
     /// A short display name (`"FedPKD"`, `"FedAvg"`, …).
     fn name(&self) -> &str;
 
-    /// Executes one communication round end to end — training phases,
-    /// evaluation, ledger accounting — and returns its metrics.
+    /// Rounds already driven on this instance; the next `run` continues
+    /// numbering from here.
+    fn rounds_driven(&self) -> usize;
+
+    /// Executes one communication round end to end — cohort telemetry,
+    /// training phases, evaluation, ledger accounting — and returns its
+    /// metrics.
     ///
-    /// Emits [`TelemetryEvent::RoundStart`], the in-round event stream,
-    /// [`TelemetryEvent::LedgerDelta`], and [`TelemetryEvent::RoundEnd`]
-    /// to `obs`, in that order.
+    /// Emits [`TelemetryEvent::RoundStart`], one
+    /// [`TelemetryEvent::ClientDropped`] per missing client, the in-round
+    /// event stream, [`TelemetryEvent::LedgerDelta`], and
+    /// [`TelemetryEvent::RoundEnd`] to `obs`, in that order.
     fn round(
         &mut self,
         round: usize,
+        cohort: &Cohort,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) -> RoundMetrics;
 
-    /// Runs the algorithm for `rounds` rounds, streaming telemetry to
-    /// `obs`.
+    /// Runs `rounds` rounds under an optional fault plan, streaming
+    /// telemetry to `obs`.
+    ///
+    /// Each round the plan (if any) is evaluated into a [`Cohort`]; the
+    /// straggler-deadline check is fed each client's most recent observed
+    /// uplink size (zero before a client's first upload, so round-0
+    /// deadline drops can only come from latency and slowdown factors).
+    /// Fault evaluation is deterministic: the same algorithm seedings plus
+    /// the same plan produce a bit-identical [`RunResult`].
+    ///
+    /// Round numbering and the ledger continue from any previous `run` on
+    /// this instance (see [`DriverState`]); the returned history covers
+    /// only the newly driven rounds, while the returned ledger spans the
+    /// instance's lifetime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    fn run_with_faults(
+        &mut self,
+        rounds: usize,
+        plan: Option<&FaultPlan>,
+        obs: &mut dyn RoundObserver,
+    ) -> RunResult;
+
+    /// Runs the algorithm fault-free for `rounds` rounds, streaming
+    /// telemetry to `obs`.
     ///
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
     fn run(&mut self, rounds: usize, obs: &mut dyn RoundObserver) -> RunResult {
-        assert!(rounds > 0, "need at least one round");
-        let mut ledger = CommLedger::new();
-        let mut history = Vec::with_capacity(rounds);
-        for round in 0..rounds {
-            history.push(self.round(round, &mut ledger, obs));
-        }
-        RunResult { history, ledger }
+        self.run_with_faults(rounds, None, obs)
     }
 
     /// Runs the algorithm with telemetry disabled (a [`NullObserver`]).
@@ -177,6 +264,15 @@ pub trait FlAlgorithm {
     fn run_silent(&mut self, rounds: usize) -> RunResult {
         self.run(rounds, &mut NullObserver)
     }
+
+    /// Runs under a fault plan with telemetry disabled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    fn run_silent_with_faults(&mut self, rounds: usize, plan: &FaultPlan) -> RunResult {
+        self.run_with_faults(rounds, Some(plan), &mut NullObserver)
+    }
 }
 
 impl<F: Federation> FlAlgorithm for F {
@@ -184,9 +280,14 @@ impl<F: Federation> FlAlgorithm for F {
         Federation::name(self)
     }
 
+    fn rounds_driven(&self) -> usize {
+        self.driver().rounds_driven
+    }
+
     fn round(
         &mut self,
         round: usize,
+        cohort: &Cohort,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) -> RoundMetrics {
@@ -196,7 +297,14 @@ impl<F: Federation> FlAlgorithm for F {
             round,
             clients: self.num_clients(),
         });
-        self.run_round(round, ledger, obs);
+        for (client, cause) in cohort.dropped() {
+            obs.record(&TelemetryEvent::ClientDropped {
+                round,
+                client,
+                cause,
+            });
+        }
+        self.run_round(round, cohort, ledger, obs);
         let eval_started = Instant::now();
         let server_accuracy = self.server_accuracy();
         let client_accuracies = self.client_accuracies();
@@ -214,6 +322,7 @@ impl<F: Federation> FlAlgorithm for F {
             server_accuracy,
             client_accuracies,
             cumulative_bytes,
+            participation_rate: cohort.participation_rate(),
         };
         obs.record(&TelemetryEvent::RoundEnd {
             round,
@@ -221,8 +330,53 @@ impl<F: Federation> FlAlgorithm for F {
             server_accuracy,
             mean_client_accuracy: metrics.mean_client_accuracy(),
             cumulative_bytes,
+            participation_rate: cohort.participation_rate(),
         });
+        let driver = self.driver_mut();
+        driver.rounds_driven = driver.rounds_driven.max(round + 1);
         metrics
+    }
+
+    fn run_with_faults(
+        &mut self,
+        rounds: usize,
+        plan: Option<&FaultPlan>,
+        obs: &mut dyn RoundObserver,
+    ) -> RunResult {
+        assert!(rounds > 0, "need at least one round");
+        let num_clients = self.num_clients();
+        let start = self.driver().rounds_driven;
+        // Take the persistent ledger out for the duration of the loop; it
+        // goes back into the driver state before returning.
+        let mut ledger = std::mem::take(&mut self.driver_mut().ledger);
+        // Each client's most recent observed uplink bytes, feeding the
+        // straggler-deadline estimate. Seeded from the previous round when
+        // continuing an earlier run.
+        let mut last_uplink = if start > 0 {
+            ledger.round_client_uplinks(start - 1, num_clients)
+        } else {
+            vec![0usize; num_clients]
+        };
+        let mut history = Vec::with_capacity(rounds);
+        for round in start..start + rounds {
+            let cohort = match plan {
+                Some(plan) => plan.cohort(round, num_clients, &last_uplink),
+                None => Cohort::full(num_clients),
+            };
+            history.push(self.round(round, &cohort, &mut ledger, obs));
+            for (client, bytes) in ledger
+                .round_client_uplinks(round, num_clients)
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, bytes)| bytes > 0)
+            {
+                if let Some(slot) = last_uplink.get_mut(client) {
+                    *slot = bytes;
+                }
+            }
+        }
+        self.driver_mut().ledger = ledger.clone();
+        RunResult { history, ledger }
     }
 }
 
@@ -230,12 +384,22 @@ impl<F: Federation> FlAlgorithm for F {
 mod tests {
     use super::*;
     use crate::telemetry::EventLog;
-    use fedpkd_netsim::{Direction, Message};
+    use fedpkd_netsim::{Direction, DropCause, Message};
 
-    /// A fake federation whose accuracy rises linearly and which sends a
-    /// fixed-size message per round.
+    /// A fake federation whose accuracy rises linearly and in which every
+    /// surviving client sends a fixed-size message per round.
     struct FakeFed {
         acc: f64,
+        driver: DriverState,
+    }
+
+    impl FakeFed {
+        fn new() -> Self {
+            Self {
+                acc: 0.0,
+                driver: DriverState::new(),
+            }
+        }
     }
 
     impl Federation for FakeFed {
@@ -248,24 +412,27 @@ mod tests {
         fn run_round(
             &mut self,
             round: usize,
+            cohort: &Cohort,
             ledger: &mut CommLedger,
             obs: &mut dyn RoundObserver,
         ) {
             self.acc = 0.1 * (round + 1) as f64;
-            ledger.record(
-                round,
-                0,
-                Direction::Uplink,
-                &Message::ModelUpdate {
-                    params: vec![0.0; 25],
-                },
-            );
-            obs.record(&TelemetryEvent::ClientTrained {
-                round,
-                client: 0,
-                samples: 25,
-                mean_loss: 1.0,
-            });
+            for client in cohort.survivors() {
+                ledger.record(
+                    round,
+                    client,
+                    Direction::Uplink,
+                    &Message::ModelUpdate {
+                        params: vec![0.0; 25],
+                    },
+                );
+                obs.record(&TelemetryEvent::ClientTrained {
+                    round,
+                    client,
+                    samples: 25,
+                    mean_loss: 1.0,
+                });
+            }
         }
         fn server_accuracy(&mut self) -> Option<f64> {
             Some(self.acc)
@@ -273,20 +440,27 @@ mod tests {
         fn client_accuracies(&mut self) -> Vec<f64> {
             vec![self.acc, self.acc + 0.1]
         }
+        fn driver(&self) -> &DriverState {
+            &self.driver
+        }
+        fn driver_mut(&mut self) -> &mut DriverState {
+            &mut self.driver
+        }
     }
 
     #[test]
     fn run_collects_history_per_round() {
-        let result = FakeFed { acc: 0.0 }.run_silent(5);
+        let result = FakeFed::new().run_silent(5);
         assert_eq!(result.history.len(), 5);
         assert_eq!(result.last().round, 4);
         assert!((result.last().server_accuracy.unwrap() - 0.5).abs() < 1e-12);
         assert!((result.last().mean_client_accuracy() - 0.55).abs() < 1e-12);
+        assert_eq!(result.last().participation_rate, 1.0);
     }
 
     #[test]
     fn cumulative_bytes_are_monotone() {
-        let result = FakeFed { acc: 0.0 }.run_silent(4);
+        let result = FakeFed::new().run_silent(4);
         for pair in result.history.windows(2) {
             assert!(pair[1].cumulative_bytes > pair[0].cumulative_bytes);
         }
@@ -294,7 +468,7 @@ mod tests {
 
     #[test]
     fn bytes_to_accuracy_finds_first_crossing() {
-        let result = FakeFed { acc: 0.0 }.run_silent(10);
+        let result = FakeFed::new().run_silent(10);
         let at_03 = result.bytes_to_server_accuracy(0.3).unwrap();
         let at_08 = result.bytes_to_server_accuracy(0.8).unwrap();
         assert!(at_03 < at_08);
@@ -304,7 +478,7 @@ mod tests {
 
     #[test]
     fn best_accuracies() {
-        let result = FakeFed { acc: 0.0 }.run_silent(3);
+        let result = FakeFed::new().run_silent(3);
         assert!((result.best_server_accuracy().unwrap() - 0.3).abs() < 1e-12);
         assert!((result.best_client_accuracy() - 0.35).abs() < 1e-12);
     }
@@ -312,7 +486,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
-        let _ = FakeFed { acc: 0.0 }.run_silent(0);
+        let _ = FakeFed::new().run_silent(0);
     }
 
     #[test]
@@ -322,24 +496,90 @@ mod tests {
             server_accuracy: None,
             client_accuracies: vec![],
             cumulative_bytes: 0,
+            participation_rate: 1.0,
         };
         assert_eq!(m.mean_client_accuracy(), 0.0);
     }
 
     #[test]
+    fn second_run_continues_round_numbering_and_ledger() {
+        // Regression: a second `run` on a live instance used to restart at
+        // round 0 with a fresh ledger while model state persisted.
+        let mut fed = FakeFed::new();
+        let first = fed.run_silent(3);
+        assert_eq!(fed.rounds_driven(), 3);
+        let second = fed.run_silent(2);
+        assert_eq!(fed.rounds_driven(), 5);
+        assert_eq!(second.history[0].round, 3);
+        assert_eq!(second.last().round, 4);
+        // The continued ledger spans both runs, so cumulative bytes keep
+        // growing across the boundary.
+        assert!(second.history[0].cumulative_bytes > first.last().cumulative_bytes);
+        assert_eq!(second.ledger.rounds_recorded(), 5);
+        assert_eq!(
+            second.ledger.cumulative_bytes_through_round(2),
+            first.last().cumulative_bytes
+        );
+    }
+
+    #[test]
+    fn driver_drops_clients_per_fault_plan() {
+        let plan = FaultPlan::new(0).with_outage(1, 1, 1);
+        let mut log = EventLog::new();
+        let result = FakeFed::new().run_with_faults(3, Some(&plan), &mut log);
+        assert_eq!(result.history[0].participation_rate, 1.0);
+        assert_eq!(result.history[1].participation_rate, 0.5);
+        assert_eq!(result.history[2].participation_rate, 1.0);
+        // Round 1 carries half the uplink bytes of a full round.
+        let full = result.ledger.round_traffic(0).uplink;
+        assert_eq!(result.ledger.round_traffic(1).uplink, full / 2);
+        let drops: Vec<_> = log.of_kind("client_dropped").collect();
+        assert_eq!(drops.len(), 1);
+        match drops[0] {
+            TelemetryEvent::ClientDropped {
+                round,
+                client,
+                cause,
+            } => {
+                assert_eq!((*round, *client), (1, 1));
+                assert_eq!(*cause, DropCause::Crash);
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deadline_check_uses_observed_uplink_sizes() {
+        // 10 B/s link, no latency; the 104-byte FakeFed payload takes
+        // ~10 s. Round 0 has no size estimate (0 bytes → instant), so the
+        // drop begins in round 1 once real sizes are known.
+        let link = fedpkd_netsim::LinkModel::new(10.0, 0.0);
+        let plan = FaultPlan::new(0).with_deadline(link, 1.0);
+        let mut log = EventLog::new();
+        let result = FakeFed::new().run_with_faults(2, Some(&plan), &mut log);
+        assert_eq!(result.history[0].participation_rate, 1.0);
+        assert_eq!(result.history[1].participation_rate, 0.0);
+        assert!(log
+            .of_kind("client_dropped")
+            .all(|e| matches!(e, TelemetryEvent::ClientDropped { round: 1, .. })));
+    }
+
+    #[test]
     fn driver_frames_each_round_with_telemetry() {
         let mut log = EventLog::new();
-        let result = FakeFed { acc: 0.0 }.run(2, &mut log);
+        let result = FakeFed::new().run(2, &mut log);
         let kinds: Vec<&str> = log.events().iter().map(TelemetryEvent::kind).collect();
         assert_eq!(
             kinds,
             vec![
                 "round_start",
                 "client_trained",
+                "client_trained",
                 "phase_timing",
                 "ledger_delta",
                 "round_end",
                 "round_start",
+                "client_trained",
                 "client_trained",
                 "phase_timing",
                 "ledger_delta",
@@ -363,11 +603,13 @@ mod tests {
                 round,
                 server_accuracy,
                 cumulative_bytes,
+                participation_rate,
                 ..
             } => {
                 assert_eq!(*round, 1);
                 assert_eq!(*server_accuracy, result.last().server_accuracy);
                 assert_eq!(*cumulative_bytes, result.last().cumulative_bytes);
+                assert_eq!(*participation_rate, 1.0);
             }
             other => panic!("unexpected last event {other:?}"),
         }
@@ -376,7 +618,7 @@ mod tests {
     #[test]
     fn ledger_delta_matches_round_traffic() {
         let mut log = EventLog::new();
-        let result = FakeFed { acc: 0.0 }.run(1, &mut log);
+        let result = FakeFed::new().run(1, &mut log);
         let delta = log.of_kind("ledger_delta").next().unwrap();
         match delta {
             TelemetryEvent::LedgerDelta {

@@ -25,6 +25,8 @@
 
 use std::time::Instant;
 
+use fedpkd_netsim::DropCause;
+
 /// The wall-clock phases of a communication round.
 ///
 /// Not every algorithm has every phase — FedAvg has no distillation,
@@ -77,6 +79,15 @@ pub enum TelemetryEvent {
         round: usize,
         /// Number of participating clients.
         clients: usize,
+    },
+    /// A client missed the round (fault injection).
+    ClientDropped {
+        /// Round index.
+        round: usize,
+        /// Client index.
+        client: usize,
+        /// Why the client missed the round.
+        cause: DropCause,
     },
     /// One client finished its local (private) training.
     ClientTrained {
@@ -183,6 +194,9 @@ pub enum TelemetryEvent {
         mean_client_accuracy: f64,
         /// Cumulative communication bytes through this round.
         cumulative_bytes: usize,
+        /// Fraction of clients that participated this round (1.0 without
+        /// fault injection).
+        participation_rate: f64,
     },
 }
 
@@ -192,6 +206,7 @@ impl TelemetryEvent {
     pub fn kind(&self) -> &'static str {
         match self {
             Self::RoundStart { .. } => "round_start",
+            Self::ClientDropped { .. } => "client_dropped",
             Self::ClientTrained { .. } => "client_trained",
             Self::LogitAggregation { .. } => "logit_aggregation",
             Self::PrototypeDrift { .. } => "prototype_drift",
@@ -208,6 +223,7 @@ impl TelemetryEvent {
     pub fn round(&self) -> usize {
         match self {
             Self::RoundStart { round, .. }
+            | Self::ClientDropped { round, .. }
             | Self::ClientTrained { round, .. }
             | Self::LogitAggregation { round, .. }
             | Self::PrototypeDrift { round, .. }
@@ -233,6 +249,10 @@ impl TelemetryEvent {
             } => {
                 obj.string("algorithm", algorithm);
                 obj.usize("clients", *clients);
+            }
+            Self::ClientDropped { client, cause, .. } => {
+                obj.usize("client", *client);
+                obj.string("cause", cause.name());
             }
             Self::ClientTrained {
                 client,
@@ -317,12 +337,14 @@ impl TelemetryEvent {
                 server_accuracy,
                 mean_client_accuracy,
                 cumulative_bytes,
+                participation_rate,
                 ..
             } => {
                 obj.f64("seconds", *seconds);
                 obj.opt_f64("server_accuracy", *server_accuracy);
                 obj.f64("mean_client_accuracy", *mean_client_accuracy);
                 obj.usize("cumulative_bytes", *cumulative_bytes);
+                obj.f64("participation_rate", *participation_rate);
             }
         }
         obj.finish()
@@ -578,6 +600,11 @@ mod tests {
                 round: 0,
                 clients: 3,
             },
+            TelemetryEvent::ClientDropped {
+                round: 0,
+                client: 2,
+                cause: DropCause::Dropout,
+            },
             TelemetryEvent::ClientTrained {
                 round: 0,
                 client: 1,
@@ -634,6 +661,7 @@ mod tests {
                 server_accuracy: Some(0.5),
                 mean_client_accuracy: 0.25,
                 cumulative_bytes: 1500,
+                participation_rate: 1.0,
             },
         ]
     }
@@ -679,8 +707,24 @@ mod tests {
             server_accuracy: None,
             mean_client_accuracy: 0.5,
             cumulative_bytes: 10,
+            participation_rate: 0.75,
         };
-        assert!(event.to_json().contains("\"server_accuracy\":null"));
+        let json = event.to_json();
+        assert!(json.contains("\"server_accuracy\":null"));
+        assert!(json.contains("\"participation_rate\":0.75"));
+    }
+
+    #[test]
+    fn client_dropped_serializes_its_cause() {
+        let event = TelemetryEvent::ClientDropped {
+            round: 5,
+            client: 3,
+            cause: DropCause::Deadline,
+        };
+        let json = event.to_json();
+        assert!(json.contains("\"event\":\"client_dropped\""), "{json}");
+        assert!(json.contains("\"client\":3"), "{json}");
+        assert!(json.contains("\"cause\":\"deadline\""), "{json}");
     }
 
     #[test]

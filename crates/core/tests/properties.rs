@@ -78,6 +78,69 @@ proptest! {
         }
     }
 
+    /// The kept set is a subset of the input indices and the per-class
+    /// counts are exactly ⌈θ·n_c⌉ even when only some classes have
+    /// prototypes — prototype-less classes fall back to index order but
+    /// must obey the same quota.
+    #[test]
+    fn filter_counts_hold_with_mixed_prototypes(
+        n in 1usize..60,
+        k in 1usize..6,
+        theta in 0.05f32..1.0,
+        seed in any::<u64>(),
+        proto_mask in prop::collection::vec(any::<bool>(), 6),
+    ) {
+        let mut rng = fedpkd_rng::Rng::seed_from_u64(seed);
+        let features = Tensor::rand_uniform(&[n, 4], -1.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|_| rng.range_usize(0, k)).collect();
+        let protos: Vec<Option<Tensor>> = (0..k)
+            .map(|c| {
+                proto_mask[c].then(|| Tensor::rand_uniform(&[4], -1.0, 1.0, &mut rng))
+            })
+            .collect();
+        let kept = filter_public(&features, &labels, &protos, theta);
+        prop_assert!(kept.iter().all(|&i| i < n), "kept ⊆ input indices");
+        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+        for (class, proto) in protos.iter().enumerate() {
+            let class_n = labels.iter().filter(|&&y| y == class).count();
+            let kept_n = kept.iter().filter(|&&i| labels[i] == class).count();
+            let expect = (((class_n as f32) * theta).ceil() as usize).min(class_n);
+            prop_assert_eq!(
+                kept_n, expect,
+                "class {} (prototype: {})", class, proto.is_some()
+            );
+        }
+    }
+
+    /// A NaN anywhere in the features of a prototype-bearing class panics
+    /// with the Eq. 10 diagnostic rather than silently corrupting the sort.
+    #[test]
+    fn filter_rejects_nan_features_loudly(
+        n in 2usize..20,
+        nan_at in 0usize..20,
+        seed in any::<u64>(),
+    ) {
+        let nan_at = nan_at % n;
+        let mut rng = fedpkd_rng::Rng::seed_from_u64(seed);
+        let mut features = Tensor::rand_uniform(&[n, 3], -1.0, 1.0, &mut rng);
+        features.as_mut_slice()[nan_at * 3] = f32::NAN;
+        let labels = vec![0usize; n];
+        let protos = vec![Some(Tensor::rand_uniform(&[3], -1.0, 1.0, &mut rng))];
+        let outcome = std::panic::catch_unwind(|| {
+            filter_public(&features, &labels, &protos, 0.5)
+        });
+        let err = outcome.expect_err("NaN features must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_default();
+        prop_assert!(
+            msg.contains("non-finite Eq. 10 distance"),
+            "panic message should name the Eq. 10 check, got: {msg}"
+        );
+    }
+
     /// Filtering with θ = 1 keeps everything.
     #[test]
     fn filter_full_theta_is_identity(n in 1usize..40, seed in any::<u64>()) {

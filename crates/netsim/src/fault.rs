@@ -1,0 +1,445 @@
+//! Deterministic fault injection for federated rounds.
+//!
+//! The paper's setting — heterogeneous edge clients on constrained links
+//! (§V) — is exactly where dropouts and stragglers dominate, yet the ideal
+//! round engine assumes every client uploads every round. A [`FaultPlan`]
+//! makes partial participation a first-class, *reproducible* part of a
+//! simulation: given the same seed and plan, every round's surviving cohort
+//! is bit-identical across runs and platforms.
+//!
+//! Three fault mechanisms compose, checked in priority order per client:
+//!
+//! 1. **Crash outages** — a client is offline for a contiguous window of
+//!    rounds ([`FaultPlan::with_outage`]).
+//! 2. **Random dropout** — each client independently misses a round with a
+//!    fixed probability ([`FaultPlan::with_dropout`]), drawn from a
+//!    per-`(round, client)` RNG stream so the decision does not depend on
+//!    evaluation order or cohort size.
+//! 3. **Straggler deadlines** — a per-client slowdown factor layered on a
+//!    [`LinkModel`] converts the client's expected uplink payload into a
+//!    simulated transfer time; clients that would miss the round deadline
+//!    are dropped ([`FaultPlan::with_deadline`],
+//!    [`FaultPlan::with_slowdown`]).
+//!
+//! The outcome of a round's fault evaluation is a [`Cohort`]: which clients
+//! participate and why the others were dropped.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedpkd_netsim::{Cohort, DropCause, FaultPlan, LinkModel};
+//!
+//! let plan = FaultPlan::new(7)
+//!     .with_dropout(0.2)
+//!     .with_outage(1, 3, 2) // client 1 offline in rounds 3 and 4
+//!     .with_deadline(LinkModel::cellular(), 1.0)
+//!     .with_slowdown(2, 8.0);
+//! let cohort = plan.cohort(3, 4, &[1000, 1000, 1000, 1000]);
+//! assert_eq!(cohort.cause(1), Some(DropCause::Crash));
+//! // Deterministic: the same (round, num_clients, payloads) always yields
+//! // the same cohort.
+//! assert_eq!(cohort, plan.cohort(3, 4, &[1000, 1000, 1000, 1000]));
+//! ```
+
+use crate::LinkModel;
+use fedpkd_rng::Rng;
+
+/// Why a client missed a round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DropCause {
+    /// Random per-round dropout (flaky connectivity).
+    Dropout,
+    /// A scheduled crash outage window.
+    Crash,
+    /// The simulated uplink transfer would miss the round deadline.
+    Deadline,
+}
+
+impl DropCause {
+    /// The snake_case name used in serialized telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Dropout => "dropout",
+            Self::Crash => "crash",
+            Self::Deadline => "deadline",
+        }
+    }
+}
+
+/// The set of clients participating in one round, with drop causes for the
+/// rest.
+///
+/// Algorithms receive the round's cohort from the driver and must only
+/// train, upload, and downlink the *active* clients; dropped clients keep
+/// their stale local state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cohort {
+    causes: Vec<Option<DropCause>>,
+}
+
+impl Cohort {
+    /// A fault-free cohort: every one of `num_clients` clients participates.
+    pub fn full(num_clients: usize) -> Self {
+        Self {
+            causes: vec![None; num_clients],
+        }
+    }
+
+    /// Builds a cohort from per-client drop causes (`None` = active).
+    pub fn from_causes(causes: Vec<Option<DropCause>>) -> Self {
+        Self { causes }
+    }
+
+    /// Total clients the cohort was drawn from.
+    pub fn num_clients(&self) -> usize {
+        self.causes.len()
+    }
+
+    /// Whether `client` participates this round.
+    pub fn is_active(&self, client: usize) -> bool {
+        self.causes.get(client).is_some_and(Option::is_none)
+    }
+
+    /// Why `client` was dropped, or `None` if it participates.
+    pub fn cause(&self, client: usize) -> Option<DropCause> {
+        self.causes.get(client).copied().flatten()
+    }
+
+    /// Indices of the participating clients, ascending.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.causes.len())
+            .filter(|&c| self.causes[c].is_none())
+            .collect()
+    }
+
+    /// `(client, cause)` for every dropped client, ascending.
+    pub fn dropped(&self) -> Vec<(usize, DropCause)> {
+        self.causes
+            .iter()
+            .enumerate()
+            .filter_map(|(c, cause)| cause.map(|cause| (c, cause)))
+            .collect()
+    }
+
+    /// Number of participating clients.
+    pub fn num_active(&self) -> usize {
+        self.causes.iter().filter(|c| c.is_none()).count()
+    }
+
+    /// Participating fraction in `[0, 1]` (1.0 for an empty cohort).
+    pub fn participation_rate(&self) -> f64 {
+        if self.causes.is_empty() {
+            1.0
+        } else {
+            self.num_active() as f64 / self.causes.len() as f64
+        }
+    }
+}
+
+/// A scheduled crash window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Outage {
+    client: usize,
+    start_round: usize,
+    rounds: usize,
+}
+
+/// A seeded, deterministic fault schedule for a federated run.
+///
+/// Built with the `with_*` combinators and evaluated per round with
+/// [`cohort`](Self::cohort). Evaluation is a pure function of
+/// `(plan, round, num_clients, payload_bytes)` — no hidden state — so the
+/// same plan replayed over the same run produces bit-identical cohorts,
+/// which is what makes faulty runs reproducible end to end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    dropout: f64,
+    outages: Vec<Outage>,
+    slowdowns: Vec<(usize, f64)>,
+    link: LinkModel,
+    deadline: Option<f64>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults) rooted at `seed`.
+    ///
+    /// The seed only feeds the dropout draws; it is deliberately separate
+    /// from the algorithm seed so the same fault schedule can be replayed
+    /// against different model initializations.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            dropout: 0.0,
+            outages: Vec::new(),
+            slowdowns: Vec::new(),
+            link: LinkModel::wifi(),
+            deadline: None,
+        }
+    }
+
+    /// Sets the per-client, per-round dropout probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn with_dropout(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "dropout probability must be in [0, 1]"
+        );
+        self.dropout = p;
+        self
+    }
+
+    /// Schedules `client` to crash for `rounds` consecutive rounds starting
+    /// at `start_round`.
+    pub fn with_outage(mut self, client: usize, start_round: usize, rounds: usize) -> Self {
+        self.outages.push(Outage {
+            client,
+            start_round,
+            rounds,
+        });
+        self
+    }
+
+    /// Slows `client`'s link by `factor` (≥ 1): its transfers take `factor`
+    /// times as long, which matters once a deadline is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1` or is non-finite.
+    pub fn with_slowdown(mut self, client: usize, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "slowdown factor must be >= 1"
+        );
+        self.slowdowns.push((client, factor));
+        self
+    }
+
+    /// Sets the round deadline: a client whose simulated uplink transfer
+    /// over `link` (after its slowdown factor) exceeds `seconds` is dropped
+    /// as a straggler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive and finite.
+    pub fn with_deadline(mut self, link: LinkModel, seconds: f64) -> Self {
+        assert!(
+            seconds > 0.0 && seconds.is_finite(),
+            "deadline must be positive"
+        );
+        self.link = link;
+        self.deadline = Some(seconds);
+        self
+    }
+
+    /// The effective slowdown factor for `client` (1.0 unless configured).
+    pub fn slowdown(&self, client: usize) -> f64 {
+        self.slowdowns
+            .iter()
+            .rev()
+            .find(|&&(c, _)| c == client)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
+    /// Evaluates the plan for one round.
+    ///
+    /// `payload_bytes[client]` is the expected uplink payload used for the
+    /// deadline check (the driver feeds each client's last observed uplink;
+    /// missing entries count as zero bytes, so in round 0 only latency and
+    /// slowdown can breach the deadline). Causes are checked in priority
+    /// order: crash, then dropout, then deadline. Dropout decisions come
+    /// from a dedicated `(seed, round, client)` RNG stream, so they are
+    /// independent of cohort size and check order.
+    pub fn cohort(&self, round: usize, num_clients: usize, payload_bytes: &[usize]) -> Cohort {
+        let causes = (0..num_clients)
+            .map(|client| {
+                if self.in_outage(client, round) {
+                    Some(DropCause::Crash)
+                } else if self.dropout > 0.0 && self.dropout_hit(round, client) {
+                    Some(DropCause::Dropout)
+                } else if let Some(deadline) = self.deadline {
+                    let bytes = payload_bytes.get(client).copied().unwrap_or(0);
+                    let time = self.link.slowed(self.slowdown(client)).transfer_time(bytes);
+                    (time > deadline).then_some(DropCause::Deadline)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        Cohort::from_causes(causes)
+    }
+
+    fn in_outage(&self, client: usize, round: usize) -> bool {
+        self.outages.iter().any(|o| {
+            o.client == client && round >= o.start_round && round < o.start_round + o.rounds
+        })
+    }
+
+    fn dropout_hit(&self, round: usize, client: usize) -> bool {
+        // One draw from a stream keyed on (seed, round, client): decisions
+        // never shift when other clients are added or checks are reordered.
+        let round_seed = self
+            .seed
+            .wrapping_add((round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        Rng::stream(round_seed, client as u64).bernoulli(self.dropout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_cohort_has_everyone() {
+        let cohort = Cohort::full(3);
+        assert_eq!(cohort.num_clients(), 3);
+        assert_eq!(cohort.survivors(), vec![0, 1, 2]);
+        assert!(cohort.dropped().is_empty());
+        assert_eq!(cohort.participation_rate(), 1.0);
+        assert!(cohort.is_active(2));
+        assert!(!cohort.is_active(3), "out-of-range client is not active");
+    }
+
+    #[test]
+    fn empty_plan_drops_nobody() {
+        let plan = FaultPlan::new(1);
+        for round in 0..5 {
+            assert_eq!(plan.cohort(round, 4, &[]), Cohort::full(4));
+        }
+    }
+
+    #[test]
+    fn cohorts_are_deterministic() {
+        let plan = FaultPlan::new(99).with_dropout(0.5);
+        for round in 0..10 {
+            let a = plan.cohort(round, 8, &[]);
+            let b = plan.cohort(round, 8, &[]);
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn dropout_decisions_ignore_cohort_size() {
+        // Adding clients must not change earlier clients' fates.
+        let plan = FaultPlan::new(7).with_dropout(0.5);
+        for round in 0..6 {
+            let small = plan.cohort(round, 3, &[]);
+            let large = plan.cohort(round, 10, &[]);
+            for client in 0..3 {
+                assert_eq!(small.cause(client), large.cause(client));
+            }
+        }
+    }
+
+    #[test]
+    fn dropout_rate_is_plausible() {
+        let plan = FaultPlan::new(5).with_dropout(0.3);
+        let mut dropped = 0usize;
+        let total = 100 * 10;
+        for round in 0..100 {
+            dropped += 10 - plan.cohort(round, 10, &[]).num_active();
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!((0.2..0.4).contains(&rate), "observed dropout rate {rate}");
+    }
+
+    #[test]
+    fn outage_window_is_half_open() {
+        let plan = FaultPlan::new(0).with_outage(1, 2, 3);
+        assert!(plan.cohort(1, 3, &[]).is_active(1));
+        for round in 2..5 {
+            assert_eq!(plan.cohort(round, 3, &[]).cause(1), Some(DropCause::Crash));
+        }
+        assert!(plan.cohort(5, 3, &[]).is_active(1));
+        // Other clients are untouched.
+        assert!(plan.cohort(3, 3, &[]).is_active(0));
+    }
+
+    #[test]
+    fn deadline_drops_slowed_stragglers_only() {
+        // 1 KB/s link, zero latency; 1000-byte payload takes 1 s.
+        let link = LinkModel::new(1000.0, 0.0);
+        let plan = FaultPlan::new(0)
+            .with_deadline(link, 2.0)
+            .with_slowdown(1, 4.0);
+        let cohort = plan.cohort(0, 2, &[1000, 1000]);
+        assert!(cohort.is_active(0), "1 s transfer meets a 2 s deadline");
+        assert_eq!(
+            cohort.cause(1),
+            Some(DropCause::Deadline),
+            "4 s slowed transfer misses it"
+        );
+    }
+
+    #[test]
+    fn missing_payload_estimates_count_as_zero_bytes() {
+        let link = LinkModel::new(1000.0, 0.5);
+        let plan = FaultPlan::new(0).with_deadline(link, 1.0);
+        // No payload data: only latency (0.5 s) counts, everyone makes it.
+        assert_eq!(plan.cohort(0, 3, &[]), Cohort::full(3));
+        // An extreme slowdown breaches the deadline on latency alone.
+        let slow = plan.with_slowdown(2, 3.0);
+        assert_eq!(slow.cohort(0, 3, &[]).cause(2), Some(DropCause::Deadline));
+    }
+
+    #[test]
+    fn crash_takes_priority_over_dropout_and_deadline() {
+        let link = LinkModel::new(1.0, 10.0);
+        let plan = FaultPlan::new(3)
+            .with_dropout(1.0)
+            .with_outage(0, 0, 1)
+            .with_deadline(link, 0.1);
+        let cohort = plan.cohort(0, 2, &[10, 10]);
+        assert_eq!(cohort.cause(0), Some(DropCause::Crash));
+        assert_eq!(cohort.cause(1), Some(DropCause::Dropout));
+    }
+
+    #[test]
+    fn cohort_accessors_are_consistent() {
+        let plan = FaultPlan::new(11).with_dropout(0.5);
+        let cohort = plan.cohort(2, 12, &[]);
+        let survivors = cohort.survivors();
+        let dropped = cohort.dropped();
+        assert_eq!(survivors.len() + dropped.len(), 12);
+        assert_eq!(cohort.num_active(), survivors.len());
+        for &c in &survivors {
+            assert!(cohort.is_active(c));
+            assert_eq!(cohort.cause(c), None);
+        }
+        for &(c, cause) in &dropped {
+            assert!(!cohort.is_active(c));
+            assert_eq!(cohort.cause(c), Some(cause));
+        }
+        let rate = cohort.participation_rate();
+        assert!((rate - survivors.len() as f64 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn drop_cause_names() {
+        assert_eq!(DropCause::Dropout.name(), "dropout");
+        assert_eq!(DropCause::Crash.name(), "crash");
+        assert_eq!(DropCause::Deadline.name(), "deadline");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probability")]
+    fn rejects_bad_dropout() {
+        let _ = FaultPlan::new(0).with_dropout(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn rejects_bad_slowdown() {
+        let _ = FaultPlan::new(0).with_slowdown(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn rejects_bad_deadline() {
+        let _ = FaultPlan::new(0).with_deadline(LinkModel::wifi(), 0.0);
+    }
+}

@@ -142,6 +142,10 @@ impl CommLedger {
 
     /// Per-client uplink bytes of one round (for straggler analysis with a
     /// [`crate::LinkModel`]).
+    ///
+    /// The result has at least `num_clients` entries and grows to cover the
+    /// largest client id actually recorded in the round, so no transfer is
+    /// ever silently excluded from straggler analysis.
     pub fn round_client_uplinks(&self, round: usize, num_clients: usize) -> Vec<usize> {
         let mut per_client = vec![0usize; num_clients];
         for t in self
@@ -149,9 +153,10 @@ impl CommLedger {
             .iter()
             .filter(|t| t.round == round && t.direction == Direction::Uplink)
         {
-            if t.client < num_clients {
-                per_client[t.client] += t.bytes;
+            if t.client >= per_client.len() {
+                per_client.resize(t.client + 1, 0);
             }
+            per_client[t.client] += t.bytes;
         }
         per_client
     }
@@ -232,6 +237,20 @@ mod tests {
         assert_eq!(ups[0], msg(1).encoded_len());
         assert_eq!(ups[1], 0);
         assert_eq!(ups[2], msg(2).encoded_len());
+    }
+
+    #[test]
+    fn per_client_uplinks_grow_past_num_clients() {
+        // Transfers from a client id beyond the caller's estimate must show
+        // up rather than being silently dropped.
+        let mut ledger = CommLedger::new();
+        ledger.record(0, 0, Direction::Uplink, &msg(1));
+        ledger.record(0, 5, Direction::Uplink, &msg(2));
+        let ups = ledger.round_client_uplinks(0, 2);
+        assert_eq!(ups.len(), 6);
+        assert_eq!(ups[0], msg(1).encoded_len());
+        assert_eq!(ups[5], msg(2).encoded_len());
+        assert_eq!(ups[1..5].iter().sum::<usize>(), 0);
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! crosses the simulated network, per round, per client, per direction.
 //!
 //! A simple [`LinkModel`] (bandwidth + latency) converts byte counts into
-//! transfer times for straggler analysis.
+//! transfer times for straggler analysis, and a seeded [`FaultPlan`] turns
+//! those timings plus dropout/outage schedules into deterministic per-round
+//! participation [`Cohort`]s.
 //!
 //! # Examples
 //!
@@ -25,12 +27,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod fault;
 mod ledger;
 mod link;
 mod message;
 mod quantize;
 mod wire;
 
+pub use fault::{Cohort, DropCause, FaultPlan};
 pub use ledger::{bytes_to_mb, CommLedger, Direction, RoundTraffic};
 pub use link::LinkModel;
 pub use message::{Message, PrototypeEntry};

@@ -57,6 +57,24 @@ impl LinkModel {
         self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
     }
 
+    /// The same link degraded by `factor` (≥ 1): bandwidth divided and
+    /// latency multiplied by it, so every transfer takes at least `factor`
+    /// times as long. Models a straggler sharing the medium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor < 1` or is non-finite.
+    pub fn slowed(&self, factor: f64) -> Self {
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "slowdown factor must be >= 1"
+        );
+        Self::new(
+            self.bandwidth_bytes_per_sec / factor,
+            self.latency_sec * factor,
+        )
+    }
+
     /// The bandwidth in bytes per second.
     pub fn bandwidth(&self) -> f64 {
         self.bandwidth_bytes_per_sec
@@ -94,6 +112,22 @@ mod tests {
         let t = link.round_time(&[100, 5000, 200]);
         assert!((t - 5.0).abs() < 1e-12);
         assert_eq!(link.round_time(&[]), 0.0);
+    }
+
+    #[test]
+    fn slowed_link_scales_both_components() {
+        let link = LinkModel::new(1000.0, 0.1);
+        let slow = link.slowed(4.0);
+        assert!((slow.bandwidth() - 250.0).abs() < 1e-12);
+        assert!((slow.latency() - 0.4).abs() < 1e-12);
+        assert!((slow.transfer_time(500) - 4.0 * link.transfer_time(500)).abs() < 1e-12);
+        assert_eq!(link.slowed(1.0), link);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor must be >= 1")]
+    fn rejects_sub_unit_slowdown() {
+        let _ = LinkModel::wifi().slowed(0.9);
     }
 
     #[test]

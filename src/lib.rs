@@ -77,7 +77,9 @@ pub mod prelude {
         EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent,
     };
     pub use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
-    pub use fedpkd_netsim::{bytes_to_mb, CommLedger, Direction, LinkModel, Message};
+    pub use fedpkd_netsim::{
+        bytes_to_mb, Cohort, CommLedger, Direction, DropCause, FaultPlan, LinkModel, Message,
+    };
     pub use fedpkd_rng::Rng;
     pub use fedpkd_tensor::models::{DepthTier, ModelSpec};
     pub use fedpkd_tensor::Tensor;
