@@ -13,7 +13,7 @@ use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
+use fedpkd_netsim::{CommLedger, Direction, Message, RoundContext};
 use fedpkd_tensor::models::ModelSpec;
 use fedpkd_tensor::ops::{sharpen, softmax};
 use fedpkd_tensor::Tensor;
@@ -71,10 +71,11 @@ impl Federation for DsFl {
     fn run_round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) {
+        let cohort = ctx.cohort();
         // No survivors: nothing to pool or sharpen this round.
         if cohort.num_active() == 0 {
             return;

@@ -6,13 +6,15 @@ use crate::common::{
     build_clients, client_accuracies, for_each_active_client, validate_specs, Client,
 };
 use crate::BaselineConfig;
+use fedpkd_core::admission::{AdmissionPolicy, PayloadKind};
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
+use fedpkd_core::robust::clipped_weighted_average;
 use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
+use fedpkd_netsim::{CommLedger, Direction, Message, RoundContext};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::serialize::{load_state_vector, state_vector, weighted_average};
@@ -71,10 +73,11 @@ impl Federation for FedAvg {
     fn run_round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) {
+        let cohort = ctx.cohort();
         // With no survivors there is nothing to broadcast, train, or
         // average; the global model simply carries over.
         if cohort.num_active() == 0 {
@@ -87,7 +90,7 @@ impl Federation for FedAvg {
         // starts from the freshly loaded global state, so the optimizer
         // starts fresh too. Dropped clients keep their previous parameters.
         let training_started = Instant::now();
-        let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
+        let mut updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
             &mut self.clients,
             &self.scenario.clients,
             cohort,
@@ -116,13 +119,17 @@ impl Federation for FedAvg {
         }
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
 
+        // Byzantine clients tamper with their upload after honest local
+        // training, before it crosses the wire — the ledger below bills the
+        // corrupted payload.
+        for (client, (params, _)) in &mut updates {
+            if let Some(attack) = ctx.attack(*client) {
+                let mut rng = ctx.attack_rng(round, *client);
+                attack.corrupt_update(&mut rng, params);
+            }
+        }
+
         let aggregation_started = Instant::now();
-        // Data-size weights over the survivors only — the average is
-        // renormalized over whoever actually reported back.
-        let weights: Vec<f64> = updates
-            .iter()
-            .map(|&(client, _)| self.scenario.clients[client].train.len() as f64)
-            .collect();
         for &(client, (ref params, _)) in &updates {
             ledger.record(
                 round,
@@ -141,8 +148,36 @@ impl Federation for FedAvg {
                 },
             );
         }
-        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(_, (params, _))| params).collect();
-        let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
+        // Admission: drop non-finite or wrong-length uploads outright, with
+        // a data-size weight for everything that passes — the average is
+        // renormalized over whoever actually reported back clean.
+        let admission = AdmissionPolicy::default();
+        let mut admitted: Vec<Vec<f32>> = Vec::with_capacity(updates.len());
+        let mut weights: Vec<f64> = Vec::with_capacity(updates.len());
+        for (client, (params, _)) in updates {
+            match admission.check_update(&params, global.len()) {
+                Ok(()) => {
+                    weights.push(self.scenario.clients[client].train.len() as f64);
+                    admitted.push(params);
+                }
+                Err(reason) => obs.record(&TelemetryEvent::PayloadRejected {
+                    round,
+                    client,
+                    payload: PayloadKind::ModelUpdate,
+                    reason,
+                }),
+            }
+        }
+        if admitted.is_empty() {
+            emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
+            return;
+        }
+        let averaged = if config.clip_updates {
+            clipped_weighted_average(&admitted, &weights, &global)
+                .expect("admitted updates are non-empty and equal-length")
+        } else {
+            weighted_average(&admitted, &weights).expect("equal-length updates")
+        };
         load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
     }
@@ -173,6 +208,7 @@ mod tests {
     use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_core::telemetry::NullObserver;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_netsim::Cohort;
     use fedpkd_tensor::models::DepthTier;
 
     fn scenario(seed: u64) -> FederatedScenario {
@@ -226,7 +262,12 @@ mod tests {
         let mut algo = FedAvg::new(scenario(3), spec(), config(), 7).unwrap();
         let before = state_vector(&algo.global_model);
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
+        algo.run_round(
+            0,
+            &RoundContext::benign(Cohort::full(3)),
+            &mut ledger,
+            &mut NullObserver,
+        );
         let after = state_vector(&algo.global_model);
         assert_ne!(before, after);
     }
@@ -239,7 +280,12 @@ mod tests {
         let dropped_before = state_vector(&algo.clients[1].model);
         let cohort = Cohort::from_causes(vec![None, Some(DropCause::Crash), None]);
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &cohort, &mut ledger, &mut NullObserver);
+        algo.run_round(
+            0,
+            &RoundContext::benign(cohort),
+            &mut ledger,
+            &mut NullObserver,
+        );
         assert_eq!(ledger.client_bytes(1), 0, "dropped client billed nothing");
         assert!(ledger.client_bytes(0) > 0);
         assert_eq!(
@@ -257,7 +303,12 @@ mod tests {
         let before = state_vector(&algo.global_model);
         let cohort = Cohort::from_causes(vec![Some(DropCause::Dropout); 3]);
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &cohort, &mut ledger, &mut NullObserver);
+        algo.run_round(
+            0,
+            &RoundContext::benign(cohort),
+            &mut ledger,
+            &mut NullObserver,
+        );
         assert_eq!(state_vector(&algo.global_model), before);
         assert_eq!(ledger.total_bytes(), 0);
     }

@@ -13,7 +13,7 @@ use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
+use fedpkd_netsim::{CommLedger, Direction, Message, RoundContext};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::ops::softmax;
@@ -84,10 +84,11 @@ impl Federation for FedDf {
     fn run_round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) {
+        let cohort = ctx.cohort();
         // No survivors: nothing to average or distill from; the fused model
         // carries over unchanged.
         if cohort.num_active() == 0 {

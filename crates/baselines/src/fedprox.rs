@@ -7,13 +7,15 @@ use crate::common::{
     validate_specs, Client,
 };
 use crate::BaselineConfig;
+use fedpkd_core::admission::{AdmissionPolicy, PayloadKind};
 use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
+use fedpkd_core::robust::clipped_weighted_average;
 use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::TrainStats;
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
+use fedpkd_netsim::{CommLedger, Direction, Message, RoundContext};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::nn::Layer;
@@ -71,10 +73,11 @@ impl Federation for FedProx {
     fn run_round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) {
+        let cohort = ctx.cohort();
         if cohort.num_active() == 0 {
             return;
         }
@@ -84,7 +87,7 @@ impl Federation for FedProx {
         let global_ref = &global;
 
         let training_started = Instant::now();
-        let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
+        let mut updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
             &mut self.clients,
             &self.scenario.clients,
             cohort,
@@ -118,11 +121,17 @@ impl Federation for FedProx {
         }
         emit_phase_timing(obs, round, Phase::ClientTraining, training_started);
 
+        // Byzantine clients tamper with their upload after honest local
+        // training, before it crosses the wire — the ledger below bills the
+        // corrupted payload.
+        for (client, (params, _)) in &mut updates {
+            if let Some(attack) = ctx.attack(*client) {
+                let mut rng = ctx.attack_rng(round, *client);
+                attack.corrupt_update(&mut rng, params);
+            }
+        }
+
         let aggregation_started = Instant::now();
-        let weights: Vec<f64> = updates
-            .iter()
-            .map(|&(client, _)| self.scenario.clients[client].train.len() as f64)
-            .collect();
         for &(client, (ref params, _)) in &updates {
             ledger.record(
                 round,
@@ -141,8 +150,36 @@ impl Federation for FedProx {
                 },
             );
         }
-        let updates: Vec<Vec<f32>> = updates.into_iter().map(|(_, (params, _))| params).collect();
-        let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
+        // Admission: drop non-finite or wrong-length uploads outright, with
+        // a data-size weight for everything that passes — the average is
+        // renormalized over whoever actually reported back clean.
+        let admission = AdmissionPolicy::default();
+        let mut admitted: Vec<Vec<f32>> = Vec::with_capacity(updates.len());
+        let mut weights: Vec<f64> = Vec::with_capacity(updates.len());
+        for (client, (params, _)) in updates {
+            match admission.check_update(&params, global.len()) {
+                Ok(()) => {
+                    weights.push(self.scenario.clients[client].train.len() as f64);
+                    admitted.push(params);
+                }
+                Err(reason) => obs.record(&TelemetryEvent::PayloadRejected {
+                    round,
+                    client,
+                    payload: PayloadKind::ModelUpdate,
+                    reason,
+                }),
+            }
+        }
+        if admitted.is_empty() {
+            emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
+            return;
+        }
+        let averaged = if config.clip_updates {
+            clipped_weighted_average(&admitted, &weights, &global)
+                .expect("admitted updates are non-empty and equal-length")
+        } else {
+            weighted_average(&admitted, &weights).expect("equal-length updates")
+        };
         load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
     }

@@ -10,7 +10,7 @@
 //! |---|---|---|---|
 //! | [`FedAvg`] | model parameters | same arch as clients | no |
 //! | [`FedProx`] | model parameters (+ μ-proximal local objective) | same arch | no |
-//! | [`FedMD`] | public-set logits | none | yes |
+//! | [`FedMd`] | public-set logits | none | yes |
 //! | [`DsFl`] | public-set logits (entropy-reduction aggregation) | none | yes |
 //! | [`FedDf`] | model parameters (server: ensemble distillation) | same arch | no |
 //! | [`FedEt`] | model parameters up, logits down | larger | yes |

@@ -13,7 +13,7 @@ use fedpkd_core::runtime::{DriverState, Federation};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{Cohort, CommLedger, Direction, Message};
+use fedpkd_netsim::{CommLedger, Direction, Message, RoundContext};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
 use fedpkd_tensor::ops::softmax;
@@ -95,10 +95,11 @@ impl Federation for NaiveKd {
     fn run_round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) {
+        let cohort = ctx.cohort();
         // No survivors: no logits arrive, so the server has nothing to
         // distill from this round.
         if cohort.num_active() == 0 {
@@ -275,7 +276,12 @@ mod tests {
     fn aggregated_logits_accessor_matches_shape() {
         let mut algo = NaiveKd::new(scenario(0.5, 2), specs(), server_spec(), config(), 5).unwrap();
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
+        algo.run_round(
+            0,
+            &RoundContext::benign(fedpkd_netsim::Cohort::full(3)),
+            &mut ledger,
+            &mut NullObserver,
+        );
         let agg = algo.aggregated_public_logits();
         assert_eq!(agg.shape(), &[120, 10]);
     }

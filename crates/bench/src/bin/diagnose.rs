@@ -39,8 +39,8 @@ fn main() {
         .collect();
 
     // Aggregation schemes.
-    let var_agg = aggregate_logits(&logits, true); // probability mixture
-    let uni_agg = aggregate_logits(&logits, false);
+    let var_agg = aggregate_logits(&logits, true).unwrap(); // probability mixture
+    let uni_agg = aggregate_logits(&logits, false).unwrap();
     let probs: Vec<Tensor> = logits.iter().map(|l| softmax(l, 1.0)).collect();
     let mut prob_mean = Tensor::zeros(probs[0].shape());
     for p in &probs {

@@ -1,0 +1,451 @@
+//! Server-side payload admission control.
+//!
+//! Clients that *show up* are not automatically trustworthy: a single
+//! NaN-laden logit matrix or wrong-width prototype used to panic the Eq. 6–8
+//! aggregations and poison everything downstream of them (the Eq. 10 filter,
+//! the Eq. 12/16 regularizers). This module is the server's first line of
+//! defense — every upload is validated *before* it reaches aggregation, and
+//! failures become per-client rejections with a typed [`RejectReason`]
+//! instead of process-wide panics.
+//!
+//! Two layers compose:
+//!
+//! - [`AdmissionPolicy`] — stateless per-payload checks: finite values,
+//!   expected shapes, plausible magnitudes.
+//! - [`QuarantineTracker`] — cross-round state: a client whose uploads are
+//!   flagged in `K` consecutive rounds is quarantined for the rest of the
+//!   run and its payloads are dropped without further inspection.
+//!
+//! Rejections and quarantines surface as
+//! [`TelemetryEvent::PayloadRejected`](crate::telemetry::TelemetryEvent::PayloadRejected)
+//! and
+//! [`TelemetryEvent::ClientQuarantined`](crate::telemetry::TelemetryEvent::ClientQuarantined)
+//! on the round's observer. Admission control never alters accepted
+//! payloads; robust *aggregation* (see [`crate::robust`]) is the second,
+//! statistical line of defense against adversaries whose payloads are
+//! well-formed but wrong.
+
+use crate::fedpkd::prototypes::Prototype;
+use crate::fedpkd::CoreError;
+use fedpkd_tensor::Tensor;
+
+/// Which upload failed validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PayloadKind {
+    /// Public-set logits (Eq. 5 knowledge upload).
+    Logits,
+    /// Per-class prototypes (Eq. 5 knowledge upload).
+    Prototypes,
+    /// A flat model-parameter vector (FedAvg/FedProx-style upload).
+    ModelUpdate,
+}
+
+impl PayloadKind {
+    /// The snake_case name used in serialized telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Logits => "logits",
+            Self::Prototypes => "prototypes",
+            Self::ModelUpdate => "model_update",
+        }
+    }
+}
+
+/// Why the server refused a client's upload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RejectReason {
+    /// The payload contains NaN or ±Inf.
+    NonFinite,
+    /// The payload's dimensions disagree with what the server expects
+    /// (logit matrix shape, prototype width or class count, update length,
+    /// or a zero sample count).
+    WrongShape,
+    /// A magnitude cap was exceeded (per-entry for logits, L2 per vector
+    /// for prototypes).
+    NormExceeded,
+    /// The client is quarantined; its uploads are dropped unseen.
+    Quarantined,
+}
+
+impl RejectReason {
+    /// The snake_case name used in serialized telemetry.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::NonFinite => "non_finite",
+            Self::WrongShape => "wrong_shape",
+            Self::NormExceeded => "norm_exceeded",
+            Self::Quarantined => "quarantined",
+        }
+    }
+}
+
+/// Stateless validation rules applied to every client upload.
+///
+/// The defaults are deliberately loose — generous magnitude caps that no
+/// honestly trained model approaches — so the policy rejects only payloads
+/// that are malformed or wildly implausible, never merely low-quality ones.
+/// Statistical outliers are the business of robust aggregation, not
+/// admission.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionPolicy {
+    /// Master switch; `false` restores the trust-everyone seed behavior
+    /// (and with it the panics on malformed uploads).
+    pub enabled: bool,
+    /// Per-entry magnitude cap for logit uploads.
+    pub max_abs_logit: f32,
+    /// L2-norm cap for each prototype vector.
+    pub max_prototype_norm: f32,
+    /// Quarantine a client after this many *consecutive* rounds with a
+    /// rejected upload (`0` disables quarantining).
+    pub quarantine_after: usize,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_abs_logit: 1e4,
+            max_prototype_norm: 1e4,
+            quarantine_after: 3,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// Validates the policy's own parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if a cap is not positive and
+    /// finite.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        for (name, v) in [
+            ("max_abs_logit", self.max_abs_logit),
+            ("max_prototype_norm", self.max_prototype_norm),
+        ] {
+            if !(v > 0.0 && v.is_finite()) {
+                return Err(CoreError::InvalidConfig(format!(
+                    "admission {name} must be positive and finite"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a logit upload against the expected `rows × cols` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] on shape mismatch, non-finite entries,
+    /// or entries beyond [`max_abs_logit`](Self::max_abs_logit).
+    pub fn check_logits(
+        &self,
+        logits: &Tensor,
+        rows: usize,
+        cols: usize,
+    ) -> Result<(), RejectReason> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if logits.shape() != [rows, cols] {
+            return Err(RejectReason::WrongShape);
+        }
+        if !logits.all_finite() {
+            return Err(RejectReason::NonFinite);
+        }
+        if logits
+            .as_slice()
+            .iter()
+            .any(|v| v.abs() > self.max_abs_logit)
+        {
+            return Err(RejectReason::NormExceeded);
+        }
+        Ok(())
+    }
+
+    /// Checks a prototype upload: `num_classes` slots, each present vector
+    /// of width `dim`, finite, within the norm cap, with a positive sample
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RejectReason`] encountered.
+    pub fn check_prototypes(
+        &self,
+        prototypes: &[Option<Prototype>],
+        num_classes: usize,
+        dim: usize,
+    ) -> Result<(), RejectReason> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if prototypes.len() != num_classes {
+            return Err(RejectReason::WrongShape);
+        }
+        for p in prototypes.iter().flatten() {
+            if p.vector.shape() != [dim] || p.count == 0 {
+                return Err(RejectReason::WrongShape);
+            }
+            if !p.vector.all_finite() {
+                return Err(RejectReason::NonFinite);
+            }
+            if f64::from(p.vector.l2_norm()) > f64::from(self.max_prototype_norm) {
+                return Err(RejectReason::NormExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a flat parameter upload against the expected length.
+    /// Magnitude is deliberately unconstrained here — norm-bounding updates
+    /// is the job of clipped averaging, which handles it gracefully rather
+    /// than by rejection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`RejectReason`] on length mismatch or non-finite
+    /// entries.
+    pub fn check_update(&self, params: &[f32], expected_len: usize) -> Result<(), RejectReason> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if params.len() != expected_len {
+            return Err(RejectReason::WrongShape);
+        }
+        if params.iter().any(|v| !v.is_finite()) {
+            return Err(RejectReason::NonFinite);
+        }
+        Ok(())
+    }
+}
+
+/// Cross-round quarantine state: clients whose uploads are rejected in
+/// `threshold` consecutive rounds are permanently excluded from admission
+/// (until the tracker is rebuilt).
+///
+/// A round with an accepted upload resets the client's streak; rounds the
+/// client does not participate in leave the streak untouched, so flaky
+/// connectivity cannot launder a poisoner's record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineTracker {
+    threshold: usize,
+    consecutive: Vec<usize>,
+    quarantined: Vec<bool>,
+}
+
+impl QuarantineTracker {
+    /// A tracker over `num_clients` clients; `threshold == 0` disables
+    /// quarantining entirely.
+    pub fn new(num_clients: usize, threshold: usize) -> Self {
+        Self {
+            threshold,
+            consecutive: vec![0; num_clients],
+            quarantined: vec![false; num_clients],
+        }
+    }
+
+    /// Whether `client` is quarantined.
+    pub fn is_quarantined(&self, client: usize) -> bool {
+        self.quarantined.get(client).copied().unwrap_or(false)
+    }
+
+    /// Records that `client`'s upload was rejected this round. Returns
+    /// `true` exactly when this rejection tips the client into quarantine.
+    pub fn record_rejection(&mut self, client: usize) -> bool {
+        let Some(streak) = self.consecutive.get_mut(client) else {
+            return false;
+        };
+        *streak += 1;
+        if self.threshold > 0 && *streak >= self.threshold && !self.quarantined[client] {
+            self.quarantined[client] = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records that `client`'s upload passed admission, resetting its
+    /// streak.
+    pub fn record_accepted(&mut self, client: usize) {
+        if let Some(streak) = self.consecutive.get_mut(client) {
+            *streak = 0;
+        }
+    }
+
+    /// The client's current consecutive-rejection streak.
+    pub fn streak(&self, client: usize) -> usize {
+        self.consecutive.get(client).copied().unwrap_or(0)
+    }
+
+    /// Number of quarantined clients.
+    pub fn quarantined_count(&self) -> usize {
+        self.quarantined.iter().filter(|&&q| q).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> AdmissionPolicy {
+        AdmissionPolicy::default()
+    }
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    fn proto(count: usize, values: &[f32]) -> Prototype {
+        Prototype {
+            count,
+            vector: t(values, &[values.len()]),
+        }
+    }
+
+    #[test]
+    fn default_policy_is_valid() {
+        assert!(policy().validate().is_ok());
+        let bad = AdmissionPolicy {
+            max_abs_logit: 0.0,
+            ..policy()
+        };
+        assert!(bad.validate().is_err());
+        let bad = AdmissionPolicy {
+            max_prototype_norm: f32::NAN,
+            ..policy()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn clean_logits_pass() {
+        assert_eq!(
+            policy().check_logits(&t(&[1.0, -2.0], &[1, 2]), 1, 2),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn logits_checks_catch_each_failure() {
+        let p = policy();
+        assert_eq!(
+            p.check_logits(&t(&[1.0, 2.0, 3.0], &[1, 3]), 1, 2),
+            Err(RejectReason::WrongShape)
+        );
+        assert_eq!(
+            p.check_logits(&t(&[1.0, f32::NAN], &[1, 2]), 1, 2),
+            Err(RejectReason::NonFinite)
+        );
+        assert_eq!(
+            p.check_logits(&t(&[1.0, 1e6], &[1, 2]), 1, 2),
+            Err(RejectReason::NormExceeded)
+        );
+    }
+
+    #[test]
+    fn disabled_policy_accepts_garbage() {
+        let p = AdmissionPolicy {
+            enabled: false,
+            ..policy()
+        };
+        assert_eq!(
+            p.check_logits(&t(&[f32::NAN], &[1, 1]), 9, 9),
+            Ok(()),
+            "disabled admission must not inspect anything"
+        );
+        assert_eq!(p.check_update(&[f32::INFINITY], 5), Ok(()));
+    }
+
+    #[test]
+    fn prototype_checks_catch_each_failure() {
+        let p = policy();
+        let ok = vec![Some(proto(3, &[1.0, 2.0])), None];
+        assert_eq!(p.check_prototypes(&ok, 2, 2), Ok(()));
+        // Wrong class count.
+        assert_eq!(p.check_prototypes(&ok, 3, 2), Err(RejectReason::WrongShape));
+        // Wrong width.
+        assert_eq!(p.check_prototypes(&ok, 2, 4), Err(RejectReason::WrongShape));
+        // Zero count.
+        let zero = vec![Some(proto(0, &[1.0, 2.0])), None];
+        assert_eq!(
+            p.check_prototypes(&zero, 2, 2),
+            Err(RejectReason::WrongShape)
+        );
+        // Non-finite.
+        let nan = vec![Some(proto(3, &[f32::NAN, 2.0])), None];
+        assert_eq!(p.check_prototypes(&nan, 2, 2), Err(RejectReason::NonFinite));
+        // Norm cap.
+        let huge = vec![Some(proto(3, &[1e5, 0.0])), None];
+        assert_eq!(
+            p.check_prototypes(&huge, 2, 2),
+            Err(RejectReason::NormExceeded)
+        );
+    }
+
+    #[test]
+    fn update_checks_shape_and_finiteness() {
+        let p = policy();
+        assert_eq!(p.check_update(&[1.0, 2.0], 2), Ok(()));
+        assert_eq!(p.check_update(&[1.0], 2), Err(RejectReason::WrongShape));
+        assert_eq!(
+            p.check_update(&[1.0, f32::NEG_INFINITY], 2),
+            Err(RejectReason::NonFinite)
+        );
+        // Large-but-finite updates are admitted; clipping tames them later.
+        assert_eq!(p.check_update(&[1e30, 0.0], 2), Ok(()));
+    }
+
+    #[test]
+    fn quarantine_trips_after_consecutive_rejections() {
+        let mut q = QuarantineTracker::new(2, 3);
+        assert!(!q.record_rejection(0));
+        assert!(!q.record_rejection(0));
+        assert!(q.record_rejection(0), "third consecutive rejection trips");
+        assert!(q.is_quarantined(0));
+        assert!(!q.record_rejection(0), "tripping is reported once");
+        assert!(!q.is_quarantined(1));
+        assert_eq!(q.quarantined_count(), 1);
+    }
+
+    #[test]
+    fn acceptance_resets_the_streak() {
+        let mut q = QuarantineTracker::new(1, 2);
+        q.record_rejection(0);
+        q.record_accepted(0);
+        assert_eq!(q.streak(0), 0);
+        assert!(!q.record_rejection(0));
+        assert!(!q.is_quarantined(0));
+        assert!(q.record_rejection(0));
+    }
+
+    #[test]
+    fn zero_threshold_never_quarantines() {
+        let mut q = QuarantineTracker::new(1, 0);
+        for _ in 0..10 {
+            assert!(!q.record_rejection(0));
+        }
+        assert!(!q.is_quarantined(0));
+        assert_eq!(q.streak(0), 10);
+    }
+
+    #[test]
+    fn out_of_range_clients_are_harmless() {
+        let mut q = QuarantineTracker::new(1, 1);
+        assert!(!q.record_rejection(5));
+        q.record_accepted(5);
+        assert!(!q.is_quarantined(5));
+        assert_eq!(q.streak(5), 0);
+    }
+
+    #[test]
+    fn names_are_snake_case() {
+        assert_eq!(PayloadKind::Logits.name(), "logits");
+        assert_eq!(PayloadKind::Prototypes.name(), "prototypes");
+        assert_eq!(PayloadKind::ModelUpdate.name(), "model_update");
+        assert_eq!(RejectReason::NonFinite.name(), "non_finite");
+        assert_eq!(RejectReason::WrongShape.name(), "wrong_shape");
+        assert_eq!(RejectReason::NormExceeded.name(), "norm_exceeded");
+        assert_eq!(RejectReason::Quarantined.name(), "quarantined");
+    }
+}

@@ -2,20 +2,26 @@
 
 use std::time::Instant;
 
+use crate::admission::{PayloadKind, QuarantineTracker, RejectReason};
 use crate::clients::{build_clients, for_each_active_client, validate_specs, ClientState};
 use crate::eval;
 use crate::fedpkd::config::{CoreError, FedPkdConfig};
 use crate::fedpkd::distill::train_server;
 use crate::fedpkd::filter::{filter_public, filter_public_with_stats};
-use crate::fedpkd::logits::{aggregate_logits, aggregation_stats, pseudo_labels};
+use crate::fedpkd::logits::{
+    aggregate_logits, aggregate_logits_trimmed, aggregation_stats, effective_trim, pseudo_labels,
+};
 use crate::fedpkd::prototypes::{
-    aggregate_prototypes, compute_prototypes, global_to_wire_entries, to_wire_entries, Prototype,
+    aggregate_prototypes, aggregate_prototypes_robust, compute_prototypes, global_to_wire_entries,
+    to_wire_entries, Prototype,
 };
 use crate::runtime::{DriverState, Federation};
 use crate::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes, TrainStats};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{Cohort, CommLedger, Direction, Message, QuantizedLogits, Wire};
+use fedpkd_netsim::{
+    Attack, Cohort, CommLedger, Direction, Message, QuantizedLogits, RoundContext, Wire,
+};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::ClassifierModel;
 use fedpkd_tensor::models::ModelSpec;
@@ -56,8 +62,11 @@ pub struct FedPkd {
     config: FedPkdConfig,
     global_prototypes: Vec<Option<Tensor>>,
     /// Per client: the round of its last prototype upload and the payload,
-    /// kept for stale reuse when the client misses rounds.
+    /// kept for stale reuse when the client misses rounds. Only *admitted*
+    /// uploads enter the cache, so a rejected client's last good prototypes
+    /// keep serving within the staleness window.
     cached_prototypes: Vec<Option<(usize, Vec<Option<Prototype>>)>>,
+    quarantine: QuarantineTracker,
     driver: DriverState,
 }
 
@@ -85,6 +94,7 @@ impl FedPkd {
         let server_model = server_spec.build(&mut server_rng);
         let num_classes = scenario.num_classes;
         let num_clients = scenario.num_clients();
+        let quarantine = QuarantineTracker::new(num_clients, config.admission.quarantine_after);
         Ok(Self {
             scenario,
             clients,
@@ -94,6 +104,7 @@ impl FedPkd {
             config,
             global_prototypes: vec![None; num_classes],
             cached_prototypes: vec![None; num_clients],
+            quarantine,
             driver: DriverState::new(),
         })
     }
@@ -107,6 +118,12 @@ impl FedPkd {
     /// Immutable access to the scenario.
     pub fn scenario(&self) -> &FederatedScenario {
         &self.scenario
+    }
+
+    /// The cross-round quarantine state (see
+    /// [`AdmissionPolicy`](crate::admission::AdmissionPolicy)).
+    pub fn quarantine(&self) -> &QuarantineTracker {
+        &self.quarantine
     }
 
     /// Phase 1 of Algorithm 2: parallel private training and dual-knowledge
@@ -214,6 +231,29 @@ impl FedPkd {
     }
 }
 
+/// Applies a Byzantine client's [`Attack`] to its round upload in place:
+/// the logits tensor (whose width may change under a wrong-shape attack)
+/// and every present prototype vector. Draws come from the context's
+/// dedicated `(seed, round, client)` stream, so corruption replays
+/// bit-identically.
+fn corrupt_upload(
+    attack: Attack,
+    rng: &mut Rng,
+    logits: &mut Tensor,
+    prototypes: &mut [Option<Prototype>],
+) {
+    let (rows, cols) = (logits.rows(), logits.cols());
+    let mut values = logits.as_slice().to_vec();
+    let new_cols = attack.corrupt_logits(rng, &mut values, rows, cols);
+    *logits = Tensor::from_vec(values, &[rows, new_cols]).expect("corruption preserves row count");
+    for proto in prototypes.iter_mut().flatten() {
+        let mut vector = proto.vector.as_slice().to_vec();
+        attack.corrupt_prototype(rng, &mut vector);
+        let dim = vector.len();
+        proto.vector = Tensor::from_vec(vector, &[dim]).expect("vector stays one-dimensional");
+    }
+}
+
 impl Federation for FedPkd {
     fn name(&self) -> &'static str {
         "FedPKD"
@@ -226,12 +266,14 @@ impl Federation for FedPkd {
     fn run_round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) {
+        let cohort = ctx.cohort();
         let public_len = self.scenario.public.len();
-        let num_classes = self.scenario.num_classes as u32;
+        let num_classes = self.scenario.num_classes;
+        let num_classes_u32 = num_classes as u32;
         if cohort.num_active() == 0 {
             // Zero survivors: nobody trains, nothing travels, no model or
             // prototype changes. The driver still frames the round with
@@ -252,13 +294,29 @@ impl Federation for FedPkd {
                 mean_loss: stats.mean_loss,
             });
         }
+        // Byzantine survivors corrupt their uploads here — before the
+        // ledger loop, because the corrupted bytes are what actually cross
+        // the wire (and get charged), and before admission, which is the
+        // server's view of them.
+        for &mut (client, (ref mut logits, ref mut prototypes, _)) in &mut knowledge {
+            if let Some(attack) = ctx.attack(client) {
+                let mut rng = ctx.attack_rng(round, client);
+                corrupt_upload(attack, &mut rng, logits, prototypes);
+            }
+        }
         let all_ids: Vec<u32> = (0..public_len as u32).collect();
         for &mut (client, (ref mut logits, ref prototypes, _)) in &mut knowledge {
-            if self.config.quantize_knowledge {
+            // The lossy 8-bit channel cannot represent garbage payloads
+            // (non-finite or misshapen); those travel raw instead — an
+            // adversary does not get to crash the codec.
+            let quantizable = self.config.quantize_knowledge
+                && logits.cols() == num_classes
+                && logits.all_finite();
+            if quantizable {
                 // Lossy 8-bit channel: charge the quantized size and replace
                 // the logits with what actually survives the wire.
                 let quantized =
-                    QuantizedLogits::from_values(&all_ids, num_classes, logits.as_slice());
+                    QuantizedLogits::from_values(&all_ids, num_classes_u32, logits.as_slice());
                 ledger.record_bytes(round, client, Direction::Uplink, quantized.encoded_len());
                 *logits = Tensor::from_vec(quantized.dequantize(), logits.shape())
                     .expect("dequantization preserves the shape");
@@ -269,7 +327,7 @@ impl Federation for FedPkd {
                     Direction::Uplink,
                     &Message::Logits {
                         sample_ids: all_ids.clone(),
-                        num_classes,
+                        num_classes: num_classes_u32,
                         values: logits.as_slice().to_vec(),
                     },
                 );
@@ -283,16 +341,98 @@ impl Federation for FedPkd {
                         entries: to_wire_entries(prototypes),
                     },
                 );
-                self.cached_prototypes[client] = Some((round, prototypes.clone()));
             }
         }
 
         emit_phase_timing(obs, round, Phase::ClientTraining, phase_started);
 
-        // ---- Phase 2: server-side aggregation (Eqs. 6–8) over survivors.
+        // ---- Admission control: every upload is validated before it can
+        //      touch server state. Rejected payloads were still charged to
+        //      the ledger above — the bytes crossed the wire; the server
+        //      just refuses to consume them.
         let phase_started = Instant::now();
-        let client_logits: Vec<Tensor> = knowledge.iter().map(|(_, (l, _, _))| l.clone()).collect();
-        let aggregated = aggregate_logits(&client_logits, self.config.variance_weighting);
+        let policy = self.config.admission;
+        let proto_dim = self.server_model.feature_dim();
+        let mut admitted: Vec<(usize, PrivatePhaseUpload)> = Vec::with_capacity(knowledge.len());
+        for (client, upload) in knowledge {
+            if self.quarantine.is_quarantined(client) {
+                obs.record(&TelemetryEvent::PayloadRejected {
+                    round,
+                    client,
+                    payload: PayloadKind::Logits,
+                    reason: RejectReason::Quarantined,
+                });
+                if self.config.use_prototypes {
+                    obs.record(&TelemetryEvent::PayloadRejected {
+                        round,
+                        client,
+                        payload: PayloadKind::Prototypes,
+                        reason: RejectReason::Quarantined,
+                    });
+                }
+                continue;
+            }
+            let mut rejected = false;
+            if let Err(reason) = policy.check_logits(&upload.0, public_len, num_classes) {
+                obs.record(&TelemetryEvent::PayloadRejected {
+                    round,
+                    client,
+                    payload: PayloadKind::Logits,
+                    reason,
+                });
+                rejected = true;
+            }
+            if self.config.use_prototypes {
+                if let Err(reason) = policy.check_prototypes(&upload.1, num_classes, proto_dim) {
+                    obs.record(&TelemetryEvent::PayloadRejected {
+                        round,
+                        client,
+                        payload: PayloadKind::Prototypes,
+                        reason,
+                    });
+                    rejected = true;
+                }
+            }
+            if rejected {
+                if self.quarantine.record_rejection(client) {
+                    obs.record(&TelemetryEvent::ClientQuarantined {
+                        round,
+                        client,
+                        consecutive: self.quarantine.streak(client),
+                    });
+                }
+            } else {
+                self.quarantine.record_accepted(client);
+                if self.config.use_prototypes {
+                    self.cached_prototypes[client] = Some((round, upload.1.clone()));
+                }
+                admitted.push((client, upload));
+            }
+        }
+        if admitted.is_empty() {
+            // Every survivor's upload was rejected: with no trustworthy
+            // knowledge there is nothing to aggregate or distill, so the
+            // round degrades to a no-op (like a zero-survivor round) —
+            // models and prototypes stay as they were.
+            emit_phase_timing(obs, round, Phase::Aggregation, phase_started);
+            return;
+        }
+
+        // ---- Phase 2: server-side aggregation (Eqs. 6–8, or their
+        //      trimmed variants) over the admitted uploads.
+        let trim = self.config.robust.trim_fraction();
+        let client_logits: Vec<Tensor> = admitted.iter().map(|(_, (l, _, _))| l.clone()).collect();
+        let aggregated = match trim {
+            None => aggregate_logits(&client_logits, self.config.variance_weighting),
+            Some(t) => aggregate_logits_trimmed(&client_logits, t),
+        };
+        let Ok(aggregated) = aggregated else {
+            // Only reachable with admission disabled (shape-divergent
+            // payloads were let through): degrade to a no-op round rather
+            // than panicking.
+            emit_phase_timing(obs, round, Phase::Aggregation, phase_started);
+            return;
+        };
         let pseudo = pseudo_labels(&aggregated);
         if obs.enabled() {
             let stats = aggregation_stats(&client_logits, self.config.variance_weighting);
@@ -304,9 +444,11 @@ impl Federation for FedPkd {
                 disagreement: stats.disagreement,
             });
         }
+        let mut proto_outliers = 0usize;
+        let mut proto_contributions = 0usize;
         if self.config.use_prototypes {
-            // Eq. 8 over the survivors' fresh prototypes plus any dropped
-            // client's cached upload that is recent enough
+            // Eq. 8 over the admitted survivors' fresh prototypes plus any
+            // absent client's cached upload that is recent enough
             // (`prototype_staleness` bounds the age of reuse).
             let client_protos: Vec<Vec<Option<Prototype>>> = self
                 .cached_prototypes
@@ -315,18 +457,41 @@ impl Federation for FedPkd {
                 .filter(|&&(uploaded, _)| round - uploaded <= self.config.prototype_staleness)
                 .map(|(_, p)| p.clone())
                 .collect();
-            let new_prototypes = aggregate_prototypes(&client_protos);
-            if obs.enabled() {
-                let (mean_l2, max_l2) =
-                    Self::prototype_drift(&self.global_prototypes, &new_prototypes);
-                obs.record(&TelemetryEvent::PrototypeDrift {
+            proto_contributions = client_protos
+                .iter()
+                .map(|p| p.iter().flatten().count())
+                .sum();
+            let result = match trim {
+                None => aggregate_prototypes(&client_protos).map(|g| (g, 0)),
+                Some(t) => aggregate_prototypes_robust(&client_protos, t),
+            };
+            if let Ok((new_prototypes, outliers)) = result {
+                proto_outliers = outliers;
+                if obs.enabled() {
+                    let (mean_l2, max_l2) =
+                        Self::prototype_drift(&self.global_prototypes, &new_prototypes);
+                    obs.record(&TelemetryEvent::PrototypeDrift {
+                        round,
+                        classes_present: new_prototypes.iter().filter(|p| p.is_some()).count(),
+                        mean_l2,
+                        max_l2,
+                    });
+                }
+                self.global_prototypes = new_prototypes;
+            }
+            // On Err — no cache entries at all, or (with admission
+            // disabled) divergent widths — the previous prototype
+            // generation keeps serving instead of being wiped.
+        }
+        if obs.enabled() {
+            if let Some(t) = trim {
+                obs.record(&TelemetryEvent::AggregationTrim {
                     round,
-                    classes_present: new_prototypes.iter().filter(|p| p.is_some()).count(),
-                    mean_l2,
-                    max_l2,
+                    logit_trim: effective_trim(client_logits.len(), t),
+                    prototype_outliers: proto_outliers,
+                    prototype_contributions: proto_contributions,
                 });
             }
-            self.global_prototypes = new_prototypes;
         }
         emit_phase_timing(obs, round, Phase::Aggregation, phase_started);
 
@@ -411,8 +576,11 @@ impl Federation for FedPkd {
         let mut server_logits = eval::logits_on(&mut self.server_model, &subset_dataset);
         let selected_ids: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
         let downlink_quantized = if self.config.quantize_knowledge {
-            let quantized =
-                QuantizedLogits::from_values(&selected_ids, num_classes, server_logits.as_slice());
+            let quantized = QuantizedLogits::from_values(
+                &selected_ids,
+                num_classes_u32,
+                server_logits.as_slice(),
+            );
             server_logits = Tensor::from_vec(quantized.dequantize(), server_logits.shape())
                 .expect("dequantization preserves the shape");
             Some(quantized.encoded_len())
@@ -430,7 +598,7 @@ impl Federation for FedPkd {
                     Direction::Downlink,
                     &Message::Logits {
                         sample_ids: selected_ids.clone(),
-                        num_classes,
+                        num_classes: num_classes_u32,
                         values: server_logits.as_slice().to_vec(),
                     },
                 ),
@@ -628,7 +796,12 @@ mod tests {
         .unwrap();
         assert!(algo.global_prototypes().iter().all(Option::is_none));
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
+        algo.run_round(
+            0,
+            &RoundContext::benign(Cohort::full(3)),
+            &mut ledger,
+            &mut NullObserver,
+        );
         let present = algo
             .global_prototypes()
             .iter()
@@ -737,11 +910,21 @@ mod tests {
         };
         let mut algo = build();
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
+        algo.run_round(
+            0,
+            &RoundContext::benign(Cohort::full(3)),
+            &mut ledger,
+            &mut NullObserver,
+        );
         // Client 2 misses round 1; its round-0 prototypes (age 1 ≤ 2) must
         // still be cached for aggregation.
         let cohort = Cohort::from_causes(vec![None, None, Some(fedpkd_netsim::DropCause::Crash)]);
-        algo.run_round(1, &cohort, &mut ledger, &mut NullObserver);
+        algo.run_round(
+            1,
+            &RoundContext::benign(cohort),
+            &mut ledger,
+            &mut NullObserver,
+        );
         assert!(algo.cached_prototypes[2]
             .as_ref()
             .is_some_and(|&(uploaded, _)| uploaded == 0));
@@ -761,7 +944,12 @@ mod tests {
         )
         .unwrap();
         let mut ledger = CommLedger::new();
-        algo.run_round(0, &Cohort::full(3), &mut ledger, &mut NullObserver);
+        algo.run_round(
+            0,
+            &RoundContext::benign(Cohort::full(3)),
+            &mut ledger,
+            &mut NullObserver,
+        );
         let bytes_after_r0 = ledger.total_bytes();
         let protos_before: Vec<bool> = algo
             .global_prototypes()
@@ -769,7 +957,12 @@ mod tests {
             .map(Option::is_some)
             .collect();
         let empty = Cohort::from_causes(vec![Some(fedpkd_netsim::DropCause::Dropout); 3]);
-        algo.run_round(1, &empty, &mut ledger, &mut NullObserver);
+        algo.run_round(
+            1,
+            &RoundContext::benign(empty),
+            &mut ledger,
+            &mut NullObserver,
+        );
         assert_eq!(ledger.total_bytes(), bytes_after_r0, "no traffic charged");
         let protos_after: Vec<bool> = algo
             .global_prototypes()

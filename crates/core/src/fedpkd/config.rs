@@ -1,5 +1,8 @@
 //! FedPKD hyperparameters and error type.
 
+use crate::admission::AdmissionPolicy;
+use crate::robust::RobustAggregation;
+
 /// Hyperparameters of FedPKD.
 ///
 /// Defaults follow §V-A of the paper (scaled-down epoch counts are set by
@@ -56,6 +59,14 @@ pub struct FedPkdConfig {
     /// prototypes). Logits are never reused — they reflect the current
     /// round's models — so this only bounds prototype staleness.
     pub prototype_staleness: usize,
+    /// Admission control applied to every client upload before it can
+    /// influence server state. Enabled by default — on clean runs every
+    /// honest payload passes, so this is a no-op for paper-faithful
+    /// experiments.
+    pub admission: AdmissionPolicy,
+    /// Aggregation rule for admitted uploads. Defaults to
+    /// [`RobustAggregation::Off`], the paper-faithful Eqs. 6–8.
+    pub robust: RobustAggregation,
 }
 
 impl Default for FedPkdConfig {
@@ -76,6 +87,8 @@ impl Default for FedPkdConfig {
             variance_weighting: true,
             quantize_knowledge: false,
             prototype_staleness: 2,
+            admission: AdmissionPolicy::default(),
+            robust: RobustAggregation::Off,
         }
     }
 }
@@ -119,6 +132,14 @@ impl FedPkdConfig {
             return Err(CoreError::InvalidConfig(
                 "temperature must be positive".into(),
             ));
+        }
+        self.admission.validate()?;
+        if let RobustAggregation::Trimmed { trim_fraction } = self.robust {
+            if !(0.0..0.5).contains(&trim_fraction) {
+                return Err(CoreError::InvalidConfig(
+                    "trim fraction must be in [0, 0.5)".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -212,6 +233,23 @@ mod tests {
             },
             FedPkdConfig {
                 learning_rate: 0.0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                robust: RobustAggregation::Trimmed { trim_fraction: 0.5 },
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                robust: RobustAggregation::Trimmed {
+                    trim_fraction: -0.1,
+                },
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                admission: AdmissionPolicy {
+                    max_abs_logit: f32::NAN,
+                    ..AdmissionPolicy::default()
+                },
                 ..FedPkdConfig::default()
             },
         ];

@@ -128,20 +128,14 @@ fn filter_impl(
                             .zip(proto.as_slice())
                             .map(|(a, b)| (a - b) * (a - b))
                             .sum();
-                        // Checked eagerly so NaN features fail loudly here
-                        // rather than destabilizing the sort below.
-                        assert!(
-                            d.is_finite(),
-                            "non-finite Eq. 10 distance for sample {i} (class {class})"
-                        );
                         (i, d)
                     })
                     .collect();
-                scored.sort_by(|a, b| {
-                    a.1.partial_cmp(&b.1)
-                        .expect("distances are finite")
-                        .then(a.0.cmp(&b.0))
-                });
+                // A total order keeps the sort deterministic even when a
+                // poisoned prototype (admission disabled) yields NaN
+                // distances — those sort past every finite distance, so
+                // "farthest from the prototype" drops them first.
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
                 if stats.is_some() {
                     distances.extend(scored.iter().map(|&(_, d)| d));
                 }
@@ -168,7 +162,7 @@ fn five_number_summary(values: &mut [f32]) -> Vec<f64> {
     if values.is_empty() {
         return Vec::new();
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("distances are finite"));
+    values.sort_by(f32::total_cmp);
     [0.0, 0.25, 0.5, 0.75, 1.0]
         .iter()
         .map(|p| {
@@ -297,12 +291,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-finite Eq. 10 distance")]
-    fn nan_features_panic_clearly() {
+    fn nan_distances_are_dropped_first_not_fatal() {
+        // Sample 1's NaN feature yields a NaN Eq. 10 distance; the total
+        // order sorts it past every finite distance, so it is the first
+        // sample the filter discards.
         let f = features(&[&[1.0], &[f32::NAN], &[2.0]]);
         let labels = vec![0, 0, 0];
         let protos = vec![proto(&[0.0])];
-        filter_public(&f, &labels, &protos, 0.5);
+        let selected = filter_public(&f, &labels, &protos, 0.5);
+        assert_eq!(selected, vec![0, 2]);
     }
 
     #[test]

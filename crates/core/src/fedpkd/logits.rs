@@ -1,7 +1,23 @@
-//! Variance-weighted logit aggregation (Eqs. 6–7).
+//! Variance-weighted logit aggregation (Eqs. 6–7) and its Byzantine-robust
+//! trimmed variant.
 
+use crate::robust::{trim_count, trimmed_mean, AggregationError};
 use fedpkd_tensor::ops::{row_variance, softmax};
 use fedpkd_tensor::Tensor;
+
+/// Total-variance floor below which Eq. 7 weighting falls back to the plain
+/// mean: variances this small are dominated by float rounding (and a
+/// non-finite total means a non-finite payload slipped in), so dividing by
+/// them would amplify noise rather than confidence.
+pub const MIN_TOTAL_VARIANCE: f32 = 1e-12;
+
+fn check_alignment(client_logits: &[Tensor]) -> Result<&Tensor, AggregationError> {
+    let first = client_logits.first().ok_or(AggregationError::Empty)?;
+    if client_logits.iter().any(|l| l.shape() != first.shape()) {
+        return Err(AggregationError::ShapeMismatch);
+    }
+    Ok(first)
+}
 
 /// Aggregates per-client public-set logits into a global teacher
 /// distribution.
@@ -18,19 +34,20 @@ use fedpkd_tensor::Tensor;
 /// bounded and cross-client comparable, and each output row is a
 /// probability distribution.
 ///
-/// When every client has zero variance on a sample (or
-/// `variance_weighting` is disabled) the plain mean of the probabilities is
-/// used.
+/// When every client is (near-)flat on a sample — total variance below
+/// [`MIN_TOTAL_VARIANCE`], or non-finite — or when `variance_weighting` is
+/// disabled, the plain mean of the probabilities is used.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `client_logits` is empty or the matrices disagree in shape.
-pub fn aggregate_logits(client_logits: &[Tensor], variance_weighting: bool) -> Tensor {
-    let first = client_logits.first().expect("at least one client");
+/// [`AggregationError::Empty`] with no clients,
+/// [`AggregationError::ShapeMismatch`] when the matrices disagree in shape.
+pub fn aggregate_logits(
+    client_logits: &[Tensor],
+    variance_weighting: bool,
+) -> Result<Tensor, AggregationError> {
+    let first = check_alignment(client_logits)?;
     let (n, k) = (first.rows(), first.cols());
-    for l in client_logits {
-        assert_eq!(l.shape(), first.shape(), "client logits must align");
-    }
     let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
     let mut out = Tensor::zeros(&[n, k]);
     if !variance_weighting {
@@ -38,7 +55,7 @@ pub fn aggregate_logits(client_logits: &[Tensor], variance_weighting: bool) -> T
         for p in &probs {
             out.axpy(w, p).expect("equal shapes");
         }
-        return out;
+        return Ok(out);
     }
 
     // Per-client, per-sample confidence = variance of the probability
@@ -47,7 +64,7 @@ pub fn aggregate_logits(client_logits: &[Tensor], variance_weighting: bool) -> T
     for i in 0..n {
         let total: f32 = variances.iter().map(|v| v[i]).sum();
         let row = out.row_mut(i);
-        if total > 0.0 {
+        if total.is_finite() && total > MIN_TOTAL_VARIANCE {
             for (c, p) in probs.iter().enumerate() {
                 let beta = variances[c][i] / total;
                 for (o, &v) in row.iter_mut().zip(p.row(i)) {
@@ -63,7 +80,66 @@ pub fn aggregate_logits(client_logits: &[Tensor], variance_weighting: bool) -> T
             }
         }
     }
-    out
+    Ok(out)
+}
+
+/// Byzantine-robust variant of Eqs. 6–7: a coordinate-wise trimmed mean of
+/// the clients' softmax probabilities, renormalized so each row is again a
+/// distribution.
+///
+/// Trimming replaces the variance weighting — Eq. 7 rewards exactly what a
+/// confident adversary fakes (a peaked output), so under attack the
+/// confidence proxy becomes the attack surface. The trimmed mean instead
+/// bounds any minority's influence: per (sample, class) entry, the
+/// `trim_count(clients, trim_fraction)` largest and smallest probabilities
+/// are dropped before averaging, so fewer than `trim_fraction` of clients
+/// cannot move an entry past the honest value range.
+///
+/// # Errors
+///
+/// [`AggregationError::Empty`] with no clients,
+/// [`AggregationError::ShapeMismatch`] when the matrices disagree in shape.
+pub fn aggregate_logits_trimmed(
+    client_logits: &[Tensor],
+    trim_fraction: f32,
+) -> Result<Tensor, AggregationError> {
+    let first = check_alignment(client_logits)?;
+    let (n, k) = (first.rows(), first.cols());
+    let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
+    let mut out = Tensor::zeros(&[n, k]);
+    let mut column = vec![0.0f32; probs.len()];
+    for i in 0..n {
+        let row = out.row_mut(i);
+        for (j, o) in row.iter_mut().enumerate() {
+            for (slot, p) in column.iter_mut().zip(&probs) {
+                *slot = p.row(i)[j];
+            }
+            *o = trimmed_mean(&mut column, trim_fraction);
+        }
+        // Trimming each coordinate independently breaks the sum-to-one
+        // invariant; renormalize so downstream KD losses still see a
+        // distribution.
+        let sum: f32 = row.iter().sum();
+        if sum > 0.0 {
+            for o in row.iter_mut() {
+                *o /= sum;
+            }
+        } else {
+            for o in row.iter_mut() {
+                *o = 1.0 / k as f32;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fraction of values a trimmed aggregation over `clients` payloads actually
+/// drops from each end — `trim_count / clients`, for telemetry.
+pub fn effective_trim(clients: usize, trim_fraction: f32) -> f64 {
+    if clients == 0 {
+        return 0.0;
+    }
+    trim_count(clients, trim_fraction) as f64 / clients as f64
 }
 
 /// Pseudo-labels from the aggregated teacher distribution (Eq. 9): the
@@ -88,17 +164,14 @@ pub struct AggregationStats {
 /// weighting [`aggregate_logits`] would apply.
 ///
 /// This recomputes the softmax pass, so it is intended for telemetry-enabled
-/// paths only.
-///
-/// # Panics
-///
-/// Panics if `client_logits` is empty or the matrices disagree in shape.
+/// paths only. Inputs that [`aggregate_logits`] would reject (empty or
+/// misaligned) yield the default (empty) stats rather than an error —
+/// diagnostics never gate the round.
 pub fn aggregation_stats(client_logits: &[Tensor], variance_weighting: bool) -> AggregationStats {
-    let first = client_logits.first().expect("at least one client");
+    let Ok(first) = check_alignment(client_logits) else {
+        return AggregationStats::default();
+    };
     let n = first.rows();
-    for l in client_logits {
-        assert_eq!(l.shape(), first.shape(), "client logits must align");
-    }
     let clients = client_logits.len();
     let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
     let argmaxes: Vec<Vec<usize>> = probs.iter().map(Tensor::argmax_rows).collect();
@@ -117,7 +190,7 @@ pub fn aggregation_stats(client_logits: &[Tensor], variance_weighting: bool) -> 
         for i in 0..n {
             let total: f32 = variances.iter().map(|v| v[i]).sum();
             for (c, v) in variances.iter().enumerate() {
-                let beta = if total > 0.0 {
+                let beta = if total.is_finite() && total > MIN_TOTAL_VARIANCE {
                     f64::from(v[i] / total)
                 } else {
                     1.0 / clients as f64
@@ -153,7 +226,7 @@ mod tests {
         let a = t(&[8.0, 0.0, 0.0, 1.0, 2.0, 3.0], &[2, 3]);
         let b = t(&[0.0, 0.4, 0.2, -1.0, 0.0, 1.0], &[2, 3]);
         for weighting in [true, false] {
-            let agg = aggregate_logits(&[a.clone(), b.clone()], weighting);
+            let agg = aggregate_logits(&[a.clone(), b.clone()], weighting).unwrap();
             for r in 0..agg.rows() {
                 let sum: f32 = agg.row(r).iter().sum();
                 assert!((sum - 1.0).abs() < 1e-5, "row sums to {sum}");
@@ -168,7 +241,7 @@ mod tests {
         // is flat; A's prediction must dominate the aggregate.
         let a = t(&[8.0, 0.0, 0.0], &[1, 3]);
         let b = t(&[0.0, 0.4, 0.2], &[1, 3]);
-        let agg = aggregate_logits(&[a, b], true);
+        let agg = aggregate_logits(&[a, b], true).unwrap();
         assert_eq!(pseudo_labels(&agg), vec![0]);
         assert!(agg.row(0)[0] > 0.9, "aggregate {:?}", agg.row(0));
     }
@@ -180,7 +253,7 @@ mod tests {
         // rather than being dragged to A's scale.
         let a = t(&[100.0, 0.0], &[1, 2]);
         let b = t(&[0.0, 1.0], &[1, 2]);
-        let agg = aggregate_logits(&[a, b], true);
+        let agg = aggregate_logits(&[a, b], true).unwrap();
         assert!(agg.row(0).iter().all(|&v| (0.0..=1.0).contains(&v)));
         assert!((agg.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
     }
@@ -189,16 +262,32 @@ mod tests {
     fn uniform_fallback_when_all_variances_zero() {
         let a = t(&[2.0, 2.0], &[1, 2]);
         let b = t(&[4.0, 4.0], &[1, 2]);
-        let agg = aggregate_logits(&[a, b], true);
+        let agg = aggregate_logits(&[a, b], true).unwrap();
         // Both clients are flat → mixture of two uniform distributions.
         assert!((agg.row(0)[0] - 0.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn non_finite_total_variance_falls_back_to_uniform() {
+        // A NaN logit poisons softmax and variance for client A; the
+        // weighting path must not divide by a NaN total.
+        let a = t(&[f32::NAN, 1.0], &[1, 2]);
+        let b = t(&[1.0, 1.0], &[1, 2]);
+        let agg = aggregate_logits(&[a, b], true).unwrap();
+        // Fallback averages A's (NaN) and B's (uniform) rows; B's half is
+        // intact. (Admission control upstream rejects such payloads before
+        // they reach aggregation — this guards the primitive itself.)
+        assert!(agg
+            .row(0)
+            .iter()
+            .all(|v| v.is_nan() || (*v - 0.25).abs() < 1e-5));
     }
 
     #[test]
     fn uniform_mode_is_plain_probability_mean() {
         let a = t(&[1.0, 3.0], &[1, 2]);
         let b = t(&[3.0, 5.0], &[1, 2]);
-        let agg = aggregate_logits(&[a.clone(), b.clone()], false);
+        let agg = aggregate_logits(&[a.clone(), b.clone()], false).unwrap();
         let pa = softmax(&a, 1.0);
         let pb = softmax(&b, 1.0);
         let expected = pa.add(&pb).unwrap().scale(0.5);
@@ -210,7 +299,7 @@ mod tests {
     #[test]
     fn single_client_aggregation_is_its_softmax() {
         let a = t(&[1.0, -2.0, 0.5, 0.0, 1.0, 2.0], &[2, 3]);
-        let agg = aggregate_logits(std::slice::from_ref(&a), true);
+        let agg = aggregate_logits(std::slice::from_ref(&a), true).unwrap();
         let expected = softmax(&a, 1.0);
         for (x, y) in agg.as_slice().iter().zip(expected.as_slice()) {
             assert!((x - y).abs() < 1e-5);
@@ -223,10 +312,49 @@ mod tests {
         // each should win its own sample.
         let a = t(&[9.0, 0.0, 0.1, 0.2], &[2, 2]);
         let b = t(&[0.1, 0.2, 0.0, 9.0], &[2, 2]);
-        let agg = aggregate_logits(&[a, b], true);
+        let agg = aggregate_logits(&[a, b], true).unwrap();
         assert_eq!(pseudo_labels(&agg), vec![0, 1]);
         assert!(agg.row(0)[0] > 0.9);
         assert!(agg.row(1)[1] > 0.9);
+    }
+
+    #[test]
+    fn trimmed_aggregation_survives_a_flipping_minority() {
+        // Four honest clients vote class 0; one adversary votes class 1
+        // with maximal confidence. Variance weighting would reward the
+        // adversary's peaked output; the trimmed mean discards it.
+        let honest = t(&[4.0, 0.0], &[1, 2]);
+        let adversary = t(&[-50.0, 50.0], &[1, 2]);
+        let clients = vec![
+            honest.clone(),
+            honest.clone(),
+            honest.clone(),
+            honest,
+            adversary,
+        ];
+        let agg = aggregate_logits_trimmed(&clients, 0.2).unwrap();
+        assert_eq!(pseudo_labels(&agg), vec![0]);
+        assert!(agg.row(0)[0] > 0.9, "aggregate {:?}", agg.row(0));
+        let sum: f32 = agg.row(0).iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trimmed_with_zero_fraction_is_plain_mean() {
+        let a = t(&[1.0, 3.0], &[1, 2]);
+        let b = t(&[3.0, 5.0], &[1, 2]);
+        let trimmed = aggregate_logits_trimmed(&[a.clone(), b.clone()], 0.0).unwrap();
+        let uniform = aggregate_logits(&[a, b], false).unwrap();
+        for (x, y) in trimmed.as_slice().iter().zip(uniform.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn effective_trim_reports_dropped_fraction() {
+        assert_eq!(effective_trim(0, 0.2), 0.0);
+        assert_eq!(effective_trim(5, 0.2), 0.2);
+        assert_eq!(effective_trim(4, 0.2), 0.0); // floor(0.8) = 0 dropped
     }
 
     #[test]
@@ -251,16 +379,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one client")]
-    fn empty_input_panics() {
-        let _ = aggregate_logits(&[], true);
-    }
-
-    #[test]
-    #[should_panic(expected = "client logits must align")]
-    fn misaligned_shapes_panic() {
+    fn degenerate_inputs_are_errors_not_panics() {
+        assert_eq!(aggregate_logits(&[], true), Err(AggregationError::Empty));
+        assert_eq!(
+            aggregate_logits_trimmed(&[], 0.2),
+            Err(AggregationError::Empty)
+        );
         let a = t(&[1.0, 2.0], &[1, 2]);
         let b = t(&[1.0, 2.0, 3.0], &[1, 3]);
-        let _ = aggregate_logits(&[a, b], true);
+        assert_eq!(
+            aggregate_logits(&[a.clone(), b.clone()], true),
+            Err(AggregationError::ShapeMismatch)
+        );
+        assert_eq!(
+            aggregate_logits_trimmed(&[a.clone(), b.clone()], 0.2),
+            Err(AggregationError::ShapeMismatch)
+        );
+        // Stats never gate the round: degenerate input → default stats.
+        assert_eq!(aggregation_stats(&[], true), AggregationStats::default());
+        assert_eq!(
+            aggregation_stats(&[a, b], true),
+            AggregationStats::default()
+        );
     }
 }

@@ -1,6 +1,8 @@
-//! Prototype extraction (Eq. 5) and aggregation (Eq. 8).
+//! Prototype extraction (Eq. 5) and aggregation (Eq. 8), with a
+//! Byzantine-robust outlier-rejecting variant.
 
 use crate::eval;
+use crate::robust::{coordinate_median, trim_count, AggregationError};
 use fedpkd_data::Dataset;
 use fedpkd_netsim::PrototypeEntry;
 use fedpkd_tensor::models::ClassifierModel;
@@ -63,35 +65,136 @@ pub fn compute_prototypes(
 /// Eqs. 10, 12, and 16 (and with FedProto, which the paper builds on), so —
 /// as in FedProto — the size-weighted mean is used.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if clients disagree on the number of classes or prototype widths.
-pub fn aggregate_prototypes(client_prototypes: &[Vec<Option<Prototype>>]) -> Vec<Option<Tensor>> {
-    let Some(first) = client_prototypes.first() else {
-        return Vec::new();
-    };
+/// [`AggregationError::Empty`] with no clients,
+/// [`AggregationError::ShapeMismatch`] when clients disagree on the number
+/// of classes or prototype widths.
+pub fn aggregate_prototypes(
+    client_prototypes: &[Vec<Option<Prototype>>],
+) -> Result<Vec<Option<Tensor>>, AggregationError> {
+    let first = client_prototypes.first().ok_or(AggregationError::Empty)?;
     let num_classes = first.len();
+    if client_prototypes
+        .iter()
+        .any(|protos| protos.len() != num_classes)
+    {
+        return Err(AggregationError::ShapeMismatch);
+    }
     let mut global = Vec::with_capacity(num_classes);
     for class in 0..num_classes {
         let mut weighted_sum: Option<Vec<f64>> = None;
         let mut total = 0usize;
         for protos in client_prototypes {
-            assert_eq!(protos.len(), num_classes, "class count mismatch");
             let Some(p) = &protos[class] else { continue };
             let sum = weighted_sum.get_or_insert_with(|| vec![0.0; p.vector.len()]);
-            assert_eq!(sum.len(), p.vector.len(), "prototype width mismatch");
+            if sum.len() != p.vector.len() {
+                return Err(AggregationError::ShapeMismatch);
+            }
             for (s, &v) in sum.iter_mut().zip(p.vector.as_slice()) {
                 *s += p.count as f64 * v as f64;
             }
             total += p.count;
         }
-        global.push(weighted_sum.map(|sum| {
-            let mean: Vec<f32> = sum.into_iter().map(|s| (s / total as f64) as f32).collect();
-            let dim = mean.len();
-            Tensor::from_vec(mean, &[dim]).expect("width is consistent")
-        }));
+        global.push(size_weighted_mean(weighted_sum, total));
     }
-    global
+    Ok(global)
+}
+
+fn size_weighted_mean(weighted_sum: Option<Vec<f64>>, total: usize) -> Option<Tensor> {
+    let sum = weighted_sum?;
+    if total == 0 {
+        return None;
+    }
+    let mean: Vec<f32> = sum.into_iter().map(|s| (s / total as f64) as f32).collect();
+    let dim = mean.len();
+    Some(Tensor::from_vec(mean, &[dim]).expect("width is consistent"))
+}
+
+/// Byzantine-robust variant of Eq. 8: per class, contributors whose
+/// prototypes lie farthest from the coordinate-wise median are discarded
+/// before the size-weighted mean.
+///
+/// For each class with `n ≥ 3` contributors, the
+/// [`trim_count`]`(n, trim_fraction)` prototypes with the largest L2
+/// distance to the coordinate-wise median vector are dropped (at least one
+/// contributor always survives). With fewer than three contributors there
+/// is no meaningful notion of an outlier, so the plain Eq. 8 mean is used.
+/// The second return value counts how many prototypes were discarded
+/// across all classes, for telemetry.
+///
+/// # Errors
+///
+/// Same contract as [`aggregate_prototypes`].
+pub fn aggregate_prototypes_robust(
+    client_prototypes: &[Vec<Option<Prototype>>],
+    trim_fraction: f32,
+) -> Result<(Vec<Option<Tensor>>, usize), AggregationError> {
+    let first = client_prototypes.first().ok_or(AggregationError::Empty)?;
+    let num_classes = first.len();
+    if client_prototypes
+        .iter()
+        .any(|protos| protos.len() != num_classes)
+    {
+        return Err(AggregationError::ShapeMismatch);
+    }
+    let mut global = Vec::with_capacity(num_classes);
+    let mut outliers = 0usize;
+    for class in 0..num_classes {
+        let contributors: Vec<&Prototype> = client_prototypes
+            .iter()
+            .filter_map(|protos| protos[class].as_ref())
+            .collect();
+        let Some(first_p) = contributors.first() else {
+            global.push(None);
+            continue;
+        };
+        let dim = first_p.vector.len();
+        if contributors.iter().any(|p| p.vector.len() != dim) {
+            return Err(AggregationError::ShapeMismatch);
+        }
+        let drop = if contributors.len() >= 3 {
+            trim_count(contributors.len(), trim_fraction)
+        } else {
+            0
+        };
+        let kept: Vec<&Prototype> = if drop == 0 {
+            contributors
+        } else {
+            let rows: Vec<&[f32]> = contributors.iter().map(|p| p.vector.as_slice()).collect();
+            let center = coordinate_median(&rows)?;
+            let mut by_distance: Vec<(f64, &Prototype)> = contributors
+                .iter()
+                .map(|&p| {
+                    let d2: f64 = p
+                        .vector
+                        .as_slice()
+                        .iter()
+                        .zip(&center)
+                        .map(|(&v, &c)| {
+                            let d = f64::from(v) - f64::from(c);
+                            d * d
+                        })
+                        .sum();
+                    (d2, p)
+                })
+                .collect();
+            by_distance.sort_by(|a, b| a.0.total_cmp(&b.0));
+            by_distance.truncate(by_distance.len() - drop);
+            outliers += drop;
+            by_distance.into_iter().map(|(_, p)| p).collect()
+        };
+        let mut sum = vec![0.0f64; dim];
+        let mut total = 0usize;
+        for p in kept {
+            for (s, &v) in sum.iter_mut().zip(p.vector.as_slice()) {
+                *s += p.count as f64 * v as f64;
+            }
+            total += p.count;
+        }
+        global.push(size_weighted_mean(Some(sum), total));
+    }
+    Ok((global, outliers))
 }
 
 /// Converts local prototypes into wire entries for uplink accounting.
@@ -187,7 +290,7 @@ mod tests {
         // Client B: class 0 proto [5, 5] from 1 sample.
         let a = vec![Some(proto(3, &[1.0, 1.0])), None];
         let b = vec![Some(proto(1, &[5.0, 5.0])), None];
-        let global = aggregate_prototypes(&[a, b]);
+        let global = aggregate_prototypes(&[a, b]).unwrap();
         let g0 = global[0].as_ref().unwrap();
         // (3·1 + 1·5) / 4 = 2.
         assert!((g0.as_slice()[0] - 2.0).abs() < 1e-6);
@@ -199,15 +302,81 @@ mod tests {
         // The paper's example: overlapping and non-overlapping classes.
         let a = vec![Some(proto(2, &[1.0])), Some(proto(2, &[3.0])), None];
         let b = vec![None, Some(proto(2, &[5.0])), Some(proto(4, &[7.0]))];
-        let global = aggregate_prototypes(&[a, b]);
+        let global = aggregate_prototypes(&[a, b]).unwrap();
         assert!((global[0].as_ref().unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
         assert!((global[1].as_ref().unwrap().as_slice()[0] - 4.0).abs() < 1e-6);
         assert!((global[2].as_ref().unwrap().as_slice()[0] - 7.0).abs() < 1e-6);
     }
 
     #[test]
-    fn aggregation_of_nothing_is_empty() {
-        assert!(aggregate_prototypes(&[]).is_empty());
+    fn degenerate_aggregation_inputs_are_errors_not_panics() {
+        assert_eq!(aggregate_prototypes(&[]), Err(AggregationError::Empty));
+        assert_eq!(
+            aggregate_prototypes_robust(&[], 0.2),
+            Err(AggregationError::Empty)
+        );
+        // Class-count disagreement.
+        let a = vec![Some(proto(1, &[1.0])), None];
+        let b = vec![Some(proto(1, &[1.0]))];
+        assert_eq!(
+            aggregate_prototypes(&[a.clone(), b.clone()]),
+            Err(AggregationError::ShapeMismatch)
+        );
+        assert_eq!(
+            aggregate_prototypes_robust(&[a, b], 0.2),
+            Err(AggregationError::ShapeMismatch)
+        );
+        // Width disagreement within a class.
+        let a = vec![Some(proto(1, &[1.0, 2.0]))];
+        let b = vec![Some(proto(1, &[1.0]))];
+        assert_eq!(
+            aggregate_prototypes(&[a.clone(), b.clone()]),
+            Err(AggregationError::ShapeMismatch)
+        );
+        assert_eq!(
+            aggregate_prototypes_robust(&[a, b], 0.2),
+            Err(AggregationError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn robust_aggregation_drops_the_farthest_contributor() {
+        // Four honest clients cluster near [1, 1]; one adversary parks its
+        // prototype far away. trim 0.2 of 5 drops exactly the adversary.
+        let clients: Vec<Vec<Option<Prototype>>> = vec![
+            vec![Some(proto(2, &[1.0, 1.0]))],
+            vec![Some(proto(2, &[1.1, 0.9]))],
+            vec![Some(proto(2, &[0.9, 1.1]))],
+            vec![Some(proto(2, &[1.0, 1.05]))],
+            vec![Some(proto(2, &[100.0, -100.0]))],
+        ];
+        let (global, outliers) = aggregate_prototypes_robust(&clients, 0.2).unwrap();
+        assert_eq!(outliers, 1);
+        let g = global[0].as_ref().unwrap();
+        for &v in g.as_slice() {
+            assert!((0.8..=1.2).contains(&v), "coordinate {v} dragged away");
+        }
+    }
+
+    #[test]
+    fn robust_aggregation_with_few_contributors_matches_plain_mean() {
+        // Two contributors: no outlier notion, must equal Eq. 8 exactly.
+        let a = vec![Some(proto(3, &[1.0, 1.0])), None];
+        let b = vec![Some(proto(1, &[5.0, 5.0])), None];
+        let plain = aggregate_prototypes(&[a.clone(), b.clone()]).unwrap();
+        let (robust, outliers) = aggregate_prototypes_robust(&[a, b], 0.2).unwrap();
+        assert_eq!(outliers, 0);
+        assert_eq!(plain, robust);
+    }
+
+    #[test]
+    fn robust_aggregation_keeps_uncovered_classes_none() {
+        let a = vec![Some(proto(1, &[1.0])), None];
+        let b = vec![Some(proto(1, &[2.0])), None];
+        let c = vec![Some(proto(1, &[3.0])), None];
+        let (global, _) = aggregate_prototypes_robust(&[a, b, c], 0.4).unwrap();
+        assert!(global[0].is_some());
+        assert!(global[1].is_none());
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! | Prototype aggregation | [`fedpkd::prototypes`] | Eq. 8 |
 //! | Prototype-based data filtering | [`fedpkd::filter`] | Alg. 1, Eqs. 9–10 |
 //! | Prototype-based ensemble distillation | [`fedpkd::distill`] | Eqs. 11–13 |
-//! | Server knowledge transfer | [`fedpkd::algorithm`] | Eqs. 14–16 |
+//! | Server knowledge transfer | [`fedpkd::FedPkd`] | Eqs. 14–16 |
 //!
 //! # Examples
 //!
@@ -52,12 +52,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod clients;
 pub mod eval;
 pub mod fedpkd;
+pub mod robust;
 pub mod runtime;
 pub mod telemetry;
 pub mod train;
 
+pub use admission::{AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReason};
+pub use robust::{AggregationError, RobustAggregation};
 pub use runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
 pub use telemetry::{EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent};

@@ -1,0 +1,310 @@
+//! Robust aggregation primitives: trimmed means, medians, and clipped
+//! averaging.
+//!
+//! Admission control ([`crate::admission`]) rejects payloads that are
+//! *malformed*; the helpers here defang payloads that are well-formed but
+//! *wrong* — a Byzantine client's label-flipped logits or boosted model
+//! update pass every shape and finiteness check. The statistical defenses
+//! follow the classic robust-aggregation literature: coordinate-wise
+//! trimmed means (breakdown point = the trim fraction), distance-to-median
+//! outlier rejection, and norm clipping to the cohort median.
+//!
+//! All functions are deterministic and allocation-light; ties broken by
+//! `f32::total_cmp` keep results bit-identical across platforms.
+
+use std::fmt;
+
+/// Aggregation failed in a way the caller must handle (never a panic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AggregationError {
+    /// No payloads to aggregate.
+    Empty,
+    /// Payload shapes disagree (across clients, or with the reference).
+    ShapeMismatch,
+}
+
+impl fmt::Display for AggregationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "nothing to aggregate"),
+            Self::ShapeMismatch => write!(f, "payload shapes disagree"),
+        }
+    }
+}
+
+impl std::error::Error for AggregationError {}
+
+/// Which knowledge-aggregation rule the server applies to admitted uploads.
+///
+/// `Off` is the paper-faithful path — variance-weighted Eqs. 6–7 and the
+/// size-weighted Eq. 8 mean. `Trimmed` swaps in the robust variants:
+/// coordinate-wise trimmed-mean logit ensembling and distance-to-median
+/// prototype outlier rejection, both parameterized by the same trim
+/// fraction.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub enum RobustAggregation {
+    /// Paper-faithful aggregation (Eqs. 6–8 as printed).
+    #[default]
+    Off,
+    /// Trimmed aggregation dropping up to `trim_fraction` of payloads per
+    /// coordinate (logits) or per class (prototypes).
+    Trimmed {
+        /// Fraction of payloads to trim, in `[0, 0.5)`.
+        trim_fraction: f32,
+    },
+}
+
+impl RobustAggregation {
+    /// The configured trim fraction, or `None` when robust aggregation is
+    /// off.
+    pub fn trim_fraction(&self) -> Option<f32> {
+        match self {
+            Self::Off => None,
+            Self::Trimmed { trim_fraction } => Some(*trim_fraction),
+        }
+    }
+}
+
+/// How many elements a trimmed mean over `n` values drops from *each* end:
+/// `floor(trim · n)`, capped so at least one value always survives.
+pub fn trim_count(n: usize, trim_fraction: f32) -> usize {
+    if n == 0 {
+        return 0;
+    }
+    let k = (trim_fraction.clamp(0.0, 0.5) * n as f32).floor() as usize;
+    k.min((n - 1) / 2)
+}
+
+/// Coordinate-wise trimmed mean over `values` (sorted in place): drops
+/// [`trim_count`] elements from each end and averages the rest. With
+/// `trim_fraction == 0` this is the plain mean.
+///
+/// Returns 0.0 for an empty slice.
+pub fn trimmed_mean(values: &mut [f32], trim_fraction: f32) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let k = trim_count(values.len(), trim_fraction);
+    values.sort_unstable_by(f32::total_cmp);
+    let kept = &values[k..values.len() - k];
+    let sum: f64 = kept.iter().map(|&v| f64::from(v)).sum();
+    (sum / kept.len() as f64) as f32
+}
+
+/// Median of `values` (sorted in place): midpoint of the two central
+/// elements for even lengths. Returns 0.0 for an empty slice.
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_unstable_by(f64::total_cmp);
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        0.5 * (values[mid - 1] + values[mid])
+    }
+}
+
+/// Coordinate-wise median vector of equal-length rows.
+///
+/// # Errors
+///
+/// [`AggregationError::Empty`] with no rows, [`AggregationError::ShapeMismatch`]
+/// when row lengths disagree.
+pub fn coordinate_median(rows: &[&[f32]]) -> Result<Vec<f32>, AggregationError> {
+    let first = rows.first().ok_or(AggregationError::Empty)?;
+    let dim = first.len();
+    if rows.iter().any(|r| r.len() != dim) {
+        return Err(AggregationError::ShapeMismatch);
+    }
+    let mut column = vec![0.0f64; rows.len()];
+    Ok((0..dim)
+        .map(|j| {
+            for (slot, row) in column.iter_mut().zip(rows) {
+                *slot = f64::from(row[j]);
+            }
+            median(&mut column) as f32
+        })
+        .collect())
+}
+
+/// Weighted average of `updates` after clipping each one's deviation from
+/// `reference` to the cohort's *median* deviation norm — the standard
+/// defense for parameter-averaging aggregation (FedAvg/FedProx): a boosted
+/// or sign-flipped update can pull the average no harder than the median
+/// honest client does.
+///
+/// With one or two updates the median equals (one of) the norms themselves,
+/// so clipping is a no-op there; protection kicks in from three clients up,
+/// and honest runs whose norms are similar are barely perturbed.
+///
+/// # Errors
+///
+/// [`AggregationError::Empty`] with no updates or all-zero weights,
+/// [`AggregationError::ShapeMismatch`] when lengths disagree.
+// `!(x > 0.0)` rather than `x <= 0.0`: a NaN total must also bail out.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+pub fn clipped_weighted_average(
+    updates: &[Vec<f32>],
+    weights: &[f64],
+    reference: &[f32],
+) -> Result<Vec<f32>, AggregationError> {
+    if updates.is_empty() || updates.len() != weights.len() {
+        return Err(AggregationError::Empty);
+    }
+    if updates.iter().any(|u| u.len() != reference.len()) {
+        return Err(AggregationError::ShapeMismatch);
+    }
+    let total_weight: f64 = weights.iter().sum();
+    if !(total_weight > 0.0) {
+        return Err(AggregationError::Empty);
+    }
+    let norms: Vec<f64> = updates
+        .iter()
+        .map(|u| {
+            u.iter()
+                .zip(reference)
+                .map(|(&a, &b)| {
+                    let d = f64::from(a) - f64::from(b);
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt()
+        })
+        .collect();
+    let mut sorted_norms = norms.clone();
+    let cap = median(&mut sorted_norms);
+    let mut out = vec![0.0f64; reference.len()];
+    for ((update, &weight), &norm) in updates.iter().zip(weights).zip(&norms) {
+        let scale = if norm > cap && norm > 0.0 {
+            cap / norm
+        } else {
+            1.0
+        };
+        let w = weight / total_weight;
+        for ((o, &u), &r) in out.iter_mut().zip(update).zip(reference) {
+            let delta = f64::from(u) - f64::from(r);
+            *o += w * (f64::from(r) + scale * delta);
+        }
+    }
+    Ok(out.into_iter().map(|v| v as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trim_count_respects_bounds() {
+        assert_eq!(trim_count(0, 0.2), 0);
+        assert_eq!(trim_count(5, 0.0), 0);
+        assert_eq!(trim_count(5, 0.2), 1);
+        assert_eq!(trim_count(10, 0.2), 2);
+        // Never trims everything: 3 values at trim 0.5 keeps the median.
+        assert_eq!(trim_count(3, 0.5), 1);
+        assert_eq!(trim_count(1, 0.5), 0);
+        // Out-of-range fractions are clamped.
+        assert_eq!(trim_count(10, 2.0), 4);
+        assert_eq!(trim_count(10, -1.0), 0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_tails() {
+        let mut vals = [100.0, 1.0, 2.0, 3.0, -100.0];
+        // trim 0.2 of 5 → drop one from each end → mean(1, 2, 3).
+        assert!((trimmed_mean(&mut vals, 0.2) - 2.0).abs() < 1e-6);
+        let mut vals = [1.0, 2.0, 3.0];
+        assert!((trimmed_mean(&mut vals, 0.0) - 2.0).abs() < 1e-6);
+        assert_eq!(trimmed_mean(&mut [], 0.2), 0.0);
+    }
+
+    #[test]
+    fn trimmed_mean_below_breakdown_ignores_adversary() {
+        // 5 honest values near 1.0 plus one outlier at 1e6; trim 0.2 of 6
+        // drops one from each end, so the outlier cannot move the mean far.
+        let mut vals = [1.0, 1.1, 0.9, 1.0, 1.05, 1e6];
+        let m = trimmed_mean(&mut vals, 0.2);
+        assert!((0.9..=1.1).contains(&m), "trimmed mean {m}");
+    }
+
+    #[test]
+    fn trimmed_mean_above_breakdown_is_overwhelmed() {
+        // 2 honest vs 3 adversarial values: a 0.2 trim (drops 1 per end of
+        // 5) cannot save the mean — documents the breakdown point.
+        let mut vals = [1.0, 1.0, 1e6, 1e6, 1e6];
+        let m = trimmed_mean(&mut vals, 0.2);
+        assert!(m > 1e5, "mean {m} should be dragged by the majority");
+    }
+
+    #[test]
+    fn median_odd_even_and_empty() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn coordinate_median_is_per_column() {
+        let rows: Vec<&[f32]> = vec![&[1.0, 10.0], &[2.0, 20.0], &[300.0, 0.0]];
+        let m = coordinate_median(&rows).unwrap();
+        assert_eq!(m, vec![2.0, 10.0]);
+        assert_eq!(coordinate_median(&[]), Err(AggregationError::Empty));
+        let ragged: Vec<&[f32]> = vec![&[1.0], &[1.0, 2.0]];
+        assert_eq!(
+            coordinate_median(&ragged),
+            Err(AggregationError::ShapeMismatch)
+        );
+    }
+
+    #[test]
+    fn clipping_tames_a_boosted_update() {
+        let reference = vec![0.0f32; 2];
+        // Two honest unit-norm updates, one boosted 1000×.
+        let updates = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1000.0, 0.0]];
+        let weights = vec![1.0, 1.0, 1.0];
+        let clipped = clipped_weighted_average(&updates, &weights, &reference).unwrap();
+        // The boosted update is scaled back to the median norm (1.0), so no
+        // coordinate can exceed it.
+        assert!(clipped.iter().all(|v| v.abs() <= 1.0), "{clipped:?}");
+        // An unclipped average would be dominated by the attacker.
+        let unclipped: f32 = (1.0 + 0.0 + 1000.0) / 3.0;
+        assert!(clipped[0] < unclipped / 100.0);
+    }
+
+    #[test]
+    fn clipping_is_noop_for_equal_norms() {
+        let reference = vec![1.0f32, 1.0];
+        let updates = vec![vec![2.0, 1.0], vec![1.0, 2.0]];
+        let weights = vec![1.0, 1.0];
+        let clipped = clipped_weighted_average(&updates, &weights, &reference).unwrap();
+        assert!((clipped[0] - 1.5).abs() < 1e-6);
+        assert!((clipped[1] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipped_average_respects_weights() {
+        let reference = vec![0.0f32];
+        let updates = vec![vec![1.0], vec![3.0]];
+        // Norms 1 and 3; median 2 → second clipped to 2; weights 3:1.
+        let clipped = clipped_weighted_average(&updates, &[3.0, 1.0], &reference).unwrap();
+        assert!((clipped[0] - (0.75 * 1.0 + 0.25 * 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clipped_average_rejects_bad_inputs() {
+        assert_eq!(
+            clipped_weighted_average(&[], &[], &[]),
+            Err(AggregationError::Empty)
+        );
+        assert_eq!(
+            clipped_weighted_average(&[vec![1.0]], &[1.0], &[1.0, 2.0]),
+            Err(AggregationError::ShapeMismatch)
+        );
+        assert_eq!(
+            clipped_weighted_average(&[vec![1.0]], &[0.0], &[0.0]),
+            Err(AggregationError::Empty)
+        );
+    }
+}

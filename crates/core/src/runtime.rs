@@ -16,12 +16,16 @@
 //! optional [`FaultPlan`] each round (feeding it each client's last
 //! observed uplink size for the straggler-deadline check), emits
 //! [`TelemetryEvent::ClientDropped`] for the casualties, and hands the
-//! algorithm the surviving cohort. Algorithms never see the plan itself, so
-//! the same degradation path covers every fault mechanism.
+//! algorithm a [`RoundContext`] — the surviving cohort plus the Byzantine
+//! attack roster. Algorithms never see the plan itself, so the same
+//! degradation path covers every fault mechanism; they apply the roster's
+//! corruption to survivor uploads before any server-side processing, which
+//! is what makes admission control and robust aggregation testable
+//! end to end.
 
 use std::time::Instant;
 
-use fedpkd_netsim::{Cohort, CommLedger, FaultPlan};
+use fedpkd_netsim::{Cohort, CommLedger, FaultPlan, RoundContext};
 
 use crate::telemetry::{emit_phase_timing, NullObserver, Phase, RoundObserver, TelemetryEvent};
 
@@ -150,10 +154,20 @@ impl DriverState {
 ///
 /// # Partial participation
 ///
-/// `run_round` must honor the round's [`Cohort`]: dropped clients do not
-/// train, upload, receive downlink payloads, or appear in the ledger — the
-/// network never carried their bytes. A round may have *zero* survivors;
-/// implementations must treat it as a no-op round rather than panicking.
+/// `run_round` must honor the round's [`Cohort`] (via
+/// [`RoundContext::cohort`]): dropped clients do not train, upload, receive
+/// downlink payloads, or appear in the ledger — the network never carried
+/// their bytes. A round may have *zero* survivors; implementations must
+/// treat it as a no-op round rather than panicking.
+///
+/// # Byzantine participation
+///
+/// The context's attack roster marks surviving clients that corrupt their
+/// uploads. Implementations that model uploads should apply the roster's
+/// [`Attack`](fedpkd_netsim::Attack)s to those payloads before server-side
+/// processing; the corrupted bytes are still charged to the ledger (they
+/// crossed the wire), and whatever defense the algorithm has — admission
+/// control, robust aggregation — operates downstream of the corruption.
 pub trait Federation {
     /// A short display name (`"FedPKD"`, `"FedAvg"`, …).
     fn name(&self) -> &'static str;
@@ -161,13 +175,13 @@ pub trait Federation {
     /// Number of participating clients.
     fn num_clients(&self) -> usize;
 
-    /// Executes one communication round over the surviving `cohort`,
-    /// recording every transfer in `ledger` and reporting in-round
-    /// telemetry to `obs`.
+    /// Executes one communication round over the context's surviving
+    /// cohort (with its attack roster applied to uploads), recording every
+    /// transfer in `ledger` and reporting in-round telemetry to `obs`.
     fn run_round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     );
@@ -216,7 +230,7 @@ pub trait FlAlgorithm {
     fn round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) -> RoundMetrics;
@@ -224,12 +238,13 @@ pub trait FlAlgorithm {
     /// Runs `rounds` rounds under an optional fault plan, streaming
     /// telemetry to `obs`.
     ///
-    /// Each round the plan (if any) is evaluated into a [`Cohort`]; the
+    /// Each round the plan (if any) is evaluated into a [`RoundContext`] —
+    /// surviving cohort plus Byzantine attack roster; the
     /// straggler-deadline check is fed each client's most recent observed
     /// uplink size (zero before a client's first upload, so round-0
     /// deadline drops can only come from latency and slowdown factors).
-    /// Fault evaluation is deterministic: the same algorithm seedings plus
-    /// the same plan produce a bit-identical [`RunResult`].
+    /// Fault and adversary evaluation is deterministic: the same algorithm
+    /// seedings plus the same plan produce a bit-identical [`RunResult`].
     ///
     /// Round numbering and the ledger continue from any previous `run` on
     /// this instance (see [`DriverState`]); the returned history covers
@@ -287,11 +302,12 @@ impl<F: Federation> FlAlgorithm for F {
     fn round(
         &mut self,
         round: usize,
-        cohort: &Cohort,
+        ctx: &RoundContext,
         ledger: &mut CommLedger,
         obs: &mut dyn RoundObserver,
     ) -> RoundMetrics {
         let round_started = Instant::now();
+        let cohort = ctx.cohort();
         obs.record(&TelemetryEvent::RoundStart {
             algorithm: Federation::name(self).to_string(),
             round,
@@ -304,7 +320,7 @@ impl<F: Federation> FlAlgorithm for F {
                 cause,
             });
         }
-        self.run_round(round, cohort, ledger, obs);
+        self.run_round(round, ctx, ledger, obs);
         let eval_started = Instant::now();
         let server_accuracy = self.server_accuracy();
         let client_accuracies = self.client_accuracies();
@@ -359,11 +375,11 @@ impl<F: Federation> FlAlgorithm for F {
         };
         let mut history = Vec::with_capacity(rounds);
         for round in start..start + rounds {
-            let cohort = match plan {
-                Some(plan) => plan.cohort(round, num_clients, &last_uplink),
-                None => Cohort::full(num_clients),
+            let ctx = match plan {
+                Some(plan) => plan.round_context(round, num_clients, &last_uplink),
+                None => RoundContext::benign(Cohort::full(num_clients)),
             };
-            history.push(self.round(round, &cohort, &mut ledger, obs));
+            history.push(self.round(round, &ctx, &mut ledger, obs));
             for (client, bytes) in ledger
                 .round_client_uplinks(round, num_clients)
                 .into_iter()
@@ -412,12 +428,12 @@ mod tests {
         fn run_round(
             &mut self,
             round: usize,
-            cohort: &Cohort,
+            ctx: &RoundContext,
             ledger: &mut CommLedger,
             obs: &mut dyn RoundObserver,
         ) {
             self.acc = 0.1 * (round + 1) as f64;
-            for client in cohort.survivors() {
+            for client in ctx.cohort().survivors() {
                 ledger.record(
                     round,
                     client,

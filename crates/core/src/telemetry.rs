@@ -25,6 +25,7 @@
 
 use std::time::Instant;
 
+use crate::admission::{PayloadKind, RejectReason};
 use fedpkd_netsim::DropCause;
 
 /// The wall-clock phases of a communication round.
@@ -99,6 +100,39 @@ pub enum TelemetryEvent {
         samples: usize,
         /// Mean per-batch training loss over the local epochs.
         mean_loss: f64,
+    },
+    /// Admission control rejected a client's upload.
+    PayloadRejected {
+        /// Round index.
+        round: usize,
+        /// Client index.
+        client: usize,
+        /// Which payload failed validation.
+        payload: PayloadKind,
+        /// Why it was rejected.
+        reason: RejectReason,
+    },
+    /// A client crossed the consecutive-rejection threshold and is
+    /// quarantined for the rest of the run.
+    ClientQuarantined {
+        /// Round index.
+        round: usize,
+        /// Client index.
+        client: usize,
+        /// Consecutive flagged rounds at the moment of quarantine.
+        consecutive: usize,
+    },
+    /// Robust aggregation was applied to the round's knowledge (trimmed
+    /// Eq. 6–7 logits and/or distance-to-median Eq. 8 prototypes).
+    AggregationTrim {
+        /// Round index.
+        round: usize,
+        /// Fraction trimmed from each tail of every logit coordinate.
+        logit_trim: f64,
+        /// Prototype contributions rejected as distance-to-median outliers.
+        prototype_outliers: usize,
+        /// Total prototype contributions inspected.
+        prototype_contributions: usize,
     },
     /// The server aggregated the clients' public-set logits (Eqs. 6–7).
     LogitAggregation {
@@ -207,6 +241,9 @@ impl TelemetryEvent {
         match self {
             Self::RoundStart { .. } => "round_start",
             Self::ClientDropped { .. } => "client_dropped",
+            Self::PayloadRejected { .. } => "payload_rejected",
+            Self::ClientQuarantined { .. } => "client_quarantined",
+            Self::AggregationTrim { .. } => "aggregation_trim",
             Self::ClientTrained { .. } => "client_trained",
             Self::LogitAggregation { .. } => "logit_aggregation",
             Self::PrototypeDrift { .. } => "prototype_drift",
@@ -224,6 +261,9 @@ impl TelemetryEvent {
         match self {
             Self::RoundStart { round, .. }
             | Self::ClientDropped { round, .. }
+            | Self::PayloadRejected { round, .. }
+            | Self::ClientQuarantined { round, .. }
+            | Self::AggregationTrim { round, .. }
             | Self::ClientTrained { round, .. }
             | Self::LogitAggregation { round, .. }
             | Self::PrototypeDrift { round, .. }
@@ -253,6 +293,34 @@ impl TelemetryEvent {
             Self::ClientDropped { client, cause, .. } => {
                 obj.usize("client", *client);
                 obj.string("cause", cause.name());
+            }
+            Self::PayloadRejected {
+                client,
+                payload,
+                reason,
+                ..
+            } => {
+                obj.usize("client", *client);
+                obj.string("payload", payload.name());
+                obj.string("reason", reason.name());
+            }
+            Self::ClientQuarantined {
+                client,
+                consecutive,
+                ..
+            } => {
+                obj.usize("client", *client);
+                obj.usize("consecutive", *consecutive);
+            }
+            Self::AggregationTrim {
+                logit_trim,
+                prototype_outliers,
+                prototype_contributions,
+                ..
+            } => {
+                obj.f64("logit_trim", *logit_trim);
+                obj.usize("prototype_outliers", *prototype_outliers);
+                obj.usize("prototype_contributions", *prototype_contributions);
             }
             Self::ClientTrained {
                 client,
@@ -604,6 +672,23 @@ mod tests {
                 round: 0,
                 client: 2,
                 cause: DropCause::Dropout,
+            },
+            TelemetryEvent::PayloadRejected {
+                round: 0,
+                client: 2,
+                payload: PayloadKind::Logits,
+                reason: RejectReason::NonFinite,
+            },
+            TelemetryEvent::ClientQuarantined {
+                round: 0,
+                client: 2,
+                consecutive: 3,
+            },
+            TelemetryEvent::AggregationTrim {
+                round: 0,
+                logit_trim: 0.2,
+                prototype_outliers: 1,
+                prototype_contributions: 5,
             },
             TelemetryEvent::ClientTrained {
                 round: 0,

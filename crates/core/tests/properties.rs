@@ -24,7 +24,7 @@ proptest! {
             .prop_flat_map(|(c, n, k)| arb_logits(c, n, k)),
         weighting in any::<bool>(),
     ) {
-        let agg = aggregate_logits(&logits, weighting);
+        let agg = aggregate_logits(&logits, weighting).unwrap();
         prop_assert!(agg.all_finite());
         for r in 0..agg.rows() {
             let sum: f32 = agg.row(r).iter().sum();
@@ -41,10 +41,10 @@ proptest! {
         logits in (2usize..5, 1usize..10, 2usize..6)
             .prop_flat_map(|(c, n, k)| arb_logits(c, n, k)),
     ) {
-        let forward = aggregate_logits(&logits, true);
+        let forward = aggregate_logits(&logits, true).unwrap();
         let mut reversed = logits.clone();
         reversed.reverse();
-        let backward = aggregate_logits(&reversed, true);
+        let backward = aggregate_logits(&reversed, true).unwrap();
         for (a, b) in forward.as_slice().iter().zip(backward.as_slice()) {
             prop_assert!((a - b).abs() < 1e-5);
         }
@@ -112,10 +112,11 @@ proptest! {
         }
     }
 
-    /// A NaN anywhere in the features of a prototype-bearing class panics
-    /// with the Eq. 10 diagnostic rather than silently corrupting the sort.
+    /// A NaN anywhere in the features of a prototype-bearing class never
+    /// crashes the filter, and the poisoned sample is the first one
+    /// discarded: its NaN Eq. 10 distance sorts past every finite one.
     #[test]
-    fn filter_rejects_nan_features_loudly(
+    fn filter_drops_nan_features_first(
         n in 2usize..20,
         nan_at in 0usize..20,
         seed in any::<u64>(),
@@ -126,18 +127,12 @@ proptest! {
         features.as_mut_slice()[nan_at * 3] = f32::NAN;
         let labels = vec![0usize; n];
         let protos = vec![Some(Tensor::rand_uniform(&[3], -1.0, 1.0, &mut rng))];
-        let outcome = std::panic::catch_unwind(|| {
-            filter_public(&features, &labels, &protos, 0.5)
-        });
-        let err = outcome.expect_err("NaN features must panic");
-        let msg = err
-            .downcast_ref::<String>()
-            .cloned()
-            .or_else(|| err.downcast_ref::<&str>().map(|s| (*s).to_string()))
-            .unwrap_or_default();
+        // theta = 0.5 always drops at least one of n ≥ 2 samples, and the
+        // NaN sample must be among the dropped.
+        let kept = filter_public(&features, &labels, &protos, 0.5);
         prop_assert!(
-            msg.contains("non-finite Eq. 10 distance"),
-            "panic message should name the Eq. 10 check, got: {msg}"
+            !kept.contains(&nan_at),
+            "the NaN-distance sample must be filtered out, kept {kept:?}"
         );
     }
 
@@ -174,7 +169,7 @@ proptest! {
                 })]
             })
             .collect();
-        let global = aggregate_prototypes(&clients);
+        let global = aggregate_prototypes(&clients).unwrap();
         let g = global[0].as_ref().unwrap();
         for dim in 0..4 {
             let lo = vectors.iter().map(|v| v[dim]).fold(f32::MAX, f32::min);

@@ -41,6 +41,7 @@
 //! assert_eq!(cohort, plan.cohort(3, 4, &[1000, 1000, 1000, 1000]));
 //! ```
 
+use crate::adversary::{Attack, RoundContext};
 use crate::LinkModel;
 use fedpkd_rng::Rng;
 
@@ -160,6 +161,7 @@ pub struct FaultPlan {
     slowdowns: Vec<(usize, f64)>,
     link: LinkModel,
     deadline: Option<f64>,
+    adversaries: Vec<(usize, Attack)>,
 }
 
 impl FaultPlan {
@@ -176,6 +178,7 @@ impl FaultPlan {
             slowdowns: Vec::new(),
             link: LinkModel::wifi(),
             deadline: None,
+            adversaries: Vec::new(),
         }
     }
 
@@ -236,6 +239,31 @@ impl FaultPlan {
         self
     }
 
+    /// Marks `client` as Byzantine: whenever it participates, it mounts
+    /// `attack` on its uploads (see [`Attack`]). The corruption is applied
+    /// by the algorithm layer through the round's [`RoundContext`], drawn
+    /// from a dedicated `(seed, round, client)` RNG stream so adversarial
+    /// runs replay bit-identically. A later call for the same client
+    /// replaces the earlier attack.
+    pub fn with_adversary(mut self, client: usize, attack: Attack) -> Self {
+        self.adversaries.retain(|&(c, _)| c != client);
+        self.adversaries.push((client, attack));
+        self
+    }
+
+    /// The attack `client` mounts, or `None` if it is honest.
+    pub fn attack(&self, client: usize) -> Option<Attack> {
+        self.adversaries
+            .iter()
+            .find(|&&(c, _)| c == client)
+            .map(|&(_, a)| a)
+    }
+
+    /// Whether any client is marked Byzantine.
+    pub fn has_adversaries(&self) -> bool {
+        !self.adversaries.is_empty()
+    }
+
     /// The effective slowdown factor for `client` (1.0 unless configured).
     pub fn slowdown(&self, client: usize) -> f64 {
         self.slowdowns
@@ -271,6 +299,20 @@ impl FaultPlan {
             })
             .collect();
         Cohort::from_causes(causes)
+    }
+
+    /// Evaluates the plan for one round into a full [`RoundContext`]:
+    /// the surviving cohort plus the Byzantine attack roster, rooted at
+    /// this plan's seed so corruption draws are replayable.
+    pub fn round_context(
+        &self,
+        round: usize,
+        num_clients: usize,
+        payload_bytes: &[usize],
+    ) -> RoundContext {
+        let cohort = self.cohort(round, num_clients, payload_bytes);
+        let attacks = (0..num_clients).map(|c| self.attack(c)).collect();
+        RoundContext::with_attacks(cohort, attacks, self.seed)
     }
 
     fn in_outage(&self, client: usize, round: usize) -> bool {

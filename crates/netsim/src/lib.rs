@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod fault;
 mod ledger;
 mod link;
@@ -34,6 +35,7 @@ mod message;
 mod quantize;
 mod wire;
 
+pub use adversary::{Attack, RoundContext};
 pub use fault::{Cohort, DropCause, FaultPlan};
 pub use ledger::{bytes_to_mb, CommLedger, Direction, RoundTraffic};
 pub use link::LinkModel;

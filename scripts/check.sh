@@ -6,4 +6,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --all -- --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Vendored third-party crates are exempt from the doc gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q \
+    --exclude proptest --exclude criterion
 cargo test --workspace -q

@@ -71,14 +71,19 @@ pub mod prelude {
     pub use fedpkd_baselines::{
         BaselineConfig, DsFl, FedAvg, FedDf, FedEt, FedMd, FedProx, NaiveKd,
     };
+    pub use fedpkd_core::admission::{
+        AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReason,
+    };
     pub use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
+    pub use fedpkd_core::robust::RobustAggregation;
     pub use fedpkd_core::runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
     pub use fedpkd_core::telemetry::{
         EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent,
     };
     pub use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     pub use fedpkd_netsim::{
-        bytes_to_mb, Cohort, CommLedger, Direction, DropCause, FaultPlan, LinkModel, Message,
+        bytes_to_mb, Attack, Cohort, CommLedger, Direction, DropCause, FaultPlan, LinkModel,
+        Message, RoundContext,
     };
     pub use fedpkd_rng::Rng;
     pub use fedpkd_tensor::models::{DepthTier, ModelSpec};

@@ -70,7 +70,7 @@ fn prototypes_from_different_tiers_aggregate() {
             compute_prototypes(&mut model, &data.train)
         })
         .collect();
-    let global = aggregate_prototypes(&client_protos);
+    let global = aggregate_prototypes(&client_protos).unwrap();
     assert_eq!(global.len(), 10);
     // Under shards(k=3) with 3 clients, at most 9 classes are covered.
     let covered = global.iter().filter(|p| p.is_some()).count();
