@@ -10,6 +10,7 @@ use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::{DriverState, Federation};
+use fedpkd_core::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
@@ -28,8 +29,14 @@ use fedpkd_tensor::Tensor;
 /// non-IID data. There is no server model.
 pub struct DsFl {
     scenario: FederatedScenario,
-    clients: Vec<Client>,
     config: BaselineConfig,
+    state: DsFlState,
+}
+
+/// The owned, snapshotable half of [`DsFl`]: everything that changes
+/// from round to round. `scenario` + `config` are the static half.
+struct DsFlState {
+    clients: Vec<Client>,
     driver: DriverState,
 }
 
@@ -52,9 +59,11 @@ impl DsFl {
         let clients = build_clients(&client_specs, config.learning_rate, seed);
         Ok(Self {
             scenario,
-            clients,
             config,
-            driver: DriverState::new(),
+            state: DsFlState {
+                clients,
+                driver: DriverState::new(),
+            },
         })
     }
 }
@@ -65,7 +74,7 @@ impl Federation for DsFl {
     }
 
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.state.clients.len()
     }
 
     fn run_round(
@@ -89,7 +98,7 @@ impl Federation for DsFl {
         // wire size as logits).
         let training_started = Instant::now();
         let client_probs: Vec<(usize, (Tensor, TrainStats))> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, data| {
@@ -174,7 +183,7 @@ impl Federation for DsFl {
         }
         let target = &sharpened;
         let distill_stats: Vec<(usize, TrainStats)> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, _| {
@@ -202,11 +211,11 @@ impl Federation for DsFl {
     }
 
     fn driver(&self) -> &DriverState {
-        &self.driver
+        &self.state.driver
     }
 
     fn driver_mut(&mut self) -> &mut DriverState {
-        &mut self.driver
+        &mut self.state.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
@@ -214,10 +223,26 @@ impl Federation for DsFl {
     }
 
     fn client_accuracies(&mut self) -> Vec<f64> {
-        client_accuracies(&mut self.clients, &self.scenario)
+        client_accuracies(&mut self.state.clients, &self.scenario)
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        snapshot::write_clients(&mut w, &self.state.clients);
+        snapshot::write_driver(&mut w, &self.state.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        snapshot::check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        snapshot::read_clients(&mut r, &mut self.state.clients)?;
+        let driver = snapshot::read_driver(&mut r)?;
+        r.finish()?;
+        self.state.driver = driver;
+        Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

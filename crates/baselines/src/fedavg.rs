@@ -11,6 +11,7 @@ use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::robust::clipped_weighted_average;
 use fedpkd_core::runtime::{DriverState, Federation};
+use fedpkd_core::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
@@ -26,9 +27,15 @@ use fedpkd_tensor::serialize::{load_state_vector, state_vector, weighted_average
 /// data-size-weighted average. Requires identical architectures everywhere.
 pub struct FedAvg {
     scenario: FederatedScenario,
+    config: BaselineConfig,
+    state: FedAvgState,
+}
+
+/// The owned, snapshotable half of [`FedAvg`]: everything that changes
+/// from round to round. `scenario` + `config` are the static half.
+struct FedAvgState {
     clients: Vec<Client>,
     global_model: ClassifierModel,
-    config: BaselineConfig,
     driver: DriverState,
 }
 
@@ -53,10 +60,12 @@ impl FedAvg {
         let global_model = spec.build(&mut server_rng);
         Ok(Self {
             scenario,
-            clients,
-            global_model,
             config,
-            driver: DriverState::new(),
+            state: FedAvgState {
+                clients,
+                global_model,
+                driver: DriverState::new(),
+            },
         })
     }
 }
@@ -67,7 +76,7 @@ impl Federation for FedAvg {
     }
 
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.state.clients.len()
     }
 
     fn run_round(
@@ -83,7 +92,7 @@ impl Federation for FedAvg {
         if cohort.num_active() == 0 {
             return;
         }
-        let global = state_vector(&self.global_model);
+        let global = state_vector(&self.state.global_model);
         let config = &self.config;
 
         // Broadcast + local training + upload, survivors only. Each round
@@ -91,7 +100,7 @@ impl Federation for FedAvg {
         // starts fresh too. Dropped clients keep their previous parameters.
         let training_started = Instant::now();
         let mut updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, data| {
@@ -178,30 +187,48 @@ impl Federation for FedAvg {
         } else {
             weighted_average(&admitted, &weights).expect("equal-length updates")
         };
-        load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
+        load_state_vector(&mut self.state.global_model, &averaged).expect("layout is fixed");
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
     }
 
     fn driver(&self) -> &DriverState {
-        &self.driver
+        &self.state.driver
     }
 
     fn driver_mut(&mut self) -> &mut DriverState {
-        &mut self.driver
+        &mut self.state.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
         Some(eval::accuracy(
-            &mut self.global_model,
+            &mut self.state.global_model,
             &self.scenario.global_test,
         ))
     }
 
     fn client_accuracies(&mut self) -> Vec<f64> {
-        client_accuracies(&mut self.clients, &self.scenario)
+        client_accuracies(&mut self.state.clients, &self.scenario)
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        snapshot::write_clients(&mut w, &self.state.clients);
+        snapshot::write_model(&mut w, &self.state.global_model);
+        snapshot::write_driver(&mut w, &self.state.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        snapshot::check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        snapshot::read_clients(&mut r, &mut self.state.clients)?;
+        snapshot::read_model(&mut r, &mut self.state.global_model)?;
+        let driver = snapshot::read_driver(&mut r)?;
+        r.finish()?;
+        self.state.driver = driver;
+        Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -260,7 +287,7 @@ mod tests {
     #[test]
     fn aggregation_moves_global_model() {
         let mut algo = FedAvg::new(scenario(3), spec(), config(), 7).unwrap();
-        let before = state_vector(&algo.global_model);
+        let before = state_vector(&algo.state.global_model);
         let mut ledger = CommLedger::new();
         algo.run_round(
             0,
@@ -268,7 +295,7 @@ mod tests {
             &mut ledger,
             &mut NullObserver,
         );
-        let after = state_vector(&algo.global_model);
+        let after = state_vector(&algo.state.global_model);
         assert_ne!(before, after);
     }
 
@@ -277,7 +304,7 @@ mod tests {
         use fedpkd_netsim::DropCause;
 
         let mut algo = FedAvg::new(scenario(5), spec(), config(), 11).unwrap();
-        let dropped_before = state_vector(&algo.clients[1].model);
+        let dropped_before = state_vector(&algo.state.clients[1].model);
         let cohort = Cohort::from_causes(vec![None, Some(DropCause::Crash), None]);
         let mut ledger = CommLedger::new();
         algo.run_round(
@@ -289,7 +316,7 @@ mod tests {
         assert_eq!(ledger.client_bytes(1), 0, "dropped client billed nothing");
         assert!(ledger.client_bytes(0) > 0);
         assert_eq!(
-            state_vector(&algo.clients[1].model),
+            state_vector(&algo.state.clients[1].model),
             dropped_before,
             "dropped client's local state is untouched"
         );
@@ -300,7 +327,7 @@ mod tests {
         use fedpkd_netsim::DropCause;
 
         let mut algo = FedAvg::new(scenario(6), spec(), config(), 13).unwrap();
-        let before = state_vector(&algo.global_model);
+        let before = state_vector(&algo.state.global_model);
         let cohort = Cohort::from_causes(vec![Some(DropCause::Dropout); 3]);
         let mut ledger = CommLedger::new();
         algo.run_round(
@@ -309,7 +336,7 @@ mod tests {
             &mut ledger,
             &mut NullObserver,
         );
-        assert_eq!(state_vector(&algo.global_model), before);
+        assert_eq!(state_vector(&algo.state.global_model), before);
         assert_eq!(ledger.total_bytes(), 0);
     }
 

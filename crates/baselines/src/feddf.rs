@@ -10,6 +10,7 @@ use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::{DriverState, Federation};
+use fedpkd_core::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
@@ -32,10 +33,18 @@ use fedpkd_tensor::Tensor;
 /// limitation the paper calls out).
 pub struct FedDf {
     scenario: FederatedScenario,
+    config: BaselineConfig,
+    state: FedDfState,
+}
+
+/// The owned, snapshotable half of [`FedDf`]: everything that changes
+/// from round to round. `scenario` + `config` are the static half. The
+/// `scratch` model is mutable but excluded from snapshots — every use
+/// fully overwrites it with an uploaded parameter vector first.
+struct FedDfState {
     clients: Vec<Client>,
     global_model: ClassifierModel,
     scratch: ClassifierModel,
-    config: BaselineConfig,
     server_rng: Rng,
     driver: DriverState,
 }
@@ -62,12 +71,14 @@ impl FedDf {
         let scratch = spec.build(&mut server_rng);
         Ok(Self {
             scenario,
-            clients,
-            global_model,
-            scratch,
             config,
-            server_rng,
-            driver: DriverState::new(),
+            state: FedDfState {
+                clients,
+                global_model,
+                scratch,
+                server_rng,
+                driver: DriverState::new(),
+            },
         })
     }
 }
@@ -78,7 +89,7 @@ impl Federation for FedDf {
     }
 
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.state.clients.len()
     }
 
     fn run_round(
@@ -94,14 +105,14 @@ impl Federation for FedDf {
         if cohort.num_active() == 0 {
             return;
         }
-        let global = state_vector(&self.global_model);
+        let global = state_vector(&self.state.global_model);
         let config = &self.config;
         let global_ref = &global;
 
         // FedAvg-style local phase over the survivors.
         let training_started = Instant::now();
         let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, data| {
@@ -155,7 +166,7 @@ impl Federation for FedDf {
         // Fusion init: weighted parameter average over the survivors.
         let aggregation_started = Instant::now();
         let averaged = weighted_average(&updates, &weights).expect("equal-length updates");
-        load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
+        load_state_vector(&mut self.state.global_model, &averaged).expect("layout is fixed");
 
         // Ensemble distillation: the server holds the surviving clients'
         // parameters, so no extra traffic is needed to compute the ensemble.
@@ -164,8 +175,8 @@ impl Federation for FedDf {
         let w = 1.0 / updates.len() as f32;
         let mut member_probs: Vec<Tensor> = Vec::new();
         for params in &updates {
-            load_state_vector(&mut self.scratch, params).expect("layout is fixed");
-            let probs = softmax(&eval::logits_on(&mut self.scratch, public), 1.0);
+            load_state_vector(&mut self.state.scratch, params).expect("layout is fixed");
+            let probs = softmax(&eval::logits_on(&mut self.state.scratch, public), 1.0);
             ensemble.axpy(w, &probs).expect("aligned outputs");
             if obs.enabled() {
                 member_probs.push(probs);
@@ -185,7 +196,7 @@ impl Federation for FedDf {
 
         let distill_started = Instant::now();
         let distill_stats = train_distill(
-            &mut self.global_model,
+            &mut self.state.global_model,
             public.features(),
             &ensemble,
             config.gamma,
@@ -193,7 +204,7 @@ impl Federation for FedDf {
             config.server_epochs,
             config.batch_size,
             &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
-            &mut self.server_rng,
+            &mut self.state.server_rng,
         );
         obs.record(&TelemetryEvent::ServerDistill {
             round,
@@ -206,16 +217,16 @@ impl Federation for FedDf {
     }
 
     fn driver(&self) -> &DriverState {
-        &self.driver
+        &self.state.driver
     }
 
     fn driver_mut(&mut self) -> &mut DriverState {
-        &mut self.driver
+        &mut self.state.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
         Some(eval::accuracy(
-            &mut self.global_model,
+            &mut self.state.global_model,
             &self.scenario.global_test,
         ))
     }
@@ -223,10 +234,30 @@ impl Federation for FedDf {
     fn client_accuracies(&mut self) -> Vec<f64> {
         // FedDF is not focused on client personalization (Fig. 5 caption),
         // but the client models exist, so their local accuracy is reported.
-        client_accuracies(&mut self.clients, &self.scenario)
+        client_accuracies(&mut self.state.clients, &self.scenario)
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        snapshot::write_clients(&mut w, &self.state.clients);
+        snapshot::write_model(&mut w, &self.state.global_model);
+        snapshot::write_rng(&mut w, &self.state.server_rng);
+        snapshot::write_driver(&mut w, &self.state.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        snapshot::check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        snapshot::read_clients(&mut r, &mut self.state.clients)?;
+        snapshot::read_model(&mut r, &mut self.state.global_model)?;
+        self.state.server_rng = snapshot::read_rng(&mut r)?;
+        let driver = snapshot::read_driver(&mut r)?;
+        r.finish()?;
+        self.state.driver = driver;
+        Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,6 +10,7 @@ use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::{DriverState, Federation};
+use fedpkd_core::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
@@ -32,12 +33,20 @@ use fedpkd_tensor::Tensor;
 /// public set travel back and clients distill from them.
 pub struct FedEt {
     scenario: FederatedScenario,
-    clients: Vec<Client>,
     client_specs: Vec<ModelSpec>,
-    server_model: ClassifierModel,
     config: BaselineConfig,
-    server_rng: Rng,
     seed: u64,
+    state: FedEtState,
+}
+
+/// The owned, snapshotable half of [`FedEt`]: everything that changes
+/// from round to round. `scenario`, `client_specs`, `config`, and `seed`
+/// are the static half — the per-round scratch models are rebuilt from
+/// them, so they never enter a snapshot.
+struct FedEtState {
+    clients: Vec<Client>,
+    server_model: ClassifierModel,
+    server_rng: Rng,
     driver: DriverState,
 }
 
@@ -63,13 +72,15 @@ impl FedEt {
         let server_model = server_spec.build(&mut server_rng);
         Ok(Self {
             scenario,
-            clients,
             client_specs,
-            server_model,
             config,
-            server_rng,
             seed,
-            driver: DriverState::new(),
+            state: FedEtState {
+                clients,
+                server_model,
+                server_rng,
+                driver: DriverState::new(),
+            },
         })
     }
 }
@@ -80,7 +91,7 @@ impl Federation for FedEt {
     }
 
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.state.clients.len()
     }
 
     fn run_round(
@@ -105,7 +116,7 @@ impl Federation for FedEt {
         // the survivors.
         let training_started = Instant::now();
         let updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, data| {
@@ -194,7 +205,7 @@ impl Federation for FedEt {
         // Distill ensemble → (larger) server model.
         let server_started = Instant::now();
         let server_stats = train_distill(
-            &mut self.server_model,
+            &mut self.state.server_model,
             public.features(),
             &weighted_sum,
             config.gamma,
@@ -202,7 +213,7 @@ impl Federation for FedEt {
             config.server_epochs,
             config.batch_size,
             &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
-            &mut self.server_rng,
+            &mut self.state.server_rng,
         );
         obs.record(&TelemetryEvent::ServerDistill {
             round,
@@ -215,7 +226,7 @@ impl Federation for FedEt {
 
         // Server logits travel down; surviving clients distill.
         let distill_started = Instant::now();
-        let server_probs = softmax(&eval::logits_on(&mut self.server_model, public), 1.0);
+        let server_probs = softmax(&eval::logits_on(&mut self.state.server_model, public), 1.0);
         let server_logits_msg = Message::Logits {
             sample_ids: all_ids,
             num_classes: k as u32,
@@ -226,7 +237,7 @@ impl Federation for FedEt {
         }
         let target = &server_probs;
         let distill_stats: Vec<(usize, TrainStats)> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, _| {
@@ -254,16 +265,16 @@ impl Federation for FedEt {
     }
 
     fn driver(&self) -> &DriverState {
-        &self.driver
+        &self.state.driver
     }
 
     fn driver_mut(&mut self) -> &mut DriverState {
-        &mut self.driver
+        &mut self.state.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
         Some(eval::accuracy(
-            &mut self.server_model,
+            &mut self.state.server_model,
             &self.scenario.global_test,
         ))
     }
@@ -271,10 +282,30 @@ impl Federation for FedEt {
     fn client_accuracies(&mut self) -> Vec<f64> {
         // FedET is not focused on client personalization (Fig. 5 caption),
         // but the client models exist, so their local accuracy is reported.
-        client_accuracies(&mut self.clients, &self.scenario)
+        client_accuracies(&mut self.state.clients, &self.scenario)
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        snapshot::write_clients(&mut w, &self.state.clients);
+        snapshot::write_model(&mut w, &self.state.server_model);
+        snapshot::write_rng(&mut w, &self.state.server_rng);
+        snapshot::write_driver(&mut w, &self.state.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        snapshot::check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        snapshot::read_clients(&mut r, &mut self.state.clients)?;
+        snapshot::read_model(&mut r, &mut self.state.server_model)?;
+        self.state.server_rng = snapshot::read_rng(&mut r)?;
+        let driver = snapshot::read_driver(&mut r)?;
+        r.finish()?;
+        self.state.driver = driver;
+        Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

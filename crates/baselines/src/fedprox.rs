@@ -12,6 +12,7 @@ use fedpkd_core::eval;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::robust::clipped_weighted_average;
 use fedpkd_core::runtime::{DriverState, Federation};
+use fedpkd_core::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::TrainStats;
 use fedpkd_data::FederatedScenario;
@@ -26,9 +27,15 @@ use fedpkd_tensor::serialize::{load_state_vector, state_vector, weighted_average
 /// data. Communication is identical to FedAvg.
 pub struct FedProx {
     scenario: FederatedScenario,
+    config: BaselineConfig,
+    state: FedProxState,
+}
+
+/// The owned, snapshotable half of [`FedProx`]: everything that changes
+/// from round to round. `scenario` + `config` are the static half.
+struct FedProxState {
     clients: Vec<Client>,
     global_model: ClassifierModel,
-    config: BaselineConfig,
     driver: DriverState,
 }
 
@@ -53,10 +60,12 @@ impl FedProx {
         let global_model = spec.build(&mut server_rng);
         Ok(Self {
             scenario,
-            clients,
-            global_model,
             config,
-            driver: DriverState::new(),
+            state: FedProxState {
+                clients,
+                global_model,
+                driver: DriverState::new(),
+            },
         })
     }
 }
@@ -67,7 +76,7 @@ impl Federation for FedProx {
     }
 
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.state.clients.len()
     }
 
     fn run_round(
@@ -81,14 +90,14 @@ impl Federation for FedProx {
         if cohort.num_active() == 0 {
             return;
         }
-        let global = state_vector(&self.global_model);
-        let n_params = self.global_model.param_count();
+        let global = state_vector(&self.state.global_model);
+        let n_params = self.state.global_model.param_count();
         let config = &self.config;
         let global_ref = &global;
 
         let training_started = Instant::now();
         let mut updates: Vec<(usize, (Vec<f32>, TrainStats))> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, data| {
@@ -180,30 +189,48 @@ impl Federation for FedProx {
         } else {
             weighted_average(&admitted, &weights).expect("equal-length updates")
         };
-        load_state_vector(&mut self.global_model, &averaged).expect("layout is fixed");
+        load_state_vector(&mut self.state.global_model, &averaged).expect("layout is fixed");
         emit_phase_timing(obs, round, Phase::Aggregation, aggregation_started);
     }
 
     fn driver(&self) -> &DriverState {
-        &self.driver
+        &self.state.driver
     }
 
     fn driver_mut(&mut self) -> &mut DriverState {
-        &mut self.driver
+        &mut self.state.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
         Some(eval::accuracy(
-            &mut self.global_model,
+            &mut self.state.global_model,
             &self.scenario.global_test,
         ))
     }
 
     fn client_accuracies(&mut self) -> Vec<f64> {
-        client_accuracies(&mut self.clients, &self.scenario)
+        client_accuracies(&mut self.state.clients, &self.scenario)
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        snapshot::write_clients(&mut w, &self.state.clients);
+        snapshot::write_model(&mut w, &self.state.global_model);
+        snapshot::write_driver(&mut w, &self.state.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        snapshot::check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        snapshot::read_clients(&mut r, &mut self.state.clients)?;
+        snapshot::read_model(&mut r, &mut self.state.global_model)?;
+        let driver = snapshot::read_driver(&mut r)?;
+        r.finish()?;
+        self.state.driver = driver;
+        Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

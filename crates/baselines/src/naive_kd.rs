@@ -10,6 +10,7 @@ use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::{DriverState, Federation};
+use fedpkd_core::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
@@ -28,9 +29,15 @@ use fedpkd_tensor::Tensor;
 /// experiments — the baseline whose weaknesses FedPKD is built to fix.
 pub struct NaiveKd {
     scenario: FederatedScenario,
+    config: BaselineConfig,
+    state: NaiveKdState,
+}
+
+/// The owned, snapshotable half of [`NaiveKd`]: everything that changes
+/// from round to round. `scenario` + `config` are the static half.
+struct NaiveKdState {
     clients: Vec<Client>,
     server_model: ClassifierModel,
-    config: BaselineConfig,
     server_rng: Rng,
     driver: DriverState,
 }
@@ -57,11 +64,13 @@ impl NaiveKd {
         let server_model = server_spec.build(&mut server_rng);
         Ok(Self {
             scenario,
-            clients,
-            server_model,
             config,
-            server_rng,
-            driver: DriverState::new(),
+            state: NaiveKdState {
+                clients,
+                server_model,
+                server_rng,
+                driver: DriverState::new(),
+            },
         })
     }
 
@@ -70,6 +79,7 @@ impl NaiveKd {
     pub fn aggregated_public_logits(&mut self) -> Tensor {
         let public = &self.scenario.public;
         let logits: Vec<Tensor> = self
+            .state
             .clients
             .iter_mut()
             .map(|c| eval::logits_on(&mut c.model, public))
@@ -89,7 +99,7 @@ impl Federation for NaiveKd {
     }
 
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.state.clients.len()
     }
 
     fn run_round(
@@ -112,7 +122,7 @@ impl Federation for NaiveKd {
 
         let training_started = Instant::now();
         let client_logits: Vec<(usize, (Tensor, TrainStats))> = for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, client, data| {
@@ -176,7 +186,7 @@ impl Federation for NaiveKd {
 
         let server_started = Instant::now();
         let server_stats = train_distill(
-            &mut self.server_model,
+            &mut self.state.server_model,
             public.features(),
             &teacher,
             config.gamma,
@@ -184,7 +194,7 @@ impl Federation for NaiveKd {
             config.server_epochs,
             config.batch_size,
             &mut fedpkd_tensor::optim::Adam::new(config.learning_rate),
-            &mut self.server_rng,
+            &mut self.state.server_rng,
         );
         obs.record(&TelemetryEvent::ServerDistill {
             round,
@@ -197,25 +207,45 @@ impl Federation for NaiveKd {
     }
 
     fn driver(&self) -> &DriverState {
-        &self.driver
+        &self.state.driver
     }
 
     fn driver_mut(&mut self) -> &mut DriverState {
-        &mut self.driver
+        &mut self.state.driver
     }
 
     fn server_accuracy(&mut self) -> Option<f64> {
         Some(eval::accuracy(
-            &mut self.server_model,
+            &mut self.state.server_model,
             &self.scenario.global_test,
         ))
     }
 
     fn client_accuracies(&mut self) -> Vec<f64> {
-        client_accuracies(&mut self.clients, &self.scenario)
+        client_accuracies(&mut self.state.clients, &self.scenario)
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        snapshot::write_clients(&mut w, &self.state.clients);
+        snapshot::write_model(&mut w, &self.state.server_model);
+        snapshot::write_rng(&mut w, &self.state.server_rng);
+        snapshot::write_driver(&mut w, &self.state.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        snapshot::check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        snapshot::read_clients(&mut r, &mut self.state.clients)?;
+        snapshot::read_model(&mut r, &mut self.state.server_model)?;
+        self.state.server_rng = snapshot::read_rng(&mut r)?;
+        let driver = snapshot::read_driver(&mut r)?;
+        r.finish()?;
+        self.state.driver = driver;
+        Ok(())
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -282,6 +282,40 @@ impl QuarantineTracker {
     pub fn quarantined_count(&self) -> usize {
         self.quarantined.iter().filter(|&&q| q).count()
     }
+
+    /// Per-client consecutive-rejection streaks, for checkpointing.
+    pub fn streaks(&self) -> &[usize] {
+        &self.consecutive
+    }
+
+    /// Per-client quarantine flags, for checkpointing.
+    pub fn quarantined_flags(&self) -> &[bool] {
+        &self.quarantined
+    }
+
+    /// Restores streaks and flags captured via
+    /// [`streaks`](Self::streaks)/[`quarantined_flags`](Self::quarantined_flags).
+    /// The threshold is configuration and stays as constructed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either vector's length differs from the tracker's client
+    /// count — callers deserializing untrusted bytes must length-check
+    /// first.
+    pub fn restore_parts(&mut self, consecutive: Vec<usize>, quarantined: Vec<bool>) {
+        assert_eq!(
+            consecutive.len(),
+            self.consecutive.len(),
+            "streak count must match client count"
+        );
+        assert_eq!(
+            quarantined.len(),
+            self.quarantined.len(),
+            "flag count must match client count"
+        );
+        self.consecutive = consecutive;
+        self.quarantined = quarantined;
+    }
 }
 
 #[cfg(test)]

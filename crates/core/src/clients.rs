@@ -84,52 +84,72 @@ pub fn validate_specs(
     Ok(())
 }
 
-/// Runs `f` for every `(client, client_data)` pair on its own thread and
-/// collects the results in client order.
+/// Runs `f` over `items` on at most
+/// [`available_parallelism`](std::thread::available_parallelism) worker
+/// threads — contiguous chunks, one thread per chunk — and concatenates the
+/// per-chunk results, preserving item order.
+///
+/// Each item is processed exactly once and the output order is independent
+/// of scheduling, so results are bit-identical to a sequential map (clients
+/// never share mutable state — each mutates only its own model, optimizer,
+/// and RNG stream).
+fn dispatch_chunked<I: Send, T: Send>(items: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(items.len());
+    let chunk_size = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut remaining = items;
+        while !remaining.is_empty() {
+            let rest = remaining.split_off(chunk_size.min(remaining.len()));
+            let chunk = std::mem::replace(&mut remaining, rest);
+            handles.push(scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<T>>()));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread panicked"))
+            .collect()
+    })
+}
+
+/// Runs `f` for every `(client, client_data)` pair in parallel — capped at
+/// the machine's available parallelism so large fleets don't oversubscribe
+/// — and collects the results in client order.
 pub fn for_each_client<T: Send>(
     clients: &mut [ClientState],
     data: &[ClientData],
     f: impl Fn(&mut ClientState, &ClientData) -> T + Sync,
 ) -> Vec<T> {
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = clients
-            .iter_mut()
-            .zip(data)
-            .map(|(client, data)| scope.spawn(move || f(client, data)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread panicked"))
-            .collect()
-    })
+    let items: Vec<_> = clients.iter_mut().zip(data).collect();
+    dispatch_chunked(items, |(client, data)| f(client, data))
 }
 
 /// Runs `f` for every *surviving* `(client, client_data)` pair — per the
-/// round's [`Cohort`] — on its own thread, returning `(client_index,
-/// result)` pairs in ascending client order. Dropped clients are not
-/// touched: their models, optimizers, and RNG streams stay exactly as the
-/// previous round left them, so fault injection cannot perturb their state.
+/// round's [`Cohort`] — in parallel (capped at the machine's available
+/// parallelism), returning `(client_index, result)` pairs in ascending
+/// client order. Dropped clients are not touched: their models, optimizers,
+/// and RNG streams stay exactly as the previous round left them, so fault
+/// injection cannot perturb their state.
 pub fn for_each_active_client<T: Send>(
     clients: &mut [ClientState],
     data: &[ClientData],
     cohort: &Cohort,
     f: impl Fn(usize, &mut ClientState, &ClientData) -> T + Sync,
 ) -> Vec<(usize, T)> {
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = clients
-            .iter_mut()
-            .zip(data)
-            .enumerate()
-            .filter(|&(i, _)| cohort.is_active(i))
-            .map(|(i, (client, data))| (i, scope.spawn(move || f(i, client, data))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|(i, h)| (i, h.join().expect("client thread panicked")))
-            .collect()
-    })
+    let items: Vec<_> = clients
+        .iter_mut()
+        .zip(data)
+        .enumerate()
+        .filter(|&(i, _)| cohort.is_active(i))
+        .map(|(i, (client, data))| (i, client, data))
+        .collect();
+    dispatch_chunked(items, |(i, client, data)| (i, f(i, client, data)))
 }
 
 /// Per-client local-test accuracies.
@@ -213,6 +233,17 @@ mod tests {
             tier: DepthTier::T11,
         };
         assert!(validate_specs(&scenario, &vec![bad_classes; 3], None, false).is_err());
+    }
+
+    #[test]
+    fn dispatch_chunked_preserves_order_past_the_thread_cap() {
+        // 100 items is far more than any container's core count, so this
+        // exercises multi-item chunks; the output must still be the
+        // sequential map.
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        assert_eq!(dispatch_chunked(items, |i| i * 2), expected);
+        assert!(dispatch_chunked(Vec::new(), |i: usize| i).is_empty());
     }
 
     #[test]

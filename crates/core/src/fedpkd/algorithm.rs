@@ -16,6 +16,7 @@ use crate::fedpkd::prototypes::{
     to_wire_entries, Prototype,
 };
 use crate::runtime::{DriverState, Federation};
+use crate::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 use crate::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes, TrainStats};
 use fedpkd_data::FederatedScenario;
@@ -53,13 +54,28 @@ type PrivatePhaseUpload = (Tensor, Vec<Option<Prototype>>, TrainStats);
 /// zero-survivor round is a no-op: nothing travels and no model changes.
 ///
 /// See the crate-level example for usage.
+///
+/// # Config/state split
+///
+/// The struct is explicitly two halves: `scenario` + `config` are static
+/// configuration (rebuilt from code and seeds), while the private
+/// `FedPkdState` half is every mutable word the algorithm owns.
+/// [`Federation::snapshot`] and
+/// [`Federation::restore`] serialize exactly the state half, which is what
+/// makes checkpoint/resume bit-identical.
 pub struct FedPkd {
     scenario: FederatedScenario,
+    config: FedPkdConfig,
+    state: FedPkdState,
+}
+
+/// The owned, snapshotable half of [`FedPkd`]: everything that changes
+/// from round to round.
+struct FedPkdState {
     clients: Vec<ClientState>,
     server_model: ClassifierModel,
     server_optimizer: Adam,
     server_rng: Rng,
-    config: FedPkdConfig,
     global_prototypes: Vec<Option<Tensor>>,
     /// Per client: the round of its last prototype upload and the payload,
     /// kept for stale reuse when the client misses rounds. Only *admitted*
@@ -97,22 +113,24 @@ impl FedPkd {
         let quarantine = QuarantineTracker::new(num_clients, config.admission.quarantine_after);
         Ok(Self {
             scenario,
-            clients,
-            server_model,
-            server_optimizer: Adam::new(config.learning_rate),
-            server_rng,
+            state: FedPkdState {
+                clients,
+                server_model,
+                server_optimizer: Adam::new(config.learning_rate),
+                server_rng,
+                global_prototypes: vec![None; num_classes],
+                cached_prototypes: vec![None; num_clients],
+                quarantine,
+                driver: DriverState::new(),
+            },
             config,
-            global_prototypes: vec![None; num_classes],
-            cached_prototypes: vec![None; num_clients],
-            quarantine,
-            driver: DriverState::new(),
         })
     }
 
     /// The current global prototypes (one per class, `None` until a client
     /// holding that class has reported).
     pub fn global_prototypes(&self) -> &[Option<Tensor>] {
-        &self.global_prototypes
+        &self.state.global_prototypes
     }
 
     /// Immutable access to the scenario.
@@ -123,7 +141,7 @@ impl FedPkd {
     /// The cross-round quarantine state (see
     /// [`AdmissionPolicy`](crate::admission::AdmissionPolicy)).
     pub fn quarantine(&self) -> &QuarantineTracker {
-        &self.quarantine
+        &self.state.quarantine
     }
 
     /// Phase 1 of Algorithm 2: parallel private training and dual-knowledge
@@ -137,40 +155,42 @@ impl FedPkd {
     ) -> Vec<(usize, PrivatePhaseUpload)> {
         let config = &self.config;
         let public = &self.scenario.public;
-        let global_prototypes = &self.global_prototypes;
-        for_each_active_client(
-            &mut self.clients,
-            &self.scenario.clients,
-            cohort,
-            |_, state, data| {
-                // Round 0 trains with Eq. 4; later rounds add the
-                // prototype pull of Eq. 16 (when prototypes are on).
-                let stats = if round == 0 || !config.use_prototypes {
-                    train_supervised(
-                        &mut state.model,
-                        &data.train,
-                        config.client_private_epochs,
-                        config.batch_size,
-                        &mut state.optimizer,
-                        &mut state.rng,
-                    )
-                } else {
-                    train_supervised_with_prototypes(
-                        &mut state.model,
-                        &data.train,
-                        global_prototypes,
-                        config.epsilon,
-                        config.client_private_epochs,
-                        config.batch_size,
-                        &mut state.optimizer,
-                        &mut state.rng,
-                    )
-                };
-                let logits = eval::logits_on(&mut state.model, public);
-                let prototypes = compute_prototypes(&mut state.model, &data.train);
-                (logits, prototypes, stats)
-            },
-        )
+        // Destructure for disjoint borrows: the fleet mutates while the
+        // global prototypes are read.
+        let FedPkdState {
+            clients,
+            global_prototypes,
+            ..
+        } = &mut self.state;
+        let global_prototypes = &*global_prototypes;
+        for_each_active_client(clients, &self.scenario.clients, cohort, |_, state, data| {
+            // Round 0 trains with Eq. 4; later rounds add the
+            // prototype pull of Eq. 16 (when prototypes are on).
+            let stats = if round == 0 || !config.use_prototypes {
+                train_supervised(
+                    &mut state.model,
+                    &data.train,
+                    config.client_private_epochs,
+                    config.batch_size,
+                    &mut state.optimizer,
+                    &mut state.rng,
+                )
+            } else {
+                train_supervised_with_prototypes(
+                    &mut state.model,
+                    &data.train,
+                    global_prototypes,
+                    config.epsilon,
+                    config.client_private_epochs,
+                    config.batch_size,
+                    &mut state.optimizer,
+                    &mut state.rng,
+                )
+            };
+            let logits = eval::logits_on(&mut state.model, public);
+            let prototypes = compute_prototypes(&mut state.model, &data.train);
+            (logits, prototypes, stats)
+        })
     }
 
     /// Phase 4 of Algorithm 2: parallel client distillation from the server
@@ -184,7 +204,7 @@ impl FedPkd {
     ) -> Vec<(usize, TrainStats)> {
         let config = &self.config;
         for_each_active_client(
-            &mut self.clients,
+            &mut self.state.clients,
             &self.scenario.clients,
             cohort,
             |_, state, _| {
@@ -260,7 +280,7 @@ impl Federation for FedPkd {
     }
 
     fn num_clients(&self) -> usize {
-        self.clients.len()
+        self.state.clients.len()
     }
 
     fn run_round(
@@ -352,10 +372,10 @@ impl Federation for FedPkd {
         //      just refuses to consume them.
         let phase_started = Instant::now();
         let policy = self.config.admission;
-        let proto_dim = self.server_model.feature_dim();
+        let proto_dim = self.state.server_model.feature_dim();
         let mut admitted: Vec<(usize, PrivatePhaseUpload)> = Vec::with_capacity(knowledge.len());
         for (client, upload) in knowledge {
-            if self.quarantine.is_quarantined(client) {
+            if self.state.quarantine.is_quarantined(client) {
                 obs.record(&TelemetryEvent::PayloadRejected {
                     round,
                     client,
@@ -394,17 +414,17 @@ impl Federation for FedPkd {
                 }
             }
             if rejected {
-                if self.quarantine.record_rejection(client) {
+                if self.state.quarantine.record_rejection(client) {
                     obs.record(&TelemetryEvent::ClientQuarantined {
                         round,
                         client,
-                        consecutive: self.quarantine.streak(client),
+                        consecutive: self.state.quarantine.streak(client),
                     });
                 }
             } else {
-                self.quarantine.record_accepted(client);
+                self.state.quarantine.record_accepted(client);
                 if self.config.use_prototypes {
-                    self.cached_prototypes[client] = Some((round, upload.1.clone()));
+                    self.state.cached_prototypes[client] = Some((round, upload.1.clone()));
                 }
                 admitted.push((client, upload));
             }
@@ -451,6 +471,7 @@ impl Federation for FedPkd {
             // absent client's cached upload that is recent enough
             // (`prototype_staleness` bounds the age of reuse).
             let client_protos: Vec<Vec<Option<Prototype>>> = self
+                .state
                 .cached_prototypes
                 .iter()
                 .flatten()
@@ -469,7 +490,7 @@ impl Federation for FedPkd {
                 proto_outliers = outliers;
                 if obs.enabled() {
                     let (mean_l2, max_l2) =
-                        Self::prototype_drift(&self.global_prototypes, &new_prototypes);
+                        Self::prototype_drift(&self.state.global_prototypes, &new_prototypes);
                     obs.record(&TelemetryEvent::PrototypeDrift {
                         round,
                         classes_present: new_prototypes.iter().filter(|p| p.is_some()).count(),
@@ -477,7 +498,7 @@ impl Federation for FedPkd {
                         max_l2,
                     });
                 }
-                self.global_prototypes = new_prototypes;
+                self.state.global_prototypes = new_prototypes;
             }
             // On Err — no cache entries at all, or (with admission
             // disabled) divergent widths — the previous prototype
@@ -499,12 +520,13 @@ impl Federation for FedPkd {
         //      (Eqs. 11–13).
         let phase_started = Instant::now();
         let selected: Vec<usize> = if self.config.use_filter && self.config.use_prototypes {
-            let server_features = eval::features_on(&mut self.server_model, &self.scenario.public);
+            let server_features =
+                eval::features_on(&mut self.state.server_model, &self.scenario.public);
             if obs.enabled() {
                 let (selected, stats) = filter_public_with_stats(
                     &server_features,
                     &pseudo,
-                    &self.global_prototypes,
+                    &self.state.global_prototypes,
                     self.config.theta,
                 );
                 obs.record(&TelemetryEvent::FilterOutcome {
@@ -520,7 +542,7 @@ impl Federation for FedPkd {
                 filter_public(
                     &server_features,
                     &pseudo,
-                    &self.global_prototypes,
+                    &self.state.global_prototypes,
                     self.config.theta,
                 )
             }
@@ -547,17 +569,17 @@ impl Federation for FedPkd {
         };
         let phase_started = Instant::now();
         let distill_stats = train_server(
-            &mut self.server_model,
+            &mut self.state.server_model,
             &subset_features,
             &teacher_probs,
             &subset_pseudo,
-            &self.global_prototypes,
+            &self.state.global_prototypes,
             delta,
             self.config.temperature,
             self.config.server_epochs,
             self.config.batch_size,
-            &mut self.server_optimizer,
-            &mut self.server_rng,
+            &mut self.state.server_optimizer,
+            &mut self.state.server_rng,
         );
         obs.record(&TelemetryEvent::ServerDistill {
             round,
@@ -573,7 +595,7 @@ impl Federation for FedPkd {
         //      public set), which is FedPKD's downlink saving.
         let phase_started = Instant::now();
         let subset_dataset = self.scenario.public.subset(&selected);
-        let mut server_logits = eval::logits_on(&mut self.server_model, &subset_dataset);
+        let mut server_logits = eval::logits_on(&mut self.state.server_model, &subset_dataset);
         let selected_ids: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
         let downlink_quantized = if self.config.quantize_knowledge {
             let quantized = QuantizedLogits::from_values(
@@ -588,7 +610,7 @@ impl Federation for FedPkd {
             None
         };
         let server_probs = softmax(&server_logits, self.config.temperature);
-        let proto_entries = global_to_wire_entries(&self.global_prototypes);
+        let proto_entries = global_to_wire_entries(&self.state.global_prototypes);
         for client in cohort.survivors() {
             match downlink_quantized {
                 Some(bytes) => ledger.record_bytes(round, client, Direction::Downlink, bytes),
@@ -635,21 +657,107 @@ impl Federation for FedPkd {
 
     fn server_accuracy(&mut self) -> Option<f64> {
         Some(eval::accuracy(
-            &mut self.server_model,
+            &mut self.state.server_model,
             &self.scenario.global_test,
         ))
     }
 
     fn client_accuracies(&mut self) -> Vec<f64> {
-        crate::clients::client_accuracies(&mut self.clients, &self.scenario)
+        crate::clients::client_accuracies(&mut self.state.clients, &self.scenario)
     }
 
     fn driver(&self) -> &DriverState {
-        &self.driver
+        &self.state.driver
     }
 
     fn driver_mut(&mut self) -> &mut DriverState {
-        &mut self.driver
+        &mut self.state.driver
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        snapshot::write_clients(&mut w, &self.state.clients);
+        snapshot::write_model(&mut w, &self.state.server_model);
+        snapshot::write_adam(&mut w, &self.state.server_optimizer);
+        snapshot::write_rng(&mut w, &self.state.server_rng);
+        snapshot::write_opt_tensors(&mut w, &self.state.global_prototypes);
+        // The stale-prototype cache: per client an optional
+        // (upload round, per-class optional prototype) entry.
+        w.put_usize(self.state.cached_prototypes.len());
+        for entry in &self.state.cached_prototypes {
+            match entry {
+                Some((round, protos)) => {
+                    w.put_bool(true);
+                    w.put_usize(*round);
+                    w.put_usize(protos.len());
+                    for proto in protos {
+                        match proto {
+                            Some(p) => {
+                                w.put_bool(true);
+                                w.put_usize(p.count);
+                                snapshot::write_tensor(&mut w, &p.vector);
+                            }
+                            None => w.put_bool(false),
+                        }
+                    }
+                }
+                None => w.put_bool(false),
+            }
+        }
+        snapshot::write_quarantine(&mut w, &self.state.quarantine);
+        snapshot::write_driver(&mut w, &self.state.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        snapshot::check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        snapshot::read_clients(&mut r, &mut self.state.clients)?;
+        snapshot::read_model(&mut r, &mut self.state.server_model)?;
+        snapshot::read_adam(&mut r, &mut self.state.server_optimizer)?;
+        self.state.server_rng = snapshot::read_rng(&mut r)?;
+        let global_prototypes = snapshot::read_opt_tensors(&mut r)?;
+        if global_prototypes.len() != self.state.global_prototypes.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot has {} classes of global prototypes, instance has {}",
+                global_prototypes.len(),
+                self.state.global_prototypes.len()
+            )));
+        }
+        let cache_len = r.take_usize()?;
+        if cache_len != self.state.cached_prototypes.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot caches prototypes for {cache_len} clients, instance has {}",
+                self.state.cached_prototypes.len()
+            )));
+        }
+        let mut cached_prototypes = Vec::with_capacity(cache_len);
+        for _ in 0..cache_len {
+            cached_prototypes.push(if r.take_bool()? {
+                let round = r.take_usize()?;
+                let num_protos = r.take_usize()?;
+                let mut protos = Vec::with_capacity(num_protos.min(1 << 20));
+                for _ in 0..num_protos {
+                    protos.push(if r.take_bool()? {
+                        let count = r.take_usize()?;
+                        let vector = snapshot::read_tensor(&mut r)?;
+                        Some(Prototype { count, vector })
+                    } else {
+                        None
+                    });
+                }
+                Some((round, protos))
+            } else {
+                None
+            });
+        }
+        snapshot::read_quarantine(&mut r, &mut self.state.quarantine)?;
+        let driver = snapshot::read_driver(&mut r)?;
+        r.finish()?;
+        self.state.global_prototypes = global_prototypes;
+        self.state.cached_prototypes = cached_prototypes;
+        self.state.driver = driver;
+        Ok(())
     }
 }
 
@@ -925,7 +1033,7 @@ mod tests {
             &mut ledger,
             &mut NullObserver,
         );
-        assert!(algo.cached_prototypes[2]
+        assert!(algo.state.cached_prototypes[2]
             .as_ref()
             .is_some_and(|&(uploaded, _)| uploaded == 0));
         // No round-1 uplink bytes for the dropped client.

@@ -58,10 +58,12 @@ pub mod eval;
 pub mod fedpkd;
 pub mod robust;
 pub mod runtime;
+pub mod snapshot;
 pub mod telemetry;
 pub mod train;
 
 pub use admission::{AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReason};
 pub use robust::{AggregationError, RobustAggregation};
 pub use runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
+pub use snapshot::{AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use telemetry::{EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent};

@@ -27,6 +27,7 @@ use std::time::Instant;
 
 use fedpkd_netsim::{Cohort, CommLedger, FaultPlan, RoundContext};
 
+use crate::snapshot::{AlgorithmState, SnapshotError};
 use crate::telemetry::{emit_phase_timing, NullObserver, Phase, RoundObserver, TelemetryEvent};
 
 /// Metrics captured after one communication round.
@@ -140,6 +141,25 @@ impl DriverState {
     pub fn rounds_driven(&self) -> usize {
         self.rounds_driven
     }
+
+    /// The lifetime communication ledger.
+    pub fn ledger(&self) -> &CommLedger {
+        &self.ledger
+    }
+
+    /// Rebuilds a driver state from snapshotted parts (see
+    /// [`crate::snapshot::read_driver`]).
+    ///
+    /// Restoring the ledger alongside the round counter matters for more
+    /// than accounting: the driver seeds the straggler-deadline estimate
+    /// from the previous round's recorded uplinks, so a resumed run only
+    /// evaluates fault plans bit-identically if the ledger came back too.
+    pub fn from_parts(rounds_driven: usize, ledger: CommLedger) -> Self {
+        Self {
+            rounds_driven,
+            ledger,
+        }
+    }
 }
 
 /// The low-level SPI a federated learning algorithm implements.
@@ -198,6 +218,29 @@ pub trait Federation {
 
     /// Mutable access to the driver's persistent book-keeping.
     fn driver_mut(&mut self) -> &mut DriverState;
+
+    /// Captures the algorithm's complete owned state — models, optimizer
+    /// moments, RNG positions, caches, driver book-keeping — at the current
+    /// round boundary.
+    ///
+    /// The contract (verified end to end by `tests/checkpoint.rs`) is that
+    /// [`restore`](Self::restore)-ing the snapshot into a freshly
+    /// constructed same-config instance and continuing yields bit-identical
+    /// results to never having stopped.
+    fn snapshot(&self) -> AlgorithmState;
+
+    /// Restores state captured by [`snapshot`](Self::snapshot) into this
+    /// instance, which must have been built with the same configuration
+    /// (scenario, specs, seed, hyperparameters).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::AlgorithmMismatch`] when the snapshot belongs to a
+    /// different algorithm, and the decoding errors of
+    /// [`crate::snapshot`] for truncated/corrupt/mismatched payloads. On
+    /// error the instance may have been partially overwritten and should
+    /// be discarded, not reused.
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError>;
 }
 
 /// The uniform interface every federated algorithm is driven through.
@@ -287,6 +330,62 @@ pub trait FlAlgorithm {
     /// Panics if `rounds == 0`.
     fn run_silent_with_faults(&mut self, rounds: usize, plan: &FaultPlan) -> RunResult {
         self.run_with_faults(rounds, Some(plan), &mut NullObserver)
+    }
+
+    /// Captures the algorithm's complete owned state at the current round
+    /// boundary (the silent form of [`take_snapshot`](Self::take_snapshot);
+    /// see [`Federation::snapshot`]).
+    fn snapshot_state(&self) -> AlgorithmState;
+
+    /// Restores state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into this same-config instance.
+    ///
+    /// # Errors
+    ///
+    /// See [`Federation::restore`]. On error the instance may be partially
+    /// overwritten and should be discarded.
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError>;
+
+    /// Captures a snapshot and announces it on the telemetry stream as
+    /// [`TelemetryEvent::SnapshotTaken`].
+    fn take_snapshot(&self, obs: &mut dyn RoundObserver) -> AlgorithmState {
+        let state = self.snapshot_state();
+        obs.record(&TelemetryEvent::SnapshotTaken {
+            round: self.rounds_driven(),
+            bytes: state.encoded_len(),
+        });
+        state
+    }
+
+    /// Restores `state` and continues the run for `rounds` more rounds
+    /// under an optional fault plan.
+    ///
+    /// Emits [`TelemetryEvent::SnapshotRestored`] before the first resumed
+    /// round. Round numbering, the ledger, and fault-plan evaluation
+    /// continue exactly where the snapshot left off, so — the stack being
+    /// fully deterministic — the resumed rounds are bit-identical to the
+    /// rounds an uninterrupted run would have produced.
+    ///
+    /// # Errors
+    ///
+    /// See [`Federation::restore`]; nothing runs if the restore fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0`.
+    fn run_resumed(
+        &mut self,
+        state: &AlgorithmState,
+        rounds: usize,
+        plan: Option<&FaultPlan>,
+        obs: &mut dyn RoundObserver,
+    ) -> Result<RunResult, SnapshotError> {
+        self.restore_state(state)?;
+        obs.record(&TelemetryEvent::SnapshotRestored {
+            round: self.rounds_driven(),
+            bytes: state.encoded_len(),
+        });
+        Ok(self.run_with_faults(rounds, plan, obs))
     }
 }
 
@@ -394,6 +493,14 @@ impl<F: Federation> FlAlgorithm for F {
         self.driver_mut().ledger = ledger.clone();
         RunResult { history, ledger }
     }
+
+    fn snapshot_state(&self) -> AlgorithmState {
+        Federation::snapshot(self)
+    }
+
+    fn restore_state(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        Federation::restore(self, state)
+    }
 }
 
 #[cfg(test)]
@@ -461,6 +568,19 @@ mod tests {
         }
         fn driver_mut(&mut self) -> &mut DriverState {
             &mut self.driver
+        }
+        fn snapshot(&self) -> AlgorithmState {
+            let mut w = crate::snapshot::SnapshotWriter::new();
+            w.put_f64(self.acc);
+            crate::snapshot::write_driver(&mut w, &self.driver);
+            AlgorithmState::new(Federation::name(self), w.into_bytes())
+        }
+        fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+            crate::snapshot::check_algorithm(state, Federation::name(self))?;
+            let mut r = crate::snapshot::SnapshotReader::new(state.payload());
+            self.acc = r.take_f64()?;
+            self.driver = crate::snapshot::read_driver(&mut r)?;
+            r.finish()
         }
     }
 
@@ -629,6 +749,82 @@ mod tests {
             }
             other => panic!("unexpected last event {other:?}"),
         }
+    }
+
+    #[test]
+    fn snapshot_resume_matches_uninterrupted_run() {
+        let plan = FaultPlan::new(3).with_dropout(0.3);
+        let mut straight = FakeFed::new();
+        let full = straight.run_silent_with_faults(6, &plan);
+
+        let mut first_half = FakeFed::new();
+        let _ = first_half.run_silent_with_faults(3, &plan);
+        let state = first_half.take_snapshot(&mut NullObserver);
+        drop(first_half); // the "crash"
+
+        let mut resumed = FakeFed::new();
+        let second = resumed
+            .run_resumed(&state, 3, Some(&plan), &mut NullObserver)
+            .unwrap();
+        assert_eq!(second.history, full.history[3..].to_vec());
+        assert_eq!(second.ledger, full.ledger);
+    }
+
+    #[test]
+    fn snapshot_survives_the_byte_codec() {
+        let mut fed = FakeFed::new();
+        let _ = fed.run_silent(2);
+        let state = fed.snapshot_state();
+        let bytes = state.to_bytes();
+        let decoded = AlgorithmState::from_bytes(&bytes).unwrap();
+        let mut restored = FakeFed::new();
+        restored.restore_state(&decoded).unwrap();
+        assert_eq!(restored.rounds_driven(), 2);
+        assert_eq!(restored.acc, fed.acc);
+        assert_eq!(restored.driver, fed.driver);
+    }
+
+    #[test]
+    fn snapshot_telemetry_frames_the_operations() {
+        let mut fed = FakeFed::new();
+        let _ = fed.run_silent(1);
+        let mut log = EventLog::new();
+        let state = fed.take_snapshot(&mut log);
+        let mut resumed = FakeFed::new();
+        let _ = resumed.run_resumed(&state, 1, None, &mut log).unwrap();
+        let kinds: Vec<&str> = log.events().iter().map(TelemetryEvent::kind).collect();
+        assert_eq!(kinds[0], "snapshot_taken");
+        assert_eq!(kinds[1], "snapshot_restored");
+        match (&log.events()[0], &log.events()[1]) {
+            (
+                TelemetryEvent::SnapshotTaken {
+                    round: r0,
+                    bytes: b0,
+                },
+                TelemetryEvent::SnapshotRestored {
+                    round: r1,
+                    bytes: b1,
+                },
+            ) => {
+                assert_eq!((*r0, *r1), (1, 1));
+                assert_eq!(*b0, state.encoded_len());
+                assert_eq!(*b1, state.encoded_len());
+            }
+            other => panic!("unexpected events {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_foreign_snapshots() {
+        let state = AlgorithmState::new("NotFake", Vec::new());
+        let err = FakeFed::new().restore_state(&state).unwrap_err();
+        assert_eq!(
+            err,
+            SnapshotError::AlgorithmMismatch {
+                expected: "Fake".into(),
+                found: "NotFake".into(),
+            }
+        );
     }
 
     #[test]

@@ -1,0 +1,1005 @@
+//! Versioned binary snapshots of algorithm state.
+//!
+//! Every algorithm in this workspace is split into a *config* half (static,
+//! rebuilt from code) and a *state* half (models, optimizer moments, RNG
+//! positions, caches, driver book-keeping). This module gives the state
+//! half a byte representation: [`Federation::snapshot`] packs it into an
+//! [`AlgorithmState`], [`AlgorithmState::to_bytes`] frames it with a magic
+//! number, format version, and checksum, and
+//! [`Federation::restore`] rebuilds a fresh same-config instance into the
+//! exact saved state. Because the whole stack is deterministic (seeded
+//! xoshiro streams, ordered reductions, pure fault plans), a restored run
+//! is **bit-identical** to one that never stopped — which makes the codec
+//! double as a correctness oracle for the rest of the codebase.
+//!
+//! [`Federation::snapshot`]: crate::runtime::Federation::snapshot
+//! [`Federation::restore`]: crate::runtime::Federation::restore
+//!
+//! # Wire format
+//!
+//! All integers are little-endian; lengths are `u64`. The envelope is
+//!
+//! ```text
+//! magic "FPKD" (4) · version u32 · algorithm name (len + utf8)
+//! · payload (len + bytes) · FNV-1a64 checksum of everything before it (8)
+//! ```
+//!
+//! The payload layout is private to each algorithm, assembled from the
+//! primitives of [`SnapshotWriter`] and the typed helpers below
+//! ([`write_model`], [`write_adam`], [`write_clients`], [`write_driver`],
+//! …). Truncated, corrupted, or mismatched bytes surface as typed
+//! [`SnapshotError`]s — decoding never panics.
+//!
+//! # Examples
+//!
+//! ```
+//! use fedpkd_core::snapshot::{AlgorithmState, SnapshotError};
+//!
+//! let state = AlgorithmState::new("FedAvg", vec![1, 2, 3]);
+//! let bytes = state.to_bytes();
+//! assert_eq!(bytes.len(), state.encoded_len());
+//! assert_eq!(AlgorithmState::from_bytes(&bytes)?, state);
+//!
+//! // A flipped payload bit is caught by the checksum.
+//! let mut corrupt = bytes.clone();
+//! let mid = corrupt.len() / 2;
+//! corrupt[mid] ^= 0x40;
+//! assert_eq!(
+//!     AlgorithmState::from_bytes(&corrupt),
+//!     Err(SnapshotError::ChecksumMismatch)
+//! );
+//! # Ok::<(), SnapshotError>(())
+//! ```
+
+use crate::admission::QuarantineTracker;
+use crate::clients::ClientState;
+use crate::runtime::DriverState;
+use fedpkd_netsim::{CommLedger, Direction, TransferRecord};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::nn::Layer;
+use fedpkd_tensor::optim::Adam;
+use fedpkd_tensor::serialize::{load_state_vector, state_vector};
+use fedpkd_tensor::Tensor;
+
+/// The 4-byte magic number opening every snapshot.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FPKD";
+
+/// The current snapshot format version.
+///
+/// Bump on any layout change; decoding rejects other versions with
+/// [`SnapshotError::UnsupportedVersion`] rather than misinterpreting bytes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot could not be decoded or applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// The byte stream ended before the value being decoded was complete.
+    Truncated,
+    /// The bytes do not start with the `FPKD` magic number — not a
+    /// snapshot.
+    BadMagic,
+    /// The snapshot was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the envelope.
+        found: u32,
+        /// Version this build supports.
+        supported: u32,
+    },
+    /// The envelope checksum does not match — the bytes were corrupted.
+    ChecksumMismatch,
+    /// The snapshot belongs to a different algorithm than the instance it
+    /// is being restored into.
+    AlgorithmMismatch {
+        /// Algorithm of the instance being restored.
+        expected: String,
+        /// Algorithm named in the snapshot.
+        found: String,
+    },
+    /// The bytes decoded but describe an impossible or mismatched state
+    /// (wrong client count, bad tensor shape, unknown enum tag, …).
+    Malformed(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "snapshot bytes are truncated"),
+            Self::BadMagic => write!(f, "not a snapshot: bad magic number"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported snapshot version {found} (this build supports {supported})"
+            ),
+            Self::ChecksumMismatch => write!(f, "snapshot checksum mismatch: bytes are corrupted"),
+            Self::AlgorithmMismatch { expected, found } => write!(
+                f,
+                "snapshot is for algorithm {found:?}, cannot restore into {expected:?}"
+            ),
+            Self::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// An algorithm's complete owned state, captured at a round boundary.
+///
+/// The payload is an opaque algorithm-specific byte layout; the envelope
+/// ([`to_bytes`](Self::to_bytes)/[`from_bytes`](Self::from_bytes)) adds
+/// framing, versioning, and corruption detection so snapshots can safely
+/// travel through files, sockets, or object stores.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmState {
+    algorithm: String,
+    payload: Vec<u8>,
+}
+
+impl AlgorithmState {
+    /// Wraps an algorithm's serialized state.
+    pub fn new(algorithm: impl Into<String>, payload: Vec<u8>) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            payload,
+        }
+    }
+
+    /// The display name of the algorithm that produced this state.
+    pub fn algorithm(&self) -> &str {
+        &self.algorithm
+    }
+
+    /// The algorithm-specific state bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// Serializes the full envelope: magic, version, algorithm name,
+    /// payload, checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.encoded_len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.algorithm.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.algorithm.as_bytes());
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload);
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Exact length of [`to_bytes`](Self::to_bytes)' output, without
+    /// encoding.
+    pub fn encoded_len(&self) -> usize {
+        4 + 4 + 8 + self.algorithm.len() + 8 + self.payload.len() + 8
+    }
+
+    /// Decodes and validates an envelope produced by
+    /// [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`] if the bytes are not a snapshot,
+    /// [`SnapshotError::UnsupportedVersion`] for other format versions,
+    /// [`SnapshotError::Truncated`] if the stream ends early,
+    /// [`SnapshotError::Malformed`] for trailing garbage or invalid UTF-8,
+    /// and [`SnapshotError::ChecksumMismatch`] if the content was
+    /// corrupted in transit.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() {
+            return Err(SnapshotError::Truncated);
+        }
+        if bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut r = SnapshotReader::new(&bytes[SNAPSHOT_MAGIC.len()..]);
+        let version = r.take_u32()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let algorithm = r.take_str()?;
+        let payload = r.take_blob()?;
+        let stored = r.take_u64()?;
+        r.finish()?;
+        if fnv1a(&bytes[..bytes.len() - 8]) != stored {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        Ok(Self { algorithm, payload })
+    }
+}
+
+/// Little-endian binary encoder for snapshot payloads.
+///
+/// Writers never fail; the matching [`SnapshotReader`] carries all the
+/// error handling.
+#[derive(Debug, Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` by its bit pattern (NaN-exact).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by its bit pattern (NaN-exact).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte.
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice.
+    pub fn put_f32s(&mut self, vs: &[f32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// Little-endian binary decoder for snapshot payloads.
+///
+/// Every `take_*` returns [`SnapshotError::Truncated`] when the stream
+/// ends early; [`finish`](Self::finish) rejects trailing bytes.
+#[derive(Debug)]
+pub struct SnapshotReader<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Wraps a byte slice for decoding.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.bytes.len() < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let (head, rest) = self.bytes.split_at(n);
+        self.bytes = rest;
+        Ok(head)
+    }
+
+    /// Reads one byte.
+    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u32`.
+    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads a `u64`.
+    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a `usize` written with [`SnapshotWriter::put_usize`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] if the value does not fit `usize` on
+    /// this platform.
+    pub fn take_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| SnapshotError::Malformed("length overflows usize".into()))
+    }
+
+    /// Reads an `f32` bit pattern.
+    pub fn take_f32(&mut self) -> Result<f32, SnapshotError> {
+        Ok(f32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        Ok(f64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    /// Reads a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] unless the byte is 0 or 1.
+    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Malformed(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on invalid UTF-8.
+    pub fn take_str(&mut self) -> Result<String, SnapshotError> {
+        let len = self.take_usize()?;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec())
+            .map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed raw byte blob.
+    pub fn take_blob(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let len = self.take_usize()?;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    /// Reads a length-prefixed `f32` slice.
+    pub fn take_f32s(&mut self) -> Result<Vec<f32>, SnapshotError> {
+        let len = self.take_usize()?;
+        let raw = self.take(
+            len.checked_mul(4)
+                .ok_or_else(|| SnapshotError::Malformed("f32 slice length overflows".into()))?,
+        )?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Asserts the stream was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] if bytes remain.
+    pub fn finish(&self) -> Result<(), SnapshotError> {
+        if self.bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes",
+                self.bytes.len()
+            )))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed helpers for the state shared by FedPKD and the baselines.
+// ---------------------------------------------------------------------------
+
+/// Guards a restore: the snapshot must name the restoring algorithm.
+///
+/// # Errors
+///
+/// [`SnapshotError::AlgorithmMismatch`] otherwise.
+pub fn check_algorithm(state: &AlgorithmState, expected: &str) -> Result<(), SnapshotError> {
+    if state.algorithm() == expected {
+        Ok(())
+    } else {
+        Err(SnapshotError::AlgorithmMismatch {
+            expected: expected.to_string(),
+            found: state.algorithm().to_string(),
+        })
+    }
+}
+
+/// Writes an RNG's raw xoshiro state (4 × u64).
+pub fn write_rng(w: &mut SnapshotWriter, rng: &Rng) {
+    for word in rng.state() {
+        w.put_u64(word);
+    }
+}
+
+/// Reads an RNG state written by [`write_rng`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] on the (unreachable from a real generator)
+/// all-zero state.
+pub fn read_rng(r: &mut SnapshotReader) -> Result<Rng, SnapshotError> {
+    let mut s = [0u64; 4];
+    for word in &mut s {
+        *word = r.take_u64()?;
+    }
+    if s.iter().all(|&w| w == 0) {
+        return Err(SnapshotError::Malformed("all-zero RNG state".into()));
+    }
+    Ok(Rng::from_state(s))
+}
+
+/// Writes a tensor: shape, then data.
+pub fn write_tensor(w: &mut SnapshotWriter, t: &Tensor) {
+    w.put_usize(t.shape().len());
+    for &dim in t.shape() {
+        w.put_usize(dim);
+    }
+    w.put_f32s(t.as_slice());
+}
+
+/// Reads a tensor written by [`write_tensor`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] if the data length disagrees with the
+/// shape.
+pub fn read_tensor(r: &mut SnapshotReader) -> Result<Tensor, SnapshotError> {
+    let rank = r.take_usize()?;
+    if rank > 8 {
+        return Err(SnapshotError::Malformed(format!("tensor rank {rank}")));
+    }
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(r.take_usize()?);
+    }
+    let data = r.take_f32s()?;
+    Tensor::from_vec(data, &shape).map_err(|e| SnapshotError::Malformed(format!("bad tensor: {e}")))
+}
+
+/// Writes a model's full state (parameters + buffers) in
+/// `serialize::state_vector` visitation order.
+pub fn write_model(w: &mut SnapshotWriter, model: &dyn Layer) {
+    w.put_f32s(&state_vector(model));
+}
+
+/// Reads a model state written by [`write_model`] into `model`, which must
+/// have the same architecture.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] if the value count does not match the
+/// model; `model` is left untouched in that case.
+pub fn read_model(r: &mut SnapshotReader, model: &mut dyn Layer) -> Result<(), SnapshotError> {
+    let values = r.take_f32s()?;
+    load_state_vector(model, &values)
+        .map_err(|e| SnapshotError::Malformed(format!("model state mismatch: {e}")))
+}
+
+/// Writes an Adam optimizer's mutable state: learning rate, step count,
+/// and both moment buffers.
+pub fn write_adam(w: &mut SnapshotWriter, opt: &Adam) {
+    use fedpkd_tensor::optim::Optimizer;
+    w.put_f32(opt.learning_rate());
+    w.put_u64(opt.step_count());
+    let (m, v) = opt.moments();
+    w.put_usize(m.len());
+    for t in m.iter().chain(v) {
+        write_tensor(w, t);
+    }
+}
+
+/// Reads Adam state written by [`write_adam`] into `opt`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] on a non-positive learning rate or
+/// mismatched moment pairs.
+pub fn read_adam(r: &mut SnapshotReader, opt: &mut Adam) -> Result<(), SnapshotError> {
+    use fedpkd_tensor::optim::Optimizer;
+    let lr = r.take_f32()?;
+    if !(lr.is_finite() && lr > 0.0) {
+        return Err(SnapshotError::Malformed(format!("bad learning rate {lr}")));
+    }
+    let t = r.take_u64()?;
+    let count = r.take_usize()?;
+    let read_moments = |r: &mut SnapshotReader| -> Result<Vec<Tensor>, SnapshotError> {
+        (0..count).map(|_| read_tensor(r)).collect()
+    };
+    let m = read_moments(r)?;
+    let v = read_moments(r)?;
+    for (m_i, v_i) in m.iter().zip(&v) {
+        if m_i.shape() != v_i.shape() {
+            return Err(SnapshotError::Malformed("moment shapes differ".into()));
+        }
+    }
+    opt.set_learning_rate(lr);
+    opt.restore_state(t, m, v);
+    Ok(())
+}
+
+/// Writes one client's full state: model, optimizer, RNG stream.
+pub fn write_client(w: &mut SnapshotWriter, client: &ClientState) {
+    write_model(w, &client.model);
+    write_adam(w, &client.optimizer);
+    write_rng(w, &client.rng);
+}
+
+/// Reads one client state written by [`write_client`].
+///
+/// # Errors
+///
+/// Propagates the model/optimizer/RNG decoding errors.
+pub fn read_client(r: &mut SnapshotReader, client: &mut ClientState) -> Result<(), SnapshotError> {
+    read_model(r, &mut client.model)?;
+    read_adam(r, &mut client.optimizer)?;
+    client.rng = read_rng(r)?;
+    Ok(())
+}
+
+/// Writes a whole client fleet, count-prefixed.
+pub fn write_clients(w: &mut SnapshotWriter, clients: &[ClientState]) {
+    w.put_usize(clients.len());
+    for client in clients {
+        write_client(w, client);
+    }
+}
+
+/// Reads a fleet written by [`write_clients`] into `clients`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] if the snapshot's client count differs
+/// from `clients.len()`.
+pub fn read_clients(
+    r: &mut SnapshotReader,
+    clients: &mut [ClientState],
+) -> Result<(), SnapshotError> {
+    let count = r.take_usize()?;
+    if count != clients.len() {
+        return Err(SnapshotError::Malformed(format!(
+            "snapshot has {count} clients, instance has {}",
+            clients.len()
+        )));
+    }
+    for client in clients {
+        read_client(r, client)?;
+    }
+    Ok(())
+}
+
+/// Writes the shared driver's book-keeping: rounds driven plus the full
+/// communication ledger.
+pub fn write_driver(w: &mut SnapshotWriter, driver: &DriverState) {
+    w.put_usize(driver.rounds_driven());
+    let ledger = driver.ledger();
+    w.put_usize(ledger.num_transfers());
+    for t in ledger.transfers() {
+        w.put_usize(t.round);
+        w.put_usize(t.client);
+        w.put_u8(match t.direction {
+            Direction::Uplink => 0,
+            Direction::Downlink => 1,
+        });
+        w.put_usize(t.bytes);
+    }
+}
+
+/// Reads driver book-keeping written by [`write_driver`].
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] on an unknown direction tag.
+pub fn read_driver(r: &mut SnapshotReader) -> Result<DriverState, SnapshotError> {
+    let rounds_driven = r.take_usize()?;
+    let count = r.take_usize()?;
+    let mut records = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let round = r.take_usize()?;
+        let client = r.take_usize()?;
+        let direction = match r.take_u8()? {
+            0 => Direction::Uplink,
+            1 => Direction::Downlink,
+            other => {
+                return Err(SnapshotError::Malformed(format!(
+                    "bad direction tag {other}"
+                )))
+            }
+        };
+        let bytes = r.take_usize()?;
+        records.push(TransferRecord {
+            round,
+            client,
+            direction,
+            bytes,
+        });
+    }
+    Ok(DriverState::from_parts(
+        rounds_driven,
+        CommLedger::from_transfers(records),
+    ))
+}
+
+/// Writes a quarantine tracker's cross-round state (streaks + flags).
+pub fn write_quarantine(w: &mut SnapshotWriter, tracker: &QuarantineTracker) {
+    let streaks = tracker.streaks();
+    w.put_usize(streaks.len());
+    for &s in streaks {
+        w.put_usize(s);
+    }
+    for &q in tracker.quarantined_flags() {
+        w.put_bool(q);
+    }
+}
+
+/// Reads tracker state written by [`write_quarantine`] into `tracker`.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] if the client count differs from the
+/// tracker's.
+pub fn read_quarantine(
+    r: &mut SnapshotReader,
+    tracker: &mut QuarantineTracker,
+) -> Result<(), SnapshotError> {
+    let count = r.take_usize()?;
+    if count != tracker.streaks().len() {
+        return Err(SnapshotError::Malformed(format!(
+            "snapshot tracks {count} clients, tracker has {}",
+            tracker.streaks().len()
+        )));
+    }
+    let mut consecutive = Vec::with_capacity(count);
+    for _ in 0..count {
+        consecutive.push(r.take_usize()?);
+    }
+    let mut quarantined = Vec::with_capacity(count);
+    for _ in 0..count {
+        quarantined.push(r.take_bool()?);
+    }
+    tracker.restore_parts(consecutive, quarantined);
+    Ok(())
+}
+
+/// Writes a `Vec<Option<Tensor>>` (per-class prototypes, cached logits…).
+pub fn write_opt_tensors(w: &mut SnapshotWriter, tensors: &[Option<Tensor>]) {
+    w.put_usize(tensors.len());
+    for t in tensors {
+        match t {
+            Some(t) => {
+                w.put_bool(true);
+                write_tensor(w, t);
+            }
+            None => w.put_bool(false),
+        }
+    }
+}
+
+/// Reads a vector written by [`write_opt_tensors`].
+///
+/// # Errors
+///
+/// Propagates tensor decoding errors.
+pub fn read_opt_tensors(r: &mut SnapshotReader) -> Result<Vec<Option<Tensor>>, SnapshotError> {
+    let count = r.take_usize()?;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        out.push(if r.take_bool()? {
+            Some(read_tensor(r)?)
+        } else {
+            None
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_state() -> AlgorithmState {
+        AlgorithmState::new("FedPKD", vec![0xAB; 100])
+    }
+
+    #[test]
+    fn envelope_round_trips() {
+        let state = sample_state();
+        let bytes = state.to_bytes();
+        assert_eq!(bytes.len(), state.encoded_len());
+        assert_eq!(AlgorithmState::from_bytes(&bytes).unwrap(), state);
+        assert_eq!(state.algorithm(), "FedPKD");
+        assert_eq!(state.payload().len(), 100);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample_state().to_bytes();
+        for len in 0..bytes.len() {
+            let err = AlgorithmState::from_bytes(&bytes[..len])
+                .expect_err("truncated snapshot must not decode");
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated | SnapshotError::ChecksumMismatch
+                ),
+                "unexpected error at length {len}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let bytes = sample_state().to_bytes();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                AlgorithmState::from_bytes(&corrupt).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_reported_first() {
+        let mut bytes = sample_state().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(
+            AlgorithmState::from_bytes(&bytes),
+            Err(SnapshotError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn future_versions_are_rejected() {
+        let mut bytes = sample_state().to_bytes();
+        bytes[4..8].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            AlgorithmState::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion {
+                found: SNAPSHOT_VERSION + 1,
+                supported: SNAPSHOT_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = sample_state().to_bytes();
+        bytes.push(0);
+        assert!(AlgorithmState::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapshotWriter::new();
+        w.put_u8(7);
+        w.put_u32(u32::MAX);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f32(-0.0);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bool(true);
+        w.put_str("héllo");
+        w.put_f32s(&[1.0, f32::NAN, -3.5]);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(r.take_u8().unwrap(), 7);
+        assert_eq!(r.take_u32().unwrap(), u32::MAX);
+        assert_eq!(r.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.take_usize().unwrap(), 42);
+        assert_eq!(r.take_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.take_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.take_bool().unwrap());
+        assert_eq!(r.take_str().unwrap(), "héllo");
+        let fs = r.take_f32s().unwrap();
+        assert_eq!(fs.len(), 3);
+        assert_eq!(fs[0], 1.0);
+        assert!(fs[1].is_nan());
+        assert_eq!(fs[2], -3.5);
+        r.finish().unwrap();
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn reader_rejects_bad_bool_and_truncation() {
+        let mut r = SnapshotReader::new(&[2]);
+        assert!(matches!(r.take_bool(), Err(SnapshotError::Malformed(_))));
+        let mut r = SnapshotReader::new(&[1, 2, 3]);
+        assert_eq!(r.take_u64(), Err(SnapshotError::Truncated));
+        let r = SnapshotReader::new(&[0]);
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn rng_round_trips_mid_stream() {
+        let mut rng = Rng::seed_from_u64(9);
+        let _ = rng.next_u64();
+        let mut w = SnapshotWriter::new();
+        write_rng(&mut w, &rng);
+        let expected = rng.next_u64();
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let mut restored = read_rng(&mut r).unwrap();
+        assert_eq!(restored.next_u64(), expected);
+    }
+
+    #[test]
+    fn all_zero_rng_state_is_malformed() {
+        let bytes = [0u8; 32];
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(read_rng(&mut r), Err(SnapshotError::Malformed(_))));
+    }
+
+    #[test]
+    fn tensor_round_trips_bitwise() {
+        let t = Tensor::from_vec(vec![1.5, -0.0, f32::NAN, 7.25, 0.1, -9.0], &[2, 3]).unwrap();
+        let mut w = SnapshotWriter::new();
+        write_tensor(&mut w, &t);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let back = read_tensor(&mut r).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        for (a, b) in back.as_slice().iter().zip(t.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn tensor_shape_data_mismatch_is_malformed() {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(1); // rank
+        w.put_usize(4); // dim 4 …
+        w.put_f32s(&[1.0, 2.0]); // … but only 2 values
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            read_tensor(&mut r),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn adam_state_round_trips() {
+        use fedpkd_rng::Rng;
+        use fedpkd_tensor::nn::{Layer as _, Linear};
+        use fedpkd_tensor::optim::Optimizer;
+
+        let mut rng = Rng::seed_from_u64(3);
+        let mut layer = Linear::new(3, 2, &mut rng);
+        let mut opt = Adam::new(0.01);
+        layer.forward(&Tensor::zeros(&[1, 3]), true);
+        layer.backward(&Tensor::from_vec(vec![0.5, -0.5], &[1, 2]).unwrap());
+        opt.step(&mut layer);
+        let mut w = SnapshotWriter::new();
+        write_adam(&mut w, &opt);
+        let bytes = w.into_bytes();
+        let mut restored = Adam::new(0.5);
+        let mut r = SnapshotReader::new(&bytes);
+        read_adam(&mut r, &mut restored).unwrap();
+        assert_eq!(restored.learning_rate(), 0.01);
+        assert_eq!(restored.step_count(), 1);
+        let (m0, v0) = opt.moments();
+        let (m1, v1) = restored.moments();
+        assert_eq!(m0.len(), m1.len());
+        for (a, b) in m0.iter().zip(m1).chain(v0.iter().zip(v1)) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+
+    #[test]
+    fn driver_state_round_trips() {
+        let mut ledger = CommLedger::new();
+        ledger.record_bytes(0, 1, Direction::Uplink, 120);
+        ledger.record_bytes(2, 0, Direction::Downlink, 44);
+        let driver = DriverState::from_parts(3, ledger);
+        let mut w = SnapshotWriter::new();
+        write_driver(&mut w, &driver);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(read_driver(&mut r).unwrap(), driver);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn quarantine_round_trips_and_length_checks() {
+        let mut tracker = QuarantineTracker::new(3, 2);
+        tracker.record_rejection(1);
+        tracker.record_rejection(1);
+        assert!(tracker.is_quarantined(1));
+        let mut w = SnapshotWriter::new();
+        write_quarantine(&mut w, &tracker);
+        let bytes = w.into_bytes();
+        let mut restored = QuarantineTracker::new(3, 2);
+        let mut r = SnapshotReader::new(&bytes);
+        read_quarantine(&mut r, &mut restored).unwrap();
+        assert_eq!(restored, tracker);
+        // Wrong client count must be a typed error, not a panic.
+        let mut wrong = QuarantineTracker::new(5, 2);
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(matches!(
+            read_quarantine(&mut r, &mut wrong),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn opt_tensors_round_trip() {
+        let tensors = vec![
+            Some(Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap()),
+            None,
+            Some(Tensor::from_vec(vec![-3.0], &[1]).unwrap()),
+        ];
+        let mut w = SnapshotWriter::new();
+        write_opt_tensors(&mut w, &tensors);
+        let bytes = w.into_bytes();
+        let mut r = SnapshotReader::new(&bytes);
+        let back = read_opt_tensors(&mut r).unwrap();
+        assert_eq!(back.len(), 3);
+        assert!(back[1].is_none());
+        assert_eq!(back[0].as_ref().unwrap().as_slice(), &[1.0, 2.0]);
+        assert_eq!(back[2].as_ref().unwrap().as_slice(), &[-3.0]);
+    }
+
+    #[test]
+    fn errors_display_and_implement_error() {
+        let errs: Vec<SnapshotError> = vec![
+            SnapshotError::Truncated,
+            SnapshotError::BadMagic,
+            SnapshotError::UnsupportedVersion {
+                found: 9,
+                supported: 1,
+            },
+            SnapshotError::ChecksumMismatch,
+            SnapshotError::AlgorithmMismatch {
+                expected: "FedPKD".into(),
+                found: "FedAvg".into(),
+            },
+            SnapshotError::Malformed("oops".into()),
+        ];
+        for e in errs {
+            let _: &dyn std::error::Error = &e;
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -232,6 +232,23 @@ pub enum TelemetryEvent {
         /// fault injection).
         participation_rate: f64,
     },
+    /// A state snapshot was captured at a round boundary
+    /// (see [`FlAlgorithm::take_snapshot`](crate::runtime::FlAlgorithm::take_snapshot)).
+    SnapshotTaken {
+        /// Rounds driven when the snapshot was taken — the round a resumed
+        /// run will start from.
+        round: usize,
+        /// Encoded snapshot size in bytes.
+        bytes: usize,
+    },
+    /// A state snapshot was restored into a fresh instance
+    /// (see [`FlAlgorithm::run_resumed`](crate::runtime::FlAlgorithm::run_resumed)).
+    SnapshotRestored {
+        /// Rounds driven recorded in the snapshot — the next round to run.
+        round: usize,
+        /// Encoded snapshot size in bytes.
+        bytes: usize,
+    },
 }
 
 impl TelemetryEvent {
@@ -253,6 +270,8 @@ impl TelemetryEvent {
             Self::PhaseTiming { .. } => "phase_timing",
             Self::LedgerDelta { .. } => "ledger_delta",
             Self::RoundEnd { .. } => "round_end",
+            Self::SnapshotTaken { .. } => "snapshot_taken",
+            Self::SnapshotRestored { .. } => "snapshot_restored",
         }
     }
 
@@ -272,7 +291,9 @@ impl TelemetryEvent {
             | Self::ClientDistilled { round, .. }
             | Self::PhaseTiming { round, .. }
             | Self::LedgerDelta { round, .. }
-            | Self::RoundEnd { round, .. } => *round,
+            | Self::RoundEnd { round, .. }
+            | Self::SnapshotTaken { round, .. }
+            | Self::SnapshotRestored { round, .. } => *round,
         }
     }
 
@@ -413,6 +434,9 @@ impl TelemetryEvent {
                 obj.f64("mean_client_accuracy", *mean_client_accuracy);
                 obj.usize("cumulative_bytes", *cumulative_bytes);
                 obj.f64("participation_rate", *participation_rate);
+            }
+            Self::SnapshotTaken { bytes, .. } | Self::SnapshotRestored { bytes, .. } => {
+                obj.usize("bytes", *bytes);
             }
         }
         obj.finish()
@@ -748,7 +772,38 @@ mod tests {
                 cumulative_bytes: 1500,
                 participation_rate: 1.0,
             },
+            TelemetryEvent::SnapshotTaken {
+                round: 0,
+                bytes: 4096,
+            },
+            TelemetryEvent::SnapshotRestored {
+                round: 0,
+                bytes: 4096,
+            },
         ]
+    }
+
+    #[test]
+    fn snapshot_events_serialize_their_size() {
+        let taken = TelemetryEvent::SnapshotTaken {
+            round: 5,
+            bytes: 1234,
+        };
+        let json = taken.to_json();
+        assert!(json.contains("\"event\":\"snapshot_taken\""), "{json}");
+        assert!(json.contains("\"round\":5"), "{json}");
+        assert!(json.contains("\"bytes\":1234"), "{json}");
+        let restored = TelemetryEvent::SnapshotRestored {
+            round: 5,
+            bytes: 1234,
+        };
+        assert!(
+            restored
+                .to_json()
+                .contains("\"event\":\"snapshot_restored\""),
+            "{}",
+            restored.to_json()
+        );
     }
 
     #[test]

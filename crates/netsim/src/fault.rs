@@ -153,6 +153,13 @@ struct Outage {
 /// `(plan, round, num_clients, payload_bytes)` — no hidden state — so the
 /// same plan replayed over the same run produces bit-identical cohorts,
 /// which is what makes faulty runs reproducible end to end.
+///
+/// Purity is also what makes fault plans checkpoint-friendly: a plan's
+/// "position" in a run is fully determined by the round index, so a
+/// snapshot only needs to persist the number of rounds already driven
+/// (see `DriverState` in `fedpkd-core`) — the plan itself is
+/// reconstructed from configuration and replays identically from any
+/// round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     seed: u64,

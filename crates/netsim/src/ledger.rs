@@ -20,6 +20,23 @@ struct Transfer {
     bytes: usize,
 }
 
+/// One transfer as an owned public record, for checkpointing.
+///
+/// [`CommLedger::transfers`] exposes the full transfer log in recording
+/// order and [`CommLedger::from_transfers`] rebuilds an identical ledger
+/// from it, so a ledger can round-trip through any external encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// Round in which the transfer happened.
+    pub round: usize,
+    /// Client on the far end of the link.
+    pub client: usize,
+    /// Direction relative to the server.
+    pub direction: Direction,
+    /// Exact encoded payload size.
+    pub bytes: usize,
+}
+
 /// Aggregated traffic of one round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RoundTraffic {
@@ -165,6 +182,32 @@ impl CommLedger {
     pub fn is_empty(&self) -> bool {
         self.transfers.is_empty()
     }
+
+    /// Every recorded transfer, in recording order.
+    pub fn transfers(&self) -> impl Iterator<Item = TransferRecord> + '_ {
+        self.transfers.iter().map(|t| TransferRecord {
+            round: t.round,
+            client: t.client,
+            direction: t.direction,
+            bytes: t.bytes,
+        })
+    }
+
+    /// Number of recorded transfers.
+    pub fn num_transfers(&self) -> usize {
+        self.transfers.len()
+    }
+
+    /// Rebuilds a ledger from records captured via
+    /// [`transfers`](Self::transfers). Order is preserved, so the result
+    /// compares equal to the original ledger.
+    pub fn from_transfers(records: impl IntoIterator<Item = TransferRecord>) -> Self {
+        let mut ledger = Self::new();
+        for r in records {
+            ledger.record_bytes(r.round, r.client, r.direction, r.bytes);
+        }
+        ledger
+    }
 }
 
 /// Converts bytes to the megabytes used in the paper's tables.
@@ -251,6 +294,17 @@ mod tests {
         assert_eq!(ups[0], msg(1).encoded_len());
         assert_eq!(ups[5], msg(2).encoded_len());
         assert_eq!(ups[1..5].iter().sum::<usize>(), 0);
+    }
+
+    #[test]
+    fn transfer_records_round_trip() {
+        let mut ledger = CommLedger::new();
+        ledger.record(0, 0, Direction::Uplink, &msg(3));
+        ledger.record(0, 1, Direction::Downlink, &msg(7));
+        ledger.record(4, 2, Direction::Uplink, &msg(1));
+        assert_eq!(ledger.num_transfers(), 3);
+        let rebuilt = CommLedger::from_transfers(ledger.transfers());
+        assert_eq!(rebuilt, ledger);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod wire;
 
 pub use adversary::{Attack, RoundContext};
 pub use fault::{Cohort, DropCause, FaultPlan};
-pub use ledger::{bytes_to_mb, CommLedger, Direction, RoundTraffic};
+pub use ledger::{bytes_to_mb, CommLedger, Direction, RoundTraffic, TransferRecord};
 pub use link::LinkModel;
 pub use message::{Message, PrototypeEntry};
 pub use quantize::QuantizedLogits;

@@ -78,6 +78,45 @@ impl Rng {
         Self::seed_from_u64(self.next_u64())
     }
 
+    /// The raw 256-bit xoshiro state, for checkpointing.
+    ///
+    /// Together with [`from_state`](Self::from_state) this makes a
+    /// generator's position in its stream an explicit value: save the state,
+    /// keep drawing, restore it later (possibly in another process), and the
+    /// restored generator reproduces the exact same draws.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use fedpkd_rng::Rng;
+    ///
+    /// let mut rng = Rng::seed_from_u64(7);
+    /// let _ = rng.next_u64();
+    /// let saved = rng.state();
+    /// let expected = rng.next_u64();
+    /// let mut resumed = Rng::from_state(saved);
+    /// assert_eq!(resumed.next_u64(), expected);
+    /// ```
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a state captured with
+    /// [`state`](Self::state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is all zeros — the one state xoshiro256++ can never
+    /// reach from a seeded generator (and from which it would only ever emit
+    /// zeros). [`state`](Self::state) never returns it.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "the all-zero state is not a valid xoshiro256++ state"
+        );
+        Self { s }
+    }
+
     /// Returns the next 64 random bits.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[0]

@@ -159,6 +159,43 @@ impl Adam {
         self.weight_decay = weight_decay;
         self
     }
+
+    /// Number of update steps taken so far (the bias-correction counter).
+    pub fn step_count(&self) -> u64 {
+        self.t
+    }
+
+    /// The first and second moment estimates, in parameter visitation order.
+    ///
+    /// Both slices are empty until the first [`step`](Optimizer::step) and
+    /// afterwards hold one tensor per model parameter. Together with
+    /// [`step_count`](Self::step_count) and the learning rate they are
+    /// Adam's complete mutable state, so saving them and later feeding them
+    /// to [`restore_state`](Self::restore_state) makes a resumed run take
+    /// bit-identical update steps.
+    pub fn moments(&self) -> (&[Tensor], &[Tensor]) {
+        (&self.m, &self.v)
+    }
+
+    /// Restores the step count and moment buffers captured via
+    /// [`step_count`](Self::step_count) and [`moments`](Self::moments).
+    ///
+    /// Hyperparameters (β₁, β₂, ε, weight decay) are configuration, not
+    /// state; they come from the constructor of the instance being restored
+    /// into.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` and `v` differ in length or any pair differs in shape.
+    pub fn restore_state(&mut self, t: u64, m: Vec<Tensor>, v: Vec<Tensor>) {
+        assert_eq!(m.len(), v.len(), "moment buffers must pair up");
+        for (m_i, v_i) in m.iter().zip(&v) {
+            assert_eq!(m_i.shape(), v_i.shape(), "moment shapes must pair up");
+        }
+        self.t = t;
+        self.m = m;
+        self.v = v;
+    }
 }
 
 impl Optimizer for Adam {
@@ -366,6 +403,51 @@ mod tests {
         let mut adam = Adam::new(0.001);
         adam.set_learning_rate(0.002);
         assert_eq!(adam.learning_rate(), 0.002);
+    }
+
+    #[test]
+    fn adam_restore_state_resumes_bit_identically() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut model = Sequential::new(vec![
+            Box::new(Linear::new(2, 8, &mut rng)) as Box<dyn crate::nn::Layer>,
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, &mut rng)),
+        ]);
+        let x = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]).unwrap();
+        let y = vec![0usize, 1];
+        let ce = CrossEntropy::new();
+        let mut opt = Adam::new(0.01);
+        let run_steps = |model: &mut Sequential, opt: &mut Adam, n: usize| {
+            for _ in 0..n {
+                let logits = model.forward(&x, true);
+                let (_, grad) = ce.loss_and_grad(&logits, &y);
+                model.backward(&grad);
+                opt.step(model);
+                model.zero_grad();
+            }
+        };
+        run_steps(&mut model, &mut opt, 5);
+        // Snapshot the optimizer and model mid-run.
+        let t = opt.step_count();
+        assert_eq!(t, 5);
+        let (m, v) = opt.moments();
+        let (m, v) = (m.to_vec(), v.to_vec());
+        let saved_params = crate::serialize::state_vector(&model);
+        run_steps(&mut model, &mut opt, 5);
+        let expected = crate::serialize::state_vector(&model);
+        // Restore into a fresh optimizer and replay.
+        let mut opt2 = Adam::new(0.01);
+        opt2.restore_state(t, m, v);
+        crate::serialize::load_state_vector(&mut model, &saved_params).unwrap();
+        run_steps(&mut model, &mut opt2, 5);
+        assert_eq!(crate::serialize::state_vector(&model), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "moment buffers must pair up")]
+    fn adam_restore_rejects_unpaired_moments() {
+        let mut opt = Adam::new(0.01);
+        opt.restore_state(1, vec![Tensor::zeros(&[2])], Vec::new());
     }
 
     #[test]

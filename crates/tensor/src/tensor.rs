@@ -311,7 +311,13 @@ impl Tensor {
         }
         let mut out = vec![0.0f32; m * n];
         // i-k-j loop order: streams through `other` row-by-row, which is
-        // cache-friendly for row-major data.
+        // cache-friendly for row-major data. The zero-skip on `a` is gated
+        // on measurement, not assumption: on dense inputs the branch
+        // predicts perfectly (never taken) and costs within noise, while on
+        // ReLU-sparse left operands it skips whole rows of `other` for a
+        // ~25% win — see the dense/sparse matmul cases in `micro_ops.rs`
+        // for the recorded numbers. Skipping also never changes results for
+        // finite inputs: each skipped update is `out += 0.0 * b`.
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
             let out_row = &mut out[i * n..(i + 1) * n];

@@ -1,9 +1,24 @@
-//! Property-based tests for tensor algebra, softmax, and losses.
+//! Property-based tests for tensor algebra, softmax, losses, and the
+//! parameter-vector codec.
 
+use fedpkd_rng::Rng;
 use fedpkd_tensor::loss::{CrossEntropy, DistillKl, Mse};
+use fedpkd_tensor::models::{DepthTier, ModelSpec};
 use fedpkd_tensor::ops::{log_softmax, row_entropy, sharpen, softmax};
+use fedpkd_tensor::serialize::{load_param_vector, param_vector};
 use fedpkd_tensor::Tensor;
 use proptest::prelude::*;
+
+/// Strategy: an arbitrary small classifier architecture.
+fn model_spec() -> impl Strategy<Value = ModelSpec> {
+    (0usize..2, 1usize..=8, 2usize..=6).prop_map(|(tier, input_dim, num_classes)| {
+        ModelSpec::ResMlp {
+            input_dim,
+            num_classes,
+            tier: [DepthTier::T11, DepthTier::T20][tier],
+        }
+    })
+}
 
 /// Strategy: a small rank-2 tensor with finite values.
 fn matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
@@ -128,6 +143,33 @@ proptest! {
         prop_assert!(ab > 0.0);
         let (self_loss, _) = Mse::new().loss_and_grad(&a, &a);
         prop_assert_eq!(self_loss, 0.0);
+    }
+
+    /// Saving a model's parameters and loading them into a fresh model of
+    /// the same architecture reproduces them bit-for-bit.
+    #[test]
+    fn param_vector_round_trips(spec in model_spec(), seed in any::<u64>(), reseed in any::<u64>()) {
+        let m = spec.build(&mut Rng::seed_from_u64(seed));
+        let saved = param_vector(&m);
+        // A differently initialized model with the same architecture.
+        let mut other = spec.build(&mut Rng::seed_from_u64(reseed));
+        load_param_vector(&mut other, &saved).unwrap();
+        prop_assert_eq!(param_vector(&other), saved);
+    }
+
+    /// A length-mismatched load fails and leaves the model untouched.
+    #[test]
+    fn bad_param_vector_leaves_model_untouched(
+        spec in model_spec(),
+        seed in any::<u64>(),
+        delta in (0usize..3).prop_map(|i| [-1i64, 1, 17][i]),
+    ) {
+        let mut m = spec.build(&mut Rng::seed_from_u64(seed));
+        let before = param_vector(&m);
+        let bad_len = (before.len() as i64 + delta).max(0) as usize;
+        let bad = vec![0.125f32; bad_len];
+        prop_assert!(load_param_vector(&mut m, &bad).is_err());
+        prop_assert_eq!(param_vector(&m), before);
     }
 
     /// select_rows picks exactly the requested rows.

@@ -10,3 +10,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q \
     --exclude proptest --exclude criterion
 cargo test --workspace -q
+# Release-mode smoke: a 10-round run interrupted at round 5 must resume
+# bit-identically from its serialized snapshot (asserts internally).
+cargo run --release -q --example checkpoint_resume > /dev/null

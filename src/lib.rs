@@ -77,6 +77,7 @@ pub mod prelude {
     pub use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
     pub use fedpkd_core::robust::RobustAggregation;
     pub use fedpkd_core::runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
+    pub use fedpkd_core::snapshot::{AlgorithmState, SnapshotError};
     pub use fedpkd_core::telemetry::{
         EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent,
     };

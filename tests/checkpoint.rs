@@ -1,0 +1,342 @@
+//! The checkpoint/resume oracle.
+//!
+//! For FedPKD and all seven baselines: running `2R` rounds straight must be
+//! bit-identical to running `R` rounds, snapshotting *through the byte
+//! codec* (encode → decode, as a checkpoint file would travel), restoring
+//! into a fresh same-config instance, and running `R` more — identical
+//! round history, identical lifetime ledger, and an identical telemetry
+//! event stream for the resumed rounds. The oracle runs under an active
+//! fault plan with dropout, an outage, and Byzantine adversaries, so the
+//! snapshot also has to carry the fault-evaluation position and the
+//! quarantine/caching state those features feed on.
+//!
+//! A second family of tests checks the failure contract: corrupt,
+//! truncated, or foreign snapshot bytes surface as typed
+//! [`SnapshotError`]s — never a panic, never a silent half-restore that
+//! runs anyway.
+
+use fedpkd::core::snapshot::{AlgorithmState, SnapshotError};
+use fedpkd::prelude::*;
+
+/// Rounds before the interruption; the full run drives `2 * R`.
+const R: usize = 2;
+
+fn scenario() -> fedpkd::data::FederatedScenario {
+    ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+        .clients(3)
+        .partition(Partition::Dirichlet { alpha: 0.5 })
+        .samples(240)
+        .public_size(80)
+        .global_test_size(80)
+        .seed(19)
+        .build()
+        .expect("valid scenario")
+}
+
+fn client_spec() -> ModelSpec {
+    ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier: DepthTier::T11,
+    }
+}
+
+fn server_spec() -> ModelSpec {
+    ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier: DepthTier::T20,
+    }
+}
+
+/// An adversarial fault plan exercising every snapshot-sensitive feature:
+/// random dropout (advances the plan's round position), a scheduled outage
+/// spanning the snapshot boundary, and two Byzantine clients whose attacks
+/// cover both knowledge types and the parameter uplink.
+fn hostile_plan() -> FaultPlan {
+    FaultPlan::new(41)
+        .with_dropout(0.3)
+        .with_outage(1, R, 1)
+        .with_adversary(0, Attack::LogitScale(-2.5))
+        .with_adversary(2, Attack::PrototypeNoise(0.4))
+}
+
+/// Strips wall-clock noise and snapshot framing so two event streams can
+/// be compared for semantic equality: only events from `from_round` on,
+/// snapshot markers dropped, elapsed seconds zeroed.
+fn normalized(events: &[TelemetryEvent], from_round: usize) -> Vec<TelemetryEvent> {
+    events
+        .iter()
+        .filter(|e| {
+            !matches!(
+                e,
+                TelemetryEvent::SnapshotTaken { .. } | TelemetryEvent::SnapshotRestored { .. }
+            )
+        })
+        .filter(|e| e.round() >= from_round)
+        .cloned()
+        .map(|mut e| {
+            match &mut e {
+                TelemetryEvent::PhaseTiming { seconds, .. }
+                | TelemetryEvent::RoundEnd { seconds, .. } => *seconds = 0.0,
+                _ => {}
+            }
+            e
+        })
+        .collect()
+}
+
+/// The oracle: straight `2R`-round run vs. `R` rounds + snapshot (through
+/// the byte codec) + fresh instance + `R` resumed rounds.
+fn assert_resumes_bit_identically<A: FlAlgorithm>(make: impl Fn() -> A, plan: Option<&FaultPlan>) {
+    let mut full_log = EventLog::new();
+    let full = make().run_with_faults(2 * R, plan, &mut full_log);
+
+    let mut interrupted_log = EventLog::new();
+    let mut first_half = make();
+    let _ = first_half.run_with_faults(R, plan, &mut interrupted_log);
+    let state = first_half.take_snapshot(&mut interrupted_log);
+    drop(first_half); // the "kill" — only the serialized bytes survive
+
+    let bytes = state.to_bytes();
+    let state = AlgorithmState::from_bytes(&bytes).expect("codec round-trip");
+
+    let mut resumed_log = EventLog::new();
+    let mut resumed_algo = make();
+    let resumed = resumed_algo
+        .run_resumed(&state, R, plan, &mut resumed_log)
+        .expect("restore into a same-config instance succeeds");
+
+    assert_eq!(
+        resumed.history,
+        full.history[R..].to_vec(),
+        "resumed rounds must replay the uninterrupted run's metrics"
+    );
+    assert_eq!(
+        resumed.ledger, full.ledger,
+        "lifetime ledger must survive the snapshot"
+    );
+    assert_eq!(
+        normalized(resumed_log.events(), R),
+        normalized(full_log.events(), R),
+        "resumed telemetry must match the uninterrupted stream"
+    );
+}
+
+fn fedpkd() -> FedPkd {
+    let config = FedPkdConfig {
+        client_private_epochs: 1,
+        client_public_epochs: 1,
+        server_epochs: 1,
+        learning_rate: 0.003,
+        ..FedPkdConfig::default()
+    };
+    FedPkd::new(
+        scenario(),
+        vec![client_spec(); 3],
+        server_spec(),
+        config,
+        23,
+    )
+    .expect("valid federation")
+}
+
+fn baseline_config() -> BaselineConfig {
+    BaselineConfig {
+        local_epochs: 1,
+        digest_epochs: 1,
+        server_epochs: 1,
+        learning_rate: 0.003,
+        ..BaselineConfig::default()
+    }
+}
+
+#[test]
+fn fedpkd_resumes_bit_identically() {
+    assert_resumes_bit_identically(fedpkd, None);
+}
+
+#[test]
+fn fedpkd_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(fedpkd, Some(&hostile_plan()));
+}
+
+#[test]
+fn fedavg_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(
+        || FedAvg::new(scenario(), client_spec(), baseline_config(), 29).unwrap(),
+        Some(&hostile_plan()),
+    );
+}
+
+#[test]
+fn fedprox_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(
+        || FedProx::new(scenario(), client_spec(), baseline_config(), 31).unwrap(),
+        Some(&hostile_plan()),
+    );
+}
+
+#[test]
+fn fedmd_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(
+        || FedMd::new(scenario(), vec![client_spec(); 3], baseline_config(), 37).unwrap(),
+        Some(&hostile_plan()),
+    );
+}
+
+#[test]
+fn dsfl_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(
+        || DsFl::new(scenario(), vec![client_spec(); 3], baseline_config(), 43).unwrap(),
+        Some(&hostile_plan()),
+    );
+}
+
+#[test]
+fn feddf_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(
+        || FedDf::new(scenario(), client_spec(), baseline_config(), 47).unwrap(),
+        Some(&hostile_plan()),
+    );
+}
+
+#[test]
+fn naive_kd_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(
+        || {
+            NaiveKd::new(
+                scenario(),
+                vec![client_spec(); 3],
+                server_spec(),
+                baseline_config(),
+                53,
+            )
+            .unwrap()
+        },
+        Some(&hostile_plan()),
+    );
+}
+
+#[test]
+fn fedet_resumes_bit_identically_under_hostile_faults() {
+    assert_resumes_bit_identically(
+        || {
+            FedEt::new(
+                scenario(),
+                vec![client_spec(); 3],
+                server_spec(),
+                baseline_config(),
+                59,
+            )
+            .unwrap()
+        },
+        Some(&hostile_plan()),
+    );
+}
+
+// ---- Failure contract: corrupt bytes yield typed errors, never panics. --
+
+#[test]
+fn every_truncation_of_a_real_snapshot_is_a_typed_error() {
+    let mut algo = fedpkd();
+    let _ = algo.run_silent(1);
+    let bytes = algo.snapshot_state().to_bytes();
+    // Stride through prefixes (byte-by-byte would be slow on a model-sized
+    // payload); every one must fail cleanly.
+    for len in (0..bytes.len()).step_by(257) {
+        let err = AlgorithmState::from_bytes(&bytes[..len]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated | SnapshotError::ChecksumMismatch
+            ),
+            "prefix of {len} bytes gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn bit_flips_in_a_real_snapshot_are_detected() {
+    let mut algo = fedpkd();
+    let _ = algo.run_silent(1);
+    let bytes = algo.snapshot_state().to_bytes();
+    for pos in [4, bytes.len() / 2, bytes.len() - 1] {
+        let mut corrupt = bytes.clone();
+        corrupt[pos] ^= 0x40;
+        match AlgorithmState::from_bytes(&corrupt) {
+            // Most flips land in the payload and surface at the checksum;
+            // flips inside the length fields can also surface as Truncated
+            // or Malformed. All are typed; none may panic.
+            Err(_) => {}
+            Ok(state) => {
+                // A flip confined to the payload bytes cannot decode
+                // cleanly — the FNV checksum covers them all.
+                panic!(
+                    "corrupted snapshot decoded: {} bytes",
+                    state.payload().len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn corrupt_payload_restores_as_typed_error_not_panic() {
+    let mut algo = fedpkd();
+    let _ = algo.run_silent(1);
+    let good = algo.snapshot_state();
+    // Truncate the *payload* (then re-frame it correctly), so the envelope
+    // decodes fine and the per-field readers must catch the damage.
+    let cut = good.payload().len() / 2;
+    let clipped = AlgorithmState::new(good.algorithm(), good.payload()[..cut].to_vec());
+    let mut victim = fedpkd();
+    let err = victim.restore_state(&clipped).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::Truncated | SnapshotError::Malformed(_)),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn foreign_snapshot_is_rejected_by_name() {
+    let mut donor = FedAvg::new(scenario(), client_spec(), baseline_config(), 61).unwrap();
+    let _ = donor.run_silent(1);
+    let state = donor.snapshot_state();
+    let mut victim = fedpkd();
+    match victim.restore_state(&state) {
+        Err(SnapshotError::AlgorithmMismatch { expected, found }) => {
+            assert_eq!(expected, "FedPKD");
+            assert_eq!(found, "FedAvg");
+        }
+        other => panic!("expected AlgorithmMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_fleet_size_is_rejected_as_malformed() {
+    let mut donor = fedpkd();
+    let _ = donor.run_silent(1);
+    let state = donor.snapshot_state();
+    // Same algorithm, different client count.
+    let small = ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+        .clients(2)
+        .partition(Partition::Dirichlet { alpha: 0.5 })
+        .samples(160)
+        .public_size(80)
+        .global_test_size(80)
+        .seed(19)
+        .build()
+        .unwrap();
+    let config = FedPkdConfig {
+        client_private_epochs: 1,
+        client_public_epochs: 1,
+        server_epochs: 1,
+        ..FedPkdConfig::default()
+    };
+    let mut victim = FedPkd::new(small, vec![client_spec(); 2], server_spec(), config, 23).unwrap();
+    assert!(matches!(
+        victim.restore_state(&state),
+        Err(SnapshotError::Malformed(_))
+    ));
+}
