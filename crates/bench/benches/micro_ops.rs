@@ -22,20 +22,25 @@ fn bench_matmul(c: &mut Criterion) {
     c.bench_function("matmul_batch32_256x128", |bench| {
         bench.iter(|| black_box(a.matmul(&b).unwrap()))
     });
-    // ReLU-style left operand: ~half the entries are exact zeros. This case
-    // gates matmul's `if a == 0.0 { continue; }` zero-skip on a measured
-    // sparsity win rather than assumption. Numbers from this container
-    // (release, vendored-criterion, median of 3 runs, µs/iter):
+    // ReLU-style left operand: ~half the entries are exact zeros. The two
+    // kernel tiers treat this case oppositely, and both choices are
+    // measured, not assumed (see `fedpkd_tensor::kernels` for why both are
+    // bit-identical anyway):
     //
-    //                             with skip   branch-free
-    //   matmul_64x64     (dense)     32.5        31.2     — within noise
-    //   matmul_batch32_* (dense)    134.1       136.5     — within noise
-    //   matmul_relu32_*  (sparse)   101.8       136.1     — skip wins ~25%
+    // - The *scalar* reference tier keeps the historical per-row zero-skip
+    //   (`if a == 0.0 { continue; }`), now gated on the right operand being
+    //   all-finite so `0·NaN` propagates instead of being masked. On
+    //   post-ReLU rows the skip still wins ~25% for that tier.
+    // - The *fast* tiled tier is fully branch-free: inside a register tile
+    //   the same skip mispredicts on ~50%-sparse activations and blocks
+    //   vectorization, which measured *slower* than doing all the work.
+    //   Dropping it made the tile straight-line vector code and is where
+    //   the 2–3× per-product speedup comes from.
     //
-    // On dense inputs the branch predicts perfectly (never taken) and is
-    // free; on post-ReLU activations it skips whole rows of the right
-    // operand. The skip therefore stays. Re-measure here before touching
-    // the inner loop.
+    // This bench runs whichever tier is active (the default is Fast); flip
+    // with `fedpkd_tensor::set_kernel_mode` and re-measure both before
+    // touching either inner loop. `cargo run --release -p fedpkd-bench
+    // --bin perf` gives the end-to-end phase view (BENCH_pr5.json).
     let mut a = Tensor::rand_uniform(&[32, 256], -1.0, 1.0, &mut rng);
     for x in a.as_mut_slice() {
         if *x < 0.0 {
@@ -44,6 +49,18 @@ fn bench_matmul(c: &mut Criterion) {
     }
     c.bench_function("matmul_relu32_256x128", |bench| {
         bench.iter(|| black_box(a.matmul(&b).unwrap()))
+    });
+    // The backward-pass product shapes: dW = xᵀ·g and dx = g·Wᵀ, both
+    // served by dedicated kernels (no materialized transposes on the fast
+    // tier).
+    let x64 = Tensor::rand_uniform(&[64, 128], -1.0, 1.0, &mut rng);
+    let g64 = Tensor::rand_uniform(&[64, 128], -1.0, 1.0, &mut rng);
+    let w = Tensor::rand_uniform(&[128, 128], -1.0, 1.0, &mut rng);
+    c.bench_function("tr_matmul_dw_64x128x128", |bench| {
+        bench.iter(|| black_box(x64.tr_matmul(&g64).unwrap()))
+    });
+    c.bench_function("matmul_transposed_dx_64x128x128", |bench| {
+        bench.iter(|| black_box(g64.matmul_transposed(&w).unwrap()))
     });
 }
 

@@ -84,39 +84,12 @@ pub fn validate_specs(
     Ok(())
 }
 
-/// Runs `f` over `items` on at most
-/// [`available_parallelism`](std::thread::available_parallelism) worker
-/// threads — contiguous chunks, one thread per chunk — and concatenates the
-/// per-chunk results, preserving item order.
-///
-/// Each item is processed exactly once and the output order is independent
-/// of scheduling, so results are bit-identical to a sequential map (clients
-/// never share mutable state — each mutates only its own model, optimizer,
-/// and RNG stream).
-fn dispatch_chunked<I: Send, T: Send>(items: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
-    if items.is_empty() {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(items.len());
-    let chunk_size = items.len().div_ceil(workers);
-    let f = &f;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut remaining = items;
-        while !remaining.is_empty() {
-            let rest = remaining.split_off(chunk_size.min(remaining.len()));
-            let chunk = std::mem::replace(&mut remaining, rest);
-            handles.push(scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<T>>()));
-        }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread panicked"))
-            .collect()
-    })
-}
+// The chunked dispatch idiom itself now lives in `fedpkd_tensor::parallel`
+// (it is shared with the row-parallel matmul kernels); re-export it so
+// existing users of this module keep working. Clients never share mutable
+// state — each mutates only its own model, optimizer, and RNG stream — so
+// dispatching them this way is bit-identical to a sequential loop.
+pub use fedpkd_tensor::parallel::dispatch_chunked;
 
 /// Runs `f` for every `(client, client_data)` pair in parallel — capped at
 /// the machine's available parallelism so large fleets don't oversubscribe

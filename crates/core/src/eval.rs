@@ -5,7 +5,13 @@ use fedpkd_tensor::models::ClassifierModel;
 use fedpkd_tensor::{metrics, Tensor};
 
 /// Batch size used for evaluation forward passes.
-const EVAL_BATCH: usize = 256;
+///
+/// Large enough that public-set and test-set matmuls cross the row-parallel
+/// threshold in `fedpkd_tensor::kernels` and run multi-threaded. Every
+/// eval-mode layer is row-wise (BatchNorm uses running statistics in
+/// inference mode), so batching is value-invariant: any batch size produces
+/// bit-identical outputs, and this constant is purely a throughput knob.
+const EVAL_BATCH: usize = 2048;
 
 /// Accuracy of `model` on `dataset`, evaluated in inference mode.
 ///
@@ -118,6 +124,36 @@ mod tests {
         let ds = toy_dataset(10);
         let features = features_on(&mut model, &ds);
         assert_eq!(features.shape(), &[10, 6]);
+    }
+
+    #[test]
+    fn evaluation_leaves_model_state_byte_identical() {
+        use fedpkd_tensor::models::{build_res_mlp, DepthTier};
+        use fedpkd_tensor::nn::Layer;
+        use fedpkd_tensor::serialize::param_vector;
+
+        // A ResMlp has BatchNorm layers, whose running statistics are
+        // exactly the state a `train: true` leak would perturb. Every
+        // inference-only entry point must leave parameters AND buffers
+        // byte-for-byte untouched.
+        let mut rng = Rng::seed_from_u64(7);
+        let mut model = build_res_mlp(2, 2, DepthTier::T11, &mut rng);
+        let ds = toy_dataset(64);
+        // One training-mode forward so the running stats are non-trivial.
+        let _ = model.forward_logits(ds.features(), true);
+
+        let snapshot = |m: &fedpkd_tensor::models::ClassifierModel| {
+            let params: Vec<u32> = param_vector(m).iter().map(|v| v.to_bits()).collect();
+            let mut buffers: Vec<u32> = Vec::new();
+            m.visit_buffers(&mut |b| buffers.extend(b.iter().map(|v| v.to_bits())));
+            (params, buffers)
+        };
+        let before = snapshot(&model);
+        let _ = accuracy(&mut model, &ds);
+        let _ = logits_on(&mut model, &ds);
+        let _ = features_on(&mut model, &ds);
+        let _ = per_class_accuracy(&mut model, &ds);
+        assert_eq!(before, snapshot(&model), "evaluation perturbed model state");
     }
 
     #[test]

@@ -334,9 +334,11 @@ impl Federation for FedPkd {
                 && logits.all_finite();
             if quantizable {
                 // Lossy 8-bit channel: charge the quantized size and replace
-                // the logits with what actually survives the wire.
+                // the logits with what actually survives the wire. The
+                // `quantizable` guard checked finiteness, so this cannot fail.
                 let quantized =
-                    QuantizedLogits::from_values(&all_ids, num_classes_u32, logits.as_slice());
+                    QuantizedLogits::from_values(&all_ids, num_classes_u32, logits.as_slice())
+                        .expect("finiteness checked by the quantizable guard");
                 ledger.record_bytes(round, client, Direction::Uplink, quantized.encoded_len());
                 *logits = Tensor::from_vec(quantized.dequantize(), logits.shape())
                     .expect("dequantization preserves the shape");
@@ -597,15 +599,22 @@ impl Federation for FedPkd {
         let subset_dataset = self.scenario.public.subset(&selected);
         let mut server_logits = eval::logits_on(&mut self.state.server_model, &subset_dataset);
         let selected_ids: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
+        // A diverged server (e.g. under an unfiltered Byzantine attack) can
+        // emit non-finite logits; those cannot ride the lossy 8-bit channel,
+        // so they fall back to the raw f32 message instead of panicking.
         let downlink_quantized = if self.config.quantize_knowledge {
-            let quantized = QuantizedLogits::from_values(
+            match QuantizedLogits::from_values(
                 &selected_ids,
                 num_classes_u32,
                 server_logits.as_slice(),
-            );
-            server_logits = Tensor::from_vec(quantized.dequantize(), server_logits.shape())
-                .expect("dequantization preserves the shape");
-            Some(quantized.encoded_len())
+            ) {
+                Ok(quantized) => {
+                    server_logits = Tensor::from_vec(quantized.dequantize(), server_logits.shape())
+                        .expect("dequantization preserves the shape");
+                    Some(quantized.encoded_len())
+                }
+                Err(_) => None,
+            }
         } else {
             None
         };

@@ -40,5 +40,5 @@ pub use fault::{Cohort, DropCause, FaultPlan};
 pub use ledger::{bytes_to_mb, CommLedger, Direction, RoundTraffic, TransferRecord};
 pub use link::LinkModel;
 pub use message::{Message, PrototypeEntry};
-pub use quantize::QuantizedLogits;
+pub use quantize::{QuantizeError, QuantizedLogits};
 pub use wire::{Wire, WireError};

@@ -10,6 +10,32 @@ use crate::wire::{
     get_bytes, get_f32, get_len, get_u32, put_f32, put_u32, put_u32_slice, Wire, WireError,
 };
 
+/// Quantization failed because the input contains a non-finite value.
+///
+/// NaN or infinite logits (a diverged model, or an adversarial client) have
+/// no meaningful affine u8 encoding — the min/max calibration would poison
+/// every other value in the payload. Following the crate's "bad payloads
+/// never panic" contract, [`QuantizedLogits::from_values`] surfaces this as
+/// a typed error so callers can fall back to an unquantized path or drop
+/// the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuantizeError {
+    /// Index (into the flattened value slice) of the first non-finite value.
+    pub index: usize,
+}
+
+impl std::fmt::Display for QuantizeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot quantize non-finite value at index {}",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for QuantizeError {}
+
 /// A logits payload quantized to one byte per value.
 ///
 /// Values are encoded as `q = round((v − min) / scale)` with the per-message
@@ -22,10 +48,11 @@ use crate::wire::{
 /// ```
 /// use fedpkd_netsim::{QuantizedLogits, Wire};
 ///
-/// let q = QuantizedLogits::from_values(&[0, 1], 2, &[0.0, 3.0, -1.0, 2.0]);
+/// let q = QuantizedLogits::from_values(&[0, 1], 2, &[0.0, 3.0, -1.0, 2.0]).unwrap();
 /// let restored = q.dequantize();
 /// assert!(restored.iter().zip([0.0, 3.0, -1.0, 2.0]).all(|(a, b)| (a - b).abs() < 0.01));
 /// assert!(q.max_error() < 0.01);
+/// assert!(QuantizedLogits::from_values(&[0], 2, &[f32::NAN, 0.0]).is_err());
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct QuantizedLogits {
@@ -44,20 +71,29 @@ pub struct QuantizedLogits {
 impl QuantizedLogits {
     /// Quantizes a row-major value matrix.
     ///
+    /// # Errors
+    ///
+    /// Returns [`QuantizeError`] if any value is non-finite (NaN or ±∞) —
+    /// such inputs arise from diverged or adversarial models and must not
+    /// crash the simulation.
+    ///
     /// # Panics
     ///
-    /// Panics if `values.len() != sample_ids.len() * num_classes` or any
-    /// value is non-finite.
-    pub fn from_values(sample_ids: &[u32], num_classes: u32, values: &[f32]) -> Self {
+    /// Panics if `values.len() != sample_ids.len() * num_classes`; the shape
+    /// is under the caller's control, so a mismatch is a programming error.
+    pub fn from_values(
+        sample_ids: &[u32],
+        num_classes: u32,
+        values: &[f32],
+    ) -> Result<Self, QuantizeError> {
         assert_eq!(
             values.len(),
             sample_ids.len() * num_classes as usize,
             "matrix shape mismatch"
         );
-        assert!(
-            values.iter().all(|v| v.is_finite()),
-            "cannot quantize non-finite values"
-        );
+        if let Some(index) = values.iter().position(|v| !v.is_finite()) {
+            return Err(QuantizeError { index });
+        }
         let min = values.iter().copied().fold(f32::INFINITY, f32::min);
         let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let (min, scale) = if values.is_empty() || max <= min {
@@ -69,13 +105,13 @@ impl QuantizedLogits {
             .iter()
             .map(|&v| (((v - min) / scale).round().clamp(0.0, 255.0)) as u8)
             .collect();
-        Self {
+        Ok(Self {
             sample_ids: sample_ids.to_vec(),
             num_classes,
             min,
             scale,
             values: quantized,
-        }
+        })
     }
 
     /// Restores approximate f32 values.
@@ -131,7 +167,7 @@ mod tests {
     fn round_trip_within_error_bound() {
         let values: Vec<f32> = (0..40).map(|i| (i as f32) * 0.37 - 7.0).collect();
         let ids: Vec<u32> = (0..10).collect();
-        let q = QuantizedLogits::from_values(&ids, 4, &values);
+        let q = QuantizedLogits::from_values(&ids, 4, &values).unwrap();
         let restored = q.dequantize();
         let bound = q.max_error() + 1e-6;
         for (a, b) in restored.iter().zip(&values) {
@@ -142,7 +178,7 @@ mod tests {
     #[test]
     fn wire_round_trip() {
         let values = vec![1.5f32, -2.0, 0.0, 7.25];
-        let q = QuantizedLogits::from_values(&[3, 9], 2, &values);
+        let q = QuantizedLogits::from_values(&[3, 9], 2, &values).unwrap();
         let bytes = q.to_bytes();
         assert_eq!(bytes.len(), q.encoded_len());
         let mut slice = bytes.as_slice();
@@ -157,7 +193,9 @@ mod tests {
         let k = 10usize;
         let ids: Vec<u32> = (0..n as u32).collect();
         let values = vec![0.5f32; n * k];
-        let quantized = QuantizedLogits::from_values(&ids, k as u32, &values).encoded_len();
+        let quantized = QuantizedLogits::from_values(&ids, k as u32, &values)
+            .unwrap()
+            .encoded_len();
         let full = crate::Message::Logits {
             sample_ids: ids,
             num_classes: k as u32,
@@ -170,13 +208,13 @@ mod tests {
 
     #[test]
     fn constant_values_survive() {
-        let q = QuantizedLogits::from_values(&[0], 3, &[2.5, 2.5, 2.5]);
+        let q = QuantizedLogits::from_values(&[0], 3, &[2.5, 2.5, 2.5]).unwrap();
         assert_eq!(q.dequantize(), vec![2.5, 2.5, 2.5]);
     }
 
     #[test]
     fn empty_payload() {
-        let q = QuantizedLogits::from_values(&[], 5, &[]);
+        let q = QuantizedLogits::from_values(&[], 5, &[]).unwrap();
         assert!(q.dequantize().is_empty());
         let bytes = q.to_bytes();
         let mut slice = bytes.as_slice();
@@ -190,14 +228,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "non-finite")]
-    fn non_finite_panics() {
-        let _ = QuantizedLogits::from_values(&[0], 1, &[f32::NAN]);
+    fn non_finite_values_yield_a_typed_error() {
+        // A NaN anywhere in the payload must surface as an error naming the
+        // offending index, never a panic — adversarial clients and diverged
+        // servers both produce such payloads.
+        let err = QuantizedLogits::from_values(&[0], 2, &[1.0, f32::NAN]).unwrap_err();
+        assert_eq!(err, QuantizeError { index: 1 });
+        assert!(err.to_string().contains("index 1"));
+        let inf = QuantizedLogits::from_values(&[0], 1, &[f32::INFINITY]);
+        assert_eq!(inf.unwrap_err().index, 0);
+        let neg = QuantizedLogits::from_values(&[0], 1, &[f32::NEG_INFINITY]);
+        assert!(neg.is_err());
     }
 
     #[test]
     fn truncated_decode_errors() {
-        let q = QuantizedLogits::from_values(&[0], 4, &[1.0, 2.0, 3.0, 4.0]);
+        let q = QuantizedLogits::from_values(&[0], 4, &[1.0, 2.0, 3.0, 4.0]).unwrap();
         let bytes = q.to_bytes();
         let mut slice = &bytes[..bytes.len() - 2];
         assert!(QuantizedLogits::decode(&mut slice).is_err());

@@ -1,0 +1,354 @@
+//! Tiered matrix-multiply kernels.
+//!
+//! Every FedPKD phase — private training, public-set logit uploads, the
+//! Eq. 10 filter's embedding pass, and server ensemble distillation —
+//! funnels through a handful of matrix products. This module provides them
+//! in two tiers that are **bit-identical** by construction:
+//!
+//! - **Scalar** — the reference i-k-j triple loop (plus materialized
+//!   transposes and unfused bias/ReLU passes at the [`crate::Tensor`]
+//!   level). Slow but obviously correct; the baseline every other tier is
+//!   tested and benchmarked against.
+//! - **Fast** — register-tiled micro-kernels (4×32 accumulator tiles held
+//!   in registers across the whole reduction), an `A·Bᵀ` path that repacks
+//!   the transposed operand once and reuses the tiled kernel, a
+//!   transposed-self kernel for `Aᵀ·B`, fused bias+ReLU epilogues, and a
+//!   row-parallel path for large products.
+//!
+//! # Why the tiers are bit-identical
+//!
+//! For every output element, every kernel accumulates the products
+//! `a[i][k]·b[k][j]` in the *same* order — reduction index strictly
+//! increasing, starting from `+0.0` (or from the bias epilogue applied
+//! *after* the full sum, matching the unfused bias pass). Tiling only
+//! reorders work *across* output elements, never within one, and IEEE 754
+//! addition is deterministic, so the bits match. The row-parallel path
+//! splits the *output rows* across threads; rows never share an
+//! accumulator, so the result is independent of thread count and schedule.
+//!
+//! The scalar tier's zero-skip (skip a whole `b` row when `a[i][k] == 0`)
+//! is exact by the same coin, read both ways: the accumulator starts at
+//! `+0.0` and IEEE addition only produces `-0.0` from two negative zeros,
+//! so the accumulator is never `-0.0` — which means adding a `±0.0`
+//! product is a bit-exact no-op, and *skipping* it changes nothing. That
+//! argument requires the skipped products to *be* `±0.0` — `0·NaN` and
+//! `0·∞` are NaN — so the scalar kernel gates the skip on the right-hand
+//! operand being entirely finite, checked once per call. A NaN planted in
+//! `b` therefore propagates to the output instead of being silently
+//! masked (the PR 5 NaN-masking fix).
+//!
+//! The fast tier runs the same theorem in the other direction: it never
+//! skips anything. Computing every product unconditionally adds only
+//! `±0.0` terms the scalar tier would have skipped (the skip only fires
+//! for `a == 0` against finite `b`), so the bits still match — and the
+//! kernels become branch-free straight-line FMA code, which is where the
+//! speedup comes from. Post-ReLU activations are roughly half zeros with
+//! an unpredictable pattern; a per-element skip test mispredicts
+//! constantly, while the branchless tile pays two fused multiply-adds per
+//! vector and never stalls. Dropping the skip also drops the fast tier's
+//! per-call finiteness scan, and `0·NaN = NaN` propagates naturally.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+use crate::parallel;
+
+/// Which kernel tier [`crate::Tensor::matmul`] and friends dispatch to.
+///
+/// Both tiers produce bit-identical results (see the module docs); the
+/// switch exists so benchmarks and equivalence tests can time or compare
+/// the tiers on identical workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Reference scalar kernels: the i-k-j triple loop, materialized
+    /// transposes, and unfused bias/ReLU passes.
+    Scalar,
+    /// Register-tiled kernels with fused epilogues and the row-parallel
+    /// large-matmul path (the default).
+    Fast,
+}
+
+static MODE: AtomicU8 = AtomicU8::new(1);
+
+/// Selects the kernel tier process-wide.
+///
+/// Safe to flip at any time — tiers are bit-identical, so concurrent
+/// readers only ever observe a speed difference, never a value difference.
+pub fn set_kernel_mode(mode: KernelMode) {
+    let v = match mode {
+        KernelMode::Scalar => 0,
+        KernelMode::Fast => 1,
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected kernel tier.
+pub fn kernel_mode() -> KernelMode {
+    if MODE.load(Ordering::Relaxed) == 0 {
+        KernelMode::Scalar
+    } else {
+        KernelMode::Fast
+    }
+}
+
+/// Rows of the output computed per register tile.
+const MI: usize = 4;
+/// Columns of the output computed per register tile (four 16-lane or eight
+/// 8-lane vectors). `MI × NJ` accumulator lanes give sixteen independent
+/// 16-lane add chains — enough to hide the 4-cycle FP-add latency that a
+/// narrower tile leaves exposed.
+const NJ: usize = 64;
+/// Minimum multiply-adds before the row-parallel path engages; below this
+/// the scoped-thread spawn cost outweighs the work.
+const PAR_MIN_MADDS: usize = 1 << 22;
+/// Minimum output rows a worker must receive for a parallel split.
+const PAR_MIN_ROWS: usize = 64;
+
+fn all_finite(xs: &[f32]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}
+
+/// Applies the fused epilogue to one finished value at output column `j`.
+#[inline]
+fn finish(v: f32, j: usize, bias: Option<&[f32]>, relu: bool) -> f32 {
+    let mut v = match bias {
+        Some(b) => v + b[j],
+        None => v,
+    };
+    if relu {
+        v = v.max(0.0);
+    }
+    v
+}
+
+/// Reference kernel: `out += A·B` in i-k-j order with the finite-gated
+/// zero-skip. `out` must be zeroed. No epilogue — the scalar tier applies
+/// bias and ReLU as separate passes, mirroring the historical layer code.
+pub(crate) fn matmul_scalar_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    // The skip is only exact when `0·b` is `±0.0`; a non-finite `b` value
+    // must poison the output, so disable the skip entirely in that case.
+    let skip = all_finite(b);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if skip && av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Scalar-tier epilogue: a bias pass then a ReLU pass, each a separate
+/// sweep over `out` (bit-identical to the fused epilogue, which also adds
+/// bias before clamping, per element).
+pub(crate) fn epilogue_scalar_into(out: &mut [f32], n: usize, bias: Option<&[f32]>, relu: bool) {
+    if let Some(bias) = bias {
+        for row in out.chunks_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(bias) {
+                *o += bv;
+            }
+        }
+    }
+    if relu {
+        for o in out.iter_mut() {
+            *o = o.max(0.0);
+        }
+    }
+}
+
+/// Fast tier: `out = epilogue(A·B)`, register-tiled, row-parallel when the
+/// product is large. `out` must be zeroed.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_fast_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    if m * k * n >= PAR_MIN_MADDS && m >= 2 * PAR_MIN_ROWS {
+        parallel::for_each_row_chunk(out, n, PAR_MIN_ROWS, |row0, chunk| {
+            let rows = chunk.len() / n;
+            matmul_block(
+                &a[row0 * k..(row0 + rows) * k],
+                b,
+                chunk,
+                rows,
+                k,
+                n,
+                bias,
+                relu,
+            );
+        });
+    } else {
+        matmul_block(a, b, out, m, k, n, bias, relu);
+    }
+}
+
+/// Register-tiled `A·B` over a contiguous block of output rows.
+///
+/// Full `MI×NJ` tiles keep their accumulators in registers for the whole
+/// reduction — the scalar loop's per-`k` reload/store of the output row is
+/// the hot path's dominant memory traffic, and this removes it. The tile
+/// body is branch-free (see the module docs for why skipping nothing is
+/// still bit-identical to the skipping scalar loop). Remainder strips fall
+/// back to a branchless scalar loop with the same per-element order.
+#[allow(clippy::too_many_arguments)]
+fn matmul_block(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    rows: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    let mut i0 = 0;
+    while i0 + MI <= rows {
+        let (a0, a1, a2, a3) = (
+            &a[i0 * k..(i0 + 1) * k],
+            &a[(i0 + 1) * k..(i0 + 2) * k],
+            &a[(i0 + 2) * k..(i0 + 3) * k],
+            &a[(i0 + 3) * k..(i0 + 4) * k],
+        );
+        let mut j0 = 0;
+        while j0 + NJ <= n {
+            let mut acc = [[0.0f32; NJ]; MI];
+            // Zip-driven iteration: no index arithmetic or bounds checks
+            // survive in the loop body, so it compiles to straight-line
+            // vector fused-multiply-adds with the accumulators pinned in
+            // registers for the entire reduction.
+            let rows_iter = a0.iter().zip(a1).zip(a2).zip(a3);
+            for ((((&av0, &av1), &av2), &av3), brow) in rows_iter.zip(b.chunks_exact(n)) {
+                let bseg: &[f32; NJ] = brow[j0..j0 + NJ].try_into().expect("tile width");
+                let avs = [av0, av1, av2, av3];
+                for (acc_row, av) in acc.iter_mut().zip(avs) {
+                    for (x, &bv) in acc_row.iter_mut().zip(bseg) {
+                        *x += av * bv;
+                    }
+                }
+            }
+            for (ii, acc_row) in acc.iter().enumerate() {
+                let dst = &mut out[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + NJ];
+                for (jj, (o, &v)) in dst.iter_mut().zip(acc_row).enumerate() {
+                    *o = finish(v, j0 + jj, bias, relu);
+                }
+            }
+            j0 += NJ;
+        }
+        if j0 < n {
+            matmul_strip(a, b, out, i0, MI, j0, k, n, bias, relu);
+        }
+        i0 += MI;
+    }
+    if i0 < rows {
+        matmul_strip(a, b, out, i0, rows - i0, 0, k, n, bias, relu);
+    }
+}
+
+/// Branchless scalar strip of `A·B` covering rows `[i0, i0+rows)` and
+/// columns `[j0, n)`, with the epilogue applied in place after each row's
+/// full reduction.
+#[allow(clippy::too_many_arguments)]
+fn matmul_strip(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    rows: usize,
+    j0: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    for i in i0..i0 + rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_row = &b[kk * n + j0..(kk + 1) * n];
+            let out_row = &mut out[i * n + j0..(i + 1) * n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+        let out_row = &mut out[i * n + j0..(i + 1) * n];
+        for (jj, o) in out_row.iter_mut().enumerate() {
+            *o = finish(*o, j0 + jj, bias, relu);
+        }
+    }
+}
+
+/// Fast tier: `out = A·Bᵀ` with `b` given in transposed layout `[n, k]`
+/// (the Dense backward's `dx = g·Wᵀ` shape). `out` must be zeroed.
+///
+/// A direct dot-product kernel over the packed rows cannot vectorize: each
+/// output element is one k-sequential FP-add chain, and reassociating it
+/// into vector lanes would change the bits. Instead the operand is repacked
+/// into row-major `[k, n]` — an O(k·n) shuffle against the product's
+/// O(m·k·n) work — and the product runs through the vectorized tiled
+/// kernel. Per output element the reduction index is still strictly
+/// increasing, so the result is bit-identical to the sequential dot while
+/// the flops run wide.
+pub(crate) fn matmul_transposed_fast_into(
+    a: &[f32],
+    bt: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    if k == 0 {
+        return;
+    }
+    let mut b_packed = vec![0.0f32; k * n];
+    for (kk, packed_row) in b_packed.chunks_exact_mut(n).enumerate() {
+        for (j, o) in packed_row.iter_mut().enumerate() {
+            *o = bt[j * k + kk];
+        }
+    }
+    matmul_fast_into(a, &b_packed, out, m, k, n, None, false);
+}
+
+/// Fast tier: `out = Aᵀ·B` with `a: [r, m]` and `b: [r, n]` — the Dense
+/// backward's `dW = xᵀ·g` shape, reduction over the shared row index `r`.
+/// `out` must be zeroed.
+///
+/// Like [`matmul_transposed_fast_into`], this repacks the strided operand
+/// (`a` read column-wise) into row-major `[m, r]` once and reuses the tiled
+/// kernel: the repack is O(r·m) against the product's O(r·m·n), and per
+/// output element the reduction still runs over `r` strictly increasing, so
+/// the bits match the scalar tier's materialize-then-multiply path exactly.
+pub(crate) fn tr_matmul_fast_into(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    r: usize,
+    m: usize,
+    n: usize,
+) {
+    if r == 0 {
+        return;
+    }
+    let mut a_packed = vec![0.0f32; m * r];
+    for (i, packed_row) in a_packed.chunks_exact_mut(r).enumerate() {
+        for (rr, o) in packed_row.iter_mut().enumerate() {
+            *o = a[rr * m + i];
+        }
+    }
+    matmul_fast_into(&a_packed, b, out, m, r, n, None, false);
+}

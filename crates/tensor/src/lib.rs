@@ -48,13 +48,16 @@
 mod error;
 mod tensor;
 
+pub mod kernels;
 pub mod loss;
 pub mod metrics;
 pub mod models;
 pub mod nn;
 pub mod ops;
 pub mod optim;
+pub mod parallel;
 pub mod serialize;
 
 pub use error::TensorError;
+pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};
 pub use tensor::Tensor;

@@ -293,8 +293,7 @@ pub fn build_mlp(dims: &[usize], num_classes: usize, rng: &mut Rng) -> Classifie
     assert!(num_classes > 0, "need at least one class");
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     for w in dims.windows(2) {
-        layers.push(Box::new(Linear::new(w[0], w[1], rng)));
-        layers.push(Box::new(Relu::new()));
+        layers.push(Box::new(Linear::fused_relu(w[0], w[1], rng)));
     }
     let feature_dim = *dims.last().expect("validated non-empty");
     let head = Linear::new(feature_dim, num_classes, rng);
@@ -318,23 +317,18 @@ pub fn build_res_mlp(
 ) -> ClassifierModel {
     assert!(input_dim > 0 && num_classes > 0, "degenerate ResMlp spec");
     let width = tier.width();
-    let mut layers: Vec<Box<dyn Layer>> = vec![
-        Box::new(Linear::new(input_dim, width, rng)),
-        Box::new(Relu::new()),
-    ];
+    let mut layers: Vec<Box<dyn Layer>> = vec![Box::new(Linear::fused_relu(input_dim, width, rng))];
     for _ in 0..tier.blocks() {
         let body = Sequential::new(vec![
             Box::new(BatchNorm1d::new(width)) as Box<dyn Layer>,
-            Box::new(Linear::new(width, width, rng)),
-            Box::new(Relu::new()),
+            Box::new(Linear::fused_relu(width, width, rng)),
             Box::new(Linear::new(width, width, rng)),
         ]);
         layers.push(Box::new(Residual::new(Box::new(body))));
     }
     layers.push(Box::new(BatchNorm1d::new(width)));
     layers.push(Box::new(Relu::new()));
-    layers.push(Box::new(Linear::new(width, SHARED_FEATURE_DIM, rng)));
-    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(Linear::fused_relu(width, SHARED_FEATURE_DIM, rng)));
     let head = Linear::new(SHARED_FEATURE_DIM, num_classes, rng);
     ClassifierModel::new(Sequential::new(layers), head, SHARED_FEATURE_DIM)
 }
@@ -376,8 +370,11 @@ pub fn build_conv_net(
     layers.push(Box::new(AvgPool2d::new(2, 2)));
     layers.push(Box::new(GlobalAvgPool2d::new()));
     layers.push(Box::new(Flatten::new()));
-    layers.push(Box::new(Linear::new(channels, SHARED_FEATURE_DIM, rng)));
-    layers.push(Box::new(Relu::new()));
+    layers.push(Box::new(Linear::fused_relu(
+        channels,
+        SHARED_FEATURE_DIM,
+        rng,
+    )));
     let head = Linear::new(SHARED_FEATURE_DIM, num_classes, rng);
     ClassifierModel::new(Sequential::new(layers), head, SHARED_FEATURE_DIM)
 }

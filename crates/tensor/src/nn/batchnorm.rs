@@ -106,16 +106,25 @@ impl Layer for BatchNorm1d {
         let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let mut xhat = Tensor::zeros(&[n, d]);
         let mut out = Tensor::zeros(&[n, d]);
-        for r in 0..n {
-            let xr = input.row(r);
-            let hr = xhat.row_mut(r);
-            for j in 0..d {
-                hr[j] = (xr[j] - mean[j]) * std_inv[j];
+        // Zip-driven row sweeps (no per-element bounds checks); the
+        // per-element arithmetic is unchanged, so outputs are bit-identical
+        // to the indexed loops.
+        for (xr, hr) in input
+            .as_slice()
+            .chunks_exact(d)
+            .zip(xhat.as_mut_slice().chunks_exact_mut(d))
+        {
+            for (((h, &x), &m), &si) in hr.iter_mut().zip(xr).zip(&mean).zip(&std_inv) {
+                *h = (x - m) * si;
             }
-            let or = out.row_mut(r);
-            let hr = xhat.row(r);
-            for j in 0..d {
-                or[j] = gamma[j] * hr[j] + beta[j];
+        }
+        for (hr, or) in xhat
+            .as_slice()
+            .chunks_exact(d)
+            .zip(out.as_mut_slice().chunks_exact_mut(d))
+        {
+            for (((o, &h), &g), &b) in or.iter_mut().zip(hr).zip(gamma).zip(beta) {
+                *o = g * h + b;
             }
         }
         if train {
@@ -142,12 +151,15 @@ impl Layer for BatchNorm1d {
         // Parameter gradients.
         let mut dgamma = vec![0.0f32; d];
         let mut dbeta = vec![0.0f32; d];
-        for r in 0..n {
-            let g = grad_out.row(r);
-            let h = xhat.row(r);
-            for j in 0..d {
-                dgamma[j] += g[j] * h[j];
-                dbeta[j] += g[j];
+        for (g, h) in grad_out
+            .as_slice()
+            .chunks_exact(d)
+            .zip(xhat.as_slice().chunks_exact(d))
+        {
+            for ((dg, db), (&g, &h)) in dgamma.iter_mut().zip(dbeta.iter_mut()).zip(g.iter().zip(h))
+            {
+                *dg += g * h;
+                *db += g;
             }
         }
         let dgamma_t = Tensor::from_vec(dgamma.clone(), &[d]).expect("dgamma shape");
@@ -166,11 +178,13 @@ impl Layer for BatchNorm1d {
         // and the chain rule reduces to dx = dxhat · std_inv.
         if !self.cached_batch_stats {
             let mut dx = Tensor::zeros(&[n, d]);
-            for r in 0..n {
-                let g = grad_out.row(r);
-                let o = dx.row_mut(r);
-                for j in 0..d {
-                    o[j] = g[j] * gamma[j] * std_inv[j];
+            for (g, o) in grad_out
+                .as_slice()
+                .chunks_exact(d)
+                .zip(dx.as_mut_slice().chunks_exact_mut(d))
+            {
+                for (((o, &g), &ga), &si) in o.iter_mut().zip(g).zip(gamma).zip(std_inv) {
+                    *o = g * ga * si;
                 }
             }
             return dx;
@@ -181,24 +195,38 @@ impl Layer for BatchNorm1d {
         // where dxhat = grad_out · gamma.
         let mut sum_dxhat = vec![0.0f32; d];
         let mut sum_dxhat_xhat = vec![0.0f32; d];
-        for r in 0..n {
-            let g = grad_out.row(r);
-            let h = xhat.row(r);
-            for j in 0..d {
-                let dxh = g[j] * gamma[j];
-                sum_dxhat[j] += dxh;
-                sum_dxhat_xhat[j] += dxh * h[j];
+        for (g, h) in grad_out
+            .as_slice()
+            .chunks_exact(d)
+            .zip(xhat.as_slice().chunks_exact(d))
+        {
+            for (((sd, sdh), (&g, &h)), &ga) in sum_dxhat
+                .iter_mut()
+                .zip(sum_dxhat_xhat.iter_mut())
+                .zip(g.iter().zip(h))
+                .zip(gamma)
+            {
+                let dxh = g * ga;
+                *sd += dxh;
+                *sdh += dxh * h;
             }
         }
         let mut dx = Tensor::zeros(&[n, d]);
-        for r in 0..n {
-            let g = grad_out.row(r);
-            let h = xhat.row(r);
-            let o = dx.row_mut(r);
-            for j in 0..d {
-                let dxh = g[j] * gamma[j];
-                o[j] = std_inv[j] / n as f32
-                    * (n as f32 * dxh - sum_dxhat[j] - h[j] * sum_dxhat_xhat[j]);
+        for ((g, h), o) in grad_out
+            .as_slice()
+            .chunks_exact(d)
+            .zip(xhat.as_slice().chunks_exact(d))
+            .zip(dx.as_mut_slice().chunks_exact_mut(d))
+        {
+            for ((((o, (&g, &h)), &ga), &si), (&sd, &sdh)) in o
+                .iter_mut()
+                .zip(g.iter().zip(h))
+                .zip(gamma)
+                .zip(std_inv)
+                .zip(sum_dxhat.iter().zip(&sum_dxhat_xhat))
+            {
+                let dxh = g * ga;
+                *o = si / n as f32 * (n as f32 * dxh - sd - h * sdh);
             }
         }
         dx

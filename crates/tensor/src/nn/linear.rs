@@ -28,7 +28,9 @@ pub struct Linear {
     bias: Param,
     in_features: usize,
     out_features: usize,
+    fuse_relu: bool,
     cached_input: Option<Tensor>,
+    cached_output: Option<Tensor>,
 }
 
 impl Linear {
@@ -47,8 +49,26 @@ impl Linear {
             bias: Param::new(Tensor::zeros(&[out_features])),
             in_features,
             out_features,
+            fuse_relu: false,
             cached_input: None,
+            cached_output: None,
         }
+    }
+
+    /// Like [`Linear::new`], but with a ReLU fused into the forward pass —
+    /// bit-identical to a `Linear` followed by a `Relu` layer (the bias and
+    /// clamp are applied per element after the full reduction), without the
+    /// extra output sweep and activation tensor. Draws the same weights
+    /// from `rng` as [`Linear::new`], so swapping a `Linear + Relu` pair
+    /// for a fused layer changes neither initialization nor results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn fused_relu(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        let mut layer = Self::new(in_features, out_features, rng);
+        layer.fuse_relu = true;
+        layer
     }
 
     /// Input width.
@@ -67,6 +87,7 @@ impl std::fmt::Debug for Linear {
         f.debug_struct("Linear")
             .field("in", &self.in_features)
             .field("out", &self.out_features)
+            .field("fused_relu", &self.fuse_relu)
             .finish()
     }
 }
@@ -74,16 +95,14 @@ impl std::fmt::Debug for Linear {
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         debug_assert_eq!(input.cols(), self.in_features, "input width mismatch");
-        let mut out = input
-            .matmul(&self.weight.value)
+        let out = input
+            .matmul_bias(&self.weight.value, &self.bias.value, self.fuse_relu)
             .expect("linear forward: shape mismatch");
-        let bias = self.bias.value.as_slice();
-        for r in 0..out.rows() {
-            for (o, &b) in out.row_mut(r).iter_mut().zip(bias) {
-                *o += b;
-            }
-        }
         self.cached_input = Some(input.clone());
+        if self.fuse_relu {
+            // The output doubles as the ReLU mask: `relu(z) > 0 ⇔ z > 0`.
+            self.cached_output = Some(out.clone());
+        }
         out
     }
 
@@ -92,14 +111,32 @@ impl Layer for Linear {
             .cached_input
             .as_ref()
             .expect("backward called before forward");
-        // dW = xᵀ · g ; db = column sums of g ; dx = g · Wᵀ
-        let x_t = input.transpose().expect("cached input is rank 2");
-        let dw = x_t.matmul(grad_out).expect("dW shape");
+        // With a fused ReLU, mask the incoming gradient exactly as a
+        // standalone Relu layer would (its predicate `z > 0` on the
+        // pre-activation equals `relu(z) > 0` on the cached output).
+        let masked;
+        let grad_out = if self.fuse_relu {
+            let out = self
+                .cached_output
+                .as_ref()
+                .expect("backward called before forward");
+            masked = grad_out
+                .zip_with(out, |g, y| if y > 0.0 { g } else { 0.0 })
+                .expect("relu mask shape");
+            &masked
+        } else {
+            grad_out
+        };
+        // dW = xᵀ · g ; db = column sums of g ; dx = g · Wᵀ. Both products
+        // use the transposed kernels, so no per-batch transpose of the
+        // input or the weight matrix is materialized.
+        let dw = input.tr_matmul(grad_out).expect("dW shape");
         self.weight.grad.axpy(1.0, &dw).expect("dW accumulate");
         let db = grad_out.sum_rows();
         self.bias.grad.axpy(1.0, &db).expect("db accumulate");
-        let w_t = self.weight.value.transpose().expect("weight is rank 2");
-        grad_out.matmul(&w_t).expect("dx shape")
+        grad_out
+            .matmul_transposed(&self.weight.value)
+            .expect("dx shape")
     }
 
     fn visit_params_mut(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -171,6 +208,58 @@ mod tests {
         let mut rng = Rng::seed_from_u64(5);
         let mut fc = Linear::new(2, 2, &mut rng);
         fc.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn fused_relu_matches_linear_then_relu_bitwise() {
+        use crate::nn::Relu;
+        // Same seed ⇒ identical weight draws for the fused and split stacks.
+        let mut rng_a = Rng::seed_from_u64(7);
+        let mut rng_b = Rng::seed_from_u64(7);
+        let mut fused = Linear::fused_relu(6, 5, &mut rng_a);
+        let mut plain = Linear::new(6, 5, &mut rng_b);
+        let mut relu = Relu::new();
+
+        let mut rng_x = Rng::seed_from_u64(8);
+        let x = Tensor::rand_uniform(&[9, 6], -2.0, 2.0, &mut rng_x);
+        let y_fused = fused.forward(&x, true);
+        let y_plain = relu.forward(&plain.forward(&x, true), true);
+        assert_eq!(y_fused.shape(), y_plain.shape());
+        for (a, b) in y_fused.as_slice().iter().zip(y_plain.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let g = Tensor::rand_uniform(&[9, 5], -1.0, 1.0, &mut rng_x);
+        let dx_fused = fused.backward(&g);
+        let dx_plain = plain.backward(&relu.backward(&g));
+        for (a, b) in dx_fused.as_slice().iter().zip(dx_plain.as_slice()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut grads_fused = Vec::new();
+        fused.visit_params(&mut |p| grads_fused.extend_from_slice(p.grad.as_slice()));
+        let mut grads_plain = Vec::new();
+        plain.visit_params(&mut |p| grads_plain.extend_from_slice(p.grad.as_slice()));
+        assert_eq!(grads_fused.len(), grads_plain.len());
+        for (a, b) in grads_fused.iter().zip(&grads_plain) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn gradient_check_fused_relu() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut fc = Linear::fused_relu(4, 3, &mut rng);
+        // Push every pre-activation well above the ReLU kink so finite
+        // differences never straddle it (the kink itself is covered by the
+        // bitwise-equivalence test above).
+        fc.visit_params_mut(&mut |p| {
+            if p.value.len() == 3 {
+                p.value.as_mut_slice().fill(5.0);
+            }
+        });
+        let x = Tensor::rand_uniform(&[5, 4], 0.5, 1.5, &mut rng);
+        gradcheck::check_input_grad(&mut fc, &x, 1e-2);
+        gradcheck::check_param_grad(&mut fc, &x, 1e-2);
     }
 
     #[test]

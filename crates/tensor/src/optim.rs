@@ -215,13 +215,21 @@ impl Optimizer for Adam {
             let v = v_buf[idx].as_mut_slice();
             let value = p.value.as_mut_slice();
             let grad = p.grad.as_slice();
-            for i in 0..value.len() {
-                let g = grad[i] + wd * value[i];
-                m[i] = b1 * m[i] + (1.0 - b1) * g;
-                v[i] = b2 * v[i] + (1.0 - b2) * g * g;
-                let m_hat = m[i] / bias1;
-                let v_hat = v[i] / bias2;
-                value[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+            // Zip-driven so the (value, grad, m, v) walk compiles without
+            // per-element bounds checks; the per-lane arithmetic is
+            // unchanged, so updates are bit-identical to the indexed loop.
+            for (((value, &grad), m), v) in value
+                .iter_mut()
+                .zip(grad)
+                .zip(m.iter_mut())
+                .zip(v.iter_mut())
+            {
+                let g = grad + wd * *value;
+                *m = b1 * *m + (1.0 - b1) * g;
+                *v = b2 * *v + (1.0 - b2) * g * g;
+                let m_hat = *m / bias1;
+                let v_hat = *v / bias2;
+                *value -= lr * m_hat / (v_hat.sqrt() + eps);
             }
             idx += 1;
         });

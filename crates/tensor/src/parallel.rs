@@ -1,0 +1,107 @@
+//! Order-preserving chunked thread dispatch.
+//!
+//! This is the workspace's one parallelism idiom, shared by the per-client
+//! round driver in `fedpkd-core::clients` (which re-exports
+//! [`dispatch_chunked`]) and the row-parallel matmul path in
+//! [`crate::kernels`]: split the work into contiguous chunks, run one
+//! scoped thread per chunk capped at the machine's available parallelism,
+//! and reassemble results in input order. Items (or output rows) never
+//! share mutable state, so the result is bit-identical to the sequential
+//! loop regardless of core count or scheduling.
+
+/// The machine's available parallelism (1 if it cannot be determined).
+pub fn max_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs `f` over `items` on at most [`max_workers`] worker threads —
+/// contiguous chunks, one thread per chunk — and concatenates the
+/// per-chunk results, preserving item order.
+///
+/// Each item is processed exactly once and the output order is independent
+/// of scheduling, so results are bit-identical to a sequential map as long
+/// as items don't share mutable state.
+pub fn dispatch_chunked<I: Send, T: Send>(items: Vec<I>, f: impl Fn(I) -> T + Sync) -> Vec<T> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let workers = max_workers().min(items.len());
+    let chunk_size = items.len().div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut remaining = items;
+        while !remaining.is_empty() {
+            let rest = remaining.split_off(chunk_size.min(remaining.len()));
+            let chunk = std::mem::replace(&mut remaining, rest);
+            handles.push(scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<T>>()));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+/// Splits `out` (a row-major buffer of `row_width`-wide rows) into
+/// contiguous row chunks of at least `min_rows` rows each and runs
+/// `f(first_row_index, chunk)` on one scoped thread per chunk.
+///
+/// Chunks are disjoint `&mut` slices, so no locking is needed and the
+/// written buffer is identical to a sequential pass no matter how the
+/// threads are scheduled.
+pub(crate) fn for_each_row_chunk(
+    out: &mut [f32],
+    row_width: usize,
+    min_rows: usize,
+    f: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    debug_assert!(row_width > 0 && min_rows > 0);
+    let rows = out.len() / row_width;
+    let workers = max_workers().min(rows.div_ceil(min_rows)).max(1);
+    if workers == 1 {
+        // Single worker (one core, or too few rows): run inline — spawning
+        // a scoped thread would only add latency.
+        f(0, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (idx, chunk) in out.chunks_mut(chunk_rows * row_width).enumerate() {
+            scope.spawn(move || f(idx * chunk_rows, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_chunked_preserves_order_past_the_thread_cap() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|i| i * 2).collect();
+        assert_eq!(dispatch_chunked(items, |i| i * 2), expected);
+        assert!(dispatch_chunked(Vec::new(), |i: usize| i).is_empty());
+    }
+
+    #[test]
+    fn row_chunks_cover_every_row_exactly_once() {
+        let rows = 97;
+        let width = 5;
+        let mut out = vec![0.0f32; rows * width];
+        for_each_row_chunk(&mut out, width, 8, |row0, chunk| {
+            for (r, row) in chunk.chunks_mut(width).enumerate() {
+                for v in row {
+                    *v += (row0 + r) as f32;
+                }
+            }
+        });
+        for (r, row) in out.chunks(width).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r}: {row:?}");
+        }
+    }
+}

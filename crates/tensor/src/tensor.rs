@@ -1,5 +1,6 @@
 //! The dense row-major tensor type.
 
+use crate::kernels;
 use crate::TensorError;
 use fedpkd_rng::Rng;
 
@@ -282,13 +283,9 @@ impl Tensor {
         })
     }
 
-    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2,
-    /// or [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
-    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+    /// Checks both operands are rank 2 with matching inner dimensions and
+    /// returns `(m, k, n)`.
+    fn matmul_dims(&self, other: &Self) -> Result<(usize, usize, usize), TensorError> {
         if self.shape.len() != 2 {
             return Err(TensorError::RankMismatch {
                 expected: 2,
@@ -309,29 +306,175 @@ impl Tensor {
                 right_rows: k2,
             });
         }
+        Ok((m, k, n))
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m, k] × [k, n] → [m, n]`.
+    ///
+    /// Dispatches to the tier selected by [`crate::kernels::kernel_mode`];
+    /// all tiers are bit-identical (see the [`crate::kernels`] docs for the
+    /// argument). The zero-skip optimization is gated on `other` being
+    /// entirely finite, so a NaN or infinity in `other` always propagates —
+    /// `0·NaN` is NaN, not 0.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2,
+    /// or [`TensorError::MatmulDimMismatch`] if the inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        let (m, k, n) = self.matmul_dims(other)?;
         let mut out = vec![0.0f32; m * n];
-        // i-k-j loop order: streams through `other` row-by-row, which is
-        // cache-friendly for row-major data. The zero-skip on `a` is gated
-        // on measurement, not assumption: on dense inputs the branch
-        // predicts perfectly (never taken) and costs within noise, while on
-        // ReLU-sparse left operands it skips whole rows of `other` for a
-        // ~25% win — see the dense/sparse matmul cases in `micro_ops.rs`
-        // for the recorded numbers. Skipping also never changes results for
-        // finite inputs: each skipped update is `out += 0.0 * b`.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
+        match kernels::kernel_mode() {
+            kernels::KernelMode::Scalar => {
+                kernels::matmul_scalar_into(&self.data, &other.data, &mut out, m, k, n);
+            }
+            kernels::KernelMode::Fast => {
+                kernels::matmul_fast_into(&self.data, &other.data, &mut out, m, k, n, None, false);
             }
         }
         Self::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product via the reference scalar kernel (the i-k-j triple
+    /// loop), regardless of the selected [`crate::kernels::KernelMode`].
+    ///
+    /// This is the baseline the tiled, transposed-packed, and row-parallel
+    /// kernels are proven bit-identical to; benchmarks and equivalence
+    /// tests call it directly.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul`].
+    pub fn matmul_scalar(&self, other: &Self) -> Result<Self, TensorError> {
+        let (m, k, n) = self.matmul_dims(other)?;
+        let mut out = vec![0.0f32; m * n];
+        kernels::matmul_scalar_into(&self.data, &other.data, &mut out, m, k, n);
+        Self::from_vec(out, &[m, n])
+    }
+
+    /// Fused affine map: `self × other + bias`, with an optional fused ReLU
+    /// — `[m, k] × [k, n] + [n] → [m, n]`.
+    ///
+    /// The bias (and ReLU clamp) are applied per element *after* the full
+    /// reduction, so the result is bit-identical to
+    /// `matmul` → bias pass → ReLU pass; the fast tier folds them into the
+    /// kernel epilogue to save the extra sweeps.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Tensor::matmul`], plus
+    /// [`TensorError::ShapeMismatch`] if `bias` is not a length-`n` vector.
+    pub fn matmul_bias(&self, other: &Self, bias: &Self, relu: bool) -> Result<Self, TensorError> {
+        let (m, k, n) = self.matmul_dims(other)?;
+        if bias.data.len() != n {
+            return Err(TensorError::ShapeMismatch {
+                left: vec![n],
+                right: bias.shape.clone(),
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        match kernels::kernel_mode() {
+            kernels::KernelMode::Scalar => {
+                kernels::matmul_scalar_into(&self.data, &other.data, &mut out, m, k, n);
+                kernels::epilogue_scalar_into(&mut out, n, Some(&bias.data), relu);
+            }
+            kernels::KernelMode::Fast => {
+                kernels::matmul_fast_into(
+                    &self.data,
+                    &other.data,
+                    &mut out,
+                    m,
+                    k,
+                    n,
+                    Some(&bias.data),
+                    relu,
+                );
+            }
+        }
+        Self::from_vec(out, &[m, n])
+    }
+
+    /// Matrix product against a pre-transposed right operand:
+    /// `self × otherᵀ`, with `self: [m, k]` and `other: [n, k] → [m, n]`.
+    ///
+    /// `other`'s rows are exactly the columns the product needs, so the
+    /// fast tier reads both operands contiguously (a packed dot-product
+    /// kernel) and no transpose is ever materialized — this is what the
+    /// Dense backward uses for `dx = g·Wᵀ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank
+    /// 2, or [`TensorError::MatmulDimMismatch`] if the shared inner width
+    /// `k` differs.
+    pub fn matmul_transposed(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.shape.len() != 2 {
+                    self.shape.len()
+                } else {
+                    other.shape.len()
+                },
+            });
+        }
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        if k != k2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left_cols: k,
+                right_rows: k2,
+            });
+        }
+        match kernels::kernel_mode() {
+            kernels::KernelMode::Scalar => self.matmul_scalar(&other.transpose()?),
+            kernels::KernelMode::Fast => {
+                let mut out = vec![0.0f32; m * n];
+                kernels::matmul_transposed_fast_into(&self.data, &other.data, &mut out, m, k, n);
+                Self::from_vec(out, &[m, n])
+            }
+        }
+    }
+
+    /// Matrix product with a transposed left operand: `selfᵀ × other`, with
+    /// `self: [r, m]` and `other: [r, n] → [m, n]`.
+    ///
+    /// The reduction runs over the shared row count `r`, so both operands
+    /// are read in their natural row-major layout — this is what the Dense
+    /// backward uses for `dW = xᵀ·g`, eliminating the per-batch
+    /// `transpose()` allocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank
+    /// 2, or [`TensorError::MatmulDimMismatch`] if the row counts differ.
+    pub fn tr_matmul(&self, other: &Self) -> Result<Self, TensorError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 {
+            return Err(TensorError::RankMismatch {
+                expected: 2,
+                actual: if self.shape.len() != 2 {
+                    self.shape.len()
+                } else {
+                    other.shape.len()
+                },
+            });
+        }
+        let (r, m) = (self.shape[0], self.shape[1]);
+        let (r2, n) = (other.shape[0], other.shape[1]);
+        if r != r2 {
+            return Err(TensorError::MatmulDimMismatch {
+                left_cols: r,
+                right_rows: r2,
+            });
+        }
+        match kernels::kernel_mode() {
+            kernels::KernelMode::Scalar => self.transpose()?.matmul_scalar(other),
+            kernels::KernelMode::Fast => {
+                let mut out = vec![0.0f32; m * n];
+                kernels::tr_matmul_fast_into(&self.data, &other.data, &mut out, r, m, n);
+                Self::from_vec(out, &[m, n])
+            }
+        }
     }
 
     /// Transpose of a rank-2 tensor.
@@ -590,6 +733,112 @@ mod tests {
             v.matmul(&a),
             Err(TensorError::RankMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn matmul_propagates_nan_hidden_behind_zero() {
+        // Regression: the zero-skip branch used to turn `0·NaN` into `0`,
+        // silently masking a diverged operand. A NaN in `b` must reach the
+        // output even when the matching `a` entry is zero.
+        let a = t(&[0.0, 1.0], &[1, 2]);
+        let b = Tensor::from_vec(vec![f32::NAN, 2.0], &[2, 1]).unwrap();
+        assert!(a.matmul(&b).unwrap().as_slice()[0].is_nan());
+        assert!(a.matmul_scalar(&b).unwrap().as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn matmul_propagates_infinity_hidden_behind_zero() {
+        // `0·∞` is NaN; the skip must not convert it to 0.
+        let a = t(&[0.0], &[1, 1]);
+        let b = Tensor::from_vec(vec![f32::INFINITY], &[1, 1]).unwrap();
+        assert!(a.matmul(&b).unwrap().as_slice()[0].is_nan());
+    }
+
+    #[test]
+    fn matmul_zero_skip_is_exact_on_finite_inputs() {
+        // With a finite right operand the skip must not change results.
+        let a = t(&[0.0, -0.0, 2.0, 0.0, 1.0, -3.0], &[2, 3]);
+        let b = t(&[-1., 5., 2., -2., 0., 4.], &[3, 2]);
+        let dense = a.map(|x| if x == 0.0 { 1e-30 } else { x });
+        let skipped = a.matmul(&b).unwrap();
+        assert!(skipped.all_finite());
+        // Spot-check against hand computation: row1 = [1*2 + -3*0, 1*-2 + -3*4].
+        assert_eq!(skipped.row(1), &[2.0, -14.0]);
+        assert!(dense.matmul(&b).is_ok());
+    }
+
+    #[test]
+    fn matmul_bias_matches_unfused_composition() {
+        let mut rng = Rng::seed_from_u64(11);
+        let a = Tensor::rand_uniform(&[5, 7], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[7, 3], -1.0, 1.0, &mut rng);
+        let bias = Tensor::rand_uniform(&[3], -1.0, 1.0, &mut rng);
+        let fused = a.matmul_bias(&b, &bias, true).unwrap();
+        let mut unfused = a.matmul_scalar(&b).unwrap();
+        for r in 0..unfused.rows() {
+            for (o, &bv) in unfused.row_mut(r).iter_mut().zip(bias.as_slice()) {
+                *o += bv;
+            }
+        }
+        let unfused = unfused.map(|x| x.max(0.0));
+        assert_eq!(
+            fused
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            unfused
+                .as_slice()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn matmul_bias_rejects_wrong_bias_width() {
+        let a = t(&[1., 2.], &[1, 2]);
+        let b = t(&[1., 2., 3., 4.], &[2, 2]);
+        let bias = t(&[1., 2., 3.], &[3]);
+        assert!(matches!(
+            a.matmul_bias(&b, &bias, false),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn matmul_transposed_matches_materialized_transpose() {
+        let mut rng = Rng::seed_from_u64(12);
+        let a = Tensor::rand_uniform(&[6, 9], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[4, 9], -1.0, 1.0, &mut rng);
+        let fast = a.matmul_transposed(&b).unwrap();
+        let reference = a.matmul_scalar(&b.transpose().unwrap()).unwrap();
+        assert_eq!(fast, reference);
+        assert_eq!(fast.shape(), &[6, 4]);
+    }
+
+    #[test]
+    fn tr_matmul_matches_materialized_transpose() {
+        let mut rng = Rng::seed_from_u64(13);
+        let a = Tensor::rand_uniform(&[9, 6], -1.0, 1.0, &mut rng);
+        let b = Tensor::rand_uniform(&[9, 4], -1.0, 1.0, &mut rng);
+        let fast = a.tr_matmul(&b).unwrap();
+        let reference = a.transpose().unwrap().matmul_scalar(&b).unwrap();
+        assert_eq!(fast, reference);
+        assert_eq!(fast.shape(), &[6, 4]);
+    }
+
+    #[test]
+    fn transposed_kernels_check_dims() {
+        let a = t(&[1., 2.], &[1, 2]);
+        let b = t(&[1., 2., 3.], &[1, 3]);
+        assert!(a.matmul_transposed(&b).is_err());
+        assert!(a.tr_matmul(&b).is_ok()); // shared row count 1 → [2, 3]
+        let c = t(&[1., 2., 3.], &[3]);
+        assert!(a.matmul_transposed(&c).is_err());
+        assert!(c.tr_matmul(&a).is_err());
+        let d = t(&[1., 2., 3., 4.], &[2, 2]);
+        assert!(a.tr_matmul(&d).is_err());
     }
 
     #[test]

@@ -28,6 +28,57 @@ fn matrix(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
     })
 }
 
+/// Strategy: a kernel-stressing dimension — 1, small, and the register-tile
+/// boundaries (4 rows × 16 columns) ± 1.
+fn dim() -> impl Strategy<Value = usize> {
+    prop_oneof![
+        Just(1usize),
+        Just(2),
+        Just(3),
+        Just(4),
+        Just(5),
+        Just(15),
+        Just(16),
+        Just(17),
+        Just(31),
+        Just(33),
+        Just(63),
+        Just(65),
+    ]
+}
+
+/// Strategy: an `[r, c]` tensor where roughly half the entries are exact
+/// zeros (exercising the kernels' zero-skip path).
+fn sparse(r: usize, c: usize) -> impl Strategy<Value = Tensor> {
+    (
+        prop::collection::vec(-4.0f32..4.0, r * c),
+        prop::collection::vec(any::<bool>(), r * c),
+    )
+        .prop_map(move |(data, mask)| {
+            let vals: Vec<f32> = data
+                .iter()
+                .zip(&mask)
+                .map(|(&v, &z)| if z { 0.0 } else { v })
+                .collect();
+            Tensor::from_vec(vals, &[r, c]).unwrap()
+        })
+}
+
+/// Strategy: a compatible `(A[m,k], B[k,n])` pair for `A · B`.
+fn matmul_case() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (dim(), dim(), dim()).prop_flat_map(|(m, k, n)| (sparse(m, k), sparse(k, n)))
+}
+
+/// Strategy: a compatible `(A[m,k], Bᵀ[n,k])` pair for `A · Bᵀ`.
+fn transposed_case() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (dim(), dim(), dim()).prop_flat_map(|(m, k, n)| (sparse(m, k), sparse(n, k)))
+}
+
+/// Strategy: a compatible `(A[r,m], B[r,n])` pair for `Aᵀ · B`.
+fn tr_case() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (dim(), dim(), dim()).prop_flat_map(|(r, m, n)| (sparse(r, m), sparse(r, n)))
+}
+
 proptest! {
     /// Addition is commutative and subtraction is its inverse.
     #[test]
@@ -172,6 +223,67 @@ proptest! {
         prop_assert_eq!(param_vector(&m), before);
     }
 
+    /// The tiled/packed fast matmul is bit-identical to the scalar
+    /// reference across awkward shapes (1, tile boundaries ±1) and sparse
+    /// inputs that exercise the zero-skip path.
+    #[test]
+    fn fast_matmul_is_bit_identical_to_scalar((a, b) in matmul_case()) {
+        let fast = a.matmul(&b).unwrap();
+        let scalar = a.matmul_scalar(&b).unwrap();
+        prop_assert_eq!(fast.shape(), scalar.shape());
+        for (x, y) in fast.as_slice().iter().zip(scalar.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// `A · Bᵀ` via the packed transposed kernel equals materializing the
+    /// transpose and running the scalar reference — bit for bit.
+    #[test]
+    fn matmul_transposed_is_bit_identical_to_scalar((a, bt) in transposed_case()) {
+        let fast = a.matmul_transposed(&bt).unwrap();
+        let scalar = a.matmul_scalar(&bt.transpose().unwrap()).unwrap();
+        prop_assert_eq!(fast.shape(), scalar.shape());
+        for (x, y) in fast.as_slice().iter().zip(scalar.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// `Aᵀ · B` via the transposed-reduction kernel equals materializing
+    /// the transpose and running the scalar reference — bit for bit.
+    #[test]
+    fn tr_matmul_is_bit_identical_to_scalar((a, b) in tr_case()) {
+        let fast = a.tr_matmul(&b).unwrap();
+        let scalar = a.transpose().unwrap().matmul_scalar(&b).unwrap();
+        prop_assert_eq!(fast.shape(), scalar.shape());
+        for (x, y) in fast.as_slice().iter().zip(scalar.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The fused bias(+ReLU) epilogue equals the unfused
+    /// matmul → bias sweep → ReLU sweep composition — bit for bit.
+    #[test]
+    fn fused_bias_relu_is_bit_identical_to_composition(
+        (a, b) in matmul_case(),
+        relu in any::<bool>(),
+    ) {
+        let bias_vals: Vec<f32> = (0..b.cols()).map(|j| (j as f32) * 0.35 - 1.0).collect();
+        let bias = Tensor::from_vec(bias_vals.clone(), &[b.cols()]).unwrap();
+        let fused = a.matmul_bias(&b, &bias, relu).unwrap();
+        let mut expect = a.matmul_scalar(&b).unwrap();
+        for r in 0..expect.rows() {
+            for (o, &bv) in expect.row_mut(r).iter_mut().zip(&bias_vals) {
+                *o += bv;
+                if relu {
+                    *o = o.max(0.0);
+                }
+            }
+        }
+        for (x, y) in fused.as_slice().iter().zip(expect.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
     /// select_rows picks exactly the requested rows.
     #[test]
     fn select_rows_semantics(t in matrix(8, 4), pick_seed in any::<u64>()) {
@@ -184,4 +296,46 @@ proptest! {
             prop_assert_eq!(sub.row(out_row), t.row(src));
         }
     }
+}
+
+/// The row-parallel dispatch (engaged above ~4M multiply-adds and 128 rows)
+/// is bit-identical to the scalar reference no matter how the row chunks
+/// land on threads.
+#[test]
+fn row_parallel_matmul_is_bit_identical_to_scalar() {
+    let mut rng = Rng::seed_from_u64(42);
+    let (m, k, n) = (2048, 48, 48); // m·k·n = 4.7M > the parallel threshold
+    let a = Tensor::rand_uniform(&[m, k], -1.0, 1.0, &mut rng);
+    let b = Tensor::rand_uniform(&[k, n], -1.0, 1.0, &mut rng);
+    let fast = a.matmul(&b).unwrap();
+    let scalar = a.matmul_scalar(&b).unwrap();
+    assert_eq!(fast.shape(), scalar.shape());
+    for (x, y) in fast.as_slice().iter().zip(scalar.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+    let bias = Tensor::rand_uniform(&[n], -1.0, 1.0, &mut rng);
+    let fused = a.matmul_bias(&b, &bias, true).unwrap();
+    let mut expect = scalar;
+    for r in 0..expect.rows() {
+        for (o, &bv) in expect.row_mut(r).iter_mut().zip(bias.as_slice()) {
+            *o = (*o + bv).max(0.0);
+        }
+    }
+    for (x, y) in fused.as_slice().iter().zip(expect.as_slice()) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+/// Zero-row operands are legal in every kernel and produce empty outputs.
+#[test]
+fn empty_operands_are_supported() {
+    let a = Tensor::zeros(&[0, 7]);
+    let b = Tensor::zeros(&[7, 3]);
+    assert_eq!(a.matmul(&b).unwrap().shape(), &[0, 3]);
+    assert_eq!(a.matmul_scalar(&b).unwrap().shape(), &[0, 3]);
+    let bt = Tensor::zeros(&[3, 7]);
+    assert_eq!(a.matmul_transposed(&bt).unwrap().shape(), &[0, 3]);
+    let ta = Tensor::zeros(&[0, 4]);
+    let tb = Tensor::zeros(&[0, 5]);
+    assert_eq!(ta.tr_matmul(&tb).unwrap().shape(), &[4, 5]);
 }

@@ -13,3 +13,9 @@ cargo test --workspace -q
 # Release-mode smoke: a 10-round run interrupted at round 5 must resume
 # bit-identically from its serialized snapshot (asserts internally).
 cargo run --release -q --example checkpoint_resume > /dev/null
+# Kernel-tier perf smoke: times the scalar and fast kernel tiers on a tiny
+# profile and exits non-zero if they are not bit-identical. The committed
+# fig7-scale report is BENCH_pr5.json; this gate checks equivalence, not
+# speed (CI boxes are too noisy for a speed assertion).
+FEDPKD_PERF_SCALE=smoke FEDPKD_PERF_OUT=target/bench_smoke.json \
+    cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
