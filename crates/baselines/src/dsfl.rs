@@ -246,7 +246,6 @@ impl Federation for DsFl {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
     use fedpkd_tensor::ops::row_entropy;
@@ -283,7 +282,7 @@ mod tests {
             ..BaselineConfig::default()
         };
         let mut algo = DsFl::new(scenario(1), specs(), config, 3).unwrap();
-        let result = algo.run_silent(3);
+        let result = fedpkd_core::Driver::rounds(3).run_silent(&mut algo);
         let acc = result.best_client_accuracy();
         assert!(acc > 0.3, "DS-FL client accuracy {acc}");
         assert_eq!(result.best_server_accuracy(), None);

@@ -232,7 +232,6 @@ impl Federation for FedAvg {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_core::telemetry::NullObserver;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_netsim::Cohort;
@@ -269,7 +268,7 @@ mod tests {
     #[test]
     fn learns_above_chance() {
         let mut algo = FedAvg::new(scenario(1), spec(), config(), 3).unwrap();
-        let result = algo.run_silent(3);
+        let result = fedpkd_core::Driver::rounds(3).run_silent(&mut algo);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedAvg accuracy {acc} vs chance 0.1");
     }
@@ -277,7 +276,7 @@ mod tests {
     #[test]
     fn traffic_is_model_updates_both_ways() {
         let mut algo = FedAvg::new(scenario(2), spec(), config(), 5).unwrap();
-        let result = algo.run_silent(1);
+        let result = fedpkd_core::Driver::rounds(1).run_silent(&mut algo);
         let up = result.ledger.direction_bytes(Direction::Uplink);
         let down = result.ledger.direction_bytes(Direction::Downlink);
         assert_eq!(up, down, "uplink and downlink are symmetric in FedAvg");

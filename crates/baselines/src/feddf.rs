@@ -261,7 +261,6 @@ impl Federation for FedDf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -297,7 +296,7 @@ mod tests {
     #[test]
     fn server_learns_above_chance() {
         let mut algo = FedDf::new(scenario(1), spec(), config(), 3).unwrap();
-        let result = algo.run_silent(3);
+        let result = fedpkd_core::Driver::rounds(3).run_silent(&mut algo);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedDF accuracy {acc}");
     }
@@ -305,7 +304,7 @@ mod tests {
     #[test]
     fn traffic_is_parameter_sized() {
         let mut algo = FedDf::new(scenario(2), spec(), config(), 5).unwrap();
-        let result = algo.run_silent(1);
+        let result = fedpkd_core::Driver::rounds(1).run_silent(&mut algo);
         // One round ships 2 model updates per client; each T20 ResMlp is
         // tens of thousands of parameters.
         let per_client = result.ledger.client_bytes(0);

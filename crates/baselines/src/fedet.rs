@@ -309,7 +309,6 @@ impl Federation for FedEt {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -357,7 +356,7 @@ mod tests {
     #[test]
     fn larger_server_learns_from_heterogeneous_clients() {
         let mut algo = FedEt::new(scenario(1), client_specs(), server_spec(), config(), 3).unwrap();
-        let result = algo.run_silent(4);
+        let result = fedpkd_core::Driver::rounds(4).run_silent(&mut algo);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedET server accuracy {acc}");
     }
@@ -365,7 +364,7 @@ mod tests {
     #[test]
     fn uplink_is_parameter_sized() {
         let mut algo = FedEt::new(scenario(2), client_specs(), server_spec(), config(), 5).unwrap();
-        let result = algo.run_silent(1);
+        let result = fedpkd_core::Driver::rounds(1).run_silent(&mut algo);
         let up = result.ledger.direction_bytes(Direction::Uplink);
         let down = result.ledger.direction_bytes(Direction::Downlink);
         // Parameter uplink dwarfs logits downlink — the cost the paper

@@ -239,7 +239,6 @@ impl Federation for FedMd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -278,7 +277,7 @@ mod tests {
     #[test]
     fn has_no_server_model() {
         let mut algo = FedMd::new(scenario(1), specs(), config(), 3).unwrap();
-        let result = algo.run_silent(1);
+        let result = fedpkd_core::Driver::rounds(1).run_silent(&mut algo);
         assert_eq!(result.last().server_accuracy, None);
         assert_eq!(result.best_server_accuracy(), None);
     }
@@ -286,7 +285,7 @@ mod tests {
     #[test]
     fn heterogeneous_clients_learn() {
         let mut algo = FedMd::new(scenario(2), specs(), config(), 5).unwrap();
-        let result = algo.run_silent(3);
+        let result = fedpkd_core::Driver::rounds(3).run_silent(&mut algo);
         let acc = result.best_client_accuracy();
         assert!(acc > 0.3, "FedMD client accuracy {acc}");
     }
@@ -294,7 +293,7 @@ mod tests {
     #[test]
     fn traffic_is_logits_only() {
         let mut algo = FedMd::new(scenario(3), specs(), config(), 7).unwrap();
-        let result = algo.run_silent(1);
+        let result = fedpkd_core::Driver::rounds(1).run_silent(&mut algo);
         // Logits for 120 samples × 10 classes × 4 B ≈ 4.8 KB per message —
         // far below one T20 model update (> 100 KB).
         let per_client_up = result.ledger.direction_bytes(Direction::Uplink) / 3;

@@ -234,7 +234,6 @@ impl Federation for FedProx {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
 
@@ -267,7 +266,7 @@ mod tests {
             ..BaselineConfig::default()
         };
         let mut algo = FedProx::new(scenario(1), spec(), config, 3).unwrap();
-        let result = algo.run_silent(3);
+        let result = fedpkd_core::Driver::rounds(3).run_silent(&mut algo);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.3, "FedProx accuracy {acc}");
     }
@@ -280,8 +279,14 @@ mod tests {
         };
         let mut prox = FedProx::new(scenario(2), spec(), config.clone(), 5).unwrap();
         let mut avg = crate::FedAvg::new(scenario(2), spec(), config, 5).unwrap();
-        let prox_bytes = prox.run_silent(1).ledger.total_bytes();
-        let avg_bytes = avg.run_silent(1).ledger.total_bytes();
+        let prox_bytes = fedpkd_core::Driver::rounds(1)
+            .run_silent(&mut prox)
+            .ledger
+            .total_bytes();
+        let avg_bytes = fedpkd_core::Driver::rounds(1)
+            .run_silent(&mut avg)
+            .ledger
+            .total_bytes();
         assert_eq!(prox_bytes, avg_bytes, "FedProx ships the same payloads");
     }
 

@@ -249,7 +249,6 @@ impl Federation for NaiveKd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_core::telemetry::NullObserver;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     use fedpkd_tensor::models::DepthTier;
@@ -297,7 +296,7 @@ mod tests {
     #[test]
     fn server_learns_something() {
         let mut algo = NaiveKd::new(scenario(0.5, 1), specs(), server_spec(), config(), 3).unwrap();
-        let result = algo.run_silent(3);
+        let result = fedpkd_core::Driver::rounds(3).run_silent(&mut algo);
         let acc = result.best_server_accuracy().unwrap();
         assert!(acc > 0.2, "NaiveKD server accuracy {acc}");
     }
@@ -319,7 +318,7 @@ mod tests {
     #[test]
     fn no_downlink_traffic() {
         let mut algo = NaiveKd::new(scenario(0.5, 3), specs(), server_spec(), config(), 7).unwrap();
-        let result = algo.run_silent(1);
+        let result = fedpkd_core::Driver::rounds(1).run_silent(&mut algo);
         assert_eq!(result.ledger.direction_bytes(Direction::Downlink), 0);
         assert!(result.ledger.direction_bytes(Direction::Uplink) > 0);
     }

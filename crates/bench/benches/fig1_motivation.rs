@@ -5,7 +5,7 @@
 //! non-IID data hurts both methods substantially.
 
 use fedpkd_bench::{banner, pct, print_table, Method, Scale, Task};
-use fedpkd_core::runtime::FlAlgorithm;
+use fedpkd_core::driver::Driver;
 use fedpkd_data::Partition;
 
 fn main() {
@@ -49,19 +49,22 @@ fn run(method: Method, scale: &Scale, task: Task, partition: Partition) -> Optio
         .seed(101)
         .build()
         .expect("valid scenario");
+    let mut driver = Driver::rounds(scale.rounds);
     let result = match method {
-        Method::FedAvg => FedAvg::new(scenario, scale.client_spec(task), scale.base.clone(), 101)
-            .expect("wiring")
-            .run_silent(scale.rounds),
-        Method::NaiveKd => NaiveKd::new(
-            scenario,
-            vec![scale.client_spec(task); scale.clients],
-            scale.server_spec(task),
-            scale.base.clone(),
-            101,
-        )
-        .expect("wiring")
-        .run_silent(scale.rounds),
+        Method::FedAvg => driver.run_silent(
+            &mut FedAvg::new(scenario, scale.client_spec(task), scale.base.clone(), 101)
+                .expect("wiring"),
+        ),
+        Method::NaiveKd => driver.run_silent(
+            &mut NaiveKd::new(
+                scenario,
+                vec![scale.client_spec(task); scale.clients],
+                scale.server_spec(task),
+                scale.base.clone(),
+                101,
+            )
+            .expect("wiring"),
+        ),
         _ => unreachable!("fig1 compares FedAvg and NaiveKD only"),
     };
     result.best_server_accuracy()

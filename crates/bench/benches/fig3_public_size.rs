@@ -6,7 +6,7 @@
 
 use fedpkd_baselines::NaiveKd;
 use fedpkd_bench::{banner, print_table, Scale, Task};
-use fedpkd_core::runtime::FlAlgorithm;
+use fedpkd_core::driver::Driver;
 use fedpkd_data::ScenarioBuilder;
 use fedpkd_netsim::{bytes_to_mb, Message, Wire};
 use fedpkd_rng::Rng;
@@ -55,17 +55,18 @@ fn main() {
             .seed(303)
             .build()
             .expect("valid scenario");
-        let acc = NaiveKd::new(
+        let mut kd = NaiveKd::new(
             scenario,
             vec![scale.client_spec(task); scale.clients],
             scale.server_spec(task),
             scale.base.clone(),
             303,
         )
-        .expect("wiring")
-        .run_silent(scale.rounds)
-        .best_server_accuracy()
-        .unwrap_or(0.0);
+        .expect("wiring");
+        let acc = Driver::rounds(scale.rounds)
+            .run_silent(&mut kd)
+            .best_server_accuracy()
+            .unwrap_or(0.0);
 
         rows.push(vec![
             public.to_string(),

@@ -177,8 +177,8 @@ fn main() {
     // run the real algorithm for a few rounds and read the per-round
     // filter acceptance, Eq. 13 loss components, and prototype drift the
     // round driver reports.
+    use fedpkd_core::driver::Driver;
     use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
-    use fedpkd_core::runtime::FlAlgorithm;
     use fedpkd_core::telemetry::{EventLog, TelemetryEvent};
 
     let pkd_scenario = scale.scenario(task, setting, 42);
@@ -198,7 +198,7 @@ fn main() {
     )
     .expect("wiring");
     let mut log = EventLog::new();
-    let result = algo.run(3, &mut log);
+    let result = Driver::rounds(3).run(&mut algo, &mut log);
 
     println!("\nFedPKD round telemetry (3 rounds, theta from config):");
     for event in log.events() {

@@ -1,14 +1,25 @@
-//! Performance harness: times the FedPKD phases at Fig. 7 scale under the
-//! scalar reference kernels and the tiled/parallel fast kernels, verifies
-//! the two runs are bit-identical, and writes `BENCH_pr5.json`.
+//! Performance harness with two families of scenarios:
+//!
+//! - **Kernel tiers** (default, `FEDPKD_PERF_SCALE=smoke` for CI): times
+//!   the FedPKD phases at Fig. 7 scale under the scalar reference kernels
+//!   and the tiled/parallel fast kernels, verifies the two runs are
+//!   bit-identical, and writes `BENCH_pr5.json`.
+//! - **Fleet scale** (`FEDPKD_PERF_SCALE=fleet`, or `fleet-smoke` for CI):
+//!   drives a [`FleetSim`] of 10 000 clients through the event-driven
+//!   driver — 256-client seeded cohorts, streaming aggregation, and a
+//!   bounded-staleness pass — measuring rounds/sec, peak RSS, and
+//!   bytes/round, and writes `BENCH_pr6.json`. Both the synchronous and
+//!   the bounded-staleness runs must replay bit-identically across worker
+//!   budgets or the binary exits non-zero.
 //!
 //! Usage: `cargo run --release -p fedpkd-bench --bin perf`
 //!
 //! Environment:
-//! - `FEDPKD_PERF_SCALE=smoke` — a seconds-long micro profile for CI; the
-//!   default is the Fig. 7 heterogeneous quick profile (`FEDPKD_SCALE`
-//!   still selects `quick` vs `paper` for the default path).
-//! - `FEDPKD_PERF_OUT` — output path (default `BENCH_pr5.json`).
+//! - `FEDPKD_PERF_SCALE` — `smoke`, `fleet`, `fleet-smoke`, or unset for
+//!   the Fig. 7 heterogeneous quick profile (`FEDPKD_SCALE` still selects
+//!   `quick` vs `paper` for the default path).
+//! - `FEDPKD_PERF_OUT` — output path (default `BENCH_pr5.json`, or
+//!   `BENCH_pr6.json` for the fleet scenarios).
 //! - `FEDPKD_PERF_REPS` — repetitions per kernel tier (default 1). Each
 //!   repetition must be bit-identical to the first; per-phase wall-clock
 //!   is the minimum across repetitions, applied symmetrically to both
@@ -20,10 +31,13 @@
 //! a report field.
 
 use fedpkd_bench::{run_method_observed, Method, Scale, Setting, Task};
+use fedpkd_core::driver::DriverBuilder;
 use fedpkd_core::fedpkd::FedPkdConfig;
+use fedpkd_core::fleet::FleetSim;
 use fedpkd_core::runtime::RunResult;
 use fedpkd_core::telemetry::{EventLog, Phase, TelemetryEvent};
-use fedpkd_tensor::{set_kernel_mode, KernelMode};
+use fedpkd_netsim::{CohortPolicy, FaultPlan, LinkModel};
+use fedpkd_tensor::KernelMode;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -70,7 +84,7 @@ fn perf_scale() -> (Scale, &'static str) {
 }
 
 fn timed_run(mode: KernelMode, scale: &Scale) -> Timed {
-    set_kernel_mode(mode);
+    let _mode = mode.scoped();
     let mut log = EventLog::new();
     let started = Instant::now();
     let result = run_method_observed(
@@ -129,7 +143,126 @@ fn best_of(mode: KernelMode, scale: &Scale, reps: usize, label: &str) -> Timed {
     best
 }
 
+/// Peak resident set size in bytes, from `/proc/self/status` (`VmHWM`).
+/// Returns 0 where procfs is unavailable.
+fn peak_rss_bytes() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                let rest = line.strip_prefix("VmHWM:")?;
+                let kib: usize = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                Some(kib * 1024)
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// The fleet-scale scenario: a seeded cohort of `cohort` clients per round
+/// drawn from `fleet`, prototypes folded streamingly, over `rounds` rounds.
+/// Exits non-zero unless both the synchronous and the bounded-staleness
+/// configurations replay bit-identically across worker budgets.
+fn fleet_main(fleet: usize, cohort: usize, rounds: usize, profile: &str) {
+    const CLASSES: usize = 10;
+    const DIMS: usize = 64;
+    eprintln!(
+        "perf: fleet {profile} profile — {fleet} clients, {cohort}-client cohorts, {rounds} rounds"
+    );
+
+    // A link slow enough that an invited client misses the 1 s deadline
+    // once its upload size is known (a ~1.3 KB prototype payload takes
+    // ~1.3 s at 1 kB/s), with the lag inside the staleness bound — the
+    // bounded-staleness path stays active throughout.
+    let plan = FaultPlan::new(SEED).with_deadline(LinkModel::new(1_000.0, 0.0), 1.0);
+    let run = |staleness: usize, workers: Option<usize>| {
+        let mut sim = FleetSim::new(fleet, CLASSES, DIMS, SEED);
+        let mut builder = DriverBuilder::new()
+            .rounds(rounds)
+            .cohort(CohortPolicy::Sample {
+                size: cohort,
+                seed: SEED ^ 0x5EED,
+            });
+        if staleness > 0 {
+            builder = builder.faults(plan.clone()).staleness(staleness);
+        }
+        if let Some(workers) = workers {
+            builder = builder.workers(workers);
+        }
+        let started = Instant::now();
+        let result = builder.build().run_silent(&mut sim);
+        (result, sim, started.elapsed().as_secs_f64())
+    };
+
+    let (sync_result, sync_sim, sync_seconds) = run(0, None);
+    let (sync_replay, sync_replay_sim, _) = run(0, Some(1));
+    let sync_identical = sync_result == sync_replay && sync_sim == sync_replay_sim;
+    eprintln!(
+        "perf: sync {rounds} rounds in {sync_seconds:.2}s ({:.1} rounds/s), replay identical: {sync_identical}",
+        rounds as f64 / sync_seconds
+    );
+
+    let (stale_result, stale_sim, stale_seconds) = run(2, None);
+    let (stale_replay, stale_replay_sim, _) = run(2, Some(1));
+    let stale_identical = stale_result == stale_replay && stale_sim == stale_replay_sim;
+    eprintln!(
+        "perf: staleness=2 {rounds} rounds in {stale_seconds:.2}s ({:.1} rounds/s), replay identical: {stale_identical}",
+        rounds as f64 / stale_seconds
+    );
+
+    let peak_rss = peak_rss_bytes();
+    let server_state_bytes = std::mem::size_of_val(sync_sim.centroids());
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"profile\": \"{profile}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"fleet\": {fleet},\n",
+            "  \"cohort\": {cohort},\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"classes\": {classes},\n",
+            "  \"dims\": {dims},\n",
+            "  \"sync\": {{\"seconds\": {sync_seconds:.4}, \"rounds_per_sec\": {sync_rps:.2}, ",
+            "\"bytes_per_round\": {sync_bpr}, \"replay_identical\": {sync_identical}}},\n",
+            "  \"staleness_2\": {{\"seconds\": {stale_seconds:.4}, \"rounds_per_sec\": {stale_rps:.2}, ",
+            "\"bytes_per_round\": {stale_bpr}, \"replay_identical\": {stale_identical}}},\n",
+            "  \"server_state_bytes\": {server_state_bytes},\n",
+            "  \"peak_rss_bytes\": {peak_rss}\n",
+            "}}\n",
+        ),
+        profile = profile,
+        seed = SEED,
+        fleet = fleet,
+        cohort = cohort,
+        rounds = rounds,
+        classes = CLASSES,
+        dims = DIMS,
+        sync_seconds = sync_seconds,
+        sync_rps = rounds as f64 / sync_seconds,
+        sync_bpr = sync_result.ledger.total_bytes() / rounds,
+        sync_identical = sync_identical,
+        stale_seconds = stale_seconds,
+        stale_rps = rounds as f64 / stale_seconds,
+        stale_bpr = stale_result.ledger.total_bytes() / rounds,
+        stale_identical = stale_identical,
+        server_state_bytes = server_state_bytes,
+        peak_rss = peak_rss,
+    );
+    let out = std::env::var("FEDPKD_PERF_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("perf: report written to {out}");
+    if !(sync_identical && stale_identical) {
+        eprintln!("perf: FAIL — fleet replay diverged");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
+    match std::env::var("FEDPKD_PERF_SCALE").as_deref() {
+        Ok("fleet") => return fleet_main(10_000, 256, 50, "fleet"),
+        Ok("fleet-smoke") => return fleet_main(1_000, 64, 5, "fleet-smoke"),
+        _ => {}
+    }
     let (scale, profile) = perf_scale();
     let reps: usize = std::env::var("FEDPKD_PERF_REPS")
         .ok()

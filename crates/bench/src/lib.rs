@@ -14,8 +14,9 @@
 #![warn(missing_docs)]
 
 use fedpkd_baselines::{BaselineConfig, DsFl, FedAvg, FedDf, FedEt, FedMd, FedProx, NaiveKd};
+use fedpkd_core::driver::Driver;
 use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
-use fedpkd_core::runtime::{FlAlgorithm, RunResult};
+use fedpkd_core::runtime::RunResult;
 use fedpkd_core::telemetry::{NullObserver, RoundObserver};
 use fedpkd_data::{FederatedScenario, Partition, ScenarioBuilder, SyntheticConfig};
 use fedpkd_tensor::models::{DepthTier, ModelSpec};
@@ -368,8 +369,8 @@ pub fn run_method(
 }
 
 /// [`run_method`] with a telemetry observer attached — every method runs
-/// through the same [`FlAlgorithm::run`] driver, so the event stream has
-/// the same framing regardless of algorithm.
+/// through the same [`fedpkd_core::Driver`], so the event stream has the
+/// same framing regardless of algorithm.
 ///
 /// # Panics
 ///
@@ -392,43 +393,59 @@ pub fn run_method_observed(
     };
     let homo_spec = scale.client_spec(task);
     let server_spec = scale.server_spec(task);
+    let mut driver = Driver::rounds(rounds);
     match method {
-        Method::FedPkd => FedPkd::new(scenario, client_specs, server_spec, scale.pkd.clone(), seed)
-            .expect("harness wiring")
-            .run(rounds, obs),
-        Method::FedAvg => FedAvg::new(scenario, homo_spec, scale.base.clone(), seed)
-            .expect("harness wiring")
-            .run(rounds, obs),
-        Method::FedProx => FedProx::new(scenario, homo_spec, scale.base.clone(), seed)
-            .expect("harness wiring")
-            .run(rounds, obs),
-        Method::FedMd => FedMd::new(scenario, client_specs, scale.base.clone(), seed)
-            .expect("harness wiring")
-            .run(rounds, obs),
-        Method::DsFl => DsFl::new(scenario, client_specs, scale.base.clone(), seed)
-            .expect("harness wiring")
-            .run(rounds, obs),
-        Method::FedDf => FedDf::new(scenario, homo_spec, scale.base.clone(), seed)
-            .expect("harness wiring")
-            .run(rounds, obs),
-        Method::FedEt => FedEt::new(
-            scenario,
-            client_specs,
-            server_spec,
-            scale.base.clone(),
-            seed,
-        )
-        .expect("harness wiring")
-        .run(rounds, obs),
-        Method::NaiveKd => NaiveKd::new(
-            scenario,
-            client_specs,
-            server_spec,
-            scale.base.clone(),
-            seed,
-        )
-        .expect("harness wiring")
-        .run(rounds, obs),
+        Method::FedPkd => driver.run(
+            &mut FedPkd::new(scenario, client_specs, server_spec, scale.pkd.clone(), seed)
+                .expect("harness wiring"),
+            obs,
+        ),
+        Method::FedAvg => driver.run(
+            &mut FedAvg::new(scenario, homo_spec, scale.base.clone(), seed)
+                .expect("harness wiring"),
+            obs,
+        ),
+        Method::FedProx => driver.run(
+            &mut FedProx::new(scenario, homo_spec, scale.base.clone(), seed)
+                .expect("harness wiring"),
+            obs,
+        ),
+        Method::FedMd => driver.run(
+            &mut FedMd::new(scenario, client_specs, scale.base.clone(), seed)
+                .expect("harness wiring"),
+            obs,
+        ),
+        Method::DsFl => driver.run(
+            &mut DsFl::new(scenario, client_specs, scale.base.clone(), seed)
+                .expect("harness wiring"),
+            obs,
+        ),
+        Method::FedDf => driver.run(
+            &mut FedDf::new(scenario, homo_spec, scale.base.clone(), seed).expect("harness wiring"),
+            obs,
+        ),
+        Method::FedEt => driver.run(
+            &mut FedEt::new(
+                scenario,
+                client_specs,
+                server_spec,
+                scale.base.clone(),
+                seed,
+            )
+            .expect("harness wiring"),
+            obs,
+        ),
+        Method::NaiveKd => driver.run(
+            &mut NaiveKd::new(
+                scenario,
+                client_specs,
+                server_spec,
+                scale.base.clone(),
+                seed,
+            )
+            .expect("harness wiring"),
+            obs,
+        ),
     }
 }
 
@@ -448,15 +465,15 @@ pub fn run_fedpkd_with(
     let mut config = scale.pkd.clone();
     mutate(&mut config);
     let scenario = scale.scenario(task, setting, seed);
-    FedPkd::new(
+    let mut algo = FedPkd::new(
         scenario,
         vec![scale.client_spec(task); scale.clients],
         scale.server_spec(task),
         config,
         seed,
     )
-    .expect("mutated config must stay valid")
-    .run_silent(scale.rounds)
+    .expect("mutated config must stay valid");
+    Driver::rounds(scale.rounds).run_silent(&mut algo)
 }
 
 /// Formats an optional accuracy as a percent cell.

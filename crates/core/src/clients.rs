@@ -89,7 +89,7 @@ pub fn validate_specs(
 // existing users of this module keep working. Clients never share mutable
 // state — each mutates only its own model, optimizer, and RNG stream — so
 // dispatching them this way is bit-identical to a sequential loop.
-pub use fedpkd_tensor::parallel::dispatch_chunked;
+pub use fedpkd_tensor::parallel::{dispatch_chunked, dispatch_stealing, StealStats};
 
 /// Runs `f` for every `(client, client_data)` pair in parallel — capped at
 /// the machine's available parallelism so large fleets don't oversubscribe
@@ -123,6 +123,47 @@ pub fn for_each_active_client<T: Send>(
         .map(|(i, (client, data))| (i, client, data))
         .collect();
     dispatch_chunked(items, |(i, client, data)| (i, f(i, client, data)))
+}
+
+/// Streams `task` over the rostered `(client, client_data)` pairs on a
+/// bounded work-stealing pool of `workers` threads, delivering each result
+/// to `commit` **in ascending client order** as soon as its turn is
+/// reached — the caller folds uploads into streaming accumulators instead
+/// of buffering the whole cohort.
+///
+/// `roster` names the client indices to run (out-of-range entries are
+/// ignored); unrostered clients are not touched. The ordered commit point
+/// is the determinism mechanism: workers may finish in any interleaving,
+/// but server-side folds always observe client `i` before client `j > i`,
+/// so results are bit-identical to a sequential loop regardless of
+/// `workers`.
+pub fn for_each_active_client_streaming<T: Send>(
+    clients: &mut [ClientState],
+    data: &[ClientData],
+    roster: &[usize],
+    workers: usize,
+    task: impl Fn(usize, &mut ClientState, &ClientData) -> T + Sync,
+    mut commit: impl FnMut(usize, T),
+) -> StealStats {
+    let mut member = vec![false; clients.len()];
+    for &client in roster {
+        if let Some(slot) = member.get_mut(client) {
+            *slot = true;
+        }
+    }
+    let items: Vec<_> = clients
+        .iter_mut()
+        .zip(data)
+        .enumerate()
+        .filter(|&(i, _)| member[i])
+        .map(|(i, (client, data))| (i, client, data))
+        .collect();
+    dispatch_stealing(
+        items,
+        workers,
+        |_, (i, client, data)| (i, task(i, client, data)),
+        |_, (i, out)| commit(i, out),
+    )
 }
 
 /// Per-client local-test accuracies.
@@ -244,6 +285,44 @@ mod tests {
             assert_eq!(i, fi);
             assert_eq!(len, scenario.clients[i].train.len());
         }
+    }
+
+    #[test]
+    fn streaming_dispatch_commits_in_client_order_for_any_worker_count() {
+        let scenario = tiny_scenario(8);
+        let mut clients = build_clients(&vec![spec(DepthTier::T11); 3], 0.001, 4);
+        let buffered = for_each_active_client(
+            &mut clients,
+            &scenario.clients,
+            &Cohort::full(3),
+            |i, _, data| (i, data.train.len()),
+        );
+        for workers in [1, 2, 8] {
+            let mut streamed = Vec::new();
+            for_each_active_client_streaming(
+                &mut clients,
+                &scenario.clients,
+                &[0, 1, 2],
+                workers,
+                |i, _, data| (i, data.train.len()),
+                |i, out| streamed.push((i, out)),
+            );
+            assert_eq!(streamed, buffered);
+        }
+        // A partial roster (late clients, samples) runs exactly its members.
+        let mut roster_hits = Vec::new();
+        for_each_active_client_streaming(
+            &mut clients,
+            &scenario.clients,
+            &[2, 0],
+            2,
+            |i, _, _| i,
+            |i, out| {
+                assert_eq!(i, out);
+                roster_hits.push(i);
+            },
+        );
+        assert_eq!(roster_hits, vec![0, 2]);
     }
 
     #[test]

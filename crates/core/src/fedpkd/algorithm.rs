@@ -1,9 +1,12 @@
 //! The FedPKD federation — Algorithm 2 of the paper.
 
+use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::admission::{PayloadKind, QuarantineTracker, RejectReason};
-use crate::clients::{build_clients, for_each_active_client, validate_specs, ClientState};
+use crate::clients::{
+    build_clients, for_each_active_client_streaming, validate_specs, ClientState,
+};
 use crate::eval;
 use crate::fedpkd::config::{CoreError, FedPkdConfig};
 use crate::fedpkd::distill::train_server;
@@ -17,22 +20,18 @@ use crate::fedpkd::prototypes::{
 };
 use crate::runtime::{DriverState, Federation};
 use crate::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
+use crate::streaming::LogitAccumulator;
 use crate::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
-use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes, TrainStats};
+use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes};
 use fedpkd_data::FederatedScenario;
-use fedpkd_netsim::{
-    Attack, Cohort, CommLedger, Direction, Message, QuantizedLogits, RoundContext, Wire,
-};
+use fedpkd_netsim::{Attack, CommLedger, Direction, Message, QuantizedLogits, RoundContext, Wire};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::ClassifierModel;
 use fedpkd_tensor::models::ModelSpec;
 use fedpkd_tensor::ops::softmax;
 use fedpkd_tensor::optim::Adam;
+use fedpkd_tensor::parallel::max_workers;
 use fedpkd_tensor::Tensor;
-
-/// A surviving client's round upload: public-set logits, local prototypes,
-/// and the private-training stats that produced them.
-type PrivatePhaseUpload = (Tensor, Vec<Option<Prototype>>, TrainStats);
 
 /// The complete FedPKD algorithm over a federated scenario.
 ///
@@ -43,7 +42,8 @@ type PrivatePhaseUpload = (Tensor, Vec<Option<Prototype>>, TrainStats);
 ///
 /// # Partial participation
 ///
-/// Under fault injection the round's [`Cohort`] restricts every phase to
+/// Under fault injection the round's [`Cohort`](fedpkd_netsim::Cohort)
+/// restricts every phase to
 /// the surviving clients: only they train, upload knowledge, enter the
 /// Eq. 6–8 aggregations, and receive the downlink. For the size-weighted
 /// prototype aggregation (Eq. 8) the server additionally reuses a dropped
@@ -69,6 +69,9 @@ pub struct FedPkd {
     state: FedPkdState,
 }
 
+/// One in-flight bounded-staleness upload: `(client, origin round, payload)`.
+type LateUpload = (usize, usize, Vec<Option<Prototype>>);
+
 /// The owned, snapshotable half of [`FedPkd`]: everything that changes
 /// from round to round.
 struct FedPkdState {
@@ -82,6 +85,13 @@ struct FedPkdState {
     /// uploads enter the cache, so a rejected client's last good prototypes
     /// keep serving within the staleness window.
     cached_prototypes: Vec<Option<(usize, Vec<Option<Prototype>>)>>,
+    /// Bounded-staleness in-flight uploads, keyed by arrival round:
+    /// `(client, origin round, prototypes)` in origin order. A straggler
+    /// on the round context's late roster trains on time, but its
+    /// prototype upload only reaches the server (and the ledger) when the
+    /// simulated transfer completes; its logits are stale by then and are
+    /// discarded. Empty in synchronous mode.
+    pending_late: BTreeMap<usize, Vec<LateUpload>>,
     quarantine: QuarantineTracker,
     driver: DriverState,
 }
@@ -120,6 +130,7 @@ impl FedPkd {
                 server_rng,
                 global_prototypes: vec![None; num_classes],
                 cached_prototypes: vec![None; num_clients],
+                pending_late: BTreeMap::new(),
                 quarantine,
                 driver: DriverState::new(),
             },
@@ -142,85 +153,6 @@ impl FedPkd {
     /// [`AdmissionPolicy`](crate::admission::AdmissionPolicy)).
     pub fn quarantine(&self) -> &QuarantineTracker {
         &self.state.quarantine
-    }
-
-    /// Phase 1 of Algorithm 2: parallel private training and dual-knowledge
-    /// extraction for the round's surviving clients. Returns
-    /// `(client, (public logits, local prototypes, training stats))` pairs
-    /// in client order.
-    fn clients_private_phase(
-        &mut self,
-        round: usize,
-        cohort: &Cohort,
-    ) -> Vec<(usize, PrivatePhaseUpload)> {
-        let config = &self.config;
-        let public = &self.scenario.public;
-        // Destructure for disjoint borrows: the fleet mutates while the
-        // global prototypes are read.
-        let FedPkdState {
-            clients,
-            global_prototypes,
-            ..
-        } = &mut self.state;
-        let global_prototypes = &*global_prototypes;
-        for_each_active_client(clients, &self.scenario.clients, cohort, |_, state, data| {
-            // Round 0 trains with Eq. 4; later rounds add the
-            // prototype pull of Eq. 16 (when prototypes are on).
-            let stats = if round == 0 || !config.use_prototypes {
-                train_supervised(
-                    &mut state.model,
-                    &data.train,
-                    config.client_private_epochs,
-                    config.batch_size,
-                    &mut state.optimizer,
-                    &mut state.rng,
-                )
-            } else {
-                train_supervised_with_prototypes(
-                    &mut state.model,
-                    &data.train,
-                    global_prototypes,
-                    config.epsilon,
-                    config.client_private_epochs,
-                    config.batch_size,
-                    &mut state.optimizer,
-                    &mut state.rng,
-                )
-            };
-            let logits = eval::logits_on(&mut state.model, public);
-            let prototypes = compute_prototypes(&mut state.model, &data.train);
-            (logits, prototypes, stats)
-        })
-    }
-
-    /// Phase 4 of Algorithm 2: parallel client distillation from the server
-    /// knowledge on the filtered public subset (Eq. 15), survivors only.
-    /// Returns `(client, stats)` pairs in client order.
-    fn clients_public_phase(
-        &mut self,
-        subset_features: &Tensor,
-        server_probs: &Tensor,
-        cohort: &Cohort,
-    ) -> Vec<(usize, TrainStats)> {
-        let config = &self.config;
-        for_each_active_client(
-            &mut self.state.clients,
-            &self.scenario.clients,
-            cohort,
-            |_, state, _| {
-                train_distill(
-                    &mut state.model,
-                    subset_features,
-                    server_probs,
-                    config.gamma,
-                    config.temperature,
-                    config.client_public_epochs,
-                    config.batch_size,
-                    &mut state.optimizer,
-                    &mut state.rng,
-                )
-            },
-        )
     }
 
     /// L2 drift between two generations of global prototypes, for
@@ -294,161 +226,318 @@ impl Federation for FedPkd {
         let public_len = self.scenario.public.len();
         let num_classes = self.scenario.num_classes;
         let num_classes_u32 = num_classes as u32;
-        if cohort.num_active() == 0 {
-            // Zero survivors: nobody trains, nothing travels, no model or
-            // prototype changes. The driver still frames the round with
-            // telemetry and evaluation.
+        // Late uploads queued in earlier rounds whose simulated transfer
+        // completes now — they arrive whether or not anyone trains today.
+        let arrivals = self.state.pending_late.remove(&round).unwrap_or_default();
+        // Stragglers the driver promoted onto the late roster train this
+        // round; only their prototypes survive the delay, so without
+        // prototypes the late path carries nothing and is skipped.
+        let late: Vec<(usize, usize)> = if self.config.use_prototypes {
+            ctx.late_arrivals().to_vec()
+        } else {
+            Vec::new()
+        };
+        if cohort.num_active() == 0 && late.is_empty() && arrivals.is_empty() {
+            // Zero survivors and nothing in flight: nobody trains, nothing
+            // travels, no model or prototype changes. The driver still
+            // frames the round with telemetry and evaluation.
             return;
         }
 
-        // ---- Phase 1: client private training + dual knowledge uplink,
-        //      survivors only — dropped clients neither train nor upload,
-        //      and the ledger never charges for their payloads.
+        // ---- Phase 1: client private training + dual knowledge uplink on
+        //      the bounded work-stealing pool. Survivors and late-roster
+        //      stragglers train concurrently; every upload is *committed*
+        //      in ascending client order — telemetry, Byzantine corruption,
+        //      ledger accounting, admission, and the streaming Eq. 6–7
+        //      fold all happen per client at the commit point. No
+        //      O(cohort) payload buffer exists unless the trimmed
+        //      estimator (cross-client by definition) or the aggregation
+        //      diagnostics require one.
         let phase_started = Instant::now();
-        let mut knowledge = self.clients_private_phase(round, cohort);
-        for &(client, (_, _, ref stats)) in &knowledge {
-            obs.record(&TelemetryEvent::ClientTrained {
-                round,
-                client,
-                samples: self.scenario.clients[client].train.len(),
-                mean_loss: stats.mean_loss,
-            });
-        }
-        // Byzantine survivors corrupt their uploads here — before the
-        // ledger loop, because the corrupted bytes are what actually cross
-        // the wire (and get charged), and before admission, which is the
-        // server's view of them.
-        for &mut (client, (ref mut logits, ref mut prototypes, _)) in &mut knowledge {
-            if let Some(attack) = ctx.attack(client) {
-                let mut rng = ctx.attack_rng(round, client);
-                corrupt_upload(attack, &mut rng, logits, prototypes);
-            }
-        }
-        let all_ids: Vec<u32> = (0..public_len as u32).collect();
-        for &mut (client, (ref mut logits, ref prototypes, _)) in &mut knowledge {
-            // The lossy 8-bit channel cannot represent garbage payloads
-            // (non-finite or misshapen); those travel raw instead — an
-            // adversary does not get to crash the codec.
-            let quantizable = self.config.quantize_knowledge
-                && logits.cols() == num_classes
-                && logits.all_finite();
-            if quantizable {
-                // Lossy 8-bit channel: charge the quantized size and replace
-                // the logits with what actually survives the wire. The
-                // `quantizable` guard checked finiteness, so this cannot fail.
-                let quantized =
-                    QuantizedLogits::from_values(&all_ids, num_classes_u32, logits.as_slice())
-                        .expect("finiteness checked by the quantizable guard");
-                ledger.record_bytes(round, client, Direction::Uplink, quantized.encoded_len());
-                *logits = Tensor::from_vec(quantized.dequantize(), logits.shape())
-                    .expect("dequantization preserves the shape");
-            } else {
-                ledger.record(
-                    round,
-                    client,
-                    Direction::Uplink,
-                    &Message::Logits {
-                        sample_ids: all_ids.clone(),
-                        num_classes: num_classes_u32,
-                        values: logits.as_slice().to_vec(),
-                    },
-                );
-            }
-            if self.config.use_prototypes {
-                ledger.record(
-                    round,
-                    client,
-                    Direction::Uplink,
-                    &Message::Prototypes {
-                        entries: to_wire_entries(prototypes),
-                    },
-                );
-            }
-        }
+        let workers = ctx.worker_budget().unwrap_or_else(max_workers);
+        let mut roster = cohort.survivors();
+        roster.extend(late.iter().map(|&(client, _)| client));
+        roster.sort_unstable();
 
+        let trim = self.config.robust.trim_fraction();
+        let buffer_logits = trim.is_some() || obs.enabled();
+        let mut acc = LogitAccumulator::new(self.config.variance_weighting);
+        let mut buffered: Vec<Tensor> = Vec::new();
+        let mut admitted = 0usize;
+        let mut fold_failed = false;
+
+        let policy = self.config.admission;
+        let all_ids: Vec<u32> = (0..public_len as u32).collect();
+        let config = &self.config;
+        let scenario = &self.scenario;
+        // Destructure for disjoint borrows: the fleet mutates on the
+        // worker pool while the commit pipeline updates server-side state.
+        let FedPkdState {
+            clients,
+            server_model,
+            server_optimizer,
+            server_rng,
+            global_prototypes,
+            cached_prototypes,
+            pending_late,
+            quarantine,
+            driver: _,
+        } = &mut self.state;
+        let proto_dim = server_model.feature_dim();
+        {
+            let global_prototypes = &*global_prototypes;
+            for_each_active_client_streaming(
+                clients,
+                &scenario.clients,
+                &roster,
+                workers,
+                |_, state, data| {
+                    // Round 0 trains with Eq. 4; later rounds add the
+                    // prototype pull of Eq. 16 (when prototypes are on).
+                    let stats = if round == 0 || !config.use_prototypes {
+                        train_supervised(
+                            &mut state.model,
+                            &data.train,
+                            config.client_private_epochs,
+                            config.batch_size,
+                            &mut state.optimizer,
+                            &mut state.rng,
+                        )
+                    } else {
+                        train_supervised_with_prototypes(
+                            &mut state.model,
+                            &data.train,
+                            global_prototypes,
+                            config.epsilon,
+                            config.client_private_epochs,
+                            config.batch_size,
+                            &mut state.optimizer,
+                            &mut state.rng,
+                        )
+                    };
+                    let logits = eval::logits_on(&mut state.model, &scenario.public);
+                    let prototypes = compute_prototypes(&mut state.model, &data.train);
+                    (logits, prototypes, stats)
+                },
+                |client, (mut logits, mut prototypes, stats)| {
+                    obs.record(&TelemetryEvent::ClientTrained {
+                        round,
+                        client,
+                        samples: scenario.clients[client].train.len(),
+                        mean_loss: stats.mean_loss,
+                    });
+                    // Byzantine clients corrupt their uploads here — before
+                    // the ledger charge, because the corrupted bytes are
+                    // what actually cross the wire, and before admission,
+                    // which is the server's view of them.
+                    if let Some(attack) = ctx.attack(client) {
+                        let mut rng = ctx.attack_rng(round, client);
+                        corrupt_upload(attack, &mut rng, &mut logits, &mut prototypes);
+                    }
+                    if !cohort.is_active(client) {
+                        // A late-roster straggler: its transfer is still in
+                        // flight. The logits will be a round stale on
+                        // arrival and are discarded; the slow-moving
+                        // prototypes queue for the arrival round, when
+                        // their bytes are charged and admission inspects
+                        // them.
+                        let lag = late
+                            .iter()
+                            .find(|&&(c, _)| c == client)
+                            .map(|&(_, lag)| lag)
+                            .expect("late roster put this client on the roster");
+                        pending_late
+                            .entry(round + lag)
+                            .or_default()
+                            .push((client, round, prototypes));
+                        return;
+                    }
+                    // The lossy 8-bit channel cannot represent garbage
+                    // payloads (non-finite or misshapen); those travel raw
+                    // instead — an adversary does not get to crash the
+                    // codec.
+                    let quantizable = config.quantize_knowledge
+                        && logits.cols() == num_classes
+                        && logits.all_finite();
+                    if quantizable {
+                        // Charge the quantized size and replace the logits
+                        // with what actually survives the wire. The guard
+                        // checked finiteness, so this cannot fail.
+                        let quantized = QuantizedLogits::from_values(
+                            &all_ids,
+                            num_classes_u32,
+                            logits.as_slice(),
+                        )
+                        .expect("finiteness checked by the quantizable guard");
+                        ledger.record_bytes(
+                            round,
+                            client,
+                            Direction::Uplink,
+                            quantized.encoded_len(),
+                        );
+                        logits = Tensor::from_vec(quantized.dequantize(), logits.shape())
+                            .expect("dequantization preserves the shape");
+                    } else {
+                        ledger.record(
+                            round,
+                            client,
+                            Direction::Uplink,
+                            &Message::Logits {
+                                sample_ids: all_ids.clone(),
+                                num_classes: num_classes_u32,
+                                values: logits.as_slice().to_vec(),
+                            },
+                        );
+                    }
+                    if config.use_prototypes {
+                        ledger.record(
+                            round,
+                            client,
+                            Direction::Uplink,
+                            &Message::Prototypes {
+                                entries: to_wire_entries(&prototypes),
+                            },
+                        );
+                    }
+                    // Admission control: the upload was charged — the bytes
+                    // crossed the wire — but only validated payloads may
+                    // touch server state.
+                    if quarantine.is_quarantined(client) {
+                        obs.record(&TelemetryEvent::PayloadRejected {
+                            round,
+                            client,
+                            payload: PayloadKind::Logits,
+                            reason: RejectReason::Quarantined,
+                        });
+                        if config.use_prototypes {
+                            obs.record(&TelemetryEvent::PayloadRejected {
+                                round,
+                                client,
+                                payload: PayloadKind::Prototypes,
+                                reason: RejectReason::Quarantined,
+                            });
+                        }
+                        return;
+                    }
+                    let mut rejected = false;
+                    if let Err(reason) = policy.check_logits(&logits, public_len, num_classes) {
+                        obs.record(&TelemetryEvent::PayloadRejected {
+                            round,
+                            client,
+                            payload: PayloadKind::Logits,
+                            reason,
+                        });
+                        rejected = true;
+                    }
+                    if config.use_prototypes {
+                        if let Err(reason) =
+                            policy.check_prototypes(&prototypes, num_classes, proto_dim)
+                        {
+                            obs.record(&TelemetryEvent::PayloadRejected {
+                                round,
+                                client,
+                                payload: PayloadKind::Prototypes,
+                                reason,
+                            });
+                            rejected = true;
+                        }
+                    }
+                    if rejected {
+                        if quarantine.record_rejection(client) {
+                            obs.record(&TelemetryEvent::ClientQuarantined {
+                                round,
+                                client,
+                                consecutive: quarantine.streak(client),
+                            });
+                        }
+                        return;
+                    }
+                    quarantine.record_accepted(client);
+                    if config.use_prototypes {
+                        cached_prototypes[client] = Some((round, prototypes));
+                    }
+                    // The streaming Eq. 6–7 fold: the admitted upload is
+                    // consumed here and freed — unless a cross-client
+                    // estimator or diagnostics need the full set.
+                    if buffer_logits {
+                        buffered.push(logits);
+                    } else if acc.fold(&logits).is_err() {
+                        // Only reachable with admission disabled
+                        // (shape-divergent payloads were let through); the
+                        // round will degrade to a no-op below.
+                        fold_failed = true;
+                    }
+                    admitted += 1;
+                },
+            );
+        }
         emit_phase_timing(obs, round, Phase::ClientTraining, phase_started);
 
-        // ---- Admission control: every upload is validated before it can
-        //      touch server state. Rejected payloads were still charged to
-        //      the ledger above — the bytes crossed the wire; the server
-        //      just refuses to consume them.
+        // ---- Phase 2: late arrivals land, then server-side aggregation
+        //      (Eqs. 6–8, or their trimmed variants) over the admitted
+        //      uploads.
         let phase_started = Instant::now();
-        let policy = self.config.admission;
-        let proto_dim = self.state.server_model.feature_dim();
-        let mut admitted: Vec<(usize, PrivatePhaseUpload)> = Vec::with_capacity(knowledge.len());
-        for (client, upload) in knowledge {
-            if self.state.quarantine.is_quarantined(client) {
+        for (client, origin, protos) in arrivals {
+            // The delayed transfer completes now: charge its bytes, then
+            // let admission gate the aged prototypes into the stale-reuse
+            // cache. Quarantine streaks track only the synchronous path.
+            ledger.record(
+                round,
+                client,
+                Direction::Uplink,
+                &Message::Prototypes {
+                    entries: to_wire_entries(&protos),
+                },
+            );
+            if quarantine.is_quarantined(client) {
                 obs.record(&TelemetryEvent::PayloadRejected {
                     round,
                     client,
-                    payload: PayloadKind::Logits,
+                    payload: PayloadKind::Prototypes,
                     reason: RejectReason::Quarantined,
                 });
-                if self.config.use_prototypes {
-                    obs.record(&TelemetryEvent::PayloadRejected {
-                        round,
-                        client,
-                        payload: PayloadKind::Prototypes,
-                        reason: RejectReason::Quarantined,
-                    });
-                }
                 continue;
             }
-            let mut rejected = false;
-            if let Err(reason) = policy.check_logits(&upload.0, public_len, num_classes) {
+            if let Err(reason) = policy.check_prototypes(&protos, num_classes, proto_dim) {
                 obs.record(&TelemetryEvent::PayloadRejected {
                     round,
                     client,
-                    payload: PayloadKind::Logits,
+                    payload: PayloadKind::Prototypes,
                     reason,
                 });
-                rejected = true;
+                continue;
             }
-            if self.config.use_prototypes {
-                if let Err(reason) = policy.check_prototypes(&upload.1, num_classes, proto_dim) {
-                    obs.record(&TelemetryEvent::PayloadRejected {
-                        round,
-                        client,
-                        payload: PayloadKind::Prototypes,
-                        reason,
-                    });
-                    rejected = true;
-                }
-            }
-            if rejected {
-                if self.state.quarantine.record_rejection(client) {
-                    obs.record(&TelemetryEvent::ClientQuarantined {
-                        round,
-                        client,
-                        consecutive: self.state.quarantine.streak(client),
-                    });
-                }
-            } else {
-                self.state.quarantine.record_accepted(client);
-                if self.config.use_prototypes {
-                    self.state.cached_prototypes[client] = Some((round, upload.1.clone()));
-                }
-                admitted.push((client, upload));
+            // Stamped with the origin round so `prototype_staleness` ages
+            // the payload from when it was computed; a fresher upload from
+            // the same client wins.
+            if cached_prototypes[client]
+                .as_ref()
+                .is_none_or(|&(cached, _)| cached <= origin)
+            {
+                cached_prototypes[client] = Some((origin, protos));
             }
         }
-        if admitted.is_empty() {
-            // Every survivor's upload was rejected: with no trustworthy
-            // knowledge there is nothing to aggregate or distill, so the
-            // round degrades to a no-op (like a zero-survivor round) —
-            // models and prototypes stay as they were.
+        if admitted == 0 {
+            // Every on-time upload was rejected (or everyone was late):
+            // with no trustworthy knowledge there is nothing to aggregate
+            // or distill, so the round degrades to a no-op — models and
+            // prototypes stay as they were, late arrivals only refreshed
+            // the cache.
             emit_phase_timing(obs, round, Phase::Aggregation, phase_started);
             return;
         }
-
-        // ---- Phase 2: server-side aggregation (Eqs. 6–8, or their
-        //      trimmed variants) over the admitted uploads.
-        let trim = self.config.robust.trim_fraction();
-        let client_logits: Vec<Tensor> = admitted.iter().map(|(_, (l, _, _))| l.clone()).collect();
-        let aggregated = match trim {
-            None => aggregate_logits(&client_logits, self.config.variance_weighting),
-            Some(t) => aggregate_logits_trimmed(&client_logits, t),
+        let aggregated = if fold_failed {
+            None
+        } else {
+            match trim {
+                Some(t) => aggregate_logits_trimmed(&buffered, t).ok(),
+                None if buffer_logits => {
+                    aggregate_logits(&buffered, self.config.variance_weighting).ok()
+                }
+                None => acc.finish().ok(),
+            }
         };
-        let Ok(aggregated) = aggregated else {
+        let Some(aggregated) = aggregated else {
             // Only reachable with admission disabled (shape-divergent
             // payloads were let through): degrade to a no-op round rather
             // than panicking.
@@ -457,10 +546,10 @@ impl Federation for FedPkd {
         };
         let pseudo = pseudo_labels(&aggregated);
         if obs.enabled() {
-            let stats = aggregation_stats(&client_logits, self.config.variance_weighting);
+            let stats = aggregation_stats(&buffered, self.config.variance_weighting);
             obs.record(&TelemetryEvent::LogitAggregation {
                 round,
-                clients: client_logits.len(),
+                clients: buffered.len(),
                 variance_weighting: self.config.variance_weighting,
                 mean_client_weight: stats.mean_client_weight,
                 disagreement: stats.disagreement,
@@ -472,9 +561,7 @@ impl Federation for FedPkd {
             // Eq. 8 over the admitted survivors' fresh prototypes plus any
             // absent client's cached upload that is recent enough
             // (`prototype_staleness` bounds the age of reuse).
-            let client_protos: Vec<Vec<Option<Prototype>>> = self
-                .state
-                .cached_prototypes
+            let client_protos: Vec<Vec<Option<Prototype>>> = cached_prototypes
                 .iter()
                 .flatten()
                 .filter(|&&(uploaded, _)| round - uploaded <= self.config.prototype_staleness)
@@ -492,7 +579,7 @@ impl Federation for FedPkd {
                 proto_outliers = outliers;
                 if obs.enabled() {
                     let (mean_l2, max_l2) =
-                        Self::prototype_drift(&self.state.global_prototypes, &new_prototypes);
+                        Self::prototype_drift(global_prototypes, &new_prototypes);
                     obs.record(&TelemetryEvent::PrototypeDrift {
                         round,
                         classes_present: new_prototypes.iter().filter(|p| p.is_some()).count(),
@@ -500,7 +587,7 @@ impl Federation for FedPkd {
                         max_l2,
                     });
                 }
-                self.state.global_prototypes = new_prototypes;
+                *global_prototypes = new_prototypes;
             }
             // On Err — no cache entries at all, or (with admission
             // disabled) divergent widths — the previous prototype
@@ -510,7 +597,7 @@ impl Federation for FedPkd {
             if let Some(t) = trim {
                 obs.record(&TelemetryEvent::AggregationTrim {
                     round,
-                    logit_trim: effective_trim(client_logits.len(), t),
+                    logit_trim: effective_trim(buffered.len(), t),
                     prototype_outliers: proto_outliers,
                     prototype_contributions: proto_contributions,
                 });
@@ -522,13 +609,12 @@ impl Federation for FedPkd {
         //      (Eqs. 11–13).
         let phase_started = Instant::now();
         let selected: Vec<usize> = if self.config.use_filter && self.config.use_prototypes {
-            let server_features =
-                eval::features_on(&mut self.state.server_model, &self.scenario.public);
+            let server_features = eval::features_on(server_model, &self.scenario.public);
             if obs.enabled() {
                 let (selected, stats) = filter_public_with_stats(
                     &server_features,
                     &pseudo,
-                    &self.state.global_prototypes,
+                    global_prototypes,
                     self.config.theta,
                 );
                 obs.record(&TelemetryEvent::FilterOutcome {
@@ -544,7 +630,7 @@ impl Federation for FedPkd {
                 filter_public(
                     &server_features,
                     &pseudo,
-                    &self.state.global_prototypes,
+                    global_prototypes,
                     self.config.theta,
                 )
             }
@@ -571,17 +657,17 @@ impl Federation for FedPkd {
         };
         let phase_started = Instant::now();
         let distill_stats = train_server(
-            &mut self.state.server_model,
+            server_model,
             &subset_features,
             &teacher_probs,
             &subset_pseudo,
-            &self.state.global_prototypes,
+            global_prototypes,
             delta,
             self.config.temperature,
             self.config.server_epochs,
             self.config.batch_size,
-            &mut self.state.server_optimizer,
-            &mut self.state.server_rng,
+            server_optimizer,
+            server_rng,
         );
         obs.record(&TelemetryEvent::ServerDistill {
             round,
@@ -597,7 +683,7 @@ impl Federation for FedPkd {
         //      public set), which is FedPKD's downlink saving.
         let phase_started = Instant::now();
         let subset_dataset = self.scenario.public.subset(&selected);
-        let mut server_logits = eval::logits_on(&mut self.state.server_model, &subset_dataset);
+        let mut server_logits = eval::logits_on(server_model, &subset_dataset);
         let selected_ids: Vec<u32> = selected.iter().map(|&i| i as u32).collect();
         // A diverged server (e.g. under an unfiltered Byzantine attack) can
         // emit non-finite logits; those cannot ride the lossy 8-bit channel,
@@ -619,7 +705,7 @@ impl Federation for FedPkd {
             None
         };
         let server_probs = softmax(&server_logits, self.config.temperature);
-        let proto_entries = global_to_wire_entries(&self.state.global_prototypes);
+        let proto_entries = global_to_wire_entries(global_prototypes);
         for client in cohort.survivors() {
             match downlink_quantized {
                 Some(bytes) => ledger.record_bytes(round, client, Direction::Downlink, bytes),
@@ -653,14 +739,34 @@ impl Federation for FedPkd {
                 },
             );
         }
-        let distill_stats = self.clients_public_phase(&subset_features, &server_probs, cohort);
-        for &(client, ref stats) in &distill_stats {
-            obs.record(&TelemetryEvent::ClientDistilled {
-                round,
-                client,
-                mean_loss: stats.mean_loss,
-            });
-        }
+        // Public-phase distillation (Eq. 15) rides the same work-stealing
+        // pool; losses are committed (and logged) in client order.
+        for_each_active_client_streaming(
+            clients,
+            &scenario.clients,
+            &cohort.survivors(),
+            workers,
+            |_, state, _| {
+                train_distill(
+                    &mut state.model,
+                    &subset_features,
+                    &server_probs,
+                    config.gamma,
+                    config.temperature,
+                    config.client_public_epochs,
+                    config.batch_size,
+                    &mut state.optimizer,
+                    &mut state.rng,
+                )
+            },
+            |client, stats| {
+                obs.record(&TelemetryEvent::ClientDistilled {
+                    round,
+                    client,
+                    mean_loss: stats.mean_loss,
+                });
+            },
+        );
         emit_phase_timing(obs, round, Phase::ClientDistill, phase_started);
     }
 
@@ -713,6 +819,29 @@ impl Federation for FedPkd {
                 None => w.put_bool(false),
             }
         }
+        // In-flight late uploads (bounded-staleness mode): per arrival
+        // round, the (client, origin round, prototypes) triples still on
+        // the wire. Empty in sync mode, so sync snapshots cost 8 bytes.
+        w.put_usize(self.state.pending_late.len());
+        for (arrival, uploads) in &self.state.pending_late {
+            w.put_usize(*arrival);
+            w.put_usize(uploads.len());
+            for (client, origin, protos) in uploads {
+                w.put_usize(*client);
+                w.put_usize(*origin);
+                w.put_usize(protos.len());
+                for proto in protos {
+                    match proto {
+                        Some(p) => {
+                            w.put_bool(true);
+                            w.put_usize(p.count);
+                            snapshot::write_tensor(&mut w, &p.vector);
+                        }
+                        None => w.put_bool(false),
+                    }
+                }
+            }
+        }
         snapshot::write_quarantine(&mut w, &self.state.quarantine);
         snapshot::write_driver(&mut w, &self.state.driver);
         AlgorithmState::new(Federation::name(self), w.into_bytes())
@@ -760,11 +889,42 @@ impl Federation for FedPkd {
                 None
             });
         }
+        let num_buckets = r.take_usize()?;
+        let mut pending_late = BTreeMap::new();
+        for _ in 0..num_buckets {
+            let arrival = r.take_usize()?;
+            let num_uploads = r.take_usize()?;
+            let mut uploads = Vec::with_capacity(num_uploads.min(1 << 20));
+            for _ in 0..num_uploads {
+                let client = r.take_usize()?;
+                if client >= cache_len {
+                    return Err(SnapshotError::Malformed(format!(
+                        "snapshot queues a late upload from client {client}, \
+                         instance has {cache_len} clients"
+                    )));
+                }
+                let origin = r.take_usize()?;
+                let num_protos = r.take_usize()?;
+                let mut protos = Vec::with_capacity(num_protos.min(1 << 20));
+                for _ in 0..num_protos {
+                    protos.push(if r.take_bool()? {
+                        let count = r.take_usize()?;
+                        let vector = snapshot::read_tensor(&mut r)?;
+                        Some(Prototype { count, vector })
+                    } else {
+                        None
+                    });
+                }
+                uploads.push((client, origin, protos));
+            }
+            pending_late.insert(arrival, uploads);
+        }
         snapshot::read_quarantine(&mut r, &mut self.state.quarantine)?;
         let driver = snapshot::read_driver(&mut r)?;
         r.finish()?;
         self.state.global_prototypes = global_prototypes;
         self.state.cached_prototypes = cached_prototypes;
+        self.state.pending_late = pending_late;
         self.state.driver = driver;
         Ok(())
     }
@@ -773,9 +933,9 @@ impl Federation for FedPkd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runtime::FlAlgorithm;
     use crate::telemetry::NullObserver;
     use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_netsim::Cohort;
     use fedpkd_tensor::models::DepthTier;
 
     fn tiny_scenario(seed: u64) -> FederatedScenario {
@@ -846,7 +1006,7 @@ mod tests {
             7,
         )
         .unwrap();
-        let result = algo.run_silent(2);
+        let result = crate::driver::Driver::rounds(2).run_silent(&mut algo);
         assert_eq!(result.history.len(), 2);
         assert!(result.last().server_accuracy.is_some());
         assert_eq!(result.last().client_accuracies.len(), 3);
@@ -876,7 +1036,7 @@ mod tests {
             11,
         )
         .unwrap();
-        let result = algo.run_silent(3);
+        let result = crate::driver::Driver::rounds(3).run_silent(&mut algo);
         let server = result.best_server_accuracy().unwrap();
         let client = result.best_client_accuracy();
         assert!(server > 0.25, "server accuracy {server} vs chance 0.1");
@@ -897,7 +1057,7 @@ mod tests {
             13,
         )
         .unwrap();
-        let result = algo.run_silent(2);
+        let result = crate::driver::Driver::rounds(2).run_silent(&mut algo);
         assert!(result.last().server_accuracy.unwrap() > 0.15);
     }
 
@@ -945,7 +1105,8 @@ mod tests {
                 19,
             )
             .unwrap();
-            algo.run_silent(1)
+            crate::driver::Driver::rounds(1)
+                .run_silent(&mut algo)
                 .ledger
                 .direction_bytes(fedpkd_netsim::Direction::Downlink)
         };
@@ -968,7 +1129,7 @@ mod tests {
                 23,
             )
             .unwrap();
-            let result = algo.run_silent(1);
+            let result = crate::driver::Driver::rounds(1).run_silent(&mut algo);
             (
                 result.last().server_accuracy,
                 result.last().client_accuracies.clone(),
@@ -993,7 +1154,7 @@ mod tests {
                 31,
             )
             .unwrap();
-            algo.run_silent(2)
+            crate::driver::Driver::rounds(2).run_silent(&mut algo)
         };
         let full = run(false);
         let quantized = run(true);
@@ -1103,7 +1264,7 @@ mod tests {
             29,
         )
         .unwrap();
-        let no_proto = algo.run_silent(1);
+        let no_proto = crate::driver::Driver::rounds(1).run_silent(&mut algo);
         let mut algo_full = FedPkd::new(
             tiny_scenario(8),
             vec![spec(DepthTier::T11); 3],
@@ -1112,7 +1273,7 @@ mod tests {
             29,
         )
         .unwrap();
-        let full = algo_full.run_silent(1);
+        let full = crate::driver::Driver::rounds(1).run_silent(&mut algo_full);
         // Without prototypes no prototype messages are sent.
         assert!(no_proto.ledger.total_bytes() < full.ledger.total_bytes());
     }

@@ -38,6 +38,13 @@ fn check_alignment(client_logits: &[Tensor]) -> Result<&Tensor, AggregationError
 /// [`MIN_TOTAL_VARIANCE`], or non-finite — or when `variance_weighting` is
 /// disabled, the plain mean of the probabilities is used.
 ///
+/// This is the *buffered* entry point over the canonical streaming fold:
+/// it folds the clients through a
+/// [`LogitAccumulator`](crate::streaming::LogitAccumulator) in slice
+/// order, so a server that streams uploads through the same accumulator in
+/// the same (canonical client) order produces bit-identical output by
+/// construction.
+///
 /// # Errors
 ///
 /// [`AggregationError::Empty`] with no clients,
@@ -46,41 +53,12 @@ pub fn aggregate_logits(
     client_logits: &[Tensor],
     variance_weighting: bool,
 ) -> Result<Tensor, AggregationError> {
-    let first = check_alignment(client_logits)?;
-    let (n, k) = (first.rows(), first.cols());
-    let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
-    let mut out = Tensor::zeros(&[n, k]);
-    if !variance_weighting {
-        let w = 1.0 / probs.len() as f32;
-        for p in &probs {
-            out.axpy(w, p).expect("equal shapes");
-        }
-        return Ok(out);
+    check_alignment(client_logits)?;
+    let mut acc = crate::streaming::LogitAccumulator::new(variance_weighting);
+    for logits in client_logits {
+        acc.fold(logits)?;
     }
-
-    // Per-client, per-sample confidence = variance of the probability
-    // vector (Eq. 7 on the softmax output).
-    let variances: Vec<Vec<f32>> = probs.iter().map(row_variance).collect();
-    for i in 0..n {
-        let total: f32 = variances.iter().map(|v| v[i]).sum();
-        let row = out.row_mut(i);
-        if total.is_finite() && total > MIN_TOTAL_VARIANCE {
-            for (c, p) in probs.iter().enumerate() {
-                let beta = variances[c][i] / total;
-                for (o, &v) in row.iter_mut().zip(p.row(i)) {
-                    *o += beta * v;
-                }
-            }
-        } else {
-            let w = 1.0 / probs.len() as f32;
-            for p in &probs {
-                for (o, &v) in row.iter_mut().zip(p.row(i)) {
-                    *o += w * v;
-                }
-            }
-        }
-    }
-    Ok(out)
+    acc.finish()
 }
 
 /// Byzantine-robust variant of Eqs. 6–7: a coordinate-wise trimmed mean of

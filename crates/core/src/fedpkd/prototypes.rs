@@ -3,6 +3,7 @@
 
 use crate::eval;
 use crate::robust::{coordinate_median, trim_count, AggregationError};
+use crate::streaming::size_weighted_mean;
 use fedpkd_data::Dataset;
 use fedpkd_netsim::PrototypeEntry;
 use fedpkd_tensor::models::ClassifierModel;
@@ -65,6 +66,13 @@ pub fn compute_prototypes(
 /// Eqs. 10, 12, and 16 (and with FedProto, which the paper builds on), so —
 /// as in FedProto — the size-weighted mean is used.
 ///
+/// This is the *buffered* entry point over the canonical streaming fold:
+/// it folds the clients through a
+/// [`PrototypeAccumulator`](crate::streaming::PrototypeAccumulator) in
+/// slice order, so a server that streams uploads through the same
+/// accumulator in the same (canonical client) order produces bit-identical
+/// output by construction.
+///
 /// # Errors
 ///
 /// [`AggregationError::Empty`] with no clients,
@@ -73,42 +81,14 @@ pub fn compute_prototypes(
 pub fn aggregate_prototypes(
     client_prototypes: &[Vec<Option<Prototype>>],
 ) -> Result<Vec<Option<Tensor>>, AggregationError> {
-    let first = client_prototypes.first().ok_or(AggregationError::Empty)?;
-    let num_classes = first.len();
-    if client_prototypes
-        .iter()
-        .any(|protos| protos.len() != num_classes)
-    {
-        return Err(AggregationError::ShapeMismatch);
+    if client_prototypes.is_empty() {
+        return Err(AggregationError::Empty);
     }
-    let mut global = Vec::with_capacity(num_classes);
-    for class in 0..num_classes {
-        let mut weighted_sum: Option<Vec<f64>> = None;
-        let mut total = 0usize;
-        for protos in client_prototypes {
-            let Some(p) = &protos[class] else { continue };
-            let sum = weighted_sum.get_or_insert_with(|| vec![0.0; p.vector.len()]);
-            if sum.len() != p.vector.len() {
-                return Err(AggregationError::ShapeMismatch);
-            }
-            for (s, &v) in sum.iter_mut().zip(p.vector.as_slice()) {
-                *s += p.count as f64 * v as f64;
-            }
-            total += p.count;
-        }
-        global.push(size_weighted_mean(weighted_sum, total));
+    let mut acc = crate::streaming::PrototypeAccumulator::new();
+    for prototypes in client_prototypes {
+        acc.fold(prototypes)?;
     }
-    Ok(global)
-}
-
-fn size_weighted_mean(weighted_sum: Option<Vec<f64>>, total: usize) -> Option<Tensor> {
-    let sum = weighted_sum?;
-    if total == 0 {
-        return None;
-    }
-    let mean: Vec<f32> = sum.into_iter().map(|s| (s / total as f64) as f32).collect();
-    let dim = mean.len();
-    Some(Tensor::from_vec(mean, &[dim]).expect("width is consistent"))
+    acc.finish()
 }
 
 /// Byzantine-robust variant of Eq. 8: per class, contributors whose

@@ -1,0 +1,385 @@
+//! A synthetic fleet-scale federation for exercising the driver at
+//! thousands of clients.
+//!
+//! [`FleetSim`] implements [`Federation`] with per-client work that is
+//! cheap but *shaped* like FedPKD's prototype path: every invited client
+//! synthesizes a class-prototype upload from its own `(round, client)`
+//! RNG stream, the payload is charged to the ledger at real wire size,
+//! and the server folds uploads into a streaming
+//! [`PrototypeAccumulator`] in canonical client order. Server state is
+//! `O(classes · dims)` — independent of the fleet size — which is the
+//! property the 10 000-client benchmark asserts.
+//!
+//! The client phase runs on the work-stealing pool under the round
+//! context's worker budget, and folding happens at the ordered commit
+//! point, so results are bit-identical for any worker count. Late
+//! arrivals (bounded-staleness mode) are honored: a client on the round's
+//! late roster still "trains", but its upload is queued and folded — and
+//! its bytes charged — at the arrival round.
+
+use std::collections::BTreeMap;
+
+use fedpkd_netsim::{CommLedger, Direction, Message, RoundContext};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::parallel::{dispatch_stealing, max_workers};
+use fedpkd_tensor::Tensor;
+
+use crate::fedpkd::prototypes::{to_wire_entries, Prototype};
+use crate::runtime::{DriverState, Federation};
+use crate::snapshot::{
+    check_algorithm, read_driver, write_driver, AlgorithmState, SnapshotError, SnapshotReader,
+    SnapshotWriter,
+};
+use crate::streaming::PrototypeAccumulator;
+use crate::telemetry::RoundObserver;
+
+/// Mixes the round index into the per-round RNG stream root.
+const ROUND_KEY: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// A synthetic prototype-uploading federation over a large client fleet.
+///
+/// See the [module docs](self) for what it models. Per-client telemetry is
+/// deliberately not emitted: at fleet scale the event stream would dwarf
+/// the round itself, and the driver's round framing already reports the
+/// aggregate picture.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_core::driver::DriverBuilder;
+/// use fedpkd_core::fleet::FleetSim;
+/// use fedpkd_netsim::CohortPolicy;
+///
+/// let mut fleet = FleetSim::new(10_000, 10, 32, 42);
+/// let result = DriverBuilder::new()
+///     .rounds(2)
+///     .cohort(CohortPolicy::Sample { size: 256, seed: 7 })
+///     .build()
+///     .run_silent(&mut fleet);
+/// assert_eq!(result.history.len(), 2);
+/// assert!(result.last().server_accuracy.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSim {
+    fleet: usize,
+    classes: usize,
+    dims: usize,
+    seed: u64,
+    /// Row-major `[classes, dims]` running mean of aggregated prototypes —
+    /// the only state that scales with the problem, never with the fleet.
+    centroids: Vec<f32>,
+    /// Rounds whose aggregate actually updated the centroids.
+    aggregated_rounds: usize,
+    /// Late uploads queued by arrival round: `(client, origin_round)`,
+    /// in arrival order. The origin round re-keys the client's RNG stream
+    /// so the late payload is the one it would have sent on time.
+    pending_late: BTreeMap<usize, Vec<(usize, usize)>>,
+    driver: DriverState,
+}
+
+impl FleetSim {
+    /// A fleet of `fleet` clients over a `classes`-way problem with
+    /// `dims`-dimensional prototype vectors, seeded by `seed`.
+    pub fn new(fleet: usize, classes: usize, dims: usize, seed: u64) -> Self {
+        Self {
+            fleet,
+            classes,
+            dims,
+            seed,
+            centroids: vec![0.0; classes * dims],
+            aggregated_rounds: 0,
+            pending_late: BTreeMap::new(),
+            driver: DriverState::new(),
+        }
+    }
+
+    /// The server's current per-class centroid matrix, row-major
+    /// `[classes, dims]`.
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Synthesizes the prototype upload client `client` produces in round
+    /// `round` — a pure function of `(seed, round, client)`.
+    fn synth_prototypes(
+        seed: u64,
+        classes: usize,
+        dims: usize,
+        round: usize,
+        client: usize,
+    ) -> Vec<Option<Prototype>> {
+        let round_seed = seed.wrapping_add((round as u64).wrapping_mul(ROUND_KEY));
+        let mut rng = Rng::stream(round_seed, client as u64);
+        (0..classes)
+            .map(|_| {
+                // Each client holds a random subset of classes (non-IID).
+                if rng.next_f32() < 0.5 {
+                    return None;
+                }
+                let count = 1 + (rng.next_u64() % 64) as usize;
+                let vector = Tensor::rand_uniform(&[dims], -1.0, 1.0, &mut rng);
+                Some(Prototype { count, vector })
+            })
+            .collect()
+    }
+
+    /// Charges `protos` to the ledger as a wire payload and folds it.
+    fn ingest(
+        acc: &mut PrototypeAccumulator,
+        ledger: &mut CommLedger,
+        round: usize,
+        client: usize,
+        protos: &[Option<Prototype>],
+    ) {
+        ledger.record(
+            round,
+            client,
+            Direction::Uplink,
+            &Message::Prototypes {
+                entries: to_wire_entries(protos),
+            },
+        );
+        acc.fold(protos)
+            .expect("fleet prototypes share the class count");
+    }
+}
+
+impl Federation for FleetSim {
+    fn name(&self) -> &'static str {
+        "FleetSim"
+    }
+
+    fn num_clients(&self) -> usize {
+        self.fleet
+    }
+
+    fn run_round(
+        &mut self,
+        round: usize,
+        ctx: &RoundContext,
+        ledger: &mut CommLedger,
+        _obs: &mut dyn RoundObserver,
+    ) {
+        let (seed, classes, dims) = (self.seed, self.classes, self.dims);
+        let workers = ctx.worker_budget().unwrap_or_else(max_workers);
+        let mut acc = PrototypeAccumulator::new();
+
+        // On-time survivors: synthesize payloads on the worker pool, fold
+        // at the ordered commit point (ascending client id).
+        let survivors = ctx.cohort().survivors();
+        dispatch_stealing(
+            survivors,
+            workers,
+            |_, client| {
+                (
+                    client,
+                    Self::synth_prototypes(seed, classes, dims, round, client),
+                )
+            },
+            |_, (client, protos)| {
+                Self::ingest(&mut acc, ledger, round, client, &protos);
+            },
+        );
+
+        // Then this round's late arrivals, in (origin round, client) order:
+        // queued rounds ago, bytes charged now that they crossed the wire.
+        if let Some(arrivals) = self.pending_late.remove(&round) {
+            for (client, origin) in arrivals {
+                let protos = Self::synth_prototypes(seed, classes, dims, origin, client);
+                Self::ingest(&mut acc, ledger, round, client, &protos);
+            }
+        }
+
+        // Queue the clients the driver marked late for their arrival round.
+        for &(client, lag) in ctx.late_arrivals() {
+            self.pending_late
+                .entry(round + lag)
+                .or_default()
+                .push((client, round));
+        }
+
+        if acc.clients() > 0 {
+            let aggregate = acc
+                .finish()
+                .expect("accumulator is non-empty")
+                .into_iter()
+                .collect::<Vec<_>>();
+            let blend = 1.0 / (self.aggregated_rounds as f32 + 1.0);
+            for (class, mean) in aggregate.into_iter().enumerate() {
+                if let Some(mean) = mean {
+                    let row = &mut self.centroids[class * self.dims..(class + 1) * self.dims];
+                    for (c, &m) in row.iter_mut().zip(mean.as_slice()) {
+                        *c += (m - *c) * blend;
+                    }
+                }
+            }
+            self.aggregated_rounds += 1;
+        }
+    }
+
+    fn server_accuracy(&mut self) -> Option<f64> {
+        // Synthetic saturating curve: rises with each aggregated round.
+        Some(1.0 - 1.0 / (1.0 + self.aggregated_rounds as f64 * 0.25))
+    }
+
+    fn client_accuracies(&mut self) -> Vec<f64> {
+        // Evaluating 10k synthetic clients per round would dominate the
+        // simulation for no signal; the fleet reports none.
+        Vec::new()
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
+    }
+
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        w.put_usize(self.fleet);
+        w.put_usize(self.classes);
+        w.put_usize(self.dims);
+        w.put_u64(self.seed);
+        w.put_f32s(&self.centroids);
+        w.put_usize(self.aggregated_rounds);
+        w.put_usize(self.pending_late.len());
+        for (&arrival, queued) in &self.pending_late {
+            w.put_usize(arrival);
+            w.put_usize(queued.len());
+            for &(client, origin) in queued {
+                w.put_usize(client);
+                w.put_usize(origin);
+            }
+        }
+        write_driver(&mut w, &self.driver);
+        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    }
+
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        check_algorithm(state, Federation::name(self))?;
+        let mut r = SnapshotReader::new(state.payload());
+        self.fleet = r.take_usize()?;
+        self.classes = r.take_usize()?;
+        self.dims = r.take_usize()?;
+        self.seed = r.take_u64()?;
+        self.centroids = r.take_f32s()?;
+        self.aggregated_rounds = r.take_usize()?;
+        let buckets = r.take_usize()?;
+        self.pending_late = BTreeMap::new();
+        for _ in 0..buckets {
+            let arrival = r.take_usize()?;
+            let len = r.take_usize()?;
+            let mut queued = Vec::with_capacity(len.min(4096));
+            for _ in 0..len {
+                let client = r.take_usize()?;
+                let origin = r.take_usize()?;
+                queued.push((client, origin));
+            }
+            self.pending_late.insert(arrival, queued);
+        }
+        self.driver = read_driver(&mut r)?;
+        r.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{Driver, DriverBuilder};
+    use fedpkd_netsim::{CohortPolicy, FaultPlan, LinkModel};
+
+    fn sampled_builder(rounds: usize) -> DriverBuilder {
+        DriverBuilder::new()
+            .rounds(rounds)
+            .cohort(CohortPolicy::Sample { size: 64, seed: 3 })
+    }
+
+    #[test]
+    fn fleet_round_charges_only_invited_clients() {
+        let mut fleet = FleetSim::new(1000, 10, 16, 5);
+        let result = sampled_builder(1).build().run_silent(&mut fleet);
+        let uplinks = result.ledger.round_client_uplinks(0, 1000);
+        let senders = uplinks.iter().filter(|&&b| b > 0).count();
+        assert!(senders <= 64, "only sampled clients upload, got {senders}");
+        assert!(senders > 0);
+        assert_eq!(result.last().participation_rate, 1.0);
+    }
+
+    #[test]
+    fn fleet_replay_is_bit_identical_for_any_worker_budget() {
+        let run = |workers: usize| {
+            let mut fleet = FleetSim::new(500, 8, 16, 11);
+            let result = sampled_builder(3)
+                .workers(workers)
+                .build()
+                .run_silent(&mut fleet);
+            (result, fleet)
+        };
+        let (r1, f1) = run(1);
+        let (r8, f8) = run(8);
+        assert_eq!(r1, r8);
+        assert_eq!(f1, f8);
+    }
+
+    #[test]
+    fn fleet_server_state_is_fleet_size_independent() {
+        let small = FleetSim::new(100, 10, 32, 1);
+        let large = FleetSim::new(10_000, 10, 32, 1);
+        assert_eq!(small.centroids().len(), large.centroids().len());
+        assert_eq!(small.centroids().len(), 10 * 32);
+    }
+
+    #[test]
+    fn fleet_staleness_folds_late_uploads_at_arrival() {
+        // A slow link plus a tight deadline makes every invited client a
+        // straggler once its payload size is known; with staleness the
+        // uploads land in later rounds instead of vanishing.
+        let plan = FaultPlan::new(0).with_deadline(LinkModel::new(100.0, 0.0), 1.0);
+        let run = |staleness: usize| {
+            let mut fleet = FleetSim::new(200, 6, 8, 21);
+            DriverBuilder::new()
+                .rounds(4)
+                .cohort(CohortPolicy::Sample { size: 32, seed: 9 })
+                .faults(plan.clone())
+                .staleness(staleness)
+                .build()
+                .run_silent(&mut fleet)
+        };
+        let strict = run(0);
+        let stale = run(2);
+        // Strict mode loses the stragglers' bytes entirely; bounded
+        // staleness recovers (some of) them in later rounds.
+        assert!(stale.ledger.total_bytes() > strict.ledger.total_bytes());
+        // And the stale run replays bit-identically.
+        assert_eq!(stale, run(2));
+    }
+
+    #[test]
+    fn fleet_snapshot_resume_is_bit_identical_mid_staleness() {
+        let plan = FaultPlan::new(2).with_deadline(LinkModel::new(100.0, 0.0), 1.0);
+        let driver = || {
+            DriverBuilder::new()
+                .rounds(3)
+                .cohort(CohortPolicy::Sample { size: 32, seed: 9 })
+                .faults(plan.clone())
+                .staleness(2)
+        };
+        let mut straight = FleetSim::new(200, 6, 8, 33);
+        let _ = driver().build().run_silent(&mut straight);
+        let full = driver().build().run_silent(&mut straight);
+
+        let mut halted = FleetSim::new(200, 6, 8, 33);
+        let _ = driver().build().run_silent(&mut halted);
+        // Snapshot mid-run, while late uploads are still in flight.
+        let state = Driver::snapshot(&halted, &mut crate::telemetry::NullObserver);
+        let mut resumed = FleetSim::new(200, 6, 8, 33);
+        let second = driver()
+            .build()
+            .resume(&mut resumed, &state, &mut crate::telemetry::NullObserver)
+            .unwrap();
+        assert_eq!(second.history, full.history);
+        assert_eq!(resumed, straight);
+    }
+}

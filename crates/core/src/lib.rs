@@ -25,8 +25,8 @@
 //! Run FedPKD for a few rounds on a small scenario, capturing telemetry:
 //!
 //! ```
+//! use fedpkd_core::driver::Driver;
 //! use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
-//! use fedpkd_core::runtime::FlAlgorithm;
 //! use fedpkd_core::telemetry::JsonlSink;
 //! use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
 //! use fedpkd_tensor::models::{DepthTier, ModelSpec};
@@ -42,7 +42,7 @@
 //! cfg.server_epochs = 1;
 //! let mut algo = FedPkd::new(scenario, vec![spec.clone(); 3], spec, cfg, 7)?;
 //! let mut sink = JsonlSink::new(Vec::new());
-//! let result = algo.run(2, &mut sink);
+//! let result = Driver::rounds(2).run(&mut algo, &mut sink);
 //! assert_eq!(result.history.len(), 2);
 //! let trace = String::from_utf8(sink.into_inner()?)?;
 //! assert!(trace.lines().count() > 2); // one JSON object per event
@@ -54,16 +54,24 @@
 
 pub mod admission;
 pub mod clients;
+pub mod driver;
 pub mod eval;
 pub mod fedpkd;
+pub mod fleet;
 pub mod robust;
 pub mod runtime;
 pub mod snapshot;
+pub mod streaming;
 pub mod telemetry;
 pub mod train;
 
 pub use admission::{AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReason};
+pub use driver::{Driver, DriverBuilder};
+pub use fleet::FleetSim;
 pub use robust::{AggregationError, RobustAggregation};
 pub use runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
 pub use snapshot::{AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
-pub use telemetry::{EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent};
+pub use streaming::{LogitAccumulator, PrototypeAccumulator};
+pub use telemetry::{
+    EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryError, TelemetryEvent,
+};

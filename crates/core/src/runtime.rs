@@ -3,7 +3,8 @@
 //! Two traits split the work:
 //!
 //! - [`Federation`] is the low-level SPI an algorithm implements: execute
-//!   one round's phases — for the clients the round's [`Cohort`] says are
+//!   one round's phases — for the clients the round's
+//!   [`Cohort`](fedpkd_netsim::Cohort) says are
 //!   present — against the communication ledger and report accuracies on
 //!   demand.
 //! - [`FlAlgorithm`] is the uniform driver interface callers consume. A
@@ -25,7 +26,7 @@
 
 use std::time::Instant;
 
-use fedpkd_netsim::{Cohort, CommLedger, FaultPlan, RoundContext};
+use fedpkd_netsim::{CommLedger, DropCause, FaultPlan, RoundContext};
 
 use crate::snapshot::{AlgorithmState, SnapshotError};
 use crate::telemetry::{emit_phase_timing, NullObserver, Phase, RoundObserver, TelemetryEvent};
@@ -127,8 +128,8 @@ impl RunResult {
 /// against the already-trained models.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DriverState {
-    rounds_driven: usize,
-    ledger: CommLedger,
+    pub(crate) rounds_driven: usize,
+    pub(crate) ledger: CommLedger,
 }
 
 impl DriverState {
@@ -174,7 +175,7 @@ impl DriverState {
 ///
 /// # Partial participation
 ///
-/// `run_round` must honor the round's [`Cohort`] (via
+/// `run_round` must honor the round's [`Cohort`](fedpkd_netsim::Cohort) (via
 /// [`RoundContext::cohort`]): dropped clients do not train, upload, receive
 /// downlink payloads, or appear in the ledger — the network never carried
 /// their bytes. A round may have *zero* survivors; implementations must
@@ -297,6 +298,10 @@ pub trait FlAlgorithm {
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use fedpkd_core::driver::DriverBuilder (`.rounds(n).faults(plan)`) instead"
+    )]
     fn run_with_faults(
         &mut self,
         rounds: usize,
@@ -310,6 +315,11 @@ pub trait FlAlgorithm {
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use fedpkd_core::driver::Driver (`Driver::rounds(n).run(algo, obs)`) instead"
+    )]
+    #[allow(deprecated)]
     fn run(&mut self, rounds: usize, obs: &mut dyn RoundObserver) -> RunResult {
         self.run_with_faults(rounds, None, obs)
     }
@@ -319,6 +329,11 @@ pub trait FlAlgorithm {
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use fedpkd_core::driver::Driver (`Driver::rounds(n).run_silent(algo)`) instead"
+    )]
+    #[allow(deprecated)]
     fn run_silent(&mut self, rounds: usize) -> RunResult {
         self.run(rounds, &mut NullObserver)
     }
@@ -328,6 +343,12 @@ pub trait FlAlgorithm {
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use fedpkd_core::driver::DriverBuilder (`.rounds(n).faults(plan)`) with \
+                `run_silent` instead"
+    )]
+    #[allow(deprecated)]
     fn run_silent_with_faults(&mut self, rounds: usize, plan: &FaultPlan) -> RunResult {
         self.run_with_faults(rounds, Some(plan), &mut NullObserver)
     }
@@ -348,6 +369,10 @@ pub trait FlAlgorithm {
 
     /// Captures a snapshot and announces it on the telemetry stream as
     /// [`TelemetryEvent::SnapshotTaken`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "use fedpkd_core::driver::Driver::snapshot(algo, obs) instead"
+    )]
     fn take_snapshot(&self, obs: &mut dyn RoundObserver) -> AlgorithmState {
         let state = self.snapshot_state();
         obs.record(&TelemetryEvent::SnapshotTaken {
@@ -373,6 +398,11 @@ pub trait FlAlgorithm {
     /// # Panics
     ///
     /// Panics if `rounds == 0`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use fedpkd_core::driver::Driver::resume(algo, state, obs) instead"
+    )]
+    #[allow(deprecated)]
     fn run_resumed(
         &mut self,
         state: &AlgorithmState,
@@ -413,6 +443,12 @@ impl<F: Federation> FlAlgorithm for F {
             clients: self.num_clients(),
         });
         for (client, cause) in cohort.dropped() {
+            // An uninvited client is a cohort-policy decision, not a
+            // fault — no drop event for a 10k-fleet round that invites
+            // 256 clients.
+            if cause == DropCause::Unsampled {
+                continue;
+            }
             obs.record(&TelemetryEvent::ClientDropped {
                 round,
                 client,
@@ -452,46 +488,20 @@ impl<F: Federation> FlAlgorithm for F {
         metrics
     }
 
+    #[allow(deprecated)]
     fn run_with_faults(
         &mut self,
         rounds: usize,
         plan: Option<&FaultPlan>,
         obs: &mut dyn RoundObserver,
     ) -> RunResult {
-        assert!(rounds > 0, "need at least one round");
-        let num_clients = self.num_clients();
-        let start = self.driver().rounds_driven;
-        // Take the persistent ledger out for the duration of the loop; it
-        // goes back into the driver state before returning.
-        let mut ledger = std::mem::take(&mut self.driver_mut().ledger);
-        // Each client's most recent observed uplink bytes, feeding the
-        // straggler-deadline estimate. Seeded from the previous round when
-        // continuing an earlier run.
-        let mut last_uplink = if start > 0 {
-            ledger.round_client_uplinks(start - 1, num_clients)
-        } else {
-            vec![0usize; num_clients]
-        };
-        let mut history = Vec::with_capacity(rounds);
-        for round in start..start + rounds {
-            let ctx = match plan {
-                Some(plan) => plan.round_context(round, num_clients, &last_uplink),
-                None => RoundContext::benign(Cohort::full(num_clients)),
-            };
-            history.push(self.round(round, &ctx, &mut ledger, obs));
-            for (client, bytes) in ledger
-                .round_client_uplinks(round, num_clients)
-                .into_iter()
-                .enumerate()
-                .filter(|&(_, bytes)| bytes > 0)
-            {
-                if let Some(slot) = last_uplink.get_mut(client) {
-                    *slot = bytes;
-                }
-            }
+        // Thin compatibility shim: the round loop itself lives in
+        // `crate::driver::Driver` now.
+        let mut builder = crate::driver::DriverBuilder::new().rounds(rounds);
+        if let Some(plan) = plan {
+            builder = builder.faults(plan.clone());
         }
-        self.driver_mut().ledger = ledger.clone();
-        RunResult { history, ledger }
+        builder.build().run(self, obs)
     }
 
     fn snapshot_state(&self) -> AlgorithmState {
@@ -506,8 +516,9 @@ impl<F: Federation> FlAlgorithm for F {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::driver::{Driver, DriverBuilder};
     use crate::telemetry::EventLog;
-    use fedpkd_netsim::{Direction, DropCause, Message};
+    use fedpkd_netsim::{CohortPolicy, Direction, Message};
 
     /// A fake federation whose accuracy rises linearly and in which every
     /// surviving client sends a fixed-size message per round.
@@ -586,7 +597,7 @@ mod tests {
 
     #[test]
     fn run_collects_history_per_round() {
-        let result = FakeFed::new().run_silent(5);
+        let result = Driver::rounds(5).run_silent(&mut FakeFed::new());
         assert_eq!(result.history.len(), 5);
         assert_eq!(result.last().round, 4);
         assert!((result.last().server_accuracy.unwrap() - 0.5).abs() < 1e-12);
@@ -596,7 +607,7 @@ mod tests {
 
     #[test]
     fn cumulative_bytes_are_monotone() {
-        let result = FakeFed::new().run_silent(4);
+        let result = Driver::rounds(4).run_silent(&mut FakeFed::new());
         for pair in result.history.windows(2) {
             assert!(pair[1].cumulative_bytes > pair[0].cumulative_bytes);
         }
@@ -604,7 +615,7 @@ mod tests {
 
     #[test]
     fn bytes_to_accuracy_finds_first_crossing() {
-        let result = FakeFed::new().run_silent(10);
+        let result = Driver::rounds(10).run_silent(&mut FakeFed::new());
         let at_03 = result.bytes_to_server_accuracy(0.3).unwrap();
         let at_08 = result.bytes_to_server_accuracy(0.8).unwrap();
         assert!(at_03 < at_08);
@@ -614,7 +625,7 @@ mod tests {
 
     #[test]
     fn best_accuracies() {
-        let result = FakeFed::new().run_silent(3);
+        let result = Driver::rounds(3).run_silent(&mut FakeFed::new());
         assert!((result.best_server_accuracy().unwrap() - 0.3).abs() < 1e-12);
         assert!((result.best_client_accuracy() - 0.35).abs() < 1e-12);
     }
@@ -622,7 +633,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one round")]
     fn zero_rounds_rejected() {
-        let _ = FakeFed::new().run_silent(0);
+        let _ = Driver::rounds(0).run_silent(&mut FakeFed::new());
     }
 
     #[test]
@@ -642,9 +653,9 @@ mod tests {
         // Regression: a second `run` on a live instance used to restart at
         // round 0 with a fresh ledger while model state persisted.
         let mut fed = FakeFed::new();
-        let first = fed.run_silent(3);
+        let first = Driver::rounds(3).run_silent(&mut fed);
         assert_eq!(fed.rounds_driven(), 3);
-        let second = fed.run_silent(2);
+        let second = Driver::rounds(2).run_silent(&mut fed);
         assert_eq!(fed.rounds_driven(), 5);
         assert_eq!(second.history[0].round, 3);
         assert_eq!(second.last().round, 4);
@@ -662,7 +673,11 @@ mod tests {
     fn driver_drops_clients_per_fault_plan() {
         let plan = FaultPlan::new(0).with_outage(1, 1, 1);
         let mut log = EventLog::new();
-        let result = FakeFed::new().run_with_faults(3, Some(&plan), &mut log);
+        let result = DriverBuilder::new()
+            .rounds(3)
+            .faults(plan)
+            .build()
+            .run(&mut FakeFed::new(), &mut log);
         assert_eq!(result.history[0].participation_rate, 1.0);
         assert_eq!(result.history[1].participation_rate, 0.5);
         assert_eq!(result.history[2].participation_rate, 1.0);
@@ -692,7 +707,11 @@ mod tests {
         let link = fedpkd_netsim::LinkModel::new(10.0, 0.0);
         let plan = FaultPlan::new(0).with_deadline(link, 1.0);
         let mut log = EventLog::new();
-        let result = FakeFed::new().run_with_faults(2, Some(&plan), &mut log);
+        let result = DriverBuilder::new()
+            .rounds(2)
+            .faults(plan)
+            .build()
+            .run(&mut FakeFed::new(), &mut log);
         assert_eq!(result.history[0].participation_rate, 1.0);
         assert_eq!(result.history[1].participation_rate, 0.0);
         assert!(log
@@ -703,7 +722,7 @@ mod tests {
     #[test]
     fn driver_frames_each_round_with_telemetry() {
         let mut log = EventLog::new();
-        let result = FakeFed::new().run(2, &mut log);
+        let result = Driver::rounds(2).run(&mut FakeFed::new(), &mut log);
         let kinds: Vec<&str> = log.events().iter().map(TelemetryEvent::kind).collect();
         assert_eq!(
             kinds,
@@ -755,16 +774,27 @@ mod tests {
     fn snapshot_resume_matches_uninterrupted_run() {
         let plan = FaultPlan::new(3).with_dropout(0.3);
         let mut straight = FakeFed::new();
-        let full = straight.run_silent_with_faults(6, &plan);
+        let full = DriverBuilder::new()
+            .rounds(6)
+            .faults(plan.clone())
+            .build()
+            .run_silent(&mut straight);
 
         let mut first_half = FakeFed::new();
-        let _ = first_half.run_silent_with_faults(3, &plan);
-        let state = first_half.take_snapshot(&mut NullObserver);
+        let _ = DriverBuilder::new()
+            .rounds(3)
+            .faults(plan.clone())
+            .build()
+            .run_silent(&mut first_half);
+        let state = Driver::snapshot(&first_half, &mut NullObserver);
         drop(first_half); // the "crash"
 
         let mut resumed = FakeFed::new();
-        let second = resumed
-            .run_resumed(&state, 3, Some(&plan), &mut NullObserver)
+        let second = DriverBuilder::new()
+            .rounds(3)
+            .faults(plan)
+            .build()
+            .resume(&mut resumed, &state, &mut NullObserver)
             .unwrap();
         assert_eq!(second.history, full.history[3..].to_vec());
         assert_eq!(second.ledger, full.ledger);
@@ -773,7 +803,7 @@ mod tests {
     #[test]
     fn snapshot_survives_the_byte_codec() {
         let mut fed = FakeFed::new();
-        let _ = fed.run_silent(2);
+        let _ = Driver::rounds(2).run_silent(&mut fed);
         let state = fed.snapshot_state();
         let bytes = state.to_bytes();
         let decoded = AlgorithmState::from_bytes(&bytes).unwrap();
@@ -787,11 +817,13 @@ mod tests {
     #[test]
     fn snapshot_telemetry_frames_the_operations() {
         let mut fed = FakeFed::new();
-        let _ = fed.run_silent(1);
+        let _ = Driver::rounds(1).run_silent(&mut fed);
         let mut log = EventLog::new();
-        let state = fed.take_snapshot(&mut log);
+        let state = Driver::snapshot(&fed, &mut log);
         let mut resumed = FakeFed::new();
-        let _ = resumed.run_resumed(&state, 1, None, &mut log).unwrap();
+        let _ = Driver::rounds(1)
+            .resume(&mut resumed, &state, &mut log)
+            .unwrap();
         let kinds: Vec<&str> = log.events().iter().map(TelemetryEvent::kind).collect();
         assert_eq!(kinds[0], "snapshot_taken");
         assert_eq!(kinds[1], "snapshot_restored");
@@ -830,7 +862,7 @@ mod tests {
     #[test]
     fn ledger_delta_matches_round_traffic() {
         let mut log = EventLog::new();
-        let result = FakeFed::new().run(1, &mut log);
+        let result = Driver::rounds(1).run(&mut FakeFed::new(), &mut log);
         let delta = log.of_kind("ledger_delta").next().unwrap();
         match delta {
             TelemetryEvent::LedgerDelta {
@@ -845,5 +877,82 @@ mod tests {
             }
             other => panic!("unexpected event {other:?}"),
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_entry_points_match_driver() {
+        // The deprecated FlAlgorithm verbs are shims over the Driver; they
+        // must keep producing bit-identical results until removed.
+        let legacy = FakeFed::new().run_silent(4);
+        let driven = Driver::rounds(4).run_silent(&mut FakeFed::new());
+        assert_eq!(legacy, driven);
+
+        let plan = FaultPlan::new(9).with_dropout(0.4);
+        let legacy = FakeFed::new().run_silent_with_faults(4, &plan);
+        let driven = DriverBuilder::new()
+            .rounds(4)
+            .faults(plan)
+            .build()
+            .run_silent(&mut FakeFed::new());
+        assert_eq!(legacy, driven);
+    }
+
+    #[test]
+    fn cohort_sampling_invites_subset_without_drop_telemetry() {
+        let mut log = EventLog::new();
+        let result = DriverBuilder::new()
+            .rounds(4)
+            .cohort(CohortPolicy::Sample { size: 1, seed: 11 })
+            .build()
+            .run(&mut FakeFed::new(), &mut log);
+        // Every round exactly one of the two clients uploads, so traffic is
+        // half a full round's; uninvited clients are not casualties.
+        let full = Driver::rounds(1).run_silent(&mut FakeFed::new());
+        for metrics in &result.history {
+            assert_eq!(metrics.participation_rate, 1.0);
+        }
+        assert_eq!(
+            result.ledger.round_traffic(0).uplink,
+            full.ledger.round_traffic(0).uplink / 2
+        );
+        assert_eq!(log.of_kind("client_dropped").count(), 0);
+        // The per-round draws are seeded per round: over 4 rounds both
+        // clients should get invited at least once (seed chosen so).
+        let sampled: std::collections::BTreeSet<usize> = (0..4)
+            .flat_map(|round| fedpkd_netsim::sample_cohort(11, round, 2, 1))
+            .collect();
+        assert_eq!(sampled.len(), 2);
+    }
+
+    #[test]
+    fn worker_budget_never_changes_results() {
+        let narrow = DriverBuilder::new()
+            .rounds(3)
+            .workers(1)
+            .build()
+            .run_silent(&mut FakeFed::new());
+        let wide = DriverBuilder::new()
+            .rounds(3)
+            .workers(64)
+            .build()
+            .run_silent(&mut FakeFed::new());
+        assert_eq!(narrow, wide);
+    }
+
+    #[test]
+    fn snapshot_every_captures_resumable_state() {
+        let mut driver = DriverBuilder::new().rounds(5).snapshot_every(2).build();
+        let mut log = EventLog::new();
+        let full = driver.run(&mut FakeFed::new(), &mut log);
+        // Snapshots after rounds 2 and 4; the newest is retrievable.
+        assert_eq!(log.of_kind("snapshot_taken").count(), 2);
+        let state = driver.last_snapshot().expect("snapshot captured").clone();
+        let mut resumed = FakeFed::new();
+        let tail = Driver::rounds(1)
+            .resume(&mut resumed, &state, &mut NullObserver)
+            .unwrap();
+        assert_eq!(tail.history, full.history[4..].to_vec());
+        assert_eq!(tail.ledger, full.ledger);
     }
 }

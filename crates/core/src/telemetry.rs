@@ -579,13 +579,61 @@ impl RoundObserver for NullObserver {
     }
 }
 
+/// A telemetry-sink failure, surfaced as a typed error instead of a bare
+/// [`std::io::Error`] so callers can tell *what was lost* — a sink that
+/// failed mid-run has silently dropped every event since the failure, and
+/// the count is part of the diagnosis.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum TelemetryError {
+    /// An event write failed; `events_dropped` counts the events discarded
+    /// *after* the failing one (the failing event itself is also lost).
+    Write {
+        /// The underlying I/O failure.
+        source: std::io::Error,
+        /// Events dropped after the failure.
+        events_dropped: usize,
+    },
+    /// The final flush failed; every event line was written but the tail
+    /// may not have reached the underlying device.
+    Flush {
+        /// The underlying I/O failure.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for TelemetryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Write {
+                source,
+                events_dropped,
+            } => write!(
+                f,
+                "telemetry write failed ({source}); {events_dropped} later event(s) dropped"
+            ),
+            Self::Flush { source } => write!(f, "telemetry flush failed ({source})"),
+        }
+    }
+}
+
+impl std::error::Error for TelemetryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Write { source, .. } | Self::Flush { source } => Some(source),
+        }
+    }
+}
+
 /// Streams one JSON object per event to a writer, newline-delimited
-/// (JSONL). The first I/O error is stored (see [`JsonlSink::error`]) and
-/// subsequent events are dropped; telemetry never aborts a run.
+/// (JSONL). The first I/O error is captured as a [`TelemetryError`] (see
+/// [`JsonlSink::error`]) and subsequent events are counted and dropped;
+/// telemetry never aborts a run, but the failure — and how many events it
+/// swallowed — is reported instead of vanishing.
 #[derive(Debug)]
 pub struct JsonlSink<W: std::io::Write> {
     writer: W,
-    error: Option<std::io::Error>,
+    error: Option<TelemetryError>,
 }
 
 impl<W: std::io::Write> JsonlSink<W> {
@@ -597,8 +645,9 @@ impl<W: std::io::Write> JsonlSink<W> {
         }
     }
 
-    /// The first write error encountered, if any.
-    pub fn error(&self) -> Option<&std::io::Error> {
+    /// The sink's failure state: the first write error encountered,
+    /// carrying the number of events dropped since.
+    pub fn error(&self) -> Option<&TelemetryError> {
         self.error.as_ref()
     }
 
@@ -606,25 +655,33 @@ impl<W: std::io::Write> JsonlSink<W> {
     ///
     /// # Errors
     ///
-    /// Returns the stored or flush-time I/O error, if any.
-    pub fn into_inner(mut self) -> Result<W, std::io::Error> {
+    /// [`TelemetryError::Write`] if any event failed to write during the
+    /// run (with the count of events dropped after it), or
+    /// [`TelemetryError::Flush`] if the final flush fails.
+    pub fn into_inner(mut self) -> Result<W, TelemetryError> {
         if let Some(e) = self.error.take() {
             return Err(e);
         }
-        self.writer.flush()?;
+        self.writer
+            .flush()
+            .map_err(|source| TelemetryError::Flush { source })?;
         Ok(self.writer)
     }
 }
 
 impl<W: std::io::Write> RoundObserver for JsonlSink<W> {
     fn record(&mut self, event: &TelemetryEvent) {
-        if self.error.is_some() {
+        if let Some(TelemetryError::Write { events_dropped, .. }) = &mut self.error {
+            *events_dropped += 1;
             return;
         }
         let mut line = event.to_json();
         line.push('\n');
-        if let Err(e) = self.writer.write_all(line.as_bytes()) {
-            self.error = Some(e);
+        if let Err(source) = self.writer.write_all(line.as_bytes()) {
+            self.error = Some(TelemetryError::Write {
+                source,
+                events_dropped: 0,
+            });
         }
     }
 }
@@ -879,6 +936,77 @@ mod tests {
         assert_eq!(text.lines().count(), sample_events().len());
         for line in text.lines() {
             assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    /// Fails every write after the first `ok_writes`.
+    #[derive(Debug)]
+    struct FlakyWriter {
+        ok_writes: usize,
+        seen: usize,
+    }
+
+    impl std::io::Write for FlakyWriter {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.seen += 1;
+            if self.seen > self.ok_writes {
+                Err(std::io::Error::other("disk full"))
+            } else {
+                Ok(buf.len())
+            }
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_write_failures_with_drop_count() {
+        let mut sink = JsonlSink::new(FlakyWriter {
+            ok_writes: 2,
+            seen: 0,
+        });
+        let events = sample_events();
+        assert!(events.len() >= 5, "need enough events to drop some");
+        for event in &events {
+            sink.record(event);
+        }
+        let dropped_after_failure = events.len() - 3;
+        match sink.error() {
+            Some(TelemetryError::Write {
+                source,
+                events_dropped,
+            }) => {
+                assert_eq!(source.to_string(), "disk full");
+                assert_eq!(*events_dropped, dropped_after_failure);
+            }
+            other => panic!("expected a write error, got {other:?}"),
+        }
+        let err = sink.into_inner().unwrap_err();
+        assert!(err.to_string().contains("telemetry write failed"));
+        assert!(err.to_string().contains(&dropped_after_failure.to_string()));
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn jsonl_sink_surfaces_flush_failures() {
+        struct NoFlush;
+        impl std::io::Write for NoFlush {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("pipe gone"))
+            }
+        }
+        let mut sink = JsonlSink::new(NoFlush);
+        sink.record(&sample_events()[0]);
+        assert!(sink.error().is_none());
+        match sink.into_inner() {
+            Err(TelemetryError::Flush { source }) => {
+                assert_eq!(source.to_string(), "pipe gone")
+            }
+            other => panic!("expected a flush error, got {:?}", other.err()),
         }
     }
 

@@ -185,6 +185,8 @@ pub struct RoundContext {
     cohort: Cohort,
     attacks: Vec<Option<Attack>>,
     seed: u64,
+    late: Vec<(usize, usize)>,
+    worker_budget: Option<usize>,
 }
 
 impl RoundContext {
@@ -195,6 +197,8 @@ impl RoundContext {
             cohort,
             attacks: vec![None; n],
             seed: 0,
+            late: Vec::new(),
+            worker_budget: None,
         }
     }
 
@@ -205,7 +209,57 @@ impl RoundContext {
             cohort,
             attacks,
             seed,
+            late: Vec::new(),
+            worker_budget: None,
         }
+    }
+
+    /// Restricts the cohort to a sampled invite list (see
+    /// [`Cohort::restrict_to_sample`](crate::Cohort::restrict_to_sample));
+    /// the attack roster and seed are untouched, since a Byzantine client
+    /// that is not invited simply never gets to upload.
+    pub fn restrict_to_sample(mut self, sampled: &[usize]) -> Self {
+        self.cohort = self.cohort.restrict_to_sample(sampled);
+        self
+    }
+
+    /// Replaces the late-arrival roster: `(client, lag)` pairs for clients
+    /// that missed this round's deadline but whose upload the driver will
+    /// accept `lag` rounds late (bounded-staleness async mode). Late
+    /// clients remain *dropped* in the cohort — they contribute nothing to
+    /// this round's aggregation — but an algorithm that supports staleness
+    /// may train them and queue their upload for arrival.
+    pub fn with_late_arrivals(mut self, late: Vec<(usize, usize)>) -> Self {
+        self.late = late;
+        self
+    }
+
+    /// Sets the driver's worker budget for this round's client phase
+    /// (`None` = let the algorithm pick, typically the machine's available
+    /// parallelism).
+    pub fn with_worker_budget(mut self, workers: Option<usize>) -> Self {
+        self.worker_budget = workers;
+        self
+    }
+
+    /// The round's late-arrival roster: `(client, lag)` pairs, ascending by
+    /// client. Empty in synchronous mode.
+    pub fn late_arrivals(&self) -> &[(usize, usize)] {
+        &self.late
+    }
+
+    /// The staleness lag for `client` if it is on this round's late-arrival
+    /// roster.
+    pub fn late_lag(&self, client: usize) -> Option<usize> {
+        self.late
+            .iter()
+            .find(|&&(c, _)| c == client)
+            .map(|&(_, lag)| lag)
+    }
+
+    /// The driver's worker budget for this round, if it set one.
+    pub fn worker_budget(&self) -> Option<usize> {
+        self.worker_budget
     }
 
     /// The round's participation cohort.

@@ -55,6 +55,11 @@ pub enum DropCause {
     Crash,
     /// The simulated uplink transfer would miss the round deadline.
     Deadline,
+    /// The client was not drawn into this round's cohort sample — it was
+    /// never invited, so (unlike the fault causes above) it is excluded
+    /// from the participation-rate denominator and emits no drop
+    /// telemetry.
+    Unsampled,
 }
 
 impl DropCause {
@@ -64,6 +69,7 @@ impl DropCause {
             Self::Dropout => "dropout",
             Self::Crash => "crash",
             Self::Deadline => "deadline",
+            Self::Unsampled => "unsampled",
         }
     }
 }
@@ -128,14 +134,93 @@ impl Cohort {
         self.causes.iter().filter(|c| c.is_none()).count()
     }
 
-    /// Participating fraction in `[0, 1]` (1.0 for an empty cohort).
+    /// Number of clients *invited* this round: everyone except
+    /// [`DropCause::Unsampled`] drops. Without cohort sampling this equals
+    /// [`num_clients`](Self::num_clients).
+    pub fn num_invited(&self) -> usize {
+        self.causes
+            .iter()
+            .filter(|c| **c != Some(DropCause::Unsampled))
+            .count()
+    }
+
+    /// Participating fraction of the *invited* clients, in `[0, 1]` (1.0
+    /// when nobody was invited, including the empty cohort).
+    ///
+    /// Clients outside a sampled cohort were never asked to participate,
+    /// so counting them as casualties would drown the fault signal: a
+    /// 10 000-client fleet sampling 256 per round would report ≤ 2.56%
+    /// "participation" every round. Only invited clients enter the
+    /// denominator.
     pub fn participation_rate(&self) -> f64 {
-        if self.causes.is_empty() {
+        let invited = self.num_invited();
+        if invited == 0 {
             1.0
         } else {
-            self.num_active() as f64 / self.causes.len() as f64
+            self.num_active() as f64 / invited as f64
         }
     }
+
+    /// Re-marks every client *not* in `sampled` (a set of client indices)
+    /// as [`DropCause::Unsampled`], overriding any fault cause — an
+    /// uninvited client cannot crash out of a round it was never in.
+    pub fn restrict_to_sample(mut self, sampled: &[usize]) -> Self {
+        let mut invited = vec![false; self.causes.len()];
+        for &client in sampled {
+            if let Some(slot) = invited.get_mut(client) {
+                *slot = true;
+            }
+        }
+        for (cause, invited) in self.causes.iter_mut().zip(&invited) {
+            if !invited {
+                *cause = Some(DropCause::Unsampled);
+            }
+        }
+        self
+    }
+}
+
+/// How the driver picks each round's cohort from the client fleet.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CohortPolicy {
+    /// Every client is invited every round (the classic small-scale
+    /// setting; the default).
+    #[default]
+    Full,
+    /// Invite a seeded uniform sample of `size` distinct clients per round
+    /// (capped at the fleet size). Sampling is a pure function of
+    /// `(seed, round, fleet)` — see [`sample_cohort`] — so replays and
+    /// resumed runs draw identical cohorts.
+    Sample {
+        /// Clients invited per round.
+        size: usize,
+        /// Seed rooting the per-round sampling streams, deliberately
+        /// separate from both the algorithm seed and the fault seed.
+        seed: u64,
+    },
+}
+
+/// Salt separating cohort-sampling RNG streams from the dropout and attack
+/// streams that may share a seed value.
+const COHORT_STREAM_SALT: u64 = 0xC0_0417_5A3B_17E5;
+
+/// Draws round `round`'s cohort sample: `min(size, fleet)` distinct client
+/// indices from `0..fleet`, ascending.
+///
+/// The draw comes from a dedicated `(seed, round)` RNG stream (one partial
+/// Fisher–Yates per round), so it is a pure function of its arguments:
+/// independent of every other round, of the order rounds are evaluated in,
+/// and of any driver state — which is what makes sampled runs replayable
+/// and resumable from any round boundary.
+pub fn sample_cohort(seed: u64, round: usize, fleet: usize, size: usize) -> Vec<usize> {
+    let round_seed = seed
+        .wrapping_add(COHORT_STREAM_SALT)
+        .wrapping_add((round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = Rng::stream(round_seed, 0);
+    let mut picks = fedpkd_rng::sample_indices(&mut rng, fleet, size.min(fleet));
+    picks.sort_unstable();
+    picks
 }
 
 /// A scheduled crash window.
@@ -322,6 +407,31 @@ impl FaultPlan {
         RoundContext::with_attacks(cohort, attacks, self.seed)
     }
 
+    /// How many round deadlines `client`'s uplink of `payload_bytes` would
+    /// overrun: `None` if the client meets the deadline (or no deadline is
+    /// configured), `Some(lag ≥ 1)` if the transfer finishes during round
+    /// `current + lag`.
+    ///
+    /// This is the bounded-staleness hook: a driver running in async mode
+    /// can admit a straggler's upload `lag` rounds late instead of
+    /// discarding it, as long as `lag` stays within its staleness bound.
+    /// Like [`cohort`](Self::cohort), it is a pure function of the plan and
+    /// its arguments.
+    pub fn deadline_lag(&self, client: usize, payload_bytes: usize) -> Option<usize> {
+        let deadline = self.deadline?;
+        let time = self
+            .link
+            .slowed(self.slowdown(client))
+            .transfer_time(payload_bytes);
+        if time <= deadline {
+            return None;
+        }
+        // The transfer spans ceil(time / deadline) round windows; it lands
+        // lag = that - 1 rounds after the one it started in.
+        let lag = (time / deadline).ceil() as usize;
+        Some(lag.saturating_sub(1).max(1))
+    }
+
     fn in_outage(&self, client: usize, round: usize) -> bool {
         self.outages.iter().any(|o| {
             o.client == client && round >= o.start_round && round < o.start_round + o.rounds
@@ -472,6 +582,59 @@ mod tests {
         assert_eq!(DropCause::Dropout.name(), "dropout");
         assert_eq!(DropCause::Crash.name(), "crash");
         assert_eq!(DropCause::Deadline.name(), "deadline");
+        assert_eq!(DropCause::Unsampled.name(), "unsampled");
+    }
+
+    #[test]
+    fn sample_cohort_is_deterministic_sorted_and_duplicate_free() {
+        let picks = sample_cohort(7, 3, 10_000, 256);
+        assert_eq!(picks, sample_cohort(7, 3, 10_000, 256));
+        assert_eq!(picks.len(), 256);
+        assert!(picks.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        assert!(picks.iter().all(|&c| c < 10_000));
+        // Different rounds and seeds draw different cohorts.
+        assert_ne!(picks, sample_cohort(7, 4, 10_000, 256));
+        assert_ne!(picks, sample_cohort(8, 3, 10_000, 256));
+        // Oversized requests clamp to the fleet.
+        assert_eq!(sample_cohort(1, 0, 5, 99), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn restricted_cohort_reports_invited_participation() {
+        let plan = FaultPlan::new(0).with_outage(2, 0, 1);
+        let cohort = plan.cohort(0, 6, &[]).restrict_to_sample(&[1, 2, 3]);
+        assert_eq!(cohort.cause(0), Some(DropCause::Unsampled));
+        assert_eq!(
+            cohort.cause(2),
+            Some(DropCause::Crash),
+            "invited but crashed"
+        );
+        assert!(cohort.is_active(1) && cohort.is_active(3));
+        assert_eq!(cohort.num_invited(), 3);
+        assert_eq!(cohort.num_active(), 2);
+        assert!((cohort.participation_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // An uninvited client's fault cause is overridden.
+        let all_out = plan.cohort(0, 3, &[]).restrict_to_sample(&[]);
+        assert_eq!(all_out.cause(2), Some(DropCause::Unsampled));
+        assert_eq!(all_out.participation_rate(), 1.0, "nobody invited");
+    }
+
+    #[test]
+    fn deadline_lag_counts_overrun_round_windows() {
+        // 1 KB/s link, zero latency: 1000 bytes take 1 s.
+        let link = LinkModel::new(1000.0, 0.0);
+        let plan = FaultPlan::new(0)
+            .with_deadline(link, 1.0)
+            .with_slowdown(1, 3.0);
+        assert_eq!(plan.deadline_lag(0, 900), None, "meets the deadline");
+        assert_eq!(plan.deadline_lag(0, 1500), Some(1), "lands next round");
+        assert_eq!(plan.deadline_lag(0, 3500), Some(3));
+        assert_eq!(plan.deadline_lag(1, 1000), Some(2), "slowdown compounds");
+        assert_eq!(
+            FaultPlan::new(0).deadline_lag(0, usize::MAX),
+            None,
+            "no deadline configured"
+        );
     }
 
     #[test]

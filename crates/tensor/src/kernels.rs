@@ -67,26 +67,100 @@ pub enum KernelMode {
     Fast,
 }
 
-static MODE: AtomicU8 = AtomicU8::new(1);
+/// Sentinel: the mode has not been resolved from the environment yet.
+const MODE_UNSET: u8 = u8::MAX;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNSET);
+
+fn mode_to_raw(mode: KernelMode) -> u8 {
+    match mode {
+        KernelMode::Scalar => 0,
+        KernelMode::Fast => 1,
+    }
+}
+
+fn raw_to_mode(raw: u8) -> KernelMode {
+    if raw == 0 {
+        KernelMode::Scalar
+    } else {
+        KernelMode::Fast
+    }
+}
+
+/// The process-wide default tier, read once from `FEDPKD_KERNELS`
+/// (`scalar` selects the reference tier; anything else — including the
+/// variable being unset — selects the fast tier).
+fn env_default() -> u8 {
+    match std::env::var("FEDPKD_KERNELS") {
+        Ok(v) if v.eq_ignore_ascii_case("scalar") => 0,
+        _ => 1,
+    }
+}
+
+impl KernelMode {
+    /// Selects this kernel tier for the lifetime of the returned guard and
+    /// restores the previous tier when the guard drops (including on
+    /// panic-unwind, so a failing test can no longer leak its tier into
+    /// later tests).
+    ///
+    /// The underlying switch is still process-wide — worker threads spawned
+    /// by [`crate::parallel`] consult the same switch, which is exactly why
+    /// it cannot be thread-local — so overlapping guards on different
+    /// threads share it: the last guard to drop wins. That is safe (tiers
+    /// are bit-identical; see the module docs) but makes concurrent timing
+    /// comparisons meaningless, so benchmarks serialize their guarded
+    /// sections.
+    #[must_use = "the tier reverts as soon as the guard drops"]
+    pub fn scoped(self) -> KernelModeGuard {
+        let prev = kernel_mode();
+        MODE.store(mode_to_raw(self), Ordering::Relaxed);
+        KernelModeGuard { prev }
+    }
+}
+
+/// RAII guard from [`KernelMode::scoped`]: restores the previously selected
+/// tier on drop.
+#[derive(Debug)]
+pub struct KernelModeGuard {
+    prev: KernelMode,
+}
+
+impl Drop for KernelModeGuard {
+    fn drop(&mut self) {
+        MODE.store(mode_to_raw(self.prev), Ordering::Relaxed);
+    }
+}
 
 /// Selects the kernel tier process-wide.
 ///
 /// Safe to flip at any time — tiers are bit-identical, so concurrent
 /// readers only ever observe a speed difference, never a value difference.
+#[deprecated(
+    since = "0.6.0",
+    note = "use the scoped RAII guard `KernelMode::scoped(mode)` so the \
+            process-wide tier cannot leak past the caller"
+)]
 pub fn set_kernel_mode(mode: KernelMode) {
-    let v = match mode {
-        KernelMode::Scalar => 0,
-        KernelMode::Fast => 1,
-    };
-    MODE.store(v, Ordering::Relaxed);
+    MODE.store(mode_to_raw(mode), Ordering::Relaxed);
 }
 
 /// The currently selected kernel tier.
+///
+/// On first call this resolves the default from the `FEDPKD_KERNELS`
+/// environment variable (`scalar` → [`KernelMode::Scalar`], anything else
+/// → [`KernelMode::Fast`]); afterwards it reflects the innermost live
+/// [`KernelMode::scoped`] guard.
 pub fn kernel_mode() -> KernelMode {
-    if MODE.load(Ordering::Relaxed) == 0 {
-        KernelMode::Scalar
-    } else {
-        KernelMode::Fast
+    let raw = MODE.load(Ordering::Relaxed);
+    if raw != MODE_UNSET {
+        return raw_to_mode(raw);
+    }
+    let resolved = env_default();
+    // A concurrent first call may have resolved (or a guard may have set)
+    // the mode in the meantime; the first store wins.
+    match MODE.compare_exchange(MODE_UNSET, resolved, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => raw_to_mode(resolved),
+        Err(current) => raw_to_mode(current),
     }
 }
 

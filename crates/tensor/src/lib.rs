@@ -59,5 +59,7 @@ pub mod parallel;
 pub mod serialize;
 
 pub use error::TensorError;
-pub use kernels::{kernel_mode, set_kernel_mode, KernelMode};
+#[allow(deprecated)]
+pub use kernels::set_kernel_mode;
+pub use kernels::{kernel_mode, KernelMode, KernelModeGuard};
 pub use tensor::Tensor;

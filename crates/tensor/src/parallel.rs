@@ -45,6 +45,107 @@ pub fn dispatch_chunked<I: Send, T: Send>(items: Vec<I>, f: impl Fn(I) -> T + Sy
     })
 }
 
+/// Load-balance counters reported by [`dispatch_stealing`].
+///
+/// `peak_pending` is the scheduler's memory bound: the caller's commit
+/// callback consumes results in canonical item order, so out-of-order
+/// completions park in a reorder buffer whose occupancy is bounded by
+/// worker skew (how far the fastest worker runs ahead of the slowest),
+/// never by the total item count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Items executed by a worker other than the one they were seeded on.
+    pub steals: usize,
+    /// Peak number of completed results waiting in the reorder buffer for
+    /// an earlier item to finish.
+    pub peak_pending: usize,
+}
+
+/// Runs `task` over `items` on a bounded pool of `workers` threads with
+/// work stealing, committing results on the *caller's* thread in ascending
+/// item order.
+///
+/// This is the event-driven generalization of [`dispatch_chunked`]: each
+/// worker is seeded with a contiguous chunk of items and pops from its own
+/// deque front; a worker that runs dry steals from the back of another
+/// worker's deque, so stragglers cannot idle the pool. Results stream back
+/// to the caller as they complete and are handed to `commit(index, result)`
+/// strictly in item order via a reorder buffer — so any fold performed in
+/// `commit` accumulates in canonical order and is bit-identical to the
+/// sequential loop regardless of worker count or interleaving.
+///
+/// `task` receives `(index, item)` and must not share mutable state across
+/// items; `commit` runs on the calling thread only, so it may freely mutate
+/// caller-local accumulators without locking.
+pub fn dispatch_stealing<I: Send, T: Send>(
+    items: Vec<I>,
+    workers: usize,
+    task: impl Fn(usize, I) -> T + Sync,
+    mut commit: impl FnMut(usize, T),
+) -> StealStats {
+    let n = items.len();
+    if n == 0 {
+        return StealStats::default();
+    }
+    let workers = workers.clamp(1, n);
+    let chunk = n.div_ceil(workers);
+    let mut seeded = items.into_iter().enumerate();
+    let deques: Vec<std::sync::Mutex<std::collections::VecDeque<(usize, I)>>> = (0..workers)
+        .map(|_| std::sync::Mutex::new(seeded.by_ref().take(chunk).collect()))
+        .collect();
+    let deques = &deques;
+    let task = &task;
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, T, bool)>();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            scope.spawn(move || loop {
+                let own = deques[w].lock().expect("worker deque poisoned").pop_front();
+                if let Some((idx, item)) = own {
+                    if tx.send((idx, task(idx, item), false)).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+                // Own deque is dry: steal the *back* of another worker's
+                // deque (the item its owner would reach last).
+                let stolen = (1..workers).find_map(|off| {
+                    deques[(w + off) % workers]
+                        .lock()
+                        .expect("worker deque poisoned")
+                        .pop_back()
+                });
+                match stolen {
+                    Some((idx, item)) => {
+                        if tx.send((idx, task(idx, item), true)).is_err() {
+                            return;
+                        }
+                    }
+                    // Every deque is empty; no new items ever appear.
+                    None => return,
+                }
+            });
+        }
+        drop(tx);
+        let mut stats = StealStats::default();
+        let mut pending = std::collections::BTreeMap::new();
+        let mut next = 0usize;
+        for (idx, result, stolen) in rx {
+            if stolen {
+                stats.steals += 1;
+            }
+            pending.insert(idx, result);
+            stats.peak_pending = stats.peak_pending.max(pending.len());
+            while let Some(result) = pending.remove(&next) {
+                commit(next, result);
+                next += 1;
+            }
+        }
+        debug_assert_eq!(next, n, "every item must be committed exactly once");
+        stats
+    })
+}
+
 /// Splits `out` (a row-major buffer of `row_width`-wide rows) into
 /// contiguous row chunks of at least `min_rows` rows each and runs
 /// `f(first_row_index, chunk)` on one scoped thread per chunk.
@@ -86,6 +187,60 @@ mod tests {
         let expected: Vec<usize> = items.iter().map(|i| i * 2).collect();
         assert_eq!(dispatch_chunked(items, |i| i * 2), expected);
         assert!(dispatch_chunked(Vec::new(), |i: usize| i).is_empty());
+    }
+
+    #[test]
+    fn stealing_commits_in_canonical_order_for_any_worker_count() {
+        let items: Vec<usize> = (0..257).collect();
+        for workers in [1, 2, 3, 8, 64, 1000] {
+            let mut committed = Vec::new();
+            let stats = dispatch_stealing(
+                items.clone(),
+                workers,
+                |idx, i| {
+                    assert_eq!(idx, i);
+                    i * 3
+                },
+                |idx, r| committed.push((idx, r)),
+            );
+            let expected: Vec<(usize, usize)> = (0..257).map(|i| (i, i * 3)).collect();
+            assert_eq!(committed, expected, "workers={workers}");
+            assert!(stats.peak_pending <= 257);
+        }
+    }
+
+    #[test]
+    fn stealing_handles_empty_input() {
+        let stats = dispatch_stealing(Vec::<usize>::new(), 4, |_, i| i, |_, _| panic!("no items"));
+        assert_eq!(stats, StealStats::default());
+    }
+
+    #[test]
+    fn stealing_rebalances_skewed_work() {
+        // Seed all the slow items into the first worker's chunk; with
+        // stealing the others must take some of them (unless the machine
+        // is single-core, where no stealing can happen).
+        let items: Vec<u64> = (0..64)
+            .map(|i| if i < 32 { 2_000_000 } else { 10 })
+            .collect();
+        let mut sum = 0u64;
+        let stats = dispatch_stealing(
+            items,
+            4,
+            |_, spins| {
+                let mut acc = 0u64;
+                for k in 0..spins {
+                    acc = acc.wrapping_add(k ^ (acc >> 3));
+                }
+                // Fold the busy-work in so the loop cannot be optimized out.
+                1 + (acc & 1) / 2
+            },
+            |_, one| sum += one,
+        );
+        assert_eq!(sum, 64);
+        if max_workers() > 1 {
+            assert!(stats.steals > 0, "skewed chunks should trigger steals");
+        }
     }
 
     #[test]

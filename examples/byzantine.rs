@@ -73,7 +73,7 @@ fn main() {
         .with_adversary(2, Attack::LogitLabelFlip)
         .with_adversary(4, Attack::NonFinitePayload);
 
-    let clean = federation(base_config()).run_silent(ROUNDS);
+    let clean = Driver::rounds(ROUNDS).run_silent(&mut federation(base_config()));
 
     // Truly undefended: admission off, paper-faithful aggregation — the
     // NaN payload flows straight into Eqs. 6–8 and poisons the teacher.
@@ -84,7 +84,11 @@ fn main() {
         },
         ..base_config()
     };
-    let undefended = federation(undefended_config).run_silent_with_faults(ROUNDS, &plan);
+    let undefended = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .faults(plan.clone())
+        .build()
+        .run_silent(&mut federation(undefended_config));
 
     let defended_config = FedPkdConfig {
         robust: RobustAggregation::Trimmed {
@@ -93,8 +97,11 @@ fn main() {
         ..base_config()
     };
     let mut log = EventLog::new();
-    let defended =
-        federation(defended_config.clone()).run_with_faults(ROUNDS, Some(&plan), &mut log);
+    let defended = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .faults(plan.clone())
+        .build()
+        .run(&mut federation(defended_config.clone()), &mut log);
 
     println!(" round | server acc | rejected payloads");
     for m in &defended.history {
@@ -152,7 +159,11 @@ fn main() {
 
     // The attack roster is pure data keyed by the plan seed: the defended
     // run replays bit for bit.
-    let replay = federation(defended_config).run_silent_with_faults(ROUNDS, &plan);
+    let replay = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .faults(plan)
+        .build()
+        .run_silent(&mut federation(defended_config));
     assert_eq!(
         replay, defended,
         "adversarial runs replay deterministically"

@@ -72,7 +72,11 @@ fn main() {
     let plan = FaultPlan::new(13).with_dropout(0.2);
 
     println!("=== reference: {ROUNDS} rounds, uninterrupted ===");
-    let full = federation().run_silent_with_faults(ROUNDS, &plan);
+    let full = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .faults(plan.clone())
+        .build()
+        .run_silent(&mut federation());
     for m in &full.history {
         println!(
             "  round {:>2}  server acc {:.3}",
@@ -83,8 +87,18 @@ fn main() {
 
     println!("\n=== interrupted: {INTERRUPT_AT} rounds, then snapshot + kill ===");
     let mut first_half = federation();
-    let _ = first_half.run_silent_with_faults(INTERRUPT_AT, &plan);
-    let checkpoint = first_half.snapshot_state().to_bytes();
+    // `snapshot_every` captures the checkpoint automatically at the round
+    // boundary; `last_snapshot` hands back the newest one.
+    let mut interrupted_driver = DriverBuilder::new()
+        .rounds(INTERRUPT_AT)
+        .faults(plan.clone())
+        .snapshot_every(INTERRUPT_AT)
+        .build();
+    let _ = interrupted_driver.run_silent(&mut first_half);
+    let checkpoint = interrupted_driver
+        .last_snapshot()
+        .expect("snapshot_every captured a checkpoint")
+        .to_bytes();
     println!(
         "  snapshot after round {}: {} bytes (versioned, checksummed)",
         INTERRUPT_AT,
@@ -95,13 +109,11 @@ fn main() {
     println!("\n=== resume: fresh instance restores the bytes ===");
     let state = AlgorithmState::from_bytes(&checkpoint).expect("snapshot decodes");
     let mut resumed_algo = federation();
-    let resumed = resumed_algo
-        .run_resumed(
-            &state,
-            ROUNDS - INTERRUPT_AT,
-            Some(&plan),
-            &mut NullObserver,
-        )
+    let resumed = DriverBuilder::new()
+        .rounds(ROUNDS - INTERRUPT_AT)
+        .faults(plan)
+        .build()
+        .resume(&mut resumed_algo, &state, &mut NullObserver)
         .expect("restore succeeds");
     for m in &resumed.history {
         println!(

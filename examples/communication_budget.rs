@@ -77,7 +77,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         SEED,
     )?;
-    describe("FedPKD", &pkd.run_silent(ROUNDS), false);
+    describe(
+        "FedPKD",
+        &Driver::rounds(ROUNDS).run_silent(&mut pkd),
+        false,
+    );
 
     let base = BaselineConfig {
         local_epochs: 3,
@@ -87,10 +91,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..BaselineConfig::default()
     };
     let mut avg = FedAvg::new(scenario(), spec(), base.clone(), SEED)?;
-    describe("FedAvg", &avg.run_silent(ROUNDS), false);
+    describe(
+        "FedAvg",
+        &Driver::rounds(ROUNDS).run_silent(&mut avg),
+        false,
+    );
 
     let mut md = FedMd::new(scenario(), vec![spec(); 5], base, SEED)?;
-    describe("FedMD", &md.run_silent(ROUNDS), true);
+    describe("FedMD", &Driver::rounds(ROUNDS).run_silent(&mut md), true);
 
     println!("\nFedPKD ships logits + prototypes (KB); FedAvg ships parameters (100s of KB).");
     println!("FedMD has no server model, so its target is mean client accuracy.");

@@ -61,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..FedPkdConfig::default()
     };
     let mut algo = FedPkd::new(scenario, vec![client_spec; 3], server_spec, config, 11)?;
-    let result = algo.run_silent(5);
+    let result = Driver::rounds(5).run_silent(&mut algo);
 
     println!("\n round | server acc | mean client acc");
     for m in &result.history {

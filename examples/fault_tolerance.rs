@@ -69,10 +69,14 @@ fn main() {
         .with_slowdown(3, 3.0)
         .with_deadline(LinkModel::cellular(), 2.0);
 
-    let clean = federation().run_silent(ROUNDS);
+    let clean = Driver::rounds(ROUNDS).run_silent(&mut federation());
 
     let mut log = EventLog::new();
-    let faulty = federation().run_with_faults(ROUNDS, Some(&plan), &mut log);
+    let faulty = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .faults(plan.clone())
+        .build()
+        .run(&mut federation(), &mut log);
 
     println!(" round | participation | server acc | round bytes | drops");
     for m in &faulty.history {
@@ -115,7 +119,11 @@ fn main() {
 
     // The plan is pure data keyed by its seed: replaying it reproduces the
     // run bit for bit.
-    let replay = federation().run_silent_with_faults(ROUNDS, &plan);
+    let replay = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .faults(plan)
+        .build()
+        .run_silent(&mut federation());
     assert_eq!(replay, faulty, "fault runs replay deterministically");
     println!(" replay    : bit-identical ✓");
 }

@@ -80,7 +80,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..FedPkdConfig::default()
     };
     let mut fedpkd = FedPkd::new(scenario(), client_specs(), server_spec(), pkd_config, SEED)?;
-    report("FedPKD", &fedpkd.run_silent(ROUNDS));
+    report("FedPKD", &Driver::rounds(ROUNDS).run_silent(&mut fedpkd));
 
     let base_config = BaselineConfig {
         local_epochs: 3,
@@ -90,13 +90,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..BaselineConfig::default()
     };
     let mut fedmd = FedMd::new(scenario(), client_specs(), base_config.clone(), SEED)?;
-    report("FedMD", &fedmd.run_silent(ROUNDS));
+    report("FedMD", &Driver::rounds(ROUNDS).run_silent(&mut fedmd));
 
     let mut dsfl = DsFl::new(scenario(), client_specs(), base_config.clone(), SEED)?;
-    report("DS-FL", &dsfl.run_silent(ROUNDS));
+    report("DS-FL", &Driver::rounds(ROUNDS).run_silent(&mut dsfl));
 
     let mut fedet = FedEt::new(scenario(), client_specs(), server_spec(), base_config, SEED)?;
-    report("FedET", &fedet.run_silent(ROUNDS));
+    report("FedET", &Driver::rounds(ROUNDS).run_silent(&mut fedet));
 
     println!("\nFedMD/DS-FL train no server model; FedET pays parameter-sized uplink.");
     Ok(())

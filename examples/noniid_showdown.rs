@@ -47,7 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             SEED,
         )?;
-        let avg_result = avg.run_silent(ROUNDS);
+        let avg_result = Driver::rounds(ROUNDS).run_silent(&mut avg);
 
         let mut pkd = FedPkd::new(
             scenario(alpha),
@@ -62,7 +62,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             },
             SEED,
         )?;
-        let pkd_result = pkd.run_silent(ROUNDS);
+        let pkd_result = Driver::rounds(ROUNDS).run_silent(&mut pkd);
 
         println!(
             " {alpha:>5.2} |       {:>6.2}% |       {:>6.2}% |        {:>6.2}%",

@@ -51,9 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let mut algo = FedPkd::new(scenario, vec![client_spec; 6], server_spec, config, 7)?;
 
-    // 4. Run 8 communication rounds. (`run_silent` skips telemetry; see the
+    // 4. Run 8 communication rounds via the driver. (`run_silent` skips
+    // telemetry; see the
     //    `telemetry` example for observing rounds as they happen.)
-    let result = algo.run_silent(8);
+    let result = Driver::rounds(8).run_silent(&mut algo);
     println!("\n round | server acc | mean client acc | cumulative MB");
     println!(" ------+------------+-----------------+--------------");
     for m in &result.history {

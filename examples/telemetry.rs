@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // One run, two observers' worth of output: collect events in memory for
     // the summary below, and mirror each one to a JSONL trace on disk.
     let mut log = EventLog::new();
-    let result = algo.run(ROUNDS, &mut log);
+    let result = Driver::rounds(ROUNDS).run(&mut algo, &mut log);
 
     let trace_path = "fedpkd-trace.jsonl";
     let mut sink = JsonlSink::new(BufWriter::new(File::create(trace_path)?));

@@ -19,3 +19,8 @@ cargo run --release -q --example checkpoint_resume > /dev/null
 # speed (CI boxes are too noisy for a speed assertion).
 FEDPKD_PERF_SCALE=smoke FEDPKD_PERF_OUT=target/bench_smoke.json \
     cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
+# Fleet-scale smoke: a 1000-client fleet with 64-client seeded cohorts must
+# replay bit-identically in both sync and bounded-staleness modes. The
+# committed 10k-client report is BENCH_pr6.json.
+FEDPKD_PERF_SCALE=fleet-smoke FEDPKD_PERF_OUT=target/bench_fleet_smoke.json \
+    cargo run --release -q -p fedpkd-bench --bin perf > /dev/null

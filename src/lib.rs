@@ -19,8 +19,8 @@
 //! # Quickstart
 //!
 //! ```
+//! use fedpkd::core::driver::Driver;
 //! use fedpkd::core::fedpkd::{FedPkd, FedPkdConfig};
-//! use fedpkd::core::runtime::FlAlgorithm;
 //! use fedpkd::data::{Partition, ScenarioBuilder, SyntheticConfig};
 //! use fedpkd::tensor::models::{DepthTier, ModelSpec};
 //!
@@ -51,7 +51,7 @@
 //! config.client_public_epochs = 1;
 //! config.server_epochs = 1;
 //! let mut algo = FedPkd::new(scenario, client_specs, server_spec, config, 7)?;
-//! let result = algo.run_silent(2);
+//! let result = Driver::rounds(2).run_silent(&mut algo);
 //! println!("server accuracy: {:?}", result.last().server_accuracy);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -74,17 +74,19 @@ pub mod prelude {
     pub use fedpkd_core::admission::{
         AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReason,
     };
+    pub use fedpkd_core::driver::{Driver, DriverBuilder};
     pub use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
+    pub use fedpkd_core::fleet::FleetSim;
     pub use fedpkd_core::robust::RobustAggregation;
     pub use fedpkd_core::runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
     pub use fedpkd_core::snapshot::{AlgorithmState, SnapshotError};
     pub use fedpkd_core::telemetry::{
-        EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryEvent,
+        EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryError, TelemetryEvent,
     };
     pub use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     pub use fedpkd_netsim::{
-        bytes_to_mb, Attack, Cohort, CommLedger, Direction, DropCause, FaultPlan, LinkModel,
-        Message, RoundContext,
+        bytes_to_mb, sample_cohort, Attack, Cohort, CohortPolicy, CommLedger, Direction, DropCause,
+        FaultPlan, LinkModel, Message, RoundContext,
     };
     pub use fedpkd_rng::Rng;
     pub use fedpkd_tensor::models::{DepthTier, ModelSpec};

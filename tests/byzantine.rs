@@ -67,7 +67,11 @@ fn garbage_payloads_are_rejected_not_fatal() {
         .with_adversary(0, Attack::NonFinitePayload)
         .with_adversary(1, Attack::WrongShapePayload);
     let mut log = EventLog::new();
-    let result = fedpkd(config()).run_with_faults(4, Some(&plan), &mut log);
+    let result = DriverBuilder::new()
+        .rounds(4)
+        .faults(plan)
+        .build()
+        .run(&mut fedpkd(config()), &mut log);
     assert_eq!(result.history.len(), 4, "all rounds must complete");
 
     let rejections: Vec<(usize, usize, RejectReason)> = log
@@ -138,7 +142,11 @@ fn disabled_admission_degrades_gracefully_under_nan() {
         },
         ..config()
     };
-    let result = fedpkd(cfg).run_silent_with_faults(2, &plan);
+    let result = DriverBuilder::new()
+        .rounds(2)
+        .faults(plan)
+        .build()
+        .run_silent(&mut fedpkd(cfg));
     assert_eq!(result.history.len(), 2, "all rounds must complete");
 }
 
@@ -155,7 +163,11 @@ fn quantized_channel_survives_nan_adversary() {
         quantize_knowledge: true,
         ..config()
     };
-    let result = fedpkd(cfg).run_silent_with_faults(3, &plan);
+    let result = DriverBuilder::new()
+        .rounds(3)
+        .faults(plan)
+        .build()
+        .run_silent(&mut fedpkd(cfg));
     assert_eq!(result.history.len(), 3, "all rounds must complete");
 }
 
@@ -167,8 +179,9 @@ fn byzantine_runs_replay_bit_identically() {
         .with_adversary(1, Attack::PrototypeNoise(2.0))
         .with_adversary(4, Attack::LogitScale(-8.0))
         .with_dropout(0.2);
-    let a = fedpkd(config()).run_silent_with_faults(3, &plan);
-    let b = fedpkd(config()).run_silent_with_faults(3, &plan);
+    let mut driver = DriverBuilder::new().rounds(3).faults(plan).build();
+    let a = driver.run_silent(&mut fedpkd(config()));
+    let b = driver.run_silent(&mut fedpkd(config()));
     assert_eq!(a, b, "adversarial runs must replay exactly");
 }
 
@@ -182,14 +195,15 @@ fn byzantine_runs_replay_bit_identically() {
 fn trimming_beats_variance_weighting_under_label_flip() {
     let plan = FaultPlan::new(13).with_adversary(2, Attack::LogitLabelFlip);
 
-    let undefended = fedpkd(config()).run_silent_with_faults(3, &plan);
+    let mut driver = DriverBuilder::new().rounds(3).faults(plan).build();
+    let undefended = driver.run_silent(&mut fedpkd(config()));
     let defended_cfg = FedPkdConfig {
         robust: RobustAggregation::Trimmed {
             trim_fraction: 0.25,
         },
         ..config()
     };
-    let defended = fedpkd(defended_cfg).run_silent_with_faults(3, &plan);
+    let defended = driver.run_silent(&mut fedpkd(defended_cfg));
 
     let undefended_acc = undefended.best_server_accuracy().unwrap();
     let defended_acc = defended.best_server_accuracy().unwrap();
@@ -205,7 +219,7 @@ fn trimming_beats_variance_weighting_under_label_flip() {
 /// passes every check.
 #[test]
 fn admission_is_bit_transparent_on_clean_runs() {
-    let enabled = fedpkd(config()).run_silent(2);
+    let enabled = Driver::rounds(2).run_silent(&mut fedpkd(config()));
     let disabled_cfg = FedPkdConfig {
         admission: AdmissionPolicy {
             enabled: false,
@@ -213,7 +227,7 @@ fn admission_is_bit_transparent_on_clean_runs() {
         },
         ..config()
     };
-    let disabled = fedpkd(disabled_cfg).run_silent(2);
+    let disabled = Driver::rounds(2).run_silent(&mut fedpkd(disabled_cfg));
     assert_eq!(enabled, disabled, "admission must not perturb clean runs");
 }
 
@@ -222,14 +236,14 @@ fn admission_is_bit_transparent_on_clean_runs() {
 /// barely moves an all-honest ensemble.
 #[test]
 fn defended_clean_run_matches_paper_faithful_within_noise() {
-    let faithful = fedpkd(config()).run_silent(3);
+    let faithful = Driver::rounds(3).run_silent(&mut fedpkd(config()));
     let defended_cfg = FedPkdConfig {
         robust: RobustAggregation::Trimmed {
             trim_fraction: 0.25,
         },
         ..config()
     };
-    let defended = fedpkd(defended_cfg).run_silent(3);
+    let defended = Driver::rounds(3).run_silent(&mut fedpkd(defended_cfg));
 
     let faithful_acc = faithful.best_server_accuracy().unwrap();
     let defended_acc = defended.best_server_accuracy().unwrap();

@@ -86,16 +86,25 @@ fn normalized(events: &[TelemetryEvent], from_round: usize) -> Vec<TelemetryEven
         .collect()
 }
 
+/// A driver for `rounds` rounds under an optional fault plan.
+fn driver(rounds: usize, plan: Option<&FaultPlan>) -> Driver {
+    let mut builder = DriverBuilder::new().rounds(rounds);
+    if let Some(plan) = plan {
+        builder = builder.faults(plan.clone());
+    }
+    builder.build()
+}
+
 /// The oracle: straight `2R`-round run vs. `R` rounds + snapshot (through
 /// the byte codec) + fresh instance + `R` resumed rounds.
-fn assert_resumes_bit_identically<A: FlAlgorithm>(make: impl Fn() -> A, plan: Option<&FaultPlan>) {
+fn assert_resumes_bit_identically<A: Federation>(make: impl Fn() -> A, plan: Option<&FaultPlan>) {
     let mut full_log = EventLog::new();
-    let full = make().run_with_faults(2 * R, plan, &mut full_log);
+    let full = driver(2 * R, plan).run(&mut make(), &mut full_log);
 
     let mut interrupted_log = EventLog::new();
     let mut first_half = make();
-    let _ = first_half.run_with_faults(R, plan, &mut interrupted_log);
-    let state = first_half.take_snapshot(&mut interrupted_log);
+    let _ = driver(R, plan).run(&mut first_half, &mut interrupted_log);
+    let state = Driver::snapshot(&first_half, &mut interrupted_log);
     drop(first_half); // the "kill" — only the serialized bytes survive
 
     let bytes = state.to_bytes();
@@ -103,8 +112,8 @@ fn assert_resumes_bit_identically<A: FlAlgorithm>(make: impl Fn() -> A, plan: Op
 
     let mut resumed_log = EventLog::new();
     let mut resumed_algo = make();
-    let resumed = resumed_algo
-        .run_resumed(&state, R, plan, &mut resumed_log)
+    let resumed = driver(R, plan)
+        .resume(&mut resumed_algo, &state, &mut resumed_log)
         .expect("restore into a same-config instance succeeds");
 
     assert_eq!(
@@ -240,7 +249,7 @@ fn fedet_resumes_bit_identically_under_hostile_faults() {
 #[test]
 fn every_truncation_of_a_real_snapshot_is_a_typed_error() {
     let mut algo = fedpkd();
-    let _ = algo.run_silent(1);
+    let _ = Driver::rounds(1).run_silent(&mut algo);
     let bytes = algo.snapshot_state().to_bytes();
     // Stride through prefixes (byte-by-byte would be slow on a model-sized
     // payload); every one must fail cleanly.
@@ -259,7 +268,7 @@ fn every_truncation_of_a_real_snapshot_is_a_typed_error() {
 #[test]
 fn bit_flips_in_a_real_snapshot_are_detected() {
     let mut algo = fedpkd();
-    let _ = algo.run_silent(1);
+    let _ = Driver::rounds(1).run_silent(&mut algo);
     let bytes = algo.snapshot_state().to_bytes();
     for pos in [4, bytes.len() / 2, bytes.len() - 1] {
         let mut corrupt = bytes.clone();
@@ -284,7 +293,7 @@ fn bit_flips_in_a_real_snapshot_are_detected() {
 #[test]
 fn corrupt_payload_restores_as_typed_error_not_panic() {
     let mut algo = fedpkd();
-    let _ = algo.run_silent(1);
+    let _ = Driver::rounds(1).run_silent(&mut algo);
     let good = algo.snapshot_state();
     // Truncate the *payload* (then re-frame it correctly), so the envelope
     // decodes fine and the per-field readers must catch the damage.
@@ -301,7 +310,7 @@ fn corrupt_payload_restores_as_typed_error_not_panic() {
 #[test]
 fn foreign_snapshot_is_rejected_by_name() {
     let mut donor = FedAvg::new(scenario(), client_spec(), baseline_config(), 61).unwrap();
-    let _ = donor.run_silent(1);
+    let _ = Driver::rounds(1).run_silent(&mut donor);
     let state = donor.snapshot_state();
     let mut victim = fedpkd();
     match victim.restore_state(&state) {
@@ -316,7 +325,7 @@ fn foreign_snapshot_is_rejected_by_name() {
 #[test]
 fn wrong_fleet_size_is_rejected_as_malformed() {
     let mut donor = fedpkd();
-    let _ = donor.run_silent(1);
+    let _ = Driver::rounds(1).run_silent(&mut donor);
     let state = donor.snapshot_state();
     // Same algorithm, different client count.
     let small = ScenarioBuilder::new(SyntheticConfig::cifar10_like())

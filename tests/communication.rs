@@ -37,10 +37,10 @@ fn kd_methods_are_cheaper_per_round_than_parameter_methods() {
     // The motivating comparison of Fig. 3: with a modest public set, logit
     // traffic is far below parameter traffic.
     let mut avg = FedAvg::new(scenario(1), spec(DepthTier::T20), fast(), 5).unwrap();
-    let avg_bytes = avg.run_silent(1).ledger.total_bytes();
+    let avg_bytes = Driver::rounds(1).run_silent(&mut avg).ledger.total_bytes();
 
     let mut md = FedMd::new(scenario(1), vec![spec(DepthTier::T20); 3], fast(), 5).unwrap();
-    let md_bytes = md.run_silent(1).ledger.total_bytes();
+    let md_bytes = Driver::rounds(1).run_silent(&mut md).ledger.total_bytes();
 
     assert!(
         md_bytes * 5 < avg_bytes,
@@ -63,9 +63,9 @@ fn fedpkd_round_is_cheaper_than_fedavg_round() {
         5,
     )
     .unwrap();
-    let pkd_bytes = pkd.run_silent(1).ledger.total_bytes();
+    let pkd_bytes = Driver::rounds(1).run_silent(&mut pkd).ledger.total_bytes();
     let mut avg = FedAvg::new(scenario(2), spec(DepthTier::T20), fast(), 5).unwrap();
-    let avg_bytes = avg.run_silent(1).ledger.total_bytes();
+    let avg_bytes = Driver::rounds(1).run_silent(&mut avg).ledger.total_bytes();
     assert!(
         pkd_bytes < avg_bytes,
         "FedPKD {pkd_bytes} per-round bytes should undercut FedAvg {avg_bytes}"
@@ -84,7 +84,7 @@ fn logit_traffic_scales_with_public_size() {
             .build()
             .unwrap();
         let mut md = FedMd::new(s, vec![spec(DepthTier::T11); 3], fast(), 5).unwrap();
-        md.run_silent(1).ledger.total_bytes()
+        Driver::rounds(1).run_silent(&mut md).ledger.total_bytes()
     };
     let small = run(100);
     let large = run(300);
@@ -108,7 +108,7 @@ fn ledger_round_sums_match_total() {
         7,
     )
     .unwrap();
-    let result = pkd.run_silent(3);
+    let result = Driver::rounds(3).run_silent(&mut pkd);
     let per_round: usize = (0..3).map(|r| result.ledger.round_traffic(r).total()).sum();
     assert_eq!(per_round, result.ledger.total_bytes());
     let per_client: usize = (0..3).map(|c| result.ledger.client_bytes(c)).sum();

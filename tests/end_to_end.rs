@@ -55,7 +55,7 @@ fn fast_pkd() -> FedPkdConfig {
 
 /// Runs two rounds and asserts the invariants every federation must hold.
 fn smoke<F: Federation>(mut algo: F, expect_server_model: bool) -> RunResult {
-    let result = algo.run_silent(2);
+    let result = Driver::rounds(2).run_silent(&mut algo);
     assert_eq!(result.history.len(), 2);
     for metrics in &result.history {
         assert_eq!(metrics.client_accuracies.len(), 3);
@@ -154,7 +154,7 @@ fn whole_stack_is_deterministic() {
             seed,
         )
         .unwrap();
-        let result = algo.run_silent(2);
+        let result = Driver::rounds(2).run_silent(&mut algo);
         (
             result.last().server_accuracy,
             result.last().client_accuracies.clone(),
@@ -180,14 +180,14 @@ fn all_methods_beat_chance_on_a_mild_partition() {
         SEED,
     )
     .unwrap();
-    let r = pkd.run_silent(rounds);
+    let r = Driver::rounds(rounds).run_silent(&mut pkd);
     assert!(r.best_server_accuracy().unwrap() > 2.0 * chance, "FedPKD");
 
     let mut avg = FedAvg::new(scenario(10), server_spec(), fast_baseline(), SEED).unwrap();
-    let r = avg.run_silent(rounds);
+    let r = Driver::rounds(rounds).run_silent(&mut avg);
     assert!(r.best_server_accuracy().unwrap() > 2.0 * chance, "FedAvg");
 
     let mut md = FedMd::new(scenario(10), vec![client_spec(); 3], fast_baseline(), SEED).unwrap();
-    let r = md.run_silent(rounds);
+    let r = Driver::rounds(rounds).run_silent(&mut md);
     assert!(r.best_client_accuracy() > 2.0 * chance, "FedMD");
 }

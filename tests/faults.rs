@@ -46,8 +46,9 @@ fn fedpkd() -> FedPkd {
 #[test]
 fn same_seed_and_plan_replays_bit_identically() {
     let plan = FaultPlan::new(77).with_dropout(0.3);
-    let a = fedpkd().run_silent_with_faults(3, &plan);
-    let b = fedpkd().run_silent_with_faults(3, &plan);
+    let mut driver = DriverBuilder::new().rounds(3).faults(plan).build();
+    let a = driver.run_silent(&mut fedpkd());
+    let b = driver.run_silent(&mut fedpkd());
     assert_eq!(a, b, "fault-injected runs must replay exactly");
 }
 
@@ -58,11 +59,15 @@ fn same_seed_and_plan_replays_bit_identically() {
 #[test]
 fn fedpkd_improves_under_dropout_with_fewer_bytes() {
     let rounds = 3;
-    let clean = fedpkd().run_silent(rounds);
+    let clean = Driver::rounds(rounds).run_silent(&mut fedpkd());
 
     let plan = FaultPlan::new(21).with_dropout(0.3);
     let mut log = EventLog::new();
-    let faulty = fedpkd().run_with_faults(rounds, Some(&plan), &mut log);
+    let faulty = DriverBuilder::new()
+        .rounds(rounds)
+        .faults(plan)
+        .build()
+        .run(&mut fedpkd(), &mut log);
 
     // The chosen plan seed actually drops someone (otherwise the test
     // would vacuously pass); fault evaluation is deterministic, so this is
@@ -103,7 +108,11 @@ fn zero_survivor_round_completes_without_panicking() {
         .with_outage(1, 1, 1)
         .with_outage(2, 1, 1);
     let mut log = EventLog::new();
-    let result = fedpkd().run_with_faults(3, Some(&plan), &mut log);
+    let result = DriverBuilder::new()
+        .rounds(3)
+        .faults(plan)
+        .build()
+        .run(&mut fedpkd(), &mut log);
 
     assert_eq!(result.history.len(), 3, "all rounds must complete");
     assert_eq!(result.history[1].participation_rate, 0.0);
@@ -135,11 +144,11 @@ fn zero_survivor_round_completes_without_panicking() {
 #[test]
 fn second_run_continues_rounds_and_ledger() {
     let mut algo = fedpkd();
-    let first = algo.run_silent(1);
+    let first = Driver::rounds(1).run_silent(&mut algo);
     assert_eq!(first.history[0].round, 0);
     let first_bytes = first.ledger.total_bytes();
 
-    let second = algo.run_silent(1);
+    let second = Driver::rounds(1).run_silent(&mut algo);
     assert_eq!(
         second.history[0].round, 1,
         "second run must pick up at round 1"
@@ -177,7 +186,11 @@ fn deadline_drops_slow_clients_after_first_upload() {
     let plan = FaultPlan::new(1)
         .with_deadline(link, 1.0)
         .with_slowdown(2, 4.0);
-    let result = algo.run_silent_with_faults(3, &plan);
+    let result = DriverBuilder::new()
+        .rounds(3)
+        .faults(plan)
+        .build()
+        .run_silent(&mut algo);
 
     assert_eq!(result.history[0].participation_rate, 1.0);
     assert_eq!(result.history[1].participation_rate, 0.0);

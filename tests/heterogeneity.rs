@@ -103,7 +103,7 @@ fn fedpkd_trains_a_strictly_larger_server() {
         9,
     )
     .unwrap();
-    let result = algo.run_silent(3);
+    let result = Driver::rounds(3).run_silent(&mut algo);
     let acc = result.best_server_accuracy().unwrap();
     assert!(acc > 0.2, "heterogeneous FedPKD server accuracy {acc}");
 }

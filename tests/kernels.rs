@@ -2,11 +2,11 @@
 //! same history under the scalar reference kernels and the tiled/parallel
 //! fast kernels.
 //!
-//! This test lives in its own integration binary because the kernel mode is
-//! a process-global switch; here nothing else races on it.
+//! This test lives in its own integration binary so nothing else runs
+//! concurrently while the scoped kernel-mode override is held.
 
 use fedpkd::prelude::*;
-use fedpkd::tensor::{set_kernel_mode, KernelMode};
+use fedpkd::tensor::KernelMode;
 
 fn scenario(seed: u64) -> fedpkd::data::FederatedScenario {
     ScenarioBuilder::new(SyntheticConfig::cifar10_like())
@@ -39,7 +39,7 @@ fn run_fedpkd(seed: u64) -> RunResult {
         ..FedPkdConfig::default()
     };
     let mut algo = FedPkd::new(scenario(11), vec![client; 3], server, config, seed).unwrap();
-    algo.run_silent(2)
+    Driver::rounds(2).run_silent(&mut algo)
 }
 
 /// The fast kernel tier (register tiling, fused epilogues, packed transposed
@@ -49,10 +49,14 @@ fn run_fedpkd(seed: u64) -> RunResult {
 /// drift in any forward or backward pass fails this test.
 #[test]
 fn scalar_and_fast_kernels_produce_identical_runs() {
-    set_kernel_mode(KernelMode::Scalar);
-    let scalar_run = run_fedpkd(77);
-    set_kernel_mode(KernelMode::Fast);
-    let fast_run = run_fedpkd(77);
+    let scalar_run = {
+        let _scalar = KernelMode::scoped(KernelMode::Scalar);
+        run_fedpkd(77)
+    };
+    let fast_run = {
+        let _fast = KernelMode::scoped(KernelMode::Fast);
+        run_fedpkd(77)
+    };
     assert_eq!(
         scalar_run.history, fast_run.history,
         "kernel tiers diverged: per-round metrics differ"

@@ -47,15 +47,15 @@ fn fedpkd() -> FedPkd {
 /// is disabled, streamed to JSONL, or collected in memory.
 #[test]
 fn observers_do_not_change_results() {
-    let silent = fedpkd().run_silent(ROUNDS);
+    let silent = Driver::rounds(ROUNDS).run_silent(&mut fedpkd());
 
     let mut sink = JsonlSink::new(Vec::new());
-    let streamed = fedpkd().run(ROUNDS, &mut sink);
+    let streamed = Driver::rounds(ROUNDS).run(&mut fedpkd(), &mut sink);
     assert!(sink.error().is_none());
     assert_eq!(silent, streamed, "JsonlSink must not perturb the run");
 
     let mut log = EventLog::new();
-    let logged = fedpkd().run(ROUNDS, &mut log);
+    let logged = Driver::rounds(ROUNDS).run(&mut fedpkd(), &mut log);
     assert_eq!(silent, logged, "EventLog must not perturb the run");
     assert!(!log.events().is_empty());
 }
@@ -67,7 +67,7 @@ fn observers_do_not_change_results() {
 #[test]
 fn fedpkd_jsonl_trace_has_expected_shape() {
     let mut sink = JsonlSink::new(Vec::new());
-    fedpkd().run(ROUNDS, &mut sink);
+    Driver::rounds(ROUNDS).run(&mut fedpkd(), &mut sink);
     let bytes = sink.into_inner().expect("in-memory writer cannot fail");
     let text = String::from_utf8(bytes).expect("trace is UTF-8");
     let lines: Vec<&str> = text.lines().collect();
@@ -181,7 +181,7 @@ fn fedpkd_jsonl_trace_has_expected_shape() {
 #[test]
 fn event_stream_is_round_framed() {
     let mut log = EventLog::new();
-    fedpkd().run(ROUNDS, &mut log);
+    Driver::rounds(ROUNDS).run(&mut fedpkd(), &mut log);
 
     let mut open: Option<usize> = None;
     let mut rounds_seen = 0;
