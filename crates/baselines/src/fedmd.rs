@@ -10,7 +10,7 @@ use fedpkd_core::eval;
 use fedpkd_core::fedpkd::logits::aggregation_stats;
 use fedpkd_core::fedpkd::CoreError;
 use fedpkd_core::runtime::{DriverState, Federation};
-use fedpkd_core::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
+use fedpkd_core::snapshot::{self, SnapshotError, StateSink, StateSource};
 use fedpkd_core::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use fedpkd_core::train::{train_distill, train_supervised, TrainStats};
 use fedpkd_data::FederatedScenario;
@@ -219,20 +219,14 @@ impl Federation for FedMd {
         client_accuracies(&mut self.state.clients, &self.scenario)
     }
 
-    fn snapshot(&self) -> AlgorithmState {
-        let mut w = SnapshotWriter::new();
-        snapshot::write_clients(&mut w, &self.state.clients);
-        snapshot::write_driver(&mut w, &self.state.driver);
-        AlgorithmState::new(Federation::name(self), w.into_bytes())
+    fn write_state(&self, w: &mut dyn StateSink) {
+        snapshot::write_clients(w, &self.state.clients);
+        snapshot::write_driver(w, &self.state.driver);
     }
 
-    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
-        snapshot::check_algorithm(state, Federation::name(self))?;
-        let mut r = SnapshotReader::new(state.payload());
-        snapshot::read_clients(&mut r, &mut self.state.clients)?;
-        let driver = snapshot::read_driver(&mut r)?;
-        r.finish()?;
-        self.state.driver = driver;
+    fn read_state(&mut self, r: &mut dyn StateSource) -> Result<(), SnapshotError> {
+        snapshot::read_clients(r, &mut self.state.clients)?;
+        self.state.driver = snapshot::read_driver(r)?;
         Ok(())
     }
 }

@@ -8,9 +8,14 @@
 //!   drives a [`FleetSim`] of 10 000 clients through the event-driven
 //!   driver — 256-client seeded cohorts, streaming aggregation, and a
 //!   bounded-staleness pass — measuring rounds/sec, peak RSS, and
-//!   bytes/round, and writes `BENCH_pr6.json`. Both the synchronous and
+//!   bytes/round, and writes `BENCH_pr7.json`. Both the synchronous and
 //!   the bounded-staleness runs must replay bit-identically across worker
-//!   budgets or the binary exits non-zero.
+//!   budgets or the binary exits non-zero. The fleet report also carries a
+//!   copy-on-write residency probe: a model-backed fleet of the same size
+//!   is priced both ways — every client owning dense state versus a
+//!   [`ClientPool`] where only the active cohort's deltas are resident —
+//!   and `peak_rss_per_client` is the pooled bytes amortized per fleet
+//!   client.
 //!
 //! Usage: `cargo run --release -p fedpkd-bench --bin perf`
 //!
@@ -19,7 +24,7 @@
 //!   the Fig. 7 heterogeneous quick profile (`FEDPKD_SCALE` still selects
 //!   `quick` vs `paper` for the default path).
 //! - `FEDPKD_PERF_OUT` — output path (default `BENCH_pr5.json`, or
-//!   `BENCH_pr6.json` for the fleet scenarios).
+//!   `BENCH_pr7.json` for the fleet scenarios).
 //! - `FEDPKD_PERF_REPS` — repetitions per kernel tier (default 1). Each
 //!   repetition must be bit-identical to the first; per-phase wall-clock
 //!   is the minimum across repetitions, applied symmetrically to both
@@ -31,12 +36,15 @@
 //! a report field.
 
 use fedpkd_bench::{run_method_observed, Method, Scale, Setting, Task};
+use fedpkd_core::clients::build_clients;
 use fedpkd_core::driver::DriverBuilder;
 use fedpkd_core::fedpkd::FedPkdConfig;
 use fedpkd_core::fleet::FleetSim;
 use fedpkd_core::runtime::RunResult;
 use fedpkd_core::telemetry::{EventLog, Phase, TelemetryEvent};
+use fedpkd_core::{ClientPool, ParkedClient};
 use fedpkd_netsim::{CohortPolicy, FaultPlan, LinkModel};
+use fedpkd_tensor::models::{DepthTier, ModelSpec};
 use fedpkd_tensor::KernelMode;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -158,6 +166,58 @@ fn peak_rss_bytes() -> usize {
         .unwrap_or(0)
 }
 
+/// What a model-backed fleet costs to keep resident, priced both ways.
+struct CowProbe {
+    /// Exact bytes if every fleet client owned dense params + moments.
+    owned_fleet_bytes: usize,
+    /// Exact bytes with a [`ClientPool`]: shared templates plus one parked
+    /// delta per active-cohort client.
+    pooled_fleet_bytes: usize,
+}
+
+/// Prices a heterogeneous model-backed fleet (T11/T20/T29 tiers, round-robin)
+/// under the dense layout — every client owning its params and Adam moments —
+/// and under the copy-on-write pool, where the fleet shares three immutable
+/// templates and only the `cohort` clients of the active round hold a parked
+/// delta. Byte counts come from the structures themselves, not from RSS
+/// sampling, so the probe is deterministic and allocator-independent.
+fn cow_residency_probe(fleet: usize, cohort: usize) -> CowProbe {
+    const LR: f32 = 0.003;
+    let tiers = [DepthTier::T11, DepthTier::T20, DepthTier::T29];
+    let spec_of = |tier| ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier,
+    };
+
+    // Dense baseline: park one freshly built client per tier to get its
+    // exact resident payload (state vector + optimizer moments), then
+    // charge every fleet client its tier's price.
+    let per_tier: Vec<usize> = tiers
+        .iter()
+        .map(|&tier| {
+            let mut sample = build_clients(&[spec_of(tier)], LR, SEED);
+            ParkedClient::park(sample.pop().expect("one client")).resident_bytes()
+        })
+        .collect();
+    let owned_fleet_bytes = (0..fleet).map(|i| per_tier[i % tiers.len()]).sum();
+
+    // Pooled layout: the same fleet collapses to three templates; simulate
+    // a round at peak residency by parking a full cohort of deltas.
+    let specs: Vec<ModelSpec> = (0..fleet)
+        .map(|i| spec_of(tiers[i % tiers.len()]))
+        .collect();
+    let mut pool = ClientPool::new(&specs, LR, SEED);
+    for i in 0..cohort.min(fleet) {
+        let client = pool.materialize(i);
+        pool.park(i, client);
+    }
+    CowProbe {
+        owned_fleet_bytes,
+        pooled_fleet_bytes: pool.resident_bytes(),
+    }
+}
+
 /// The fleet-scale scenario: a seeded cohort of `cohort` clients per round
 /// drawn from `fleet`, prototypes folded streamingly, over `rounds` rounds.
 /// Exits non-zero unless both the synchronous and the bounded-staleness
@@ -209,7 +269,16 @@ fn fleet_main(fleet: usize, cohort: usize, rounds: usize, profile: &str) {
         rounds as f64 / stale_seconds
     );
 
+    // Capture the fleet-replay peak before the residency probe allocates,
+    // so `peak_rss_bytes` prices the driver runs alone.
     let peak_rss = peak_rss_bytes();
+    let probe = cow_residency_probe(fleet, cohort);
+    let peak_rss_per_client = probe.pooled_fleet_bytes.div_ceil(fleet.max(1));
+    let cow_reduction = probe.owned_fleet_bytes as f64 / probe.pooled_fleet_bytes.max(1) as f64;
+    eprintln!(
+        "perf: cow probe — owned fleet {} bytes, pooled fleet {} bytes ({cow_reduction:.1}x), {peak_rss_per_client} bytes/client",
+        probe.owned_fleet_bytes, probe.pooled_fleet_bytes
+    );
     let server_state_bytes = std::mem::size_of_val(sync_sim.centroids());
     let json = format!(
         concat!(
@@ -226,7 +295,11 @@ fn fleet_main(fleet: usize, cohort: usize, rounds: usize, profile: &str) {
             "  \"staleness_2\": {{\"seconds\": {stale_seconds:.4}, \"rounds_per_sec\": {stale_rps:.2}, ",
             "\"bytes_per_round\": {stale_bpr}, \"replay_identical\": {stale_identical}}},\n",
             "  \"server_state_bytes\": {server_state_bytes},\n",
-            "  \"peak_rss_bytes\": {peak_rss}\n",
+            "  \"peak_rss_bytes\": {peak_rss},\n",
+            "  \"peak_rss_per_client\": {peak_rss_per_client},\n",
+            "  \"cow\": {{\"model_fleet\": {fleet}, \"active_cohort\": {active_cohort}, ",
+            "\"owned_fleet_bytes\": {owned_fleet_bytes}, \"pooled_fleet_bytes\": {pooled_fleet_bytes}, ",
+            "\"reduction\": {cow_reduction:.1}}}\n",
             "}}\n",
         ),
         profile = profile,
@@ -246,8 +319,13 @@ fn fleet_main(fleet: usize, cohort: usize, rounds: usize, profile: &str) {
         stale_identical = stale_identical,
         server_state_bytes = server_state_bytes,
         peak_rss = peak_rss,
+        peak_rss_per_client = peak_rss_per_client,
+        active_cohort = cohort.min(fleet),
+        owned_fleet_bytes = probe.owned_fleet_bytes,
+        pooled_fleet_bytes = probe.pooled_fleet_bytes,
+        cow_reduction = cow_reduction,
     );
-    let out = std::env::var("FEDPKD_PERF_OUT").unwrap_or_else(|_| "BENCH_pr6.json".into());
+    let out = std::env::var("FEDPKD_PERF_OUT").unwrap_or_else(|_| "BENCH_pr7.json".into());
     std::fs::write(&out, &json).expect("write benchmark report");
     println!("{json}");
     eprintln!("perf: report written to {out}");

@@ -1,0 +1,771 @@
+//! Copy-on-write client storage for fleet-scale federations.
+//!
+//! A 10k-client fleet holds 10k models in [`Vec<ClientState>`] form even
+//! though a sampled cohort only ever trains a few hundred of them. This
+//! module replaces that eager fleet with a [`ClientPool`]:
+//!
+//! - **Templates.** Client architectures collapse to one immutable
+//!   [`Template`] per distinct [`ModelSpec`] (capacity tier). A template
+//!   owns no weights — initial parameters are a pure function of
+//!   `(seed, client)` via the repo-wide stream convention
+//!   (`Rng::stream(seed, 1 + i)`), so they are rematerialized on demand
+//!   instead of stored.
+//! - **Copy-on-write slots.** Every client starts [`ClientSlot::Fresh`]:
+//!   zero resident bytes. The first time it trains it diverges from its
+//!   template and parks as a private delta ([`ParkedClient`]): the flat
+//!   state vector, Adam step count and moments, and the RNG position —
+//!   no layer activations, gradients, or scratch.
+//! - **Materialize → train → park.** [`for_each_pooled_client_streaming`]
+//!   materializes a live [`ClientState`] inside the worker task, runs the
+//!   caller's training closure, and parks the delta before the ordered
+//!   commit — so full models exist only for clients that are actually on
+//!   a worker, and resident state is O(clients ever trained), not
+//!   O(fleet), with the per-client footprint shrunk to the delta.
+//!
+//! The pool is bit-compatible with the owned path: materializing a fresh
+//! slot replays `build_clients`' construction exactly, and park/unpark
+//! round-trips parameters, optimizer moments, and RNG words without any
+//! re-encoding. [`write_pool`] emits the same
+//! bytes as [`write_clients`](crate::snapshot::write_clients) would for
+//! the equivalent owned fleet, so pooled and owned snapshots are
+//! interchangeable.
+
+use crate::clients::ClientState;
+use crate::eval;
+use crate::snapshot::{self, SnapshotError, StateSink, StateSource};
+use fedpkd_data::{ClientData, FederatedScenario};
+use fedpkd_rng::Rng;
+use fedpkd_tensor::models::ModelSpec;
+use fedpkd_tensor::optim::Adam;
+use fedpkd_tensor::parallel::{dispatch_chunked, dispatch_stealing, StealStats};
+use fedpkd_tensor::serialize::{load_state_vector, state_vector};
+use std::sync::OnceLock;
+
+/// One immutable model blueprint shared by every client of a capacity
+/// tier. Holds the spec plus lazily computed metadata (the state-vector
+/// length), never any weights.
+#[derive(Debug)]
+pub struct Template {
+    spec: ModelSpec,
+    state_len: OnceLock<usize>,
+}
+
+impl Template {
+    fn new(spec: ModelSpec) -> Self {
+        Self {
+            spec,
+            state_len: OnceLock::new(),
+        }
+    }
+
+    /// The architecture this template stamps out.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The length of the flat state vector of a model built from this
+    /// template. Computed once per tier by building (and immediately
+    /// dropping) a throwaway model.
+    pub fn state_len(&self) -> usize {
+        *self.state_len.get_or_init(|| {
+            // The weights are discarded, so any deterministic stream works.
+            let mut rng = Rng::stream(0, u64::MAX);
+            state_vector(&self.spec.build(&mut rng)).len()
+        })
+    }
+}
+
+/// The private delta a trained client parks between rounds: everything
+/// that diverged from its template, flattened. No activations, no
+/// gradient buffers, no layer scratch.
+#[derive(Debug, Clone)]
+pub struct ParkedClient {
+    /// Flat model state (parameters + persistent buffers) in
+    /// `serialize::state_vector` order.
+    state: Vec<f32>,
+    /// Optimizer learning rate (parked verbatim so a per-client override
+    /// survives the round trip).
+    opt_lr: f32,
+    /// Optimizer step count.
+    opt_t: u64,
+    /// First-moment buffers, one per parameter tensor.
+    opt_m: Vec<fedpkd_tensor::Tensor>,
+    /// Second-moment buffers, paired with `opt_m`.
+    opt_v: Vec<fedpkd_tensor::Tensor>,
+    /// The client's RNG position (raw xoshiro words).
+    rng: [u64; 4],
+}
+
+impl ParkedClient {
+    /// Flattens a live client into its parked delta, consuming it. The
+    /// optimizer moments are moved, not copied.
+    pub fn park(client: ClientState) -> Self {
+        let state = state_vector(&client.model);
+        let (opt_lr, opt_t, opt_m, opt_v) = client.optimizer.into_state();
+        Self {
+            state,
+            opt_lr,
+            opt_t,
+            opt_m,
+            opt_v,
+            rng: client.rng.state(),
+        }
+    }
+
+    /// Rebuilds the live client this delta was parked from, consuming the
+    /// delta. Bit-exact: parameters, moments, step count, and RNG words
+    /// all round-trip unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` does not match the architecture the delta was
+    /// parked from (the pool's template assignment guarantees it does).
+    pub fn unpark(self, spec: &ModelSpec) -> ClientState {
+        // The init draws are overwritten below; the stream only provides
+        // a structurally complete model to load into.
+        let mut scratch_rng = Rng::stream(0, u64::MAX);
+        let mut model = spec.build(&mut scratch_rng);
+        load_state_vector(&mut model, &self.state)
+            .expect("parked state matches its template's layout");
+        let mut optimizer = Adam::new(self.opt_lr);
+        optimizer.restore_state(self.opt_t, self.opt_m, self.opt_v);
+        ClientState {
+            model,
+            optimizer,
+            rng: Rng::from_state(self.rng),
+        }
+    }
+
+    /// Resident size of this delta in bytes (model state + both moment
+    /// buffers), for memory accounting.
+    pub fn resident_bytes(&self) -> usize {
+        let moments: usize = self
+            .opt_m
+            .iter()
+            .chain(&self.opt_v)
+            .map(|t| t.as_slice().len())
+            .sum();
+        (self.state.len() + moments) * std::mem::size_of::<f32>()
+    }
+}
+
+/// One client's storage state inside the pool.
+#[derive(Debug, Default)]
+pub enum ClientSlot {
+    /// Never trained: the client is exactly its template initialization,
+    /// a pure function of `(seed, client)`. Zero resident bytes.
+    #[default]
+    Fresh,
+    /// Trained at least once: the private delta is resident. Boxed so a
+    /// mostly-fresh fleet's slot vector stays one machine word per client.
+    Parked(Box<ParkedClient>),
+}
+
+/// A copy-on-write client fleet: shared templates, per-client slots.
+///
+/// Drop-in replacement for the `Vec<ClientState>` built by
+/// [`build_clients`](crate::clients::build_clients) — same construction
+/// convention, same determinism — but clients that never train cost
+/// nothing and clients that did cost only their flat delta.
+#[derive(Debug)]
+pub struct ClientPool {
+    templates: Vec<Template>,
+    /// Client index → index into `templates`.
+    assignment: Vec<u32>,
+    learning_rate: f32,
+    seed: u64,
+    slots: Vec<ClientSlot>,
+}
+
+impl ClientPool {
+    /// Builds a pool over `specs` with every slot fresh. Mirrors
+    /// [`build_clients`](crate::clients::build_clients): client `i`
+    /// materializes from `Rng::stream(seed, 1 + i)` with a fresh
+    /// `Adam::new(learning_rate)`.
+    pub fn new(specs: &[ModelSpec], learning_rate: f32, seed: u64) -> Self {
+        let mut templates: Vec<Template> = Vec::new();
+        let assignment = specs
+            .iter()
+            .map(|spec| {
+                let at = match templates.iter().position(|t| t.spec() == spec) {
+                    Some(at) => at,
+                    None => {
+                        templates.push(Template::new(spec.clone()));
+                        templates.len() - 1
+                    }
+                };
+                at as u32
+            })
+            .collect();
+        let mut slots = Vec::new();
+        slots.resize_with(specs.len(), ClientSlot::default);
+        Self {
+            templates,
+            assignment,
+            learning_rate,
+            seed,
+            slots,
+        }
+    }
+
+    /// Number of clients in the fleet.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Number of distinct capacity tiers the fleet collapsed to.
+    pub fn num_templates(&self) -> usize {
+        self.templates.len()
+    }
+
+    /// The template client `i` materializes from.
+    pub fn template_of(&self, i: usize) -> &Template {
+        &self.templates[self.assignment[i] as usize]
+    }
+
+    /// The slot for client `i`.
+    pub fn slot(&self, i: usize) -> &ClientSlot {
+        &self.slots[i]
+    }
+
+    /// Number of clients currently holding a resident delta.
+    pub fn resident_clients(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s, ClientSlot::Parked(_)))
+            .count()
+    }
+
+    /// Total bytes of resident client deltas.
+    pub fn resident_bytes(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| match s {
+                ClientSlot::Fresh => 0,
+                ClientSlot::Parked(p) => p.resident_bytes(),
+            })
+            .sum()
+    }
+
+    /// Materializes a live [`ClientState`] for client `i` without
+    /// disturbing its slot (a parked delta is cloned). Prefer
+    /// [`take`](Self::take)/[`park`](Self::park) (or the streaming
+    /// dispatch) on the training path; this is for inspection and tests.
+    pub fn materialize(&self, i: usize) -> ClientState {
+        match &self.slots[i] {
+            ClientSlot::Fresh => self.materialize_fresh(i),
+            ClientSlot::Parked(parked) => {
+                parked.as_ref().clone().unpark(self.template_of(i).spec())
+            }
+        }
+    }
+
+    /// Moves client `i`'s slot out of the pool, leaving it fresh. The
+    /// caller owns the slot until it parks a replacement.
+    pub fn take(&mut self, i: usize) -> ClientSlot {
+        std::mem::take(&mut self.slots[i])
+    }
+
+    /// Parks a live client back into slot `i` as its flattened delta.
+    pub fn park(&mut self, i: usize, client: ClientState) {
+        self.slots[i] = ClientSlot::Parked(Box::new(ParkedClient::park(client)));
+    }
+
+    /// Stores an already-parked slot back at `i`.
+    pub fn put(&mut self, i: usize, slot: ClientSlot) {
+        self.slots[i] = slot;
+    }
+
+    /// Releases client `i`'s delta, returning it to template
+    /// initialization. The freed memory is the point: a quarantined or
+    /// decommissioned client stops costing anything.
+    pub fn release(&mut self, i: usize) {
+        self.slots[i] = ClientSlot::Fresh;
+    }
+
+    fn materialize_fresh(&self, i: usize) -> ClientState {
+        let mut rng = Rng::stream(self.seed, 1 + i as u64);
+        let model = self.template_of(i).spec().build(&mut rng);
+        ClientState {
+            model,
+            optimizer: Adam::new(self.learning_rate),
+            rng,
+        }
+    }
+
+    /// Turns a slot the caller took out into a live client, consuming it.
+    fn slot_into_client(&self, i: usize, slot: ClientSlot) -> ClientState {
+        match slot {
+            ClientSlot::Fresh => self.materialize_fresh(i),
+            ClientSlot::Parked(parked) => parked.unpark(self.template_of(i).spec()),
+        }
+    }
+}
+
+/// Streams `task` over the rostered clients of a [`ClientPool`] on a
+/// bounded work-stealing pool of `workers` threads, committing results
+/// **in ascending client order** — the pooled twin of
+/// [`for_each_active_client_streaming`](crate::clients::for_each_active_client_streaming),
+/// with the same task/commit signatures so call sites swap over verbatim.
+///
+/// Each worker materializes its client from the slot (template replay for
+/// fresh, unpark for parked), runs `task`, and flattens the client back
+/// into a delta *on the worker* — serialization cost rides the parallel
+/// pool, and a full model is live only while its client occupies a
+/// worker. Unrostered clients are never touched (fresh ones stay at zero
+/// bytes). Determinism is inherited from the ordered commit point:
+/// results are bit-identical to a sequential loop for any `workers`.
+pub fn for_each_pooled_client_streaming<T: Send>(
+    pool: &mut ClientPool,
+    data: &[ClientData],
+    roster: &[usize],
+    workers: usize,
+    task: impl Fn(usize, &mut ClientState, &ClientData) -> T + Sync,
+    mut commit: impl FnMut(usize, T),
+) -> StealStats {
+    let mut member = vec![false; pool.len()];
+    for &client in roster {
+        if let Some(slot) = member.get_mut(client) {
+            *slot = true;
+        }
+    }
+    let items: Vec<(usize, ClientSlot, &ClientData)> = member
+        .iter()
+        .enumerate()
+        .filter(|&(_, &m)| m)
+        .map(|(i, _)| (i, std::mem::take(&mut pool.slots[i]), &data[i]))
+        .collect();
+    // Shared reference for the workers; slot writes happen only at the
+    // ordered commit point on the caller's thread.
+    let pool_ref: &ClientPool = pool;
+    let mut parked: Vec<(usize, ParkedClient)> = Vec::with_capacity(items.len());
+    let stats = dispatch_stealing(
+        items,
+        workers,
+        |_, (i, slot, data)| {
+            let mut client = pool_ref.slot_into_client(i, slot);
+            let out = task(i, &mut client, data);
+            (i, ParkedClient::park(client), out)
+        },
+        |_, (i, delta, out)| {
+            parked.push((i, delta));
+            commit(i, out);
+        },
+    );
+    for (i, delta) in parked {
+        pool.slots[i] = ClientSlot::Parked(Box::new(delta));
+    }
+    stats
+}
+
+/// Per-client local-test accuracies for a pooled fleet — the pooled twin
+/// of [`client_accuracies`](crate::clients::client_accuracies). Clients
+/// are materialized, evaluated, and dropped (evaluation only touches
+/// forward buffers, never parameters or RNG), so the fleet's residency is
+/// unchanged afterwards.
+pub fn pooled_client_accuracies(pool: &ClientPool, scenario: &FederatedScenario) -> Vec<f64> {
+    let items: Vec<usize> = (0..pool.len()).collect();
+    dispatch_chunked(items, |i| {
+        let mut client = pool.materialize(i);
+        eval::accuracy(&mut client.model, &scenario.clients[i].test)
+    })
+}
+
+/// Writes a pooled fleet in the exact byte layout of
+/// [`write_clients`](crate::snapshot::write_clients): count-prefixed, then
+/// per client model state, Adam state, RNG words. Fresh slots materialize
+/// ephemerally (one at a time) to produce their template-initialization
+/// bytes; snapshots of pooled and owned fleets are interchangeable.
+pub fn write_pool(w: &mut dyn StateSink, pool: &ClientPool) {
+    w.put_usize(pool.len());
+    for (i, slot) in pool.slots.iter().enumerate() {
+        match slot {
+            ClientSlot::Parked(p) => {
+                w.put_f32s(&p.state);
+                w.put_f32(p.opt_lr);
+                w.put_u64(p.opt_t);
+                w.put_usize(p.opt_m.len());
+                for t in p.opt_m.iter().chain(&p.opt_v) {
+                    snapshot::write_tensor(w, t);
+                }
+                for word in p.rng {
+                    w.put_u64(word);
+                }
+            }
+            ClientSlot::Fresh => {
+                let client = pool.materialize_fresh(i);
+                snapshot::write_client(w, &client);
+            }
+        }
+    }
+}
+
+/// Reads a fleet written by [`write_pool`] (or by
+/// [`write_clients`](crate::snapshot::write_clients) — the layouts are
+/// identical) into `pool`.
+///
+/// A client whose decoded state is exactly its template initialization —
+/// zero optimizer steps and the untouched `(seed, client)` init — is
+/// restored as [`ClientSlot::Fresh`], so restoring a mostly-fresh fleet
+/// reproduces its low residency instead of parking every client.
+///
+/// # Errors
+///
+/// [`SnapshotError::Malformed`] if the snapshot's client count or any
+/// client's state length disagrees with the pool, or on invalid
+/// optimizer/RNG payloads. The pool may be partially overwritten on
+/// error.
+pub fn read_pool(r: &mut dyn StateSource, pool: &mut ClientPool) -> Result<(), SnapshotError> {
+    let count = r.take_usize()?;
+    if count != pool.len() {
+        return Err(SnapshotError::Malformed(format!(
+            "snapshot has {count} clients, pool has {}",
+            pool.len()
+        )));
+    }
+    for i in 0..count {
+        let state = r.take_f32s()?;
+        let expected = pool.template_of(i).state_len();
+        if state.len() != expected {
+            return Err(SnapshotError::Malformed(format!(
+                "snapshot client {i} carries {} state values, template needs {expected}",
+                state.len()
+            )));
+        }
+        let opt_lr = r.take_f32()?;
+        if !(opt_lr.is_finite() && opt_lr > 0.0) {
+            return Err(SnapshotError::Malformed(format!(
+                "bad learning rate {opt_lr}"
+            )));
+        }
+        let opt_t = r.take_u64()?;
+        let moment_count = r.take_usize()?;
+        let read_moments = |r: &mut dyn StateSource| -> Result<Vec<_>, SnapshotError> {
+            (0..moment_count)
+                .map(|_| snapshot::read_tensor(r))
+                .collect()
+        };
+        let opt_m = read_moments(r)?;
+        let opt_v = read_moments(r)?;
+        for (m, v) in opt_m.iter().zip(&opt_v) {
+            if m.shape() != v.shape() {
+                return Err(SnapshotError::Malformed("moment shapes differ".into()));
+            }
+        }
+        let mut rng = [0u64; 4];
+        for word in &mut rng {
+            *word = r.take_u64()?;
+        }
+        if rng.iter().all(|&w| w == 0) {
+            return Err(SnapshotError::Malformed("all-zero RNG state".into()));
+        }
+        let parked = ParkedClient {
+            state,
+            opt_lr,
+            opt_t,
+            opt_m,
+            opt_v,
+            rng,
+        };
+        pool.slots[i] = if pool.is_template_init(i, &parked) {
+            ClientSlot::Fresh
+        } else {
+            ClientSlot::Parked(Box::new(parked))
+        };
+    }
+    Ok(())
+}
+
+impl ClientPool {
+    /// Whether `parked` is bit-for-bit the template initialization of
+    /// client `i` — the never-trained state [`read_pool`] may drop.
+    fn is_template_init(&self, i: usize, parked: &ParkedClient) -> bool {
+        if parked.opt_t != 0
+            || !parked.opt_m.is_empty()
+            || !parked.opt_v.is_empty()
+            || parked.opt_lr.to_bits() != self.learning_rate.to_bits()
+        {
+            return false;
+        }
+        let mut rng = Rng::stream(self.seed, 1 + i as u64);
+        let init = self.template_of(i).spec().build(&mut rng);
+        rng.state() == parked.rng
+            && state_vector(&init)
+                .iter()
+                .zip(&parked.state)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clients::{build_clients, for_each_active_client_streaming};
+    use crate::snapshot::{write_clients, SnapshotWriter};
+    use crate::train::train_supervised;
+    use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
+    use fedpkd_tensor::models::DepthTier;
+    use fedpkd_tensor::serialize::param_vector;
+
+    fn tiny_scenario(seed: u64) -> FederatedScenario {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(360)
+            .public_size(120)
+            .global_test_size(150)
+            .partition(Partition::Dirichlet { alpha: 0.5 })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn spec(tier: DepthTier) -> ModelSpec {
+        ModelSpec::ResMlp {
+            input_dim: 32,
+            num_classes: 10,
+            tier,
+        }
+    }
+
+    fn hetero_specs() -> Vec<ModelSpec> {
+        vec![
+            spec(DepthTier::T11),
+            spec(DepthTier::T20),
+            spec(DepthTier::T11),
+        ]
+    }
+
+    #[test]
+    fn specs_collapse_to_one_template_per_tier() {
+        let pool = ClientPool::new(&hetero_specs(), 0.001, 7);
+        assert_eq!(pool.len(), 3);
+        assert_eq!(pool.num_templates(), 2);
+        assert_eq!(pool.template_of(0).spec(), pool.template_of(2).spec());
+        assert_eq!(pool.resident_clients(), 0);
+        assert_eq!(pool.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn fresh_materialization_matches_build_clients() {
+        let specs = hetero_specs();
+        let owned = build_clients(&specs, 0.001, 42);
+        let pool = ClientPool::new(&specs, 0.001, 42);
+        for (i, own) in owned.iter().enumerate() {
+            let mat = pool.materialize(i);
+            assert_eq!(state_vector(&mat.model), state_vector(&own.model));
+            assert_eq!(mat.rng.state(), own.rng.state());
+            assert_eq!(mat.optimizer.step_count(), 0);
+        }
+    }
+
+    #[test]
+    fn park_unpark_is_bit_exact_after_training() {
+        let scenario = tiny_scenario(3);
+        let specs = hetero_specs();
+        let pool = ClientPool::new(&specs, 0.003, 9);
+        let mut client = pool.materialize(1);
+        train_supervised(
+            &mut client.model,
+            &scenario.clients[1].train,
+            1,
+            32,
+            &mut client.optimizer,
+            &mut client.rng,
+        );
+        let state_before = state_vector(&client.model);
+        let steps_before = client.optimizer.step_count();
+        let rng_before = client.rng.state();
+        let moments_before: Vec<Vec<f32>> = {
+            let (m, v) = client.optimizer.moments();
+            m.iter().chain(v).map(|t| t.as_slice().to_vec()).collect()
+        };
+        let back = ParkedClient::park(client).unpark(&specs[1]);
+        assert_eq!(state_vector(&back.model), state_before);
+        assert_eq!(back.optimizer.step_count(), steps_before);
+        assert_eq!(back.rng.state(), rng_before);
+        let (m, v) = back.optimizer.moments();
+        let moments_after: Vec<Vec<f32>> =
+            m.iter().chain(v).map(|t| t.as_slice().to_vec()).collect();
+        assert_eq!(moments_after, moments_before);
+    }
+
+    #[test]
+    fn pooled_streaming_matches_owned_streaming_bitwise() {
+        let scenario = tiny_scenario(11);
+        let specs = hetero_specs();
+        let train = |i: usize, client: &mut ClientState, data: &ClientData| {
+            let stats = train_supervised(
+                &mut client.model,
+                &data.train,
+                1,
+                32,
+                &mut client.optimizer,
+                &mut client.rng,
+            );
+            (i, stats.mean_loss)
+        };
+        for workers in [1, 4] {
+            let mut owned = build_clients(&specs, 0.003, 21);
+            let mut owned_out = Vec::new();
+            for_each_active_client_streaming(
+                &mut owned,
+                &scenario.clients,
+                &[0, 2],
+                workers,
+                train,
+                |i, out| owned_out.push((i, out)),
+            );
+            let mut pool = ClientPool::new(&specs, 0.003, 21);
+            let mut pooled_out = Vec::new();
+            for_each_pooled_client_streaming(
+                &mut pool,
+                &scenario.clients,
+                &[0, 2],
+                workers,
+                train,
+                |i, out| pooled_out.push((i, out)),
+            );
+            assert_eq!(pooled_out, owned_out);
+            // Only the rostered clients became resident.
+            assert_eq!(pool.resident_clients(), 2);
+            assert!(matches!(pool.slot(1), ClientSlot::Fresh));
+            // And the resident deltas equal the owned clients bit-for-bit.
+            for i in [0usize, 2] {
+                assert_eq!(
+                    state_vector(&pool.materialize(i).model),
+                    state_vector(&owned[i].model)
+                );
+                assert_eq!(pool.materialize(i).rng.state(), owned[i].rng.state());
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_accuracies_match_owned_and_leave_residency_unchanged() {
+        let scenario = tiny_scenario(5);
+        let specs = hetero_specs();
+        let mut owned = build_clients(&specs, 0.001, 13);
+        let pool = ClientPool::new(&specs, 0.001, 13);
+        let expected = crate::clients::client_accuracies(&mut owned, &scenario);
+        assert_eq!(pooled_client_accuracies(&pool, &scenario), expected);
+        assert_eq!(pool.resident_clients(), 0);
+    }
+
+    #[test]
+    fn pool_snapshot_bytes_match_owned_fleet_bytes() {
+        let scenario = tiny_scenario(17);
+        let specs = hetero_specs();
+        let train = |_: usize, client: &mut ClientState, data: &ClientData| {
+            train_supervised(
+                &mut client.model,
+                &data.train,
+                1,
+                32,
+                &mut client.optimizer,
+                &mut client.rng,
+            );
+        };
+        let mut owned = build_clients(&specs, 0.003, 31);
+        for_each_active_client_streaming(&mut owned, &scenario.clients, &[1], 2, train, |_, ()| {});
+        let mut pool = ClientPool::new(&specs, 0.003, 31);
+        for_each_pooled_client_streaming(&mut pool, &scenario.clients, &[1], 2, train, |_, ()| {});
+        let mut w_owned = SnapshotWriter::new();
+        write_clients(&mut w_owned, &owned);
+        let mut w_pool = SnapshotWriter::new();
+        write_pool(&mut w_pool, &pool);
+        assert_eq!(w_pool.into_bytes(), w_owned.into_bytes());
+    }
+
+    #[test]
+    fn read_pool_round_trips_and_recovers_freshness() {
+        let scenario = tiny_scenario(23);
+        let specs = hetero_specs();
+        let mut pool = ClientPool::new(&specs, 0.003, 37);
+        for_each_pooled_client_streaming(
+            &mut pool,
+            &scenario.clients,
+            &[2],
+            2,
+            |_, client, data| {
+                train_supervised(
+                    &mut client.model,
+                    &data.train,
+                    1,
+                    32,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                );
+            },
+            |_, ()| {},
+        );
+        let mut w = SnapshotWriter::new();
+        write_pool(&mut w, &pool);
+        let bytes = w.into_bytes();
+        let mut restored = ClientPool::new(&specs, 0.003, 37);
+        let mut r = crate::snapshot::SnapshotReader::new(&bytes);
+        read_pool(&mut r, &mut restored).unwrap();
+        r.finish().unwrap();
+        // Untrained clients come back fresh, the trained one parked.
+        assert_eq!(restored.resident_clients(), 1);
+        assert!(matches!(restored.slot(2), ClientSlot::Parked(_)));
+        for i in 0..3 {
+            assert_eq!(
+                param_vector(&restored.materialize(i).model),
+                param_vector(&pool.materialize(i).model)
+            );
+        }
+    }
+
+    #[test]
+    fn read_pool_rejects_wrong_state_length() {
+        let specs = vec![spec(DepthTier::T11)];
+        let pool = ClientPool::new(&specs, 0.001, 1);
+        let mut w = SnapshotWriter::new();
+        write_pool(&mut w, &pool);
+        let bytes = w.into_bytes();
+        let mut other = ClientPool::new(&[spec(DepthTier::T20)], 0.001, 1);
+        let mut r = crate::snapshot::SnapshotReader::new(&bytes);
+        assert!(matches!(
+            read_pool(&mut r, &mut other),
+            Err(SnapshotError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn release_returns_a_client_to_its_template() {
+        let scenario = tiny_scenario(29);
+        let specs = hetero_specs();
+        let mut pool = ClientPool::new(&specs, 0.003, 41);
+        for_each_pooled_client_streaming(
+            &mut pool,
+            &scenario.clients,
+            &[0],
+            1,
+            |_, client, data| {
+                train_supervised(
+                    &mut client.model,
+                    &data.train,
+                    1,
+                    32,
+                    &mut client.optimizer,
+                    &mut client.rng,
+                );
+            },
+            |_, ()| {},
+        );
+        assert!(pool.resident_bytes() > 0);
+        pool.release(0);
+        assert_eq!(pool.resident_bytes(), 0);
+        // Back to the deterministic init.
+        let fresh = build_clients(&specs, 0.003, 41);
+        assert_eq!(
+            state_vector(&pool.materialize(0).model),
+            state_vector(&fresh[0].model)
+        );
+    }
+}

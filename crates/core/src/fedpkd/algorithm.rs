@@ -4,9 +4,8 @@ use std::collections::BTreeMap;
 use std::time::Instant;
 
 use crate::admission::{PayloadKind, QuarantineTracker, RejectReason};
-use crate::clients::{
-    build_clients, for_each_active_client_streaming, validate_specs, ClientState,
-};
+use crate::clients::validate_specs;
+use crate::cow::{for_each_pooled_client_streaming, pooled_client_accuracies, ClientPool};
 use crate::eval;
 use crate::fedpkd::config::{CoreError, FedPkdConfig};
 use crate::fedpkd::distill::train_server;
@@ -19,7 +18,7 @@ use crate::fedpkd::prototypes::{
     to_wire_entries, Prototype,
 };
 use crate::runtime::{DriverState, Federation};
-use crate::snapshot::{self, AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
+use crate::snapshot::{self, SnapshotError, StateSink, StateSource};
 use crate::streaming::LogitAccumulator;
 use crate::telemetry::{emit_phase_timing, Phase, RoundObserver, TelemetryEvent};
 use crate::train::{train_distill, train_supervised, train_supervised_with_prototypes};
@@ -75,7 +74,10 @@ type LateUpload = (usize, usize, Vec<Option<Prototype>>);
 /// The owned, snapshotable half of [`FedPkd`]: everything that changes
 /// from round to round.
 struct FedPkdState {
-    clients: Vec<ClientState>,
+    /// The client fleet in copy-on-write form: untouched clients cost
+    /// nothing, trained clients park as flat deltas, and full models are
+    /// only live while a client occupies a worker.
+    clients: ClientPool,
     server_model: ClassifierModel,
     server_optimizer: Adam,
     server_rng: Rng,
@@ -115,7 +117,7 @@ impl FedPkd {
     ) -> Result<Self, CoreError> {
         config.validate()?;
         validate_specs(&scenario, &client_specs, Some(&server_spec), false)?;
-        let clients = build_clients(&client_specs, config.learning_rate, seed);
+        let clients = ClientPool::new(&client_specs, config.learning_rate, seed);
         let mut server_rng = Rng::stream(seed, 0);
         let server_model = server_spec.build(&mut server_rng);
         let num_classes = scenario.num_classes;
@@ -286,7 +288,7 @@ impl Federation for FedPkd {
         let proto_dim = server_model.feature_dim();
         {
             let global_prototypes = &*global_prototypes;
-            for_each_active_client_streaming(
+            for_each_pooled_client_streaming(
                 clients,
                 &scenario.clients,
                 &roster,
@@ -741,7 +743,7 @@ impl Federation for FedPkd {
         }
         // Public-phase distillation (Eq. 15) rides the same work-stealing
         // pool; losses are committed (and logged) in client order.
-        for_each_active_client_streaming(
+        for_each_pooled_client_streaming(
             clients,
             &scenario.clients,
             &cohort.survivors(),
@@ -778,7 +780,7 @@ impl Federation for FedPkd {
     }
 
     fn client_accuracies(&mut self) -> Vec<f64> {
-        crate::clients::client_accuracies(&mut self.state.clients, &self.scenario)
+        pooled_client_accuracies(&self.state.clients, &self.scenario)
     }
 
     fn driver(&self) -> &DriverState {
@@ -789,13 +791,12 @@ impl Federation for FedPkd {
         &mut self.state.driver
     }
 
-    fn snapshot(&self) -> AlgorithmState {
-        let mut w = SnapshotWriter::new();
-        snapshot::write_clients(&mut w, &self.state.clients);
-        snapshot::write_model(&mut w, &self.state.server_model);
-        snapshot::write_adam(&mut w, &self.state.server_optimizer);
-        snapshot::write_rng(&mut w, &self.state.server_rng);
-        snapshot::write_opt_tensors(&mut w, &self.state.global_prototypes);
+    fn write_state(&self, w: &mut dyn StateSink) {
+        snapshot::write_pool(w, &self.state.clients);
+        snapshot::write_model(w, &self.state.server_model);
+        snapshot::write_adam(w, &self.state.server_optimizer);
+        snapshot::write_rng(w, &self.state.server_rng);
+        snapshot::write_opt_tensors(w, &self.state.global_prototypes);
         // The stale-prototype cache: per client an optional
         // (upload round, per-class optional prototype) entry.
         w.put_usize(self.state.cached_prototypes.len());
@@ -810,7 +811,7 @@ impl Federation for FedPkd {
                             Some(p) => {
                                 w.put_bool(true);
                                 w.put_usize(p.count);
-                                snapshot::write_tensor(&mut w, &p.vector);
+                                snapshot::write_tensor(w, &p.vector);
                             }
                             None => w.put_bool(false),
                         }
@@ -835,26 +836,23 @@ impl Federation for FedPkd {
                         Some(p) => {
                             w.put_bool(true);
                             w.put_usize(p.count);
-                            snapshot::write_tensor(&mut w, &p.vector);
+                            snapshot::write_tensor(w, &p.vector);
                         }
                         None => w.put_bool(false),
                     }
                 }
             }
         }
-        snapshot::write_quarantine(&mut w, &self.state.quarantine);
-        snapshot::write_driver(&mut w, &self.state.driver);
-        AlgorithmState::new(Federation::name(self), w.into_bytes())
+        snapshot::write_quarantine(w, &self.state.quarantine);
+        snapshot::write_driver(w, &self.state.driver);
     }
 
-    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
-        snapshot::check_algorithm(state, Federation::name(self))?;
-        let mut r = SnapshotReader::new(state.payload());
-        snapshot::read_clients(&mut r, &mut self.state.clients)?;
-        snapshot::read_model(&mut r, &mut self.state.server_model)?;
-        snapshot::read_adam(&mut r, &mut self.state.server_optimizer)?;
-        self.state.server_rng = snapshot::read_rng(&mut r)?;
-        let global_prototypes = snapshot::read_opt_tensors(&mut r)?;
+    fn read_state(&mut self, r: &mut dyn StateSource) -> Result<(), SnapshotError> {
+        snapshot::read_pool(r, &mut self.state.clients)?;
+        snapshot::read_model(r, &mut self.state.server_model)?;
+        snapshot::read_adam(r, &mut self.state.server_optimizer)?;
+        self.state.server_rng = snapshot::read_rng(r)?;
+        let global_prototypes = snapshot::read_opt_tensors(r)?;
         if global_prototypes.len() != self.state.global_prototypes.len() {
             return Err(SnapshotError::Malformed(format!(
                 "snapshot has {} classes of global prototypes, instance has {}",
@@ -878,7 +876,7 @@ impl Federation for FedPkd {
                 for _ in 0..num_protos {
                     protos.push(if r.take_bool()? {
                         let count = r.take_usize()?;
-                        let vector = snapshot::read_tensor(&mut r)?;
+                        let vector = snapshot::read_tensor(r)?;
                         Some(Prototype { count, vector })
                     } else {
                         None
@@ -909,7 +907,7 @@ impl Federation for FedPkd {
                 for _ in 0..num_protos {
                     protos.push(if r.take_bool()? {
                         let count = r.take_usize()?;
-                        let vector = snapshot::read_tensor(&mut r)?;
+                        let vector = snapshot::read_tensor(r)?;
                         Some(Prototype { count, vector })
                     } else {
                         None
@@ -919,9 +917,8 @@ impl Federation for FedPkd {
             }
             pending_late.insert(arrival, uploads);
         }
-        snapshot::read_quarantine(&mut r, &mut self.state.quarantine)?;
-        let driver = snapshot::read_driver(&mut r)?;
-        r.finish()?;
+        snapshot::read_quarantine(r, &mut self.state.quarantine)?;
+        let driver = snapshot::read_driver(r)?;
         self.state.global_prototypes = global_prototypes;
         self.state.cached_prototypes = cached_prototypes;
         self.state.pending_late = pending_late;

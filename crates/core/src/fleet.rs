@@ -26,10 +26,7 @@ use fedpkd_tensor::Tensor;
 
 use crate::fedpkd::prototypes::{to_wire_entries, Prototype};
 use crate::runtime::{DriverState, Federation};
-use crate::snapshot::{
-    check_algorithm, read_driver, write_driver, AlgorithmState, SnapshotError, SnapshotReader,
-    SnapshotWriter,
-};
+use crate::snapshot::{read_driver, write_driver, SnapshotError, StateSink, StateSource};
 use crate::streaming::PrototypeAccumulator;
 use crate::telemetry::RoundObserver;
 
@@ -236,8 +233,7 @@ impl Federation for FleetSim {
         &mut self.driver
     }
 
-    fn snapshot(&self) -> AlgorithmState {
-        let mut w = SnapshotWriter::new();
+    fn write_state(&self, w: &mut dyn StateSink) {
         w.put_usize(self.fleet);
         w.put_usize(self.classes);
         w.put_usize(self.dims);
@@ -253,13 +249,10 @@ impl Federation for FleetSim {
                 w.put_usize(origin);
             }
         }
-        write_driver(&mut w, &self.driver);
-        AlgorithmState::new(Federation::name(self), w.into_bytes())
+        write_driver(w, &self.driver);
     }
 
-    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
-        check_algorithm(state, Federation::name(self))?;
-        let mut r = SnapshotReader::new(state.payload());
+    fn read_state(&mut self, r: &mut dyn StateSource) -> Result<(), SnapshotError> {
         self.fleet = r.take_usize()?;
         self.classes = r.take_usize()?;
         self.dims = r.take_usize()?;
@@ -279,8 +272,8 @@ impl Federation for FleetSim {
             }
             self.pending_late.insert(arrival, queued);
         }
-        self.driver = read_driver(&mut r)?;
-        r.finish()
+        self.driver = read_driver(r)?;
+        Ok(())
     }
 }
 

@@ -54,6 +54,7 @@
 
 pub mod admission;
 pub mod clients;
+pub mod cow;
 pub mod driver;
 pub mod eval;
 pub mod fedpkd;
@@ -66,6 +67,7 @@ pub mod telemetry;
 pub mod train;
 
 pub use admission::{AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReason};
+pub use cow::{ClientPool, ClientSlot, ParkedClient};
 pub use driver::{Driver, DriverBuilder};
 pub use fleet::FleetSim;
 pub use robust::{AggregationError, RobustAggregation};

@@ -28,7 +28,10 @@ use std::time::Instant;
 
 use fedpkd_netsim::{CommLedger, DropCause, FaultPlan, RoundContext};
 
-use crate::snapshot::{AlgorithmState, SnapshotError};
+use crate::snapshot::{
+    check_algorithm, AlgorithmState, SnapshotError, SnapshotReader, SnapshotStreamReader,
+    SnapshotStreamWriter, SnapshotWriter, StateSink, StateSource,
+};
 use crate::telemetry::{emit_phase_timing, NullObserver, Phase, RoundObserver, TelemetryEvent};
 
 /// Metrics captured after one communication round.
@@ -220,19 +223,46 @@ pub trait Federation {
     /// Mutable access to the driver's persistent book-keeping.
     fn driver_mut(&mut self) -> &mut DriverState;
 
-    /// Captures the algorithm's complete owned state — models, optimizer
-    /// moments, RNG positions, caches, driver book-keeping — at the current
-    /// round boundary.
+    /// Encodes the algorithm's complete owned state — models, optimizer
+    /// moments, RNG positions, caches, driver book-keeping — into `w`, at
+    /// the current round boundary.
+    ///
+    /// This is the one serialization an algorithm writes; the provided
+    /// [`snapshot`](Self::snapshot) (buffered) and
+    /// [`snapshot_to`](Self::snapshot_to) (streaming) envelopes both drive
+    /// it, so the payload bytes are identical either way.
+    fn write_state(&self, w: &mut dyn StateSink);
+
+    /// Decodes state written by [`write_state`](Self::write_state) from `r`
+    /// into this instance, which must have been built with the same
+    /// configuration (scenario, specs, seed, hyperparameters).
+    ///
+    /// Implementations must consume exactly the bytes
+    /// [`write_state`](Self::write_state) produced; the calling envelope
+    /// rejects anything left over. On error the instance may have been
+    /// partially overwritten and should be discarded, not reused.
+    ///
+    /// # Errors
+    ///
+    /// The decoding errors of [`crate::snapshot`] for truncated, corrupt,
+    /// or mismatched payloads.
+    fn read_state(&mut self, r: &mut dyn StateSource) -> Result<(), SnapshotError>;
+
+    /// Captures the algorithm's complete owned state at the current round
+    /// boundary as an in-memory [`AlgorithmState`].
     ///
     /// The contract (verified end to end by `tests/checkpoint.rs`) is that
     /// [`restore`](Self::restore)-ing the snapshot into a freshly
     /// constructed same-config instance and continuing yields bit-identical
     /// results to never having stopped.
-    fn snapshot(&self) -> AlgorithmState;
+    fn snapshot(&self) -> AlgorithmState {
+        let mut w = SnapshotWriter::new();
+        self.write_state(&mut w);
+        AlgorithmState::new(self.name(), w.into_bytes())
+    }
 
     /// Restores state captured by [`snapshot`](Self::snapshot) into this
-    /// instance, which must have been built with the same configuration
-    /// (scenario, specs, seed, hyperparameters).
+    /// instance.
     ///
     /// # Errors
     ///
@@ -241,7 +271,74 @@ pub trait Federation {
     /// [`crate::snapshot`] for truncated/corrupt/mismatched payloads. On
     /// error the instance may have been partially overwritten and should
     /// be discarded, not reused.
-    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError>;
+    fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
+        check_algorithm(state, self.name())?;
+        let mut r = SnapshotReader::new(state.payload());
+        self.read_state(&mut r)?;
+        r.finish()
+    }
+
+    /// Streams a complete snapshot straight into `sink` as a v2 chunked
+    /// envelope (see [`crate::snapshot`]) — the state is encoded through a
+    /// fixed 64 KiB staging buffer, so checkpointing a 10k-client fleet
+    /// never materializes a whole-fleet byte vector.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Io`] if `sink` fails.
+    fn snapshot_to(&self, sink: &mut dyn std::io::Write) -> Result<(), SnapshotError> {
+        let mut w = SnapshotStreamWriter::new(sink, self.name());
+        self.write_state(&mut w);
+        w.finish()
+    }
+
+    /// Restores a snapshot from `source` — either envelope version: v2
+    /// streams chunk by chunk, v1 (the [`AlgorithmState::to_bytes`] format)
+    /// is buffered for compatibility with snapshots written before the
+    /// streaming codec existed.
+    ///
+    /// # Errors
+    ///
+    /// See [`restore`](Self::restore), plus [`SnapshotError::Io`] if
+    /// `source` fails.
+    fn restore_from(&mut self, source: &mut dyn std::io::Read) -> Result<(), SnapshotError> {
+        let mut header = [0u8; 8];
+        source.read_exact(&mut header).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                SnapshotError::Truncated
+            } else {
+                SnapshotError::from(e)
+            }
+        })?;
+        if header[..4] != crate::snapshot::SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        match version {
+            crate::snapshot::SNAPSHOT_VERSION => {
+                // v1 has no chunk framing, so it cannot be decoded
+                // incrementally; buffer it whole, as its writer did.
+                let mut bytes = header.to_vec();
+                source.read_to_end(&mut bytes)?;
+                self.restore(&AlgorithmState::from_bytes(&bytes)?)
+            }
+            crate::snapshot::SNAPSHOT_STREAM_VERSION => {
+                let (mut r, name) = SnapshotStreamReader::after_header(source)?;
+                if name != self.name() {
+                    return Err(SnapshotError::AlgorithmMismatch {
+                        expected: self.name().to_string(),
+                        found: name,
+                    });
+                }
+                self.read_state(&mut r)?;
+                r.finish()
+            }
+            other => Err(SnapshotError::UnsupportedVersion {
+                found: other,
+                supported: crate::snapshot::SNAPSHOT_STREAM_VERSION,
+            }),
+        }
+    }
 }
 
 /// The uniform interface every federated algorithm is driven through.
@@ -580,18 +677,14 @@ mod tests {
         fn driver_mut(&mut self) -> &mut DriverState {
             &mut self.driver
         }
-        fn snapshot(&self) -> AlgorithmState {
-            let mut w = crate::snapshot::SnapshotWriter::new();
+        fn write_state(&self, w: &mut dyn StateSink) {
             w.put_f64(self.acc);
-            crate::snapshot::write_driver(&mut w, &self.driver);
-            AlgorithmState::new(Federation::name(self), w.into_bytes())
+            crate::snapshot::write_driver(w, &self.driver);
         }
-        fn restore(&mut self, state: &AlgorithmState) -> Result<(), SnapshotError> {
-            crate::snapshot::check_algorithm(state, Federation::name(self))?;
-            let mut r = crate::snapshot::SnapshotReader::new(state.payload());
+        fn read_state(&mut self, r: &mut dyn StateSource) -> Result<(), SnapshotError> {
             self.acc = r.take_f64()?;
-            self.driver = crate::snapshot::read_driver(&mut r)?;
-            r.finish()
+            self.driver = crate::snapshot::read_driver(r)?;
+            Ok(())
         }
     }
 

@@ -17,18 +17,35 @@
 //!
 //! # Wire format
 //!
-//! All integers are little-endian; lengths are `u64`. The envelope is
+//! All integers are little-endian; lengths are `u64`. The buffered (v1)
+//! envelope is
 //!
 //! ```text
-//! magic "FPKD" (4) · version u32 · algorithm name (len + utf8)
+//! magic "FPKD" (4) · version u32 = 1 · algorithm name (len + utf8)
 //! · payload (len + bytes) · FNV-1a64 checksum of everything before it (8)
 //! ```
 //!
+//! The streaming (v2) envelope replaces the single length-prefixed payload
+//! with a chunk sequence, so neither writer nor reader ever holds the whole
+//! payload in memory:
+//!
+//! ```text
+//! magic "FPKD" (4) · version u32 = 2 · algorithm name (len + utf8)
+//! · chunks (u32 len > 0 · bytes)* · u32 0 sentinel
+//! · FNV-1a64 checksum of everything before it (8)
+//! ```
+//!
+//! [`SnapshotStreamWriter`] produces v2 directly into any
+//! [`std::io::Write`]; [`SnapshotStreamReader`] consumes it from any
+//! [`std::io::Read`]. [`AlgorithmState::from_bytes`] decodes both versions,
+//! so v1 snapshots on disk stay restorable forever.
+//!
 //! The payload layout is private to each algorithm, assembled from the
-//! primitives of [`SnapshotWriter`] and the typed helpers below
+//! primitives of [`StateSink`]/[`StateSource`] and the typed helpers below
 //! ([`write_model`], [`write_adam`], [`write_clients`], [`write_driver`],
-//! …). Truncated, corrupted, or mismatched bytes surface as typed
-//! [`SnapshotError`]s — decoding never panics.
+//! …). The same payload bytes flow through either envelope. Truncated,
+//! corrupted, or mismatched bytes surface as typed [`SnapshotError`]s —
+//! decoding never panics.
 //!
 //! # Examples
 //!
@@ -64,11 +81,19 @@ use fedpkd_tensor::Tensor;
 /// The 4-byte magic number opening every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 4] = *b"FPKD";
 
-/// The current snapshot format version.
+/// The buffered snapshot format version ([`AlgorithmState::to_bytes`]).
 ///
-/// Bump on any layout change; decoding rejects other versions with
+/// Bump on any layout change; decoding rejects unknown versions with
 /// [`SnapshotError::UnsupportedVersion`] rather than misinterpreting bytes.
 pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// The chunked streaming envelope version ([`SnapshotStreamWriter`]).
+pub const SNAPSHOT_STREAM_VERSION: u32 = 2;
+
+/// Payload bytes per streaming chunk. Chunks the writer emits are at most
+/// this large, and the reader rejects larger claims, which bounds the
+/// decoder's allocation no matter what the length fields say.
+const STREAM_CHUNK: usize = 64 * 1024;
 
 /// Why a snapshot could not be decoded or applied.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,6 +124,11 @@ pub enum SnapshotError {
     /// The bytes decoded but describe an impossible or mismatched state
     /// (wrong client count, bad tensor shape, unknown enum tag, …).
     Malformed(String),
+    /// The underlying `Read`/`Write` sink failed while streaming.
+    ///
+    /// Holds the I/O error's display form (not the `std::io::Error` itself)
+    /// so this enum stays `Clone + PartialEq`.
+    Io(String),
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -116,7 +146,14 @@ impl std::fmt::Display for SnapshotError {
                 "snapshot is for algorithm {found:?}, cannot restore into {expected:?}"
             ),
             Self::Malformed(why) => write!(f, "malformed snapshot: {why}"),
+            Self::Io(why) => write!(f, "snapshot I/O failed: {why}"),
         }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
     }
 }
 
@@ -125,6 +162,16 @@ impl std::error::Error for SnapshotError {}
 /// 64-bit FNV-1a over `bytes`.
 fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a64 continuation: folds `bytes` into an in-progress hash — the
+/// streaming envelope's running-checksum form of [`fnv1a`].
+fn fnv1a_seeded(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
@@ -185,7 +232,11 @@ impl AlgorithmState {
     }
 
     /// Decodes and validates an envelope produced by
-    /// [`to_bytes`](Self::to_bytes).
+    /// [`to_bytes`](Self::to_bytes) (v1) or a [`SnapshotStreamWriter`]
+    /// (v2).
+    ///
+    /// The name and payload are borrowed straight from `bytes` during
+    /// validation and copied exactly once, into the returned owner.
     ///
     /// # Errors
     ///
@@ -204,27 +255,121 @@ impl AlgorithmState {
         }
         let mut r = SnapshotReader::new(&bytes[SNAPSHOT_MAGIC.len()..]);
         let version = r.take_u32()?;
-        if version != SNAPSHOT_VERSION {
-            return Err(SnapshotError::UnsupportedVersion {
-                found: version,
-                supported: SNAPSHOT_VERSION,
-            });
-        }
-        let algorithm = r.take_str()?;
-        let payload = r.take_blob()?;
+        let state = match version {
+            SNAPSHOT_VERSION => {
+                let algorithm = r.take_str_ref()?;
+                let payload = r.take_blob_ref()?;
+                Self {
+                    algorithm: algorithm.to_string(),
+                    payload: payload.to_vec(),
+                }
+            }
+            SNAPSHOT_STREAM_VERSION => {
+                let algorithm = r.take_str_ref()?.to_string();
+                let mut payload = Vec::new();
+                loop {
+                    let len = r.take_u32()? as usize;
+                    if len == 0 {
+                        break;
+                    }
+                    if len > STREAM_CHUNK {
+                        return Err(SnapshotError::Malformed(format!(
+                            "stream chunk of {len} bytes exceeds the {STREAM_CHUNK} cap"
+                        )));
+                    }
+                    payload.extend_from_slice(r.take_ref(len)?);
+                }
+                Self { algorithm, payload }
+            }
+            other => {
+                return Err(SnapshotError::UnsupportedVersion {
+                    found: other,
+                    supported: SNAPSHOT_STREAM_VERSION,
+                })
+            }
+        };
         let stored = r.take_u64()?;
         r.finish()?;
         if fnv1a(&bytes[..bytes.len() - 8]) != stored {
             return Err(SnapshotError::ChecksumMismatch);
         }
-        Ok(Self { algorithm, payload })
+        Ok(state)
     }
 }
 
-/// Little-endian binary encoder for snapshot payloads.
+/// A little-endian binary sink snapshot payloads are encoded into.
 ///
-/// Writers never fail; the matching [`SnapshotReader`] carries all the
+/// The one required method is [`put_raw`](Self::put_raw); every typed
+/// `put_*` is layered on it, so a payload layout written against this
+/// trait produces identical bytes whether the sink is the in-memory
+/// [`SnapshotWriter`] or the chunked [`SnapshotStreamWriter`]. Sinks never
+/// fail at the encoding layer; streaming sinks defer I/O errors to their
+/// `finish` call, and the matching [`StateSource`] carries all the decode
 /// error handling.
+pub trait StateSink {
+    /// Appends raw bytes.
+    fn put_raw(&mut self, bytes: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_raw(&[v]);
+    }
+
+    /// Appends a `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_raw(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_raw(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64`.
+    fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// Appends an `f32` by its bit pattern (NaN-exact).
+    fn put_f32(&mut self, v: f32) {
+        self.put_raw(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` by its bit pattern (NaN-exact).
+    fn put_f64(&mut self, v: f64) {
+        self.put_raw(&v.to_le_bytes());
+    }
+
+    /// Appends a boolean as one byte.
+    fn put_bool(&mut self, v: bool) {
+        self.put_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    fn put_str(&mut self, v: &str) {
+        self.put_usize(v.len());
+        self.put_raw(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `f32` slice.
+    ///
+    /// Values pass through a fixed stack buffer, so encoding a
+    /// model-sized slice stages at most a few KiB regardless of length.
+    fn put_f32s(&mut self, vs: &[f32]) {
+        self.put_usize(vs.len());
+        let mut staged = [0u8; 4096];
+        for chunk in vs.chunks(staged.len() / 4) {
+            for (slot, &v) in staged.chunks_exact_mut(4).zip(chunk) {
+                slot.copy_from_slice(&v.to_le_bytes());
+            }
+            self.put_raw(&staged[..chunk.len() * 4]);
+        }
+    }
+}
+
+/// Little-endian in-memory encoder for snapshot payloads — the buffered
+/// [`StateSink`], used when the whole payload is wanted as one `Vec<u8>`
+/// (the v1 envelope and tests).
 #[derive(Debug, Default)]
 pub struct SnapshotWriter {
     buf: Vec<u8>,
@@ -240,61 +385,143 @@ impl SnapshotWriter {
     pub fn into_bytes(self) -> Vec<u8> {
         self.buf
     }
+}
 
-    /// Appends one byte.
-    pub fn put_u8(&mut self, v: u8) {
-        self.buf.push(v);
-    }
-
-    /// Appends a `u32`.
-    pub fn put_u32(&mut self, v: u32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a `u64`.
-    pub fn put_u64(&mut self, v: u64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a `usize` as a `u64`.
-    pub fn put_usize(&mut self, v: usize) {
-        self.put_u64(v as u64);
-    }
-
-    /// Appends an `f32` by its bit pattern (NaN-exact).
-    pub fn put_f32(&mut self, v: f32) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends an `f64` by its bit pattern (NaN-exact).
-    pub fn put_f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_le_bytes());
-    }
-
-    /// Appends a boolean as one byte.
-    pub fn put_bool(&mut self, v: bool) {
-        self.put_u8(u8::from(v));
-    }
-
-    /// Appends a length-prefixed UTF-8 string.
-    pub fn put_str(&mut self, v: &str) {
-        self.put_usize(v.len());
-        self.buf.extend_from_slice(v.as_bytes());
-    }
-
-    /// Appends a length-prefixed `f32` slice.
-    pub fn put_f32s(&mut self, vs: &[f32]) {
-        self.put_usize(vs.len());
-        for &v in vs {
-            self.buf.extend_from_slice(&v.to_le_bytes());
-        }
+impl StateSink for SnapshotWriter {
+    fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
     }
 }
 
-/// Little-endian binary decoder for snapshot payloads.
+/// A little-endian binary source snapshot payloads are decoded from.
 ///
-/// Every `take_*` returns [`SnapshotError::Truncated`] when the stream
-/// ends early; [`finish`](Self::finish) rejects trailing bytes.
+/// The one required method is [`take_into`](Self::take_into); every typed
+/// `take_*` is layered on it. Every read returns
+/// [`SnapshotError::Truncated`] when the stream ends early, and the
+/// length-prefixed readers grow their output only as fast as bytes
+/// actually arrive, so a corrupted length field cannot trigger an
+/// unbounded allocation.
+pub trait StateSource {
+    /// Fills `out` exactly, consuming `out.len()` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Truncated`] if the source ends first.
+    fn take_into(&mut self, out: &mut [u8]) -> Result<(), SnapshotError>;
+
+    /// Reads one byte.
+    fn take_u8(&mut self) -> Result<u8, SnapshotError> {
+        let mut b = [0u8; 1];
+        self.take_into(&mut b)?;
+        Ok(b[0])
+    }
+
+    /// Reads a `u32`.
+    fn take_u32(&mut self) -> Result<u32, SnapshotError> {
+        let mut b = [0u8; 4];
+        self.take_into(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Reads a `u64`.
+    fn take_u64(&mut self) -> Result<u64, SnapshotError> {
+        let mut b = [0u8; 8];
+        self.take_into(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `usize` written with [`StateSink::put_usize`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] if the value does not fit `usize` on
+    /// this platform.
+    fn take_usize(&mut self) -> Result<usize, SnapshotError> {
+        usize::try_from(self.take_u64()?)
+            .map_err(|_| SnapshotError::Malformed("length overflows usize".into()))
+    }
+
+    /// Reads an `f32` bit pattern.
+    fn take_f32(&mut self) -> Result<f32, SnapshotError> {
+        let mut b = [0u8; 4];
+        self.take_into(&mut b)?;
+        Ok(f32::from_le_bytes(b))
+    }
+
+    /// Reads an `f64` bit pattern.
+    fn take_f64(&mut self) -> Result<f64, SnapshotError> {
+        let mut b = [0u8; 8];
+        self.take_into(&mut b)?;
+        Ok(f64::from_le_bytes(b))
+    }
+
+    /// Reads a boolean.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] unless the byte is 0 or 1.
+    fn take_bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.take_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(SnapshotError::Malformed(format!("bad bool byte {other}"))),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on invalid UTF-8.
+    fn take_str(&mut self) -> Result<String, SnapshotError> {
+        let raw = self.take_blob()?;
+        String::from_utf8(raw).map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
+    }
+
+    /// Reads a length-prefixed raw byte blob.
+    fn take_blob(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        let len = self.take_usize()?;
+        let mut out = Vec::new();
+        let mut staged = [0u8; 4096];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(staged.len());
+            self.take_into(&mut staged[..n])?;
+            out.extend_from_slice(&staged[..n]);
+            remaining -= n;
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `f32` slice.
+    fn take_f32s(&mut self) -> Result<Vec<f32>, SnapshotError> {
+        let len = self.take_usize()?;
+        let mut out = Vec::new();
+        let mut staged = [0u8; 4096];
+        let mut remaining = len;
+        while remaining > 0 {
+            let n = remaining.min(staged.len() / 4);
+            self.take_into(&mut staged[..n * 4])?;
+            out.extend(
+                staged[..n * 4]
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes"))),
+            );
+            remaining -= n;
+        }
+        Ok(out)
+    }
+}
+
+/// Little-endian zero-copy decoder over an in-memory snapshot payload —
+/// the buffered [`StateSource`].
+///
+/// Beyond the trait, the slice-backed reader offers borrowing accessors
+/// ([`take_str_ref`](Self::take_str_ref),
+/// [`take_blob_ref`](Self::take_blob_ref)) that hand out sub-slices of the
+/// envelope buffer instead of copying, plus
+/// [`finish`](Self::finish)/[`remaining`](Self::remaining) for
+/// trailing-byte checks.
 #[derive(Debug)]
 pub struct SnapshotReader<'a> {
     bytes: &'a [u8],
@@ -315,92 +542,31 @@ impl<'a> SnapshotReader<'a> {
         Ok(head)
     }
 
-    /// Reads one byte.
-    pub fn take_u8(&mut self) -> Result<u8, SnapshotError> {
-        Ok(self.take(1)?[0])
-    }
-
-    /// Reads a `u32`.
-    pub fn take_u32(&mut self) -> Result<u32, SnapshotError> {
-        Ok(u32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    /// Reads a `u64`.
-    pub fn take_u64(&mut self) -> Result<u64, SnapshotError> {
-        Ok(u64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// Reads a `usize` written with [`SnapshotWriter::put_usize`].
+    /// Borrows the next `n` bytes from the underlying buffer.
     ///
     /// # Errors
     ///
-    /// [`SnapshotError::Malformed`] if the value does not fit `usize` on
-    /// this platform.
-    pub fn take_usize(&mut self) -> Result<usize, SnapshotError> {
-        usize::try_from(self.take_u64()?)
-            .map_err(|_| SnapshotError::Malformed("length overflows usize".into()))
+    /// [`SnapshotError::Truncated`] if fewer than `n` bytes remain.
+    pub fn take_ref(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        self.take(n)
     }
 
-    /// Reads an `f32` bit pattern.
-    pub fn take_f32(&mut self) -> Result<f32, SnapshotError> {
-        Ok(f32::from_le_bytes(
-            self.take(4)?.try_into().expect("4 bytes"),
-        ))
-    }
-
-    /// Reads an `f64` bit pattern.
-    pub fn take_f64(&mut self) -> Result<f64, SnapshotError> {
-        Ok(f64::from_le_bytes(
-            self.take(8)?.try_into().expect("8 bytes"),
-        ))
-    }
-
-    /// Reads a boolean.
-    ///
-    /// # Errors
-    ///
-    /// [`SnapshotError::Malformed`] unless the byte is 0 or 1.
-    pub fn take_bool(&mut self) -> Result<bool, SnapshotError> {
-        match self.take_u8()? {
-            0 => Ok(false),
-            1 => Ok(true),
-            other => Err(SnapshotError::Malformed(format!("bad bool byte {other}"))),
-        }
-    }
-
-    /// Reads a length-prefixed UTF-8 string.
+    /// Reads a length-prefixed UTF-8 string as a borrow of the buffer —
+    /// no intermediate copy; the caller decides if and where to own it.
     ///
     /// # Errors
     ///
     /// [`SnapshotError::Malformed`] on invalid UTF-8.
-    pub fn take_str(&mut self) -> Result<String, SnapshotError> {
+    pub fn take_str_ref(&mut self) -> Result<&'a str, SnapshotError> {
         let len = self.take_usize()?;
         let raw = self.take(len)?;
-        String::from_utf8(raw.to_vec())
-            .map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
+        std::str::from_utf8(raw).map_err(|_| SnapshotError::Malformed("string is not UTF-8".into()))
     }
 
-    /// Reads a length-prefixed raw byte blob.
-    pub fn take_blob(&mut self) -> Result<Vec<u8>, SnapshotError> {
+    /// Reads a length-prefixed byte blob as a borrow of the buffer.
+    pub fn take_blob_ref(&mut self) -> Result<&'a [u8], SnapshotError> {
         let len = self.take_usize()?;
-        Ok(self.take(len)?.to_vec())
-    }
-
-    /// Reads a length-prefixed `f32` slice.
-    pub fn take_f32s(&mut self) -> Result<Vec<f32>, SnapshotError> {
-        let len = self.take_usize()?;
-        let raw = self.take(
-            len.checked_mul(4)
-                .ok_or_else(|| SnapshotError::Malformed("f32 slice length overflows".into()))?,
-        )?;
-        Ok(raw
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
-            .collect())
+        self.take(len)
     }
 
     /// Bytes not yet consumed.
@@ -425,6 +591,322 @@ impl<'a> SnapshotReader<'a> {
     }
 }
 
+impl StateSource for SnapshotReader<'_> {
+    fn take_into(&mut self, out: &mut [u8]) -> Result<(), SnapshotError> {
+        out.copy_from_slice(self.take(out.len())?);
+        Ok(())
+    }
+
+    // Slice-backed overrides: decode in one pass over a direct borrow
+    // instead of staging through the generic fixed-size buffer.
+
+    fn take_str(&mut self) -> Result<String, SnapshotError> {
+        self.take_str_ref().map(str::to_string)
+    }
+
+    fn take_blob(&mut self) -> Result<Vec<u8>, SnapshotError> {
+        self.take_blob_ref().map(<[u8]>::to_vec)
+    }
+
+    fn take_f32s(&mut self) -> Result<Vec<f32>, SnapshotError> {
+        let len = self.take_usize()?;
+        let raw = self.take(
+            len.checked_mul(4)
+                .ok_or_else(|| SnapshotError::Malformed("f32 slice length overflows".into()))?,
+        )?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+}
+
+/// A [`StateSink`] that streams the v2 chunked envelope straight into any
+/// [`std::io::Write`], keeping a running FNV-1a64 checksum.
+///
+/// Payload bytes are staged in a single `STREAM_CHUNK`-sized buffer and
+/// flushed as length-prefixed chunks, so snapshotting a whole fleet holds
+/// 64 KiB regardless of model count. `put_*` cannot fail; the first I/O
+/// error is remembered, subsequent writes become no-ops, and the error
+/// surfaces from [`finish`](Self::finish) — which must be called for the
+/// envelope to be complete.
+pub struct SnapshotStreamWriter<'w> {
+    sink: &'w mut dyn std::io::Write,
+    hash: u64,
+    chunk: Vec<u8>,
+    error: Option<SnapshotError>,
+}
+
+impl<'w> SnapshotStreamWriter<'w> {
+    /// Opens a v2 envelope on `sink` for algorithm `name`, emitting the
+    /// header (magic, version, name) immediately.
+    pub fn new(sink: &'w mut dyn std::io::Write, name: &str) -> Self {
+        let mut w = Self {
+            sink,
+            hash: 0xcbf2_9ce4_8422_2325,
+            chunk: Vec::with_capacity(STREAM_CHUNK),
+            error: None,
+        };
+        w.emit(&SNAPSHOT_MAGIC);
+        w.emit(&SNAPSHOT_STREAM_VERSION.to_le_bytes());
+        w.emit(&(name.len() as u64).to_le_bytes());
+        w.emit(name.as_bytes());
+        w
+    }
+
+    /// Hashes `bytes` into the running checksum and writes them through.
+    fn emit(&mut self, bytes: &[u8]) {
+        if self.error.is_some() {
+            return;
+        }
+        self.hash = fnv1a_seeded(self.hash, bytes);
+        if let Err(e) = self.sink.write_all(bytes) {
+            self.error = Some(e.into());
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        let len = self.chunk.len() as u32;
+        let staged = std::mem::take(&mut self.chunk);
+        self.emit(&len.to_le_bytes());
+        self.emit(&staged);
+        self.chunk = staged;
+        self.chunk.clear();
+    }
+
+    /// Terminates the envelope: flushes the pending chunk, writes the
+    /// zero-length sentinel and the checksum.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SnapshotError::Io`] the sink raised, if any.
+    pub fn finish(mut self) -> Result<(), SnapshotError> {
+        self.flush_chunk();
+        self.emit(&0u32.to_le_bytes());
+        let checksum = self.hash;
+        if self.error.is_none() {
+            if let Err(e) = self.sink.write_all(&checksum.to_le_bytes()) {
+                self.error = Some(e.into());
+            }
+        }
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl StateSink for SnapshotStreamWriter<'_> {
+    fn put_raw(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            let room = STREAM_CHUNK - self.chunk.len();
+            let n = room.min(bytes.len());
+            self.chunk.extend_from_slice(&bytes[..n]);
+            bytes = &bytes[n..];
+            if self.chunk.len() == STREAM_CHUNK {
+                self.flush_chunk();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for SnapshotStreamWriter<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStreamWriter")
+            .field("pending", &self.chunk.len())
+            .field("error", &self.error)
+            .finish()
+    }
+}
+
+/// A [`StateSource`] that decodes the v2 chunked envelope from any
+/// [`std::io::Read`], verifying the running checksum at
+/// [`finish`](Self::finish).
+///
+/// Holds one chunk (≤ `STREAM_CHUNK` bytes) at a time, so restoring a
+/// whole fleet never materializes the payload.
+pub struct SnapshotStreamReader<'r> {
+    source: &'r mut dyn std::io::Read,
+    hash: u64,
+    chunk: Vec<u8>,
+    pos: usize,
+    /// The zero-length sentinel chunk has been consumed.
+    done: bool,
+}
+
+impl<'r> SnapshotStreamReader<'r> {
+    /// Opens a v2 envelope, consuming and validating the header; returns
+    /// the reader positioned at the first payload byte plus the algorithm
+    /// name from the header.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`], [`SnapshotError::UnsupportedVersion`],
+    /// [`SnapshotError::Io`]/[`SnapshotError::Truncated`] on source
+    /// failure, or [`SnapshotError::Malformed`] on a bad name field.
+    pub fn open(source: &'r mut dyn std::io::Read) -> Result<(Self, String), SnapshotError> {
+        let mut header = [0u8; 8];
+        read_exact(source, &mut header)?;
+        if header[..4] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_STREAM_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: SNAPSHOT_STREAM_VERSION,
+            });
+        }
+        Self::after_header(source)
+    }
+
+    /// As [`open`](Self::open), but for a source whose 8 header bytes
+    /// (magic + version, already validated as v2) were consumed by the
+    /// caller — the version-sniffing entry point
+    /// [`Federation::restore_from`](crate::runtime::Federation::restore_from)
+    /// needs this to fall back to the v1 decoder without rewinding.
+    pub fn after_header(
+        source: &'r mut dyn std::io::Read,
+    ) -> Result<(Self, String), SnapshotError> {
+        let mut r = Self {
+            source,
+            // The running hash over the constant 8-byte header prefix.
+            hash: fnv1a_seeded(
+                fnv1a_seeded(0xcbf2_9ce4_8422_2325, &SNAPSHOT_MAGIC),
+                &SNAPSHOT_STREAM_VERSION.to_le_bytes(),
+            ),
+            chunk: Vec::new(),
+            pos: 0,
+            done: false,
+        };
+        let mut len = [0u8; 8];
+        r.pull(&mut len)?;
+        let len = usize::try_from(u64::from_le_bytes(len))
+            .map_err(|_| SnapshotError::Malformed("name length overflows usize".into()))?;
+        if len > 4096 {
+            return Err(SnapshotError::Malformed(format!(
+                "algorithm name of {len} bytes"
+            )));
+        }
+        let mut name = vec![0u8; len];
+        r.pull(&mut name)?;
+        let name = String::from_utf8(name)
+            .map_err(|_| SnapshotError::Malformed("algorithm name is not UTF-8".into()))?;
+        Ok((r, name))
+    }
+
+    /// Reads raw header/framing bytes (not chunk payload), hashing them.
+    fn pull(&mut self, out: &mut [u8]) -> Result<(), SnapshotError> {
+        read_exact(self.source, out)?;
+        self.hash = fnv1a_seeded(self.hash, out);
+        Ok(())
+    }
+
+    /// Advances to the next chunk; sets [`done`](Self::done) on the
+    /// sentinel.
+    fn next_chunk(&mut self) -> Result<(), SnapshotError> {
+        let mut len = [0u8; 4];
+        self.pull(&mut len)?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len == 0 {
+            self.done = true;
+            return Ok(());
+        }
+        if len > STREAM_CHUNK {
+            return Err(SnapshotError::Malformed(format!(
+                "stream chunk of {len} bytes exceeds the {STREAM_CHUNK} cap"
+            )));
+        }
+        self.chunk.resize(len, 0);
+        self.pos = 0;
+        let mut chunk = std::mem::take(&mut self.chunk);
+        let result = self.pull(&mut chunk);
+        self.chunk = chunk;
+        result
+    }
+
+    /// Verifies the end of the envelope: the payload must be exactly
+    /// consumed, the sentinel present, and the checksum matching.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::Malformed`] on unread payload bytes,
+    /// [`SnapshotError::ChecksumMismatch`] on corruption, and
+    /// [`SnapshotError::Io`]/[`SnapshotError::Truncated`] on source
+    /// failure.
+    pub fn finish(mut self) -> Result<(), SnapshotError> {
+        if self.pos != self.chunk.len() {
+            return Err(SnapshotError::Malformed(format!(
+                "{} trailing bytes",
+                self.chunk.len() - self.pos
+            )));
+        }
+        if !self.done {
+            self.next_chunk()?;
+            if !self.done {
+                return Err(SnapshotError::Malformed(format!(
+                    "{} trailing bytes",
+                    self.chunk.len()
+                )));
+            }
+        }
+        let expected = self.hash;
+        let mut stored = [0u8; 8];
+        read_exact(self.source, &mut stored)?;
+        if u64::from_le_bytes(stored) != expected {
+            return Err(SnapshotError::ChecksumMismatch);
+        }
+        Ok(())
+    }
+}
+
+impl StateSource for SnapshotStreamReader<'_> {
+    fn take_into(&mut self, out: &mut [u8]) -> Result<(), SnapshotError> {
+        let mut written = 0;
+        while written < out.len() {
+            if self.pos == self.chunk.len() {
+                if self.done {
+                    return Err(SnapshotError::Truncated);
+                }
+                self.next_chunk()?;
+                if self.done {
+                    return Err(SnapshotError::Truncated);
+                }
+            }
+            let n = (out.len() - written).min(self.chunk.len() - self.pos);
+            out[written..written + n].copy_from_slice(&self.chunk[self.pos..self.pos + n]);
+            self.pos += n;
+            written += n;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for SnapshotStreamReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotStreamReader")
+            .field("chunk_len", &self.chunk.len())
+            .field("pos", &self.pos)
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
+/// `read_exact` with EOF mapped to [`SnapshotError::Truncated`] and other
+/// failures to [`SnapshotError::Io`].
+fn read_exact(source: &mut dyn std::io::Read, out: &mut [u8]) -> Result<(), SnapshotError> {
+    source.read_exact(out).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            SnapshotError::Truncated
+        } else {
+            e.into()
+        }
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Typed helpers for the state shared by FedPKD and the baselines.
 // ---------------------------------------------------------------------------
@@ -446,7 +928,7 @@ pub fn check_algorithm(state: &AlgorithmState, expected: &str) -> Result<(), Sna
 }
 
 /// Writes an RNG's raw xoshiro state (4 × u64).
-pub fn write_rng(w: &mut SnapshotWriter, rng: &Rng) {
+pub fn write_rng(w: &mut dyn StateSink, rng: &Rng) {
     for word in rng.state() {
         w.put_u64(word);
     }
@@ -458,7 +940,7 @@ pub fn write_rng(w: &mut SnapshotWriter, rng: &Rng) {
 ///
 /// [`SnapshotError::Malformed`] on the (unreachable from a real generator)
 /// all-zero state.
-pub fn read_rng(r: &mut SnapshotReader) -> Result<Rng, SnapshotError> {
+pub fn read_rng(r: &mut dyn StateSource) -> Result<Rng, SnapshotError> {
     let mut s = [0u64; 4];
     for word in &mut s {
         *word = r.take_u64()?;
@@ -470,7 +952,7 @@ pub fn read_rng(r: &mut SnapshotReader) -> Result<Rng, SnapshotError> {
 }
 
 /// Writes a tensor: shape, then data.
-pub fn write_tensor(w: &mut SnapshotWriter, t: &Tensor) {
+pub fn write_tensor(w: &mut dyn StateSink, t: &Tensor) {
     w.put_usize(t.shape().len());
     for &dim in t.shape() {
         w.put_usize(dim);
@@ -484,7 +966,7 @@ pub fn write_tensor(w: &mut SnapshotWriter, t: &Tensor) {
 ///
 /// [`SnapshotError::Malformed`] if the data length disagrees with the
 /// shape.
-pub fn read_tensor(r: &mut SnapshotReader) -> Result<Tensor, SnapshotError> {
+pub fn read_tensor(r: &mut dyn StateSource) -> Result<Tensor, SnapshotError> {
     let rank = r.take_usize()?;
     if rank > 8 {
         return Err(SnapshotError::Malformed(format!("tensor rank {rank}")));
@@ -499,7 +981,7 @@ pub fn read_tensor(r: &mut SnapshotReader) -> Result<Tensor, SnapshotError> {
 
 /// Writes a model's full state (parameters + buffers) in
 /// `serialize::state_vector` visitation order.
-pub fn write_model(w: &mut SnapshotWriter, model: &dyn Layer) {
+pub fn write_model(w: &mut dyn StateSink, model: &dyn Layer) {
     w.put_f32s(&state_vector(model));
 }
 
@@ -510,7 +992,7 @@ pub fn write_model(w: &mut SnapshotWriter, model: &dyn Layer) {
 ///
 /// [`SnapshotError::Malformed`] if the value count does not match the
 /// model; `model` is left untouched in that case.
-pub fn read_model(r: &mut SnapshotReader, model: &mut dyn Layer) -> Result<(), SnapshotError> {
+pub fn read_model(r: &mut dyn StateSource, model: &mut dyn Layer) -> Result<(), SnapshotError> {
     let values = r.take_f32s()?;
     load_state_vector(model, &values)
         .map_err(|e| SnapshotError::Malformed(format!("model state mismatch: {e}")))
@@ -518,7 +1000,7 @@ pub fn read_model(r: &mut SnapshotReader, model: &mut dyn Layer) -> Result<(), S
 
 /// Writes an Adam optimizer's mutable state: learning rate, step count,
 /// and both moment buffers.
-pub fn write_adam(w: &mut SnapshotWriter, opt: &Adam) {
+pub fn write_adam(w: &mut dyn StateSink, opt: &Adam) {
     use fedpkd_tensor::optim::Optimizer;
     w.put_f32(opt.learning_rate());
     w.put_u64(opt.step_count());
@@ -535,7 +1017,7 @@ pub fn write_adam(w: &mut SnapshotWriter, opt: &Adam) {
 ///
 /// [`SnapshotError::Malformed`] on a non-positive learning rate or
 /// mismatched moment pairs.
-pub fn read_adam(r: &mut SnapshotReader, opt: &mut Adam) -> Result<(), SnapshotError> {
+pub fn read_adam(r: &mut dyn StateSource, opt: &mut Adam) -> Result<(), SnapshotError> {
     use fedpkd_tensor::optim::Optimizer;
     let lr = r.take_f32()?;
     if !(lr.is_finite() && lr > 0.0) {
@@ -543,7 +1025,7 @@ pub fn read_adam(r: &mut SnapshotReader, opt: &mut Adam) -> Result<(), SnapshotE
     }
     let t = r.take_u64()?;
     let count = r.take_usize()?;
-    let read_moments = |r: &mut SnapshotReader| -> Result<Vec<Tensor>, SnapshotError> {
+    let read_moments = |r: &mut dyn StateSource| -> Result<Vec<Tensor>, SnapshotError> {
         (0..count).map(|_| read_tensor(r)).collect()
     };
     let m = read_moments(r)?;
@@ -559,7 +1041,7 @@ pub fn read_adam(r: &mut SnapshotReader, opt: &mut Adam) -> Result<(), SnapshotE
 }
 
 /// Writes one client's full state: model, optimizer, RNG stream.
-pub fn write_client(w: &mut SnapshotWriter, client: &ClientState) {
+pub fn write_client(w: &mut dyn StateSink, client: &ClientState) {
     write_model(w, &client.model);
     write_adam(w, &client.optimizer);
     write_rng(w, &client.rng);
@@ -570,7 +1052,7 @@ pub fn write_client(w: &mut SnapshotWriter, client: &ClientState) {
 /// # Errors
 ///
 /// Propagates the model/optimizer/RNG decoding errors.
-pub fn read_client(r: &mut SnapshotReader, client: &mut ClientState) -> Result<(), SnapshotError> {
+pub fn read_client(r: &mut dyn StateSource, client: &mut ClientState) -> Result<(), SnapshotError> {
     read_model(r, &mut client.model)?;
     read_adam(r, &mut client.optimizer)?;
     client.rng = read_rng(r)?;
@@ -578,7 +1060,7 @@ pub fn read_client(r: &mut SnapshotReader, client: &mut ClientState) -> Result<(
 }
 
 /// Writes a whole client fleet, count-prefixed.
-pub fn write_clients(w: &mut SnapshotWriter, clients: &[ClientState]) {
+pub fn write_clients(w: &mut dyn StateSink, clients: &[ClientState]) {
     w.put_usize(clients.len());
     for client in clients {
         write_client(w, client);
@@ -592,7 +1074,7 @@ pub fn write_clients(w: &mut SnapshotWriter, clients: &[ClientState]) {
 /// [`SnapshotError::Malformed`] if the snapshot's client count differs
 /// from `clients.len()`.
 pub fn read_clients(
-    r: &mut SnapshotReader,
+    r: &mut dyn StateSource,
     clients: &mut [ClientState],
 ) -> Result<(), SnapshotError> {
     let count = r.take_usize()?;
@@ -608,9 +1090,14 @@ pub fn read_clients(
     Ok(())
 }
 
+// The copy-on-write fleet serializes through the same layout as
+// `write_clients`, so its codec lives beside the pool; re-exported here
+// to keep all state codecs reachable from one module.
+pub use crate::cow::{read_pool, write_pool};
+
 /// Writes the shared driver's book-keeping: rounds driven plus the full
 /// communication ledger.
-pub fn write_driver(w: &mut SnapshotWriter, driver: &DriverState) {
+pub fn write_driver(w: &mut dyn StateSink, driver: &DriverState) {
     w.put_usize(driver.rounds_driven());
     let ledger = driver.ledger();
     w.put_usize(ledger.num_transfers());
@@ -630,7 +1117,7 @@ pub fn write_driver(w: &mut SnapshotWriter, driver: &DriverState) {
 /// # Errors
 ///
 /// [`SnapshotError::Malformed`] on an unknown direction tag.
-pub fn read_driver(r: &mut SnapshotReader) -> Result<DriverState, SnapshotError> {
+pub fn read_driver(r: &mut dyn StateSource) -> Result<DriverState, SnapshotError> {
     let rounds_driven = r.take_usize()?;
     let count = r.take_usize()?;
     let mut records = Vec::with_capacity(count.min(1 << 20));
@@ -661,7 +1148,7 @@ pub fn read_driver(r: &mut SnapshotReader) -> Result<DriverState, SnapshotError>
 }
 
 /// Writes a quarantine tracker's cross-round state (streaks + flags).
-pub fn write_quarantine(w: &mut SnapshotWriter, tracker: &QuarantineTracker) {
+pub fn write_quarantine(w: &mut dyn StateSink, tracker: &QuarantineTracker) {
     let streaks = tracker.streaks();
     w.put_usize(streaks.len());
     for &s in streaks {
@@ -679,7 +1166,7 @@ pub fn write_quarantine(w: &mut SnapshotWriter, tracker: &QuarantineTracker) {
 /// [`SnapshotError::Malformed`] if the client count differs from the
 /// tracker's.
 pub fn read_quarantine(
-    r: &mut SnapshotReader,
+    r: &mut dyn StateSource,
     tracker: &mut QuarantineTracker,
 ) -> Result<(), SnapshotError> {
     let count = r.take_usize()?;
@@ -702,7 +1189,7 @@ pub fn read_quarantine(
 }
 
 /// Writes a `Vec<Option<Tensor>>` (per-class prototypes, cached logits…).
-pub fn write_opt_tensors(w: &mut SnapshotWriter, tensors: &[Option<Tensor>]) {
+pub fn write_opt_tensors(w: &mut dyn StateSink, tensors: &[Option<Tensor>]) {
     w.put_usize(tensors.len());
     for t in tensors {
         match t {
@@ -720,7 +1207,7 @@ pub fn write_opt_tensors(w: &mut SnapshotWriter, tensors: &[Option<Tensor>]) {
 /// # Errors
 ///
 /// Propagates tensor decoding errors.
-pub fn read_opt_tensors(r: &mut SnapshotReader) -> Result<Vec<Option<Tensor>>, SnapshotError> {
+pub fn read_opt_tensors(r: &mut dyn StateSource) -> Result<Vec<Option<Tensor>>, SnapshotError> {
     let count = r.take_usize()?;
     let mut out = Vec::with_capacity(count.min(1 << 20));
     for _ in 0..count {
@@ -793,12 +1280,12 @@ mod tests {
     #[test]
     fn future_versions_are_rejected() {
         let mut bytes = sample_state().to_bytes();
-        bytes[4..8].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        bytes[4..8].copy_from_slice(&(SNAPSHOT_STREAM_VERSION + 1).to_le_bytes());
         assert_eq!(
             AlgorithmState::from_bytes(&bytes),
             Err(SnapshotError::UnsupportedVersion {
-                found: SNAPSHOT_VERSION + 1,
-                supported: SNAPSHOT_VERSION,
+                found: SNAPSHOT_STREAM_VERSION + 1,
+                supported: SNAPSHOT_STREAM_VERSION,
             })
         );
     }

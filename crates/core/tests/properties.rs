@@ -1,10 +1,19 @@
-//! Property-based tests for FedPKD's aggregation and filtering invariants.
+//! Property-based tests for FedPKD's aggregation and filtering invariants,
+//! and for the copy-on-write client pool's bit-exactness contract.
 
+use fedpkd_core::clients::{build_clients, for_each_active_client_streaming, ClientState};
+use fedpkd_core::cow::{for_each_pooled_client_streaming, ClientPool, ClientSlot};
 use fedpkd_core::fedpkd::filter::filter_public;
 use fedpkd_core::fedpkd::logits::{aggregate_logits, pseudo_labels};
 use fedpkd_core::fedpkd::prototypes::{aggregate_prototypes, Prototype};
+use fedpkd_core::snapshot::{read_pool, write_clients, write_pool, SnapshotReader, SnapshotWriter};
+use fedpkd_core::train::train_supervised;
+use fedpkd_data::{ClientData, FederatedScenario, Partition, ScenarioBuilder, SyntheticConfig};
+use fedpkd_tensor::models::{DepthTier, ModelSpec};
+use fedpkd_tensor::serialize::state_vector;
 use fedpkd_tensor::Tensor;
 use proptest::prelude::*;
+use std::sync::OnceLock;
 
 fn arb_logits(clients: usize, n: usize, k: usize) -> impl Strategy<Value = Vec<Tensor>> {
     prop::collection::vec(
@@ -176,6 +185,171 @@ proptest! {
             let hi = vectors.iter().map(|v| v[dim]).fold(f32::MIN, f32::max);
             let x = g.as_slice()[dim];
             prop_assert!(x >= lo - 1e-4 && x <= hi + 1e-4, "dim {dim}: {x} not in [{lo}, {hi}]");
+        }
+    }
+}
+
+// ---- Copy-on-write pool vs. the owned fleet --------------------------
+
+/// The shared training scenario for the pool properties, built once (the
+/// property inputs vary seeds and rosters, never the data).
+fn pool_scenario() -> &'static FederatedScenario {
+    static SCENARIO: OnceLock<FederatedScenario> = OnceLock::new();
+    SCENARIO.get_or_init(|| {
+        ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+            .clients(3)
+            .samples(240)
+            .public_size(80)
+            .global_test_size(80)
+            .partition(Partition::Dirichlet { alpha: 0.5 })
+            .seed(113)
+            .build()
+            .unwrap()
+    })
+}
+
+fn pool_specs() -> Vec<ModelSpec> {
+    let spec = |tier| ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier,
+    };
+    vec![
+        spec(DepthTier::T11),
+        spec(DepthTier::T20),
+        spec(DepthTier::T11),
+    ]
+}
+
+/// One local-training pass, the workload both fleets run.
+fn train_once(_: usize, client: &mut ClientState, data: &ClientData) -> u64 {
+    train_supervised(
+        &mut client.model,
+        &data.train,
+        1,
+        64,
+        &mut client.optimizer,
+        &mut client.rng,
+    );
+    client.optimizer.step_count()
+}
+
+/// Full bit-level fingerprint of an owned client: model state, optimizer
+/// step/moments, RNG words.
+fn fingerprint(client: &ClientState) -> (Vec<u32>, u64, Vec<Vec<u32>>, [u64; 4]) {
+    let (m, v) = client.optimizer.moments();
+    (
+        state_vector(&client.model)
+            .iter()
+            .map(|f| f.to_bits())
+            .collect(),
+        client.optimizer.step_count(),
+        m.iter()
+            .chain(v)
+            .map(|t| t.as_slice().iter().map(|f| f.to_bits()).collect())
+            .collect(),
+        client.rng.state(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full CoW lifecycle — materialize → train → park at commit →
+    /// (maybe) release — leaves every client bit-identical to the owned
+    /// `Vec<ClientState>` path at the same seed, for any roster, worker
+    /// count, and number of rounds.
+    #[test]
+    fn pooled_lifecycle_is_bit_identical_to_owned_path(
+        seed in any::<u64>(),
+        rosters in prop::collection::vec(prop::collection::vec(0usize..3, 0..4), 1..3),
+        workers in 1usize..5,
+    ) {
+        let scenario = pool_scenario();
+        let specs = pool_specs();
+        let mut owned = build_clients(&specs, 0.003, seed);
+        let mut pool = ClientPool::new(&specs, 0.003, seed);
+        for roster in &rosters {
+            let mut owned_out = Vec::new();
+            for_each_active_client_streaming(
+                &mut owned, &scenario.clients, roster, workers, train_once,
+                |i, out| owned_out.push((i, out)),
+            );
+            let mut pooled_out = Vec::new();
+            for_each_pooled_client_streaming(
+                &mut pool, &scenario.clients, roster, workers, train_once,
+                |i, out| pooled_out.push((i, out)),
+            );
+            prop_assert_eq!(&pooled_out, &owned_out);
+        }
+        // Clients never rostered must still be fresh (zero resident bytes).
+        let trained: Vec<bool> = (0..3)
+            .map(|i| rosters.iter().any(|r| r.contains(&i)))
+            .collect();
+        for (i, owned_client) in owned.iter().enumerate() {
+            prop_assert_eq!(
+                matches!(pool.slot(i), ClientSlot::Parked(_)),
+                trained[i],
+                "client {} residency", i
+            );
+            prop_assert_eq!(fingerprint(&pool.materialize(i)), fingerprint(owned_client));
+        }
+        // Releasing a delta returns the client to its deterministic init.
+        pool.release(0);
+        let rebuilt = build_clients(&specs, 0.003, seed);
+        prop_assert_eq!(fingerprint(&pool.materialize(0)), fingerprint(&rebuilt[0]));
+    }
+
+    /// Snapshotting a pool mid-sequence — deltas in flight for the trained
+    /// clients, fresh slots for the rest — emits exactly the owned fleet's
+    /// bytes, and restoring + continuing matches never having stopped.
+    #[test]
+    fn pool_snapshot_resume_with_deltas_in_flight_is_exact(
+        seed in any::<u64>(),
+        first in prop::collection::vec(0usize..3, 0..3),
+        second in prop::collection::vec(0usize..3, 1..4),
+        workers in 1usize..4,
+    ) {
+        let scenario = pool_scenario();
+        let specs = pool_specs();
+        // Owned reference: train, keep going, never interrupted.
+        let mut owned = build_clients(&specs, 0.003, seed);
+        for_each_active_client_streaming(
+            &mut owned, &scenario.clients, &first, workers, train_once, |_, _| {},
+        );
+        // Pool under test: train the first roster, snapshot, restore into
+        // a fresh pool.
+        let mut pool = ClientPool::new(&specs, 0.003, seed);
+        for_each_pooled_client_streaming(
+            &mut pool, &scenario.clients, &first, workers, train_once, |_, _| {},
+        );
+        let mut w_pool = SnapshotWriter::new();
+        write_pool(&mut w_pool, &pool);
+        let mut w_owned = SnapshotWriter::new();
+        write_clients(&mut w_owned, &owned);
+        let bytes = w_pool.into_bytes();
+        prop_assert_eq!(&bytes, &w_owned.into_bytes());
+        let mut revived = ClientPool::new(&specs, 0.003, seed);
+        let mut r = SnapshotReader::new(&bytes);
+        read_pool(&mut r, &mut revived).unwrap();
+        r.finish().unwrap();
+        // Freshness survives the round trip: only trained clients park.
+        for i in 0..3 {
+            prop_assert_eq!(
+                matches!(revived.slot(i), ClientSlot::Parked(_)),
+                first.contains(&i),
+                "client {} residency after restore", i
+            );
+        }
+        // Continue both; the restored pool must track the owned fleet.
+        for_each_active_client_streaming(
+            &mut owned, &scenario.clients, &second, workers, train_once, |_, _| {},
+        );
+        for_each_pooled_client_streaming(
+            &mut revived, &scenario.clients, &second, workers, train_once, |_, _| {},
+        );
+        for (i, owned_client) in owned.iter().enumerate() {
+            prop_assert_eq!(fingerprint(&revived.materialize(i)), fingerprint(owned_client));
         }
     }
 }

@@ -389,13 +389,16 @@ pub(crate) fn matmul_transposed_fast_into(
     if k == 0 {
         return;
     }
-    let mut b_packed = vec![0.0f32; k * n];
-    for (kk, packed_row) in b_packed.chunks_exact_mut(n).enumerate() {
-        for (j, o) in packed_row.iter_mut().enumerate() {
-            *o = bt[j * k + kk];
+    // Pooled scratch: the repack writes every element before the product
+    // reads it, so the buffer's stale contents never leak into the result.
+    crate::parallel::scratch::with_f32s(k * n, |b_packed| {
+        for (kk, packed_row) in b_packed.chunks_exact_mut(n).enumerate() {
+            for (j, o) in packed_row.iter_mut().enumerate() {
+                *o = bt[j * k + kk];
+            }
         }
-    }
-    matmul_fast_into(a, &b_packed, out, m, k, n, None, false);
+        matmul_fast_into(a, b_packed, out, m, k, n, None, false);
+    });
 }
 
 /// Fast tier: `out = Aᵀ·B` with `a: [r, m]` and `b: [r, n]` — the Dense
@@ -418,11 +421,12 @@ pub(crate) fn tr_matmul_fast_into(
     if r == 0 {
         return;
     }
-    let mut a_packed = vec![0.0f32; m * r];
-    for (i, packed_row) in a_packed.chunks_exact_mut(r).enumerate() {
-        for (rr, o) in packed_row.iter_mut().enumerate() {
-            *o = a[rr * m + i];
+    crate::parallel::scratch::with_f32s(m * r, |a_packed| {
+        for (i, packed_row) in a_packed.chunks_exact_mut(r).enumerate() {
+            for (rr, o) in packed_row.iter_mut().enumerate() {
+                *o = a[rr * m + i];
+            }
         }
-    }
-    matmul_fast_into(&a_packed, b, out, m, r, n, None, false);
+        matmul_fast_into(a_packed, b, out, m, r, n, None, false);
+    });
 }

@@ -36,7 +36,6 @@ pub struct ClassifierModel {
     head: Linear,
     feature_dim: usize,
     num_classes: usize,
-    cached_features: Option<Tensor>,
 }
 
 impl ClassifierModel {
@@ -53,7 +52,6 @@ impl ClassifierModel {
             head,
             feature_dim,
             num_classes,
-            cached_features: None,
         }
     }
 
@@ -68,10 +66,13 @@ impl ClassifierModel {
     }
 
     /// Runs only the backbone, returning feature embeddings `[batch, d]`.
+    ///
+    /// The returned tensor is moved straight out of the backbone; the
+    /// activations [`backward_dual`](Self::backward_dual) needs live inside
+    /// the layers themselves, so no feature copy is kept here. Eval paths
+    /// that never backpropagate therefore pay zero feature copies.
     pub fn forward_features(&mut self, input: &Tensor, train: bool) -> Tensor {
-        let features = self.backbone.forward(input, train);
-        self.cached_features = Some(features.clone());
-        features
+        self.backbone.forward(input, train)
     }
 
     /// Runs the full model, returning `(features, logits)`.
@@ -531,6 +532,27 @@ mod tests {
             Sequential::new(vec![Box::new(Linear::new(4, 8, &mut rng)) as Box<dyn Layer>]);
         let head = Linear::new(6, 2, &mut rng);
         let _ = ClassifierModel::new(backbone, head, 8);
+    }
+
+    #[test]
+    fn forward_features_is_bit_identical_to_forward_full() {
+        // The copy-free feature path must return the exact bytes the
+        // (features, logits) path sees, train and eval alike, and a
+        // subsequent backward_dual must still work off the layer-held
+        // activations.
+        let mut rng = Rng::seed_from_u64(10);
+        let mut m = build_res_mlp(6, 3, DepthTier::T11, &mut rng);
+        let x = Tensor::rand_uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        for train in [false, true] {
+            let via_features = m.forward_features(&x, train);
+            let (via_full, logits) = m.forward_full(&x, train);
+            assert_eq!(via_features.as_slice(), via_full.as_slice());
+            if train {
+                let grad = Tensor::full(logits.shape(), 0.1);
+                m.backward_dual(&grad, None);
+                m.zero_grad();
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,61 @@
 //! share mutable state, so the result is bit-identical to the sequential
 //! loop regardless of core count or scheduling.
 
+/// Per-thread reusable scratch buffers for transient `f32` workspaces.
+///
+/// The hot kernels repack an operand into a packed layout on every call,
+/// and under [`dispatch_stealing`] each client's training loop issues
+/// thousands of such calls from the same worker thread. Allocating the
+/// packed buffer fresh each time makes the allocator the bottleneck at
+/// fleet scale; this pool hands each thread back the buffers it just
+/// released, so steady-state training does no repack allocations at all.
+///
+/// The pool is thread-local, which makes it safe by construction under
+/// every dispatch idiom in this module (scoped worker threads never share
+/// a buffer) and keeps results bit-identical: a pooled buffer is handed
+/// out with unspecified contents, so callers must fully overwrite the
+/// range they read — exactly what the repack loops already do.
+pub mod scratch {
+    use std::cell::RefCell;
+
+    /// Buffers retained per thread; deeper nesting than this frees on drop.
+    const MAX_POOLED: usize = 4;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    /// Runs `f` over a scratch buffer of exactly `len` elements drawn from
+    /// the calling thread's pool, returning the buffer to the pool after.
+    ///
+    /// The buffer's contents are **unspecified** on entry — stale data from
+    /// earlier borrows is deliberately not cleared — so `f` must write every
+    /// element it later reads. Nested calls compose (each borrow gets a
+    /// distinct buffer); a panic inside `f` simply drops the buffer.
+    pub fn with_f32s<T>(len: usize, f: impl FnOnce(&mut [f32]) -> T) -> T {
+        let mut buf = POOL
+            .with(|pool| pool.borrow_mut().pop())
+            .unwrap_or_default();
+        if buf.len() < len {
+            buf.resize(len, 0.0);
+        }
+        let result = f(&mut buf[..len]);
+        POOL.with(|pool| {
+            let mut pool = pool.borrow_mut();
+            if pool.len() < MAX_POOLED {
+                pool.push(buf);
+            }
+        });
+        result
+    }
+
+    /// Capacity (in `f32`s) currently parked in this thread's pool — an
+    /// observability hook for the reuse tests.
+    pub fn pooled_capacity() -> usize {
+        POOL.with(|pool| pool.borrow().iter().map(Vec::capacity).sum())
+    }
+}
+
 /// The machine's available parallelism (1 if it cannot be determined).
 pub fn max_workers() -> usize {
     std::thread::available_parallelism()
@@ -241,6 +296,39 @@ mod tests {
         if max_workers() > 1 {
             assert!(stats.steals > 0, "skewed chunks should trigger steals");
         }
+    }
+
+    #[test]
+    fn scratch_buffers_are_reused_within_a_thread() {
+        // Run on a dedicated thread so other tests' pool traffic cannot
+        // interfere with the capacity accounting.
+        std::thread::spawn(|| {
+            let base = scratch::pooled_capacity();
+            scratch::with_f32s(128, |buf| {
+                assert_eq!(buf.len(), 128);
+                buf.fill(1.0);
+            });
+            assert!(scratch::pooled_capacity() >= base + 128, "buffer parked");
+            let parked = scratch::pooled_capacity();
+            // A second, smaller borrow must reuse the parked buffer rather
+            // than allocate: total pooled capacity stays flat.
+            scratch::with_f32s(64, |buf| {
+                assert_eq!(buf.len(), 64);
+                assert!(buf.iter().all(|&v| v == 1.0), "stale contents kept");
+            });
+            assert_eq!(scratch::pooled_capacity(), parked);
+        })
+        .join()
+        .unwrap();
+    }
+
+    #[test]
+    fn scratch_nested_borrows_get_distinct_buffers() {
+        scratch::with_f32s(16, |outer| {
+            outer.fill(2.0);
+            scratch::with_f32s(16, |inner| inner.fill(3.0));
+            assert!(outer.iter().all(|&v| v == 2.0));
+        });
     }
 
     #[test]

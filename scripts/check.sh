@@ -21,6 +21,23 @@ FEDPKD_PERF_SCALE=smoke FEDPKD_PERF_OUT=target/bench_smoke.json \
     cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
 # Fleet-scale smoke: a 1000-client fleet with 64-client seeded cohorts must
 # replay bit-identically in both sync and bounded-staleness modes. The
-# committed 10k-client report is BENCH_pr6.json.
+# committed 10k-client report is BENCH_pr7.json.
 FEDPKD_PERF_SCALE=fleet-smoke FEDPKD_PERF_OUT=target/bench_fleet_smoke.json \
     cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
+# Memory gate: the 1000-client smoke fleet must not out-grow the committed
+# 10k-client pre-CoW peak (BENCH_pr6.json), with 20% headroom for allocator
+# and kernel noise — and the copy-on-write pool must keep a model-backed
+# fleet at least 4x cheaper than dense per-client state.
+json_field() { grep -o "\"$2\": [0-9]*" "$1" | head -1 | awk '{print $2}'; }
+smoke_rss=$(json_field target/bench_fleet_smoke.json peak_rss_bytes)
+base_rss=$(json_field BENCH_pr6.json peak_rss_bytes)
+if [ "$smoke_rss" -gt $((base_rss * 6 / 5)) ]; then
+    echo "FAIL: fleet-smoke peak RSS $smoke_rss exceeds pre-CoW baseline $base_rss (+20%)" >&2
+    exit 1
+fi
+owned=$(json_field target/bench_fleet_smoke.json owned_fleet_bytes)
+pooled=$(json_field target/bench_fleet_smoke.json pooled_fleet_bytes)
+if [ "$pooled" -gt $((owned / 4)) ]; then
+    echo "FAIL: pooled fleet residency $pooled is not 4x below dense $owned" >&2
+    exit 1
+fi

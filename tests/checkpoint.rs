@@ -244,6 +244,94 @@ fn fedet_resumes_bit_identically_under_hostile_faults() {
     );
 }
 
+// ---- Streaming envelope: snapshot_to / restore_from. -------------------
+
+#[test]
+fn streaming_snapshot_round_trips_bit_identically() {
+    let mut algo = fedpkd();
+    let _ = Driver::rounds(1).run_silent(&mut algo);
+    // Stream to an io::Write sink — no whole-fleet Vec<u8> staging beyond
+    // the sink itself (which here is the test's capture buffer).
+    let mut streamed = Vec::new();
+    algo.snapshot_to(&mut streamed).expect("stream out");
+    let mut revived = fedpkd();
+    revived
+        .restore_from(&mut streamed.as_slice())
+        .expect("stream back");
+    // The revived instance must be bit-identical: its buffered snapshot
+    // matches the donor's.
+    assert_eq!(
+        revived.snapshot_state().to_bytes(),
+        algo.snapshot_state().to_bytes()
+    );
+    // And both entry points must agree on the payload they carry on.
+    let full = Driver::rounds(1).run_silent(&mut algo);
+    let resumed = Driver::rounds(1).run_silent(&mut revived);
+    assert_eq!(resumed.history, full.history);
+}
+
+#[test]
+fn v1_snapshot_bytes_restore_through_the_streaming_reader() {
+    let mut algo = fedpkd();
+    let _ = Driver::rounds(1).run_silent(&mut algo);
+    // Bytes written by the buffered (v1) envelope — the format existing
+    // checkpoint files on disk carry.
+    let v1_bytes = algo.snapshot_state().to_bytes();
+    let mut revived = fedpkd();
+    revived
+        .restore_from(&mut v1_bytes.as_slice())
+        .expect("v1 bytes stay restorable");
+    assert_eq!(
+        revived.snapshot_state().to_bytes(),
+        algo.snapshot_state().to_bytes()
+    );
+}
+
+#[test]
+fn streamed_snapshot_is_a_v2_envelope_and_smaller_machinery_rejects_damage() {
+    let mut algo = fedpkd();
+    let _ = Driver::rounds(1).run_silent(&mut algo);
+    let mut bytes = Vec::new();
+    algo.snapshot_to(&mut bytes).expect("stream out");
+    assert_eq!(&bytes[..4], b"FPKD");
+    assert_eq!(u32::from_le_bytes(bytes[4..8].try_into().unwrap()), 2);
+    // A payload bit-flip must surface at the trailing checksum.
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x40;
+    assert!(fedpkd().restore_from(&mut corrupt.as_slice()).is_err());
+    // Every truncation must be a typed error, never a panic.
+    for len in (0..bytes.len()).step_by(257) {
+        let err = fedpkd()
+            .restore_from(&mut bytes[..len].as_ref())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated
+                    | SnapshotError::ChecksumMismatch
+                    | SnapshotError::Malformed(_)
+            ),
+            "prefix of {len} bytes gave {err:?}"
+        );
+    }
+}
+
+#[test]
+fn streamed_foreign_snapshot_is_rejected_by_name() {
+    let mut donor = FedAvg::new(scenario(), client_spec(), baseline_config(), 61).unwrap();
+    let _ = Driver::rounds(1).run_silent(&mut donor);
+    let mut bytes = Vec::new();
+    donor.snapshot_to(&mut bytes).expect("stream out");
+    match fedpkd().restore_from(&mut bytes.as_slice()) {
+        Err(SnapshotError::AlgorithmMismatch { expected, found }) => {
+            assert_eq!(expected, "FedPKD");
+            assert_eq!(found, "FedAvg");
+        }
+        other => panic!("expected AlgorithmMismatch, got {other:?}"),
+    }
+}
+
 // ---- Failure contract: corrupt bytes yield typed errors, never panics. --
 
 #[test]

@@ -1,0 +1,220 @@
+//! Deprecated-shim parity oracle.
+//!
+//! The `#[deprecated]` entry points on [`FlAlgorithm`] (`run`,
+//! `run_silent`, `run_silent_with_faults`, `take_snapshot`, `run_resumed`)
+//! are thin shims over [`DriverBuilder`]. They configure only the knobs
+//! they name — rounds and the fault plan — and must inherit every other
+//! builder default (full cohort, automatic worker budget, zero staleness,
+//! no periodic snapshots). If a future builder default drifts away from
+//! what the shims assume, these tests fail: for FedPKD and all seven
+//! baselines, a shim-driven run must be **bit-identical** to the
+//! explicitly built driver — same round history, same ledger, and the same
+//! final snapshot payload bytes.
+
+#![allow(deprecated)]
+
+use fedpkd::prelude::*;
+
+const ROUNDS: usize = 2;
+
+fn scenario() -> fedpkd::data::FederatedScenario {
+    ScenarioBuilder::new(SyntheticConfig::cifar10_like())
+        .clients(3)
+        .partition(Partition::Dirichlet { alpha: 0.5 })
+        .samples(240)
+        .public_size(80)
+        .global_test_size(80)
+        .seed(67)
+        .build()
+        .expect("valid scenario")
+}
+
+fn client_spec() -> ModelSpec {
+    ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier: DepthTier::T11,
+    }
+}
+
+fn server_spec() -> ModelSpec {
+    ModelSpec::ResMlp {
+        input_dim: 32,
+        num_classes: 10,
+        tier: DepthTier::T20,
+    }
+}
+
+fn plan() -> FaultPlan {
+    FaultPlan::new(71)
+        .with_dropout(0.25)
+        .with_adversary(1, Attack::LogitScale(-1.5))
+}
+
+/// Shim vs. builder, fault-free and under faults: metrics, traffic, and
+/// the final serialized state must all match bit-for-bit.
+fn assert_shims_match_builder<A: Federation>(make: impl Fn() -> A) {
+    // run_silent(n) ≡ DriverBuilder::new().rounds(n).build().run_silent.
+    let mut via_shim = make();
+    let shim_result = via_shim.run_silent(ROUNDS);
+    let mut via_builder = make();
+    let builder_result = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .build()
+        .run_silent(&mut via_builder);
+    assert_eq!(shim_result.history, builder_result.history);
+    assert_eq!(shim_result.ledger, builder_result.ledger);
+    assert_eq!(
+        via_shim.snapshot_state().to_bytes(),
+        via_builder.snapshot_state().to_bytes(),
+        "fault-free shim must leave bit-identical state"
+    );
+
+    // run_silent_with_faults(n, plan) ≡ builder with .faults(plan).
+    let plan = plan();
+    let mut via_shim = make();
+    let shim_result = via_shim.run_silent_with_faults(ROUNDS, &plan);
+    let mut via_builder = make();
+    let builder_result = DriverBuilder::new()
+        .rounds(ROUNDS)
+        .faults(plan.clone())
+        .build()
+        .run_silent(&mut via_builder);
+    assert_eq!(shim_result.history, builder_result.history);
+    assert_eq!(shim_result.ledger, builder_result.ledger);
+    assert_eq!(
+        via_shim.snapshot_state().to_bytes(),
+        via_builder.snapshot_state().to_bytes(),
+        "faulted shim must leave bit-identical state"
+    );
+}
+
+fn fedpkd() -> FedPkd {
+    let config = FedPkdConfig {
+        client_private_epochs: 1,
+        client_public_epochs: 1,
+        server_epochs: 1,
+        learning_rate: 0.003,
+        ..FedPkdConfig::default()
+    };
+    FedPkd::new(
+        scenario(),
+        vec![client_spec(); 3],
+        server_spec(),
+        config,
+        73,
+    )
+    .expect("valid federation")
+}
+
+fn baseline_config() -> BaselineConfig {
+    BaselineConfig {
+        local_epochs: 1,
+        digest_epochs: 1,
+        server_epochs: 1,
+        learning_rate: 0.003,
+        ..BaselineConfig::default()
+    }
+}
+
+#[test]
+fn fedpkd_shims_match_builder() {
+    assert_shims_match_builder(fedpkd);
+}
+
+#[test]
+fn fedavg_shims_match_builder() {
+    assert_shims_match_builder(|| {
+        FedAvg::new(scenario(), client_spec(), baseline_config(), 79).unwrap()
+    });
+}
+
+#[test]
+fn fedprox_shims_match_builder() {
+    assert_shims_match_builder(|| {
+        FedProx::new(scenario(), client_spec(), baseline_config(), 83).unwrap()
+    });
+}
+
+#[test]
+fn fedmd_shims_match_builder() {
+    assert_shims_match_builder(|| {
+        FedMd::new(scenario(), vec![client_spec(); 3], baseline_config(), 89).unwrap()
+    });
+}
+
+#[test]
+fn dsfl_shims_match_builder() {
+    assert_shims_match_builder(|| {
+        DsFl::new(scenario(), vec![client_spec(); 3], baseline_config(), 97).unwrap()
+    });
+}
+
+#[test]
+fn feddf_shims_match_builder() {
+    assert_shims_match_builder(|| {
+        FedDf::new(scenario(), client_spec(), baseline_config(), 101).unwrap()
+    });
+}
+
+#[test]
+fn naive_kd_shims_match_builder() {
+    assert_shims_match_builder(|| {
+        NaiveKd::new(
+            scenario(),
+            vec![client_spec(); 3],
+            server_spec(),
+            baseline_config(),
+            103,
+        )
+        .unwrap()
+    });
+}
+
+#[test]
+fn fedet_shims_match_builder() {
+    assert_shims_match_builder(|| {
+        FedEt::new(
+            scenario(),
+            vec![client_spec(); 3],
+            server_spec(),
+            baseline_config(),
+            107,
+        )
+        .unwrap()
+    });
+}
+
+/// The snapshot/resume shim pair must match the Driver entry points too:
+/// `take_snapshot` + `run_resumed` replays exactly what
+/// `Driver::snapshot` + `Driver::resume` replays.
+#[test]
+fn snapshot_shims_match_driver_entry_points() {
+    let plan = plan();
+
+    let mut shim_algo = fedpkd();
+    let _ = shim_algo.run_silent_with_faults(ROUNDS, &plan);
+    let shim_state = shim_algo.take_snapshot(&mut NullObserver);
+    let mut shim_resumed = fedpkd();
+    let shim_result = shim_resumed
+        .run_resumed(&shim_state, ROUNDS, Some(&plan), &mut NullObserver)
+        .expect("shim resume");
+
+    let mut driver_algo = fedpkd();
+    let builder = || {
+        DriverBuilder::new()
+            .rounds(ROUNDS)
+            .faults(plan.clone())
+            .build()
+    };
+    let _ = builder().run_silent(&mut driver_algo);
+    let driver_state = Driver::snapshot(&driver_algo, &mut NullObserver);
+    let mut driver_resumed = fedpkd();
+    let driver_result = builder()
+        .resume(&mut driver_resumed, &driver_state, &mut NullObserver)
+        .expect("driver resume");
+
+    assert_eq!(shim_state.to_bytes(), driver_state.to_bytes());
+    assert_eq!(shim_result.history, driver_result.history);
+    assert_eq!(shim_result.ledger, driver_result.ledger);
+}
