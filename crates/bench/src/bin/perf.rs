@@ -4,6 +4,16 @@
 //!   the FedPKD phases at Fig. 7 scale under the scalar reference kernels
 //!   and the tiled/parallel fast kernels, verifies the two runs are
 //!   bit-identical, and writes `BENCH_pr5.json`.
+//! - **Serve transport** (`FEDPKD_PERF_SCALE=serve`, or `serve-smoke` for
+//!   CI): runs a [`FleetSim`] federation over the real `fedpkd-serve`
+//!   UDS transport — an in-process server with one socket client thread
+//!   per fleet member — measuring served rounds/sec and the p50/p99/max
+//!   request→response frame latency a client observes, then a recovery
+//!   probe: a half-run leaves a streaming snapshot behind, and the
+//!   scenario times snapshot-restore → history-repair → rebind →
+//!   first-committed-round. Both served runs must be bit-identical
+//!   (history and ledger fingerprint) to the in-process driver at the
+//!   same seed or the binary exits non-zero; writes `BENCH_pr8.json`.
 //! - **Fleet scale** (`FEDPKD_PERF_SCALE=fleet`, or `fleet-smoke` for CI):
 //!   drives a [`FleetSim`] of 10 000 clients through the event-driven
 //!   driver — 256-client seeded cohorts, streaming aggregation, and a
@@ -40,14 +50,23 @@ use fedpkd_core::clients::build_clients;
 use fedpkd_core::driver::DriverBuilder;
 use fedpkd_core::fedpkd::FedPkdConfig;
 use fedpkd_core::fleet::FleetSim;
+use fedpkd_core::remote::RemoteFederation;
+use fedpkd_core::runtime::Federation;
 use fedpkd_core::runtime::RunResult;
+use fedpkd_core::telemetry::NullObserver;
 use fedpkd_core::telemetry::{EventLog, Phase, TelemetryEvent};
 use fedpkd_core::{ClientPool, ParkedClient};
-use fedpkd_netsim::{CohortPolicy, FaultPlan, LinkModel};
+use fedpkd_netsim::{CohortPolicy, Deadline, FaultPlan, LinkModel, Wire};
+use fedpkd_serve::frame::{read_frame, write_frame, FrameError, DEFAULT_MAX_PAYLOAD};
+use fedpkd_serve::history::{canonical_rounds, ledger_fingerprint, metrics_line};
+use fedpkd_serve::protocol::{Codec, Request, Response};
+use fedpkd_serve::server::{serve, ServeConfig};
+use fedpkd_serve::transport::{Conn, Listener, Target};
 use fedpkd_tensor::models::{DepthTier, ModelSpec};
 use fedpkd_tensor::KernelMode;
 use std::collections::BTreeMap;
-use std::time::Instant;
+use std::path::Path;
+use std::time::{Duration, Instant};
 
 const SEED: u64 = 707;
 
@@ -335,10 +354,282 @@ fn fleet_main(fleet: usize, cohort: usize, rounds: usize, profile: &str) {
     }
 }
 
+/// One lock-step exchange: write a request frame, read the response frame.
+fn serve_exchange(conn: &mut Conn, req: &Request) -> Result<Response, FrameError> {
+    write_frame(conn, req.kind(), &req.to_bytes())?;
+    match read_frame(conn, DEFAULT_MAX_PAYLOAD)? {
+        None => Err(FrameError::Truncated),
+        Some((kind, body)) => Response::decode(kind, &body)?.ok_or(FrameError::Truncated),
+    }
+}
+
+/// One socket client's life against a served run, recording the wall-clock
+/// of every request→response frame exchange in seconds. Exits when the
+/// server answers `done`; reconnects (after a short sleep) on I/O errors
+/// so it also rides the recovery scenario's rebind.
+fn serve_bench_client(
+    sock: &Path,
+    fleet: usize,
+    classes: usize,
+    dims: usize,
+    client: usize,
+) -> Vec<f64> {
+    let replica = FleetSim::new(fleet, classes, dims, SEED);
+    let target = Target::Uds(sock.to_path_buf());
+    let mut latencies = Vec::new();
+    'reconnect: loop {
+        let mut conn = match target.connect() {
+            Ok(conn) => conn,
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(5));
+                continue;
+            }
+        };
+        let _ = conn.set_io_deadline(Duration::from_secs(2));
+        loop {
+            let hello = Request::Hello {
+                client: client as u32,
+            };
+            let started = Instant::now();
+            let assignment = match serve_exchange(&mut conn, &hello) {
+                Ok(resp) => resp,
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue 'reconnect;
+                }
+            };
+            latencies.push(started.elapsed().as_secs_f64());
+            let round = match assignment {
+                Response::Assignment { done: true, .. } => return latencies,
+                Response::Assignment {
+                    invited: true,
+                    round,
+                    ..
+                } => round,
+                _ => {
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+            };
+            let upload = Request::Upload {
+                round,
+                client: client as u32,
+                codec: Codec::Raw,
+                payload: replica.client_payload(round as usize, client).to_bytes(),
+            };
+            let started = Instant::now();
+            match serve_exchange(&mut conn, &upload) {
+                Ok(Response::Ack { .. }) | Ok(Response::Stale { .. }) => {
+                    latencies.push(started.elapsed().as_secs_f64());
+                }
+                Ok(Response::Rejected { reason }) => {
+                    panic!("serve bench client {client} rejected: {reason}")
+                }
+                Ok(_) | Err(_) => {
+                    std::thread::sleep(Duration::from_millis(5));
+                    continue 'reconnect;
+                }
+            }
+        }
+    }
+}
+
+/// Runs `rounds` of a `fleet`-client federation over the given UDS path
+/// with one socket client thread per fleet member, returning the serve
+/// report, the elapsed seconds, and every client-observed exchange
+/// latency.
+fn serve_timed_run(
+    sock: &Path,
+    fleet: usize,
+    classes: usize,
+    dims: usize,
+    fed: &mut FleetSim,
+    cfg: &ServeConfig,
+) -> (fedpkd_serve::server::ServeReport, f64, Vec<f64>) {
+    let listener = Listener::bind_uds(sock).expect("bind uds");
+    let clients: Vec<_> = (0..fleet)
+        .map(|c| {
+            let sock = sock.to_path_buf();
+            std::thread::spawn(move || serve_bench_client(&sock, fleet, classes, dims, c))
+        })
+        .collect();
+    let builder = DriverBuilder::new().rounds(cfg.rounds);
+    let started = Instant::now();
+    let report = serve(fed, &builder, listener, cfg, &mut NullObserver).expect("serve");
+    let seconds = started.elapsed().as_secs_f64();
+    let mut latencies = Vec::new();
+    for client in clients {
+        latencies.extend(client.join().expect("client thread"));
+    }
+    (report, seconds, latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).ceil() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The serve-transport scenario: a real UDS served run (throughput +
+/// frame-latency distribution), a bit-identity check against the
+/// in-process driver at the same seed, and a crash-recovery probe timing
+/// snapshot-restore → rebind → first committed round. Exits non-zero on
+/// any divergence.
+fn serve_main(fleet: usize, rounds: usize, profile: &str) {
+    const CLASSES: usize = 10;
+    const DIMS: usize = 64;
+    eprintln!("perf: serve {profile} profile — {fleet} clients over UDS, {rounds} rounds");
+    let dir = std::env::temp_dir().join(format!("fedpkd-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench temp dir");
+
+    // The in-process oracle: the served runs must reproduce this exactly.
+    let reference = DriverBuilder::new()
+        .rounds(rounds)
+        .build()
+        .run_silent(&mut FleetSim::new(fleet, CLASSES, DIMS, SEED));
+    let reference_lines: Vec<String> = reference.history.iter().map(metrics_line).collect();
+    let reference_fnv = ledger_fingerprint(&reference.ledger);
+
+    // Throughput leg: an uninterrupted served run.
+    let mut fed = FleetSim::new(fleet, CLASSES, DIMS, SEED);
+    let cfg = ServeConfig {
+        rounds,
+        io_deadline: Deadline::from_secs(2.0),
+        ..ServeConfig::default()
+    };
+    let (report, seconds, mut latencies) = serve_timed_run(
+        &dir.join("bench.sock"),
+        fleet,
+        CLASSES,
+        DIMS,
+        &mut fed,
+        &cfg,
+    );
+    let served_lines: Vec<String> = report.history.iter().map(metrics_line).collect();
+    let serve_identical = served_lines == reference_lines && report.ledger_fnv == reference_fnv;
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let (p50, p99, max) = (
+        percentile(&latencies, 0.50) * 1e3,
+        percentile(&latencies, 0.99) * 1e3,
+        latencies.last().copied().unwrap_or(0.0) * 1e3,
+    );
+    eprintln!(
+        "perf: served {rounds} rounds in {seconds:.2}s ({:.1} rounds/s), {} exchanges, p50 {p50:.3}ms p99 {p99:.3}ms, identical: {serve_identical}",
+        rounds as f64 / seconds,
+        latencies.len(),
+    );
+
+    // Recovery leg: run the first half with per-round snapshots, "crash",
+    // then time restore → history repair → rebind → the first round the
+    // restarted server commits. The SIGKILL flavor of the same path is
+    // exercised by crates/serve/tests/chaos.rs; here the restart is
+    // in-process so the probe times recovery work, not process spawning.
+    let half = (rounds / 2).max(1);
+    let snapshot = dir.join("recovery.snap");
+    let history = dir.join("recovery-history.jsonl");
+    let sock = dir.join("recovery.sock");
+    let recovery_cfg = ServeConfig {
+        rounds: half,
+        snapshot_every: Some(1),
+        snapshot_path: Some(snapshot.clone()),
+        history_path: Some(history.clone()),
+        io_deadline: Deadline::from_secs(2.0),
+        ..ServeConfig::default()
+    };
+    let mut first_leg = FleetSim::new(fleet, CLASSES, DIMS, SEED);
+    serve_timed_run(&sock, fleet, CLASSES, DIMS, &mut first_leg, &recovery_cfg);
+    drop(first_leg); // the crash: all in-memory state is gone
+
+    let restarted = Instant::now();
+    let mut resumed = FleetSim::new(fleet, CLASSES, DIMS, SEED);
+    let mut file = std::fs::File::open(&snapshot).expect("snapshot exists");
+    resumed.restore_from(&mut file).expect("restore snapshot");
+    fedpkd_serve::history::repair_history_file(&history).expect("repair history");
+    let needle = format!("{{\"round\":{half},");
+    let watcher = {
+        let history = history.clone();
+        std::thread::spawn(move || loop {
+            if let Ok(text) = std::fs::read_to_string(&history) {
+                if text.lines().any(|l| l.starts_with(&needle)) {
+                    return restarted.elapsed().as_secs_f64();
+                }
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        })
+    };
+    let resume_cfg = ServeConfig {
+        rounds,
+        ..recovery_cfg.clone()
+    };
+    let (resume_report, _, _) =
+        serve_timed_run(&sock, fleet, CLASSES, DIMS, &mut resumed, &resume_cfg);
+    let recovery_seconds = watcher.join().expect("watcher thread");
+    let text = std::fs::read_to_string(&history).expect("recovery history");
+    let canonical = canonical_rounds(&text).expect("canonical history");
+    let recovery_identical =
+        canonical == reference_lines && resume_report.ledger_fnv == reference_fnv;
+    eprintln!(
+        "perf: recovery — restore+rebind to first committed round in {:.1}ms, identical: {recovery_identical}",
+        recovery_seconds * 1e3
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"profile\": \"{profile}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"transport\": \"uds\",\n",
+            "  \"fleet\": {fleet},\n",
+            "  \"classes\": {classes},\n",
+            "  \"dims\": {dims},\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"serve\": {{\"seconds\": {seconds:.4}, \"rounds_per_sec\": {rps:.2}, ",
+            "\"bytes_per_round\": {bpr}, \"bit_identical\": {serve_identical}}},\n",
+            "  \"frame_latency_ms\": {{\"exchanges\": {exchanges}, \"p50\": {p50:.4}, ",
+            "\"p99\": {p99:.4}, \"max\": {max:.4}}},\n",
+            "  \"recovery\": {{\"rounds_before_crash\": {half}, \"snapshot_every\": 1, ",
+            "\"time_to_first_committed_round_ms\": {recovery_ms:.2}, ",
+            "\"resumed_bit_identical\": {recovery_identical}}}\n",
+            "}}\n",
+        ),
+        profile = profile,
+        seed = SEED,
+        fleet = fleet,
+        classes = CLASSES,
+        dims = DIMS,
+        rounds = rounds,
+        seconds = seconds,
+        rps = rounds as f64 / seconds,
+        bpr = report.total_bytes / rounds,
+        serve_identical = serve_identical,
+        exchanges = latencies.len(),
+        p50 = p50,
+        p99 = p99,
+        max = max,
+        half = half,
+        recovery_ms = recovery_seconds * 1e3,
+        recovery_identical = recovery_identical,
+    );
+    let out = std::env::var("FEDPKD_PERF_OUT").unwrap_or_else(|_| "BENCH_pr8.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("perf: report written to {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+    if !(serve_identical && recovery_identical) {
+        eprintln!("perf: FAIL — served run diverged from the in-process driver");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     match std::env::var("FEDPKD_PERF_SCALE").as_deref() {
         Ok("fleet") => return fleet_main(10_000, 256, 50, "fleet"),
         Ok("fleet-smoke") => return fleet_main(1_000, 64, 5, "fleet-smoke"),
+        Ok("serve") => return serve_main(8, 200, "serve"),
+        Ok("serve-smoke") => return serve_main(4, 8, "serve-smoke"),
         _ => {}
     }
     let (scale, profile) = perf_scale();

@@ -145,6 +145,53 @@ impl DriverBuilder {
         self
     }
 
+    /// Evaluates this configuration's per-round participation decision —
+    /// fault plan, cohort sampling, staleness promotion, worker budget —
+    /// into the [`RoundContext`] that round `round` runs under, given each
+    /// client's most recent observed uplink bytes.
+    ///
+    /// This is the hook a transport-backed driver (the `fedpkd-serve`
+    /// engine) shares with [`Driver::run`]: both call this exact function,
+    /// so a served round and a simulated round make provably the same
+    /// invitation/drop decisions at the same seed. Pure per-round
+    /// computation — no driver state is consulted or mutated.
+    pub fn context_for(
+        &self,
+        round: usize,
+        num_clients: usize,
+        last_uplink: &[usize],
+    ) -> RoundContext {
+        let mut ctx = match &self.faults {
+            Some(plan) => plan.round_context(round, num_clients, last_uplink),
+            None => RoundContext::benign(Cohort::full(num_clients)),
+        };
+        if let CohortPolicy::Sample { size, seed } = self.cohort {
+            let invited = sample_cohort(seed, round, num_clients, size);
+            ctx = ctx.restrict_to_sample(&invited);
+        }
+        if self.staleness > 0 {
+            if let Some(plan) = &self.faults {
+                // Invited deadline-stragglers whose transfer lands within
+                // the staleness bound upload late instead of not at all.
+                // Pure per-(round, client) computation: replays identically.
+                let late: Vec<(usize, usize)> = ctx
+                    .cohort()
+                    .dropped()
+                    .into_iter()
+                    .filter(|&(_, cause)| cause == DropCause::Deadline)
+                    .filter_map(|(client, _)| {
+                        let bytes = last_uplink.get(client).copied().unwrap_or(0);
+                        plan.deadline_lag(client, bytes)
+                            .filter(|&lag| lag <= self.staleness)
+                            .map(|lag| (client, lag))
+                    })
+                    .collect();
+                ctx = ctx.with_late_arrivals(late);
+            }
+        }
+        ctx.with_worker_budget(self.workers)
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> Driver {
         Driver {
@@ -202,36 +249,7 @@ impl Driver {
         };
         let mut history = Vec::with_capacity(cfg.rounds);
         for round in start..start + cfg.rounds {
-            let mut ctx = match &cfg.faults {
-                Some(plan) => plan.round_context(round, num_clients, &last_uplink),
-                None => RoundContext::benign(Cohort::full(num_clients)),
-            };
-            if let CohortPolicy::Sample { size, seed } = cfg.cohort {
-                let invited = sample_cohort(seed, round, num_clients, size);
-                ctx = ctx.restrict_to_sample(&invited);
-            }
-            if cfg.staleness > 0 {
-                if let Some(plan) = &cfg.faults {
-                    // Invited deadline-stragglers whose transfer lands
-                    // within the staleness bound upload late instead of
-                    // not at all. Pure per-(round, client) computation:
-                    // replays identically.
-                    let late: Vec<(usize, usize)> = ctx
-                        .cohort()
-                        .dropped()
-                        .into_iter()
-                        .filter(|&(_, cause)| cause == DropCause::Deadline)
-                        .filter_map(|(client, _)| {
-                            let bytes = last_uplink.get(client).copied().unwrap_or(0);
-                            plan.deadline_lag(client, bytes)
-                                .filter(|&lag| lag <= cfg.staleness)
-                                .map(|lag| (client, lag))
-                        })
-                        .collect();
-                    ctx = ctx.with_late_arrivals(late);
-                }
-            }
-            ctx = ctx.with_worker_budget(cfg.workers);
+            let ctx = cfg.context_for(round, num_clients, &last_uplink);
             history.push(algo.round(round, &ctx, &mut ledger, obs));
             for (client, bytes) in ledger
                 .round_client_uplinks(round, num_clients)

@@ -25,6 +25,7 @@ use fedpkd_tensor::parallel::{dispatch_stealing, max_workers};
 use fedpkd_tensor::Tensor;
 
 use crate::fedpkd::prototypes::{to_wire_entries, Prototype};
+use crate::remote::{RemoteFederation, StageError};
 use crate::runtime::{DriverState, Federation};
 use crate::snapshot::{read_driver, write_driver, SnapshotError, StateSink, StateSource};
 use crate::streaming::PrototypeAccumulator;
@@ -71,6 +72,12 @@ pub struct FleetSim {
     /// in arrival order. The origin round re-keys the client's RNG stream
     /// so the late payload is the one it would have sent on time.
     pending_late: BTreeMap<usize, Vec<(usize, usize)>>,
+    /// Uploads staged by the serving layer, keyed `(round, client)` and
+    /// consumed by the matching `run_round` call. Transient within a
+    /// round — snapshots are taken at commit boundaries, after every
+    /// staged payload for the round has been drained — so this map is
+    /// deliberately absent from `write_state`/`read_state`.
+    staged: BTreeMap<(usize, usize), Vec<Option<Prototype>>>,
     driver: DriverState,
 }
 
@@ -86,6 +93,7 @@ impl FleetSim {
             centroids: vec![0.0; classes * dims],
             aggregated_rounds: 0,
             pending_late: BTreeMap::new(),
+            staged: BTreeMap::new(),
             driver: DriverState::new(),
         }
     }
@@ -161,6 +169,19 @@ impl Federation for FleetSim {
         let workers = ctx.worker_budget().unwrap_or_else(max_workers);
         let mut acc = PrototypeAccumulator::new();
 
+        // Uploads the serving layer staged for this round replace the
+        // in-process synthesis; staging for other rounds is untouched.
+        let staged: BTreeMap<usize, Vec<Option<Prototype>>> = {
+            let keys: Vec<(usize, usize)> = self
+                .staged
+                .range((round, 0)..=(round, usize::MAX))
+                .map(|(&key, _)| key)
+                .collect();
+            keys.into_iter()
+                .map(|key| (key.1, self.staged.remove(&key).expect("key just listed")))
+                .collect()
+        };
+
         // On-time survivors: synthesize payloads on the worker pool, fold
         // at the ordered commit point (ascending client id).
         let survivors = ctx.cohort().survivors();
@@ -168,10 +189,11 @@ impl Federation for FleetSim {
             survivors,
             workers,
             |_, client| {
-                (
-                    client,
-                    Self::synth_prototypes(seed, classes, dims, round, client),
-                )
+                let protos = match staged.get(&client) {
+                    Some(protos) => protos.clone(),
+                    None => Self::synth_prototypes(seed, classes, dims, round, client),
+                };
+                (client, protos)
             },
             |_, (client, protos)| {
                 Self::ingest(&mut acc, ledger, round, client, &protos);
@@ -272,7 +294,65 @@ impl Federation for FleetSim {
             }
             self.pending_late.insert(arrival, queued);
         }
+        // Staged uploads are transient within a round; a restored instance
+        // starts with nothing staged.
+        self.staged = BTreeMap::new();
         self.driver = read_driver(r)?;
+        Ok(())
+    }
+}
+
+impl RemoteFederation for FleetSim {
+    fn client_payload(&self, round: usize, client: usize) -> Message {
+        let protos = Self::synth_prototypes(self.seed, self.classes, self.dims, round, client);
+        Message::Prototypes {
+            entries: to_wire_entries(&protos),
+        }
+    }
+
+    fn stage_upload(
+        &mut self,
+        round: usize,
+        client: usize,
+        payload: Message,
+        _wire_bytes: usize,
+    ) -> Result<(), StageError> {
+        // The fleet only accepts raw prototype payloads, whose observed
+        // size equals the canonical encoded length `ingest` bills.
+        let Message::Prototypes { entries } = payload else {
+            return Err(StageError::UnexpectedPayload);
+        };
+        if client >= self.fleet {
+            return Err(StageError::UnknownClient {
+                client,
+                fleet: self.fleet,
+            });
+        }
+        let mut protos: Vec<Option<Prototype>> = (0..self.classes).map(|_| None).collect();
+        let mut last_class: Option<u32> = None;
+        for entry in entries {
+            if last_class.is_some_and(|prev| entry.class <= prev) {
+                return Err(StageError::Malformed);
+            }
+            last_class = Some(entry.class);
+            let class = entry.class as usize;
+            if class >= self.classes || entry.vector.len() != self.dims {
+                return Err(StageError::WrongShape);
+            }
+            if entry.count == 0 {
+                return Err(StageError::Malformed);
+            }
+            if entry.vector.iter().any(|v| !v.is_finite()) {
+                return Err(StageError::NonFinite);
+            }
+            let vector = Tensor::from_vec(entry.vector, &[self.dims])
+                .map_err(|_| StageError::WrongShape)?;
+            protos[class] = Some(Prototype {
+                count: entry.count as usize,
+                vector,
+            });
+        }
+        self.staged.insert((round, client), protos);
         Ok(())
     }
 }
@@ -281,7 +361,7 @@ impl Federation for FleetSim {
 mod tests {
     use super::*;
     use crate::driver::{Driver, DriverBuilder};
-    use fedpkd_netsim::{CohortPolicy, FaultPlan, LinkModel};
+    use fedpkd_netsim::{CohortPolicy, FaultPlan, LinkModel, PrototypeEntry};
 
     fn sampled_builder(rounds: usize) -> DriverBuilder {
         DriverBuilder::new()
@@ -347,6 +427,127 @@ mod tests {
         assert!(stale.ledger.total_bytes() > strict.ledger.total_bytes());
         // And the stale run replays bit-identically.
         assert_eq!(stale, run(2));
+    }
+
+    #[test]
+    fn staged_uploads_replay_bit_identically_with_synthesis() {
+        // A run where every invited client's payload is staged through the
+        // remote SPI (as the serving layer does) must equal the in-process
+        // run at the same seed — the bit-identity the chaos oracle rests on.
+        let rounds = 3;
+        let mut plain = FleetSim::new(64, 6, 8, 17);
+        let reference = sampled_builder(rounds).build().run_silent(&mut plain);
+
+        let mut served = FleetSim::new(64, 6, 8, 17);
+        let builder = DriverBuilder::new().cohort(CohortPolicy::Sample { size: 64, seed: 3 });
+        let mut ledger = std::mem::take(&mut served.driver_mut().ledger);
+        let mut last_uplink = vec![0usize; served.num_clients()];
+        let mut history = Vec::new();
+        for round in 0..rounds {
+            let ctx = builder.context_for(round, served.num_clients(), &last_uplink);
+            for client in ctx.cohort().survivors() {
+                let payload = served.client_payload(round, client);
+                served
+                    .stage_upload(round, client, payload, 0)
+                    .expect("own payload is admissible");
+            }
+            history.push(crate::runtime::FlAlgorithm::round(
+                &mut served,
+                round,
+                &ctx,
+                &mut ledger,
+                &mut crate::telemetry::NullObserver,
+            ));
+            for (client, bytes) in ledger
+                .round_client_uplinks(round, served.num_clients())
+                .into_iter()
+                .enumerate()
+                .filter(|&(_, bytes)| bytes > 0)
+            {
+                last_uplink[client] = bytes;
+            }
+        }
+        assert_eq!(history, reference.history);
+        assert_eq!(ledger, reference.ledger);
+        assert_eq!(served.centroids(), plain.centroids());
+    }
+
+    #[test]
+    fn stage_upload_rejects_hostile_payloads_typed() {
+        let mut fleet = FleetSim::new(8, 4, 8, 1);
+        let entry = |class: u32, count: u32, dims: usize| PrototypeEntry {
+            class,
+            count,
+            vector: vec![0.5; dims],
+        };
+        // Wrong message kind.
+        assert_eq!(
+            fleet.stage_upload(0, 0, Message::SampleSelection { ids: vec![1] }, 0),
+            Err(StageError::UnexpectedPayload)
+        );
+        // Client outside the fleet.
+        assert_eq!(
+            fleet.stage_upload(0, 99, Message::Prototypes { entries: vec![] }, 0),
+            Err(StageError::UnknownClient { client: 99, fleet: 8 })
+        );
+        // Class out of range and wrong vector width.
+        assert_eq!(
+            fleet.stage_upload(
+                0,
+                0,
+                Message::Prototypes {
+                    entries: vec![entry(9, 1, 8)]
+                },
+                0,
+            ),
+            Err(StageError::WrongShape)
+        );
+        assert_eq!(
+            fleet.stage_upload(
+                0,
+                0,
+                Message::Prototypes {
+                    entries: vec![entry(0, 1, 3)]
+                },
+                0,
+            ),
+            Err(StageError::WrongShape)
+        );
+        // Out-of-order classes and zero counts are malformed.
+        assert_eq!(
+            fleet.stage_upload(
+                0,
+                0,
+                Message::Prototypes {
+                    entries: vec![entry(2, 1, 8), entry(1, 1, 8)]
+                },
+                0,
+            ),
+            Err(StageError::Malformed)
+        );
+        assert_eq!(
+            fleet.stage_upload(
+                0,
+                0,
+                Message::Prototypes {
+                    entries: vec![entry(1, 0, 8)]
+                },
+                0,
+            ),
+            Err(StageError::Malformed)
+        );
+        // Non-finite values.
+        let mut bad = entry(1, 1, 8);
+        bad.vector[3] = f32::NAN;
+        assert_eq!(
+            fleet.stage_upload(0, 0, Message::Prototypes { entries: vec![bad] }, 0),
+            Err(StageError::NonFinite)
+        );
+        // A failed staging leaves nothing behind; a clean one lands.
+        assert!(fleet.staged.is_empty());
+        let own = fleet.client_payload(0, 0);
+        fleet.stage_upload(0, 0, own, 0).unwrap();
+        assert_eq!(fleet.staged.len(), 1);
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod driver;
 pub mod eval;
 pub mod fedpkd;
 pub mod fleet;
+pub mod remote;
 pub mod robust;
 pub mod runtime;
 pub mod snapshot;
@@ -70,10 +71,12 @@ pub use admission::{AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReaso
 pub use cow::{ClientPool, ClientSlot, ParkedClient};
 pub use driver::{Driver, DriverBuilder};
 pub use fleet::FleetSim;
+pub use remote::{RemoteFederation, StageError};
 pub use robust::{AggregationError, RobustAggregation};
 pub use runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
 pub use snapshot::{AlgorithmState, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use streaming::{LogitAccumulator, PrototypeAccumulator};
 pub use telemetry::{
-    EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryError, TelemetryEvent,
+    EventLog, FrameRejectCause, JsonlSink, NullObserver, RoundObserver, TelemetryError,
+    TelemetryEvent,
 };

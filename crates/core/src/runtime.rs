@@ -164,6 +164,14 @@ impl DriverState {
             ledger,
         }
     }
+
+    /// Decomposes into `(rounds_driven, ledger)` — the inverse of
+    /// [`from_parts`](Self::from_parts). External round loops (the serving
+    /// engine) use this to take the persistent ledger out for the duration
+    /// of a run, exactly as the in-process driver does.
+    pub fn into_parts(self) -> (usize, CommLedger) {
+        (self.rounds_driven, self.ledger)
+    }
 }
 
 /// The low-level SPI a federated learning algorithm implements.

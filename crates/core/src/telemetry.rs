@@ -64,6 +64,44 @@ impl Phase {
     }
 }
 
+/// Why the serving layer rejected a transport frame at its front door.
+///
+/// Frame rejection happens *before* payload admission: these causes cover
+/// the byte-level trust boundary (framing, checksums, size caps, codec
+/// decoding), while shape/finiteness/norm failures of a successfully
+/// decoded payload surface as [`TelemetryEvent::PayloadRejected`] with an
+/// [`admission::RejectReason`](crate::admission::RejectReason).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FrameRejectCause {
+    /// The connection ended mid-frame.
+    Truncated,
+    /// The frame's running FNV trailer did not match its bytes.
+    ChecksumMismatch,
+    /// The frame exceeded the server's payload cap.
+    Oversized,
+    /// The frame kind byte is not part of the protocol.
+    UnknownKind,
+    /// The payload bytes failed `Wire` (or quantized-logits) decoding.
+    Malformed,
+    /// The decoded payload failed admission control.
+    Inadmissible,
+}
+
+impl FrameRejectCause {
+    /// The snake_case name used in serialized events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Truncated => "truncated",
+            Self::ChecksumMismatch => "checksum_mismatch",
+            Self::Oversized => "oversized",
+            Self::UnknownKind => "unknown_kind",
+            Self::Malformed => "malformed",
+            Self::Inadmissible => "inadmissible",
+        }
+    }
+}
+
 /// One typed observation from inside a federated round.
 ///
 /// Every variant carries its `round` so serialized streams are
@@ -249,6 +287,57 @@ pub enum TelemetryEvent {
         /// Encoded snapshot size in bytes.
         bytes: usize,
     },
+    /// The serving layer accepted a client connection.
+    ConnAccepted {
+        /// Round the server engine was on when the connection arrived.
+        round: usize,
+        /// Server-local connection id (monotonic per server lifetime).
+        conn: usize,
+        /// Transport name (`"tcp"` or `"uds"`).
+        transport: String,
+    },
+    /// A client connection ended (cleanly or otherwise).
+    ConnClosed {
+        /// Round the server engine was on when the connection closed.
+        round: usize,
+        /// Server-local connection id.
+        conn: usize,
+        /// Frames successfully received on the connection.
+        frames: usize,
+        /// Payload bytes successfully received on the connection.
+        bytes: usize,
+    },
+    /// The serving layer rejected a transport frame at decode time.
+    FrameRejected {
+        /// Round the server engine was on when the frame arrived.
+        round: usize,
+        /// Server-local connection id the frame arrived on.
+        conn: usize,
+        /// Why the frame was rejected.
+        cause: FrameRejectCause,
+    },
+    /// A client scheduled a retry after a failed attempt (connection
+    /// refused, deadline missed, or an `Overloaded` rejection).
+    RetryScheduled {
+        /// Round the client was trying to upload for.
+        round: usize,
+        /// Client index.
+        client: usize,
+        /// One-based retry attempt number.
+        attempt: usize,
+        /// Backoff delay before the retry, in milliseconds.
+        delay_ms: usize,
+    },
+    /// The server shed load: a connection or frame was turned away with a
+    /// typed `Overloaded` reply instead of being queued.
+    ServerOverloaded {
+        /// Round the server engine was on.
+        round: usize,
+        /// Inflight frames/connections at the moment of shedding.
+        inflight: usize,
+        /// The configured bound that was hit.
+        limit: usize,
+    },
 }
 
 impl TelemetryEvent {
@@ -272,6 +361,11 @@ impl TelemetryEvent {
             Self::RoundEnd { .. } => "round_end",
             Self::SnapshotTaken { .. } => "snapshot_taken",
             Self::SnapshotRestored { .. } => "snapshot_restored",
+            Self::ConnAccepted { .. } => "conn_accepted",
+            Self::ConnClosed { .. } => "conn_closed",
+            Self::FrameRejected { .. } => "frame_rejected",
+            Self::RetryScheduled { .. } => "retry_scheduled",
+            Self::ServerOverloaded { .. } => "server_overloaded",
         }
     }
 
@@ -293,7 +387,12 @@ impl TelemetryEvent {
             | Self::LedgerDelta { round, .. }
             | Self::RoundEnd { round, .. }
             | Self::SnapshotTaken { round, .. }
-            | Self::SnapshotRestored { round, .. } => *round,
+            | Self::SnapshotRestored { round, .. }
+            | Self::ConnAccepted { round, .. }
+            | Self::ConnClosed { round, .. }
+            | Self::FrameRejected { round, .. }
+            | Self::RetryScheduled { round, .. }
+            | Self::ServerOverloaded { round, .. } => *round,
         }
     }
 
@@ -437,6 +536,42 @@ impl TelemetryEvent {
             }
             Self::SnapshotTaken { bytes, .. } | Self::SnapshotRestored { bytes, .. } => {
                 obj.usize("bytes", *bytes);
+            }
+            Self::ConnAccepted {
+                conn, transport, ..
+            } => {
+                obj.usize("conn", *conn);
+                obj.string("transport", transport);
+            }
+            Self::ConnClosed {
+                conn,
+                frames,
+                bytes,
+                ..
+            } => {
+                obj.usize("conn", *conn);
+                obj.usize("frames", *frames);
+                obj.usize("bytes", *bytes);
+            }
+            Self::FrameRejected { conn, cause, .. } => {
+                obj.usize("conn", *conn);
+                obj.string("cause", cause.name());
+            }
+            Self::RetryScheduled {
+                client,
+                attempt,
+                delay_ms,
+                ..
+            } => {
+                obj.usize("client", *client);
+                obj.usize("attempt", *attempt);
+                obj.usize("delay_ms", *delay_ms);
+            }
+            Self::ServerOverloaded {
+                inflight, limit, ..
+            } => {
+                obj.usize("inflight", *inflight);
+                obj.usize("limit", *limit);
             }
         }
         obj.finish()
@@ -837,6 +972,33 @@ mod tests {
                 round: 0,
                 bytes: 4096,
             },
+            TelemetryEvent::ConnAccepted {
+                round: 0,
+                conn: 7,
+                transport: "uds".to_string(),
+            },
+            TelemetryEvent::ConnClosed {
+                round: 0,
+                conn: 7,
+                frames: 12,
+                bytes: 4096,
+            },
+            TelemetryEvent::FrameRejected {
+                round: 0,
+                conn: 7,
+                cause: FrameRejectCause::ChecksumMismatch,
+            },
+            TelemetryEvent::RetryScheduled {
+                round: 0,
+                client: 3,
+                attempt: 2,
+                delay_ms: 250,
+            },
+            TelemetryEvent::ServerOverloaded {
+                round: 0,
+                inflight: 64,
+                limit: 64,
+            },
         ]
     }
 
@@ -922,6 +1084,51 @@ mod tests {
         assert!(json.contains("\"event\":\"client_dropped\""), "{json}");
         assert!(json.contains("\"client\":3"), "{json}");
         assert!(json.contains("\"cause\":\"deadline\""), "{json}");
+    }
+
+    #[test]
+    fn transport_events_serialize_their_fields() {
+        let rejected = TelemetryEvent::FrameRejected {
+            round: 9,
+            conn: 4,
+            cause: FrameRejectCause::Oversized,
+        };
+        let json = rejected.to_json();
+        assert!(json.contains("\"event\":\"frame_rejected\""), "{json}");
+        assert!(json.contains("\"conn\":4"), "{json}");
+        assert!(json.contains("\"cause\":\"oversized\""), "{json}");
+
+        let retry = TelemetryEvent::RetryScheduled {
+            round: 9,
+            client: 2,
+            attempt: 3,
+            delay_ms: 800,
+        };
+        let json = retry.to_json();
+        assert!(json.contains("\"event\":\"retry_scheduled\""), "{json}");
+        assert!(json.contains("\"attempt\":3"), "{json}");
+        assert!(json.contains("\"delay_ms\":800"), "{json}");
+
+        let shed = TelemetryEvent::ServerOverloaded {
+            round: 9,
+            inflight: 32,
+            limit: 32,
+        };
+        let json = shed.to_json();
+        assert!(json.contains("\"event\":\"server_overloaded\""), "{json}");
+        assert!(json.contains("\"inflight\":32"), "{json}");
+        assert!(json.contains("\"limit\":32"), "{json}");
+
+        for cause in [
+            FrameRejectCause::Truncated,
+            FrameRejectCause::ChecksumMismatch,
+            FrameRejectCause::Oversized,
+            FrameRejectCause::UnknownKind,
+            FrameRejectCause::Malformed,
+            FrameRejectCause::Inadmissible,
+        ] {
+            assert!(!cause.name().is_empty());
+        }
     }
 
     #[test]

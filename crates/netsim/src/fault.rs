@@ -45,6 +45,79 @@ use crate::adversary::{Attack, RoundContext};
 use crate::LinkModel;
 use fedpkd_rng::Rng;
 
+/// A transfer cutoff, in seconds — the *one* deadline representation shared
+/// by the simulated network and the real serving layer.
+///
+/// [`FaultPlan::with_deadline`] stores one of these to decide which
+/// simulated transfers miss their round, and `fedpkd-serve` derives its
+/// socket read/write timeouts and per-round collection window from the very
+/// same value, so the survivor-only round outcome at a given cutoff is the
+/// same whether the network is simulated or real: a transfer that takes
+/// exactly the deadline *makes* it ([`exceeded_by`](Self::exceeded_by) is a
+/// strict comparison) in both worlds.
+///
+/// # Examples
+///
+/// ```
+/// use fedpkd_netsim::Deadline;
+///
+/// let d = Deadline::from_secs(1.5);
+/// assert!(!d.exceeded_by(1.5), "exactly on time still commits");
+/// assert!(d.exceeded_by(1.500001));
+/// assert_eq!(d.to_duration(), std::time::Duration::from_secs_f64(1.5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Deadline {
+    seconds: f64,
+}
+
+impl Deadline {
+    /// A deadline of `seconds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seconds` is not positive and finite.
+    pub fn from_secs(seconds: f64) -> Self {
+        assert!(
+            seconds > 0.0 && seconds.is_finite(),
+            "deadline must be positive"
+        );
+        Self { seconds }
+    }
+
+    /// The cutoff in seconds.
+    pub fn seconds(self) -> f64 {
+        self.seconds
+    }
+
+    /// The cutoff as a [`std::time::Duration`] — the form socket timeouts
+    /// take.
+    pub fn to_duration(self) -> std::time::Duration {
+        std::time::Duration::from_secs_f64(self.seconds)
+    }
+
+    /// Whether a transfer (or wait) of `elapsed_seconds` misses this
+    /// deadline. Strict: exactly on the cutoff still commits, in both the
+    /// simulated cohort evaluation and the serving layer's round window.
+    pub fn exceeded_by(self, elapsed_seconds: f64) -> bool {
+        elapsed_seconds > self.seconds
+    }
+
+    /// How many whole deadline windows a transfer of `elapsed_seconds`
+    /// overruns: `None` when it meets the cutoff, `Some(lag ≥ 1)` when it
+    /// lands `lag` windows late (the bounded-staleness currency of
+    /// [`FaultPlan::deadline_lag`]).
+    pub fn lag_of(self, elapsed_seconds: f64) -> Option<usize> {
+        if !self.exceeded_by(elapsed_seconds) {
+            return None;
+        }
+        // The transfer spans ceil(elapsed / deadline) round windows; it
+        // lands lag = that - 1 rounds after the one it started in.
+        let lag = (elapsed_seconds / self.seconds).ceil() as usize;
+        Some(lag.saturating_sub(1).max(1))
+    }
+}
+
 /// Why a client missed a round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
@@ -252,7 +325,7 @@ pub struct FaultPlan {
     outages: Vec<Outage>,
     slowdowns: Vec<(usize, f64)>,
     link: LinkModel,
-    deadline: Option<f64>,
+    deadline: Option<Deadline>,
     adversaries: Vec<(usize, Attack)>,
 }
 
@@ -321,14 +394,23 @@ impl FaultPlan {
     /// # Panics
     ///
     /// Panics if `seconds` is not positive and finite.
-    pub fn with_deadline(mut self, link: LinkModel, seconds: f64) -> Self {
-        assert!(
-            seconds > 0.0 && seconds.is_finite(),
-            "deadline must be positive"
-        );
+    pub fn with_deadline(self, link: LinkModel, seconds: f64) -> Self {
+        self.with_transfer_deadline(link, Deadline::from_secs(seconds))
+    }
+
+    /// [`with_deadline`](Self::with_deadline) with an explicit [`Deadline`]
+    /// — the form the serving layer uses so the simulated cutoff and the
+    /// socket timeouts come from one value.
+    pub fn with_transfer_deadline(mut self, link: LinkModel, deadline: Deadline) -> Self {
         self.link = link;
-        self.deadline = Some(seconds);
+        self.deadline = Some(deadline);
         self
+    }
+
+    /// The configured transfer deadline, if any — shared verbatim with the
+    /// serving layer's socket timeouts and round-collection window.
+    pub fn deadline(&self) -> Option<Deadline> {
+        self.deadline
     }
 
     /// Marks `client` as Byzantine: whenever it participates, it mounts
@@ -384,7 +466,7 @@ impl FaultPlan {
                 } else if let Some(deadline) = self.deadline {
                     let bytes = payload_bytes.get(client).copied().unwrap_or(0);
                     let time = self.link.slowed(self.slowdown(client)).transfer_time(bytes);
-                    (time > deadline).then_some(DropCause::Deadline)
+                    deadline.exceeded_by(time).then_some(DropCause::Deadline)
                 } else {
                     None
                 }
@@ -423,13 +505,7 @@ impl FaultPlan {
             .link
             .slowed(self.slowdown(client))
             .transfer_time(payload_bytes);
-        if time <= deadline {
-            return None;
-        }
-        // The transfer spans ceil(time / deadline) round windows; it lands
-        // lag = that - 1 rounds after the one it started in.
-        let lag = (time / deadline).ceil() as usize;
-        Some(lag.saturating_sub(1).max(1))
+        deadline.lag_of(time)
     }
 
     fn in_outage(&self, client: usize, round: usize) -> bool {
@@ -635,6 +711,45 @@ mod tests {
             None,
             "no deadline configured"
         );
+    }
+
+    #[test]
+    fn deadline_is_one_representation_for_simulated_and_real_cutoffs() {
+        // The serving layer waits `deadline.to_duration()` wall-clock and
+        // asks `exceeded_by(elapsed)`; the fault plan asks `exceeded_by`
+        // of the simulated transfer time. Same predicate, same outcome:
+        // exactly-on-time commits in both, strictly-later misses in both.
+        let d = Deadline::from_secs(2.0);
+        assert_eq!(d.seconds(), 2.0);
+        assert_eq!(d.to_duration(), std::time::Duration::from_secs(2));
+        assert!(!d.exceeded_by(2.0));
+        assert!(d.exceeded_by(2.0 + 1e-9));
+
+        // A 1 KB/s link carries 2000 bytes in exactly 2 s: the plan built
+        // on the same Deadline keeps that client, drops the 2001-byte one.
+        let link = LinkModel::new(1000.0, 0.0);
+        let plan = FaultPlan::new(0).with_transfer_deadline(link, d);
+        assert_eq!(plan.deadline(), Some(d));
+        let cohort = plan.cohort(0, 2, &[2000, 2001]);
+        assert!(cohort.is_active(0), "exactly-on-time transfer commits");
+        assert_eq!(cohort.cause(1), Some(DropCause::Deadline));
+        // And `with_deadline(link, secs)` is the same plan.
+        assert_eq!(plan, FaultPlan::new(0).with_deadline(link, 2.0));
+    }
+
+    #[test]
+    fn deadline_lag_windows() {
+        let d = Deadline::from_secs(1.0);
+        assert_eq!(d.lag_of(0.5), None);
+        assert_eq!(d.lag_of(1.0), None);
+        assert_eq!(d.lag_of(1.5), Some(1));
+        assert_eq!(d.lag_of(3.5), Some(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn deadline_rejects_non_positive() {
+        let _ = Deadline::from_secs(0.0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ mod quantize;
 mod wire;
 
 pub use adversary::{Attack, RoundContext};
-pub use fault::{sample_cohort, Cohort, CohortPolicy, DropCause, FaultPlan};
+pub use fault::{sample_cohort, Cohort, CohortPolicy, Deadline, DropCause, FaultPlan};
 pub use ledger::{bytes_to_mb, CommLedger, Direction, RoundTraffic, TransferRecord};
 pub use link::LinkModel;
 pub use message::{Message, PrototypeEntry};

@@ -1,0 +1,203 @@
+//! Hostile-bytes fuzzing of every `Wire` decoder.
+//!
+//! The serving layer (`fedpkd-serve`) feeds socket bytes straight into
+//! these decoders, so they are the trust boundary of the real transport:
+//! whatever an adversarial client puts on the wire, decoding must return a
+//! typed [`WireError`] or a value — never panic, and never allocate more
+//! than the input it was handed (the element caps bound every length
+//! field, and every collection read checks the remaining buffer *before*
+//! materializing elements).
+//!
+//! Three hostile shapes are fuzzed for each `Wire` impl:
+//!
+//! - **truncated** — a valid encoding cut at every possible length,
+//! - **bit-flipped** — a valid encoding with one corrupted byte (length
+//!   fields, tags, and values all get hit across cases),
+//! - **garbage** — arbitrary byte soup, including buffers opening with
+//!   absurd length claims.
+
+use fedpkd_netsim::{Message, PrototypeEntry, QuantizedLogits, Wire, WireError};
+use proptest::prelude::*;
+
+fn arb_prototype_entry() -> impl Strategy<Value = PrototypeEntry> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        prop::collection::vec(-1e6f32..1e6, 0..32),
+    )
+        .prop_map(|(class, count, vector)| PrototypeEntry {
+            class,
+            count,
+            vector,
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        prop::collection::vec(-1e6f32..1e6, 0..64)
+            .prop_map(|params| Message::ModelUpdate { params }),
+        (
+            prop::collection::vec(any::<u32>(), 0..32),
+            1u32..64,
+            prop::collection::vec(-1e3f32..1e3, 0..64),
+        )
+            .prop_map(|(sample_ids, num_classes, values)| Message::Logits {
+                sample_ids,
+                num_classes,
+                values,
+            }),
+        prop::collection::vec(arb_prototype_entry(), 0..6)
+            .prop_map(|entries| Message::Prototypes { entries }),
+        prop::collection::vec(any::<u32>(), 0..64)
+            .prop_map(|ids| Message::SampleSelection { ids }),
+    ]
+}
+
+fn arb_quantized() -> impl Strategy<Value = QuantizedLogits> {
+    (
+        prop::collection::vec(any::<u32>(), 1..16),
+        1u32..8,
+        -1e3f32..1e3,
+    )
+        .prop_flat_map(|(ids, classes, base)| {
+            let n = ids.len() * classes as usize;
+            prop::collection::vec(-50.0f32..50.0, n..=n).prop_map(move |values| {
+                let shifted: Vec<f32> = values.iter().map(|v| v + base).collect();
+                QuantizedLogits::from_values(&ids, classes, &shifted)
+                    .expect("finite inputs quantize")
+            })
+        })
+}
+
+/// Decoding must yield a typed outcome — `Ok` or a `WireError` — and on
+/// `Ok` must never have consumed more bytes than the buffer held. The
+/// closure runs the decode; reaching the end of this function *is* the
+/// assertion that nothing panicked.
+fn decode_is_total<T: Wire>(bytes: &[u8]) -> Result<T, WireError> {
+    let mut slice = bytes;
+    let out = T::decode(&mut slice);
+    assert!(slice.len() <= bytes.len());
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every strict prefix of a valid message decodes to a typed error or
+    /// (if a shorter valid message happens to be a prefix) a value —
+    /// never a panic. The full encoding always decodes back.
+    #[test]
+    fn truncated_messages_never_panic(msg in arb_message(), cut in 0usize..64) {
+        let bytes = msg.to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let _ = decode_is_total::<Message>(&bytes[..cut]);
+        prop_assert_eq!(decode_is_total::<Message>(&bytes).unwrap(), msg);
+    }
+
+    /// One flipped byte anywhere — tag, length field, or value — yields a
+    /// typed outcome. If the flip lands in a length field the decoder must
+    /// not over-allocate: every collection read checks the remaining
+    /// buffer before materializing, so decode memory stays O(input).
+    #[test]
+    fn bit_flipped_messages_never_panic(
+        msg in arb_message(),
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = msg.to_bytes();
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let _ = decode_is_total::<Message>(&bytes);
+    }
+
+    /// Arbitrary byte soup is a typed outcome for every decoder.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_is_total::<Message>(&bytes);
+        let _ = decode_is_total::<PrototypeEntry>(&bytes);
+        let _ = decode_is_total::<QuantizedLogits>(&bytes);
+    }
+
+    /// Truncations and bit-flips of quantized payloads never panic, and
+    /// the untouched encoding round-trips.
+    #[test]
+    fn quantized_hostile_bytes_never_panic(
+        q in arb_quantized(),
+        cut in 0usize..64,
+        pos in 0usize..4096,
+        bit in 0u8..8,
+    ) {
+        let bytes = q.to_bytes();
+        prop_assert_eq!(bytes.len(), q.encoded_len());
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let _ = decode_is_total::<QuantizedLogits>(&bytes[..cut]);
+        let mut flipped = bytes.clone();
+        let pos = pos % flipped.len();
+        flipped[pos] ^= 1 << bit;
+        let _ = decode_is_total::<QuantizedLogits>(&flipped);
+        prop_assert_eq!(decode_is_total::<QuantizedLogits>(&bytes).unwrap(), q);
+    }
+
+    /// Truncations and bit-flips of a bare prototype entry never panic.
+    #[test]
+    fn prototype_entry_hostile_bytes_never_panic(
+        entry in arb_prototype_entry(),
+        cut in 0usize..32,
+        pos in 0usize..4096,
+    ) {
+        let bytes = entry.to_bytes();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let _ = decode_is_total::<PrototypeEntry>(&bytes[..cut]);
+        let mut flipped = bytes.clone();
+        let pos = pos % flipped.len();
+        flipped[pos] ^= 0xFF;
+        let _ = decode_is_total::<PrototypeEntry>(&flipped);
+        prop_assert_eq!(decode_is_total::<PrototypeEntry>(&bytes).unwrap(), entry);
+    }
+}
+
+/// A length claim past the element cap is rejected before any allocation —
+/// the oversized-frame admission path of the serving layer.
+#[test]
+fn absurd_length_claims_are_capped() {
+    for tag in [1u8, 2, 3, 4] {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        // Plenty of trailing bytes so EOF is not what saves us.
+        bytes.extend_from_slice(&[0u8; 64]);
+        match decode_is_total::<Message>(&bytes) {
+            Err(WireError::LengthOverflow(n)) => assert_eq!(n, u64::from(u32::MAX)),
+            other => panic!("tag {tag}: expected LengthOverflow, got {other:?}"),
+        }
+    }
+    // Quantized payloads cap their value-byte length the same way.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // no sample ids
+    bytes.extend_from_slice(&2u32.to_le_bytes()); // num_classes
+    bytes.extend_from_slice(&0f32.to_le_bytes()); // min
+    bytes.extend_from_slice(&1f32.to_le_bytes()); // scale
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd value count
+    bytes.extend_from_slice(&[0u8; 64]);
+    assert!(matches!(
+        decode_is_total::<QuantizedLogits>(&bytes),
+        Err(WireError::LengthOverflow(_))
+    ));
+}
+
+/// A truncated buffer whose *length field* claims more than remains must
+/// error without allocating the claimed amount: the decoders check the
+/// remaining buffer first, so memory stays bounded by the input size.
+#[test]
+fn declared_length_beyond_buffer_is_eof_not_allocation() {
+    // Claims 2^27 f32s (512 MiB) but carries 8 bytes.
+    let mut bytes = vec![1u8]; // ModelUpdate tag
+    bytes.extend_from_slice(&((1u32 << 27).to_le_bytes()));
+    bytes.extend_from_slice(&[0u8; 8]);
+    assert_eq!(
+        decode_is_total::<Message>(&bytes),
+        Err(WireError::UnexpectedEof)
+    );
+}

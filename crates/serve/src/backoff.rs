@@ -1,0 +1,116 @@
+//! Seeded exponential backoff with jitter.
+//!
+//! Clients retry failed attempts — connection refused while the server is
+//! restarting, a read/write deadline, an `Overloaded` rejection — on an
+//! exponential schedule with multiplicative jitter. The jitter stream is a
+//! seeded [`Rng`], so a test can predict the exact delay sequence a client
+//! will use: determinism here is what makes the chaos harness's timing
+//! assertions meaningful rather than flaky.
+
+use std::time::Duration;
+
+use fedpkd_rng::Rng;
+
+/// An exponential backoff schedule: `base · 2^attempt`, capped, with the
+/// delay scaled by a jitter factor drawn uniformly from `[0.5, 1.0]`.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: Rng,
+}
+
+impl Backoff {
+    /// A schedule starting at `base_ms` and never exceeding `cap_ms`,
+    /// jittered by the stream seeded from `seed`.
+    pub fn new(seed: u64, base_ms: u64, cap_ms: u64) -> Self {
+        Self {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(base_ms.max(1)),
+            attempt: 0,
+            rng: Rng::stream(seed, 0x42_ac_c0_ff),
+        }
+    }
+
+    /// The number of completed (failed) attempts so far.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Records a failure and returns how long to wait before the next
+    /// attempt.
+    pub fn next_delay(&mut self) -> Duration {
+        let exp = self.attempt.min(16);
+        self.attempt = self.attempt.saturating_add(1);
+        let raw = self
+            .base_ms
+            .saturating_mul(1u64 << exp)
+            .min(self.cap_ms);
+        // Jitter in [0.5, 1.0): desynchronizes a fleet of clients all
+        // retrying after the same server outage, while keeping the delay
+        // within a factor of two of the nominal schedule.
+        let jitter = 0.5 + 0.5 * self.rng.next_f64();
+        Duration::from_millis(((raw as f64) * jitter).round().max(1.0) as u64)
+    }
+
+    /// Resets the schedule after a success; the jitter stream continues
+    /// (resetting it would replay identical delays after every success,
+    /// re-synchronizing the fleet the jitter exists to spread out).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_are_deterministic_for_a_seed() {
+        let seq = |seed: u64| {
+            let mut b = Backoff::new(seed, 10, 500);
+            (0..8).map(|_| b.next_delay().as_millis()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same schedule");
+        assert_ne!(seq(7), seq(8), "different seeds jitter differently");
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_jitter_bounds() {
+        let mut b = Backoff::new(3, 10, 10_000);
+        for attempt in 0..6u32 {
+            let nominal = 10u64 << attempt;
+            let d = b.next_delay().as_millis() as u64;
+            assert!(
+                d >= nominal / 2 && d <= nominal,
+                "attempt {attempt}: delay {d} outside [{}, {nominal}]",
+                nominal / 2
+            );
+        }
+    }
+
+    #[test]
+    fn delays_respect_the_cap() {
+        let mut b = Backoff::new(1, 100, 350);
+        for _ in 0..20 {
+            assert!(b.next_delay().as_millis() <= 350);
+        }
+    }
+
+    #[test]
+    fn reset_restarts_the_exponent_not_the_jitter() {
+        let mut b = Backoff::new(9, 10, 10_000);
+        let first = b.next_delay();
+        for _ in 0..4 {
+            b.next_delay();
+        }
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        let after_reset = b.next_delay();
+        // Same exponent bracket as the first attempt...
+        assert!(after_reset.as_millis() as u64 <= 10);
+        // ...but not necessarily the same jittered value (stream advanced).
+        let _ = first;
+    }
+}

@@ -1,0 +1,308 @@
+//! Length-prefixed streaming frames over a byte stream.
+//!
+//! A frame carries one protocol payload across a socket using the same
+//! chunk discipline as the v2 streaming snapshot envelope in
+//! `fedpkd-core::snapshot`:
+//!
+//! ```text
+//! kind: u8 · (len: u32 LE, len > 0 · chunk bytes)* · 0u32 · fnv: u64 LE
+//! ```
+//!
+//! Chunks are at most [`FRAME_CHUNK`] bytes; a zero length terminates the
+//! chunk list, and the trailer is the running FNV-1a64 over every byte
+//! before it (kind, length prefixes, chunk bytes, and the sentinel). The
+//! reader verifies sizes *before* allocating — a hostile length prefix
+//! costs a typed [`FrameError`], never memory — and verifies the trailer
+//! before the payload is handed to the protocol layer, so a flipped bit
+//! anywhere in transit surfaces as [`FrameError::ChecksumMismatch`]
+//! instead of a plausible-but-wrong payload.
+
+use std::io::{Read, Write};
+
+/// Maximum bytes per chunk — the v2 snapshot envelope's stream chunk size.
+pub const FRAME_CHUNK: usize = 64 * 1024;
+
+/// Default cap on a frame's total payload (16 MiB), far above any payload
+/// the protocol produces but low enough that a hostile peer cannot balloon
+/// server memory.
+pub const DEFAULT_MAX_PAYLOAD: usize = 16 * 1024 * 1024;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Running FNV-1a64, shared by the frame writer and reader.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Self(FNV_OFFSET)
+    }
+
+    pub(crate) fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FrameError {
+    /// The stream ended mid-frame.
+    Truncated,
+    /// A chunk length prefix exceeds [`FRAME_CHUNK`].
+    ChunkTooLarge {
+        /// The declared chunk length.
+        len: usize,
+    },
+    /// The frame's total payload exceeds the reader's cap.
+    Oversized {
+        /// Payload bytes declared so far.
+        len: usize,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// The FNV trailer does not match the received bytes.
+    ChecksumMismatch,
+    /// An I/O failure other than clean end-of-stream.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "stream ended mid-frame"),
+            Self::ChunkTooLarge { len } => {
+                write!(f, "chunk length {len} exceeds {FRAME_CHUNK}")
+            }
+            Self::Oversized { len, cap } => {
+                write!(f, "frame payload of {len} bytes exceeds cap {cap}")
+            }
+            Self::ChecksumMismatch => write!(f, "frame checksum mismatch"),
+            Self::Io(e) => write!(f, "frame i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => Self::Truncated,
+            _ => Self::Io(e),
+        }
+    }
+}
+
+/// Writes one frame: kind byte, 64 KiB chunks, sentinel, FNV trailer.
+///
+/// # Errors
+///
+/// Any underlying I/O failure.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+    let mut fnv = Fnv::new();
+    let mut put = |w: &mut dyn Write, bytes: &[u8]| -> std::io::Result<()> {
+        fnv.update(bytes);
+        w.write_all(bytes)
+    };
+    put(w, &[kind])?;
+    for chunk in payload.chunks(FRAME_CHUNK) {
+        put(w, &(chunk.len() as u32).to_le_bytes())?;
+        put(w, chunk)?;
+    }
+    put(w, &0u32.to_le_bytes())?;
+    let trailer = fnv.finish();
+    w.write_all(&trailer.to_le_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame, returning `(kind, payload)`, or `Ok(None)` on a clean
+/// end-of-stream (the peer closed between frames).
+///
+/// # Errors
+///
+/// A typed [`FrameError`]; memory use is bounded by `max_payload` plus one
+/// chunk regardless of what the peer declares.
+pub fn read_frame(
+    r: &mut impl Read,
+    max_payload: usize,
+) -> Result<Option<(u8, Vec<u8>)>, FrameError> {
+    let mut kind = [0u8; 1];
+    // A clean EOF before the first byte means "no more frames".
+    match r.read(&mut kind) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            r.read_exact(&mut kind)?;
+        }
+        Err(e) => return Err(e.into()),
+    }
+    Ok(Some((kind[0], read_frame_after_kind(r, kind[0], max_payload)?)))
+}
+
+/// Reads the remainder of a frame whose kind byte has already been
+/// consumed — the entry point for servers that poll for the first byte
+/// under a read timeout (a timeout *between* frames is idle, a timeout
+/// *inside* one is a fault) and then commit to reading the body.
+///
+/// # Errors
+///
+/// As [`read_frame`], except end-of-stream here is always
+/// [`FrameError::Truncated`] — the kind byte promised a frame.
+pub fn read_frame_after_kind(
+    r: &mut impl Read,
+    kind: u8,
+    max_payload: usize,
+) -> Result<Vec<u8>, FrameError> {
+    let mut fnv = Fnv::new();
+    fnv.update(&[kind]);
+
+    let mut payload = Vec::new();
+    loop {
+        let mut len_bytes = [0u8; 4];
+        r.read_exact(&mut len_bytes)?;
+        fnv.update(&len_bytes);
+        let len = u32::from_le_bytes(len_bytes) as usize;
+        if len == 0 {
+            break;
+        }
+        if len > FRAME_CHUNK {
+            return Err(FrameError::ChunkTooLarge { len });
+        }
+        if payload.len() + len > max_payload {
+            return Err(FrameError::Oversized {
+                len: payload.len() + len,
+                cap: max_payload,
+            });
+        }
+        let start = payload.len();
+        payload.resize(start + len, 0);
+        r.read_exact(&mut payload[start..])?;
+        fnv.update(&payload[start..]);
+    }
+
+    let mut trailer = [0u8; 8];
+    r.read_exact(&mut trailer)?;
+    if u64::from_le_bytes(trailer) != fnv.finish() {
+        return Err(FrameError::ChecksumMismatch);
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(kind: u8, payload: &[u8]) -> (u8, Vec<u8>) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, kind, payload).unwrap();
+        read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD)
+            .unwrap()
+            .expect("frame present")
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        for payload in [
+            Vec::new(),
+            vec![7u8; 1],
+            vec![42u8; FRAME_CHUNK],
+            vec![9u8; FRAME_CHUNK + 1],
+            vec![1u8; 3 * FRAME_CHUNK + 17],
+        ] {
+            let (kind, got) = round_trip(5, &payload);
+            assert_eq!(kind, 5);
+            assert_eq!(got, payload);
+        }
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_frame_eof_is_truncated() {
+        assert!(matches!(
+            read_frame(&mut [].as_slice(), DEFAULT_MAX_PAYLOAD),
+            Ok(None)
+        ));
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, &[1, 2, 3]).unwrap();
+        for cut in 1..buf.len() {
+            match read_frame(&mut &buf[..cut], DEFAULT_MAX_PAYLOAD) {
+                Err(FrameError::Truncated) => {}
+                other => panic!("cut {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_checksum_mismatches_or_typed() {
+        let mut pristine = Vec::new();
+        write_frame(&mut pristine, 3, &[0xAB; 300]).unwrap();
+        for pos in 0..pristine.len() {
+            let mut buf = pristine.clone();
+            buf[pos] ^= 0x40;
+            // Every single-bit corruption must surface as a typed error —
+            // most as a checksum mismatch, length-prefix hits as size or
+            // truncation errors. Never a wrong payload.
+            match read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD) {
+                Ok(Some((kind, payload))) => {
+                    panic!("pos {pos}: corruption accepted ({kind}, {} bytes)", payload.len())
+                }
+                Ok(None) => panic!("pos {pos}: corruption read as clean EOF"),
+                Err(_) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_are_capped_before_allocation() {
+        // A chunk claiming more than FRAME_CHUNK.
+        let mut buf = vec![1u8];
+        buf.extend_from_slice(&(FRAME_CHUNK as u32 + 1).to_le_bytes());
+        match read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD) {
+            Err(FrameError::ChunkTooLarge { len }) => assert_eq!(len, FRAME_CHUNK + 1),
+            other => panic!("expected ChunkTooLarge, got {other:?}"),
+        }
+        // Valid chunks whose running total exceeds the reader's cap.
+        let mut buf = vec![1u8];
+        let chunk = vec![0u8; FRAME_CHUNK];
+        for _ in 0..3 {
+            buf.extend_from_slice(&(FRAME_CHUNK as u32).to_le_bytes());
+            buf.extend_from_slice(&chunk);
+        }
+        match read_frame(&mut buf.as_slice(), 2 * FRAME_CHUNK) {
+            Err(FrameError::Oversized { cap, .. }) => assert_eq!(cap, 2 * FRAME_CHUNK),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_stream_back_to_back() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, 1, b"first").unwrap();
+        write_frame(&mut buf, 2, b"second").unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Some((1, b"first".to_vec()))
+        );
+        assert_eq!(
+            read_frame(&mut r, DEFAULT_MAX_PAYLOAD).unwrap(),
+            Some((2, b"second".to_vec()))
+        );
+        assert!(read_frame(&mut r, DEFAULT_MAX_PAYLOAD).unwrap().is_none());
+    }
+}

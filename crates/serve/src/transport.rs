@@ -1,0 +1,216 @@
+//! One abstraction over the two stream transports the serving layer
+//! speaks: TCP and Unix domain sockets.
+//!
+//! [`Listener`] is the server side (accept), [`Target`] the client side
+//! (connect), and [`Conn`] the accepted/connected stream both hand out.
+//! `Conn` implements [`Read`] + [`Write`] by delegation so the frame codec
+//! is transport-agnostic, and exposes the read/write deadline knobs the
+//! engine unifies with the fault plan's [`Deadline`](fedpkd_netsim::Deadline)
+//! currency.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Where a client connects — mirror of [`Listener`].
+#[derive(Debug, Clone)]
+pub enum Target {
+    /// A TCP address, e.g. `127.0.0.1:7700`.
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Uds(PathBuf),
+}
+
+impl Target {
+    /// Opens a connection to the target.
+    ///
+    /// # Errors
+    ///
+    /// Any connect-time I/O failure (connection refused while the server
+    /// restarts is the one clients retry through backoff).
+    pub fn connect(&self) -> std::io::Result<Conn> {
+        match self {
+            Self::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Conn::Tcp),
+            Self::Uds(path) => UnixStream::connect(path).map(Conn::Uds),
+        }
+    }
+}
+
+/// A bound, listening server socket.
+#[derive(Debug)]
+pub enum Listener {
+    /// A TCP listener.
+    Tcp(TcpListener),
+    /// A Unix-domain socket listener (unlinks a stale socket file first).
+    Uds(UnixListener),
+}
+
+impl Listener {
+    /// Binds a TCP listener on `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn bind_tcp(addr: &str) -> std::io::Result<Self> {
+        TcpListener::bind(addr).map(Self::Tcp)
+    }
+
+    /// Binds a Unix-domain listener on `path`, removing a stale socket
+    /// file left by a killed predecessor (the kill-9 restart path).
+    ///
+    /// # Errors
+    ///
+    /// Any bind failure.
+    pub fn bind_uds(path: &Path) -> std::io::Result<Self> {
+        match std::fs::remove_file(path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        UnixListener::bind(path).map(Self::Uds)
+    }
+
+    /// The transport's short name for telemetry (`"tcp"` / `"uds"`).
+    pub fn transport(&self) -> &'static str {
+        match self {
+            Self::Tcp(_) => "tcp",
+            Self::Uds(_) => "uds",
+        }
+    }
+
+    /// Switches the listener between blocking and non-blocking accepts.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying socket failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(l) => l.set_nonblocking(nonblocking),
+            Self::Uds(l) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one pending connection, or `WouldBlock` when non-blocking
+    /// and none is waiting.
+    ///
+    /// # Errors
+    ///
+    /// Any accept failure.
+    pub fn accept(&self) -> std::io::Result<Conn> {
+        match self {
+            Self::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Tcp(s))
+            }
+            Self::Uds(l) => {
+                let (s, _) = l.accept()?;
+                Ok(Conn::Uds(s))
+            }
+        }
+    }
+}
+
+/// An accepted or connected stream, either transport.
+#[derive(Debug)]
+pub enum Conn {
+    /// A TCP stream.
+    Tcp(TcpStream),
+    /// A Unix-domain stream.
+    Uds(UnixStream),
+}
+
+impl Conn {
+    /// Applies one deadline to both reads and writes on the stream.
+    ///
+    /// # Errors
+    ///
+    /// Any underlying socket failure.
+    pub fn set_io_deadline(&self, deadline: Duration) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => {
+                s.set_read_timeout(Some(deadline))?;
+                s.set_write_timeout(Some(deadline))
+            }
+            Self::Uds(s) => {
+                s.set_read_timeout(Some(deadline))?;
+                s.set_write_timeout(Some(deadline))
+            }
+        }
+    }
+}
+
+/// Whether an I/O error is a read/write deadline expiring (both kinds
+/// appear in practice: Unix reports `WouldBlock`, Windows `TimedOut`).
+pub fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            Self::Uds(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            Self::Uds(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            Self::Uds(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+
+    #[test]
+    fn tcp_and_uds_carry_frames() {
+        // TCP loopback.
+        let listener = Listener::bind_tcp("127.0.0.1:0").unwrap();
+        let addr = match &listener {
+            Listener::Tcp(l) => l.local_addr().unwrap().to_string(),
+            Listener::Uds(_) => unreachable!(),
+        };
+        let join = std::thread::spawn(move || {
+            let mut conn = listener.accept().unwrap();
+            read_frame(&mut conn, DEFAULT_MAX_PAYLOAD).unwrap().unwrap()
+        });
+        let mut client = Target::Tcp(addr).connect().unwrap();
+        write_frame(&mut client, 9, b"over tcp").unwrap();
+        assert_eq!(join.join().unwrap(), (9, b"over tcp".to_vec()));
+
+        // Unix domain socket, including stale-file removal on rebind.
+        let dir = std::env::temp_dir().join(format!("fedpkd-serve-ut-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.sock");
+        for _ in 0..2 {
+            let listener = Listener::bind_uds(&path).unwrap();
+            assert_eq!(listener.transport(), "uds");
+            let join = std::thread::spawn(move || {
+                let mut conn = listener.accept().unwrap();
+                read_frame(&mut conn, DEFAULT_MAX_PAYLOAD).unwrap().unwrap()
+            });
+            let mut client = Target::Uds(path.clone()).connect().unwrap();
+            write_frame(&mut client, 4, b"over uds").unwrap();
+            assert_eq!(join.join().unwrap(), (4, b"over uds".to_vec()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

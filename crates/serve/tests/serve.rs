@@ -1,0 +1,592 @@
+//! In-process serving tests: the engine, real clients, real sockets —
+//! everything short of separate processes (which `tests/chaos.rs` covers).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use fedpkd_core::driver::DriverBuilder;
+use fedpkd_core::fleet::FleetSim;
+use fedpkd_core::remote::{RemoteFederation, StageError};
+use fedpkd_core::runtime::{DriverState, Federation};
+use fedpkd_core::snapshot::{read_driver, write_driver, SnapshotError, StateSink, StateSource};
+use fedpkd_core::telemetry::{EventLog, NullObserver, RoundObserver, TelemetryEvent};
+use fedpkd_netsim::{
+    CohortPolicy, CommLedger, Direction, Message, QuantizedLogits, RoundContext, Wire,
+};
+use fedpkd_rng::Rng;
+use fedpkd_serve::client::{run_client, ClientConfig};
+use fedpkd_serve::frame::{read_frame, write_frame, DEFAULT_MAX_PAYLOAD};
+use fedpkd_serve::protocol::{Codec, Request, Response};
+use fedpkd_serve::server::{serve, ServeConfig};
+use fedpkd_serve::transport::{Conn, Listener, Target};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fedpkd-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn exchange(conn: &mut Conn, req: &Request) -> Response {
+    write_frame(conn, req.kind(), &req.to_bytes()).unwrap();
+    let (kind, body) = read_frame(conn, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+    Response::decode(kind, &body).unwrap().unwrap()
+}
+
+/// The core promise: a run served over a Unix socket to real (threaded)
+/// clients commits byte-identical history, ledger, and model state to the
+/// in-process simulation at the same seed.
+#[test]
+fn uds_served_run_is_bit_identical_to_in_process() {
+    let rounds = 4;
+    let build = || {
+        DriverBuilder::new()
+            .rounds(rounds)
+            .cohort(CohortPolicy::Sample { size: 6, seed: 3 })
+    };
+    let mut reference_fed = FleetSim::new(8, 4, 8, 42);
+    let reference = build().build().run_silent(&mut reference_fed);
+
+    let dir = temp_dir("identity");
+    let sock = dir.join("serve.sock");
+    let listener = Listener::bind_uds(&sock).unwrap();
+    let target = Target::Uds(sock.clone());
+
+    let clients: Vec<_> = (0..8)
+        .map(|client| {
+            let target = target.clone();
+            std::thread::spawn(move || {
+                let replica = FleetSim::new(8, 4, 8, 42);
+                let cfg = ClientConfig::new(client);
+                let payload =
+                    |round: u64, client: usize| replica.client_payload(round as usize, client).to_bytes();
+                run_client(&target, &cfg, &payload, &mut NullObserver)
+            })
+        })
+        .collect();
+
+    let mut fed = FleetSim::new(8, 4, 8, 42);
+    let cfg = ServeConfig {
+        rounds,
+        ..ServeConfig::default()
+    };
+    let mut log = EventLog::default();
+    let report = serve(&mut fed, &build(), listener, &cfg, &mut log).unwrap();
+    for client in clients {
+        client.join().unwrap().unwrap();
+    }
+
+    assert_eq!(report.rounds_driven, rounds);
+    assert_eq!(report.history, reference.history);
+    assert_eq!(fed.driver().ledger(), &reference.ledger);
+    assert_eq!(fed.centroids(), reference_fed.centroids());
+
+    // The engine narrated its connections.
+    let events = log.events();
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TelemetryEvent::ConnAccepted { transport, .. } if transport == "uds")));
+    assert!(events
+        .iter()
+        .any(|e| matches!(e, TelemetryEvent::ConnClosed { .. })));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Shedding: with one connection slot taken, a second connection gets one
+/// `Overloaded` frame, and the engine emits `ServerOverloaded`.
+#[test]
+fn overloaded_connections_are_shed_with_a_retry_hint() {
+    let dir = temp_dir("shed");
+    let sock = dir.join("serve.sock");
+    let listener = Listener::bind_uds(&sock).unwrap();
+    let target = Target::Uds(sock.clone());
+
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let probe = {
+        let target = target.clone();
+        std::thread::spawn(move || {
+            // Occupy the only slot.
+            let mut held = target.connect().unwrap();
+            held.set_io_deadline(Duration::from_secs(2)).unwrap();
+            let resp = exchange(&mut held, &Request::Hello { client: 0 });
+            assert!(matches!(resp, Response::Assignment { .. }));
+
+            // The next connection is shed before any request.
+            let mut shed = target.connect().unwrap();
+            shed.set_io_deadline(Duration::from_secs(2)).unwrap();
+            let (kind, body) = read_frame(&mut shed, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+            match Response::decode(kind, &body).unwrap().unwrap() {
+                Response::Overloaded { retry_ms } => assert_eq!(retry_ms, 100),
+                other => panic!("expected Overloaded, got {other:?}"),
+            }
+            drop(shed);
+
+            // Finish the round over the held connection so serve returns.
+            let replica = FleetSim::new(1, 4, 8, 9);
+            let upload = Request::Upload {
+                round: 0,
+                client: 0,
+                codec: Codec::Raw,
+                payload: replica.client_payload(0, 0).to_bytes(),
+            };
+            assert!(matches!(
+                exchange(&mut held, &upload),
+                Response::Ack { round: 0 }
+            ));
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        })
+    };
+
+    let mut fed = FleetSim::new(1, 4, 8, 9);
+    let cfg = ServeConfig {
+        rounds: 1,
+        max_conns: 1,
+        drain: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let mut log = EventLog::default();
+    serve(&mut fed, &DriverBuilder::new().rounds(1), listener, &cfg, &mut log).unwrap();
+    done_tx.send(()).unwrap();
+    probe.join().unwrap();
+
+    assert!(log.events().iter().any(|e| matches!(
+        e,
+        TelemetryEvent::ServerOverloaded { limit: 1, .. }
+    )));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission front door: corrupt frames, unknown kinds, and inadmissible
+/// payloads are rejected with typed telemetry while the server keeps
+/// serving honest clients.
+#[test]
+fn hostile_frames_and_payloads_are_rejected_and_narrated() {
+    let dir = temp_dir("hostile");
+    let sock = dir.join("serve.sock");
+    let listener = Listener::bind_uds(&sock).unwrap();
+    let target = Target::Uds(sock.clone());
+
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let probe = {
+        let target = target.clone();
+        std::thread::spawn(move || {
+            // A frame with a corrupted checksum: typed rejection, then the
+            // server drops the connection.
+            let mut evil = target.connect().unwrap();
+            evil.set_io_deadline(Duration::from_secs(2)).unwrap();
+            let hello = Request::Hello { client: 0 };
+            let mut frame = Vec::new();
+            write_frame(&mut frame, hello.kind(), &hello.to_bytes()).unwrap();
+            let last = frame.len() - 1;
+            frame[last] ^= 0xFF;
+            std::io::Write::write_all(&mut evil, &frame).unwrap();
+            let (kind, body) = read_frame(&mut evil, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+            match Response::decode(kind, &body).unwrap().unwrap() {
+                Response::Rejected { reason } => assert_eq!(reason, "checksum_mismatch"),
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+            drop(evil);
+
+            // An intact frame with an unknown kind byte: rejected, but the
+            // connection survives for a follow-up request.
+            let mut odd = target.connect().unwrap();
+            odd.set_io_deadline(Duration::from_secs(2)).unwrap();
+            write_frame(&mut odd, 250, b"what").unwrap();
+            let (kind, body) = read_frame(&mut odd, DEFAULT_MAX_PAYLOAD).unwrap().unwrap();
+            match Response::decode(kind, &body).unwrap().unwrap() {
+                Response::Rejected { reason } => assert_eq!(reason, "unknown_kind"),
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+            assert!(matches!(
+                exchange(&mut odd, &Request::Hello { client: 0 }),
+                Response::Assignment { .. }
+            ));
+
+            // An inadmissible payload: wrong message kind for FleetSim.
+            let upload = Request::Upload {
+                round: 0,
+                client: 0,
+                codec: Codec::Raw,
+                payload: Message::SampleSelection { ids: vec![1] }.to_bytes(),
+            };
+            match exchange(&mut odd, &upload) {
+                Response::Rejected { reason } => assert_eq!(reason, "unexpected_payload"),
+                other => panic!("expected Rejected, got {other:?}"),
+            }
+
+            // The honest upload still lands and completes the round —
+            // and the rejected payload was not billed.
+            let replica = FleetSim::new(1, 4, 8, 5);
+            let upload = Request::Upload {
+                round: 0,
+                client: 0,
+                codec: Codec::Raw,
+                payload: replica.client_payload(0, 0).to_bytes(),
+            };
+            assert!(matches!(
+                exchange(&mut odd, &upload),
+                Response::Ack { round: 0 }
+            ));
+            done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        })
+    };
+
+    let mut fed = FleetSim::new(1, 4, 8, 5);
+    let cfg = ServeConfig {
+        rounds: 1,
+        drain: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let mut log = EventLog::default();
+    let report = serve(&mut fed, &DriverBuilder::new().rounds(1), listener, &cfg, &mut log).unwrap();
+    done_tx.send(()).unwrap();
+    probe.join().unwrap();
+
+    use fedpkd_core::telemetry::FrameRejectCause;
+    let causes: Vec<FrameRejectCause> = log
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::FrameRejected { cause, .. } => Some(*cause),
+            _ => None,
+        })
+        .collect();
+    assert!(causes.contains(&FrameRejectCause::ChecksumMismatch));
+    assert!(causes.contains(&FrameRejectCause::UnknownKind));
+    assert!(causes.contains(&FrameRejectCause::Inadmissible));
+    // Only the honest upload was billed.
+    let expected = FleetSim::new(1, 4, 8, 5).client_payload(0, 0).encoded_len();
+    assert_eq!(report.total_bytes, expected);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Graceful degradation: with a round timeout, the round commits with
+/// whichever cohort uploaded; the absent client is a `Deadline` drop.
+#[test]
+fn round_timeout_commits_with_partial_cohort() {
+    let dir = temp_dir("degrade");
+    let sock = dir.join("serve.sock");
+    let listener = Listener::bind_uds(&sock).unwrap();
+    let target = Target::Uds(sock.clone());
+
+    // Clients 0..3 of 4 participate; client 3 never shows up.
+    let clients: Vec<_> = (0..3)
+        .map(|client| {
+            let target = target.clone();
+            std::thread::spawn(move || {
+                let replica = FleetSim::new(4, 4, 8, 11);
+                let cfg = ClientConfig::new(client);
+                let payload =
+                    |round: u64, client: usize| replica.client_payload(round as usize, client).to_bytes();
+                run_client(&target, &cfg, &payload, &mut NullObserver)
+            })
+        })
+        .collect();
+
+    let mut fed = FleetSim::new(4, 4, 8, 11);
+    let cfg = ServeConfig {
+        rounds: 2,
+        round_timeout: Some(Duration::from_millis(400)),
+        ..ServeConfig::default()
+    };
+    let report = serve(
+        &mut fed,
+        &DriverBuilder::new().rounds(2),
+        listener,
+        &cfg,
+        &mut NullObserver,
+    )
+    .unwrap();
+    for client in clients {
+        client.join().unwrap().unwrap();
+    }
+
+    assert_eq!(report.history.len(), 2);
+    for metrics in &report.history {
+        assert!(
+            (metrics.participation_rate - 0.75).abs() < 1e-9,
+            "round {} participation {}",
+            metrics.round,
+            metrics.participation_rate
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------
+// Quantized uploads: a federation that accepts logits and bills the
+// bytes that actually crossed the wire.
+// ---------------------------------------------------------------------
+
+/// A minimal logit-exchanging federation: every client uploads a logit
+/// matrix over `samples` public samples, the server averages them, and —
+/// the part under test — staged uploads are billed at their *observed*
+/// wire size, so a quantized upload costs what the socket saw, not what
+/// the raw message would have.
+struct LogitFed {
+    clients: usize,
+    samples: usize,
+    classes: u32,
+    seed: u64,
+    mean: Vec<f32>,
+    staged: BTreeMap<(usize, usize), (Message, usize)>,
+    driver: DriverState,
+}
+
+impl LogitFed {
+    fn new(clients: usize, samples: usize, classes: u32, seed: u64) -> Self {
+        Self {
+            clients,
+            samples,
+            classes,
+            seed,
+            mean: vec![0.0; samples * classes as usize],
+            staged: BTreeMap::new(),
+            driver: DriverState::new(),
+        }
+    }
+
+    fn synth_values(&self, round: usize, client: usize) -> Vec<f32> {
+        let mut rng = Rng::stream(self.seed.wrapping_add(round as u64), client as u64);
+        (0..self.samples * self.classes as usize)
+            .map(|_| rng.next_f32() * 4.0 - 2.0)
+            .collect()
+    }
+}
+
+impl Federation for LogitFed {
+    fn name(&self) -> &'static str {
+        "LogitFed"
+    }
+
+    fn num_clients(&self) -> usize {
+        self.clients
+    }
+
+    fn run_round(
+        &mut self,
+        round: usize,
+        ctx: &RoundContext,
+        ledger: &mut CommLedger,
+        _obs: &mut dyn RoundObserver,
+    ) {
+        for client in ctx.cohort().survivors() {
+            let (message, wire_bytes) = match self.staged.remove(&(round, client)) {
+                Some(staged) => staged,
+                None => {
+                    let message = self.client_payload(round, client);
+                    let bytes = message.encoded_len();
+                    (message, bytes)
+                }
+            };
+            ledger.record_bytes(round, client, Direction::Uplink, wire_bytes);
+            if let Message::Logits { values, .. } = message {
+                for (m, v) in self.mean.iter_mut().zip(values) {
+                    *m += v / self.clients as f32;
+                }
+            }
+        }
+    }
+
+    fn server_accuracy(&mut self) -> Option<f64> {
+        None
+    }
+
+    fn client_accuracies(&mut self) -> Vec<f64> {
+        Vec::new()
+    }
+
+    fn driver(&self) -> &DriverState {
+        &self.driver
+    }
+
+    fn driver_mut(&mut self) -> &mut DriverState {
+        &mut self.driver
+    }
+
+    fn write_state(&self, w: &mut dyn StateSink) {
+        for &m in &self.mean {
+            w.put_f32(m);
+        }
+        write_driver(w, &self.driver);
+    }
+
+    fn read_state(&mut self, r: &mut dyn StateSource) -> Result<(), SnapshotError> {
+        for m in &mut self.mean {
+            *m = r.take_f32()?;
+        }
+        self.driver = read_driver(r)?;
+        Ok(())
+    }
+}
+
+impl RemoteFederation for LogitFed {
+    fn client_payload(&self, round: usize, client: usize) -> Message {
+        Message::Logits {
+            sample_ids: (0..self.samples as u32).collect(),
+            num_classes: self.classes,
+            values: self.synth_values(round, client),
+        }
+    }
+
+    fn stage_upload(
+        &mut self,
+        round: usize,
+        client: usize,
+        payload: Message,
+        wire_bytes: usize,
+    ) -> Result<(), StageError> {
+        if client >= self.clients {
+            return Err(StageError::UnknownClient {
+                client,
+                fleet: self.clients,
+            });
+        }
+        let Message::Logits {
+            sample_ids,
+            num_classes,
+            values,
+        } = payload
+        else {
+            return Err(StageError::UnexpectedPayload);
+        };
+        if sample_ids.len() != self.samples
+            || num_classes != self.classes
+            || values.len() != self.samples * self.classes as usize
+        {
+            return Err(StageError::WrongShape);
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(StageError::NonFinite);
+        }
+        self.staged.insert(
+            (round, client),
+            (
+                Message::Logits {
+                    sample_ids,
+                    num_classes,
+                    values,
+                },
+                wire_bytes,
+            ),
+        );
+        Ok(())
+    }
+}
+
+/// Quantized uploads cross the wire at the compressed size and the ledger
+/// bills exactly that; hostile quantized payloads die at admission.
+#[test]
+fn quantized_uploads_bill_observed_bytes_and_reject_non_finite() {
+    let dir = temp_dir("quant");
+    let sock = dir.join("serve.sock");
+    let listener = Listener::bind_uds(&sock).unwrap();
+    let target = Target::Uds(sock.clone());
+
+    let (clients, samples, classes, seed) = (2usize, 6usize, 4u32, 31u64);
+    fn quantized_payload(
+        clients: usize,
+        samples: usize,
+        classes: u32,
+        seed: u64,
+        round: usize,
+        client: usize,
+    ) -> Vec<u8> {
+        let replica = LogitFed::new(clients, samples, classes, seed);
+        let Message::Logits {
+            sample_ids,
+            num_classes,
+            values,
+        } = replica.client_payload(round, client)
+        else {
+            unreachable!()
+        };
+        QuantizedLogits::from_values(&sample_ids, num_classes, &values)
+            .unwrap()
+            .to_bytes()
+    }
+    let quantized_payload =
+        move |round: usize, client: usize| quantized_payload(clients, samples, classes, seed, round, client);
+    let raw_len = LogitFed::new(clients, samples, classes, seed)
+        .client_payload(0, 0)
+        .encoded_len();
+    let q_len_r0: usize = (0..clients).map(|c| quantized_payload(0, c).len()).sum();
+    let q0 = quantized_payload(0, 0);
+    assert!(q0.len() < raw_len, "quantization must actually compress");
+
+    let (done_tx, done_rx) = mpsc::channel::<()>();
+    let probe = std::thread::spawn(move || {
+        let mut conn = target.connect().unwrap();
+        conn.set_io_deadline(Duration::from_secs(2)).unwrap();
+
+        // A quantized payload with a non-finite scale dies at admission.
+        let mut hostile = QuantizedLogits::from_values(
+            &(0..samples as u32).collect::<Vec<_>>(),
+            classes,
+            &vec![0.5; samples * classes as usize],
+        )
+        .unwrap();
+        hostile.min = f32::NAN;
+        let upload = Request::Upload {
+            round: 0,
+            client: 0,
+            codec: Codec::Quantized,
+            payload: hostile.to_bytes(),
+        };
+        match exchange(&mut conn, &upload) {
+            Response::Rejected { reason } => assert_eq!(reason, "quantize_non_finite"),
+            other => panic!("expected Rejected, got {other:?}"),
+        }
+
+        // Honest quantized uploads for both clients, both rounds.
+        loop {
+            let resp = exchange(&mut conn, &Request::Hello { client: 0 });
+            let round = match resp {
+                Response::Assignment { done: true, .. } => break,
+                Response::Assignment { round, .. } => round,
+                other => panic!("unexpected {other:?}"),
+            };
+            for client in 0..clients {
+                let upload = Request::Upload {
+                    round,
+                    client: client as u32,
+                    codec: Codec::Quantized,
+                    payload: quantized_payload(round as usize, client),
+                };
+                match exchange(&mut conn, &upload) {
+                    Response::Ack { .. } | Response::Stale { .. } => {}
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+        }
+        done_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    });
+
+    let mut fed = LogitFed::new(clients, samples, classes, seed);
+    let cfg = ServeConfig {
+        rounds: 2,
+        drain: Duration::from_millis(300),
+        ..ServeConfig::default()
+    };
+    let report = serve(
+        &mut fed,
+        &DriverBuilder::new().rounds(2),
+        listener,
+        &cfg,
+        &mut NullObserver,
+    )
+    .unwrap();
+    done_tx.send(()).unwrap();
+    probe.join().unwrap();
+
+    // Round 0 was billed at the quantized sizes the socket observed.
+    assert_eq!(
+        fed.driver().ledger().round_traffic(0).uplink,
+        q_len_r0,
+        "ledger must bill compressed bytes, not raw encoded_len"
+    );
+    assert!(report.total_bytes < 2 * clients * raw_len);
+    let _ = std::fs::remove_dir_all(&dir);
+}

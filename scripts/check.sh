@@ -19,6 +19,16 @@ cargo run --release -q --example checkpoint_resume > /dev/null
 # speed (CI boxes are too noisy for a speed assertion).
 FEDPKD_PERF_SCALE=smoke FEDPKD_PERF_OUT=target/bench_smoke.json \
     cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
+# Serve smoke: the real UDS transport under chaos — the server is SIGKILLed
+# at three seeded points mid-run, restarted from its streaming snapshot, and
+# the completed history + ledger must be bit-identical to the in-process
+# driver at the same seed (crates/serve/tests/chaos.rs asserts internally).
+cargo test --release -q -p fedpkd-serve --test chaos > /dev/null
+# Serve throughput/recovery smoke: a small served federation plus an
+# in-process restore probe; exits non-zero unless both legs reproduce the
+# driver bit-identically. The committed full-scale report is BENCH_pr8.json.
+FEDPKD_PERF_SCALE=serve-smoke FEDPKD_PERF_OUT=target/bench_serve_smoke.json \
+    cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
 # Fleet-scale smoke: a 1000-client fleet with 64-client seeded cohorts must
 # replay bit-identically in both sync and bounded-staleness modes. The
 # committed 10k-client report is BENCH_pr7.json.

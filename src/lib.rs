@@ -81,7 +81,8 @@ pub mod prelude {
     pub use fedpkd_core::runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};
     pub use fedpkd_core::snapshot::{AlgorithmState, SnapshotError};
     pub use fedpkd_core::telemetry::{
-        EventLog, JsonlSink, NullObserver, RoundObserver, TelemetryError, TelemetryEvent,
+        EventLog, FrameRejectCause, JsonlSink, NullObserver, RoundObserver, TelemetryError,
+        TelemetryEvent,
     };
     pub use fedpkd_data::{Partition, ScenarioBuilder, SyntheticConfig};
     pub use fedpkd_netsim::{

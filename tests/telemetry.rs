@@ -176,6 +176,64 @@ fn fedpkd_jsonl_trace_has_expected_shape() {
     }
 }
 
+/// Golden-shape test for the transport events emitted by the serving layer
+/// (`fedpkd-serve`). Every field is an integer or a fixed string, so the
+/// serialized lines are exact — this pins the JSONL contract an operator's
+/// log tooling parses.
+#[test]
+fn transport_events_jsonl_golden_shape() {
+    let events = [
+        TelemetryEvent::ConnAccepted {
+            round: 3,
+            conn: 11,
+            transport: "uds".to_string(),
+        },
+        TelemetryEvent::ConnClosed {
+            round: 3,
+            conn: 11,
+            frames: 5,
+            bytes: 2048,
+        },
+        TelemetryEvent::FrameRejected {
+            round: 3,
+            conn: 11,
+            cause: FrameRejectCause::ChecksumMismatch,
+        },
+        TelemetryEvent::RetryScheduled {
+            round: 3,
+            client: 7,
+            attempt: 2,
+            delay_ms: 400,
+        },
+        TelemetryEvent::ServerOverloaded {
+            round: 3,
+            inflight: 16,
+            limit: 16,
+        },
+    ];
+    let golden = [
+        r#"{"event":"conn_accepted","round":3,"conn":11,"transport":"uds"}"#,
+        r#"{"event":"conn_closed","round":3,"conn":11,"frames":5,"bytes":2048}"#,
+        r#"{"event":"frame_rejected","round":3,"conn":11,"cause":"checksum_mismatch"}"#,
+        r#"{"event":"retry_scheduled","round":3,"client":7,"attempt":2,"delay_ms":400}"#,
+        r#"{"event":"server_overloaded","round":3,"inflight":16,"limit":16}"#,
+    ];
+
+    let mut sink = JsonlSink::new(Vec::new());
+    for event in &events {
+        sink.record(event);
+    }
+    let bytes = sink.into_inner().expect("in-memory writer cannot fail");
+    let text = String::from_utf8(bytes).expect("trace is UTF-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines, golden);
+
+    for (event, line) in events.iter().zip(&golden) {
+        assert!(line.contains(&format!("\"event\":\"{}\"", event.kind())));
+        assert_eq!(event.round(), 3);
+    }
+}
+
 /// The event stream is framed per round: `round_start` opens, `round_end`
 /// closes, and everything in between belongs to that round.
 #[test]
