@@ -26,6 +26,20 @@
 //!   [`ClientPool`] where only the active cohort's deltas are resident —
 //!   and `peak_rss_per_client` is the pooled bytes amortized per fleet
 //!   client.
+//! - **Execution plan** (`FEDPKD_PERF_SCALE=pr9`, or `pr9-smoke` for CI):
+//!   prices the batched client execution plan and the fused/vectorized
+//!   server math. Three legs: (1) the Fig. 7 heterogeneous profile per
+//!   kernel tier for client-training and end-to-end speedups, (2) a
+//!   16-client robust-aggregation run (`Trimmed {0.2}`) verifying the
+//!   trimmed path replays bit-identically in context, plus a dedicated
+//!   robust-kernel microbenchmark — trimmed ensembling over pre-softmaxed
+//!   probabilities and a coordinate-median sweep — that carries the
+//!   aggregation speedup floor, and (3) a determinism gate sweeping all
+//!   eight algorithms across kernel tiers × worker budgets ×
+//!   execution-plan schedules at smoke scale — every configuration must
+//!   reproduce the reference `RunResult` bit for bit. Writes
+//!   `BENCH_pr9.json`; at full scale the client-training (≥ 2.0×) and
+//!   aggregation (≥ 1.3×) speedup floors are exit gates too.
 //!
 //! Usage: `cargo run --release -p fedpkd-bench --bin perf`
 //!
@@ -45,12 +59,14 @@
 //! metric or ledger entry — the bit-identity contract is a hard gate, not
 //! a report field.
 
-use fedpkd_bench::{run_method_observed, Method, Scale, Setting, Task};
+use fedpkd_bench::{run_method_observed, run_method_with_driver, Method, Scale, Setting, Task};
 use fedpkd_core::clients::build_clients;
 use fedpkd_core::driver::DriverBuilder;
+use fedpkd_core::fedpkd::logits::aggregate_logits_trimmed_from_probs;
 use fedpkd_core::fedpkd::FedPkdConfig;
 use fedpkd_core::fleet::FleetSim;
 use fedpkd_core::remote::RemoteFederation;
+use fedpkd_core::robust::{coordinate_median, RobustAggregation};
 use fedpkd_core::runtime::Federation;
 use fedpkd_core::runtime::RunResult;
 use fedpkd_core::telemetry::NullObserver;
@@ -63,7 +79,9 @@ use fedpkd_serve::protocol::{Codec, Request, Response};
 use fedpkd_serve::server::{serve, ServeConfig};
 use fedpkd_serve::transport::{Conn, Listener, Target};
 use fedpkd_tensor::models::{DepthTier, ModelSpec};
-use fedpkd_tensor::KernelMode;
+use fedpkd_tensor::ops::softmax;
+use fedpkd_tensor::plan::PlanMode;
+use fedpkd_tensor::{KernelMode, Tensor};
 use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::{Duration, Instant};
@@ -86,26 +104,28 @@ struct Timed {
     phase_seconds: BTreeMap<&'static str, f64>,
 }
 
+/// The CI-sized profile: 3 heterogeneous clients, 2 rounds, light epochs.
+fn smoke_scale() -> Scale {
+    Scale {
+        clients: 3,
+        samples: 360,
+        public: 120,
+        test: 150,
+        rounds: 2,
+        pkd: FedPkdConfig {
+            client_private_epochs: 2,
+            client_public_epochs: 1,
+            server_epochs: 3,
+            learning_rate: 0.003,
+            ..FedPkdConfig::default()
+        },
+        ..Scale::quick()
+    }
+}
+
 fn perf_scale() -> (Scale, &'static str) {
     match std::env::var("FEDPKD_PERF_SCALE").as_deref() {
-        Ok("smoke") => (
-            Scale {
-                clients: 3,
-                samples: 360,
-                public: 120,
-                test: 150,
-                rounds: 2,
-                pkd: FedPkdConfig {
-                    client_private_epochs: 2,
-                    client_public_epochs: 1,
-                    server_epochs: 3,
-                    learning_rate: 0.003,
-                    ..FedPkdConfig::default()
-                },
-                ..Scale::quick()
-            },
-            "smoke",
-        ),
+        Ok("smoke") => (smoke_scale(), "smoke"),
         _ => (Scale::from_env(), "fig7"),
     }
 }
@@ -624,12 +644,330 @@ fn serve_main(fleet: usize, rounds: usize, profile: &str) {
     }
 }
 
+/// The robust-aggregation leg: a cohort wide enough for the trimmed
+/// mean's partition path (≥ 16 values per coordinate) with a public pool
+/// deep enough for the row-parallel fan-out, and deliberately light
+/// training epochs — the leg prices the Aggregation phase, not the GEMMs.
+fn pr9_robust_scale(smoke: bool) -> Scale {
+    Scale {
+        clients: 16,
+        samples: if smoke { 960 } else { 3_200 },
+        public: if smoke { 600 } else { 2_400 },
+        test: 150,
+        rounds: 2,
+        pkd: FedPkdConfig {
+            client_private_epochs: 1,
+            client_public_epochs: 1,
+            server_epochs: 1,
+            learning_rate: 0.003,
+            robust: RobustAggregation::Trimmed { trim_fraction: 0.2 },
+            ..FedPkdConfig::default()
+        },
+        ..Scale::quick()
+    }
+}
+
+/// Prices the robust-aggregation layer itself — trimmed logit ensembling
+/// over pre-softmaxed client probabilities plus a coordinate-median sweep
+/// over prototype-sized vectors — per kernel tier, returning
+/// `(scalar_s, fast_s, bit_identical)`.
+///
+/// The probabilities are computed *outside* the timed region on purpose:
+/// the softmax that feeds aggregation is identical arithmetic in both
+/// tiers (it is priced by the training legs), so timing it here would
+/// only dilute the ratio the robust-kernel work actually achieves.
+fn pr9_robust_kernel_leg(smoke: bool, reps: usize) -> (f64, f64, bool) {
+    const CLIENTS: usize = 16;
+    const CLASSES: usize = 10;
+    const PROTO_DIMS: usize = 512;
+    let rows = if smoke { 600 } else { 2_400 };
+    let iters = if smoke { 5 } else { 10 };
+    let mut rng = fedpkd_rng::Rng::seed_from_u64(SEED);
+    let probs: Vec<Tensor> = (0..CLIENTS)
+        .map(|_| {
+            let logits = Tensor::rand_uniform(&[rows, CLASSES], -6.0, 6.0, &mut rng);
+            softmax(&logits, 1.0)
+        })
+        .collect();
+    let protos: Vec<Vec<f32>> = (0..CLIENTS)
+        .map(|_| {
+            Tensor::rand_uniform(&[PROTO_DIMS], -1.0, 1.0, &mut rng)
+                .as_slice()
+                .to_vec()
+        })
+        .collect();
+    let proto_rows: Vec<&[f32]> = protos.iter().map(Vec::as_slice).collect();
+    let run = |mode: KernelMode| -> (f64, Tensor, Vec<f32>) {
+        let _tier = mode.scoped();
+        let mut best = f64::INFINITY;
+        let mut outputs = None;
+        for _ in 0..reps.max(2) {
+            let start = Instant::now();
+            let mut last = None;
+            for _ in 0..iters {
+                let agg = aggregate_logits_trimmed_from_probs(&probs, 0.2)
+                    .expect("aligned probs aggregate");
+                let med = coordinate_median(&proto_rows).expect("aligned prototype rows");
+                last = Some((agg, med));
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed < best {
+                best = elapsed;
+            }
+            outputs = last;
+        }
+        let (agg, med) = outputs.expect("at least one iteration");
+        (best, agg, med)
+    };
+    let (scalar_s, scalar_agg, scalar_med) = run(KernelMode::Scalar);
+    let (fast_s, fast_agg, fast_med) = run(KernelMode::Fast);
+    let identical = scalar_agg
+        .as_slice()
+        .iter()
+        .zip(fast_agg.as_slice())
+        .all(|(a, b)| a.to_bits() == b.to_bits())
+        && scalar_med
+            .iter()
+            .zip(&fast_med)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+    (scalar_s, fast_s, identical)
+}
+
+/// One determinism-gate run: a method under an explicit kernel tier,
+/// execution-plan schedule, and worker budget.
+fn gate_run(
+    method: Method,
+    scale: &Scale,
+    mode: KernelMode,
+    plan: PlanMode,
+    workers: Option<usize>,
+) -> RunResult {
+    let _mode = mode.scoped();
+    let _plan = plan.scoped();
+    let mut builder = DriverBuilder::new().rounds(scale.rounds);
+    if let Some(workers) = workers {
+        builder = builder.workers(workers);
+    }
+    let mut driver = builder.build();
+    run_method_with_driver(
+        method,
+        scale,
+        Task::C10,
+        Setting::DirHigh,
+        true,
+        SEED,
+        &mut driver,
+        &mut NullObserver,
+    )
+}
+
+/// Sweeps all eight algorithms across kernel tiers × execution-plan
+/// schedules × worker budgets at smoke scale; every configuration must
+/// reproduce the scalar/sequential reference `RunResult` bit for bit.
+/// Returns whether the whole matrix agreed.
+fn pr9_gate(scale: &Scale) -> bool {
+    let variants: [(&str, KernelMode, PlanMode, Option<usize>); 4] = [
+        ("fast/grouped", KernelMode::Fast, PlanMode::Grouped, None),
+        (
+            "fast/grouped/w1",
+            KernelMode::Fast,
+            PlanMode::Grouped,
+            Some(1),
+        ),
+        (
+            "fast/sequential",
+            KernelMode::Fast,
+            PlanMode::Sequential,
+            None,
+        ),
+        (
+            "scalar/grouped",
+            KernelMode::Scalar,
+            PlanMode::Grouped,
+            None,
+        ),
+    ];
+    let mut all_identical = true;
+    for method in Method::ALL {
+        let reference = gate_run(
+            method,
+            scale,
+            KernelMode::Scalar,
+            PlanMode::Sequential,
+            None,
+        );
+        let mut diverged: Vec<&str> = Vec::new();
+        for (label, mode, plan, workers) in variants {
+            if gate_run(method, scale, mode, plan, workers) != reference {
+                diverged.push(label);
+            }
+        }
+        if diverged.is_empty() {
+            eprintln!(
+                "perf: gate {} — {} configs identical",
+                method.name(),
+                variants.len() + 1
+            );
+        } else {
+            all_identical = false;
+            eprintln!(
+                "perf: gate {} FAILED — diverging configs: {}",
+                method.name(),
+                diverged.join(", ")
+            );
+        }
+    }
+    all_identical
+}
+
+/// The execution-plan scenario (PR 9): client-training and end-to-end
+/// speedups on the Fig. 7 heterogeneous profile, the robust-aggregation
+/// speedup on a 16-client trimmed run, and the all-methods determinism
+/// gate. Writes `BENCH_pr9.json`; exits non-zero on any bit divergence,
+/// and (at full scale) when the speedup floors are missed.
+fn pr9_main(smoke: bool) {
+    let profile = if smoke { "pr9-smoke" } else { "pr9" };
+    let reps: usize = std::env::var("FEDPKD_PERF_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1);
+    let train_scale = if smoke { smoke_scale() } else { Scale::quick() };
+    eprintln!(
+        "perf: {profile} training leg — {} heterogeneous clients, {} public samples, {} rounds, {reps} rep(s) per tier",
+        train_scale.clients, train_scale.public, train_scale.rounds
+    );
+    let t_scalar = best_of(KernelMode::Scalar, &train_scale, reps, "train scalar");
+    let t_fast = best_of(KernelMode::Fast, &train_scale, reps, "train fast");
+    let train_identical = t_scalar.result.history == t_fast.result.history
+        && t_scalar.result.ledger == t_fast.result.ledger;
+    let accuracy_equal =
+        t_scalar.result.best_server_accuracy() == t_fast.result.best_server_accuracy();
+
+    let robust_scale = pr9_robust_scale(smoke);
+    eprintln!(
+        "perf: {profile} robust leg — {} clients, trim 0.2, {} public samples, {} rounds",
+        robust_scale.clients, robust_scale.public, robust_scale.rounds
+    );
+    let r_scalar = best_of(KernelMode::Scalar, &robust_scale, reps, "robust scalar");
+    let r_fast = best_of(KernelMode::Fast, &robust_scale, reps, "robust fast");
+    let robust_identical = r_scalar.result.history == r_fast.result.history
+        && r_scalar.result.ledger == r_fast.result.ledger;
+
+    eprintln!(
+        "perf: {profile} robust kernel leg — trimmed ensembling + coordinate median per tier"
+    );
+    let (rk_scalar, rk_fast, rk_identical) = pr9_robust_kernel_leg(smoke, reps);
+
+    eprintln!("perf: {profile} determinism gate — 8 methods x 5 configs at smoke scale");
+    let gate_identical = pr9_gate(&smoke_scale());
+
+    let speedup = |s: f64, f: f64| if f > 0.0 { s / f } else { 0.0 };
+    let phase = |t: &Timed, name: &str| t.phase_seconds.get(name).copied().unwrap_or(0.0);
+    let ct_scalar = phase(&t_scalar, "client_training");
+    let ct_fast = phase(&t_fast, "client_training");
+    let ct_speedup = speedup(ct_scalar, ct_fast);
+    let e2e_speedup = speedup(t_scalar.total_seconds, t_fast.total_seconds);
+    let agg_speedup = speedup(rk_scalar, rk_fast);
+    let agg_phase_scalar = phase(&r_scalar, "aggregation");
+    let agg_phase_fast = phase(&r_fast, "aggregation");
+    let best_acc = t_fast
+        .result
+        .best_server_accuracy()
+        .map(|v| format!("{v:.4}"))
+        .unwrap_or_else(|| "null".into());
+
+    let mut phases_json = String::new();
+    for p in PHASES {
+        let name = p.name();
+        let s = phase(&t_scalar, name);
+        let f = phase(&t_fast, name);
+        phases_json.push_str(&format!(
+            "    \"{name}\": {{\"scalar_s\": {s:.4}, \"fast_s\": {f:.4}, \"speedup\": {:.2}}},\n",
+            speedup(s, f)
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"profile\": \"{profile}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"reps\": {reps},\n",
+            "  \"client_training\": {{\"scalar_s\": {ct_scalar:.4}, \"fast_s\": {ct_fast:.4}, ",
+            "\"speedup\": {ct_speedup:.2}}},\n",
+            "  \"aggregation\": {{\"clients\": {agg_clients}, \"trim_fraction\": 0.2, ",
+            "\"measures\": \"trimmed ensembling over shared probs + coordinate median\", ",
+            "\"scalar_s\": {rk_scalar:.4}, \"fast_s\": {rk_fast:.4}, \"speedup\": {agg_speedup:.2}, ",
+            "\"robust_run_phase\": {{\"scalar_s\": {agg_phase_scalar:.4}, ",
+            "\"fast_s\": {agg_phase_fast:.4}}}}},\n",
+            "  \"end_to_end\": {{\"scalar_s\": {e2e_scalar:.4}, \"fast_s\": {e2e_fast:.4}, ",
+            "\"speedup\": {e2e_speedup:.2}}},\n",
+            "  \"best_server_accuracy\": {best_acc},\n",
+            "  \"bit_identical\": {{\"training_leg\": {train_identical}, ",
+            "\"robust_leg\": {robust_identical}, \"robust_kernels\": {rk_identical}, ",
+            "\"accuracy_equal\": {accuracy_equal}, ",
+            "\"gate_matrix\": {gate_identical}}},\n",
+            "  \"gate\": {{\"methods\": 8, \"configs_per_method\": 5, ",
+            "\"axes\": \"kernel tier x plan schedule x worker budget\"}},\n",
+            "  \"training_phases\": {{\n{phases_json}",
+            "    \"end_to_end\": {{\"scalar_s\": {e2e_scalar:.4}, \"fast_s\": {e2e_fast:.4}, ",
+            "\"speedup\": {e2e_speedup:.2}}}\n  }}\n",
+            "}}\n",
+        ),
+        profile = profile,
+        seed = SEED,
+        reps = reps,
+        ct_scalar = ct_scalar,
+        ct_fast = ct_fast,
+        ct_speedup = ct_speedup,
+        agg_clients = robust_scale.clients,
+        rk_scalar = rk_scalar,
+        rk_fast = rk_fast,
+        agg_speedup = agg_speedup,
+        agg_phase_scalar = agg_phase_scalar,
+        agg_phase_fast = agg_phase_fast,
+        e2e_scalar = t_scalar.total_seconds,
+        e2e_fast = t_fast.total_seconds,
+        e2e_speedup = e2e_speedup,
+        best_acc = best_acc,
+        train_identical = train_identical,
+        robust_identical = robust_identical,
+        rk_identical = rk_identical,
+        accuracy_equal = accuracy_equal,
+        gate_identical = gate_identical,
+        phases_json = phases_json,
+    );
+    let out = std::env::var("FEDPKD_PERF_OUT").unwrap_or_else(|_| "BENCH_pr9.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("perf: report written to {out}");
+
+    let identical =
+        train_identical && robust_identical && rk_identical && accuracy_equal && gate_identical;
+    if !identical {
+        eprintln!("perf: FAIL — a configuration diverged from the reference bits");
+        std::process::exit(1);
+    }
+    if !smoke {
+        if ct_speedup < 2.0 {
+            eprintln!("perf: FAIL — client_training speedup {ct_speedup:.2} below the 2.0x floor");
+            std::process::exit(1);
+        }
+        if agg_speedup < 1.3 {
+            eprintln!("perf: FAIL — aggregation speedup {agg_speedup:.2} below the 1.3x floor");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     match std::env::var("FEDPKD_PERF_SCALE").as_deref() {
         Ok("fleet") => return fleet_main(10_000, 256, 50, "fleet"),
         Ok("fleet-smoke") => return fleet_main(1_000, 64, 5, "fleet-smoke"),
         Ok("serve") => return serve_main(8, 200, "serve"),
         Ok("serve-smoke") => return serve_main(4, 8, "serve-smoke"),
+        Ok("pr9") => return pr9_main(false),
+        Ok("pr9-smoke") => return pr9_main(true),
         _ => {}
     }
     let (scale, profile) = perf_scale();

@@ -322,6 +322,21 @@ impl Method {
     pub const HETERO_ROSTER: [Method; 4] =
         [Method::FedPkd, Method::FedMd, Method::DsFl, Method::FedEt];
 
+    /// Every algorithm the harness knows — the Fig. 5 roster plus the
+    /// NaiveKD motivation arm. Determinism gates sweep this list: all
+    /// eight must replay bit-identically across kernel tiers, worker
+    /// counts, and execution-plan schedules.
+    pub const ALL: [Method; 8] = [
+        Method::FedPkd,
+        Method::FedMd,
+        Method::DsFl,
+        Method::FedEt,
+        Method::FedDf,
+        Method::FedAvg,
+        Method::FedProx,
+        Method::NaiveKd,
+    ];
+
     /// Display name.
     pub fn name(&self) -> &'static str {
         match self {
@@ -384,8 +399,30 @@ pub fn run_method_observed(
     seed: u64,
     obs: &mut dyn RoundObserver,
 ) -> RunResult {
+    let mut driver = Driver::rounds(scale.rounds);
+    run_method_with_driver(method, scale, task, setting, hetero, seed, &mut driver, obs)
+}
+
+/// [`run_method_observed`] on a caller-configured [`Driver`] — the entry
+/// point for harnesses that sweep driver knobs (worker budget, faults)
+/// while holding the method and scenario fixed. The driver's own round
+/// count is used; `scale.rounds` is ignored.
+///
+/// # Panics
+///
+/// Panics if the method/scenario wiring is invalid (a harness bug).
+#[allow(clippy::too_many_arguments)]
+pub fn run_method_with_driver(
+    method: Method,
+    scale: &Scale,
+    task: Task,
+    setting: Setting,
+    hetero: bool,
+    seed: u64,
+    driver: &mut Driver,
+    obs: &mut dyn RoundObserver,
+) -> RunResult {
     let scenario = scale.scenario(task, setting, seed);
-    let rounds = scale.rounds;
     let client_specs = if hetero {
         scale.heterogeneous_specs(task)
     } else {
@@ -393,7 +430,6 @@ pub fn run_method_observed(
     };
     let homo_spec = scale.client_spec(task);
     let server_spec = scale.server_spec(task);
-    let mut driver = Driver::rounds(rounds);
     match method {
         Method::FedPkd => driver.run(
             &mut FedPkd::new(scenario, client_specs, server_spec, scale.pkd.clone(), seed)

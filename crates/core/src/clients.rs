@@ -13,6 +13,7 @@ use fedpkd_data::{ClientData, FederatedScenario};
 use fedpkd_netsim::Cohort;
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::{ClassifierModel, ModelSpec};
+use fedpkd_tensor::nn::Layer;
 use fedpkd_tensor::optim::Adam;
 
 /// One simulated client: model, optimizer, private RNG stream.
@@ -89,7 +90,9 @@ pub fn validate_specs(
 // existing users of this module keep working. Clients never share mutable
 // state — each mutates only its own model, optimizer, and RNG stream — so
 // dispatching them this way is bit-identical to a sequential loop.
-pub use fedpkd_tensor::parallel::{dispatch_chunked, dispatch_stealing, StealStats};
+pub use fedpkd_tensor::parallel::{
+    dispatch_chunked, dispatch_stealing, dispatch_stealing_scheduled, StealStats,
+};
 
 /// Runs `f` for every `(client, client_data)` pair in parallel — capped at
 /// the machine's available parallelism so large fleets don't oversubscribe
@@ -158,8 +161,20 @@ pub fn for_each_active_client_streaming<T: Send>(
         .filter(|&(i, _)| member[i])
         .map(|(i, (client, data))| (i, client, data))
         .collect();
-    dispatch_stealing(
+    // Execution plan: group same-architecture clients onto the same worker
+    // queue so a worker drains a run of identically-shaped models back to
+    // back — its layer GEMMs reuse one tile geometry and its pooled scratch
+    // arenas rotate through one size class. Only the queue *seeding* order
+    // changes; the ordered commit point above still applies, so the plan is
+    // bit-identical to the sequential schedule (DESIGN.md §5j).
+    let keys: Vec<u64> = items
+        .iter()
+        .map(|(_, client, _)| client.model.param_count() as u64)
+        .collect();
+    let schedule = fedpkd_tensor::plan::schedule(&keys);
+    dispatch_stealing_scheduled(
         items,
+        &schedule,
         workers,
         |_, (i, client, data)| (i, task(i, client, data)),
         |_, (i, out)| commit(i, out),

@@ -37,7 +37,7 @@ use fedpkd_data::{ClientData, FederatedScenario};
 use fedpkd_rng::Rng;
 use fedpkd_tensor::models::ModelSpec;
 use fedpkd_tensor::optim::Adam;
-use fedpkd_tensor::parallel::{dispatch_chunked, dispatch_stealing, StealStats};
+use fedpkd_tensor::parallel::{dispatch_chunked, dispatch_stealing_scheduled, StealStats};
 use fedpkd_tensor::serialize::{load_state_vector, state_vector};
 use std::sync::OnceLock;
 
@@ -344,8 +344,18 @@ pub fn for_each_pooled_client_streaming<T: Send>(
     // ordered commit point on the caller's thread.
     let pool_ref: &ClientPool = pool;
     let mut parked: Vec<(usize, ParkedClient)> = Vec::with_capacity(items.len());
-    let stats = dispatch_stealing(
+    // Execution plan: seed same-template clients contiguously so a worker
+    // replays one template's weights (and one arena size class) back to
+    // back. Seeding order is the only thing that changes — the ordered
+    // commit point keeps the result bit-identical (DESIGN.md §5j).
+    let keys: Vec<u64> = items
+        .iter()
+        .map(|&(i, _, _)| u64::from(pool.assignment[i]))
+        .collect();
+    let schedule = fedpkd_tensor::plan::schedule(&keys);
+    let stats = dispatch_stealing_scheduled(
         items,
+        &schedule,
         workers,
         |_, (i, slot, data)| {
             let mut client = pool_ref.slot_into_client(i, slot);

@@ -11,7 +11,8 @@ use crate::fedpkd::config::{CoreError, FedPkdConfig};
 use crate::fedpkd::distill::train_server;
 use crate::fedpkd::filter::{filter_public, filter_public_with_stats};
 use crate::fedpkd::logits::{
-    aggregate_logits, aggregate_logits_trimmed, aggregation_stats, effective_trim, pseudo_labels,
+    aggregate_logits_from_probs, aggregate_logits_trimmed_from_probs, aggregation_stats_from_probs,
+    client_probs, effective_trim, pseudo_labels,
 };
 use crate::fedpkd::prototypes::{
     aggregate_prototypes, aggregate_prototypes_robust, compute_prototypes, global_to_wire_entries,
@@ -528,13 +529,23 @@ impl Federation for FedPkd {
             emit_phase_timing(obs, round, Phase::Aggregation, phase_started);
             return;
         }
+        // The shared softmax pass: on buffering rounds the trimmed/plain
+        // aggregation and the telemetry stats below all consume per-client
+        // probabilities, so softmax runs once per admitted upload instead
+        // of once per consumer. Softmax is a pure per-tensor map, so the
+        // sharing is bit-identical to each consumer recomputing it.
+        let probs = if buffer_logits && !fold_failed {
+            client_probs(&buffered)
+        } else {
+            Vec::new()
+        };
         let aggregated = if fold_failed {
             None
         } else {
             match trim {
-                Some(t) => aggregate_logits_trimmed(&buffered, t).ok(),
+                Some(t) => aggregate_logits_trimmed_from_probs(&probs, t).ok(),
                 None if buffer_logits => {
-                    aggregate_logits(&buffered, self.config.variance_weighting).ok()
+                    aggregate_logits_from_probs(&probs, self.config.variance_weighting).ok()
                 }
                 None => acc.finish().ok(),
             }
@@ -548,7 +559,9 @@ impl Federation for FedPkd {
         };
         let pseudo = pseudo_labels(&aggregated);
         if obs.enabled() {
-            let stats = aggregation_stats(&buffered, self.config.variance_weighting);
+            // `obs.enabled()` implies `buffer_logits`, so `probs` holds the
+            // shared softmax outputs from the aggregation above.
+            let stats = aggregation_stats_from_probs(&probs, self.config.variance_weighting);
             obs.record(&TelemetryEvent::LogitAggregation {
                 round,
                 clients: buffered.len(),

@@ -1,7 +1,7 @@
 //! Prototype-based ensemble distillation — server training (Eqs. 11–13).
 
 use fedpkd_rng::Rng;
-use fedpkd_tensor::loss::{CrossEntropy, DistillKl, Mse};
+use fedpkd_tensor::loss::{distill_kl_ce, DistillKl, Mse};
 use fedpkd_tensor::models::ClassifierModel;
 use fedpkd_tensor::nn::Layer;
 use fedpkd_tensor::optim::Optimizer;
@@ -59,7 +59,6 @@ pub fn train_server(
         return ServerDistillStats::default();
     }
     let kl = DistillKl::new(temperature);
-    let ce = CrossEntropy::new();
     let mse = Mse::new();
 
     let mut kd_total = 0.0f64;
@@ -75,9 +74,11 @@ pub fn train_server(
 
             let (features, logits) = model.forward_full(&x, true);
 
-            // Distillation term (Eq. 11).
-            let (kl_loss, kl_grad) = kl.loss_and_grad(&logits, &teacher);
-            let (ce_loss, ce_grad) = ce.loss_and_grad(&logits, &labels);
+            // Distillation term (Eq. 11): both losses share the logits, so
+            // the combined entry fuses their softmax families in the fast
+            // tier.
+            let ((kl_loss, kl_grad), (ce_loss, ce_grad)) =
+                distill_kl_ce(&kl, &logits, &teacher, &labels);
             let mut logit_grad = kl_grad;
             logit_grad.axpy(1.0, &ce_grad).expect("equal shapes");
             logit_grad.scale_in_place(delta);

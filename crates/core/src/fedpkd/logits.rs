@@ -1,9 +1,11 @@
 //! Variance-weighted logit aggregation (Eqs. 6–7) and its Byzantine-robust
 //! trimmed variant.
 
-use crate::robust::{trim_count, trimmed_mean, AggregationError};
+use crate::robust::{
+    trim_count, trimmed_mean, trimmed_mean_lanes, AggregationError, MAX_LANE_COHORT, TRIM_LANES,
+};
 use fedpkd_tensor::ops::{row_variance, softmax};
-use fedpkd_tensor::Tensor;
+use fedpkd_tensor::{kernel_mode, parallel, KernelMode, Tensor};
 
 /// Total-variance floor below which Eq. 7 weighting falls back to the plain
 /// mean: variances this small are dominated by float rounding (and a
@@ -11,12 +13,26 @@ use fedpkd_tensor::Tensor;
 /// them would amplify noise rather than confidence.
 pub const MIN_TOTAL_VARIANCE: f32 = 1e-12;
 
+/// Minimum samples per chunk before the trimmed aggregation fans out
+/// across rows; each sample costs `classes` trimmed means, so the
+/// per-row work is heavy and the threshold can sit well below the
+/// softmax one. Samples are independent — the split is bit-identical.
+const PAR_MIN_TRIM_ROWS: usize = 64;
+
 fn check_alignment(client_logits: &[Tensor]) -> Result<&Tensor, AggregationError> {
     let first = client_logits.first().ok_or(AggregationError::Empty)?;
     if client_logits.iter().any(|l| l.shape() != first.shape()) {
         return Err(AggregationError::ShapeMismatch);
     }
     Ok(first)
+}
+
+/// Softmax (temperature 1) of every client's logits — the shared
+/// probability pass. Aggregation, trimming, and telemetry all consume
+/// these, so buffering callers compute them once here and hand the same
+/// tensors to each consumer instead of re-running softmax per consumer.
+pub fn client_probs(client_logits: &[Tensor]) -> Vec<Tensor> {
+    client_logits.iter().map(|l| softmax(l, 1.0)).collect()
 }
 
 /// Aggregates per-client public-set logits into a global teacher
@@ -61,6 +77,28 @@ pub fn aggregate_logits(
     acc.finish()
 }
 
+/// [`aggregate_logits`] over pre-computed [`client_probs`] — the entry
+/// point for callers that also feed the same probabilities to
+/// [`aggregation_stats_from_probs`] or the trimmed variant. `fold` is
+/// softmax-then-`fold_probs`, so this is bit-identical to
+/// [`aggregate_logits`] on the corresponding logits.
+///
+/// # Errors
+///
+/// [`AggregationError::Empty`] with no clients,
+/// [`AggregationError::ShapeMismatch`] when the matrices disagree in shape.
+pub fn aggregate_logits_from_probs(
+    probs: &[Tensor],
+    variance_weighting: bool,
+) -> Result<Tensor, AggregationError> {
+    check_alignment(probs)?;
+    let mut acc = crate::streaming::LogitAccumulator::new(variance_weighting);
+    for p in probs {
+        acc.fold_probs(p)?;
+    }
+    acc.finish()
+}
+
 /// Byzantine-robust variant of Eqs. 6–7: a coordinate-wise trimmed mean of
 /// the clients' softmax probabilities, renormalized so each row is again a
 /// distribution.
@@ -81,31 +119,124 @@ pub fn aggregate_logits_trimmed(
     client_logits: &[Tensor],
     trim_fraction: f32,
 ) -> Result<Tensor, AggregationError> {
-    let first = check_alignment(client_logits)?;
-    let (n, k) = (first.rows(), first.cols());
-    let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
-    let mut out = Tensor::zeros(&[n, k]);
-    let mut column = vec![0.0f32; probs.len()];
-    for i in 0..n {
-        let row = out.row_mut(i);
-        for (j, o) in row.iter_mut().enumerate() {
-            for (slot, p) in column.iter_mut().zip(&probs) {
-                *slot = p.row(i)[j];
-            }
-            *o = trimmed_mean(&mut column, trim_fraction);
+    check_alignment(client_logits)?;
+    aggregate_logits_trimmed_from_probs(&client_probs(client_logits), trim_fraction)
+}
+
+/// One output row of the trimmed aggregation: per class, gather the
+/// clients' probabilities for sample `i` into `column`, trim-average, then
+/// renormalize the row. Trimming each coordinate independently breaks the
+/// sum-to-one invariant; renormalizing keeps downstream KD losses on a
+/// distribution (an all-zero row falls back to uniform).
+fn trimmed_row(
+    row: &mut [f32],
+    i: usize,
+    probs: &[Tensor],
+    column: &mut [f32],
+    trim_fraction: f32,
+) {
+    for (j, o) in row.iter_mut().enumerate() {
+        for (slot, p) in column.iter_mut().zip(probs) {
+            *slot = p.row(i)[j];
         }
-        // Trimming each coordinate independently breaks the sum-to-one
-        // invariant; renormalize so downstream KD losses still see a
-        // distribution.
-        let sum: f32 = row.iter().sum();
-        if sum > 0.0 {
-            for o in row.iter_mut() {
-                *o /= sum;
+        *o = trimmed_mean(column, trim_fraction);
+    }
+    renormalize_row(row);
+}
+
+/// The renormalization half of [`trimmed_row`], shared with the
+/// lane-batched fast tier (same operations, same bits).
+fn renormalize_row(row: &mut [f32]) {
+    let k = row.len();
+    let sum: f32 = row.iter().sum();
+    if sum > 0.0 {
+        for o in row.iter_mut() {
+            *o /= sum;
+        }
+    } else {
+        for o in row.iter_mut() {
+            *o = 1.0 / k as f32;
+        }
+    }
+}
+
+/// The lane-batched fast tier for one row chunk: fill the chunk's
+/// `(sample, class)` coordinates [`TRIM_LANES`] at a time through the
+/// vectorized [`trimmed_mean_lanes`] network, finish the tail with the
+/// per-column [`trimmed_mean`] (bit-identical by the lanes contract),
+/// then renormalize each completed row. The probability tensors are
+/// row-major `[n, k]`, so a lane batch reads `TRIM_LANES` *contiguous*
+/// floats from every client — the gather is a straight memcpy-like sweep
+/// instead of a strided walk.
+fn trimmed_chunk_lanes(
+    chunk: &mut [f32],
+    row0: usize,
+    classes: usize,
+    probs: &[Tensor],
+    trim_fraction: f32,
+) {
+    let base = row0 * classes;
+    let mut columns = vec![[0.0f32; TRIM_LANES]; probs.len()];
+    let mut flat = 0;
+    while flat + TRIM_LANES <= chunk.len() {
+        for (col, p) in columns.iter_mut().zip(probs) {
+            col.copy_from_slice(&p.as_slice()[base + flat..base + flat + TRIM_LANES]);
+        }
+        let means = trimmed_mean_lanes(&columns, trim_fraction);
+        chunk[flat..flat + TRIM_LANES].copy_from_slice(&means);
+        flat += TRIM_LANES;
+    }
+    let mut column = vec![0.0f32; probs.len()];
+    while flat < chunk.len() {
+        for (slot, p) in column.iter_mut().zip(probs) {
+            *slot = p.as_slice()[base + flat];
+        }
+        chunk[flat] = trimmed_mean(&mut column, trim_fraction);
+        flat += 1;
+    }
+    for row in chunk.chunks_mut(classes) {
+        renormalize_row(row);
+    }
+}
+
+/// [`aggregate_logits_trimmed`] over pre-computed [`client_probs`].
+///
+/// Samples are mutually independent, so the fast tier fans the rows out
+/// across the worker pool (each worker with its own gather scratch) —
+/// bit-identical to the sequential sweep at any worker count. Within a
+/// chunk, cohorts of up to [`MAX_LANE_COHORT`] clients run through the
+/// lane-batched [`trimmed_mean_lanes`] sorting network ([`TRIM_LANES`]
+/// coordinates per pass); wider cohorts fall back to the per-column
+/// [`trimmed_mean`], whose own tier dispatch partitions instead of fully
+/// sorting.
+///
+/// # Errors
+///
+/// [`AggregationError::Empty`] with no clients,
+/// [`AggregationError::ShapeMismatch`] when the matrices disagree in shape.
+pub fn aggregate_logits_trimmed_from_probs(
+    probs: &[Tensor],
+    trim_fraction: f32,
+) -> Result<Tensor, AggregationError> {
+    let first = check_alignment(probs)?;
+    let (n, k) = (first.rows(), first.cols());
+    let mut out = Tensor::zeros(&[n, k]);
+    if kernel_mode() == KernelMode::Fast && k > 0 && n >= 2 * PAR_MIN_TRIM_ROWS {
+        let batched = (1..=MAX_LANE_COHORT).contains(&probs.len());
+        parallel::for_each_row_chunk(out.as_mut_slice(), k, PAR_MIN_TRIM_ROWS, |row0, chunk| {
+            if batched {
+                trimmed_chunk_lanes(chunk, row0, k, probs, trim_fraction);
+            } else {
+                let mut column = vec![0.0f32; probs.len()];
+                for (r, row) in chunk.chunks_mut(k).enumerate() {
+                    trimmed_row(row, row0 + r, probs, &mut column, trim_fraction);
+                }
             }
-        } else {
-            for o in row.iter_mut() {
-                *o = 1.0 / k as f32;
-            }
+        });
+    } else {
+        let mut column = vec![0.0f32; probs.len()];
+        for i in 0..n {
+            trimmed_row(out.row_mut(i), i, probs, &mut column, trim_fraction);
         }
     }
     Ok(out)
@@ -141,17 +272,31 @@ pub struct AggregationStats {
 /// Computes [`AggregationStats`] for a set of client logits, mirroring the
 /// weighting [`aggregate_logits`] would apply.
 ///
-/// This recomputes the softmax pass, so it is intended for telemetry-enabled
-/// paths only. Inputs that [`aggregate_logits`] would reject (empty or
-/// misaligned) yield the default (empty) stats rather than an error —
-/// diagnostics never gate the round.
+/// This runs its own softmax pass; telemetry-enabled callers that already
+/// aggregated should instead compute [`client_probs`] once and share them
+/// between the aggregation and [`aggregation_stats_from_probs`]. Inputs
+/// that [`aggregate_logits`] would reject (empty or misaligned) yield the
+/// default (empty) stats rather than an error — diagnostics never gate the
+/// round.
 pub fn aggregation_stats(client_logits: &[Tensor], variance_weighting: bool) -> AggregationStats {
-    let Ok(first) = check_alignment(client_logits) else {
+    if check_alignment(client_logits).is_err() {
+        return AggregationStats::default();
+    }
+    aggregation_stats_from_probs(&client_probs(client_logits), variance_weighting)
+}
+
+/// [`aggregation_stats`] over pre-computed [`client_probs`] — softmax is
+/// a pure per-tensor map, so sharing its output between aggregation and
+/// telemetry is bit-identical to recomputing it in each consumer.
+pub fn aggregation_stats_from_probs(
+    probs: &[Tensor],
+    variance_weighting: bool,
+) -> AggregationStats {
+    let Ok(first) = check_alignment(probs) else {
         return AggregationStats::default();
     };
     let n = first.rows();
-    let clients = client_logits.len();
-    let probs: Vec<Tensor> = client_logits.iter().map(|l| softmax(l, 1.0)).collect();
+    let clients = probs.len();
     let argmaxes: Vec<Vec<usize>> = probs.iter().map(Tensor::argmax_rows).collect();
     let disagreement = if n == 0 {
         0.0

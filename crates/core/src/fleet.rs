@@ -345,8 +345,8 @@ impl RemoteFederation for FleetSim {
             if entry.vector.iter().any(|v| !v.is_finite()) {
                 return Err(StageError::NonFinite);
             }
-            let vector = Tensor::from_vec(entry.vector, &[self.dims])
-                .map_err(|_| StageError::WrongShape)?;
+            let vector =
+                Tensor::from_vec(entry.vector, &[self.dims]).map_err(|_| StageError::WrongShape)?;
             protos[class] = Some(Prototype {
                 count: entry.count as usize,
                 vector,
@@ -488,7 +488,10 @@ mod tests {
         // Client outside the fleet.
         assert_eq!(
             fleet.stage_upload(0, 99, Message::Prototypes { entries: vec![] }, 0),
-            Err(StageError::UnknownClient { client: 99, fleet: 8 })
+            Err(StageError::UnknownClient {
+                client: 99,
+                fleet: 8
+            })
         );
         // Class out of range and wrong vector width.
         assert_eq!(

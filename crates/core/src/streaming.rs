@@ -80,7 +80,22 @@ impl LogitAccumulator {
     /// [`AggregationError::ShapeMismatch`] when `logits` disagrees with the
     /// first client's shape (the upload is not folded).
     pub fn fold(&mut self, logits: &Tensor) -> Result<(), AggregationError> {
-        let (n, k) = (logits.rows(), logits.cols());
+        self.fold_probs(&softmax(logits, 1.0))
+    }
+
+    /// Folds one client whose softmax probabilities were already computed
+    /// — the probs-sharing entry point: telemetry
+    /// ([`crate::fedpkd::logits::aggregation_stats_from_probs`]) and
+    /// aggregation can then run the softmax pass once per client instead
+    /// of once per consumer. `fold` is a thin wrapper over this, so both
+    /// entry points are the same fold and stay bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// [`AggregationError::ShapeMismatch`] when `probs` disagrees with the
+    /// first client's shape (the upload is not folded).
+    pub fn fold_probs(&mut self, probs: &Tensor) -> Result<(), AggregationError> {
+        let (n, k) = (probs.rows(), probs.cols());
         if self.clients == 0 {
             self.rows = n;
             self.cols = k;
@@ -92,10 +107,9 @@ impl LogitAccumulator {
         } else if (n, k) != (self.rows, self.cols) {
             return Err(AggregationError::ShapeMismatch);
         }
-        let probs = softmax(logits, 1.0);
         let p = probs.as_slice();
         if self.variance_weighting {
-            let variances = row_variance(&probs);
+            let variances = row_variance(probs);
             for (i, &v) in variances.iter().enumerate() {
                 self.vtot[i] += v;
                 for j in 0..k {

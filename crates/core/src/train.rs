@@ -2,7 +2,7 @@
 
 use fedpkd_data::Dataset;
 use fedpkd_rng::Rng;
-use fedpkd_tensor::loss::{CrossEntropy, DistillKl, Mse};
+use fedpkd_tensor::loss::{distill_kl_ce, CrossEntropy, DistillKl, Mse};
 use fedpkd_tensor::models::ClassifierModel;
 use fedpkd_tensor::nn::Layer;
 use fedpkd_tensor::optim::Optimizer;
@@ -149,7 +149,6 @@ pub fn train_distill(
     }
     let kl = DistillKl::new(temperature);
     let pseudo_labels: Vec<usize> = teacher_probs.argmax_rows();
-    let ce = CrossEntropy::new();
 
     let mut total_loss = 0.0f64;
     let mut batches = 0usize;
@@ -163,8 +162,10 @@ pub fn train_distill(
             let teacher = teacher_probs.select_rows(chunk).expect("indices in range");
             let labels: Vec<usize> = chunk.iter().map(|&i| pseudo_labels[i]).collect();
             let logits = model.forward_logits(&x, true);
-            let (kl_loss, kl_grad) = kl.loss_and_grad(&logits, &teacher);
-            let (ce_loss, ce_grad) = ce.loss_and_grad(&logits, &labels);
+            // Both loss terms share the logits; the combined entry fuses
+            // their softmax families in the fast tier.
+            let ((kl_loss, kl_grad), (ce_loss, ce_grad)) =
+                distill_kl_ce(&kl, &logits, &teacher, &labels);
             let mut grad = kl_grad.scale(gamma);
             grad.axpy(1.0 - gamma, &ce_grad).expect("equal shapes");
             model.backward(&grad);

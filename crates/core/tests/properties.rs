@@ -4,14 +4,19 @@
 use fedpkd_core::clients::{build_clients, for_each_active_client_streaming, ClientState};
 use fedpkd_core::cow::{for_each_pooled_client_streaming, ClientPool, ClientSlot};
 use fedpkd_core::fedpkd::filter::filter_public;
-use fedpkd_core::fedpkd::logits::{aggregate_logits, pseudo_labels};
+use fedpkd_core::fedpkd::logits::{
+    aggregate_logits, aggregate_logits_from_probs, aggregate_logits_trimmed,
+    aggregate_logits_trimmed_from_probs, aggregation_stats, aggregation_stats_from_probs,
+    client_probs, pseudo_labels,
+};
 use fedpkd_core::fedpkd::prototypes::{aggregate_prototypes, Prototype};
+use fedpkd_core::robust::{median, trimmed_mean, trimmed_mean_lanes};
 use fedpkd_core::snapshot::{read_pool, write_clients, write_pool, SnapshotReader, SnapshotWriter};
 use fedpkd_core::train::train_supervised;
 use fedpkd_data::{ClientData, FederatedScenario, Partition, ScenarioBuilder, SyntheticConfig};
 use fedpkd_tensor::models::{DepthTier, ModelSpec};
 use fedpkd_tensor::serialize::state_vector;
-use fedpkd_tensor::Tensor;
+use fedpkd_tensor::{KernelMode, Tensor};
 use proptest::prelude::*;
 use std::sync::OnceLock;
 
@@ -186,6 +191,201 @@ proptest! {
             let x = g.as_slice()[dim];
             prop_assert!(x >= lo - 1e-4 && x <= hi + 1e-4, "dim {dim}: {x} not in [{lo}, {hi}]");
         }
+    }
+}
+
+// ---- Robust order statistics: fast tier vs. scalar tier ---------------
+
+/// Strategy: a value slice salted with adversarial entries (NaN, ±∞,
+/// signed zeros, duplicated constants) at lengths spanning both fast-tier
+/// paths — the stack integer-key sort (≤ 64) and the `select_nth`
+/// partition path (> 64).
+/// Bit equality, except two NaNs always match. A trimmed sum whose kept
+/// range spans `−∞ … +∞ … NaN` produces NaN through `∞ − ∞`-style
+/// collapses and NaN-vs-NaN additions, and the *sign/payload* of such a
+/// NaN is codegen-dependent (x86 `addsd` propagates its first source
+/// operand and LLVM may commute the addition), so NaN bits are outside
+/// the bit-identity contract. Real payloads are finite — admission
+/// control rejects non-finite uploads — so this never applies in a run.
+fn bits_match(x: f64, y: f64) -> bool {
+    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+}
+
+fn bits_match32(x: f32, y: f32) -> bool {
+    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+}
+
+fn adversarial_f32s(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    let cell = prop_oneof![
+        -50.0f32..50.0,
+        -50.0f32..50.0,
+        -50.0f32..50.0,
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(3.25f32),
+    ];
+    prop::collection::vec(cell, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `trimmed_mean`'s fast tier (integer-key sort for small slices,
+    /// `select_nth` partitioning for large ones) returns the scalar tier's
+    /// exact bits — `total_cmp` is a total order, so the kept order
+    /// statistics and the `f64` summation chain are identical. NaN bits
+    /// pass through both tiers untouched (no arithmetic ever runs on a
+    /// trimmed-away value), so equality here is full bit equality.
+    #[test]
+    fn trimmed_mean_tiers_are_bit_identical(
+        values in adversarial_f32s(140),
+        trim in 0.0f32..0.5,
+    ) {
+        let mut scalar_buf = values.clone();
+        let mut fast_buf = values;
+        let scalar = {
+            let _tier = KernelMode::Scalar.scoped();
+            trimmed_mean(&mut scalar_buf, trim)
+        };
+        let fast = {
+            let _tier = KernelMode::Fast.scoped();
+            trimmed_mean(&mut fast_buf, trim)
+        };
+        prop_assert!(bits_match32(scalar, fast));
+    }
+
+    /// The lane-batched Batcher-network trimmed mean returns, per lane,
+    /// the exact bits of the scalar-tier `trimmed_mean` on that lane's
+    /// column — for any cohort size in the batched range, adversarial
+    /// values included (the `i32::MAX` sentinel padding must never leak
+    /// into a kept rank).
+    #[test]
+    fn trimmed_mean_lanes_match_per_column_scalar(
+        columns in prop::collection::vec(
+            prop::collection::vec(
+                prop_oneof![
+                    -50.0f32..50.0,
+                    -50.0f32..50.0,
+                    -50.0f32..50.0,
+                    Just(f32::NAN),
+                    Just(f32::INFINITY),
+                    Just(f32::NEG_INFINITY),
+                    Just(0.0f32),
+                    Just(-0.0f32),
+                    Just(3.25f32),
+                ],
+                8,
+            )
+            .prop_map(|v| <[f32; 8]>::try_from(v).unwrap()),
+            1..=64,
+        ),
+        trim in 0.0f32..0.5,
+    ) {
+        let batched = trimmed_mean_lanes(&columns, trim);
+        for lane in 0..8 {
+            let mut column: Vec<f32> = columns.iter().map(|c| c[lane]).collect();
+            let scalar = {
+                let _tier = KernelMode::Scalar.scoped();
+                trimmed_mean(&mut column, trim)
+            };
+            prop_assert!(bits_match32(batched[lane], scalar));
+        }
+    }
+
+    /// Same for `median`: both tiers read the same central order
+    /// statistic(s) and combine them with the same arithmetic.
+    #[test]
+    fn median_tiers_are_bit_identical(
+        values in prop::collection::vec(
+            prop_oneof![
+                -50.0f64..50.0,
+                -50.0f64..50.0,
+                -50.0f64..50.0,
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+                Just(0.0f64),
+                Just(-0.0f64),
+                Just(3.25f64),
+            ],
+            1..=140,
+        ),
+    ) {
+        let mut scalar_buf = values.clone();
+        let mut fast_buf = values;
+        let scalar = {
+            let _tier = KernelMode::Scalar.scoped();
+            median(&mut scalar_buf)
+        };
+        let fast = {
+            let _tier = KernelMode::Fast.scoped();
+            median(&mut fast_buf)
+        };
+        prop_assert!(bits_match(scalar, fast));
+    }
+}
+
+// ---- Shared-probs aggregation vs. the recomputing entry points ---------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Computing client probabilities once ([`client_probs`]) and feeding
+    /// the shared buffers to aggregation, trimmed aggregation, and
+    /// telemetry stats yields the exact bits of the original entry points
+    /// that each ran their own softmax — under both kernel tiers. This is
+    /// the contract that lets the round loop drop its redundant softmax
+    /// recompute in the telemetry path.
+    #[test]
+    fn shared_probs_paths_are_bit_identical(
+        logits in (2usize..6, 1usize..12, 2usize..8)
+            .prop_flat_map(|(c, n, k)| arb_logits(c, n, k)),
+        weighting in any::<bool>(),
+        trim in 0.0f32..0.49,
+    ) {
+        for mode in [KernelMode::Scalar, KernelMode::Fast] {
+            let _tier = mode.scoped();
+            let probs = client_probs(&logits);
+            let shared = aggregate_logits_from_probs(&probs, weighting).unwrap();
+            let direct = aggregate_logits(&logits, weighting).unwrap();
+            for (a, b) in shared.as_slice().iter().zip(direct.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let shared_trim = aggregate_logits_trimmed_from_probs(&probs, trim).unwrap();
+            let direct_trim = aggregate_logits_trimmed(&logits, trim).unwrap();
+            for (a, b) in shared_trim.as_slice().iter().zip(direct_trim.as_slice()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            let shared_stats = aggregation_stats_from_probs(&probs, weighting);
+            let direct_stats = aggregation_stats(&logits, weighting);
+            prop_assert_eq!(shared_stats, direct_stats);
+        }
+    }
+}
+
+/// The row-parallel fast tier of trimmed aggregation engages only past
+/// 128 rows; pin its bit-identity to the sequential scalar tier at a
+/// scale the proptest above cannot reach cheaply.
+#[test]
+fn trimmed_aggregation_tiers_match_at_parallel_scale() {
+    let mut rng = fedpkd_rng::Rng::seed_from_u64(9);
+    let logits: Vec<Tensor> = (0..16)
+        .map(|_| Tensor::rand_uniform(&[300, 10], -6.0, 6.0, &mut rng))
+        .collect();
+    let scalar = {
+        let _tier = KernelMode::Scalar.scoped();
+        aggregate_logits_trimmed(&logits, 0.2).unwrap()
+    };
+    let fast = {
+        let _tier = KernelMode::Fast.scoped();
+        aggregate_logits_trimmed(&logits, 0.2).unwrap()
+    };
+    assert_eq!(scalar.shape(), fast.shape());
+    for (a, b) in scalar.as_slice().iter().zip(fast.as_slice()) {
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 }
 

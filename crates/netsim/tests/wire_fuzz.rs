@@ -48,8 +48,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
             }),
         prop::collection::vec(arb_prototype_entry(), 0..6)
             .prop_map(|entries| Message::Prototypes { entries }),
-        prop::collection::vec(any::<u32>(), 0..64)
-            .prop_map(|ids| Message::SampleSelection { ids }),
+        prop::collection::vec(any::<u32>(), 0..64).prop_map(|ids| Message::SampleSelection { ids }),
     ]
 }
 

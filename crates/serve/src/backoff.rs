@@ -43,10 +43,7 @@ impl Backoff {
     pub fn next_delay(&mut self) -> Duration {
         let exp = self.attempt.min(16);
         self.attempt = self.attempt.saturating_add(1);
-        let raw = self
-            .base_ms
-            .saturating_mul(1u64 << exp)
-            .min(self.cap_ms);
+        let raw = self.base_ms.saturating_mul(1u64 << exp).min(self.cap_ms);
         // Jitter in [0.5, 1.0): desynchronizes a fleet of clients all
         // retrying after the same server outage, while keeping the delay
         // within a factor of two of the nominal schedule.
@@ -70,7 +67,9 @@ mod tests {
     fn delays_are_deterministic_for_a_seed() {
         let seq = |seed: u64| {
             let mut b = Backoff::new(seed, 10, 500);
-            (0..8).map(|_| b.next_delay().as_millis()).collect::<Vec<_>>()
+            (0..8)
+                .map(|_| b.next_delay().as_millis())
+                .collect::<Vec<_>>()
         };
         assert_eq!(seq(7), seq(7), "same seed, same schedule");
         assert_ne!(seq(7), seq(8), "different seeds jitter differently");

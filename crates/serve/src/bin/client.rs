@@ -100,8 +100,8 @@ fn run() -> Result<(), String> {
     cfg.poll = std::time::Duration::from_millis(args.poll_ms);
     let payload =
         |round: u64, client: usize| replica.client_payload(round as usize, client).to_bytes();
-    let report = run_client(&target, &cfg, &payload, &mut NullObserver)
-        .map_err(|e| e.to_string())?;
+    let report =
+        run_client(&target, &cfg, &payload, &mut NullObserver).map_err(|e| e.to_string())?;
     eprintln!(
         "fedpkd-client {client}: done ({} acked, {} reconnects, {} overloads)",
         report.uploads_acked, report.reconnects, report.overloaded

@@ -123,9 +123,7 @@ fn exchange(conn: &mut Conn, req: &Request) -> Result<Response, FrameError> {
     write_frame(conn, req.kind(), &req.to_bytes())?;
     match read_frame(conn, DEFAULT_MAX_PAYLOAD)? {
         None => Err(FrameError::Truncated),
-        Some((kind, body)) => {
-            Response::decode(kind, &body)?.ok_or(FrameError::Truncated)
-        }
+        Some((kind, body)) => Response::decode(kind, &body)?.ok_or(FrameError::Truncated),
     }
 }
 

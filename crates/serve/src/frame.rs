@@ -152,7 +152,10 @@ pub fn read_frame(
         }
         Err(e) => return Err(e.into()),
     }
-    Ok(Some((kind[0], read_frame_after_kind(r, kind[0], max_payload)?)))
+    Ok(Some((
+        kind[0],
+        read_frame_after_kind(r, kind[0], max_payload)?,
+    )))
 }
 
 /// Reads the remainder of a frame whose kind byte has already been
@@ -259,7 +262,10 @@ mod tests {
             // truncation errors. Never a wrong payload.
             match read_frame(&mut buf.as_slice(), DEFAULT_MAX_PAYLOAD) {
                 Ok(Some((kind, payload))) => {
-                    panic!("pos {pos}: corruption accepted ({kind}, {} bytes)", payload.len())
+                    panic!(
+                        "pos {pos}: corruption accepted ({kind}, {} bytes)",
+                        payload.len()
+                    )
                 }
                 Ok(None) => panic!("pos {pos}: corruption read as clean EOF"),
                 Err(_) => {}

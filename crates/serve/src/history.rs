@@ -251,7 +251,11 @@ mod tests {
         // Missing file: nothing to repair.
         assert!(!repair_history_file(&path).unwrap());
 
-        let complete = format!("{}\n{}\n", metrics_line(&metrics(0)), metrics_line(&metrics(1)));
+        let complete = format!(
+            "{}\n{}\n",
+            metrics_line(&metrics(0)),
+            metrics_line(&metrics(1))
+        );
         std::fs::write(&path, &complete).unwrap();
         assert!(!repair_history_file(&path).unwrap());
         assert_eq!(std::fs::read_to_string(&path).unwrap(), complete);
@@ -266,8 +270,18 @@ mod tests {
     fn ledger_fingerprints_detect_any_difference() {
         use fedpkd_netsim::{Direction, Message};
         let mut a = CommLedger::default();
-        a.record(0, 1, Direction::Uplink, &Message::SampleSelection { ids: vec![1, 2] });
-        a.record(1, 2, Direction::Downlink, &Message::SampleSelection { ids: vec![3] });
+        a.record(
+            0,
+            1,
+            Direction::Uplink,
+            &Message::SampleSelection { ids: vec![1, 2] },
+        );
+        a.record(
+            1,
+            2,
+            Direction::Downlink,
+            &Message::SampleSelection { ids: vec![3] },
+        );
         let mut b = a.clone();
         assert_eq!(ledger_fingerprint(&a), ledger_fingerprint(&b));
         b.record_bytes(1, 2, Direction::Downlink, 1);

@@ -9,8 +9,9 @@
 //! frames.
 //!
 //! The layer's one non-negotiable property is **bit-identity with the
-//! simulation**: a served run commits the same [`RoundMetrics`]
-//! (fedpkd_core::runtime::RoundMetrics) and bills the same ledger as
+//! simulation**: a served run commits the same
+//! [`RoundMetrics`](fedpkd_core::runtime::RoundMetrics) and bills the
+//! same ledger as
 //! `DriverBuilder::run` at the same seed, even across `kill -9` and
 //! restart — uploads are pure functions of `(seed, round, client)`,
 //! participation decisions come from the shared

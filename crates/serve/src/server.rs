@@ -188,7 +188,7 @@ pub struct ServeReport {
     /// Metrics of the rounds committed by *this* process.
     pub history: Vec<RoundMetrics>,
     /// Fingerprint of the full ledger (see
-    /// [`ledger_fingerprint`](crate::history::ledger_fingerprint)).
+    /// [`ledger_fingerprint`]).
     pub ledger_fnv: u64,
     /// Total bytes across the ledger's lifetime.
     pub total_bytes: usize,
@@ -495,7 +495,10 @@ impl<'a, F: RemoteFederation> Engine<'a, F> {
 /// door: undecodable or over-long bytes, non-finite quantization
 /// parameters, and structural size lies are all typed rejections before
 /// any federation state is touched.
-fn decode_upload(codec: Codec, payload: &[u8]) -> Result<Message, (FrameRejectCause, &'static str)> {
+fn decode_upload(
+    codec: Codec,
+    payload: &[u8],
+) -> Result<Message, (FrameRejectCause, &'static str)> {
     match codec {
         Codec::Raw => {
             let mut buf = payload;
@@ -679,9 +682,7 @@ pub fn serve<F: RemoteFederation>(
                             let _ = write_frame(&mut conn, resp.kind(), &resp.to_bytes());
                             // Shedding must not block on a full queue the
                             // overload itself caused.
-                            if let Err(TrySendError::Disconnected(_)) =
-                                tx.try_send(Event::Shed)
-                            {
+                            if let Err(TrySendError::Disconnected(_)) = tx.try_send(Event::Shed) {
                                 break;
                             }
                             continue;

@@ -183,15 +183,17 @@ fn killed_and_restarted_run_is_bit_identical_to_in_process() {
     // ledger's fingerprint and byte total.
     let complete = text
         .lines()
-        .filter(|l| l.contains("\"event\":\"run_complete\""))
-        .next_back()
+        .rfind(|l| l.contains("\"event\":\"run_complete\""))
         .expect("run_complete line");
     assert!(
         complete.contains(&format!("\"rounds\":{ROUNDS}")),
         "bad run_complete: {complete}"
     );
     assert!(
-        complete.contains(&format!("\"total_bytes\":{}", reference.ledger.total_bytes())),
+        complete.contains(&format!(
+            "\"total_bytes\":{}",
+            reference.ledger.total_bytes()
+        )),
         "total bytes diverged: {complete}"
     );
     assert!(

@@ -59,8 +59,9 @@ fn uds_served_run_is_bit_identical_to_in_process() {
             std::thread::spawn(move || {
                 let replica = FleetSim::new(8, 4, 8, 42);
                 let cfg = ClientConfig::new(client);
-                let payload =
-                    |round: u64, client: usize| replica.client_payload(round as usize, client).to_bytes();
+                let payload = |round: u64, client: usize| {
+                    replica.client_payload(round as usize, client).to_bytes()
+                };
                 run_client(&target, &cfg, &payload, &mut NullObserver)
             })
         })
@@ -84,9 +85,9 @@ fn uds_served_run_is_bit_identical_to_in_process() {
 
     // The engine narrated its connections.
     let events = log.events();
-    assert!(events
-        .iter()
-        .any(|e| matches!(e, TelemetryEvent::ConnAccepted { transport, .. } if transport == "uds")));
+    assert!(events.iter().any(
+        |e| matches!(e, TelemetryEvent::ConnAccepted { transport, .. } if transport == "uds")
+    ));
     assert!(events
         .iter()
         .any(|e| matches!(e, TelemetryEvent::ConnClosed { .. })));
@@ -147,14 +148,21 @@ fn overloaded_connections_are_shed_with_a_retry_hint() {
         ..ServeConfig::default()
     };
     let mut log = EventLog::default();
-    serve(&mut fed, &DriverBuilder::new().rounds(1), listener, &cfg, &mut log).unwrap();
+    serve(
+        &mut fed,
+        &DriverBuilder::new().rounds(1),
+        listener,
+        &cfg,
+        &mut log,
+    )
+    .unwrap();
     done_tx.send(()).unwrap();
     probe.join().unwrap();
 
-    assert!(log.events().iter().any(|e| matches!(
-        e,
-        TelemetryEvent::ServerOverloaded { limit: 1, .. }
-    )));
+    assert!(log
+        .events()
+        .iter()
+        .any(|e| matches!(e, TelemetryEvent::ServerOverloaded { limit: 1, .. })));
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -240,7 +248,14 @@ fn hostile_frames_and_payloads_are_rejected_and_narrated() {
         ..ServeConfig::default()
     };
     let mut log = EventLog::default();
-    let report = serve(&mut fed, &DriverBuilder::new().rounds(1), listener, &cfg, &mut log).unwrap();
+    let report = serve(
+        &mut fed,
+        &DriverBuilder::new().rounds(1),
+        listener,
+        &cfg,
+        &mut log,
+    )
+    .unwrap();
     done_tx.send(()).unwrap();
     probe.join().unwrap();
 
@@ -278,8 +293,9 @@ fn round_timeout_commits_with_partial_cohort() {
             std::thread::spawn(move || {
                 let replica = FleetSim::new(4, 4, 8, 11);
                 let cfg = ClientConfig::new(client);
-                let payload =
-                    |round: u64, client: usize| replica.client_payload(round as usize, client).to_bytes();
+                let payload = |round: u64, client: usize| {
+                    replica.client_payload(round as usize, client).to_bytes()
+                };
                 run_client(&target, &cfg, &payload, &mut NullObserver)
             })
         })
@@ -507,8 +523,9 @@ fn quantized_uploads_bill_observed_bytes_and_reject_non_finite() {
             .unwrap()
             .to_bytes()
     }
-    let quantized_payload =
-        move |round: usize, client: usize| quantized_payload(clients, samples, classes, seed, round, client);
+    let quantized_payload = move |round: usize, client: usize| {
+        quantized_payload(clients, samples, classes, seed, round, client)
+    };
     let raw_len = LogitFed::new(clients, samples, classes, seed)
         .client_payload(0, 0)
         .encoded_len();

@@ -171,6 +171,12 @@ const MI: usize = 4;
 /// 16-lane add chains — enough to hide the 4-cycle FP-add latency that a
 /// narrower tile leaves exposed.
 const NJ: usize = 64;
+/// Mop-up tile width for column counts the wide tile cannot cover. The
+/// capacity-tier hidden widths 48 and 80 leave 48- and 16-column tails
+/// after the 64-wide pass; without this tile those tails fell through to
+/// the scalar remainder strip, which is why client training lagged the
+/// server phases.
+const NJ_NARROW: usize = 16;
 /// Minimum multiply-adds before the row-parallel path engages; below this
 /// the scoped-thread spawn cost outweighs the work.
 const PAR_MIN_MADDS: usize = 1 << 22;
@@ -294,36 +300,14 @@ fn matmul_block(
 ) {
     let mut i0 = 0;
     while i0 + MI <= rows {
-        let (a0, a1, a2, a3) = (
-            &a[i0 * k..(i0 + 1) * k],
-            &a[(i0 + 1) * k..(i0 + 2) * k],
-            &a[(i0 + 2) * k..(i0 + 3) * k],
-            &a[(i0 + 3) * k..(i0 + 4) * k],
-        );
         let mut j0 = 0;
         while j0 + NJ <= n {
-            let mut acc = [[0.0f32; NJ]; MI];
-            // Zip-driven iteration: no index arithmetic or bounds checks
-            // survive in the loop body, so it compiles to straight-line
-            // vector fused-multiply-adds with the accumulators pinned in
-            // registers for the entire reduction.
-            let rows_iter = a0.iter().zip(a1).zip(a2).zip(a3);
-            for ((((&av0, &av1), &av2), &av3), brow) in rows_iter.zip(b.chunks_exact(n)) {
-                let bseg: &[f32; NJ] = brow[j0..j0 + NJ].try_into().expect("tile width");
-                let avs = [av0, av1, av2, av3];
-                for (acc_row, av) in acc.iter_mut().zip(avs) {
-                    for (x, &bv) in acc_row.iter_mut().zip(bseg) {
-                        *x += av * bv;
-                    }
-                }
-            }
-            for (ii, acc_row) in acc.iter().enumerate() {
-                let dst = &mut out[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + NJ];
-                for (jj, (o, &v)) in dst.iter_mut().zip(acc_row).enumerate() {
-                    *o = finish(v, j0 + jj, bias, relu);
-                }
-            }
+            matmul_tile::<NJ>(a, b, out, i0, j0, k, n, bias, relu);
             j0 += NJ;
+        }
+        while j0 + NJ_NARROW <= n {
+            matmul_tile::<NJ_NARROW>(a, b, out, i0, j0, k, n, bias, relu);
+            j0 += NJ_NARROW;
         }
         if j0 < n {
             matmul_strip(a, b, out, i0, MI, j0, k, n, bias, relu);
@@ -332,6 +316,52 @@ fn matmul_block(
     }
     if i0 < rows {
         matmul_strip(a, b, out, i0, rows - i0, 0, k, n, bias, relu);
+    }
+}
+
+/// One `MI × W` register tile of `A·B` at output rows `[i0, i0+MI)` and
+/// columns `[j0, j0+W)`, accumulators pinned in registers for the whole
+/// reduction. Per output element the reduction index is strictly
+/// increasing from `+0.0`, so every tile width produces the same bits.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn matmul_tile<const W: usize>(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    i0: usize,
+    j0: usize,
+    k: usize,
+    n: usize,
+    bias: Option<&[f32]>,
+    relu: bool,
+) {
+    let (a0, a1, a2, a3) = (
+        &a[i0 * k..(i0 + 1) * k],
+        &a[(i0 + 1) * k..(i0 + 2) * k],
+        &a[(i0 + 2) * k..(i0 + 3) * k],
+        &a[(i0 + 3) * k..(i0 + 4) * k],
+    );
+    let mut acc = [[0.0f32; W]; MI];
+    // Zip-driven iteration: no index arithmetic or bounds checks
+    // survive in the loop body, so it compiles to straight-line
+    // vector fused-multiply-adds with the accumulators pinned in
+    // registers for the entire reduction.
+    let rows_iter = a0.iter().zip(a1).zip(a2).zip(a3);
+    for ((((&av0, &av1), &av2), &av3), brow) in rows_iter.zip(b.chunks_exact(n)) {
+        let bseg: &[f32; W] = brow[j0..j0 + W].try_into().expect("tile width");
+        let avs = [av0, av1, av2, av3];
+        for (acc_row, av) in acc.iter_mut().zip(avs) {
+            for (x, &bv) in acc_row.iter_mut().zip(bseg) {
+                *x += av * bv;
+            }
+        }
+    }
+    for (ii, acc_row) in acc.iter().enumerate() {
+        let dst = &mut out[(i0 + ii) * n + j0..(i0 + ii) * n + j0 + W];
+        for (jj, (o, &v)) in dst.iter_mut().zip(acc_row).enumerate() {
+            *o = finish(v, j0 + jj, bias, relu);
+        }
     }
 }
 
@@ -429,4 +459,162 @@ pub(crate) fn tr_matmul_fast_into(
         }
         matmul_fast_into(a_packed, b, out, m, r, n, None, false);
     });
+}
+
+// ---------------------------------------------------------------------------
+// Fused loss epilogues
+// ---------------------------------------------------------------------------
+//
+// The distillation losses are softmax-dominated once the matmuls run tiled:
+// the composed reference computes `softmax` and `log_softmax` as separate
+// whole-tensor passes (two row-max folds, two exp sweeps, two extra tensor
+// allocations per batch). The fused row kernels below produce the same
+// probabilities, log-probabilities, and per-row loss contributions in one
+// pass over the logit row.
+//
+// # Epilogue fusion contract (bit-identity)
+//
+// Each kernel reproduces the composed `ops::softmax` / `ops::log_softmax`
+// arithmetic *operation for operation*:
+//
+// - the row maximum is the same left-to-right `f32::max` fold;
+// - the exponential sweep computes `((z[j] - max) / temperature).exp()` in
+//   index order and accumulates the total as the same sequential `+` chain
+//   starting from `+0.0` — which is also exactly how `log_softmax` builds
+//   its `log_sum` input, so `total` carries the same bits in both roles;
+// - probabilities divide each stored exponential by that total, and
+//   log-probabilities are `(z[j] - max) / temperature - total.ln()`,
+//   matching the composed passes exactly.
+//
+// Per-row loss contributions are returned to the caller, which accumulates
+// them over rows in the same sequential order as the composed loss loop.
+// IEEE 754 arithmetic is deterministic, so equality of operation sequences
+// is equality of bits; the proptest suite in `tests/properties.rs` checks
+// this against the composed reference on adversarial inputs (NaN, ±∞,
+// duplicated logits).
+//
+// One carve-out: when a row contains non-finite logits (a `+∞` entry makes
+// `∞ − ∞` appear in the exponent sweep), both sides poison the same lanes
+// with NaN, but the *sign/payload* of a freshly generated NaN is not pinned
+// by IEEE 754 — LLVM is free to materialise the platform default QNaN or a
+// propagated operand NaN depending on how the surrounding code inlines. The
+// contract is therefore "identical bits, except NaNs match any NaN". Real
+// logits are finite, so this carve-out never applies on the training path.
+
+/// Fused softmax + cross-entropy epilogue over one logit row: writes
+/// `softmax(z / temperature)` into `probs` and returns the row's
+/// log-likelihood `log p[label]` — bit-identical to composing
+/// [`crate::ops::softmax`] and [`crate::ops::log_softmax`] and reading
+/// them separately (see the fusion contract above).
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0`, `label` is out of range, or the slices
+/// disagree in length.
+pub fn softmax_xent_row(z: &[f32], temperature: f32, label: usize, probs: &mut [f32]) -> f32 {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert_eq!(z.len(), probs.len(), "row width mismatch");
+    assert!(label < z.len(), "label {label} out of range");
+    let max = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut total = 0.0f32;
+    for (p, &v) in probs.iter_mut().zip(z) {
+        *p = ((v - max) / temperature).exp();
+        total += *p;
+    }
+    let log_sum = total.ln();
+    for p in probs.iter_mut() {
+        *p /= total;
+    }
+    (z[label] - max) / temperature - log_sum
+}
+
+/// Fused softmax + KL epilogue over one logit row: writes the student
+/// probabilities `softmax(z / temperature)` into `probs` and returns the
+/// row's KL contribution `Σ_j p_j · (ln p_j − log q_j)` over teacher
+/// entries with `p_j > 0` — bit-identical to the composed
+/// `softmax`/`log_softmax` reference (see the fusion contract above).
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0` or the slices disagree in length.
+pub fn softmax_kl_row(z: &[f32], teacher: &[f32], temperature: f32, probs: &mut [f32]) -> f32 {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert_eq!(z.len(), probs.len(), "row width mismatch");
+    assert_eq!(z.len(), teacher.len(), "teacher width mismatch");
+    let max = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut total = 0.0f32;
+    for (p, &v) in probs.iter_mut().zip(z) {
+        *p = ((v - max) / temperature).exp();
+        total += *p;
+    }
+    let log_sum = total.ln();
+    let mut row_loss = 0.0f32;
+    for (j, &p) in teacher.iter().enumerate() {
+        if p > 0.0 {
+            let log_q = (z[j] - max) / temperature - log_sum;
+            row_loss += p * (p.ln() - log_q);
+        }
+    }
+    for p in probs.iter_mut() {
+        *p /= total;
+    }
+    row_loss
+}
+
+/// Combined KL + hard-label cross-entropy epilogue over one logit row —
+/// the Eq. 11/15 shape, where the same logits feed a temperature-`T` KL
+/// term and a temperature-1 CE term. Shares the row-max fold between the
+/// two softmax families; each half is bit-identical to its standalone
+/// fused kernel (and hence to the composed reference).
+///
+/// Writes `softmax(z / temperature)` into `kl_probs` and `softmax(z)` into
+/// `ce_probs`; returns `(kl_row_loss, log p[label])`.
+///
+/// # Panics
+///
+/// Panics if `temperature <= 0`, `label` is out of range, or any slice
+/// disagrees in length.
+pub fn softmax_kl_xent_row(
+    z: &[f32],
+    teacher: &[f32],
+    temperature: f32,
+    label: usize,
+    kl_probs: &mut [f32],
+    ce_probs: &mut [f32],
+) -> (f32, f32) {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert_eq!(z.len(), kl_probs.len(), "row width mismatch");
+    assert_eq!(z.len(), ce_probs.len(), "row width mismatch");
+    assert_eq!(z.len(), teacher.len(), "teacher width mismatch");
+    assert!(label < z.len(), "label {label} out of range");
+    let max = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+
+    let mut kl_total = 0.0f32;
+    for (p, &v) in kl_probs.iter_mut().zip(z) {
+        *p = ((v - max) / temperature).exp();
+        kl_total += *p;
+    }
+    let kl_log_sum = kl_total.ln();
+    let mut kl_loss = 0.0f32;
+    for (j, &p) in teacher.iter().enumerate() {
+        if p > 0.0 {
+            let log_q = (z[j] - max) / temperature - kl_log_sum;
+            kl_loss += p * (p.ln() - log_q);
+        }
+    }
+    for p in kl_probs.iter_mut() {
+        *p /= kl_total;
+    }
+
+    let mut ce_total = 0.0f32;
+    for (p, &v) in ce_probs.iter_mut().zip(z) {
+        *p = ((v - max) / 1.0).exp();
+        ce_total += *p;
+    }
+    let log_p_label = (z[label] - max) / 1.0 - ce_total.ln();
+    for p in ce_probs.iter_mut() {
+        *p /= ce_total;
+    }
+
+    (kl_loss, log_p_label)
 }

@@ -56,6 +56,7 @@ pub mod nn;
 pub mod ops;
 pub mod optim;
 pub mod parallel;
+pub mod plan;
 pub mod serialize;
 
 pub use error::TensorError;

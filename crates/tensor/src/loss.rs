@@ -4,7 +4,18 @@
 //! training loops can feed the gradient straight into
 //! [`Layer::backward`](crate::nn::Layer::backward). All losses average over
 //! the batch dimension.
+//!
+//! The softmax-family losses ([`CrossEntropy`], [`DistillKl`]) are
+//! two-tiered like the matmul kernels: the scalar tier composes
+//! [`crate::ops::softmax`]/[`crate::ops::log_softmax`] as separate
+//! whole-tensor passes (the obviously-correct reference), while the fast
+//! tier runs the fused epilogue row kernels from [`crate::kernels`] — one
+//! pass per row, no intermediate tensors. The tiers are bit-identical by
+//! the epilogue fusion contract documented in [`crate::kernels`].
 
+use crate::kernels::{
+    kernel_mode, softmax_kl_row, softmax_kl_xent_row, softmax_xent_row, KernelMode,
+};
 use crate::ops::{log_softmax, softmax};
 use crate::Tensor;
 
@@ -45,6 +56,21 @@ impl CrossEntropy {
         let n = logits.rows();
         let k = logits.cols();
         assert_eq!(labels.len(), n, "one label per row required");
+        if kernel_mode() == KernelMode::Fast {
+            // Fused tier: one pass per row produces both the softmax
+            // gradient seed and the log-likelihood — bit-identical to the
+            // composed reference below by the epilogue fusion contract.
+            let mut grad = Tensor::zeros(logits.shape());
+            let mut loss = 0.0f32;
+            for (r, &y) in labels.iter().enumerate() {
+                assert!(y < k, "label {y} out of range for {k} classes");
+                loss -= softmax_xent_row(logits.row(r), 1.0, y, grad.row_mut(r));
+                grad.row_mut(r)[y] -= 1.0;
+            }
+            let inv_n = 1.0 / n.max(1) as f32;
+            grad.scale_in_place(inv_n);
+            return (loss * inv_n, grad);
+        }
         let log_p = log_softmax(logits, 1.0);
         let mut loss = 0.0f32;
         let mut grad = softmax(logits, 1.0);
@@ -147,19 +173,46 @@ impl DistillKl {
         );
         let t = self.temperature;
         let n = student_logits.rows().max(1) as f32;
+        if kernel_mode() == KernelMode::Fast {
+            // Fused tier: one pass per row produces the student
+            // probabilities and the row's KL contribution — bit-identical
+            // to the composed reference below by the epilogue fusion
+            // contract (both accumulate per-row sub-sums, then fold the
+            // rows in order).
+            let mut grad = Tensor::zeros(student_logits.shape());
+            let mut loss = 0.0f32;
+            for r in 0..teacher_probs.rows() {
+                loss += softmax_kl_row(
+                    student_logits.row(r),
+                    teacher_probs.row(r),
+                    t,
+                    grad.row_mut(r),
+                );
+            }
+            loss = loss * t * t / n;
+            for (g, &p) in grad.as_mut_slice().iter_mut().zip(teacher_probs.as_slice()) {
+                *g -= p;
+            }
+            grad.scale_in_place(t / n);
+            return (loss, grad);
+        }
         let log_q = log_softmax(student_logits, t);
         let q = softmax(student_logits, t);
 
         // KL(p ‖ q) = Σ p (ln p − ln q); terms with p = 0 contribute 0.
+        // Accumulated as per-row sub-sums folded in row order — the same
+        // association the fused tier uses, so the tiers match bit for bit.
         let mut loss = 0.0f32;
         for r in 0..teacher_probs.rows() {
             let p_row = teacher_probs.row(r);
             let lq_row = log_q.row(r);
+            let mut row_loss = 0.0f32;
             for (j, &p) in p_row.iter().enumerate() {
                 if p > 0.0 {
-                    loss += p * (p.ln() - lq_row[j]);
+                    row_loss += p * (p.ln() - lq_row[j]);
                 }
             }
+            loss += row_loss;
         }
         loss = loss * t * t / n;
 
@@ -168,6 +221,70 @@ impl DistillKl {
         grad.scale_in_place(t / n);
         (loss, grad)
     }
+}
+
+/// Computes the temperature-`T` KL distillation term and the temperature-1
+/// hard-label cross-entropy term **on the same logits** in one call — the
+/// shape of Eqs. 11 and 15, where a student batch feeds both losses.
+///
+/// Returns `((kl_loss, kl_grad), (ce_loss, ce_grad))`, each exactly what
+/// [`DistillKl::loss_and_grad`] and [`CrossEntropy::loss_and_grad`] return
+/// for the same inputs — bit for bit, in both kernel tiers. The fast tier
+/// fuses the two softmax families through
+/// [`crate::kernels::softmax_kl_xent_row`], sharing the row-max reduction
+/// and skipping all four intermediate softmax/log-softmax tensors.
+///
+/// # Panics
+///
+/// Panics if shapes disagree, `labels.len()` differs from the batch size,
+/// or any label is out of range.
+pub fn distill_kl_ce(
+    kl: &DistillKl,
+    logits: &Tensor,
+    teacher_probs: &Tensor,
+    labels: &[usize],
+) -> ((f32, Tensor), (f32, Tensor)) {
+    assert_eq!(logits.shape(), teacher_probs.shape(), "shape mismatch");
+    let n = logits.rows();
+    let k = logits.cols();
+    assert_eq!(labels.len(), n, "one label per row required");
+    if kernel_mode() == KernelMode::Fast {
+        let t = kl.temperature();
+        let n_f = n.max(1) as f32;
+        let mut kl_grad = Tensor::zeros(logits.shape());
+        let mut ce_grad = Tensor::zeros(logits.shape());
+        let mut kl_loss = 0.0f32;
+        let mut ce_loss = 0.0f32;
+        for (r, &y) in labels.iter().enumerate() {
+            assert!(y < k, "label {y} out of range for {k} classes");
+            let (row_kl, log_p_label) = softmax_kl_xent_row(
+                logits.row(r),
+                teacher_probs.row(r),
+                t,
+                y,
+                kl_grad.row_mut(r),
+                ce_grad.row_mut(r),
+            );
+            kl_loss += row_kl;
+            ce_loss -= log_p_label;
+            ce_grad.row_mut(r)[y] -= 1.0;
+        }
+        kl_loss = kl_loss * t * t / n_f;
+        for (g, &p) in kl_grad
+            .as_mut_slice()
+            .iter_mut()
+            .zip(teacher_probs.as_slice())
+        {
+            *g -= p;
+        }
+        kl_grad.scale_in_place(t / n_f);
+        let inv_n = 1.0 / n.max(1) as f32;
+        ce_grad.scale_in_place(inv_n);
+        return ((kl_loss, kl_grad), (ce_loss * inv_n, ce_grad));
+    }
+    let kl_out = kl.loss_and_grad(logits, teacher_probs);
+    let ce_out = CrossEntropy::new().loss_and_grad(logits, labels);
+    (kl_out, ce_out)
 }
 
 /// Mean-squared error, averaged over every element.

@@ -136,15 +136,67 @@ pub fn dispatch_stealing<I: Send, T: Send>(
     items: Vec<I>,
     workers: usize,
     task: impl Fn(usize, I) -> T + Sync,
-    mut commit: impl FnMut(usize, T),
+    commit: impl FnMut(usize, T),
+) -> StealStats {
+    let seeded: Vec<(usize, I)> = items.into_iter().enumerate().collect();
+    run_stealing(seeded, workers, task, commit)
+}
+
+/// [`dispatch_stealing`] with an explicit **seeding schedule**: workers are
+/// seeded with `items` in `schedule` order (a permutation of item indices)
+/// instead of input order, while `commit` still observes results in
+/// strictly ascending *original* item index.
+///
+/// This is the execution-plan entry point from [`crate::plan`]: a grouped
+/// schedule lays same-group items (e.g. clients sharing a model template)
+/// contiguously on the same worker's deque, so consecutive tasks reuse hot
+/// template weights and same-sized scratch arenas. Because `task` depends
+/// only on `(index, item)` and the reorder buffer commits in ascending
+/// original index regardless of seeding, any schedule produces bit-identical
+/// results to the sequential loop — batching commutes with commit order.
+///
+/// # Panics
+///
+/// Panics if `schedule` is not a permutation of `0..items.len()`.
+pub fn dispatch_stealing_scheduled<I: Send, T: Send>(
+    items: Vec<I>,
+    schedule: &[usize],
+    workers: usize,
+    task: impl Fn(usize, I) -> T + Sync,
+    commit: impl FnMut(usize, T),
 ) -> StealStats {
     let n = items.len();
+    assert_eq!(schedule.len(), n, "schedule must cover every item");
+    let mut slots: Vec<Option<I>> = items.into_iter().map(Some).collect();
+    let seeded: Vec<(usize, I)> = schedule
+        .iter()
+        .map(|&idx| {
+            let item = slots
+                .get_mut(idx)
+                .and_then(Option::take)
+                .expect("schedule must be a permutation of item indices");
+            (idx, item)
+        })
+        .collect();
+    run_stealing(seeded, workers, task, commit)
+}
+
+/// Shared work-stealing core: `seeded` pairs each item with its canonical
+/// commit index, in the order workers should drain them. Commits run on the
+/// caller's thread in ascending canonical index whatever the seeding order.
+fn run_stealing<I: Send, T: Send>(
+    seeded: Vec<(usize, I)>,
+    workers: usize,
+    task: impl Fn(usize, I) -> T + Sync,
+    mut commit: impl FnMut(usize, T),
+) -> StealStats {
+    let n = seeded.len();
     if n == 0 {
         return StealStats::default();
     }
     let workers = workers.clamp(1, n);
     let chunk = n.div_ceil(workers);
-    let mut seeded = items.into_iter().enumerate();
+    let mut seeded = seeded.into_iter();
     let deques: Vec<std::sync::Mutex<std::collections::VecDeque<(usize, I)>>> = (0..workers)
         .map(|_| std::sync::Mutex::new(seeded.by_ref().take(chunk).collect()))
         .collect();
@@ -207,8 +259,10 @@ pub fn dispatch_stealing<I: Send, T: Send>(
 ///
 /// Chunks are disjoint `&mut` slices, so no locking is needed and the
 /// written buffer is identical to a sequential pass no matter how the
-/// threads are scheduled.
-pub(crate) fn for_each_row_chunk(
+/// threads are scheduled. Shared by the row-parallel matmul path and the
+/// row-parallel softmax/variance/trimmed-aggregation fast tiers — any
+/// row-independent kernel can dispatch through it without changing bits.
+pub fn for_each_row_chunk(
     out: &mut [f32],
     row_width: usize,
     min_rows: usize,

@@ -1,12 +1,16 @@
-//! Property-based tests for tensor algebra, softmax, losses, and the
-//! parameter-vector codec.
+//! Property-based tests for tensor algebra, softmax, losses, the fused
+//! loss epilogues, the execution-plan scheduler, and the parameter-vector
+//! codec.
 
 use fedpkd_rng::Rng;
-use fedpkd_tensor::loss::{CrossEntropy, DistillKl, Mse};
+use fedpkd_tensor::kernels::{softmax_kl_row, softmax_kl_xent_row, softmax_xent_row};
+use fedpkd_tensor::loss::{distill_kl_ce, CrossEntropy, DistillKl, Mse};
 use fedpkd_tensor::models::{DepthTier, ModelSpec};
 use fedpkd_tensor::ops::{log_softmax, row_entropy, sharpen, softmax};
+use fedpkd_tensor::parallel::{dispatch_stealing, dispatch_stealing_scheduled};
+use fedpkd_tensor::plan::grouped_schedule;
 use fedpkd_tensor::serialize::{load_param_vector, param_vector};
-use fedpkd_tensor::Tensor;
+use fedpkd_tensor::{KernelMode, Tensor};
 use proptest::prelude::*;
 
 /// Strategy: an arbitrary small classifier architecture.
@@ -323,6 +327,190 @@ fn row_parallel_matmul_is_bit_identical_to_scalar() {
     }
     for (x, y) in fused.as_slice().iter().zip(expect.as_slice()) {
         assert_eq!(x.to_bits(), y.to_bits());
+    }
+}
+
+/// Strategy: one row of logits salted with adversarial values — NaN, ±∞,
+/// signed zeros, and repeated constants (duplicates) — the inputs where a
+/// fused kernel could legally diverge from the composition if it reordered
+/// a single operation.
+fn adversarial_row(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    let cell = prop_oneof![
+        -20.0f32..20.0,
+        -20.0f32..20.0,
+        -20.0f32..20.0,
+        -20.0f32..20.0,
+        Just(f32::NAN),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(7.5f32),
+    ];
+    prop::collection::vec(cell, 1..=max_len)
+}
+
+/// Bit equality, except that two NaNs always match. When a row contains
+/// non-finite logits both the fused kernel and the composed reference
+/// poison the same lanes with NaN, but the *sign/payload* of a freshly
+/// generated NaN (e.g. `∞ − ∞`) is codegen-dependent — inlining the
+/// composed ops can flip it — so NaN bits are outside the fusion contract.
+fn bits_match(x: f32, y: f32) -> bool {
+    x.to_bits() == y.to_bits() || (x.is_nan() && y.is_nan())
+}
+
+proptest! {
+    /// The fused softmax+cross-entropy row kernel reproduces the composed
+    /// `ops::softmax` / `ops::log_softmax` reference bit for bit — probs
+    /// and loss — including on NaN/±∞/duplicate inputs (where both sides
+    /// must propagate the same bits through the same operation order).
+    #[test]
+    fn fused_softmax_xent_matches_composition(
+        z in adversarial_row(12),
+        temp in 0.25f32..4.0,
+        label_seed in any::<usize>(),
+    ) {
+        let label = label_seed % z.len();
+        let t = Tensor::from_vec(z.clone(), &[1, z.len()]).unwrap();
+        let probs_ref = softmax(&t, temp);
+        let logp_ref = log_softmax(&t, temp);
+        let mut probs = vec![0.0f32; z.len()];
+        let loss = softmax_xent_row(&z, temp, label, &mut probs);
+        prop_assert!(bits_match(loss, logp_ref.row(0)[label]));
+        for (x, y) in probs.iter().zip(probs_ref.row(0)) {
+            prop_assert!(bits_match(*x, *y));
+        }
+    }
+
+    /// The fused softmax+KL row kernel reproduces the composed
+    /// softmax/log-softmax + per-row KL fold — bit for bit, with raw
+    /// adversarial teacher entries (non-positive and NaN teacher mass is
+    /// skipped by the same `p > 0` guard on both sides).
+    #[test]
+    fn fused_softmax_kl_matches_composition(
+        z in adversarial_row(10),
+        teacher_raw in adversarial_row(10),
+        temp in 0.25f32..4.0,
+    ) {
+        let n = z.len().min(teacher_raw.len());
+        let z = &z[..n];
+        let teacher = &teacher_raw[..n];
+        let t = Tensor::from_vec(z.to_vec(), &[1, n]).unwrap();
+        let probs_ref = softmax(&t, temp);
+        let logq_ref = log_softmax(&t, temp);
+        let mut row_loss_ref = 0.0f32;
+        for (j, &p) in teacher.iter().enumerate() {
+            if p > 0.0 {
+                row_loss_ref += p * (p.ln() - logq_ref.row(0)[j]);
+            }
+        }
+        let mut probs = vec![0.0f32; n];
+        let loss = softmax_kl_row(z, teacher, temp, &mut probs);
+        prop_assert!(bits_match(loss, row_loss_ref));
+        for (x, y) in probs.iter().zip(probs_ref.row(0)) {
+            prop_assert!(bits_match(*x, *y));
+        }
+    }
+
+    /// The combined KL+CE kernel (one shared max fold) equals running the
+    /// two single-loss kernels — bit for bit on losses and both prob
+    /// buffers.
+    #[test]
+    fn fused_kl_xent_matches_single_kernels(
+        z in adversarial_row(10),
+        teacher_raw in adversarial_row(10),
+        temp in 0.25f32..4.0,
+        label_seed in any::<usize>(),
+    ) {
+        let n = z.len().min(teacher_raw.len());
+        let z = &z[..n];
+        let teacher = &teacher_raw[..n];
+        let label = label_seed % n;
+        let mut kl_probs = vec![0.0f32; n];
+        let mut ce_probs = vec![0.0f32; n];
+        let (kl, logp) = softmax_kl_xent_row(z, teacher, temp, label, &mut kl_probs, &mut ce_probs);
+        let mut kl_ref = vec![0.0f32; n];
+        let kl_loss_ref = softmax_kl_row(z, teacher, temp, &mut kl_ref);
+        let mut ce_ref = vec![0.0f32; n];
+        let logp_ref = softmax_xent_row(z, 1.0, label, &mut ce_ref);
+        prop_assert!(bits_match(kl, kl_loss_ref));
+        prop_assert!(bits_match(logp, logp_ref));
+        for (x, y) in kl_probs.iter().zip(&kl_ref) {
+            prop_assert!(bits_match(*x, *y));
+        }
+        for (x, y) in ce_probs.iter().zip(&ce_ref) {
+            prop_assert!(bits_match(*x, *y));
+        }
+    }
+
+    /// The loss layer's two kernel tiers agree bit for bit — CrossEntropy,
+    /// DistillKl, and the combined `distill_kl_ce` entry all produce the
+    /// same losses and gradients under `Scalar` and `Fast`, and the
+    /// combined entry equals the two separate losses within each tier.
+    #[test]
+    fn loss_tiers_are_bit_identical(
+        student in matrix(6, 8),
+        label_seed in any::<u64>(),
+        temp in 0.5f32..4.0,
+    ) {
+        let teacher = softmax(&student.map(|x| x * 0.7 + 0.3), temp);
+        let labels: Vec<usize> = (0..student.rows())
+            .map(|r| (label_seed as usize).wrapping_add(r * 13) % student.cols())
+            .collect();
+        let kl = DistillKl::new(temp);
+        let run = |mode: KernelMode| {
+            let _tier = mode.scoped();
+            let ce_out = CrossEntropy::new().loss_and_grad(&student, &labels);
+            let kl_out = kl.loss_and_grad(&student, &teacher);
+            let combined = distill_kl_ce(&kl, &student, &teacher, &labels);
+            (ce_out, kl_out, combined)
+        };
+        let s = run(KernelMode::Scalar);
+        let f = run(KernelMode::Fast);
+        let bits = |a: &Tensor, b: &Tensor| -> Result<(), TestCaseError> {
+            prop_assert_eq!(a.shape(), b.shape());
+            for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+            Ok(())
+        };
+        // Tier equality per entry point.
+        prop_assert_eq!(s.0.0.to_bits(), f.0.0.to_bits());
+        bits(&s.0.1, &f.0.1)?;
+        prop_assert_eq!(s.1.0.to_bits(), f.1.0.to_bits());
+        bits(&s.1.1, &f.1.1)?;
+        prop_assert_eq!((s.2.0.0).to_bits(), (f.2.0.0).to_bits());
+        bits(&s.2.0.1, &f.2.0.1)?;
+        prop_assert_eq!((s.2.1.0).to_bits(), (f.2.1.0).to_bits());
+        bits(&s.2.1.1, &f.2.1.1)?;
+        // The combined entry is the two separate losses, within each tier.
+        for out in [&s, &f] {
+            prop_assert_eq!((out.2.1.0).to_bits(), (out.0.0).to_bits());
+            bits(&out.2.1.1, &out.0.1)?;
+            prop_assert_eq!((out.2.0.0).to_bits(), (out.1.0).to_bits());
+            bits(&out.2.0.1, &out.1.1)?;
+        }
+    }
+
+    /// Scheduled dispatch — worker queues seeded in grouped order — commits
+    /// the same `(index, result)` sequence as the identity-seeded dispatch,
+    /// in strictly ascending item order, for every worker count.
+    #[test]
+    fn scheduled_dispatch_is_order_invariant(
+        keys in prop::collection::vec(0u64..4, 1..40),
+        workers in 1usize..8,
+    ) {
+        let items: Vec<usize> = (0..keys.len()).collect();
+        let schedule = grouped_schedule(&keys);
+        let task = |_w: usize, i: usize| i * 3 + 1;
+        let mut plain = Vec::new();
+        dispatch_stealing(items.clone(), workers, task, |i, out| plain.push((i, out)));
+        let mut grouped = Vec::new();
+        dispatch_stealing_scheduled(items, &schedule, workers, task, |i, out| {
+            grouped.push((i, out));
+        });
+        prop_assert!(grouped.windows(2).all(|w| w[0].0 < w[1].0));
+        prop_assert_eq!(plain, grouped);
     }
 }
 

@@ -51,3 +51,10 @@ if [ "$pooled" -gt $((owned / 4)) ]; then
     echo "FAIL: pooled fleet residency $pooled is not 4x below dense $owned" >&2
     exit 1
 fi
+# Batched-plan smoke: fused loss epilogues, grouped scheduling, and the
+# vectorized robust kernels must stay bit-identical to the scalar tier
+# across the full 8-method gate matrix (kernel tier x plan schedule x
+# worker budget). The committed full-scale report with enforced speed
+# floors is BENCH_pr9.json; the smoke checks equivalence, not speed.
+FEDPKD_PERF_SCALE=pr9-smoke FEDPKD_PERF_OUT=target/bench_pr9_smoke.json \
+    cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
