@@ -40,6 +40,15 @@
 //!   reproduce the reference `RunResult` bit for bit. Writes
 //!   `BENCH_pr9.json`; at full scale the client-training (≥ 2.0×) and
 //!   aggregation (≥ 1.3×) speedup floors are exit gates too.
+//! - **Scenario diversity** (`FEDPKD_PERF_SCALE=pr10`, or `pr10-smoke`
+//!   for CI): sweeps the Dirichlet concentration grid
+//!   (`fedpkd_data::ALPHA_SWEEP`), comparing FedPKD with adaptive
+//!   prototype margins against FedDF at the equal communication budget,
+//!   measures the public-vs-generated (data-free) accuracy gap at
+//!   `α = 0.1`, and runs the determinism matrix for both new modes.
+//!   Writes `BENCH_pr10.json`; at full scale FedPKD must beat FedDF at
+//!   every `α ≤ 0.1` point and the data-free gap must stay within 3
+//!   accuracy points.
 //!
 //! Usage: `cargo run --release -p fedpkd-bench --bin perf`
 //!
@@ -59,11 +68,13 @@
 //! metric or ledger entry — the bit-identity contract is a hard gate, not
 //! a report field.
 
-use fedpkd_bench::{run_method_observed, run_method_with_driver, Method, Scale, Setting, Task};
+use fedpkd_bench::{
+    run_method, run_method_observed, run_method_with_driver, Method, Scale, Setting, Task,
+};
 use fedpkd_core::clients::build_clients;
 use fedpkd_core::driver::DriverBuilder;
 use fedpkd_core::fedpkd::logits::aggregate_logits_trimmed_from_probs;
-use fedpkd_core::fedpkd::FedPkdConfig;
+use fedpkd_core::fedpkd::{DistillSource, FedPkdConfig};
 use fedpkd_core::fleet::FleetSim;
 use fedpkd_core::remote::RemoteFederation;
 use fedpkd_core::robust::{coordinate_median, RobustAggregation};
@@ -761,61 +772,72 @@ fn gate_run(
     )
 }
 
+/// The determinism-gate matrix: every variant must reproduce the
+/// scalar/sequential reference bit for bit.
+const GATE_VARIANTS: [(&str, KernelMode, PlanMode, Option<usize>); 4] = [
+    ("fast/grouped", KernelMode::Fast, PlanMode::Grouped, None),
+    (
+        "fast/grouped/w1",
+        KernelMode::Fast,
+        PlanMode::Grouped,
+        Some(1),
+    ),
+    (
+        "fast/sequential",
+        KernelMode::Fast,
+        PlanMode::Sequential,
+        None,
+    ),
+    (
+        "scalar/grouped",
+        KernelMode::Scalar,
+        PlanMode::Grouped,
+        None,
+    ),
+];
+
+/// Runs one method's determinism matrix — kernel tier × plan schedule ×
+/// worker budget — against the scalar/sequential reference. The method's
+/// configuration (robust aggregation, adaptive margins, distillation
+/// source, …) rides in `scale.pkd`, so callers gate feature modes by
+/// mutating the scale. Returns whether every variant agreed.
+fn gate_matrix(method: Method, scale: &Scale, label: &str) -> bool {
+    let reference = gate_run(
+        method,
+        scale,
+        KernelMode::Scalar,
+        PlanMode::Sequential,
+        None,
+    );
+    let mut diverged: Vec<&str> = Vec::new();
+    for (variant, mode, plan, workers) in GATE_VARIANTS {
+        if gate_run(method, scale, mode, plan, workers) != reference {
+            diverged.push(variant);
+        }
+    }
+    if diverged.is_empty() {
+        eprintln!(
+            "perf: gate {label} — {} configs identical",
+            GATE_VARIANTS.len() + 1
+        );
+        true
+    } else {
+        eprintln!(
+            "perf: gate {label} FAILED — diverging configs: {}",
+            diverged.join(", ")
+        );
+        false
+    }
+}
+
 /// Sweeps all eight algorithms across kernel tiers × execution-plan
 /// schedules × worker budgets at smoke scale; every configuration must
 /// reproduce the scalar/sequential reference `RunResult` bit for bit.
 /// Returns whether the whole matrix agreed.
 fn pr9_gate(scale: &Scale) -> bool {
-    let variants: [(&str, KernelMode, PlanMode, Option<usize>); 4] = [
-        ("fast/grouped", KernelMode::Fast, PlanMode::Grouped, None),
-        (
-            "fast/grouped/w1",
-            KernelMode::Fast,
-            PlanMode::Grouped,
-            Some(1),
-        ),
-        (
-            "fast/sequential",
-            KernelMode::Fast,
-            PlanMode::Sequential,
-            None,
-        ),
-        (
-            "scalar/grouped",
-            KernelMode::Scalar,
-            PlanMode::Grouped,
-            None,
-        ),
-    ];
     let mut all_identical = true;
     for method in Method::ALL {
-        let reference = gate_run(
-            method,
-            scale,
-            KernelMode::Scalar,
-            PlanMode::Sequential,
-            None,
-        );
-        let mut diverged: Vec<&str> = Vec::new();
-        for (label, mode, plan, workers) in variants {
-            if gate_run(method, scale, mode, plan, workers) != reference {
-                diverged.push(label);
-            }
-        }
-        if diverged.is_empty() {
-            eprintln!(
-                "perf: gate {} — {} configs identical",
-                method.name(),
-                variants.len() + 1
-            );
-        } else {
-            all_identical = false;
-            eprintln!(
-                "perf: gate {} FAILED — diverging configs: {}",
-                method.name(),
-                diverged.join(", ")
-            );
-        }
+        all_identical &= gate_matrix(method, scale, method.name());
     }
     all_identical
 }
@@ -960,6 +982,198 @@ fn pr9_main(smoke: bool) {
     }
 }
 
+/// Best server accuracy achievable within a communication budget: the
+/// maximum over rounds whose *cumulative* bytes still fit under `budget`.
+/// This is the fixed-budget comparison the motivation experiment calls
+/// for — a heavier-per-round method gets fewer rounds, not a free pass.
+fn acc_within(result: &RunResult, budget: usize) -> f64 {
+    result
+        .history
+        .iter()
+        .filter(|m| m.cumulative_bytes <= budget)
+        .filter_map(|m| m.server_accuracy)
+        .fold(0.0, f64::max)
+}
+
+/// The scenario-diversity profile (PR 10): three legs.
+///
+/// 1. **α sweep** — FedPKD with adaptive margins vs FedDF across
+///    `fedpkd_data::ALPHA_SWEEP`, each pair compared at the equal
+///    communication budget (the smaller of the two runs' total bytes).
+///    At full scale FedPKD must win every `α ≤ 0.1` point or the binary
+///    exits non-zero.
+/// 2. **Data-free gap** — FedPKD distilling from the public pool vs from
+///    the server-side generator at `α = 0.1`; at full scale the generated
+///    mode must land within 3 accuracy points of the public mode.
+/// 3. **Determinism gate** — the adaptive-margins and data-free modes
+///    swept across kernel tiers × plan schedules × worker budgets; bit
+///    divergence is a hard failure at every scale.
+///
+/// Writes `BENCH_pr10.json`.
+fn pr10_main(smoke: bool) {
+    let profile = if smoke { "pr10-smoke" } else { "pr10" };
+    let scale = if smoke { smoke_scale() } else { Scale::quick() };
+    let margins_cfg = FedPkdConfig {
+        adaptive_margins: true,
+        ..scale.pkd.clone()
+    };
+    let generated_cfg = FedPkdConfig {
+        distill_source: DistillSource::Generated,
+        ..margins_cfg.clone()
+    };
+    let margins_scale = Scale {
+        pkd: margins_cfg.clone(),
+        ..scale.clone()
+    };
+    let generated_scale = Scale {
+        pkd: generated_cfg.clone(),
+        ..scale.clone()
+    };
+
+    // Leg 1: the α sweep at equal comm budget.
+    eprintln!(
+        "perf: {profile} α-sweep leg — FedPKD (adaptive margins) vs FedDF, α ∈ {:?}",
+        fedpkd_data::ALPHA_SWEEP
+    );
+    let mut sweep: Vec<(f64, f64, f64, f64, usize)> = Vec::new();
+    let mut sweep_ok = true;
+    for &alpha in &fedpkd_data::ALPHA_SWEEP {
+        let setting = Setting::Dir { alpha };
+        let pkd = run_method(
+            Method::FedPkd,
+            &margins_scale,
+            Task::C10,
+            setting,
+            true,
+            SEED,
+        );
+        let df = run_method(Method::FedDf, &scale, Task::C10, setting, false, SEED);
+        let budget = pkd.ledger.total_bytes().min(df.ledger.total_bytes());
+        let pkd_acc = acc_within(&pkd, budget);
+        let df_acc = acc_within(&df, budget);
+        let df_full = df.best_server_accuracy().unwrap_or(0.0);
+        eprintln!(
+            "perf: {profile} α={alpha} — FedPKD {pkd_acc:.4} vs FedDF {df_acc:.4} within {budget} bytes (FedDF unbudgeted {df_full:.4})"
+        );
+        if alpha <= 0.1 && pkd_acc < df_acc {
+            sweep_ok = false;
+            eprintln!("perf: {profile} α={alpha} — FedPKD below FedDF at equal budget");
+        }
+        sweep.push((alpha, pkd_acc, df_acc, df_full, budget));
+    }
+
+    // Leg 2: the data-free gap at α = 0.1.
+    eprintln!("perf: {profile} data-free leg — public vs generated transfer set at α=0.1");
+    let setting = Setting::Dir { alpha: 0.1 };
+    let public_run = run_method(
+        Method::FedPkd,
+        &margins_scale,
+        Task::C10,
+        setting,
+        true,
+        SEED,
+    );
+    let generated_run = run_method(
+        Method::FedPkd,
+        &generated_scale,
+        Task::C10,
+        setting,
+        true,
+        SEED,
+    );
+    let public_acc = public_run.best_server_accuracy().unwrap_or(0.0);
+    let generated_acc = generated_run.best_server_accuracy().unwrap_or(0.0);
+    let data_free_gap = public_acc - generated_acc;
+    eprintln!(
+        "perf: {profile} data-free — public {public_acc:.4} vs generated {generated_acc:.4} (gap {data_free_gap:+.4}), bytes {} vs {}",
+        public_run.ledger.total_bytes(),
+        generated_run.ledger.total_bytes()
+    );
+
+    // Leg 3: determinism gates for both new modes, always at smoke scale
+    // (the gate prices reproducibility, not throughput).
+    eprintln!("perf: {profile} determinism gate — margins + generated modes x 5 configs");
+    let gate_margins_scale = Scale {
+        pkd: FedPkdConfig {
+            adaptive_margins: true,
+            ..smoke_scale().pkd
+        },
+        ..smoke_scale()
+    };
+    let gate_generated_scale = Scale {
+        pkd: FedPkdConfig {
+            adaptive_margins: true,
+            distill_source: DistillSource::Generated,
+            ..smoke_scale().pkd
+        },
+        ..smoke_scale()
+    };
+    let margins_gate = gate_matrix(Method::FedPkd, &gate_margins_scale, "FedPKD/margins");
+    let generated_gate = gate_matrix(Method::FedPkd, &gate_generated_scale, "FedPKD/generated");
+
+    let mut sweep_json = String::new();
+    for (i, (alpha, pkd_acc, df_acc, df_full, budget)) in sweep.iter().enumerate() {
+        let sep = if i + 1 < sweep.len() { "," } else { "" };
+        sweep_json.push_str(&format!(
+            "    {{\"alpha\": {alpha}, \"fedpkd_acc\": {pkd_acc:.4}, \"feddf_acc\": {df_acc:.4}, \"feddf_unbudgeted_acc\": {df_full:.4}, \"budget_bytes\": {budget}}}{sep}\n"
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"profile\": \"{profile}\",\n",
+            "  \"seed\": {seed},\n",
+            "  \"clients\": {clients},\n",
+            "  \"rounds\": {rounds},\n",
+            "  \"alpha_sweep\": [\n{sweep_json}  ],\n",
+            "  \"alpha_sweep_note\": \"accuracy at the smaller of the two runs' total bytes\",\n",
+            "  \"fedpkd_beats_feddf_at_low_alpha\": {sweep_ok},\n",
+            "  \"data_free\": {{\"alpha\": 0.1, \"public_acc\": {public_acc:.4}, ",
+            "\"generated_acc\": {generated_acc:.4}, \"gap\": {data_free_gap:.4}, ",
+            "\"public_bytes\": {public_bytes}, \"generated_bytes\": {generated_bytes}}},\n",
+            "  \"bit_identical\": {{\"margins_mode\": {margins_gate}, ",
+            "\"generated_mode\": {generated_gate}}},\n",
+            "  \"gate\": {{\"modes\": 2, \"configs_per_mode\": 5, ",
+            "\"axes\": \"kernel tier x plan schedule x worker budget\"}}\n",
+            "}}\n",
+        ),
+        profile = profile,
+        seed = SEED,
+        clients = scale.clients,
+        rounds = scale.rounds,
+        sweep_json = sweep_json,
+        sweep_ok = sweep_ok,
+        public_acc = public_acc,
+        generated_acc = generated_acc,
+        data_free_gap = data_free_gap,
+        public_bytes = public_run.ledger.total_bytes(),
+        generated_bytes = generated_run.ledger.total_bytes(),
+        margins_gate = margins_gate,
+        generated_gate = generated_gate,
+    );
+    let out = std::env::var("FEDPKD_PERF_OUT").unwrap_or_else(|_| "BENCH_pr10.json".into());
+    std::fs::write(&out, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("perf: report written to {out}");
+
+    if !(margins_gate && generated_gate) {
+        eprintln!("perf: FAIL — a new mode diverged across the determinism matrix");
+        std::process::exit(1);
+    }
+    if !smoke {
+        if !sweep_ok {
+            eprintln!("perf: FAIL — FedPKD lost to FedDF at α ≤ 0.1 under an equal budget");
+            std::process::exit(1);
+        }
+        if data_free_gap > 0.03 {
+            eprintln!(
+                "perf: FAIL — data-free mode trails the public mode by {data_free_gap:.4} (> 0.03)"
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     match std::env::var("FEDPKD_PERF_SCALE").as_deref() {
         Ok("fleet") => return fleet_main(10_000, 256, 50, "fleet"),
@@ -968,6 +1182,8 @@ fn main() {
         Ok("serve-smoke") => return serve_main(4, 8, "serve-smoke"),
         Ok("pr9") => return pr9_main(false),
         Ok("pr9-smoke") => return pr9_main(true),
+        Ok("pr10") => return pr10_main(false),
+        Ok("pr10-smoke") => return pr10_main(true),
         _ => {}
     }
     let (scale, profile) = perf_scale();

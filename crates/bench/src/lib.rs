@@ -88,6 +88,12 @@ pub enum Setting {
     DirHigh,
     /// Weakly non-IID Dirichlet: `α = 0.5`.
     DirWeak,
+    /// Arbitrary Dirichlet concentration — the α-sweep axis
+    /// (`fedpkd_data::ALPHA_SWEEP`).
+    Dir {
+        /// The concentration parameter.
+        alpha: f64,
+    },
 }
 
 impl Setting {
@@ -99,6 +105,7 @@ impl Setting {
         match self {
             Self::DirHigh => Partition::Dirichlet { alpha: 0.1 },
             Self::DirWeak => Partition::Dirichlet { alpha: 0.5 },
+            Self::Dir { alpha } => Partition::Dirichlet { alpha: *alpha },
             Self::ShardsHigh | Self::ShardsWeak => {
                 let k10 = if matches!(self, Self::ShardsHigh) {
                     3
@@ -131,6 +138,7 @@ impl Setting {
             (Self::ShardsWeak, Task::C100) => "k=50".into(),
             (Self::DirHigh, _) => "α=0.1".into(),
             (Self::DirWeak, _) => "α=0.5".into(),
+            (Self::Dir { alpha }, _) => format!("α={alpha}"),
         }
     }
 }
@@ -606,6 +614,15 @@ mod tests {
         assert_eq!(Setting::ShardsHigh.name(Task::C10), "k=3");
         assert_eq!(Setting::ShardsHigh.name(Task::C100), "k=30");
         assert_eq!(Setting::DirWeak.name(Task::C10), "α=0.5");
+        assert_eq!(Setting::Dir { alpha: 0.05 }.name(Task::C100), "α=0.05");
+    }
+
+    #[test]
+    fn dir_setting_matches_the_fixed_presets() {
+        let scale = Scale::quick();
+        let fixed = scale.scenario(Task::C10, Setting::DirHigh, 3);
+        let swept = scale.scenario(Task::C10, Setting::Dir { alpha: 0.1 }, 3);
+        assert_eq!(fixed, swept, "Dir{{0.1}} must reproduce DirHigh exactly");
     }
 
     #[test]

@@ -3,6 +3,25 @@
 use crate::admission::AdmissionPolicy;
 use crate::robust::RobustAggregation;
 
+/// Where the server-side distillation transfer set comes from.
+///
+/// FedPKD as published assumes a shared unlabeled public dataset every
+/// participant can see. The data-free extension (after FedGen/FedDistill)
+/// replaces it with samples synthesized by a small server-side generator,
+/// removing the public-data deployment assumption at the cost of
+/// broadcasting the synthetic batch each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistillSource {
+    /// The paper-faithful shared public dataset.
+    #[default]
+    Public,
+    /// Server-generated synthetic samples (data-free mode): the generator
+    /// is trained against the aggregated client logit ensemble and the
+    /// global prototypes, and its output replaces the public features for
+    /// the round's knowledge exchange.
+    Generated,
+}
+
 /// Hyperparameters of FedPKD.
 ///
 /// Defaults follow §V-A of the paper (scaled-down epoch counts are set by
@@ -67,6 +86,31 @@ pub struct FedPkdConfig {
     /// Aggregation rule for admitted uploads. Defaults to
     /// [`RobustAggregation::Off`], the paper-faithful Eqs. 6–8.
     pub robust: RobustAggregation,
+    /// Extension (FedProtoKD): when `true`, global prototypes become
+    /// trainable parameters refined by Adam toward the round's aggregated
+    /// means, together with an adaptive per-class margin (a learned
+    /// acceptance radius) that tightens the Eq. 10 filter. `false` keeps
+    /// the paper-faithful frozen size-weighted means.
+    pub adaptive_margins: bool,
+    /// Adam learning rate for the prototype/margin bank (only read when
+    /// [`adaptive_margins`](Self::adaptive_margins) is on).
+    pub margin_lr: f32,
+    /// Gradient steps on the prototype/margin bank per round.
+    pub margin_epochs: usize,
+    /// Initial per-class margin (acceptance radius in feature space). Must
+    /// start generous — margins only tighten as they adapt toward the
+    /// observed inter-class separation.
+    pub margin_init: f32,
+    /// Where the server's distillation transfer set comes from.
+    pub distill_source: DistillSource,
+    /// Latent dimension of the data-free generator (only read when
+    /// [`distill_source`](Self::distill_source) is
+    /// [`DistillSource::Generated`]).
+    pub generator_latent_dim: usize,
+    /// Adam learning rate for the data-free generator.
+    pub generator_lr: f32,
+    /// Gradient steps on the generator per round.
+    pub generator_epochs: usize,
 }
 
 impl Default for FedPkdConfig {
@@ -89,6 +133,14 @@ impl Default for FedPkdConfig {
             prototype_staleness: 2,
             admission: AdmissionPolicy::default(),
             robust: RobustAggregation::Off,
+            adaptive_margins: false,
+            margin_lr: 0.01,
+            margin_epochs: 3,
+            margin_init: 8.0,
+            distill_source: DistillSource::Public,
+            generator_latent_dim: 16,
+            generator_lr: 0.01,
+            generator_epochs: 20,
         }
     }
 }
@@ -132,6 +184,38 @@ impl FedPkdConfig {
             return Err(CoreError::InvalidConfig(
                 "temperature must be positive".into(),
             ));
+        }
+        if !(self.margin_lr > 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "margin learning rate must be positive".into(),
+            ));
+        }
+        if !(self.margin_init > 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "initial margin must be positive".into(),
+            ));
+        }
+        if self.adaptive_margins && self.margin_epochs == 0 {
+            return Err(CoreError::InvalidConfig(
+                "adaptive margins need at least one epoch per round".into(),
+            ));
+        }
+        if !(self.generator_lr > 0.0) {
+            return Err(CoreError::InvalidConfig(
+                "generator learning rate must be positive".into(),
+            ));
+        }
+        if self.distill_source == DistillSource::Generated {
+            if self.generator_latent_dim == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "generator latent dimension must be positive".into(),
+                ));
+            }
+            if self.generator_epochs == 0 {
+                return Err(CoreError::InvalidConfig(
+                    "data-free mode needs at least one generator epoch".into(),
+                ));
+            }
         }
         self.admission.validate()?;
         if let RobustAggregation::Trimmed { trim_fraction } = self.robust {
@@ -250,6 +334,33 @@ mod tests {
                     max_abs_logit: f32::NAN,
                     ..AdmissionPolicy::default()
                 },
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                margin_lr: 0.0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                margin_init: f32::NAN,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                adaptive_margins: true,
+                margin_epochs: 0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                generator_lr: -0.1,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                distill_source: DistillSource::Generated,
+                generator_latent_dim: 0,
+                ..FedPkdConfig::default()
+            },
+            FedPkdConfig {
+                distill_source: DistillSource::Generated,
+                generator_epochs: 0,
                 ..FedPkdConfig::default()
             },
         ];

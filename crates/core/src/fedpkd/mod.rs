@@ -15,17 +15,27 @@
 //!    (Eqs. 11–13, [`distill`]);
 //! 4. the server sends back its subset logits, the global prototypes, and
 //!    the selection; clients distill from them (Eqs. 14–15).
+//!
+//! Two scenario-diversity extensions ride on the same round structure:
+//! [`margins`] makes the global prototypes trainable with adaptive
+//! class-wise acceptance radii (FedProtoKD), and [`generator`] replaces
+//! the shared public dataset with server-synthesized samples
+//! ([`DistillSource::Generated`], after FedGen/FedDistill).
 
 mod algorithm;
 mod config;
 pub mod distill;
 pub mod filter;
+pub mod generator;
 pub mod logits;
+pub mod margins;
 pub mod prototypes;
 
 pub use algorithm::FedPkd;
-pub use config::{CoreError, FedPkdConfig};
+pub use config::{CoreError, DistillSource, FedPkdConfig};
 pub use distill::ServerDistillStats;
 pub use filter::FilterStats;
+pub use generator::{Generator, GeneratorStats};
 pub use logits::AggregationStats;
+pub use margins::{MarginBank, MarginStats};
 pub use prototypes::Prototype;

@@ -56,6 +56,40 @@ pub fn compute_prototypes(
         .collect()
 }
 
+/// Computes a client's per-class *input-space* first moments: for each class
+/// present in `dataset`, the mean of the raw feature rows. The shape mirrors
+/// [`compute_prototypes`] (and reuses [`Prototype`]) but needs no model —
+/// these are data statistics, not embeddings. The data-free mode uplinks
+/// them so the server's generator can be grounded in the real per-class
+/// input distribution instead of chasing the ensemble's opinion of noise.
+pub fn compute_input_moments(dataset: &Dataset) -> Vec<Option<Prototype>> {
+    let num_classes = dataset.num_classes();
+    let dim = dataset.sample_dim();
+    let mut sums: Vec<Vec<f64>> = vec![vec![0.0; dim]; num_classes];
+    let mut counts = vec![0usize; num_classes];
+    let features = dataset.features();
+    for (row, &y) in dataset.labels().iter().enumerate() {
+        counts[y] += 1;
+        for (s, &v) in sums[y].iter_mut().zip(features.row(row)) {
+            *s += v as f64;
+        }
+    }
+    sums.into_iter()
+        .zip(counts)
+        .map(|(sum, count)| {
+            if count == 0 {
+                None
+            } else {
+                let mean: Vec<f32> = sum.into_iter().map(|s| (s / count as f64) as f32).collect();
+                Some(Prototype {
+                    count,
+                    vector: Tensor::from_vec(mean, &[dim]).expect("dim matches"),
+                })
+            }
+        })
+        .collect()
+}
+
 /// Aggregates clients' local prototypes into global prototypes (Eq. 8): for
 /// each class, the sample-count-weighted mean of the prototypes of all
 /// clients holding that class. Classes no client holds yield `None`.
@@ -98,8 +132,12 @@ pub fn aggregate_prototypes(
 /// For each class with `n ≥ 3` contributors, the
 /// [`trim_count`]`(n, trim_fraction)` prototypes with the largest L2
 /// distance to the coordinate-wise median vector are dropped (at least one
-/// contributor always survives). With fewer than three contributors there
-/// is no meaningful notion of an outlier, so the plain Eq. 8 mean is used.
+/// contributor always survives). Contributors tied at equal distance are
+/// ordered by their position in canonical (ascending) client order, and the
+/// highest-ordinal tied contributor is dropped first — the choice is pinned
+/// by the data, never by incidental sort or map-iteration order. With fewer
+/// than three contributors there is no meaningful notion of an outlier, so
+/// the plain Eq. 8 mean is used.
 /// The second return value counts how many prototypes were discarded
 /// across all classes, for telemetry.
 ///
@@ -143,9 +181,15 @@ pub fn aggregate_prototypes_robust(
         } else {
             let rows: Vec<&[f32]> = contributors.iter().map(|p| p.vector.as_slice()).collect();
             let center = coordinate_median(&rows)?;
-            let mut by_distance: Vec<(f64, &Prototype)> = contributors
+            // The sort key carries the contributor's ordinal (its position in
+            // canonical client order) so ties at equal distance-to-median are
+            // pinned: among tied contributors, the highest ordinal is dropped
+            // first. Without the ordinal, the choice would silently depend on
+            // the sort's treatment of equal keys.
+            let mut by_distance: Vec<(f64, usize, &Prototype)> = contributors
                 .iter()
-                .map(|&p| {
+                .enumerate()
+                .map(|(ordinal, &p)| {
                     let d2: f64 = p
                         .vector
                         .as_slice()
@@ -156,13 +200,13 @@ pub fn aggregate_prototypes_robust(
                             d * d
                         })
                         .sum();
-                    (d2, p)
+                    (d2, ordinal, p)
                 })
                 .collect();
-            by_distance.sort_by(|a, b| a.0.total_cmp(&b.0));
+            by_distance.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
             by_distance.truncate(by_distance.len() - drop);
             outliers += drop;
-            by_distance.into_iter().map(|(_, p)| p).collect()
+            by_distance.into_iter().map(|(_, _, p)| p).collect()
         };
         let mut sum = vec![0.0f64; dim];
         let mut total = 0usize;
@@ -232,6 +276,30 @@ mod tests {
         assert!(protos[1].is_none());
         assert_eq!(protos[2].as_ref().unwrap().count, 3);
         assert_eq!(protos[0].as_ref().unwrap().vector.shape(), &[6]);
+    }
+
+    #[test]
+    fn input_moments_are_raw_class_means() {
+        let features = Tensor::from_vec(
+            vec![
+                1.0, 3.0, // class 0
+                3.0, 5.0, // class 0
+                10.0, -2.0, // class 2
+            ],
+            &[3, 2],
+        )
+        .unwrap();
+        let ds = Dataset::new(features, vec![0, 0, 2], 3).unwrap();
+        let moments = compute_input_moments(&ds);
+        assert_eq!(moments.len(), 3);
+        let m0 = moments[0].as_ref().unwrap();
+        assert_eq!(m0.count, 2);
+        assert_eq!(m0.vector.as_slice(), &[2.0, 4.0]);
+        assert!(moments[1].is_none());
+        assert_eq!(
+            moments[2].as_ref().unwrap().vector.as_slice(),
+            &[10.0, -2.0]
+        );
     }
 
     #[test]
@@ -336,6 +404,30 @@ mod tests {
         for &v in g.as_slice() {
             assert!((0.8..=1.2).contains(&v), "coordinate {v} dragged away");
         }
+    }
+
+    #[test]
+    fn robust_aggregation_tie_break_is_pinned_to_canonical_order() {
+        // Three contributors (the minimum with a trim), two of them at
+        // *exactly* the same distance from the coordinate-wise median.
+        // Median of {0, 4, 2} is 2, so contributors 0 and 1 are both at
+        // distance 2. The pinned rule drops the highest-ordinal tied
+        // contributor (client B), keeping A (value 0) and C (value 2):
+        // size-weighted mean (1·0 + 1·2) / 2 = 1.
+        let a = vec![Some(proto(1, &[0.0]))];
+        let b = vec![Some(proto(1, &[4.0]))];
+        let c = vec![Some(proto(1, &[2.0]))];
+        let (global, outliers) =
+            aggregate_prototypes_robust(&[a.clone(), b.clone(), c.clone()], 0.34).unwrap();
+        assert_eq!(outliers, 1);
+        assert!((global[0].as_ref().unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
+        // Reordering the tied contributors flips which one survives — the
+        // outcome tracks canonical order, not value identity: median of
+        // {4, 0, 2} is still 2, B and A still tie, but now A holds the
+        // higher ordinal and is dropped: (1·4 + 1·2) / 2 = 3.
+        let (global, outliers) = aggregate_prototypes_robust(&[b, a, c], 0.34).unwrap();
+        assert_eq!(outliers, 1);
+        assert!((global[0].as_ref().unwrap().as_slice()[0] - 3.0).abs() < 1e-6);
     }
 
     #[test]

@@ -211,6 +211,42 @@ pub enum TelemetryEvent {
         /// Five-number summary (min, q25, median, q75, max) of the Eq. 10
         /// prototype distances; empty when no class had a prototype.
         distance_quantiles: Vec<f64>,
+        /// Samples dropped because their pseudo-class has no global
+        /// prototype (data-free mode only; 0 otherwise).
+        dropped_uncovered: usize,
+        /// Samples inside the θ cut rejected by their class's adaptive
+        /// margin (adaptive-margin mode only; 0 otherwise).
+        dropped_by_margin: usize,
+    },
+    /// The trainable prototype/margin bank was refined toward this round's
+    /// aggregated means (adaptive-margin mode).
+    MarginRefined {
+        /// Round index.
+        round: usize,
+        /// Classes that received an aggregated mean this round.
+        covered: usize,
+        /// Final-step mean squared prototype-to-target error.
+        proto_loss: f64,
+        /// Final-step mean squared margin-to-separation error.
+        margin_loss: f64,
+        /// The per-class margins after refinement.
+        margins: Vec<f64>,
+    },
+    /// The server-side sample generator was refined against the client
+    /// logit ensemble (data-free mode).
+    GeneratorRefined {
+        /// Round index.
+        round: usize,
+        /// KL of the server's generated-sample predictions against the
+        /// aggregated ensemble distribution.
+        ensemble_loss: f64,
+        /// Cross-entropy against the intended (conditioning) labels.
+        ce_loss: f64,
+        /// Mean squared embedding-to-prototype distance (covered classes).
+        proto_loss: f64,
+        /// Mean squared distance of per-class generated batch means to the
+        /// aggregated real input-space class means (observed classes).
+        moment_loss: f64,
     },
     /// Server distillation finished (Eqs. 11–13).
     ServerDistill {
@@ -354,6 +390,8 @@ impl TelemetryEvent {
             Self::LogitAggregation { .. } => "logit_aggregation",
             Self::PrototypeDrift { .. } => "prototype_drift",
             Self::FilterOutcome { .. } => "filter_outcome",
+            Self::MarginRefined { .. } => "margin_refined",
+            Self::GeneratorRefined { .. } => "generator_refined",
             Self::ServerDistill { .. } => "server_distill",
             Self::ClientDistilled { .. } => "client_distilled",
             Self::PhaseTiming { .. } => "phase_timing",
@@ -381,6 +419,8 @@ impl TelemetryEvent {
             | Self::LogitAggregation { round, .. }
             | Self::PrototypeDrift { round, .. }
             | Self::FilterOutcome { round, .. }
+            | Self::MarginRefined { round, .. }
+            | Self::GeneratorRefined { round, .. }
             | Self::ServerDistill { round, .. }
             | Self::ClientDistilled { round, .. }
             | Self::PhaseTiming { round, .. }
@@ -480,6 +520,8 @@ impl TelemetryEvent {
                 kept_per_class,
                 total_per_class,
                 distance_quantiles,
+                dropped_uncovered,
+                dropped_by_margin,
                 ..
             } => {
                 obj.usize("kept", *kept);
@@ -487,6 +529,32 @@ impl TelemetryEvent {
                 obj.usize_array("kept_per_class", kept_per_class);
                 obj.usize_array("total_per_class", total_per_class);
                 obj.f64_array("distance_quantiles", distance_quantiles);
+                obj.usize("dropped_uncovered", *dropped_uncovered);
+                obj.usize("dropped_by_margin", *dropped_by_margin);
+            }
+            Self::MarginRefined {
+                covered,
+                proto_loss,
+                margin_loss,
+                margins,
+                ..
+            } => {
+                obj.usize("covered", *covered);
+                obj.f64("proto_loss", *proto_loss);
+                obj.f64("margin_loss", *margin_loss);
+                obj.f64_array("margins", margins);
+            }
+            Self::GeneratorRefined {
+                ensemble_loss,
+                ce_loss,
+                proto_loss,
+                moment_loss,
+                ..
+            } => {
+                obj.f64("ensemble_loss", *ensemble_loss);
+                obj.f64("ce_loss", *ce_loss);
+                obj.f64("proto_loss", *proto_loss);
+                obj.f64("moment_loss", *moment_loss);
             }
             Self::ServerDistill {
                 kd_loss,
@@ -932,6 +1000,22 @@ mod tests {
                 kept_per_class: vec![42, 42],
                 total_per_class: vec![60, 60],
                 distance_quantiles: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+                dropped_uncovered: 4,
+                dropped_by_margin: 2,
+            },
+            TelemetryEvent::MarginRefined {
+                round: 0,
+                covered: 2,
+                proto_loss: 0.5,
+                margin_loss: 0.25,
+                margins: vec![2.0, 3.0],
+            },
+            TelemetryEvent::GeneratorRefined {
+                round: 0,
+                ensemble_loss: 1.5,
+                ce_loss: 2.0,
+                proto_loss: 0.125,
+                moment_loss: 0.25,
             },
             TelemetryEvent::ServerDistill {
                 round: 0,

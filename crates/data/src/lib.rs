@@ -46,6 +46,6 @@ mod synthetic;
 pub use dataset::{Batch, BatchIter, Dataset};
 pub use error::DataError;
 pub use partition::{partition_indices, Partition};
-pub use scenario::{ClientData, FederatedScenario, ScenarioBuilder};
+pub use scenario::{ClientData, FederatedScenario, ScenarioBuilder, ALPHA_SWEEP};
 pub use stats::{class_histogram, distribution_emd, label_distribution, partition_noniid_degree};
 pub use synthetic::{DataMode, SyntheticConfig};

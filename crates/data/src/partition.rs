@@ -79,8 +79,13 @@ pub fn partition_indices(
     let mut parts = match strategy {
         Partition::Iid => partition_iid(labels.len(), num_clients, rng),
         Partition::Dirichlet { alpha } => {
-            if !(alpha > 0.0) {
-                return Err(DataError::InvalidConfig("alpha must be positive".into()));
+            // Finiteness matters too: `Dirichlet::new` rejects infinite
+            // concentrations, and this guard is what upholds the sampler
+            // construction's `expect` below.
+            if !(alpha > 0.0) || !alpha.is_finite() {
+                return Err(DataError::InvalidConfig(
+                    "alpha must be positive and finite".into(),
+                ));
             }
             partition_dirichlet(labels, num_classes, num_clients, alpha, rng)
         }
@@ -111,11 +116,18 @@ pub fn partition_indices(
 
     // Guarantee non-empty parts: steal one index from the largest part for
     // any empty one (extremely skewed Dirichlet draws can empty a client).
+    // The donor is pinned to the lowest-indexed largest part and gives up
+    // its most recently assigned index, so the repair is a pure function of
+    // the draw — never of map/iteration order. Because `labels.len() >=
+    // num_clients` was checked up front, a donor with >= 2 samples always
+    // exists while any part is empty (pigeonhole), so the loop terminates
+    // with every part non-empty; the in-loop error is defense in depth for
+    // the Shards path, which may leave samples unassigned.
     while let Some(empty) = parts.iter().position(Vec::is_empty) {
         let largest = parts
             .iter()
             .enumerate()
-            .max_by_key(|(_, p)| p.len())
+            .max_by(|(ai, a), (bi, b)| a.len().cmp(&b.len()).then(bi.cmp(ai)))
             .map(|(i, _)| i)
             .expect("at least one part exists");
         if parts[largest].len() <= 1 {
@@ -140,6 +152,8 @@ fn partition_iid(n: usize, num_clients: usize, rng: &mut Rng) -> Vec<Vec<usize>>
     parts
 }
 
+// `!(total > 0.0)` rather than `total <= 0.0`: NaN must take the fallback.
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
 fn partition_dirichlet(
     labels: &[usize],
     num_classes: usize,
@@ -149,9 +163,13 @@ fn partition_dirichlet(
 ) -> Vec<Vec<usize>> {
     let mut parts = vec![Vec::new(); num_clients];
     // Dirichlet over clients needs >= 2 components; a single client takes
-    // everything.
+    // everything. The indices are still shuffled so the degenerate case
+    // behaves like every other partition path (downstream train/test
+    // splits see a randomized order, not the generation order).
     if num_clients == 1 {
-        parts[0] = (0..labels.len()).collect();
+        let mut all: Vec<usize> = (0..labels.len()).collect();
+        rng.shuffle(&mut all);
+        parts[0] = all;
         return parts;
     }
     let dir = Dirichlet::symmetric(alpha, num_clients).expect("validated alpha and clients");
@@ -166,7 +184,16 @@ fn partition_dirichlet(
             continue;
         }
         rng.shuffle(&mut members);
-        let proportions = dir.sample(rng);
+        // Extreme concentrations stress the sampler's numerics (alpha on
+        // the order of 1e-6 underflows the gamma draws, 1e6 rides close to
+        // overflow); a draw that comes back non-finite or degenerate falls
+        // back to the uniform simplex point rather than poisoning the
+        // apportionment below with NaN.
+        let mut proportions = dir.sample(rng);
+        let total: f64 = proportions.iter().sum();
+        if proportions.iter().any(|p| !p.is_finite()) || !(total > 0.0) {
+            proportions = vec![1.0 / num_clients as f64; num_clients];
+        }
         // Largest-remainder apportionment of the class across clients.
         let n = members.len();
         let mut counts: Vec<usize> = proportions
@@ -175,13 +202,14 @@ fn partition_dirichlet(
             .collect();
         let mut assigned: usize = counts.iter().sum();
         // Distribute the remainder to the clients with the largest
-        // fractional parts.
+        // fractional parts; equal fractional parts are broken by client
+        // index (total_cmp also retires the old panic on non-finite keys).
         let mut fracs: Vec<(usize, f64)> = proportions
             .iter()
             .enumerate()
             .map(|(c, &p)| (c, p * n as f64 - (p * n as f64).floor()))
             .collect();
-        fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+        fracs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut fi = 0;
         while assigned < n {
             counts[fracs[fi % fracs.len()].0] += 1;
@@ -464,6 +492,62 @@ mod tests {
             .unwrap();
             assert!(parts.iter().all(|p| !p.is_empty()));
         }
+    }
+
+    #[test]
+    fn extreme_alphas_partition_without_panic_or_empty_parts() {
+        // alpha = 1e-6 underflows the gamma draws to the sampler's floor
+        // (near-one-hot proportions); alpha = 1e6 is effectively uniform.
+        // Both must yield an exact cover with no empty client.
+        let mut rng = Rng::seed_from_u64(9);
+        let labels = synthetic_labels(120, 4, &mut rng);
+        for alpha in [1e-6, 1e6] {
+            for trial in 0..10 {
+                let parts =
+                    partition_indices(&labels, 4, 5, Partition::Dirichlet { alpha }, &mut rng)
+                        .unwrap_or_else(|e| panic!("alpha={alpha} trial={trial}: {e:?}"));
+                assert_disjoint(&parts, 120);
+                let total: usize = parts.iter().map(Vec::len).sum();
+                assert_eq!(total, 120);
+                assert!(parts.iter().all(|p| !p.is_empty()));
+            }
+        }
+    }
+
+    #[test]
+    fn more_clients_than_samples_per_class_still_covers() {
+        // 12 samples over 3 classes (4 per class) split across 10 clients:
+        // most clients receive zero of any given class, so the repair loop
+        // has to fill many empties — and must still produce an exact,
+        // non-empty cover because labels.len() >= num_clients.
+        let mut rng = Rng::seed_from_u64(10);
+        let labels = synthetic_labels(12, 3, &mut rng);
+        let parts = partition_indices(
+            &labels,
+            3,
+            10,
+            Partition::Dirichlet { alpha: 0.05 },
+            &mut rng,
+        )
+        .unwrap();
+        assert_disjoint(&parts, 12);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, 12);
+        assert!(parts.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn single_client_dirichlet_is_shuffled() {
+        let mut rng = Rng::seed_from_u64(11);
+        let labels = synthetic_labels(50, 5, &mut rng);
+        let parts = partition_indices(&labels, 5, 1, Partition::Dirichlet { alpha: 0.5 }, &mut rng)
+            .unwrap();
+        assert_eq!(parts[0].len(), 50);
+        assert_disjoint(&parts, 50);
+        // The degenerate path must behave like every other partition path:
+        // a randomized order, not the generation order 0..n.
+        let identity: Vec<usize> = (0..50).collect();
+        assert_ne!(parts[0], identity);
     }
 
     #[test]

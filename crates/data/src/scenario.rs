@@ -3,6 +3,10 @@
 use crate::{partition_indices, DataError, Dataset, Partition, SyntheticConfig};
 use fedpkd_rng::Rng;
 
+/// The Dirichlet concentration grid of the heterogeneity sweep, extreme
+/// (`α = 0.05`, near single-class clients) to mild (`α = 1.0`) non-IID.
+pub const ALPHA_SWEEP: [f64; 4] = [0.05, 0.1, 0.5, 1.0];
+
 /// One client's data: a private training set and a local test set drawn from
 /// the same (non-IID) distribution.
 ///
@@ -206,6 +210,28 @@ impl ScenarioBuilder {
             num_classes: self.config.num_classes,
         })
     }
+
+    /// Builds one scenario per Dirichlet concentration, holding the seed —
+    /// and therefore the generated sample pool, the public set, and the
+    /// global test set — fixed. The sweep isolates the partition axis:
+    /// every point re-partitions the *same* data at a different `α`, so
+    /// accuracy differences across the grid are attributable to
+    /// heterogeneity alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DataError`] any sweep point produces (e.g. a
+    /// non-positive `α`).
+    pub fn alpha_sweep(&self, alphas: &[f64]) -> Result<Vec<(f64, FederatedScenario)>, DataError> {
+        alphas
+            .iter()
+            .map(|&alpha| {
+                let mut point = self.clone();
+                point.partition = Partition::Dirichlet { alpha };
+                Ok((alpha, point.build()?))
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +340,50 @@ mod tests {
                 client.train.labels().iter().copied().collect();
             assert!(classes.len() <= 3);
         }
+    }
+
+    #[test]
+    fn alpha_sweep_varies_only_the_partition() {
+        let sweep = builder().samples(4_000).alpha_sweep(&ALPHA_SWEEP).unwrap();
+        assert_eq!(sweep.len(), ALPHA_SWEEP.len());
+        // Same seed, same pool: the shared sets are identical across α …
+        let (_, first) = &sweep[0];
+        for (alpha, s) in &sweep[1..] {
+            assert_eq!(s.public, first.public, "public differs at α={alpha}");
+            assert_eq!(s.global_test, first.global_test);
+            assert!(s.clients.iter().all(|c| !c.train.is_empty()));
+        }
+        // … while the partitions are not.
+        let (_, mild) = sweep.last().unwrap();
+        assert_ne!(first.clients, mild.clients);
+        // Lower α concentrates each client on fewer classes: the mean
+        // max-class share shrinks monotonically in expectation, and with a
+        // fixed seed this realization must show extreme > mild.
+        let concentration = |s: &FederatedScenario| -> f64 {
+            let per_client: f64 = s
+                .clients
+                .iter()
+                .map(|c| {
+                    let idx: Vec<usize> = (0..c.train.len()).collect();
+                    label_distribution(c.train.labels(), &idx, 10)
+                        .into_iter()
+                        .fold(0.0f64, f64::max)
+                })
+                .sum();
+            per_client / s.num_clients() as f64
+        };
+        assert!(
+            concentration(first) > concentration(mild) + 0.1,
+            "α=0.05 ({}) should be far more concentrated than α=1.0 ({})",
+            concentration(first),
+            concentration(mild)
+        );
+    }
+
+    #[test]
+    fn alpha_sweep_rejects_bad_concentrations() {
+        assert!(builder().alpha_sweep(&[0.1, 0.0]).is_err());
+        assert!(builder().alpha_sweep(&[-1.0]).is_err());
     }
 
     #[test]

@@ -40,6 +40,73 @@ proptest! {
         }
     }
 
+    /// Dirichlet partitioning at numerically extreme concentrations — from
+    /// underflow-prone 1e-6 one-hots to overflow-adjacent 1e6 near-uniform
+    /// draws — must never panic, and whenever it succeeds it must be an
+    /// exact cover with no empty client. This also sweeps the regime with
+    /// more clients than samples of any single class, where the per-class
+    /// apportionment leaves most clients empty and the repair loop does the
+    /// heavy lifting.
+    #[test]
+    fn dirichlet_extreme_alpha_invariants(
+        labels in prop::collection::vec(0usize..5, 20..120),
+        clients in 2usize..16,
+        exponent in -6i32..=6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(labels.len() >= clients);
+        let alpha = 10f64.powi(exponent);
+        let mut rng = Rng::seed_from_u64(seed);
+        let parts = partition_indices(
+            &labels,
+            5,
+            clients,
+            Partition::Dirichlet { alpha },
+            &mut rng,
+        )
+        .expect("enough samples for every client");
+        let mut seen = vec![false; labels.len()];
+        for part in &parts {
+            prop_assert!(!part.is_empty(), "empty client at alpha={alpha}");
+            for &i in part {
+                prop_assert!(!seen[i], "double assignment of {i}");
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b), "incomplete cover at alpha={alpha}");
+    }
+
+    /// Degenerate Dirichlet shapes surface as typed errors, not panics:
+    /// non-positive and non-finite alphas are rejected, and fewer samples
+    /// than clients is rejected before any sampling happens.
+    #[test]
+    fn dirichlet_degenerate_configs_are_typed_errors(
+        clients in 2usize..8,
+        seed in any::<u64>(),
+    ) {
+        let labels: Vec<usize> = (0..clients - 1).map(|i| i % 3).collect();
+        let mut rng = Rng::seed_from_u64(seed);
+        for alpha in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let full: Vec<usize> = (0..50).map(|i| i % 3).collect();
+            prop_assert!(partition_indices(
+                &full,
+                3,
+                clients,
+                Partition::Dirichlet { alpha },
+                &mut rng
+            )
+            .is_err());
+        }
+        prop_assert!(partition_indices(
+            &labels,
+            3,
+            clients,
+            Partition::Dirichlet { alpha: 0.5 },
+            &mut rng
+        )
+        .is_err());
+    }
+
     /// Shards partitions are disjoint and respect the class budget.
     #[test]
     fn shards_partition_invariants(

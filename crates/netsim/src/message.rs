@@ -75,6 +75,25 @@ pub enum Message {
         /// Selected public-dataset indices.
         ids: Vec<u32>,
     },
+    /// A server-synthesized transfer batch (data-free distillation): the
+    /// generated samples plus the class each row was conditioned on.
+    SyntheticBatch {
+        /// Feature dimension (row width of `values`).
+        sample_dim: u32,
+        /// Conditioning class per row.
+        labels: Vec<u32>,
+        /// Row-major features, `labels.len() × sample_dim` values.
+        values: Vec<f32>,
+    },
+    /// Per-class *input-space* first moments of a client's private data
+    /// (data-free mode): the raw-feature class means that ground the
+    /// server's generator in the real data distribution. Same entry shape
+    /// as [`Message::Prototypes`], but the vectors live in input space,
+    /// not the model's embedding space.
+    DataMoments {
+        /// One entry per class the sender has data for.
+        entries: Vec<PrototypeEntry>,
+    },
 }
 
 impl Message {
@@ -82,6 +101,8 @@ impl Message {
     const TAG_LOGITS: u8 = 2;
     const TAG_PROTOTYPES: u8 = 3;
     const TAG_SELECTION: u8 = 4;
+    const TAG_SYNTHETIC: u8 = 5;
+    const TAG_MOMENTS: u8 = 6;
 
     /// A short name for logs.
     pub fn kind(&self) -> &'static str {
@@ -90,6 +111,8 @@ impl Message {
             Self::Logits { .. } => "logits",
             Self::Prototypes { .. } => "prototypes",
             Self::SampleSelection { .. } => "sample-selection",
+            Self::SyntheticBatch { .. } => "synthetic-batch",
+            Self::DataMoments { .. } => "data-moments",
         }
     }
 }
@@ -122,6 +145,23 @@ impl Wire for Message {
                 put_u8(buf, Self::TAG_SELECTION);
                 put_u32_slice(buf, ids);
             }
+            Self::SyntheticBatch {
+                sample_dim,
+                labels,
+                values,
+            } => {
+                put_u8(buf, Self::TAG_SYNTHETIC);
+                put_u32(buf, *sample_dim);
+                put_u32_slice(buf, labels);
+                put_f32_slice(buf, values);
+            }
+            Self::DataMoments { entries } => {
+                put_u8(buf, Self::TAG_MOMENTS);
+                put_u32(buf, entries.len() as u32);
+                for e in entries {
+                    e.encode(buf);
+                }
+            }
         }
     }
 
@@ -151,6 +191,24 @@ impl Wire for Message {
             Self::TAG_SELECTION => Ok(Self::SampleSelection {
                 ids: get_u32_vec(buf)?,
             }),
+            Self::TAG_SYNTHETIC => {
+                let sample_dim = get_u32(buf)?;
+                let labels = get_u32_vec(buf)?;
+                let values = get_f32_vec(buf)?;
+                Ok(Self::SyntheticBatch {
+                    sample_dim,
+                    labels,
+                    values,
+                })
+            }
+            Self::TAG_MOMENTS => {
+                let n = get_len(buf)?;
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    entries.push(PrototypeEntry::decode(buf)?);
+                }
+                Ok(Self::DataMoments { entries })
+            }
             other => Err(WireError::UnknownTag(other)),
         }
     }
@@ -165,6 +223,12 @@ impl Wire for Message {
                 4 + entries.iter().map(Wire::encoded_len).sum::<usize>()
             }
             Self::SampleSelection { ids } => 4 + 4 * ids.len(),
+            Self::SyntheticBatch { labels, values, .. } => {
+                4 + 4 + 4 * labels.len() + 4 + 4 * values.len()
+            }
+            Self::DataMoments { entries } => {
+                4 + entries.iter().map(Wire::encoded_len).sum::<usize>()
+            }
         }
     }
 }
@@ -211,6 +275,18 @@ mod tests {
             ],
         });
         round_trip(&Message::SampleSelection { ids: vec![1, 2, 3] });
+        round_trip(&Message::SyntheticBatch {
+            sample_dim: 3,
+            labels: vec![0, 1],
+            values: vec![0.5, -0.5, 1.0, 2.0, -2.0, 0.0],
+        });
+        round_trip(&Message::DataMoments {
+            entries: vec![PrototypeEntry {
+                class: 7,
+                count: 40,
+                vector: vec![0.25; 16],
+            }],
+        });
     }
 
     #[test]
@@ -218,6 +294,12 @@ mod tests {
         round_trip(&Message::ModelUpdate { params: vec![] });
         round_trip(&Message::Prototypes { entries: vec![] });
         round_trip(&Message::SampleSelection { ids: vec![] });
+        round_trip(&Message::SyntheticBatch {
+            sample_dim: 0,
+            labels: vec![],
+            values: vec![],
+        });
+        round_trip(&Message::DataMoments { entries: vec![] });
     }
 
     #[test]

@@ -58,3 +58,17 @@ fi
 # floors is BENCH_pr9.json; the smoke checks equivalence, not speed.
 FEDPKD_PERF_SCALE=pr9-smoke FEDPKD_PERF_OUT=target/bench_pr9_smoke.json \
     cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
+# Scenario-diversity smoke: the α sweep (FedPKD with adaptive margins vs
+# FedDF at equal comm budget) and the data-free distillation mode. The
+# adaptive-margins and generated-transfer modes must replay bit-identically
+# across the determinism matrix; the committed full-scale report with the
+# accuracy gates (FedPKD > FedDF at α <= 0.1, data-free within 3 points of
+# the public mode) is BENCH_pr10.json.
+FEDPKD_PERF_SCALE=pr10-smoke FEDPKD_PERF_OUT=target/bench_pr10_smoke.json \
+    cargo run --release -q -p fedpkd-bench --bin perf > /dev/null
+json_bool() { grep -o "\"$2\": [a-z]*" "$1" | head -1 | awk '{print $2}'; }
+if [ "$(json_bool target/bench_pr10_smoke.json margins_mode)" != "true" ] ||
+   [ "$(json_bool target/bench_pr10_smoke.json generated_mode)" != "true" ]; then
+    echo "FAIL: pr10 smoke — a scenario-diversity mode diverged across the determinism matrix" >&2
+    exit 1
+fi

@@ -75,7 +75,7 @@ pub mod prelude {
         AdmissionPolicy, PayloadKind, QuarantineTracker, RejectReason,
     };
     pub use fedpkd_core::driver::{Driver, DriverBuilder};
-    pub use fedpkd_core::fedpkd::{FedPkd, FedPkdConfig};
+    pub use fedpkd_core::fedpkd::{DistillSource, FedPkd, FedPkdConfig};
     pub use fedpkd_core::fleet::FleetSim;
     pub use fedpkd_core::robust::RobustAggregation;
     pub use fedpkd_core::runtime::{Federation, FlAlgorithm, RoundMetrics, RunResult};

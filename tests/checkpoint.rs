@@ -132,14 +132,15 @@ fn assert_resumes_bit_identically<A: Federation>(make: impl Fn() -> A, plan: Opt
     );
 }
 
-fn fedpkd() -> FedPkd {
-    let config = FedPkdConfig {
+fn fedpkd_with(mutate: impl FnOnce(&mut FedPkdConfig)) -> FedPkd {
+    let mut config = FedPkdConfig {
         client_private_epochs: 1,
         client_public_epochs: 1,
         server_epochs: 1,
         learning_rate: 0.003,
         ..FedPkdConfig::default()
     };
+    mutate(&mut config);
     FedPkd::new(
         scenario(),
         vec![client_spec(); 3],
@@ -148,6 +149,21 @@ fn fedpkd() -> FedPkd {
         23,
     )
     .expect("valid federation")
+}
+
+fn fedpkd() -> FedPkd {
+    fedpkd_with(|_| {})
+}
+
+fn fedpkd_margins() -> FedPkd {
+    fedpkd_with(|c| c.adaptive_margins = true)
+}
+
+fn fedpkd_data_free() -> FedPkd {
+    fedpkd_with(|c| {
+        c.adaptive_margins = true;
+        c.distill_source = DistillSource::Generated;
+    })
 }
 
 fn baseline_config() -> BaselineConfig {
@@ -168,6 +184,22 @@ fn fedpkd_resumes_bit_identically() {
 #[test]
 fn fedpkd_resumes_bit_identically_under_hostile_faults() {
     assert_resumes_bit_identically(fedpkd, Some(&hostile_plan()));
+}
+
+#[test]
+fn fedpkd_margins_resume_bit_identically_under_hostile_faults() {
+    // The trainable prototype/margin bank (PR 10) rides the snapshot: its
+    // parameters, Adam moments, coverage flags, and observed-distance
+    // buffer must all survive the kill for the resumed half to replay.
+    assert_resumes_bit_identically(fedpkd_margins, Some(&hostile_plan()));
+}
+
+#[test]
+fn fedpkd_data_free_resumes_bit_identically_under_hostile_faults() {
+    // Data-free mode adds the generator (parameters + Adam + its private
+    // RNG stream) to the snapshot; losing any of the three would desync
+    // the synthetic transfer batches after restore.
+    assert_resumes_bit_identically(fedpkd_data_free, Some(&hostile_plan()));
 }
 
 #[test]
@@ -407,6 +439,89 @@ fn foreign_snapshot_is_rejected_by_name() {
             assert_eq!(found, "FedAvg");
         }
         other => panic!("expected AlgorithmMismatch, got {other:?}"),
+    }
+}
+
+// ---- Version sniff (PR 10): feature-mode state is presence-tagged. -----
+//
+// A v2 envelope that carries margin-bank or generator state must not
+// restore through a configuration that lacks the feature (and vice
+// versa): the reader surfaces a typed error before consuming the
+// payload, never a panic, never a silently half-applied restore.
+
+#[test]
+fn margins_snapshot_into_plain_config_is_malformed_not_a_panic() {
+    let mut donor = fedpkd_margins();
+    let _ = Driver::rounds(1).run_silent(&mut donor);
+    let mut bytes = Vec::new();
+    donor.snapshot_to(&mut bytes).expect("stream out");
+    let err = fedpkd().restore_from(&mut bytes.as_slice()).unwrap_err();
+    assert!(matches!(err, SnapshotError::Malformed(_)), "got {err:?}");
+}
+
+#[test]
+fn plain_snapshot_into_margins_config_is_malformed_not_a_panic() {
+    let mut donor = fedpkd();
+    let _ = Driver::rounds(1).run_silent(&mut donor);
+    let mut bytes = Vec::new();
+    donor.snapshot_to(&mut bytes).expect("stream out");
+    let err = fedpkd_margins()
+        .restore_from(&mut bytes.as_slice())
+        .unwrap_err();
+    assert!(matches!(err, SnapshotError::Malformed(_)), "got {err:?}");
+}
+
+#[test]
+fn generated_snapshot_into_public_config_is_malformed_not_a_panic() {
+    let mut donor = fedpkd_data_free();
+    let _ = Driver::rounds(1).run_silent(&mut donor);
+    let mut bytes = Vec::new();
+    donor.snapshot_to(&mut bytes).expect("stream out");
+    // A margins-only instance accepts the bank but must balk at the
+    // generator payload it has no slot for.
+    let err = fedpkd_margins()
+        .restore_from(&mut bytes.as_slice())
+        .unwrap_err();
+    assert!(matches!(err, SnapshotError::Malformed(_)), "got {err:?}");
+}
+
+#[test]
+fn new_mode_snapshots_still_reject_foreign_algorithms_by_name() {
+    let mut donor = FedAvg::new(scenario(), client_spec(), baseline_config(), 61).unwrap();
+    let _ = Driver::rounds(1).run_silent(&mut donor);
+    let mut bytes = Vec::new();
+    donor.snapshot_to(&mut bytes).expect("stream out");
+    for victim in [fedpkd_margins(), fedpkd_data_free()] {
+        let mut victim = victim;
+        match victim.restore_from(&mut bytes.as_slice()) {
+            Err(SnapshotError::AlgorithmMismatch { expected, found }) => {
+                assert_eq!(expected, "FedPKD");
+                assert_eq!(found, "FedAvg");
+            }
+            other => panic!("expected AlgorithmMismatch, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn truncations_of_a_new_mode_snapshot_are_typed_errors() {
+    let mut donor = fedpkd_data_free();
+    let _ = Driver::rounds(1).run_silent(&mut donor);
+    let mut bytes = Vec::new();
+    donor.snapshot_to(&mut bytes).expect("stream out");
+    for len in (0..bytes.len()).step_by(257) {
+        let err = fedpkd_data_free()
+            .restore_from(&mut bytes[..len].as_ref())
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated
+                    | SnapshotError::ChecksumMismatch
+                    | SnapshotError::Malformed(_)
+            ),
+            "prefix of {len} bytes gave {err:?}"
+        );
     }
 }
 
